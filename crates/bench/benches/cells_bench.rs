@@ -1,0 +1,45 @@
+//! Criterion micro-benches for the spatial cell index (backs E3/E11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openflame_cells::{geohash, CellId, Region, RegionCoverer};
+use openflame_geo::LatLng;
+use std::time::Duration;
+
+fn bench_cells(c: &mut Criterion) {
+    let p = LatLng::new(40.4433, -79.9436).unwrap();
+    let mut group = c.benchmark_group("cells");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("from_latlng_L14", |b| {
+        b.iter(|| CellId::from_latlng(std::hint::black_box(p), 14).unwrap())
+    });
+    let cell = CellId::from_latlng(p, 14).unwrap();
+    group.bench_function("cell_center", |b| {
+        b.iter(|| std::hint::black_box(cell).center())
+    });
+    group.bench_function("dns_labels_L14", |b| {
+        b.iter(|| std::hint::black_box(cell).dns_labels())
+    });
+    group.bench_function("edge_neighbors_L14", |b| {
+        b.iter(|| std::hint::black_box(cell).edge_neighbors())
+    });
+    group.bench_function("token_round_trip", |b| {
+        b.iter(|| CellId::from_token(&std::hint::black_box(cell).to_token()).unwrap())
+    });
+    let region = Region::Cap {
+        center: p,
+        radius_m: 500.0,
+    };
+    let coverer = RegionCoverer::new(8, 16, 64);
+    group.bench_function("covering_cap_500m", |b| {
+        b.iter(|| coverer.covering(&region))
+    });
+    group.bench_function("geohash_encode_len8", |b| {
+        b.iter(|| geohash::encode(std::hint::black_box(p), 8).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benches for the wire codec (message sizes drive all
+//! byte accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_worldgen::{World, WorldConfig};
+use std::time::Duration;
+
+fn bench_codec(c: &mut Criterion) {
+    let world = World::generate(WorldConfig {
+        stores: 1,
+        ..WorldConfig::default()
+    });
+    let venue_map = world.venues[0].map.clone();
+    let encoded = to_bytes(&venue_map);
+    let mut group = c.benchmark_group("codec");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(criterion::Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_venue_map", |b| b.iter(|| to_bytes(&venue_map)));
+    group.bench_function("decode_venue_map", |b| {
+        b.iter(|| from_bytes::<openflame_mapdata::MapDocument>(&encoded).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benches for DNS zone lookups and resolution (backs
+//! E2's latency columns — wall-clock of the *code*, not the simulated
+//! network latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openflame_core::{Deployment, DeploymentConfig};
+use openflame_dns::{DomainName, Record, RecordData, RecordType, Zone};
+use openflame_worldgen::{World, WorldConfig};
+use std::time::Duration;
+
+fn bench_dns(c: &mut Criterion) {
+    // Zone query over a populated spatial zone.
+    let mut zone = Zone::new(DomainName::parse("cell.flame.").unwrap());
+    let dep = Deployment::build(
+        World::generate(WorldConfig {
+            stores: 12,
+            ..WorldConfig::default()
+        }),
+        DeploymentConfig::default(),
+    );
+    dep.cell_dns.with_zones(|zones| {
+        for r in zones[0].iter_records() {
+            zone.add(r.clone());
+        }
+    });
+    let query = openflame_mapserver::naming::query_name(dep.world.venues[0].hint);
+    let mut group = c.benchmark_group("dns");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("zone_query_wildcard", |b| {
+        b.iter(|| zone.query(&query, RecordType::MapSrv))
+    });
+    group.bench_function("zone_add_remove", |b| {
+        b.iter(|| {
+            zone.add(Record::new(
+                DomainName::parse("x.cell.flame.").unwrap(),
+                60,
+                RecordData::A(1),
+            ));
+            zone.remove(&DomainName::parse("x.cell.flame.").unwrap(), RecordType::A);
+        })
+    });
+    // Full resolution path (walks the referral chain in-process).
+    group.bench_function("resolve_cold", |b| {
+        b.iter(|| {
+            dep.resolver.flush_cache();
+            dep.resolver.resolve(&query, RecordType::MapSrv).unwrap()
+        })
+    });
+    group.bench_function("resolve_warm", |b| {
+        b.iter(|| dep.resolver.resolve(&query, RecordType::MapSrv).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dns);
+criterion_main!(benches);

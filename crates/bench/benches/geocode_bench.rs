@@ -1,0 +1,33 @@
+//! Criterion micro-benches for geocoding and map matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openflame_geo::Point2;
+use openflame_geocode::{mapmatch, reverse_geocode, snap_to_way, Geocoder};
+use openflame_worldgen::{World, WorldConfig};
+use std::time::Duration;
+
+fn bench_geocode(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::default());
+    let geocoder = Geocoder::build(&world.outdoor);
+    let mut group = c.benchmark_group("geocode");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("forward_address", |b| {
+        b.iter(|| geocoder.query("101 Forbes Ave", 5))
+    });
+    group.bench_function("reverse_50m", |b| {
+        b.iter(|| reverse_geocode(&world.outdoor, Point2::new(10.0, 10.0), 50.0))
+    });
+    group.bench_function("snap_to_way", |b| {
+        b.iter(|| snap_to_way(&world.outdoor, Point2::new(25.0, 8.0), 50.0, |_| true))
+    });
+    let trace: Vec<Point2> = (0..40).map(|i| Point2::new(i as f64 * 5.0, 1.5)).collect();
+    group.bench_function("mapmatch_40_points", |b| {
+        b.iter(|| mapmatch(&world.outdoor, &trace, 30.0, 5.0, 10.0, |_| true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geocode);
+criterion_main!(benches);

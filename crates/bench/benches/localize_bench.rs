@@ -1,0 +1,46 @@
+//! Criterion micro-benches for localization primitives (backs E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openflame_geo::Point2;
+use openflame_localize::{Beacon, Estimate, ParticleFilter, RadioMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_localize(c: &mut Criterion) {
+    let beacons: Vec<Beacon> = (0..8)
+        .map(|i| Beacon {
+            id: i,
+            pos: Point2::new((i % 4) as f64 * 13.0, (i / 4) as f64 * 11.0),
+            tx_power_dbm: -40.0,
+        })
+        .collect();
+    let radio = RadioMap::survey(beacons.clone(), Point2::ZERO, Point2::new(40.0, 25.0), 2.0);
+    let mut rng = StdRng::seed_from_u64(6);
+    let cue = radio.observe(&mut rng, Point2::new(17.0, 9.0), 2.0);
+    let mut group = c.benchmark_group("localize");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("radiomap_survey_40x25", |b| {
+        b.iter(|| RadioMap::survey(beacons.clone(), Point2::ZERO, Point2::new(40.0, 25.0), 2.0))
+    });
+    group.bench_function("fingerprint_knn", |b| b.iter(|| radio.localize(&cue, 4)));
+    let mut pf = ParticleFilter::new(&mut rng, 500, Point2::new(17.0, 9.0), 2.0);
+    let est = Estimate {
+        pos: Point2::new(17.5, 9.0),
+        error_m: 2.0,
+        technology: "beacon".into(),
+    };
+    group.bench_function("particle_filter_step_500p", |b| {
+        b.iter(|| {
+            pf.predict(&mut rng, Point2::new(0.5, 0.0), 0.3);
+            pf.update(&mut rng, &est);
+            pf.mean()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_localize);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benches for the routing engines (backs E4a's
+//! wall-clock columns).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use openflame_routing::{astar, bidirectional, dijkstra, ContractionHierarchy, Profile, RoadGraph};
+use openflame_worldgen::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_routing(c: &mut Criterion) {
+    let world = World::generate(WorldConfig {
+        blocks_x: 30,
+        blocks_y: 30,
+        stores: 0,
+        pois_per_block: 0,
+        ..WorldConfig::default()
+    });
+    let graph = RoadGraph::from_map(&world.outdoor, Profile::Driving);
+    let ch = ContractionHierarchy::build(&graph);
+    let ids: Vec<_> = world.outdoor.nodes().map(|n| n.id).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut pair = || {
+        (
+            ids[rng.gen_range(0..ids.len())],
+            ids[rng.gen_range(0..ids.len())],
+        )
+    };
+    let pairs: Vec<_> = (0..64).map(|_| pair()).collect();
+    let mut group = c.benchmark_group("routing_query_961n");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let _ = dijkstra(&graph, pairs[i].0, pairs[i].1);
+        })
+    });
+    group.bench_function("bidirectional", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let _ = bidirectional(&graph, pairs[i].0, pairs[i].1);
+        })
+    });
+    group.bench_function("astar", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let _ = astar(&graph, pairs[i].0, pairs[i].1);
+        })
+    });
+    group.bench_function("ch", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let _ = ch.query(pairs[i].0, pairs[i].1);
+        })
+    });
+    group.finish();
+
+    let mut prep = c.benchmark_group("routing_preprocess");
+    prep.sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let small = World::generate(WorldConfig {
+        blocks_x: 12,
+        blocks_y: 12,
+        stores: 0,
+        pois_per_block: 0,
+        ..WorldConfig::default()
+    });
+    let small_graph = RoadGraph::from_map(&small.outdoor, Profile::Driving);
+    prep.bench_function("ch_build_169n", |b| {
+        b.iter_batched(
+            || small_graph.clone(),
+            |g| ContractionHierarchy::build(&g),
+            BatchSize::SmallInput,
+        )
+    });
+    prep.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

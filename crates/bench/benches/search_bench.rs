@@ -1,0 +1,40 @@
+//! Criterion micro-benches for search indexing, queries and fusion
+//! (backs E5's latency column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openflame_search::{fuse_ranked, SearchIndex};
+use openflame_worldgen::{World, WorldConfig};
+use std::time::Duration;
+
+fn bench_search(c: &mut Criterion) {
+    let world = World::generate(WorldConfig {
+        stores: 4,
+        products_per_store: 60,
+        ..WorldConfig::default()
+    });
+    let map = &world.venues[0].map;
+    let index = SearchIndex::build(map);
+    let query = &world.products[10].name;
+    let mut group = c.benchmark_group("search");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("index_build_60_products", |b| {
+        b.iter(|| SearchIndex::build(map))
+    });
+    group.bench_function("query_exact_name", |b| {
+        b.iter(|| index.query(query, None, f64::INFINITY, 10))
+    });
+    group.bench_function("query_generic_term", |b| {
+        b.iter(|| index.query("seaweed", None, f64::INFINITY, 10))
+    });
+    // Fusion over 8 lists of 10 results.
+    let lists: Vec<Vec<openflame_search::SearchResult>> = (0..8)
+        .map(|_| index.query("syrup granola tea", None, f64::INFINITY, 10))
+        .collect();
+    group.bench_function("fuse_8x10", |b| b.iter(|| fuse_ranked(lists.clone(), 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

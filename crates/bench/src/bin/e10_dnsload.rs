@@ -1,0 +1,104 @@
+//! E10 — §5.1: DNS federation spreads discovery load across zone
+//! servers instead of concentrating it on one provider endpoint.
+//!
+//! `cargo run --release -p openflame-bench --bin e10_dnsload`
+
+use openflame_bench::{header, row};
+use openflame_core::{Deployment, DeploymentConfig};
+use openflame_dns::ResolverConfig;
+use openflame_worldgen::{World, WorldConfig, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const QUERIES: usize = 5_000;
+
+fn main() {
+    header(
+        "E10",
+        "discovery load distribution across DNS shard servers",
+    );
+    row(&[
+        "shards".into(),
+        "zones".into(),
+        "parent rx".into(),
+        "shard max".into(),
+        "shard mean".into(),
+    ]);
+    for shards in [1usize, 2, 4, 8] {
+        // A metro-scale world spanning dozens of query-level cells, so
+        // the spatial zone can actually be cut into shards.
+        let world = World::generate(WorldConfig {
+            stores: 24,
+            blocks_x: 30,
+            blocks_y: 30,
+            ..WorldConfig::default()
+        });
+        let dep = Deployment::build(
+            world,
+            DeploymentConfig {
+                dns_shards: shards,
+                covering_level: 14,
+                shard_level: 14,
+                // Disable caching so every query reaches authority —
+                // this measures authoritative load, the resource the
+                // federation is sharing.
+                resolver: ResolverConfig {
+                    cache_enabled: false,
+                    ..Default::default()
+                },
+                ..DeploymentConfig::default()
+            },
+        );
+        let zipf = ZipfSampler::new(dep.world.venues.len(), 0.8);
+        let mut rng = StdRng::seed_from_u64(44);
+        dep.net.reset_stats();
+        for _ in 0..QUERIES / 10 {
+            let venue = zipf.sample(&mut rng);
+            let loc = dep.world.venues[venue]
+                .hint
+                .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..150.0));
+            let _ = dep.client.discover(loc);
+        }
+        // Per-authoritative-server receive counts. The parent keeps
+        // all referral traffic (this resolver does not cache NS
+        // referrals; production resolvers do, which would shrink the
+        // parent column further). The answer-serving load is what the
+        // shards split.
+        let parent = dep
+            .net
+            .endpoint_stats(dep.cell_dns.endpoint())
+            .map(|s| s.rx_msgs as f64)
+            .unwrap_or(0.0);
+        let mut shard_rx: Vec<f64> = dep
+            .shard_dns
+            .iter()
+            .map(|shard| {
+                dep.net
+                    .endpoint_stats(shard.endpoint())
+                    .map(|s| s.rx_msgs as f64)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        // Shard 0 is hosted on the parent, so with one shard the
+        // answer traffic is the parent's own; report it as such.
+        if shard_rx.is_empty() {
+            shard_rx.push(parent);
+        }
+        let shard_max = shard_rx.iter().cloned().fold(0.0f64, f64::max);
+        row(&[
+            format!("{shards}"),
+            format!("{}", dep.shard_of_cell.len()),
+            format!("{parent:.0}"),
+            format!("{shard_max:.0}"),
+            format!("{:.0}", openflame_bench::mean(&shard_rx)),
+        ]);
+    }
+    println!(
+        "\npaper claim (§5.1): repurposing the federated DNS inherits its\n\
+         \"large-scale deployments and infrastructure\". Expected shape: the\n\
+         per-shard maximum drops as shards are added, because each shard\n\
+         is authoritative for a disjoint set of cell zones. The parent\n\
+         column stays flat only because this resolver does not cache NS\n\
+         referrals; real resolvers do, which removes that hop too."
+    );
+}

@@ -1,0 +1,100 @@
+//! E2 — §5.1: DNS discovery is fast because of ubiquitous caching.
+//!
+//! 2,000 discovery queries with Zipf-distributed locality over venue
+//! locations, comparing a caching resolver against the same resolver
+//! with caching disabled, plus a TTL sweep.
+//!
+//! `cargo run --release -p openflame-bench --bin e2_discovery`
+
+use openflame_bench::{header, mean, percentile, row};
+use openflame_core::{Deployment, DeploymentConfig};
+use openflame_dns::ResolverConfig;
+use openflame_worldgen::{World, WorldConfig, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const QUERIES: usize = 2_000;
+
+fn run(cache_enabled: bool, zipf_s: f64, think_s: u64) -> (f64, f64, f64, f64, f64) {
+    let world = World::generate(WorldConfig {
+        stores: 12,
+        ..WorldConfig::default()
+    });
+    let dep = Deployment::build(
+        world,
+        DeploymentConfig {
+            resolver: ResolverConfig {
+                cache_enabled,
+                ..Default::default()
+            },
+            ..DeploymentConfig::default()
+        },
+    );
+    let zipf = ZipfSampler::new(dep.world.venues.len(), zipf_s);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut latencies = Vec::with_capacity(QUERIES);
+    for _ in 0..QUERIES {
+        // Inter-query think time lets TTLs expire, so cache hits come
+        // from locality rather than a permanently warm cache.
+        dep.net.advance_us(think_s * 1_000_000);
+        // A user near a Zipf-popular venue, jittered by up to 80 m.
+        let venue = zipf.sample(&mut rng);
+        let loc = dep.world.venues[venue]
+            .hint
+            .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..80.0));
+        let t0 = dep.net.now_us();
+        let found = dep.client.discover(loc).unwrap();
+        latencies.push((dep.net.now_us() - t0) as f64 / 1000.0);
+        assert!(!found.is_empty(), "the city is fully covered");
+    }
+    let stats = dep.client.discovery().resolver().stats();
+    let hit_ratio = stats.cache_hits as f64 / stats.queries as f64;
+    let upstream_per_discovery = stats.upstream_queries as f64 / QUERIES as f64;
+    (
+        mean(&latencies),
+        percentile(&mut latencies.clone(), 50.0),
+        percentile(&mut latencies, 95.0),
+        hit_ratio,
+        upstream_per_discovery,
+    )
+}
+
+fn main() {
+    header(
+        "E2",
+        "DNS discovery latency: resolver caching makes repeat queries ~free",
+    );
+    println!("{QUERIES} discovery queries, Zipf-local clients, simulated WAN latencies\n");
+    row(&[
+        "config".into(),
+        "mean ms".into(),
+        "p50 ms".into(),
+        "p95 ms".into(),
+        "cache-hit".into(),
+        "upstream/q".into(),
+    ]);
+    for (label, cache, s, think) in [
+        ("no-cache zipf1.0", false, 1.0, 0u64),
+        ("cache zipf0.0 t0s", true, 0.0, 0),
+        ("cache zipf1.0 t0s", true, 1.0, 0),
+        ("cache zipf0.0 t60s", true, 0.0, 60),
+        ("cache zipf1.0 t60s", true, 1.0, 60),
+        ("cache zipf1.5 t60s", true, 1.5, 60),
+    ] {
+        let (mean_ms, p50, p95, hits, upstream) = run(cache, s, think);
+        row(&[
+            label.into(),
+            format!("{mean_ms:.2}"),
+            format!("{p50:.2}"),
+            format!("{p95:.2}"),
+            format!("{:.0}%", hits * 100.0),
+            format!("{upstream:.2}"),
+        ]);
+    }
+    println!(
+        "\npaper claim: leveraging the DNS \"gives us access to its ubiquitous\n\
+         caching mechanisms\". Expected shape: with caching, hit ratio rises\n\
+         with locality (Zipf s) and p50 collapses to ~0 while the uncached\n\
+         config pays full referral-walk latency on every query."
+    );
+}

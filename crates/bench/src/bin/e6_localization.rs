@@ -1,0 +1,149 @@
+//! E6 — §2/§5.2: indoor localization requires the venue's map server;
+//! client-side fusion with dead reckoning picks the best of both.
+//!
+//! Walks outdoor→indoor traces and scores, per technology:
+//! availability and error. Sweeps beacon density.
+//!
+//! `cargo run --release -p openflame-bench --bin e6_localization`
+
+use openflame_bench::{header, mean, percentile, row};
+use openflame_geo::Point2;
+use openflame_localize::{GnssModel, ParticleFilter, RadioMap};
+use openflame_worldgen::{WalkTrace, World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header(
+        "E6",
+        "localization: GNSS dies at the door; venue beacons take over; fusion smooths",
+    );
+    println!("--- availability and error along outdoor→indoor walks ---\n");
+    row(&[
+        "technology".into(),
+        "outdoor avail".into(),
+        "indoor avail".into(),
+        "p50 err m".into(),
+        "p95 err m".into(),
+    ]);
+    let world = World::generate(WorldConfig::default());
+    let mut rng = StdRng::seed_from_u64(8);
+    let gnss = GnssModel::default();
+    let mut gnss_errs = Vec::new();
+    let mut beacon_errs = Vec::new();
+    let mut fused_errs = Vec::new();
+    let (mut gnss_out, mut gnss_in, mut beacon_in, mut out_total, mut in_total) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    for venue_idx in 0..world.venues.len() {
+        let venue = &world.venues[venue_idx];
+        let radio = RadioMap::survey(
+            venue.beacons.clone(),
+            Point2::new(-5.0, -5.0),
+            Point2::new(60.0, 45.0),
+            2.0,
+        );
+        let trace = WalkTrace::into_venue(&world, venue_idx, 70.0);
+        // Fusion runs in the venue frame once indoors.
+        let mut pf: Option<ParticleFilter> = None;
+        let mut prev_local: Option<Point2> = None;
+        for sample in &trace.samples {
+            if sample.indoors {
+                in_total += 1;
+                let (_, local) = sample.venue_local.unwrap();
+                if gnss.sample(&mut rng, sample.geo, true).is_some() {
+                    gnss_in += 1;
+                }
+                let cue = radio.observe(&mut rng, local, 3.0);
+                if let Some(est) = radio.localize(&cue, 4) {
+                    beacon_in += 1;
+                    beacon_errs.push(est.pos.distance(local));
+                    // Fusion: particle filter over odometry + estimates.
+                    let filter = pf.get_or_insert_with(|| {
+                        ParticleFilter::new(&mut rng, 300, est.pos, est.error_m)
+                    });
+                    if let Some(prev) = prev_local {
+                        filter.predict(&mut rng, local - prev, 0.3);
+                    }
+                    filter.update(&mut rng, &est);
+                    fused_errs.push(filter.mean().distance(local));
+                }
+                prev_local = Some(local);
+            } else {
+                out_total += 1;
+                if let Some(openflame_localize::LocationCue::Gnss { fix, .. }) =
+                    gnss.sample(&mut rng, sample.geo, false)
+                {
+                    gnss_out += 1;
+                    gnss_errs.push(fix.haversine_distance(sample.geo));
+                }
+            }
+        }
+    }
+    let pct = |n: usize, d: usize| format!("{:.0}%", 100.0 * n as f64 / d.max(1) as f64);
+    row(&[
+        "gnss".into(),
+        pct(gnss_out, out_total),
+        pct(gnss_in, in_total),
+        format!("{:.1}", percentile(&mut gnss_errs.clone(), 50.0)),
+        format!("{:.1}", percentile(&mut gnss_errs, 95.0)),
+    ]);
+    row(&[
+        "venue beacons".into(),
+        "0%".into(),
+        pct(beacon_in, in_total),
+        format!("{:.1}", percentile(&mut beacon_errs.clone(), 50.0)),
+        format!("{:.1}", percentile(&mut beacon_errs, 95.0)),
+    ]);
+    row(&[
+        "fused (PF+IMU)".into(),
+        "-".into(),
+        pct(beacon_in, in_total),
+        format!("{:.1}", percentile(&mut fused_errs.clone(), 50.0)),
+        format!("{:.1}", percentile(&mut fused_errs, 95.0)),
+    ]);
+
+    println!("\n--- indoor error vs beacon density ---\n");
+    row(&[
+        "beacons/store".into(),
+        "p50 err m".into(),
+        "p95 err m".into(),
+    ]);
+    for beacons in [2usize, 4, 6, 9, 12] {
+        let world = World::generate(WorldConfig {
+            beacons_per_store: beacons,
+            stores: 6,
+            ..WorldConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(80 + beacons as u64);
+        let mut errs = Vec::new();
+        for venue in &world.venues {
+            let radio = RadioMap::survey(
+                venue.beacons.clone(),
+                Point2::new(-5.0, -5.0),
+                Point2::new(60.0, 45.0),
+                2.0,
+            );
+            for _ in 0..40 {
+                use rand::Rng;
+                let truth = Point2::new(rng.gen_range(2.0..30.0), rng.gen_range(2.0..18.0));
+                let cue = radio.observe(&mut rng, truth, 3.0);
+                if let Some(est) = radio.localize(&cue, 4) {
+                    errs.push(est.pos.distance(truth));
+                }
+            }
+        }
+        row(&[
+            format!("{beacons}"),
+            format!("{:.1}", percentile(&mut errs.clone(), 50.0)),
+            format!("{:.1}", percentile(&mut errs, 95.0)),
+        ]);
+        let _ = mean(&errs);
+    }
+    println!(
+        "\npaper claim (§2): GPS availability \"is limited to outdoor\n\
+         locations\"; the venue's own localization service covers indoors.\n\
+         Expected shape: GNSS indoor availability 0%; beacon indoor\n\
+         availability ~100% with meter-level error improving with density;\n\
+         fusion ≤ raw beacon error."
+    );
+}

@@ -1,0 +1,111 @@
+//! E7 — §5.2 (MapCruncher, paper ref. 8): cross-frame tile stitching from manual
+//! correspondences, plus tile-render throughput.
+//!
+//! `cargo run --release -p openflame-bench --bin e7_tiles`
+
+use openflame_bench::{header, mean, row};
+use openflame_geo::{Affine2, Mercator, Point2};
+use openflame_localize::gnss::normal_sample;
+use openflame_tiles::{TileCoord, TileRenderer};
+use openflame_worldgen::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    header(
+        "E7",
+        "tile stitching: alignment error vs correspondences; render throughput",
+    );
+    println!("--- alignment RMSE vs number of manual correspondences ---");
+    println!("(correspondences surveyed with 0.5 m noise; RMSE over the venue floor)\n");
+    row(&[
+        "points".into(),
+        "fit".into(),
+        "rmse m".into(),
+        "max err m".into(),
+    ]);
+    let world = World::generate(WorldConfig::default());
+    let mut rng = StdRng::seed_from_u64(12);
+    for n_points in [2usize, 3, 4, 6, 8, 12, 16] {
+        let mut rmses = Vec::new();
+        let mut maxes: Vec<f64> = Vec::new();
+        for venue in &world.venues {
+            let truth = venue.true_transform;
+            // Noisy correspondences scattered over the floor.
+            let pairs: Vec<(Point2, Point2)> = (0..n_points)
+                .map(|_| {
+                    let src = Point2::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..25.0));
+                    let noise = Point2::new(
+                        normal_sample(&mut rng, 0.0, 0.5),
+                        normal_sample(&mut rng, 0.0, 0.5),
+                    );
+                    (src, truth.apply(src) + noise)
+                })
+                .collect();
+            let Ok(fit) = Affine2::fit_similarity(&pairs) else {
+                continue;
+            };
+            // Score on a clean evaluation grid.
+            let eval: Vec<f64> = (0..100)
+                .map(|i| {
+                    let p = Point2::new((i % 10) as f64 * 4.0, (i / 10) as f64 * 2.5);
+                    fit.apply(p).distance(truth.apply(p))
+                })
+                .collect();
+            rmses.push((eval.iter().map(|e| e * e).sum::<f64>() / eval.len() as f64).sqrt());
+            maxes.push(eval.iter().cloned().fold(0.0, f64::max));
+        }
+        row(&[
+            format!("{n_points}"),
+            "similarity".into(),
+            format!("{:.2}", mean(&rmses)),
+            format!("{:.2}", mean(&maxes)),
+        ]);
+    }
+
+    println!("\n--- tile render throughput (wall clock) ---\n");
+    row(&[
+        "zoom".into(),
+        "tiles".into(),
+        "render ms/tile".into(),
+        "cached µs/tile".into(),
+    ]);
+    let renderer = TileRenderer::new(&world.outdoor).expect("outdoor map is anchored");
+    for z in [13u8, 15, 17] {
+        let (cx, cy) = Mercator::tile_for(world.config.center, z);
+        let coords: Vec<TileCoord> = (0..4)
+            .flat_map(|dx| {
+                (0..4).map(move |dy| TileCoord {
+                    z,
+                    x: cx + dx,
+                    y: cy + dy,
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        for &c in &coords {
+            let _ = renderer.tile(c);
+        }
+        let cold = t0.elapsed().as_secs_f64() * 1000.0 / coords.len() as f64;
+        let t1 = Instant::now();
+        for &c in &coords {
+            let _ = renderer.tile(c);
+        }
+        let warm = t1.elapsed().as_secs_f64() * 1e6 / coords.len() as f64;
+        row(&[
+            format!("{z}"),
+            format!("{}", coords.len()),
+            format!("{cold:.2}"),
+            format!("{warm:.1}"),
+        ]);
+    }
+    println!(
+        "\npaper claim (§5.2): stitching maps in different coordinate systems\n\
+         \"can be done using manual correspondences between maps (e.g.,\n\
+         MapCruncher)\". Expected shape: RMSE drops steeply from 2→4\n\
+         correspondences and flattens near the survey noise floor (~0.3 m);\n\
+         pre-rendered (cached) tiles are orders of magnitude cheaper than\n\
+         fresh renders (§4.1)."
+    );
+}

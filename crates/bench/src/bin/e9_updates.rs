@@ -1,0 +1,121 @@
+//! E9 — §1/§3: federation scales map management — venues update their
+//! own maps independently; a centralized pipeline serializes ingestion
+//! over the global map.
+//!
+//! `cargo run --release -p openflame-bench --bin e9_updates`
+
+use openflame_bench::{header, mean, row};
+use openflame_core::{CentralizedProvider, Deployment, DeploymentConfig};
+use openflame_geo::Point2;
+use openflame_mapdata::{MapPatch, Node, NodeId, Tags};
+use openflame_mapserver::Principal;
+use openflame_netsim::SimNet;
+use openflame_worldgen::{World, WorldConfig};
+use std::time::Instant;
+
+const UPDATES_PER_VENUE: usize = 25;
+
+fn main() {
+    header(
+        "E9",
+        "map updates: independent venue edits vs centralized ingestion",
+    );
+    row(&[
+        "venues".into(),
+        "architecture".into(),
+        "updates".into(),
+        "wall ms/update".into(),
+        "visible srch".into(),
+    ]);
+    for stores in [4usize, 8, 16] {
+        let world = World::generate(WorldConfig {
+            stores,
+            products_per_store: 20,
+            ..WorldConfig::default()
+        });
+        // ---- Federated: each venue server applies its own patches.
+        let dep = Deployment::build(world.clone(), DeploymentConfig::default());
+        let principal = Principal::anonymous();
+        let mut fed_times = Vec::new();
+        let mut fed_visible = 0usize;
+        let total = stores * UPDATES_PER_VENUE;
+        for (vi, server) in dep.venue_servers.iter().enumerate() {
+            for u in 0..UPDATES_PER_VENUE {
+                let version = server.with_map(|m| m.meta().version);
+                let mut patch = MapPatch::new(version);
+                let label = format!("restock-v{vi}u{u}");
+                patch.upsert_nodes.push(Node::new(
+                    NodeId(900_000 + u as u64),
+                    Point2::new(5.0 + u as f64 * 0.1, 5.0),
+                    Tags::new()
+                        .with("product", "restock")
+                        .with("name", label.clone()),
+                ));
+                let t0 = Instant::now();
+                server.apply_patch(&principal, &patch).unwrap();
+                fed_times.push(t0.elapsed().as_secs_f64() * 1000.0);
+                // Visibility: immediately searchable on that server.
+                let hits = server
+                    .search(&principal, &label, None, f64::INFINITY, 1)
+                    .unwrap();
+                if hits.first().map(|h| h.label == label).unwrap_or(false) {
+                    fed_visible += 1;
+                }
+            }
+        }
+        row(&[
+            format!("{stores}"),
+            "federated".into(),
+            format!("{total}"),
+            format!("{:.2}", mean(&fed_times)),
+            format!("{fed_visible}/{total}"),
+        ]);
+
+        // ---- Centralized: every edit lands in the one global map and
+        // rebuilds the global indices.
+        let net = SimNet::new(9);
+        let omni = CentralizedProvider::omniscient(&net, &world);
+        let mut cen_times = Vec::new();
+        let mut cen_visible = 0usize;
+        for vi in 0..stores {
+            for u in 0..UPDATES_PER_VENUE {
+                let version = omni.server.with_map(|m| m.meta().version);
+                let mut patch = MapPatch::new(version);
+                let label = format!("central-restock-v{vi}u{u}");
+                patch.upsert_nodes.push(Node::new(
+                    NodeId(1_900_000 + (vi * UPDATES_PER_VENUE + u) as u64),
+                    Point2::new(vi as f64, u as f64),
+                    Tags::new()
+                        .with("product", "restock")
+                        .with("name", label.clone()),
+                ));
+                let t0 = Instant::now();
+                omni.server.apply_patch(&principal, &patch).unwrap();
+                cen_times.push(t0.elapsed().as_secs_f64() * 1000.0);
+                let hits = omni
+                    .server
+                    .search(&principal, &label, None, f64::INFINITY, 1)
+                    .unwrap();
+                if hits.first().map(|h| h.label == label).unwrap_or(false) {
+                    cen_visible += 1;
+                }
+            }
+        }
+        row(&[
+            format!("{stores}"),
+            "centralized".into(),
+            format!("{total}"),
+            format!("{:.2}", mean(&cen_times)),
+            format!("{cen_visible}/{total}"),
+        ]);
+        println!();
+    }
+    println!(
+        "paper claim (§1): \"surveying this space will likely be impractical\n\
+         for any single centralized organization\" — operationally, each\n\
+         centralized edit pays for the global map (index rebuild over the\n\
+         whole city), while a venue edit pays only for the venue. Expected\n\
+         shape: per-update cost roughly flat for federated as venues grow,\n\
+         and growing with world size for centralized."
+    );
+}

@@ -1,0 +1,105 @@
+//! Property-based round-trip and robustness tests for the wire codec.
+
+use openflame_codec::{from_bytes, to_bytes, CodecError, Reader, Wire, Writer};
+use proptest::prelude::*;
+
+/// A representative composite message exercising nesting.
+#[derive(Debug, Clone, PartialEq)]
+struct Msg {
+    id: u64,
+    name: String,
+    score: f64,
+    tags: Vec<(String, String)>,
+    parent: Option<i64>,
+}
+
+impl Wire for Msg {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.name.encode(w);
+        self.score.encode(w);
+        self.tags.encode(w);
+        self.parent.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Msg {
+            id: u64::decode(r)?,
+            name: String::decode(r)?,
+            score: f64::decode(r)?,
+            tags: Vec::decode(r)?,
+            parent: Option::decode(r)?,
+        })
+    }
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    (
+        any::<u64>(),
+        ".{0,40}",
+        any::<f64>().prop_filter("finite", |f| f.is_finite()),
+        proptest::collection::vec((".{0,10}", ".{0,10}"), 0..8),
+        proptest::option::of(any::<i64>()),
+    )
+        .prop_map(|(id, name, score, tags, parent)| Msg {
+            id,
+            name,
+            score,
+            tags,
+            parent,
+        })
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trip(v in any::<u64>()) {
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(from_bytes::<i64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_round_trip_bitwise(v in any::<f64>()) {
+        let back = from_bytes::<f64>(&to_bytes(&v)).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn string_round_trip(s in ".{0,200}") {
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&s.clone())).unwrap(), s);
+    }
+
+    #[test]
+    fn vec_round_trip(v in proptest::collection::vec(any::<u32>(), 0..100)) {
+        prop_assert_eq!(from_bytes::<Vec<u32>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn composite_message_round_trip(m in arb_msg()) {
+        prop_assert_eq!(from_bytes::<Msg>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_never_panics(m in arb_msg(), cut in 0usize..64) {
+        let buf = to_bytes(&m);
+        let end = cut.min(buf.len());
+        // Any prefix must decode cleanly or error — never panic.
+        let _ = from_bytes::<Msg>(&buf[..end]);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Msg>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<(u64, String)>(&bytes);
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal(v in any::<u64>()) {
+        let len = to_bytes(&v).len();
+        let expected = if v == 0 { 1 } else { (64 - v.leading_zeros() as usize).div_ceil(7) };
+        prop_assert_eq!(len, expected);
+    }
+}

@@ -1,0 +1,231 @@
+//! The Figure-1 centralized baseline.
+//!
+//! "Today's spatial naming systems are digital maps like Google and
+//! Apple maps ... supported by centralized infrastructures" (§1). The
+//! baseline serves the same client-facing services from a single
+//! monolithic map. Two flavors matter for the evaluation:
+//!
+//! - [`CentralizedProvider::public_only`] — outdoor public data only.
+//!   This is the *realistic* centralized provider: §2 argues exactly
+//!   that store inventory and indoor maps "would not be part of the map
+//!   database".
+//! - [`CentralizedProvider::omniscient`] — every venue merged into the
+//!   global frame using ground-truth alignments. Unrealizable in
+//!   practice (it presumes the cartography and data sharing the paper
+//!   says won't happen), but it provides the global optimum that
+//!   experiment E4b scores stitched routes against.
+
+use openflame_geo::{LatLng, LocalFrame};
+use openflame_localize::TagRegistry;
+use openflame_mapdata::{GeoReference, NodeId, Tags};
+use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig};
+use openflame_netsim::SimNet;
+use openflame_worldgen::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A centralized map provider (Figure 1).
+pub struct CentralizedProvider {
+    /// The provider's single map server.
+    pub server: Arc<MapServer>,
+    /// For omniscient providers: venue-frame node id → merged node id.
+    pub merged_nodes: HashMap<(usize, NodeId), NodeId>,
+}
+
+impl CentralizedProvider {
+    /// The realistic centralized provider: public outdoor data only.
+    pub fn public_only(net: &SimNet, world: &World) -> Self {
+        let server = MapServer::spawn(
+            net,
+            MapServerConfig {
+                id: "central-public".into(),
+                map: world.outdoor.clone(),
+                beacons: Vec::new(),
+                tags: TagRegistry::new(),
+                policy: AccessPolicy::open(),
+                portals: Vec::new(),
+                location_hint: world.config.center,
+                radius_m: city_radius(world),
+                build_ch: false,
+            },
+        );
+        Self {
+            server,
+            merged_nodes: HashMap::new(),
+        }
+    }
+
+    /// The omniscient upper bound: every venue merged into the global
+    /// frame via ground-truth transforms, entrances fused into portal
+    /// edges.
+    pub fn omniscient(net: &SimNet, world: &World) -> Self {
+        let mut map = world.outdoor.clone();
+        let mut merged_nodes = HashMap::new();
+        let city = world.city_frame();
+        for (vi, venue) in world.venues.iter().enumerate() {
+            // Copy nodes with positions mapped into the city ENU frame.
+            for node in venue.map.nodes() {
+                let enu = venue.true_transform.apply(node.pos);
+                let new_id = map.add_node(enu, node.tags.clone());
+                merged_nodes.insert((vi, node.id), new_id);
+            }
+            // Copy ways with remapped node references.
+            for way in venue.map.ways() {
+                let nodes: Vec<NodeId> =
+                    way.nodes.iter().map(|n| merged_nodes[&(vi, *n)]).collect();
+                map.add_way(nodes, way.tags.clone())
+                    .expect("remapped nodes exist");
+            }
+            // Fuse the entrance: connect the merged indoor entrance to
+            // the outdoor entrance node so routing crosses the doorway.
+            let indoor_entrance = merged_nodes[&(vi, venue.entrance_local)];
+            map.add_way(
+                vec![venue.entrance_outdoor, indoor_entrance],
+                Tags::new()
+                    .with("highway", "footway")
+                    .with("name", format!("{} door", venue.name)),
+            )
+            .expect("entrance nodes exist");
+        }
+        debug_assert!(map.validate().is_ok());
+        let _ = city;
+        let server = MapServer::spawn(
+            net,
+            MapServerConfig {
+                id: "central-omniscient".into(),
+                map,
+                beacons: Vec::new(),
+                tags: TagRegistry::new(),
+                policy: AccessPolicy::open(),
+                portals: Vec::new(),
+                location_hint: world.config.center,
+                radius_m: city_radius(world),
+                build_ch: false,
+            },
+        );
+        Self {
+            server,
+            merged_nodes,
+        }
+    }
+
+    /// The provider's frame (anchored at the city center).
+    pub fn frame(&self, world: &World) -> LocalFrame {
+        LocalFrame::new(world.config.center)
+    }
+
+    /// The merged node id for a venue-frame node, if this provider has
+    /// it.
+    pub fn merged_node(&self, venue: usize, node: NodeId) -> Option<NodeId> {
+        self.merged_nodes.get(&(venue, node)).copied()
+    }
+
+    /// The anchor of the provider's map.
+    pub fn anchor(&self) -> Option<LatLng> {
+        self.server.with_map(|m| match m.georef() {
+            GeoReference::Anchored { origin } => Some(origin),
+            GeoReference::Unaligned { .. } => None,
+        })
+    }
+}
+
+/// Radius covering the whole generated city.
+pub fn city_radius(world: &World) -> f64 {
+    let w = world.config.blocks_x as f64 * world.config.block_m;
+    let h = world.config.blocks_y as f64 * world.config.block_m;
+    (w.hypot(h) / 2.0) * 1.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_mapserver::Principal;
+    use openflame_worldgen::WorldConfig;
+
+    #[test]
+    fn public_provider_lacks_indoor_data() {
+        let net = SimNet::new(3);
+        let world = World::generate(WorldConfig::default());
+        let public = CentralizedProvider::public_only(&net, &world);
+        let product = &world.products[0];
+        let hits = public
+            .server
+            .search(
+                &Principal::anonymous(),
+                &product.name,
+                None,
+                f64::INFINITY,
+                5,
+            )
+            .unwrap();
+        assert!(hits.is_empty(), "§2: centralized maps lack store inventory");
+        // But it knows outdoor POIs.
+        let poi = public
+            .server
+            .search(
+                &Principal::anonymous(),
+                "restaurant",
+                None,
+                f64::INFINITY,
+                5,
+            )
+            .unwrap();
+        assert!(!poi.is_empty());
+    }
+
+    #[test]
+    fn omniscient_provider_finds_products_and_routes_to_them() {
+        let net = SimNet::new(3);
+        let world = World::generate(WorldConfig::default());
+        let omni = CentralizedProvider::omniscient(&net, &world);
+        let product = &world.products[0];
+        let hits = omni
+            .server
+            .search(
+                &Principal::anonymous(),
+                &product.name,
+                None,
+                f64::INFINITY,
+                5,
+            )
+            .unwrap();
+        assert!(!hits.is_empty());
+        // Door-to-shelf route exists in the merged graph.
+        let merged_shelf = omni.merged_node(product.venue, product.shelf).unwrap();
+        let outdoor_start = world.outdoor.nodes().next().unwrap().id;
+        let route = omni
+            .server
+            .route(&Principal::anonymous(), outdoor_start, merged_shelf)
+            .unwrap();
+        assert!(
+            route.is_some(),
+            "omniscient graph must connect street to shelf"
+        );
+    }
+
+    #[test]
+    fn merged_positions_match_ground_truth() {
+        let net = SimNet::new(3);
+        let world = World::generate(WorldConfig::default());
+        let omni = CentralizedProvider::omniscient(&net, &world);
+        let product = &world.products[3];
+        let merged = omni.merged_node(product.venue, product.shelf).unwrap();
+        let merged_pos = omni.server.with_map(|m| m.node(merged).unwrap().pos);
+        let truth_enu = world.venues[product.venue]
+            .true_transform
+            .apply(product.shelf_pos);
+        assert!(merged_pos.distance(truth_enu) < 1e-9);
+    }
+
+    #[test]
+    fn providers_are_anchored() {
+        let net = SimNet::new(3);
+        let world = World::generate(WorldConfig::default());
+        assert!(CentralizedProvider::public_only(&net, &world)
+            .anchor()
+            .is_some());
+        assert!(CentralizedProvider::omniscient(&net, &world)
+            .anchor()
+            .is_some());
+    }
+}

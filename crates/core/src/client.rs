@@ -1,0 +1,518 @@
+//! The OpenFLAME client: federated location-based services (§5.2).
+//!
+//! "In OpenFLAME, the client device first has to discover relevant map
+//! servers and request the required services from these map servers,
+//! stitching the results if required."
+
+use crate::discovery::{DiscoveredServer, DiscoveryClient};
+use crate::ClientError;
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_dns::Resolver;
+use openflame_geo::{LatLng, LocalFrame, Point2};
+use openflame_localize::LocationCue;
+use openflame_mapdata::{ElementId, NodeId};
+use openflame_mapserver::protocol::{
+    Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
+    WireSearchResult,
+};
+use openflame_mapserver::Principal;
+use openflame_netsim::{EndpointId, SimNet};
+use openflame_routing::{stitch_legs, LegMatrix};
+use openflame_search::{fuse_ranked, SearchResult};
+use openflame_tiles::{stitch::compose, Tile, TileCoord};
+use std::sync::Arc;
+
+/// A search hit with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedSearchHit {
+    /// The server that returned the hit.
+    pub server_id: String,
+    /// The server's endpoint (for follow-up requests such as routing).
+    pub endpoint: EndpointId,
+    /// The hit itself (positions are in the *server's* frame).
+    pub result: WireSearchResult,
+}
+
+/// One leg of a stitched route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteLeg {
+    /// The server whose map this leg crosses.
+    pub server_id: String,
+    /// The in-map route.
+    pub route: WireRoute,
+    /// Whether this leg's geometry is geo-anchored.
+    pub anchored: bool,
+}
+
+/// An end-to-end route stitched from per-server legs (§5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedRoute {
+    /// Legs in travel order.
+    pub legs: Vec<RouteLeg>,
+    /// Total cost, seconds.
+    pub total_cost: f64,
+    /// Total length, meters.
+    pub total_length_m: f64,
+    /// Number of map servers consulted while planning.
+    pub servers_consulted: usize,
+}
+
+/// The OpenFLAME client device.
+pub struct OpenFlameClient {
+    net: SimNet,
+    endpoint: EndpointId,
+    discovery: DiscoveryClient,
+    principal: Principal,
+    expand_neighbors: bool,
+}
+
+impl OpenFlameClient {
+    /// Creates a client on the network using `resolver` for discovery.
+    pub fn new(net: &SimNet, resolver: Arc<Resolver>, principal: Principal) -> Self {
+        let endpoint = net.register("openflame-client", None);
+        Self {
+            net: net.clone(),
+            endpoint,
+            discovery: DiscoveryClient::new(resolver),
+            principal,
+            expand_neighbors: true,
+        }
+    }
+
+    /// The discovery layer.
+    pub fn discovery(&self) -> &DiscoveryClient {
+        &self.discovery
+    }
+
+    /// The client's network endpoint.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// Sets the identity attached to subsequent requests.
+    pub fn set_principal(&mut self, principal: Principal) {
+        self.principal = principal;
+    }
+
+    /// Enables or disables neighbor-cell expansion during discovery
+    /// (ablation E12).
+    pub fn set_expand_neighbors(&mut self, expand: bool) {
+        self.expand_neighbors = expand;
+    }
+
+    /// Issues one request to one server.
+    pub fn call(&self, to: EndpointId, request: Request) -> Result<Response, ClientError> {
+        let env = Envelope {
+            principal: self.principal.clone(),
+            request,
+        };
+        let bytes = self
+            .net
+            .call(self.endpoint, to, to_bytes(&env).to_vec())
+            .map_err(|e| ClientError::Network(e.to_string()))?;
+        from_bytes::<Response>(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Capability handshake with a server.
+    pub fn hello(&self, to: EndpointId) -> Result<HelloInfo, ClientError> {
+        match self.call(to, Request::Hello)? {
+            Response::Hello(info) => Ok(info),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// Discovers map servers around a coarse location.
+    pub fn discover(&self, location: LatLng) -> Result<Vec<DiscoveredServer>, ClientError> {
+        self.discovery.discover(location, self.expand_neighbors)
+    }
+
+    // ----------------------------------------------------------------
+    // Federated services (§5.2).
+    // ----------------------------------------------------------------
+
+    /// Federated location-based search: scatter to every discovered
+    /// server, gather, and fuse rankings on the client.
+    pub fn federated_search(
+        &self,
+        query: &str,
+        location: LatLng,
+        k: usize,
+    ) -> Result<Vec<FederatedSearchHit>, ClientError> {
+        let servers = self.discover(location)?;
+        if servers.is_empty() {
+            return Err(ClientError::NothingDiscovered(format!(
+                "no servers near {location}"
+            )));
+        }
+        let mut lists: Vec<Vec<SearchResult>> = Vec::new();
+        let mut provenance: Vec<Vec<FederatedSearchHit>> = Vec::new();
+        for server in &servers {
+            // Anchored servers get a frame-local center so they can
+            // distance-rank; unaligned venue maps are small, so their
+            // whole extent is relevant (center unknown in their frame).
+            let center = self
+                .hello(server.endpoint)
+                .ok()
+                .and_then(|h| h.anchor)
+                .map(|anchor| LocalFrame::new(anchor).to_local(location));
+            let response = self.call(
+                server.endpoint,
+                Request::Search {
+                    query: query.to_string(),
+                    center,
+                    radius_m: 2_000.0,
+                    k: k as u32,
+                },
+            );
+            let results = match response {
+                Ok(Response::Search { results }) => results,
+                // A server may deny search (§5.3) — skip it, the show
+                // goes on with the rest of the federation.
+                Ok(Response::Error { .. }) | Err(_) => continue,
+                Ok(other) => return Err(unexpected("Search", &other)),
+            };
+            let mut list = Vec::with_capacity(results.len());
+            let mut prov = Vec::with_capacity(results.len());
+            for r in results {
+                list.push(SearchResult {
+                    element: r.element,
+                    pos: r.pos,
+                    text_score: r.score,
+                    distance_m: r.distance_m,
+                    score: r.score,
+                    label: r.label.clone(),
+                });
+                prov.push(FederatedSearchHit {
+                    server_id: server.server_id.clone(),
+                    endpoint: server.endpoint,
+                    result: r,
+                });
+            }
+            lists.push(list);
+            provenance.push(prov);
+        }
+        // Client-side rank fusion (§5.2: "the client would then rank
+        // results from multiple map servers"). RRF merges the
+        // heterogeneous per-server rankings; a client-side relevance
+        // check against the query then dominates, so an exact match from
+        // one store outranks a near-miss stocked in several (server
+        // scores are not comparable, but the client can always score
+        // returned labels against its own query).
+        // Fuse without truncation: the final cut happens after the
+        // relevance re-scoring, otherwise a large federation can crowd
+        // the exact match out of the fused prefix.
+        let fused = fuse_ranked(lists, usize::MAX);
+        let mut out: Vec<(f64, FederatedSearchHit)> = Vec::with_capacity(fused.len());
+        for f in fused {
+            let source_list = &provenance[f.source];
+            if let Some(hit) = source_list
+                .iter()
+                .find(|h| h.result.label == f.result.label && h.result.element == f.result.element)
+            {
+                let relevance = label_relevance(query, &hit.result.label);
+                out.push((relevance * (1.0 + f.fused_score), hit.clone()));
+            }
+        }
+        out.sort_by(|a, b| b.0.total_cmp(&a.0));
+        out.truncate(k);
+        Ok(out.into_iter().map(|(_, h)| h).collect())
+    }
+
+    /// Federated forward geocode: coarse lookup on the world provider,
+    /// then refinement by servers discovered at the coarse location
+    /// (§5.2).
+    pub fn federated_geocode(
+        &self,
+        address: &str,
+        world_provider: EndpointId,
+        k: usize,
+    ) -> Result<Vec<(String, WireGeocodeHit)>, ClientError> {
+        // Step 1: coarse position from the world-map provider.
+        let coarse = match self.call(
+            world_provider,
+            Request::Geocode {
+                query: address.to_string(),
+                k: 1,
+            },
+        )? {
+            Response::Geocode { hits } => hits.into_iter().next(),
+            other => return Err(unexpected("Geocode", &other)),
+        };
+        let Some(coarse_hit) = coarse else {
+            return Err(ClientError::NotFound(format!(
+                "no coarse geocode for {address:?}"
+            )));
+        };
+        let anchor = self
+            .hello(world_provider)?
+            .anchor
+            .ok_or_else(|| ClientError::Protocol("world provider must be anchored".into()))?;
+        let coarse_geo = LocalFrame::new(anchor).from_local(coarse_hit.pos);
+        // Step 2: fine geocode on the servers discovered there.
+        let mut out = vec![("world".to_string(), coarse_hit)];
+        for server in self.discover(coarse_geo)? {
+            if server.endpoint == world_provider {
+                continue;
+            }
+            if let Ok(Response::Geocode { hits }) = self.call(
+                server.endpoint,
+                Request::Geocode {
+                    query: address.to_string(),
+                    k: k as u32,
+                },
+            ) {
+                for hit in hits {
+                    out.push((server.server_id.clone(), hit));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+        out.truncate(k);
+        Ok(out)
+    }
+
+    /// Routes from a street position to a search result, stitching an
+    /// outdoor leg and (if the target is in a venue) an indoor leg at
+    /// the portal the §5.2 dynamic program selects.
+    pub fn federated_route(
+        &self,
+        from: LatLng,
+        target: &FederatedSearchHit,
+    ) -> Result<FederatedRoute, ClientError> {
+        let target_node = match target.result.element {
+            ElementId::Node(n) => n,
+            _ => {
+                return Err(ClientError::NotFound(
+                    "route targets must be node elements".into(),
+                ))
+            }
+        };
+        let target_hello = self.hello(target.endpoint)?;
+        let mut servers_consulted = 1usize;
+        if let Some(anchor) = target_hello.anchor {
+            // Single anchored map covers both endpoints.
+            let frame = LocalFrame::new(anchor);
+            let from_node = self.nearest_node(target.endpoint, frame.to_local(from))?;
+            let route = self.route_on(target.endpoint, from_node, target_node)?;
+            return Ok(FederatedRoute {
+                total_cost: route.cost,
+                total_length_m: route.length_m,
+                legs: vec![RouteLeg {
+                    server_id: target.server_id.clone(),
+                    route,
+                    anchored: true,
+                }],
+                servers_consulted,
+            });
+        }
+        // Venue target: outdoor leg to a portal, indoor leg to the node.
+        if target_hello.portals.is_empty() {
+            return Err(ClientError::NotFound(format!(
+                "venue {} advertises no portals",
+                target.server_id
+            )));
+        }
+        // Find the outdoor provider covering the start.
+        let outdoor = self
+            .discover(from)?
+            .into_iter()
+            .filter(|s| s.endpoint != target.endpoint)
+            .find_map(|s| {
+                let hello = self.hello(s.endpoint).ok()?;
+                hello.anchor.map(|anchor| (s, anchor))
+            })
+            .ok_or_else(|| ClientError::NothingDiscovered("no anchored outdoor provider".into()))?;
+        servers_consulted += 1;
+        let (outdoor_server, outdoor_anchor) = outdoor;
+        let outdoor_frame = LocalFrame::new(outdoor_anchor);
+        let from_node = self.nearest_node(outdoor_server.endpoint, outdoor_frame.to_local(from))?;
+        // Outdoor-side portal nodes from the advertised geo hints.
+        let mut outdoor_portals = Vec::with_capacity(target_hello.portals.len());
+        for (_, hint) in &target_hello.portals {
+            outdoor_portals
+                .push(self.nearest_node(outdoor_server.endpoint, outdoor_frame.to_local(*hint))?);
+        }
+        let venue_portals: Vec<NodeId> = target_hello
+            .portals
+            .iter()
+            .map(|(n, _)| NodeId(*n))
+            .collect();
+        // Cost matrices from both servers, then the stitching DP.
+        let outdoor_matrix =
+            self.route_matrix(outdoor_server.endpoint, &[from_node], &outdoor_portals)?;
+        let venue_matrix = self.route_matrix(target.endpoint, &venue_portals, &[target_node])?;
+        let plan = stitch_legs(&[
+            LegMatrix::new(outdoor_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
+            LegMatrix::new(venue_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
+        ])
+        .map_err(|e| ClientError::NotFound(format!("no stitched path: {e}")))?;
+        let portal_idx = plan.portal_choices[0];
+        // Fetch the actual legs for the chosen portal.
+        let outdoor_route = self.route_on(
+            outdoor_server.endpoint,
+            from_node,
+            outdoor_portals[portal_idx],
+        )?;
+        let venue_route = self.route_on(target.endpoint, venue_portals[portal_idx], target_node)?;
+        Ok(FederatedRoute {
+            total_cost: outdoor_route.cost + venue_route.cost,
+            total_length_m: outdoor_route.length_m + venue_route.length_m,
+            legs: vec![
+                RouteLeg {
+                    server_id: outdoor_server.server_id.clone(),
+                    route: outdoor_route,
+                    anchored: true,
+                },
+                RouteLeg {
+                    server_id: target.server_id.clone(),
+                    route: venue_route,
+                    anchored: false,
+                },
+            ],
+            servers_consulted,
+        })
+    }
+
+    /// Federated localization: send each discovered server the cues its
+    /// advertisement accepts, gather estimates, best (smallest error)
+    /// first (§5.2).
+    pub fn federated_localize(
+        &self,
+        coarse: LatLng,
+        cues: &[LocationCue],
+    ) -> Result<Vec<(String, WireEstimate)>, ClientError> {
+        let servers = self.discover(coarse)?;
+        let mut out: Vec<(String, WireEstimate)> = Vec::new();
+        for server in servers {
+            let matching: Vec<LocationCue> = cues
+                .iter()
+                .filter(|c| server.accepts_cue(c.technology()))
+                .cloned()
+                .collect();
+            if matching.is_empty() {
+                continue;
+            }
+            if let Ok(Response::Localize { estimates }) =
+                self.call(server.endpoint, Request::Localize { cues: matching })
+            {
+                for e in estimates {
+                    out.push((server.server_id.clone(), e));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.error_m.total_cmp(&b.1.error_m));
+        Ok(out)
+    }
+
+    /// Federated tiles: fetch the tile covering `center` at zoom `z`
+    /// from every discovered anchored server and compose them (§5.2).
+    pub fn federated_tile(&self, center: LatLng, z: u8) -> Result<Tile, ClientError> {
+        let (x, y) = openflame_geo::Mercator::tile_for(center, z);
+        let coord = TileCoord { z, x, y };
+        let mut layers: Vec<Tile> = Vec::new();
+        for server in self.discover(center)? {
+            match self.call(server.endpoint, Request::GetTile { z, x, y }) {
+                Ok(Response::Tile { rgb, .. }) => {
+                    if let Some(tile) = Tile::from_rgb(coord, &rgb) {
+                        layers.push(tile);
+                    }
+                }
+                // Unaligned venues and denied servers simply don't
+                // contribute a layer.
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        if layers.is_empty() {
+            return Err(ClientError::NothingDiscovered(format!(
+                "no tile-serving providers near {center}"
+            )));
+        }
+        let refs: Vec<&Tile> = layers.iter().collect();
+        Ok(compose(&refs))
+    }
+
+    // ----------------------------------------------------------------
+    // Single-server helpers.
+    // ----------------------------------------------------------------
+
+    /// Nearest routable node on a server.
+    pub fn nearest_node(&self, to: EndpointId, pos: Point2) -> Result<NodeId, ClientError> {
+        match self.call(to, Request::NearestNode { pos })? {
+            Response::NearestNode {
+                node: Some((id, _)),
+            } => Ok(NodeId(id)),
+            Response::NearestNode { node: None } => {
+                Err(ClientError::NotFound("server has no routable nodes".into()))
+            }
+            other => Err(unexpected("NearestNode", &other)),
+        }
+    }
+
+    /// Point-to-point route on one server.
+    pub fn route_on(
+        &self,
+        to: EndpointId,
+        from: NodeId,
+        dest: NodeId,
+    ) -> Result<WireRoute, ClientError> {
+        match self.call(
+            to,
+            Request::Route {
+                from: from.0,
+                to: dest.0,
+            },
+        )? {
+            Response::Route { route: Some(route) } => Ok(route),
+            Response::Route { route: None } => {
+                Err(ClientError::NotFound("no path on server".into()))
+            }
+            other => Err(unexpected("Route", &other)),
+        }
+    }
+
+    /// Portal cost matrix from one server.
+    pub fn route_matrix(
+        &self,
+        to: EndpointId,
+        entries: &[NodeId],
+        exits: &[NodeId],
+    ) -> Result<Vec<Vec<f64>>, ClientError> {
+        let request = Request::RouteMatrix {
+            entries: entries.iter().map(|n| n.0).collect(),
+            exits: exits.iter().map(|n| n.0).collect(),
+        };
+        match self.call(to, request)? {
+            Response::RouteMatrix { costs } => Ok(costs),
+            other => Err(unexpected("RouteMatrix", &other)),
+        }
+    }
+}
+
+/// Harmonic token-coverage relevance of a result label for a query
+/// (same blend the geocoder uses): 1.0 for an exact token match, lower
+/// when either side has unmatched tokens.
+fn label_relevance(query: &str, label: &str) -> f64 {
+    let q = openflame_geocode::tokenize(query);
+    let l = openflame_geocode::tokenize(label);
+    if q.is_empty() || l.is_empty() {
+        return 0.0;
+    }
+    let matched = q.iter().filter(|t| l.contains(t)).count() as f64;
+    if matched == 0.0 {
+        return 0.0;
+    }
+    let qc = matched / q.len() as f64;
+    let lc = matched / l.len() as f64;
+    2.0 * qc * lc / (qc + lc)
+}
+
+fn unexpected(expected: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { code, message } => ClientError::Server {
+            server_id: String::new(),
+            code: *code,
+            message: message.clone(),
+        },
+        other => ClientError::Protocol(format!("expected {expected}, got {other:?}")),
+    }
+}

@@ -1,0 +1,316 @@
+//! One-call setup of a complete federated deployment.
+//!
+//! Builds the whole Figure-2 stack over a generated world: the DNS
+//! hierarchy (root → `flame.` → `cell.flame.` → optional per-area shard
+//! zones), a caching resolver, the outdoor world-map provider, one map
+//! server per venue with its covering registered in DNS, and an
+//! [`OpenFlameClient`].
+
+use crate::client::OpenFlameClient;
+use crate::ClientError;
+use openflame_cells::{CellId, Region, RegionCoverer};
+use openflame_dns::{AuthServer, DomainName, Record, RecordData, Resolver, ResolverConfig, Zone};
+use openflame_localize::TagRegistry;
+use openflame_mapserver::naming::{cell_to_name, cell_to_wildcard, SPATIAL_ROOT};
+use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig, Principal};
+use openflame_netsim::SimNet;
+use openflame_worldgen::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Deployment knobs.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Network RNG seed.
+    pub net_seed: u64,
+    /// Cell level for zone coverings (E3 sweeps this).
+    pub covering_level: u8,
+    /// Cell level at which the spatial zone is sharded across
+    /// authoritative servers (delegation cuts).
+    pub shard_level: u8,
+    /// Number of authoritative shard servers (1 = no sharding; E10
+    /// sweeps this).
+    pub dns_shards: usize,
+    /// Resolver configuration.
+    pub resolver: ResolverConfig,
+    /// Access policy installed on every venue server.
+    pub venue_policy: AccessPolicy,
+    /// Whether servers precompute contraction hierarchies.
+    pub build_ch: bool,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        Self {
+            net_seed: 7,
+            covering_level: 13,
+            shard_level: 11,
+            dns_shards: 1,
+            resolver: ResolverConfig::default(),
+            venue_policy: AccessPolicy::open(),
+            build_ch: false,
+        }
+    }
+}
+
+/// A running federated deployment.
+pub struct Deployment {
+    /// The simulated network.
+    pub net: SimNet,
+    /// The generated world (ground truth).
+    pub world: World,
+    /// Root DNS server.
+    pub root_dns: Arc<AuthServer>,
+    /// `flame.` TLD server.
+    pub tld_dns: Arc<AuthServer>,
+    /// `cell.flame.` parent server (holds delegations when sharded).
+    pub cell_dns: Arc<AuthServer>,
+    /// Shard servers hosting delegated per-area zones.
+    pub shard_dns: Vec<Arc<AuthServer>>,
+    /// The shared caching resolver.
+    pub resolver: Arc<Resolver>,
+    /// The outdoor world-map provider (anchored).
+    pub outdoor_server: Arc<MapServer>,
+    /// One server per venue, same order as `world.venues`.
+    pub venue_servers: Vec<Arc<MapServer>>,
+    /// The OpenFLAME client.
+    pub client: OpenFlameClient,
+    /// Which shard each delegated cell zone landed on.
+    pub shard_of_cell: HashMap<CellId, usize>,
+    config: DeploymentConfig,
+}
+
+impl Deployment {
+    /// Builds and wires the whole deployment.
+    pub fn build(world: World, config: DeploymentConfig) -> Self {
+        let net = SimNet::new(config.net_seed);
+        // ---- DNS hierarchy.
+        let spatial_root = DomainName::parse(SPATIAL_ROOT).expect("constant parses");
+        let cell_dns = AuthServer::spawn(&net, "cell-zone", vec![Zone::new(spatial_root.clone())]);
+        let shard_dns: Vec<Arc<AuthServer>> = (0..config.dns_shards.max(1))
+            .skip(1)
+            .map(|i| AuthServer::spawn(&net, format!("cell-shard{i}"), Vec::new()))
+            .collect();
+        let mut tld_zone = Zone::new(DomainName::parse("flame.").expect("valid"));
+        tld_zone.delegate(
+            spatial_root.clone(),
+            DomainName::parse("ns.cell.flame.").expect("valid"),
+            cell_dns.endpoint().0,
+        );
+        let tld_dns = AuthServer::spawn(&net, "flame-tld", vec![tld_zone]);
+        let mut root_zone = Zone::new(DomainName::root());
+        root_zone.delegate(
+            DomainName::parse("flame.").expect("valid"),
+            DomainName::parse("ns.flame.").expect("valid"),
+            tld_dns.endpoint().0,
+        );
+        let root_dns = AuthServer::spawn(&net, "root", vec![root_zone]);
+        let resolver = Arc::new(Resolver::with_config(
+            &net,
+            "campus-resolver",
+            vec![root_dns.endpoint()],
+            config.resolver,
+        ));
+
+        // ---- Map servers.
+        let outdoor_server = MapServer::spawn(
+            &net,
+            MapServerConfig {
+                id: "world-map".into(),
+                map: world.outdoor.clone(),
+                beacons: Vec::new(),
+                tags: TagRegistry::new(),
+                policy: AccessPolicy::open(),
+                portals: Vec::new(),
+                location_hint: world.config.center,
+                radius_m: crate::centralized::city_radius(&world),
+                build_ch: config.build_ch,
+            },
+        );
+        let mut venue_servers = Vec::with_capacity(world.venues.len());
+        for (i, venue) in world.venues.iter().enumerate() {
+            let city = world.city_frame();
+            let entrance_outdoor_geo = city.from_local(
+                world
+                    .outdoor
+                    .node(venue.entrance_outdoor)
+                    .expect("entrance exists")
+                    .pos,
+            );
+            venue_servers.push(MapServer::spawn(
+                &net,
+                MapServerConfig {
+                    id: format!("venue-{i}"),
+                    map: venue.map.clone(),
+                    beacons: venue.beacons.clone(),
+                    tags: venue.tags.clone(),
+                    policy: config.venue_policy.clone(),
+                    portals: vec![(venue.entrance_local, entrance_outdoor_geo)],
+                    location_hint: venue.hint,
+                    radius_m: venue.radius_m,
+                    build_ch: config.build_ch,
+                },
+            ));
+        }
+
+        let client = OpenFlameClient::new(&net, resolver.clone(), Principal::anonymous());
+        let mut deployment = Self {
+            net,
+            world,
+            root_dns,
+            tld_dns,
+            cell_dns,
+            shard_dns,
+            resolver,
+            outdoor_server,
+            venue_servers,
+            client,
+            shard_of_cell: HashMap::new(),
+            config,
+        };
+        // ---- Registrations.
+        let outdoor = deployment.outdoor_server.clone();
+        deployment.register(&outdoor);
+        let venues: Vec<Arc<MapServer>> = deployment.venue_servers.clone();
+        for server in &venues {
+            deployment.register(server);
+        }
+        deployment
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// Registers a server's covering, sharding zones if configured.
+    pub fn register(&mut self, server: &MapServer) {
+        let region = Region::Cap {
+            center: server.location_hint(),
+            radius_m: server.radius_m(),
+        };
+        let cells = RegionCoverer::default().covering_at_level(&region, self.config.covering_level);
+        let hello = server.hello();
+        let data = RecordData::MapSrv {
+            endpoint: server.endpoint().0,
+            server_id: server.id().to_string(),
+            services: hello
+                .services
+                .iter()
+                .cloned()
+                .chain(
+                    hello
+                        .localization_techs
+                        .iter()
+                        .map(|t| format!("localize:{t}")),
+                )
+                .collect(),
+        };
+        let total_shards = self.config.dns_shards.max(1);
+        for cell in cells {
+            let exact = cell_to_name(cell);
+            let wildcard = cell_to_wildcard(cell);
+            if total_shards == 1 {
+                self.cell_dns.with_zones_mut(|zones| {
+                    zones[0].add(Record::new(exact.clone(), 300, data.clone()));
+                    zones[0].add(Record::new(wildcard.clone(), 300, data.clone()));
+                });
+                continue;
+            }
+            // Sharded: the record lives in the zone of the cell's
+            // shard-level ancestor, delegated from the parent zone.
+            let shard_cell = cell
+                .parent_at(self.config.shard_level.min(cell.level()))
+                .expect("ancestor exists");
+            // Cell ids have long runs of zero low bits (the sentinel
+            // layout), so mix before reducing modulo the shard count.
+            let shard_idx = (shard_cell.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize
+                % total_shards;
+            let zone_origin = cell_to_name(shard_cell);
+            // Shard 0 is the parent server itself.
+            let host: &Arc<AuthServer> = if shard_idx == 0 {
+                &self.cell_dns
+            } else {
+                &self.shard_dns[shard_idx - 1]
+            };
+            if !self.shard_of_cell.contains_key(&shard_cell) {
+                self.shard_of_cell.insert(shard_cell, shard_idx);
+                host.with_zones_mut(|zones| zones.push(Zone::new(zone_origin.clone())));
+                if shard_idx != 0 {
+                    let ns_host = zone_origin.child("ns").expect("valid label");
+                    let glue = host.endpoint().0;
+                    self.cell_dns.with_zones_mut(|zones| {
+                        zones[0].delegate(zone_origin.clone(), ns_host, glue);
+                    });
+                }
+            }
+            host.with_zones_mut(|zones| {
+                let zone = zones
+                    .iter_mut()
+                    .find(|z| z.origin() == &zone_origin)
+                    .expect("zone created above");
+                zone.add(Record::new(exact.clone(), 300, data.clone()));
+                zone.add(Record::new(wildcard.clone(), 300, data.clone()));
+            });
+        }
+    }
+
+    /// Convenience: the venue server index discovered for a product, by
+    /// searching the federation.
+    pub fn find_product(
+        &self,
+        product_name: &str,
+        near: openflame_geo::LatLng,
+    ) -> Result<crate::client::FederatedSearchHit, ClientError> {
+        let hits = self.client.federated_search(product_name, near, 5)?;
+        hits.into_iter()
+            .next()
+            .ok_or_else(|| ClientError::NotFound(format!("product {product_name:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_worldgen::WorldConfig;
+
+    #[test]
+    fn deployment_builds_and_registers() {
+        let dep = Deployment::build(
+            World::generate(WorldConfig::default()),
+            DeploymentConfig::default(),
+        );
+        assert_eq!(dep.venue_servers.len(), dep.world.venues.len());
+        let records = dep.cell_dns.record_count();
+        assert!(records > 0, "registrations must land in the cell zone");
+    }
+
+    #[test]
+    fn sharded_deployment_distributes_zones() {
+        let dep = Deployment::build(
+            World::generate(WorldConfig::default()),
+            DeploymentConfig {
+                dns_shards: 4,
+                ..DeploymentConfig::default()
+            },
+        );
+        assert_eq!(dep.shard_dns.len(), 3, "shard 0 is the parent server");
+        // Discovery still works through delegations.
+        let hint = dep.world.venues[0].hint;
+        let found = dep.client.discovery().discover(hint, true).unwrap();
+        assert!(found.iter().any(|s| s.server_id.starts_with("venue-0")));
+    }
+
+    #[test]
+    fn full_text_search_through_deployment() {
+        let dep = Deployment::build(
+            World::generate(WorldConfig::default()),
+            DeploymentConfig::default(),
+        );
+        let product = &dep.world.products[0];
+        let hint = dep.world.venues[product.venue].hint;
+        let hit = dep.find_product(&product.name, hint).unwrap();
+        assert_eq!(hit.result.label, product.name);
+        assert_eq!(hit.server_id, format!("venue-{}", product.venue));
+    }
+}

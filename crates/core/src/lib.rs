@@ -1,0 +1,76 @@
+//! OpenFLAME: the federated spatial naming system (the paper's
+//! contribution).
+//!
+//! This crate ties the substrates together into the two architectures
+//! the paper contrasts:
+//!
+//! - **Figure 2 — federated**: [`OpenFlameClient`] discovers map servers
+//!   through DNS ([`DiscoveryClient`]), then provides every
+//!   location-based service of §4 by scattering requests across the
+//!   discovered servers and stitching the results on the client
+//!   (federated geocode, search, routing with portal stitching,
+//!   localization with plausibility selection, tile composition — §5.2).
+//! - **Figure 1 — centralized**: [`CentralizedProvider`] serves the same
+//!   client API from a single monolithic map, in two flavors:
+//!   `public_only` (outdoor data only — the realistic Google-Maps
+//!   baseline whose indoor blindness motivates the paper) and
+//!   `omniscient` (all data merged — the unrealizable upper bound used
+//!   to score federated route quality).
+//!
+//! [`Deployment`] stands up a complete simulated world — DNS hierarchy,
+//! resolver, outdoor provider, one map server per venue — in one call,
+//! and [`scenario`] runs the §2 grocery end-to-end scenario on top.
+
+pub mod centralized;
+pub mod client;
+pub mod deployment;
+pub mod discovery;
+pub mod scenario;
+
+pub use centralized::CentralizedProvider;
+pub use client::{FederatedRoute, OpenFlameClient, RouteLeg};
+pub use deployment::{Deployment, DeploymentConfig};
+pub use discovery::{DiscoveredServer, DiscoveryClient, DiscoveryStats};
+pub use scenario::{run_grocery_scenario, GroceryScenarioReport, ProviderKind};
+
+/// Errors surfaced by the OpenFLAME client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// No map servers were discovered for the location.
+    NothingDiscovered(String),
+    /// The network failed.
+    Network(String),
+    /// A server returned an error response.
+    Server {
+        /// Server id, if known.
+        server_id: String,
+        /// Error code from the response.
+        code: u8,
+        /// Error message.
+        message: String,
+    },
+    /// A response could not be decoded or had the wrong kind.
+    Protocol(String),
+    /// The requested object could not be found.
+    NotFound(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::NothingDiscovered(msg) => write!(f, "nothing discovered: {msg}"),
+            ClientError::Network(msg) => write!(f, "network: {msg}"),
+            ClientError::Server {
+                server_id,
+                code,
+                message,
+            } => {
+                write!(f, "server {server_id} error {code}: {message}")
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::NotFound(msg) => write!(f, "not found: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}

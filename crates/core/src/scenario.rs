@@ -1,0 +1,431 @@
+//! The §2 grocery-navigation scenario, end to end.
+//!
+//! "A user wishes to search for a product of interest, e.g., a
+//! particular flavor of seaweed, near their location. The application
+//! then provides the user with pedestrian navigation guidance to the
+//! exact shelf in a grocery store nearby that stocks the seaweed."
+//!
+//! [`run_grocery_scenario`] executes that flow under each provider
+//! architecture and reports what succeeded — the executable form of the
+//! paper's Figure 1 vs Figure 2 comparison (experiment E1).
+
+use crate::centralized::CentralizedProvider;
+use crate::deployment::{Deployment, DeploymentConfig};
+use crate::ClientError;
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_geo::LatLng;
+use openflame_localize::{GnssModel, LocationCue, RadioMap};
+use openflame_mapdata::ElementId;
+use openflame_mapserver::protocol::{Envelope, Request, Response};
+use openflame_mapserver::Principal;
+use openflame_netsim::SimNet;
+use openflame_worldgen::{WalkTrace, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which architecture serves the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderKind {
+    /// Figure 2: OpenFLAME federation.
+    Federated,
+    /// Figure 1 with realistic data: outdoor public map only.
+    CentralizedPublic,
+    /// Figure 1 with impossible data: everything merged (upper bound).
+    CentralizedOmniscient,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct GroceryScenarioReport {
+    /// The architecture measured.
+    pub provider: ProviderKind,
+    /// The product searched for.
+    pub product: String,
+    /// Whether the product was found at all.
+    pub found_product: bool,
+    /// Whether navigation reached the exact shelf (vs. at best the
+    /// storefront).
+    pub route_reaches_shelf: bool,
+    /// Total route length if any route was produced, meters.
+    pub route_length_m: Option<f64>,
+    /// Median localization error along the walk, outdoors, meters.
+    pub outdoor_median_err_m: Option<f64>,
+    /// Median localization error along the walk, indoors, meters.
+    /// `None` when no indoor estimates were available at all.
+    pub indoor_median_err_m: Option<f64>,
+    /// Fraction of indoor samples with any localization estimate.
+    pub indoor_availability: f64,
+    /// Messages exchanged during the scenario.
+    pub messages: u64,
+    /// Bytes exchanged during the scenario.
+    pub bytes: u64,
+}
+
+fn median(values: &mut Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    Some(values[values.len() / 2])
+}
+
+/// Runs the scenario for `product_idx` under the chosen architecture.
+///
+/// The user starts on the street ~80 m from the store, searches for the
+/// product, navigates toward the shelf, and localizes continuously
+/// along the way.
+pub fn run_grocery_scenario(
+    world: &World,
+    provider: ProviderKind,
+    product_idx: usize,
+    seed: u64,
+) -> Result<GroceryScenarioReport, ClientError> {
+    match provider {
+        ProviderKind::Federated => run_federated(world.clone(), product_idx, seed),
+        ProviderKind::CentralizedPublic => run_centralized(world, product_idx, seed, false),
+        ProviderKind::CentralizedOmniscient => run_centralized(world, product_idx, seed, true),
+    }
+}
+
+/// Generates the localization cue stream along the ground-truth walk.
+fn localization_cues(
+    world: &World,
+    venue_idx: usize,
+    trace: &WalkTrace,
+    seed: u64,
+) -> Vec<(usize, LatLng, Vec<LocationCue>, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10ca71e);
+    let gnss = GnssModel::default();
+    let venue = &world.venues[venue_idx];
+    let radio = RadioMap::survey(
+        venue.beacons.clone(),
+        openflame_geo::Point2::new(-5.0, -5.0),
+        openflame_geo::Point2::new(60.0, 45.0),
+        2.0,
+    );
+    let mut out = Vec::new();
+    for (i, sample) in trace.samples.iter().enumerate().step_by(5) {
+        let mut cues = Vec::new();
+        if let Some(cue) = gnss.sample(&mut rng, sample.geo, sample.indoors) {
+            cues.push(cue);
+        }
+        if let Some((v, local)) = sample.venue_local {
+            debug_assert_eq!(v, venue_idx);
+            cues.push(radio.observe(&mut rng, local, 3.0));
+        }
+        out.push((i, sample.geo, cues, sample.indoors));
+    }
+    out
+}
+
+fn run_federated(
+    world: World,
+    product_idx: usize,
+    seed: u64,
+) -> Result<GroceryScenarioReport, ClientError> {
+    let product = world.products[product_idx].clone();
+    let venue_idx = product.venue;
+    let dep = Deployment::build(
+        world,
+        DeploymentConfig {
+            net_seed: seed,
+            ..Default::default()
+        },
+    );
+    dep.net.reset_stats();
+    // The user stands on the street near the store (coarse GPS puts
+    // discovery in the right cell).
+    let user_geo = dep.world.venues[venue_idx].hint.destination(225.0, 80.0);
+    // 1. Search for the product.
+    let hit = dep.find_product(&product.name, user_geo)?;
+    let found_product = hit.result.label == product.name;
+    // 2. Navigate to the shelf.
+    let route = dep.client.federated_route(user_geo, &hit)?;
+    let reaches = match hit.result.element {
+        ElementId::Node(n) => {
+            route
+                .legs
+                .last()
+                .and_then(|leg| leg.route.nodes.last().copied())
+                == Some(n.0)
+        }
+        _ => false,
+    };
+    // 3. Localize along the walk.
+    let trace = WalkTrace::into_venue(&dep.world, venue_idx, 80.0);
+    let mut outdoor_errs = Vec::new();
+    let mut indoor_errs = Vec::new();
+    let mut indoor_total = 0usize;
+    let mut indoor_answered = 0usize;
+    for (i, coarse_geo, cues, indoors) in localization_cues(&dep.world, venue_idx, &trace, seed) {
+        if cues.is_empty() {
+            if indoors {
+                indoor_total += 1;
+            }
+            continue;
+        }
+        let estimates = dep.client.federated_localize(coarse_geo, &cues)?;
+        let sample = &trace.samples[i];
+        if indoors {
+            indoor_total += 1;
+            // Indoor truth is in the venue frame; venue estimates are in
+            // the same frame, so the error is directly comparable.
+            let venue_estimate = estimates.iter().find(|(sid, _)| sid.starts_with("venue-"));
+            if let Some((_, est)) = venue_estimate {
+                indoor_answered += 1;
+                let (_, local_truth) = sample.venue_local.expect("indoor sample");
+                indoor_errs.push(est.pos.distance(local_truth));
+            }
+        } else if let Some((_, est)) = estimates.iter().find(|(_, e)| e.technology == "gnss") {
+            // Outdoor estimates live in the world-map frame.
+            let hello = dep.client.hello(dep.outdoor_server.endpoint())?;
+            let anchor = hello.anchor.expect("outdoor map is anchored");
+            let est_geo = openflame_geo::LocalFrame::new(anchor).from_local(est.pos);
+            outdoor_errs.push(est_geo.haversine_distance(sample.geo));
+        }
+    }
+    let stats = dep.net.stats();
+    Ok(GroceryScenarioReport {
+        provider: ProviderKind::Federated,
+        product: product.name.clone(),
+        found_product,
+        route_reaches_shelf: reaches,
+        route_length_m: Some(route.total_length_m),
+        outdoor_median_err_m: median(&mut outdoor_errs),
+        indoor_median_err_m: median(&mut indoor_errs),
+        indoor_availability: if indoor_total == 0 {
+            0.0
+        } else {
+            indoor_answered as f64 / indoor_total as f64
+        },
+        messages: stats.messages,
+        bytes: stats.bytes,
+    })
+}
+
+fn run_centralized(
+    world: &World,
+    product_idx: usize,
+    seed: u64,
+    omniscient: bool,
+) -> Result<GroceryScenarioReport, ClientError> {
+    let product = world.products[product_idx].clone();
+    let venue_idx = product.venue;
+    let net = SimNet::new(seed);
+    let provider = if omniscient {
+        CentralizedProvider::omniscient(&net, world)
+    } else {
+        CentralizedProvider::public_only(&net, world)
+    };
+    let client_ep = net.register("central-client", None);
+    net.reset_stats();
+    let principal = Principal::anonymous();
+    // All centralized interactions go over the simulated network too,
+    // so message/byte accounting is comparable with the federation.
+    let rpc = |request: Request| -> Result<Response, ClientError> {
+        let env = Envelope {
+            principal: Principal::anonymous(),
+            request,
+        };
+        let bytes = net
+            .call(
+                client_ep,
+                provider.server.endpoint(),
+                to_bytes(&env).to_vec(),
+            )
+            .map_err(|e| ClientError::Network(e.to_string()))?;
+        from_bytes::<Response>(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))
+    };
+    let user_geo = world.venues[venue_idx].hint.destination(225.0, 80.0);
+    let frame = provider.frame(world);
+    // 1. Search the central index.
+    let results = match rpc(Request::Search {
+        query: product.name.clone(),
+        center: Some(frame.to_local(user_geo)),
+        radius_m: 5_000.0,
+        k: 5,
+    })? {
+        Response::Search { results } => results,
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected Search, got {other:?}"
+            )))
+        }
+    };
+    let found_product = results
+        .first()
+        .map(|r| r.label == product.name)
+        .unwrap_or(false);
+    // 2. Route as far as the data allows.
+    let (route_len, reaches) = if found_product {
+        let target = match results[0].element {
+            ElementId::Node(n) => n,
+            _ => product.shelf,
+        };
+        let start = match rpc(Request::NearestNode {
+            pos: frame.to_local(user_geo),
+        })? {
+            Response::NearestNode {
+                node: Some((id, _)),
+            } => id,
+            _ => return Err(ClientError::NotFound("no outdoor nodes".into())),
+        };
+        match rpc(Request::Route {
+            from: start,
+            to: target.0,
+        })? {
+            Response::Route { route: Some(route) } => {
+                let reaches = route.nodes.last().copied() == Some(target.0);
+                (Some(route.length_m), reaches)
+            }
+            _ => (None, false),
+        }
+    } else {
+        // Fall back to routing to the storefront (the §2 status quo:
+        // guidance stops at the door).
+        let store_hits = provider
+            .server
+            .search(
+                &principal,
+                &world.venues[venue_idx].name,
+                None,
+                f64::INFINITY,
+                1,
+            )
+            .unwrap_or_default();
+        match store_hits.first() {
+            Some(hit) => {
+                let start = match rpc(Request::NearestNode {
+                    pos: frame.to_local(user_geo),
+                })? {
+                    Response::NearestNode {
+                        node: Some((id, _)),
+                    } => id,
+                    _ => return Err(ClientError::NotFound("no outdoor nodes".into())),
+                };
+                let end = match rpc(Request::NearestNode { pos: hit.pos })? {
+                    Response::NearestNode {
+                        node: Some((id, _)),
+                    } => id,
+                    _ => return Err(ClientError::NotFound("no outdoor nodes".into())),
+                };
+                match rpc(Request::Route {
+                    from: start,
+                    to: end,
+                })? {
+                    Response::Route { route: Some(route) } => (Some(route.length_m), false),
+                    _ => (None, false),
+                }
+            }
+            None => (None, false),
+        }
+    };
+    // 3. Localization: the centralized provider accepts only GNSS (§2:
+    // GPS-and-streetview coverage stops at the door).
+    let trace = WalkTrace::into_venue(world, venue_idx, 80.0);
+    let mut outdoor_errs = Vec::new();
+    let mut indoor_total = 0usize;
+    for (i, _geo, cues, indoors) in localization_cues(world, venue_idx, &trace, seed) {
+        let sample = &trace.samples[i];
+        if indoors {
+            indoor_total += 1;
+            continue;
+        }
+        let gnss_cues: Vec<LocationCue> = cues
+            .into_iter()
+            .filter(|c| c.technology() == "gnss")
+            .collect();
+        if gnss_cues.is_empty() {
+            continue;
+        }
+        let estimates = match rpc(Request::Localize { cues: gnss_cues })? {
+            Response::Localize { estimates } => estimates,
+            _ => Vec::new(),
+        };
+        if let Some(est) = estimates.first() {
+            let est_geo = frame.from_local(est.pos);
+            outdoor_errs.push(est_geo.haversine_distance(sample.geo));
+        }
+    }
+    let stats = net.stats();
+    Ok(GroceryScenarioReport {
+        provider: if omniscient {
+            ProviderKind::CentralizedOmniscient
+        } else {
+            ProviderKind::CentralizedPublic
+        },
+        product: product.name.clone(),
+        found_product,
+        route_reaches_shelf: reaches,
+        route_length_m: route_len,
+        outdoor_median_err_m: median(&mut outdoor_errs),
+        indoor_median_err_m: None,
+        indoor_availability: if indoor_total == 0 { 0.0 } else { 0.0 },
+        messages: stats.messages,
+        bytes: stats.bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_worldgen::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn federated_completes_the_scenario() {
+        let report = run_grocery_scenario(&world(), ProviderKind::Federated, 3, 11).unwrap();
+        assert!(report.found_product, "federation must find the product");
+        assert!(report.route_reaches_shelf, "route must reach the shelf");
+        assert!(report.route_length_m.unwrap() > 10.0);
+        assert!(
+            report.indoor_availability > 0.5,
+            "indoor localization mostly available"
+        );
+        assert!(
+            report.indoor_median_err_m.unwrap() < 10.0,
+            "indoor error {:?}",
+            report.indoor_median_err_m
+        );
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn centralized_public_fails_indoors() {
+        let report =
+            run_grocery_scenario(&world(), ProviderKind::CentralizedPublic, 3, 11).unwrap();
+        assert!(!report.found_product, "§2: no inventory in the public map");
+        assert!(!report.route_reaches_shelf);
+        assert_eq!(report.indoor_median_err_m, None);
+        assert_eq!(report.indoor_availability, 0.0);
+        // It can still route to the storefront.
+        assert!(report.route_length_m.is_some());
+    }
+
+    #[test]
+    fn centralized_omniscient_finds_but_cannot_localize() {
+        let report =
+            run_grocery_scenario(&world(), ProviderKind::CentralizedOmniscient, 3, 11).unwrap();
+        assert!(report.found_product, "omniscient map has the data");
+        assert!(
+            report.route_reaches_shelf,
+            "and the merged graph routes to it"
+        );
+        // But localization still dies at the door (§2's sharpest point).
+        assert_eq!(report.indoor_median_err_m, None);
+    }
+
+    #[test]
+    fn outdoor_localization_works_everywhere() {
+        for kind in [ProviderKind::Federated, ProviderKind::CentralizedPublic] {
+            let report = run_grocery_scenario(&world(), kind, 7, 13).unwrap();
+            let err = report
+                .outdoor_median_err_m
+                .expect("outdoor GNSS always available");
+            assert!(err < 15.0, "{kind:?} outdoor err {err}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! A DNS substrate: zones, authoritative servers and a caching
+//! iterative resolver over the simulated network.
+//!
+//! The paper's key discovery insight (§5.1) is that the *already
+//! federated* DNS can serve as the spatial database: spatial cells become
+//! hierarchical names, map-server registrations become resource records,
+//! and discovery becomes a domain lookup that benefits from DNS's
+//! ubiquitous caching. This crate provides the DNS itself:
+//!
+//! - [`DomainName`] — label sequences with parsing and subdomain math,
+//! - [`Record`] / [`RecordData`] — `A`-, `NS`-, `TXT`- and `MAPSRV`-type
+//!   records (the latter carries a map server's endpoint and service
+//!   advertisement),
+//! - [`Zone`] — record storage with DNS-style wildcard matching and
+//!   delegation cuts,
+//! - [`AuthServer`] — an authoritative server bound to a
+//!   [`SimNet`](openflame_netsim::SimNet) endpoint,
+//! - [`Resolver`] — an iterative resolver with TTL + LRU caching and
+//!   negative caching, the component whose cache behaviour experiment E2
+//!   measures.
+
+pub mod name;
+pub mod record;
+pub mod resolver;
+pub mod server;
+pub mod zone;
+
+pub use name::DomainName;
+pub use record::{Record, RecordData, RecordType};
+pub use resolver::{QueryOutcome, Resolver, ResolverConfig, ResolverStats};
+pub use server::AuthServer;
+pub use zone::Zone;
+
+/// Errors produced by DNS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// A name failed to parse.
+    BadName(String),
+    /// The name definitely does not exist (authoritative NXDOMAIN).
+    NxDomain(String),
+    /// The server failed or the message could not be decoded.
+    ServFail(String),
+    /// Network-level failure (timeout, dead server).
+    Network(String),
+    /// Resolution exceeded the referral-depth limit.
+    TooManyReferrals,
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::BadName(n) => write!(f, "malformed domain name {n:?}"),
+            DnsError::NxDomain(n) => write!(f, "NXDOMAIN: {n}"),
+            DnsError::ServFail(msg) => write!(f, "SERVFAIL: {msg}"),
+            DnsError::Network(msg) => write!(f, "network failure: {msg}"),
+            DnsError::TooManyReferrals => write!(f, "referral chain too deep"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}

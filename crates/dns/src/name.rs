@@ -1,0 +1,212 @@
+//! Domain names: ordered label sequences, root-last.
+
+use crate::DnsError;
+
+/// A fully qualified domain name.
+///
+/// Labels are stored most-specific first, so `www.example.` is
+/// `["www", "example"]`. The root is the empty label sequence. Labels
+/// are lower-cased on construction (DNS names are case-insensitive) and
+/// must be 1–63 characters of `[a-z0-9_*-]`.
+///
+/// # Examples
+///
+/// ```
+/// use openflame_dns::DomainName;
+///
+/// let n = DomainName::parse("3.1.f4.cell.flame.").unwrap();
+/// assert_eq!(n.label_count(), 5);
+/// assert!(n.is_subdomain_of(&DomainName::parse("cell.flame.").unwrap()));
+/// assert_eq!(n.to_string(), "3.1.f4.cell.flame.");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    labels: Vec<String>,
+}
+
+impl DomainName {
+    /// The DNS root (empty name).
+    pub fn root() -> Self {
+        Self { labels: Vec::new() }
+    }
+
+    /// Parses a dotted name; a trailing dot is optional (all names are
+    /// treated as fully qualified).
+    pub fn parse(s: &str) -> Result<Self, DnsError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Ok(Self::root());
+        }
+        let mut labels = Vec::new();
+        for raw in trimmed.split('.') {
+            labels.push(Self::validate_label(raw, s)?);
+        }
+        Ok(Self { labels })
+    }
+
+    /// Builds a name from labels, most-specific first.
+    pub fn from_labels<I, S>(iter: I) -> Result<Self, DnsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut labels = Vec::new();
+        for l in iter {
+            labels.push(Self::validate_label(l.as_ref(), l.as_ref())?);
+        }
+        Ok(Self { labels })
+    }
+
+    fn validate_label(raw: &str, context: &str) -> Result<String, DnsError> {
+        if raw.is_empty() || raw.len() > 63 {
+            return Err(DnsError::BadName(context.to_string()));
+        }
+        let lower = raw.to_ascii_lowercase();
+        if !lower.bytes().all(|b| {
+            b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_' || b == b'*'
+        }) {
+            return Err(DnsError::BadName(context.to_string()));
+        }
+        Ok(lower)
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The name with the most-specific label removed; `None` at the root.
+    pub fn parent(&self) -> Option<DomainName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DomainName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// A child name with `label` prepended.
+    pub fn child(&self, label: &str) -> Result<DomainName, DnsError> {
+        let l = Self::validate_label(label, label)?;
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(l);
+        labels.extend(self.labels.iter().cloned());
+        Ok(DomainName { labels })
+    }
+
+    /// Whether `self` equals `other` or lies beneath it.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// The wildcard name `*.<parent>` for this name's parent, used in
+    /// wildcard lookup.
+    pub fn to_wildcard_of_parent(&self) -> Option<DomainName> {
+        self.parent()
+            .map(|p| p.child("*").expect("'*' is a valid label"))
+    }
+
+    /// Whether the most-specific label is `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.labels.first().map(String::as_str) == Some("*")
+    }
+}
+
+impl std::fmt::Display for DomainName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            write!(f, "{l}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DomainName::parse("WWW.Example.").unwrap();
+        assert_eq!(n.to_string(), "www.example.");
+        assert_eq!(n.label_count(), 2);
+        // Trailing dot optional.
+        assert_eq!(DomainName::parse("www.example").unwrap(), n);
+    }
+
+    #[test]
+    fn root_parses() {
+        assert!(DomainName::parse(".").unwrap().is_root());
+        assert!(DomainName::parse("").unwrap().is_root());
+        assert_eq!(DomainName::root().to_string(), ".");
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(DomainName::parse("a..b").is_err());
+        assert!(DomainName::parse("spaces here.com").is_err());
+        let long = "x".repeat(64);
+        assert!(DomainName::parse(&long).is_err());
+        assert!(DomainName::parse(&"x".repeat(63)).is_ok());
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let n = DomainName::parse("a.b.c.").unwrap();
+        let p = n.parent().unwrap();
+        assert_eq!(p.to_string(), "b.c.");
+        assert_eq!(p.child("a").unwrap(), n);
+        assert_eq!(DomainName::root().parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let zone = DomainName::parse("cell.flame.").unwrap();
+        let sub = DomainName::parse("1.2.f3.cell.flame.").unwrap();
+        let other = DomainName::parse("cell.other.").unwrap();
+        assert!(sub.is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(!zone.is_subdomain_of(&sub));
+        assert!(!sub.is_subdomain_of(&other));
+        // Everything is under the root.
+        assert!(sub.is_subdomain_of(&DomainName::root()));
+    }
+
+    #[test]
+    fn wildcard_helpers() {
+        let n = DomainName::parse("3.f1.cell.flame.").unwrap();
+        let w = n.to_wildcard_of_parent().unwrap();
+        assert_eq!(w.to_string(), "*.f1.cell.flame.");
+        assert!(w.is_wildcard());
+        assert!(!n.is_wildcard());
+        assert!(DomainName::root().to_wildcard_of_parent().is_none());
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut names = vec![
+            DomainName::parse("b.example.").unwrap(),
+            DomainName::parse("a.example.").unwrap(),
+        ];
+        names.sort();
+        assert_eq!(names[0].to_string(), "a.example.");
+    }
+}

@@ -1,0 +1,353 @@
+//! Resource records and the on-wire DNS message format.
+
+use crate::name::DomainName;
+use crate::DnsError;
+use openflame_codec::{CodecError, Reader, Wire, Writer};
+
+/// Record types supported by the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// Address record: resolves a host name to a network endpoint.
+    A,
+    /// Delegation: names the authoritative server of a child zone.
+    Ns,
+    /// Free-form text.
+    Txt,
+    /// Map-server advertisement: the OpenFLAME-specific record carrying
+    /// a map server's endpoint and service catalogue (§5.1).
+    MapSrv,
+}
+
+impl RecordType {
+    fn tag(&self) -> u8 {
+        match self {
+            RecordType::A => 0,
+            RecordType::Ns => 1,
+            RecordType::Txt => 2,
+            RecordType::MapSrv => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(RecordType::A),
+            1 => Ok(RecordType::Ns),
+            2 => Ok(RecordType::Txt),
+            3 => Ok(RecordType::MapSrv),
+            t => Err(CodecError::InvalidTag {
+                context: "RecordType",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+/// Payload of a resource record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordData {
+    /// Network endpoint id (the simulation's stand-in for an IP address).
+    A(u64),
+    /// Authoritative server host name for a delegated child zone.
+    Ns(DomainName),
+    /// Free-form text.
+    Txt(String),
+    /// A map-server advertisement.
+    MapSrv {
+        /// Network endpoint of the map server.
+        endpoint: u64,
+        /// Stable identifier of the map server (e.g. `"grocer-shadyside"`).
+        server_id: String,
+        /// Advertised service names (e.g. `"search"`, `"routing"`,
+        /// `"localize:beacon"`).
+        services: Vec<String>,
+    },
+}
+
+impl RecordData {
+    /// The record type of this payload.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::MapSrv { .. } => RecordType::MapSrv,
+        }
+    }
+}
+
+/// A resource record: name, TTL and payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live, seconds.
+    pub ttl_s: u32,
+    /// Payload.
+    pub data: RecordData,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(name: DomainName, ttl_s: u32, data: RecordData) -> Self {
+        Self { name, ttl_s, data }
+    }
+}
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// Success (possibly with an empty answer section).
+    NoError,
+    /// The queried name does not exist in the zone.
+    NxDomain,
+    /// Server-side failure.
+    ServFail,
+}
+
+impl Rcode {
+    fn tag(&self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::NxDomain => 1,
+            Rcode::ServFail => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(Rcode::NoError),
+            1 => Ok(Rcode::NxDomain),
+            2 => Ok(Rcode::ServFail),
+            t => Err(CodecError::InvalidTag {
+                context: "Rcode",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+/// A DNS query message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMsg {
+    /// Queried name.
+    pub name: DomainName,
+    /// Queried record type.
+    pub rtype: RecordType,
+}
+
+/// A DNS response message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseMsg {
+    /// Outcome code.
+    pub rcode: Rcode,
+    /// Matching records.
+    pub answers: Vec<Record>,
+    /// Referral records (NS) when the server is not authoritative for
+    /// the full name.
+    pub authority: Vec<Record>,
+    /// Glue records resolving names mentioned in `authority`.
+    pub additional: Vec<Record>,
+}
+
+impl ResponseMsg {
+    /// A response carrying only an rcode.
+    pub fn empty(rcode: Rcode) -> Self {
+        Self {
+            rcode,
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+        }
+    }
+}
+
+impl Wire for DomainName {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.label_count() as u64);
+        for l in self.labels() {
+            w.put_str(l);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_length()?;
+        let mut labels = Vec::with_capacity(n.min(16));
+        for _ in 0..n {
+            labels.push(r.read_string()?);
+        }
+        DomainName::from_labels(labels).map_err(|_| CodecError::InvalidTag {
+            context: "DomainName",
+            tag: 0,
+        })
+    }
+}
+
+impl Wire for RecordData {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.rtype().tag());
+        match self {
+            RecordData::A(ep) => w.put_varint(*ep),
+            RecordData::Ns(host) => host.encode(w),
+            RecordData::Txt(s) => w.put_str(s),
+            RecordData::MapSrv {
+                endpoint,
+                server_id,
+                services,
+            } => {
+                w.put_varint(*endpoint);
+                w.put_str(server_id);
+                services.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match RecordType::from_tag(r.read_u8()?)? {
+            RecordType::A => Ok(RecordData::A(r.read_varint()?)),
+            RecordType::Ns => Ok(RecordData::Ns(DomainName::decode(r)?)),
+            RecordType::Txt => Ok(RecordData::Txt(r.read_string()?)),
+            RecordType::MapSrv => Ok(RecordData::MapSrv {
+                endpoint: r.read_varint()?,
+                server_id: r.read_string()?,
+                services: Vec::decode(r)?,
+            }),
+        }
+    }
+}
+
+impl Wire for Record {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        w.put_varint(self.ttl_s as u64);
+        self.data.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Record {
+            name: DomainName::decode(r)?,
+            ttl_s: r.read_varint()? as u32,
+            data: RecordData::decode(r)?,
+        })
+    }
+}
+
+impl Wire for QueryMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        w.put_u8(self.rtype.tag());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(QueryMsg {
+            name: DomainName::decode(r)?,
+            rtype: RecordType::from_tag(r.read_u8()?)?,
+        })
+    }
+}
+
+impl Wire for ResponseMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.rcode.tag());
+        self.answers.encode(w);
+        self.authority.encode(w);
+        self.additional.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ResponseMsg {
+            rcode: Rcode::from_tag(r.read_u8()?)?,
+            answers: Vec::decode(r)?,
+            authority: Vec::decode(r)?,
+            additional: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Converts an rcode into a resolver-level error for a queried name.
+pub fn rcode_to_error(rcode: Rcode, name: &DomainName) -> Option<DnsError> {
+    match rcode {
+        Rcode::NoError => None,
+        Rcode::NxDomain => Some(DnsError::NxDomain(name.to_string())),
+        Rcode::ServFail => Some(DnsError::ServFail(name.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_codec::{from_bytes, to_bytes};
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn record_data_round_trips() {
+        let cases = vec![
+            RecordData::A(42),
+            RecordData::Ns(name("ns1.flame.")),
+            RecordData::Txt("hello world".into()),
+            RecordData::MapSrv {
+                endpoint: 7,
+                server_id: "grocer-1".into(),
+                services: vec!["search".into(), "routing".into()],
+            },
+        ];
+        for d in cases {
+            assert_eq!(from_bytes::<RecordData>(&to_bytes(&d)).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn message_round_trips() {
+        let q = QueryMsg {
+            name: name("2.f1.cell.flame."),
+            rtype: RecordType::MapSrv,
+        };
+        assert_eq!(from_bytes::<QueryMsg>(&to_bytes(&q)).unwrap(), q);
+        let resp = ResponseMsg {
+            rcode: Rcode::NoError,
+            answers: vec![Record::new(q.name.clone(), 300, RecordData::A(9))],
+            authority: vec![Record::new(
+                name("f1.cell.flame."),
+                600,
+                RecordData::Ns(name("ns.f1.cell.flame.")),
+            )],
+            additional: vec![Record::new(
+                name("ns.f1.cell.flame."),
+                600,
+                RecordData::A(3),
+            )],
+        };
+        assert_eq!(from_bytes::<ResponseMsg>(&to_bytes(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn rtype_of_data() {
+        assert_eq!(RecordData::A(1).rtype(), RecordType::A);
+        assert_eq!(RecordData::Txt(String::new()).rtype(), RecordType::Txt);
+    }
+
+    #[test]
+    fn rcode_error_mapping() {
+        let n = name("x.flame.");
+        assert!(rcode_to_error(Rcode::NoError, &n).is_none());
+        assert!(matches!(
+            rcode_to_error(Rcode::NxDomain, &n),
+            Some(DnsError::NxDomain(_))
+        ));
+        assert!(matches!(
+            rcode_to_error(Rcode::ServFail, &n),
+            Some(DnsError::ServFail(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_messages_do_not_panic() {
+        let q = QueryMsg {
+            name: name("a.b."),
+            rtype: RecordType::A,
+        };
+        let mut bytes = to_bytes(&q).to_vec();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x5A;
+            let _ = from_bytes::<QueryMsg>(&bytes);
+            bytes[i] ^= 0x5A;
+        }
+    }
+}

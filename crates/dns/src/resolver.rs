@@ -1,0 +1,540 @@
+//! An iterative, caching DNS resolver.
+//!
+//! This is the component the paper leans on when it argues DNS-based
+//! discovery inherits "ubiquitous caching mechanisms, large-scale
+//! deployments, and infrastructure" (§5.1). The resolver walks referrals
+//! from the root exactly like a real recursive resolver, and serves
+//! repeat queries from a TTL-respecting LRU cache with negative caching.
+
+use crate::name::DomainName;
+use crate::record::{QueryMsg, Rcode, Record, RecordType, ResponseMsg};
+use crate::DnsError;
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_netsim::{EndpointId, SimNet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Resolver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Maximum cached (name, type) entries before LRU eviction.
+    pub cache_capacity: usize,
+    /// Maximum referral hops per query.
+    pub max_referrals: usize,
+    /// TTL applied to negative (NXDOMAIN) cache entries, seconds.
+    pub negative_ttl_s: u32,
+    /// Disable the cache entirely (for cold-path measurements).
+    pub cache_enabled: bool,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 4096,
+            max_referrals: 16,
+            negative_ttl_s: 60,
+            cache_enabled: true,
+        }
+    }
+}
+
+/// Counters describing resolver behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Total queries received.
+    pub queries: u64,
+    /// Queries answered from the positive cache.
+    pub cache_hits: u64,
+    /// Queries answered from the negative cache.
+    pub negative_hits: u64,
+    /// Upstream (authoritative) queries sent.
+    pub upstream_queries: u64,
+    /// Queries that ultimately failed.
+    pub failures: u64,
+    /// Cache entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// The result of a successful resolution.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Matching records (may be empty for NODATA).
+    pub records: Vec<Record>,
+    /// Whether the answer came from cache.
+    pub from_cache: bool,
+    /// Authoritative round trips performed for this query.
+    pub upstream_queries: u32,
+    /// Simulated latency of the resolution.
+    pub latency_us: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    records: Vec<Record>,
+    expires_us: u64,
+    negative: bool,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<(DomainName, u8), CacheEntry>,
+    use_counter: u64,
+}
+
+fn type_tag(rtype: RecordType) -> u8 {
+    match rtype {
+        RecordType::A => 0,
+        RecordType::Ns => 1,
+        RecordType::Txt => 2,
+        RecordType::MapSrv => 3,
+    }
+}
+
+/// An iterative caching resolver attached to the simulated network.
+///
+/// A resolver owns its own network endpoint (it is a host, like a
+/// campus or ISP resolver) and serves any number of clients in-process.
+pub struct Resolver {
+    net: SimNet,
+    endpoint: EndpointId,
+    root_hints: Vec<EndpointId>,
+    config: ResolverConfig,
+    cache: Mutex<CacheState>,
+    stats: Mutex<ResolverStats>,
+}
+
+impl Resolver {
+    /// Creates a resolver using `root_hints` as the root server set.
+    pub fn new(net: &SimNet, name: impl Into<String>, root_hints: Vec<EndpointId>) -> Self {
+        Self::with_config(net, name, root_hints, ResolverConfig::default())
+    }
+
+    /// Creates a resolver with custom configuration.
+    pub fn with_config(
+        net: &SimNet,
+        name: impl Into<String>,
+        root_hints: Vec<EndpointId>,
+        config: ResolverConfig,
+    ) -> Self {
+        let endpoint = net.register(format!("resolver:{}", name.into()), None);
+        Self {
+            net: net.clone(),
+            endpoint,
+            root_hints,
+            config,
+            cache: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                use_counter: 0,
+            }),
+            stats: Mutex::new(ResolverStats::default()),
+        }
+    }
+
+    /// The resolver's network endpoint.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats.lock().clone()
+    }
+
+    /// Clears the cache (stats are retained).
+    pub fn flush_cache(&self) {
+        let mut cache = self.cache.lock();
+        cache.entries.clear();
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().entries.len()
+    }
+
+    /// Resolves `name`/`rtype`, consulting the cache first and walking
+    /// referrals from the root hints otherwise.
+    pub fn resolve(&self, name: &DomainName, rtype: RecordType) -> Result<QueryOutcome, DnsError> {
+        let t0 = self.net.now_us();
+        self.stats.lock().queries += 1;
+        // Cache lookup.
+        if self.config.cache_enabled {
+            let mut cache = self.cache.lock();
+            cache.use_counter += 1;
+            let counter = cache.use_counter;
+            let now = t0;
+            if let Some(entry) = cache.entries.get_mut(&(name.clone(), type_tag(rtype))) {
+                if entry.expires_us > now {
+                    entry.last_used = counter;
+                    let negative = entry.negative;
+                    let records = entry.records.clone();
+                    drop(cache);
+                    // A local cache answer still costs a hair of CPU.
+                    self.net.advance_us(10);
+                    if negative {
+                        self.stats.lock().negative_hits += 1;
+                        return Err(DnsError::NxDomain(name.to_string()));
+                    }
+                    self.stats.lock().cache_hits += 1;
+                    return Ok(QueryOutcome {
+                        records,
+                        from_cache: true,
+                        upstream_queries: 0,
+                        latency_us: self.net.now_us() - t0,
+                    });
+                }
+                cache.entries.remove(&(name.clone(), type_tag(rtype)));
+            }
+        }
+        // Iterative resolution.
+        let result = self.resolve_iterative(name, rtype, t0);
+        if result.is_err() {
+            self.stats.lock().failures += 1;
+        }
+        result
+    }
+
+    fn resolve_iterative(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+        t0: u64,
+    ) -> Result<QueryOutcome, DnsError> {
+        let mut candidates = self.root_hints.clone();
+        let mut upstream = 0u32;
+        for _hop in 0..self.config.max_referrals {
+            let resp = self.ask_any(&mut candidates, name, rtype, &mut upstream)?;
+            match resp.rcode {
+                Rcode::ServFail => {
+                    return Err(DnsError::ServFail(name.to_string()));
+                }
+                Rcode::NxDomain => {
+                    self.cache_store(name, rtype, Vec::new(), self.config.negative_ttl_s, true);
+                    return Err(DnsError::NxDomain(name.to_string()));
+                }
+                Rcode::NoError => {
+                    if !resp.answers.is_empty() || resp.authority.is_empty() {
+                        // Terminal answer (possibly NODATA).
+                        let ttl = resp.answers.iter().map(|r| r.ttl_s).min().unwrap_or(30);
+                        self.cache_store(name, rtype, resp.answers.clone(), ttl, false);
+                        return Ok(QueryOutcome {
+                            records: resp.answers,
+                            from_cache: false,
+                            upstream_queries: upstream,
+                            latency_us: self.net.now_us() - t0,
+                        });
+                    }
+                    // Referral: gather glue endpoints for the child zone.
+                    let mut next = Vec::new();
+                    for auth in &resp.authority {
+                        if let crate::record::RecordData::Ns(ns_host) = &auth.data {
+                            for add in &resp.additional {
+                                if add.name == *ns_host {
+                                    if let crate::record::RecordData::A(ep) = add.data {
+                                        next.push(EndpointId(ep));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        return Err(DnsError::ServFail(format!("lame delegation for {name}")));
+                    }
+                    candidates = next;
+                }
+            }
+        }
+        Err(DnsError::TooManyReferrals)
+    }
+
+    /// Tries candidate servers in order until one responds.
+    fn ask_any(
+        &self,
+        candidates: &mut Vec<EndpointId>,
+        name: &DomainName,
+        rtype: RecordType,
+        upstream: &mut u32,
+    ) -> Result<ResponseMsg, DnsError> {
+        let query = to_bytes(&QueryMsg {
+            name: name.clone(),
+            rtype,
+        })
+        .to_vec();
+        let mut last_err = DnsError::Network("no candidate servers".into());
+        while let Some(server) = candidates.first().copied() {
+            *upstream += 1;
+            self.stats.lock().upstream_queries += 1;
+            match self.net.call(self.endpoint, server, query.clone()) {
+                Ok(bytes) => {
+                    return from_bytes::<ResponseMsg>(&bytes)
+                        .map_err(|e| DnsError::ServFail(format!("bad response: {e}")));
+                }
+                Err(e) => {
+                    // Dead or flaky server: drop it and try the next.
+                    candidates.remove(0);
+                    last_err = DnsError::Network(e.to_string());
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn cache_store(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+        records: Vec<Record>,
+        ttl_s: u32,
+        negative: bool,
+    ) {
+        if !self.config.cache_enabled || ttl_s == 0 {
+            return;
+        }
+        let mut cache = self.cache.lock();
+        cache.use_counter += 1;
+        let counter = cache.use_counter;
+        let expires = self.net.now_us() + ttl_s as u64 * 1_000_000;
+        cache.entries.insert(
+            (name.clone(), type_tag(rtype)),
+            CacheEntry {
+                records,
+                expires_us: expires,
+                negative,
+                last_used: counter,
+            },
+        );
+        // LRU eviction.
+        if cache.entries.len() > self.config.cache_capacity {
+            if let Some(victim) = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                cache.entries.remove(&victim);
+                self.stats.lock().evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordData;
+    use crate::server::AuthServer;
+    use crate::zone::Zone;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    /// Builds a three-tier hierarchy: root → `flame.` → `cell.flame.`.
+    fn hierarchy(net: &SimNet) -> (Vec<EndpointId>, std::sync::Arc<AuthServer>) {
+        // Leaf zone with actual data.
+        let mut cell_zone = Zone::new(name("cell.flame."));
+        cell_zone.add(Record::new(
+            name("1.2.f0.cell.flame."),
+            300,
+            RecordData::MapSrv {
+                endpoint: 1001,
+                server_id: "store-a".into(),
+                services: vec!["search".into()],
+            },
+        ));
+        let cell_server = AuthServer::spawn(net, "cell", vec![cell_zone]);
+        // TLD zone delegating to the cell server.
+        let mut tld = Zone::new(name("flame."));
+        tld.delegate(
+            name("cell.flame."),
+            name("ns.cell.flame."),
+            cell_server.endpoint().0,
+        );
+        let tld_server = AuthServer::spawn(net, "tld", vec![tld]);
+        // Root delegating to the TLD.
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(name("flame."), name("ns.flame."), tld_server.endpoint().0);
+        let root_server = AuthServer::spawn(net, "root", vec![root]);
+        (vec![root_server.endpoint()], cell_server)
+    }
+
+    #[test]
+    fn walks_referrals_to_answer() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let out = resolver
+            .resolve(&name("1.2.f0.cell.flame."), RecordType::MapSrv)
+            .unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert!(!out.from_cache);
+        // Root referral + TLD referral + final answer = 3 round trips.
+        assert_eq!(out.upstream_queries, 3);
+        assert!(out.latency_us > 0);
+    }
+
+    #[test]
+    fn second_query_hits_cache_and_is_faster() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let n = name("1.2.f0.cell.flame.");
+        let cold = resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        let warm = resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.upstream_queries, 0);
+        assert!(
+            warm.latency_us < cold.latency_us / 10,
+            "cache must be much faster"
+        );
+        let stats = resolver.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.upstream_queries, 3);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let n = name("1.2.f0.cell.flame.");
+        resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        // Advance past the 300 s TTL.
+        net.advance_us(301 * 1_000_000);
+        let out = resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        assert!(!out.from_cache, "expired entry must be refetched");
+    }
+
+    #[test]
+    fn nxdomain_negatively_cached() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let n = name("9.9.f0.cell.flame.");
+        let e1 = resolver.resolve(&n, RecordType::MapSrv).unwrap_err();
+        assert!(matches!(e1, DnsError::NxDomain(_)));
+        let upstream_after_first = resolver.stats().upstream_queries;
+        let e2 = resolver.resolve(&n, RecordType::MapSrv).unwrap_err();
+        assert!(matches!(e2, DnsError::NxDomain(_)));
+        assert_eq!(
+            resolver.stats().upstream_queries,
+            upstream_after_first,
+            "second NXDOMAIN served from negative cache"
+        );
+        assert_eq!(resolver.stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn runtime_registration_visible_after_negative_ttl() {
+        let net = SimNet::new(5);
+        let (roots, cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let n = name("3.3.f0.cell.flame.");
+        assert!(resolver.resolve(&n, RecordType::MapSrv).is_err());
+        cell.with_zones_mut(|zones| {
+            zones[0].add(Record::new(
+                n.clone(),
+                300,
+                RecordData::MapSrv {
+                    endpoint: 2002,
+                    server_id: "new".into(),
+                    services: vec![],
+                },
+            ));
+        });
+        // Still negative-cached.
+        assert!(resolver.resolve(&n, RecordType::MapSrv).is_err());
+        net.advance_us(61 * 1_000_000);
+        let out = resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn dead_root_fails_over_to_second_hint() {
+        let net = SimNet::new(5);
+        let (mut roots, _cell) = hierarchy(&net);
+        // Add a dead server as the first hint.
+        let dead = net.register("dns:dead", None);
+        net.set_down(dead, true);
+        roots.insert(0, dead);
+        let resolver = Resolver::new(&net, "test", roots);
+        let out = resolver
+            .resolve(&name("1.2.f0.cell.flame."), RecordType::MapSrv)
+            .unwrap();
+        assert_eq!(out.records.len(), 1);
+        // One wasted query on the dead root.
+        assert_eq!(out.upstream_queries, 4);
+    }
+
+    #[test]
+    fn all_servers_dead_is_network_error() {
+        let net = SimNet::new(5);
+        let dead = net.register("dns:dead", None);
+        net.set_down(dead, true);
+        let resolver = Resolver::new(&net, "test", vec![dead]);
+        let err = resolver.resolve(&name("x."), RecordType::A).unwrap_err();
+        assert!(matches!(err, DnsError::Network(_)));
+        assert_eq!(resolver.stats().failures, 1);
+    }
+
+    #[test]
+    fn cache_disabled_always_goes_upstream() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let config = ResolverConfig {
+            cache_enabled: false,
+            ..Default::default()
+        };
+        let resolver = Resolver::with_config(&net, "cold", roots, config);
+        let n = name("1.2.f0.cell.flame.");
+        resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        let out2 = resolver.resolve(&n, RecordType::MapSrv).unwrap();
+        assert!(!out2.from_cache);
+        assert_eq!(resolver.stats().upstream_queries, 6);
+        assert_eq!(resolver.cache_len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_cache() {
+        let net = SimNet::new(5);
+        // Single flat zone with many names.
+        let mut zone = Zone::new(DomainName::root());
+        for i in 0..20 {
+            zone.add(Record::new(
+                name(&format!("n{i}.")),
+                300,
+                RecordData::A(i as u64),
+            ));
+        }
+        let server = AuthServer::spawn(&net, "root", vec![zone]);
+        let config = ResolverConfig {
+            cache_capacity: 8,
+            ..Default::default()
+        };
+        let resolver = Resolver::with_config(&net, "small", vec![server.endpoint()], config);
+        for i in 0..20 {
+            resolver
+                .resolve(&name(&format!("n{i}.")), RecordType::A)
+                .unwrap();
+        }
+        assert!(resolver.cache_len() <= 8);
+        assert!(resolver.stats().evictions >= 12);
+        // The most recent entry is still cached.
+        let out = resolver.resolve(&name("n19."), RecordType::A).unwrap();
+        assert!(out.from_cache);
+    }
+
+    #[test]
+    fn nodata_is_cached_as_empty_success() {
+        let net = SimNet::new(5);
+        let mut zone = Zone::new(DomainName::root());
+        zone.add(Record::new(name("host."), 300, RecordData::A(1)));
+        let server = AuthServer::spawn(&net, "root", vec![zone]);
+        let resolver = Resolver::new(&net, "t", vec![server.endpoint()]);
+        let out = resolver.resolve(&name("host."), RecordType::Txt).unwrap();
+        assert!(out.records.is_empty());
+        let out2 = resolver.resolve(&name("host."), RecordType::Txt).unwrap();
+        assert!(out2.from_cache);
+        assert!(out2.records.is_empty());
+    }
+}

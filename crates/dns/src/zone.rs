@@ -1,0 +1,336 @@
+//! Zone storage: records, wildcard matching and delegation cuts.
+
+use crate::name::DomainName;
+use crate::record::{Rcode, Record, RecordData, RecordType, ResponseMsg};
+use std::collections::BTreeMap;
+
+/// A DNS zone: a contiguous region of the namespace managed by one
+/// authority.
+///
+/// The zone stores records keyed by owner name, answers queries with
+/// standard semantics (exact match, then wildcard), and produces
+/// referrals for names that fall under a delegation cut.
+///
+/// # Examples
+///
+/// ```
+/// use openflame_dns::{DomainName, Record, RecordData, RecordType, Zone};
+///
+/// let mut zone = Zone::new(DomainName::parse("flame.").unwrap());
+/// let name = DomainName::parse("api.flame.").unwrap();
+/// zone.add(Record::new(name.clone(), 300, RecordData::A(7)));
+/// let resp = zone.query(&name, RecordType::A);
+/// assert_eq!(resp.answers.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: DomainName,
+    records: BTreeMap<DomainName, Vec<Record>>,
+    /// Child-zone delegations: cut point → (NS host name, glue endpoint).
+    delegations: BTreeMap<DomainName, (DomainName, u64)>,
+}
+
+impl Zone {
+    /// Creates an empty zone rooted at `origin`.
+    pub fn new(origin: DomainName) -> Self {
+        Self {
+            origin,
+            records: BTreeMap::new(),
+            delegations: BTreeMap::new(),
+        }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &DomainName {
+        &self.origin
+    }
+
+    /// Adds a record. The owner name must be within the zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's owner name is outside the zone origin —
+    /// that is a programming error in zone construction.
+    pub fn add(&mut self, record: Record) {
+        assert!(
+            record.name.is_subdomain_of(&self.origin),
+            "record {} outside zone {}",
+            record.name,
+            self.origin
+        );
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .push(record);
+    }
+
+    /// Removes all records at `name` with the given type, returning how
+    /// many were removed.
+    pub fn remove(&mut self, name: &DomainName, rtype: RecordType) -> usize {
+        let Some(list) = self.records.get_mut(name) else {
+            return 0;
+        };
+        let before = list.len();
+        list.retain(|r| r.data.rtype() != rtype);
+        let removed = before - list.len();
+        if list.is_empty() {
+            self.records.remove(name);
+        }
+        removed
+    }
+
+    /// Removes a specific MAPSRV registration by server id, across the
+    /// whole zone. Returns the number of records removed.
+    pub fn remove_mapsrv(&mut self, server_id: &str) -> usize {
+        let mut removed = 0;
+        self.records.retain(|_, list| {
+            let before = list.len();
+            list.retain(|r| {
+                !matches!(&r.data, RecordData::MapSrv { server_id: sid, .. } if sid == server_id)
+            });
+            removed += before - list.len();
+            !list.is_empty()
+        });
+        removed
+    }
+
+    /// Declares a delegation: names at or under `cut` are served by the
+    /// child-zone server named `ns_host` reachable at `glue_endpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` is outside the zone or equal to the origin.
+    pub fn delegate(&mut self, cut: DomainName, ns_host: DomainName, glue_endpoint: u64) {
+        assert!(cut.is_subdomain_of(&self.origin) && cut != self.origin);
+        self.delegations.insert(cut, (ns_host, glue_endpoint));
+    }
+
+    /// Number of records in the zone (all names, all types).
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Iterates every record in the zone.
+    pub fn iter_records(&self) -> impl Iterator<Item = &Record> {
+        self.records.values().flatten()
+    }
+
+    /// Finds the closest enclosing delegation cut for `name`, if any.
+    fn delegation_for(&self, name: &DomainName) -> Option<(&DomainName, &(DomainName, u64))> {
+        // Walk ancestors from most specific to least, stopping at the
+        // zone origin.
+        let mut cur = Some(name.clone());
+        while let Some(n) = cur {
+            if n == self.origin {
+                break;
+            }
+            if let Some(entry) = self.delegations.get_key_value(&n) {
+                return Some(entry);
+            }
+            cur = n.parent();
+        }
+        None
+    }
+
+    /// Answers a query with standard DNS semantics.
+    ///
+    /// Precedence: delegation referral (if the name is under a cut),
+    /// exact match, wildcard match, then NXDOMAIN / NODATA.
+    pub fn query(&self, name: &DomainName, rtype: RecordType) -> ResponseMsg {
+        if !name.is_subdomain_of(&self.origin) {
+            return ResponseMsg::empty(Rcode::ServFail);
+        }
+        // Referral takes precedence for delegated names.
+        if let Some((cut, (ns_host, glue))) = self.delegation_for(name) {
+            let mut resp = ResponseMsg::empty(Rcode::NoError);
+            resp.authority.push(Record::new(
+                cut.clone(),
+                3600,
+                RecordData::Ns(ns_host.clone()),
+            ));
+            resp.additional
+                .push(Record::new(ns_host.clone(), 3600, RecordData::A(*glue)));
+            return resp;
+        }
+        // Exact match.
+        if let Some(list) = self.records.get(name) {
+            let answers: Vec<Record> = list
+                .iter()
+                .filter(|r| r.data.rtype() == rtype)
+                .cloned()
+                .collect();
+            // NODATA: the name exists but has no records of this type.
+            return ResponseMsg {
+                rcode: Rcode::NoError,
+                answers,
+                ..ResponseMsg::empty(Rcode::NoError)
+            };
+        }
+        // Wildcard: try `*.<ancestor>` from most to least specific,
+        // synthesizing the owner name as DNS does.
+        let mut ancestor = name.parent();
+        while let Some(a) = ancestor {
+            if !a.is_subdomain_of(&self.origin) {
+                break;
+            }
+            let wildcard = a.child("*").expect("'*' is a valid label");
+            if let Some(list) = self.records.get(&wildcard) {
+                let answers: Vec<Record> = list
+                    .iter()
+                    .filter(|r| r.data.rtype() == rtype)
+                    .map(|r| Record::new(name.clone(), r.ttl_s, r.data.clone()))
+                    .collect();
+                return ResponseMsg {
+                    rcode: Rcode::NoError,
+                    answers,
+                    ..ResponseMsg::empty(Rcode::NoError)
+                };
+            }
+            if a == self.origin {
+                break;
+            }
+            ancestor = a.parent();
+        }
+        ResponseMsg::empty(Rcode::NxDomain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::new(name("cell.flame."));
+        z.add(Record::new(
+            name("1.f0.cell.flame."),
+            300,
+            RecordData::A(10),
+        ));
+        z.add(Record::new(
+            name("*.f1.cell.flame."),
+            120,
+            RecordData::MapSrv {
+                endpoint: 20,
+                server_id: "campus".into(),
+                services: vec!["tiles".into()],
+            },
+        ));
+        z
+    }
+
+    #[test]
+    fn exact_match() {
+        let z = test_zone();
+        let resp = z.query(&name("1.f0.cell.flame."), RecordType::A);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let z = test_zone();
+        // Name exists, wrong type → NODATA (NoError + empty answers).
+        let nodata = z.query(&name("1.f0.cell.flame."), RecordType::Txt);
+        assert_eq!(nodata.rcode, Rcode::NoError);
+        assert!(nodata.answers.is_empty());
+        // Name absent entirely → NXDOMAIN.
+        let nx = z.query(&name("9.f0.cell.flame."), RecordType::A);
+        assert_eq!(nx.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn wildcard_matches_any_depth() {
+        let z = test_zone();
+        for sub in ["2.f1.cell.flame.", "3.2.1.f1.cell.flame."] {
+            let resp = z.query(&name(sub), RecordType::MapSrv);
+            assert_eq!(resp.rcode, Rcode::NoError, "{sub}");
+            assert_eq!(resp.answers.len(), 1, "{sub}");
+            // The synthesized answer owner is the queried name.
+            assert_eq!(resp.answers[0].name, name(sub));
+        }
+        // Wildcard does not match the parent name itself.
+        let parent = z.query(&name("f1.cell.flame."), RecordType::MapSrv);
+        assert_eq!(parent.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn exact_match_beats_wildcard() {
+        let mut z = test_zone();
+        z.add(Record::new(
+            name("5.f1.cell.flame."),
+            60,
+            RecordData::Txt("exact".into()),
+        ));
+        // The exact name now exists, so the MAPSRV wildcard must not
+        // fire for it (NODATA instead).
+        let resp = z.query(&name("5.f1.cell.flame."), RecordType::MapSrv);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        let txt = z.query(&name("5.f1.cell.flame."), RecordType::Txt);
+        assert_eq!(txt.answers.len(), 1);
+    }
+
+    #[test]
+    fn delegation_referral() {
+        let mut z = Zone::new(name("flame."));
+        z.add(Record::new(name("api.flame."), 300, RecordData::A(1)));
+        z.delegate(name("cell.flame."), name("ns1.cell.flame."), 99);
+        let resp = z.query(&name("0.f2.cell.flame."), RecordType::MapSrv);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        assert_eq!(resp.authority.len(), 1);
+        assert!(matches!(resp.authority[0].data, RecordData::Ns(_)));
+        assert_eq!(resp.additional.len(), 1);
+        assert!(matches!(resp.additional[0].data, RecordData::A(99)));
+        // Non-delegated names still answered locally.
+        assert_eq!(z.query(&name("api.flame."), RecordType::A).answers.len(), 1);
+    }
+
+    #[test]
+    fn out_of_zone_query_servfail() {
+        let z = test_zone();
+        assert_eq!(
+            z.query(&name("example.org."), RecordType::A).rcode,
+            Rcode::ServFail
+        );
+    }
+
+    #[test]
+    fn remove_by_type() {
+        let mut z = test_zone();
+        assert_eq!(z.remove(&name("1.f0.cell.flame."), RecordType::A), 1);
+        assert_eq!(z.remove(&name("1.f0.cell.flame."), RecordType::A), 0);
+        assert_eq!(
+            z.query(&name("1.f0.cell.flame."), RecordType::A).rcode,
+            Rcode::NxDomain
+        );
+    }
+
+    #[test]
+    fn remove_mapsrv_by_server_id() {
+        let mut z = test_zone();
+        z.add(Record::new(
+            name("7.f0.cell.flame."),
+            120,
+            RecordData::MapSrv {
+                endpoint: 21,
+                server_id: "campus".into(),
+                services: vec![],
+            },
+        ));
+        assert_eq!(z.remove_mapsrv("campus"), 2);
+        assert_eq!(z.remove_mapsrv("campus"), 0);
+        assert_eq!(z.record_count(), 1, "only the A record remains");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn add_outside_zone_panics() {
+        let mut z = test_zone();
+        z.add(Record::new(name("other.tld."), 60, RecordData::A(1)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the DNS substrate.
+
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_dns::{DomainName, Record, RecordData, RecordType, Zone};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9][a-z0-9-]{0,14}"
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(arb_label(), 0..6)
+        .prop_map(|labels| DomainName::from_labels(labels).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn name_parse_display_round_trip(name in arb_name()) {
+        let s = name.to_string();
+        prop_assert_eq!(DomainName::parse(&s).unwrap(), name);
+    }
+
+    #[test]
+    fn name_wire_round_trip(name in arb_name()) {
+        prop_assert_eq!(from_bytes::<DomainName>(&to_bytes(&name)).unwrap(), name);
+    }
+
+    #[test]
+    fn child_is_subdomain_of_parent(name in arb_name(), label in arb_label()) {
+        let child = name.child(&label).unwrap();
+        prop_assert!(child.is_subdomain_of(&name));
+        prop_assert_eq!(child.parent().unwrap(), name.clone());
+        prop_assert!(!name.is_subdomain_of(&child) || name == child);
+    }
+
+    #[test]
+    fn subdomain_is_transitive(a in arb_name(), l1 in arb_label(), l2 in arb_label()) {
+        let b = a.child(&l1).unwrap();
+        let c = b.child(&l2).unwrap();
+        prop_assert!(c.is_subdomain_of(&b));
+        prop_assert!(b.is_subdomain_of(&a));
+        prop_assert!(c.is_subdomain_of(&a));
+    }
+
+    #[test]
+    fn record_wire_round_trip(
+        name in arb_name(),
+        ttl in 0u32..100_000,
+        endpoint in any::<u64>(),
+        id in "[a-z0-9-]{1,16}",
+        services in proptest::collection::vec("[a-z:]{1,12}", 0..5),
+    ) {
+        let rec = Record::new(
+            name,
+            ttl,
+            RecordData::MapSrv { endpoint, server_id: id, services },
+        );
+        prop_assert_eq!(from_bytes::<Record>(&to_bytes(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn zone_exact_beats_wildcard_everywhere(
+        sub in arb_label(),
+        deeper in arb_label(),
+    ) {
+        let origin = DomainName::parse("zone.test.").unwrap();
+        let mut zone = Zone::new(origin.clone());
+        let parent = origin.child(&sub).unwrap();
+        let wildcard = parent.child("*").unwrap();
+        zone.add(Record::new(wildcard, 60, RecordData::Txt("wild".into())));
+        let name = parent.child(&deeper).unwrap();
+        // Wildcard matches any descendant...
+        let resp = zone.query(&name, RecordType::Txt);
+        prop_assert_eq!(resp.answers.len(), 1);
+        // ...until an exact name exists.
+        zone.add(Record::new(name.clone(), 60, RecordData::A(7)));
+        let resp2 = zone.query(&name, RecordType::Txt);
+        prop_assert!(resp2.answers.is_empty(), "exact (empty for Txt) must shadow wildcard");
+        let resp3 = zone.query(&name, RecordType::A);
+        prop_assert_eq!(resp3.answers.len(), 1);
+    }
+
+    #[test]
+    fn zone_add_remove_is_idempotent(names in proptest::collection::vec(arb_label(), 1..10)) {
+        let origin = DomainName::parse("zone.test.").unwrap();
+        let mut zone = Zone::new(origin.clone());
+        for (i, l) in names.iter().enumerate() {
+            zone.add(Record::new(
+                origin.child(l).unwrap(),
+                60,
+                RecordData::MapSrv {
+                    endpoint: i as u64,
+                    server_id: format!("srv-{l}-{i}"),
+                    services: vec![],
+                },
+            ));
+        }
+        let before = zone.record_count();
+        prop_assert!(before >= 1);
+        for (i, l) in names.iter().enumerate() {
+            zone.remove_mapsrv(&format!("srv-{l}-{i}"));
+        }
+        prop_assert_eq!(zone.record_count(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Local east-north-up tangent frames.
+//!
+//! Indoor maps in OpenFLAME are authored in a metric local frame whose
+//! relationship to the geographic frame may be unknown or imprecise (§3 of
+//! the paper). [`LocalFrame`] provides the exact conversion used for
+//! ground truth and for servers that *are* well aligned; deliberately
+//! misaligned frames are produced by composing a [`crate::Affine2`]
+//! perturbation on top (see `worldgen`).
+
+use crate::{LatLng, Point2, EARTH_RADIUS_M};
+
+/// An east-north-up tangent plane anchored at an origin coordinate.
+///
+/// Within a few kilometers of the origin the equirectangular small-angle
+/// approximation used here is accurate to centimeters, far finer than any
+/// service in the system requires.
+///
+/// # Examples
+///
+/// ```
+/// use openflame_geo::{LatLng, LocalFrame};
+///
+/// let frame = LocalFrame::new(LatLng::new(40.4433, -79.9436).unwrap());
+/// let p = frame.to_local(frame.origin().destination(90.0, 100.0));
+/// assert!((p.x - 100.0).abs() < 0.01 && p.y.abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalFrame {
+    origin: LatLng,
+    cos_lat: f64,
+}
+
+impl LocalFrame {
+    /// Creates a frame anchored at `origin`.
+    pub fn new(origin: LatLng) -> Self {
+        Self {
+            origin,
+            cos_lat: origin.lat_rad().cos(),
+        }
+    }
+
+    /// The anchor point of the frame.
+    pub fn origin(&self) -> LatLng {
+        self.origin
+    }
+
+    /// Projects a geodetic coordinate into the local frame, meters east
+    /// and north of the origin.
+    pub fn to_local(&self, p: LatLng) -> Point2 {
+        let dlat = (p.lat() - self.origin.lat()).to_radians();
+        let dlng = (p.lng() - self.origin.lng()).to_radians();
+        Point2::new(dlng * self.cos_lat * EARTH_RADIUS_M, dlat * EARTH_RADIUS_M)
+    }
+
+    /// Lifts a local point back to geodetic coordinates.
+    pub fn from_local(&self, p: Point2) -> LatLng {
+        let dlat = (p.y / EARTH_RADIUS_M).to_degrees();
+        let dlng = (p.x / (EARTH_RADIUS_M * self.cos_lat)).to_degrees();
+        LatLng::new_unchecked(self.origin.lat() + dlat, self.origin.lng() + dlng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(LatLng::new(40.4433, -79.9436).unwrap())
+    }
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let f = frame();
+        let p = f.to_local(f.origin());
+        assert!(p.norm() < 1e-9);
+        assert!(f.from_local(Point2::ZERO).haversine_distance(f.origin()) < 1e-9);
+    }
+
+    #[test]
+    fn axes_point_east_and_north() {
+        let f = frame();
+        let east = f.to_local(f.origin().destination(90.0, 250.0));
+        assert!(
+            (east.x - 250.0).abs() < 0.05 && east.y.abs() < 0.05,
+            "east {east}"
+        );
+        let north = f.to_local(f.origin().destination(0.0, 250.0));
+        assert!(
+            (north.y - 250.0).abs() < 0.05 && north.x.abs() < 0.05,
+            "north {north}"
+        );
+    }
+
+    #[test]
+    fn round_trip_within_millimeters() {
+        let f = frame();
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (120.0, -45.0),
+            (-900.0, 300.0),
+            (2_000.0, 2_000.0),
+        ] {
+            let p = Point2::new(x, y);
+            let q = f.to_local(f.from_local(p));
+            assert!(p.distance(q) < 1e-3, "{p} -> {q}");
+        }
+    }
+
+    #[test]
+    fn distances_preserved_locally() {
+        let f = frame();
+        let a = f.origin().destination(37.0, 400.0);
+        let b = f.origin().destination(210.0, 650.0);
+        let geo_d = a.haversine_distance(b);
+        let loc_d = f.to_local(a).distance(f.to_local(b));
+        assert!((geo_d - loc_d).abs() < 0.5, "geo {geo_d} local {loc_d}");
+    }
+}

@@ -1,0 +1,147 @@
+//! A tiny dense linear-algebra kit: just enough to solve the small
+//! least-squares systems the transform fitting needs.
+
+use crate::GeoError;
+
+/// Solves the square linear system `A x = b` in place using Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is row-major `n × n`, `b` has length `n`. Returns the solution
+/// vector or an error if the matrix is singular to working precision.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, GeoError> {
+    let n = b.len();
+    assert!(
+        a.len() == n && a.iter().all(|r| r.len() == n),
+        "shape mismatch"
+    );
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude entry in this column.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(GeoError::DegenerateFit(format!(
+                "singular system at column {col}"
+            )));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Solves the normal equations for least squares `min |M x - y|²`, where
+/// `m` is row-major with `cols` columns.
+pub fn least_squares(m: &[Vec<f64>], y: &[f64], cols: usize) -> Result<Vec<f64>, GeoError> {
+    assert_eq!(m.len(), y.len(), "row count mismatch");
+    if m.len() < cols {
+        return Err(GeoError::InsufficientPoints {
+            needed: cols,
+            got: m.len(),
+        });
+    }
+    // Form MᵀM and Mᵀy.
+    let mut ata = vec![vec![0.0; cols]; cols];
+    let mut aty = vec![0.0; cols];
+    for (row, &yi) in m.iter().zip(y.iter()) {
+        assert_eq!(row.len(), cols, "column count mismatch");
+        for i in 0..cols {
+            aty[i] += row[i] * yi;
+            for j in 0..cols {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    solve_linear(ata, aty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(a, vec![3.0, -2.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_requiring_pivot() {
+        // First pivot is zero; partial pivoting must swap rows.
+        let a = vec![vec![0.0, 1.0], vec![2.0, 0.0]];
+        let x = solve_linear(a, vec![5.0, 4.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve_linear(a, vec![8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(matches!(
+            solve_linear(a, vec![1.0, 2.0]),
+            Err(GeoError::DegenerateFit(_))
+        ));
+    }
+
+    #[test]
+    fn least_squares_exact_line_fit() {
+        // Fit y = 2x + 1 through exact points.
+        let m: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = (0..5).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let x = least_squares(&m, &y, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // Noisy y = 3x - 2 with symmetric noise cancels in the fit.
+        let m: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 1.0]).collect();
+        let mut y: Vec<f64> = (0..6).map(|i| 3.0 * i as f64 - 2.0).collect();
+        y[0] += 0.1;
+        y[1] -= 0.1;
+        let x = least_squares(&m, &y, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 0.05 && (x[1] + 2.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        let m = vec![vec![1.0, 0.0]];
+        assert!(least_squares(&m, &[1.0], 2).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Hidden-Markov-model map matching of GPS traces.
+//!
+//! Implements the Newson-Krumm style matcher behind commercial
+//! map-matching APIs (paper refs. 19 and 21): each trace point emits
+//! candidate snapped positions on nearby ways; a Viterbi pass picks the
+//! candidate sequence that best balances GPS plausibility (emission)
+//! against path plausibility (transition), using the standard
+//! straight-line-difference transition approximation.
+
+use openflame_geo::{Point2, Polyline};
+use openflame_mapdata::{MapDocument, Way, WayId};
+
+/// One matched trace point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedPoint {
+    /// Index of the original trace point.
+    pub trace_index: usize,
+    /// The way matched to.
+    pub way: WayId,
+    /// Snapped position on that way.
+    pub point: Point2,
+    /// Distance from the raw fix to the snapped position.
+    pub residual_m: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    way: WayId,
+    point: Point2,
+    residual: f64,
+}
+
+/// Matches a GPS `trace` against the ways of `map` for which `usable`
+/// returns true.
+///
+/// `sigma_m` is the GPS noise scale (emission); `beta_m` the tolerance
+/// for path-length disagreement (transition). Points with no candidate
+/// within `search_radius_m` are skipped (left unmatched) rather than
+/// breaking the chain.
+pub fn mapmatch(
+    map: &MapDocument,
+    trace: &[Point2],
+    search_radius_m: f64,
+    sigma_m: f64,
+    beta_m: f64,
+    usable: impl Fn(&Way) -> bool,
+) -> Vec<MatchedPoint> {
+    // Precompute usable way geometries once.
+    let ways: Vec<(WayId, Polyline)> = map
+        .ways()
+        .filter(|w| usable(w))
+        .filter_map(|w| {
+            let g = map.way_geometry(w.id)?;
+            Polyline::new(g).ok().map(|line| (w.id, line))
+        })
+        .collect();
+    // Candidate generation per trace point.
+    let mut layers: Vec<(usize, Vec<Candidate>)> = Vec::new();
+    for (i, &p) in trace.iter().enumerate() {
+        let mut cands = Vec::new();
+        for (way, line) in &ways {
+            let proj = line.project(p);
+            if proj.distance <= search_radius_m {
+                cands.push(Candidate {
+                    way: *way,
+                    point: proj.point,
+                    residual: proj.distance,
+                });
+            }
+        }
+        // Keep the closest few candidates to bound Viterbi width.
+        cands.sort_by(|a, b| a.residual.total_cmp(&b.residual));
+        cands.truncate(6);
+        if !cands.is_empty() {
+            layers.push((i, cands));
+        }
+    }
+    if layers.is_empty() {
+        return Vec::new();
+    }
+    // Viterbi in negative-log space.
+    let emission = |c: &Candidate| (c.residual / sigma_m).powi(2) / 2.0;
+    let mut costs: Vec<f64> = layers[0].1.iter().map(emission).collect();
+    let mut back: Vec<Vec<usize>> = vec![vec![0; layers[0].1.len()]];
+    for li in 1..layers.len() {
+        let (prev_i, ref prev_cands) = layers[li - 1];
+        let (cur_i, ref cur_cands) = layers[li];
+        let straight = trace[prev_i].distance(trace[cur_i]);
+        let mut new_costs = vec![f64::INFINITY; cur_cands.len()];
+        let mut pointers = vec![0usize; cur_cands.len()];
+        for (ci, cand) in cur_cands.iter().enumerate() {
+            for (pi, prev) in prev_cands.iter().enumerate() {
+                // Transition: how much the candidate movement disagrees
+                // with the raw movement. Newson-Krumm uses route distance
+                // here; with the straight-line approximation a fixed
+                // way-switch penalty substitutes for the detour cost a
+                // road change would incur, preventing way flapping.
+                let moved = prev.point.distance(cand.point);
+                let mut trans = (moved - straight).abs() / beta_m;
+                if prev.way != cand.way {
+                    trans += 2.0;
+                }
+                let total = costs[pi] + trans + emission(cand);
+                if total < new_costs[ci] {
+                    new_costs[ci] = total;
+                    pointers[ci] = pi;
+                }
+            }
+        }
+        costs = new_costs;
+        back.push(pointers);
+    }
+    // Backtrack.
+    let mut best_end = 0;
+    for (i, c) in costs.iter().enumerate() {
+        if *c < costs[best_end] {
+            best_end = i;
+        }
+    }
+    let mut picks = vec![0usize; layers.len()];
+    picks[layers.len() - 1] = best_end;
+    for li in (1..layers.len()).rev() {
+        picks[li - 1] = back[li][picks[li]];
+    }
+    layers
+        .iter()
+        .zip(picks)
+        .map(|((trace_index, cands), pick)| {
+            let c = &cands[pick];
+            MatchedPoint {
+                trace_index: *trace_index,
+                way: c.way,
+                point: c.point,
+                residual_m: c.residual,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_mapdata::{GeoReference, MapDocument, Tags};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two parallel east-west roads 30 m apart plus a connector.
+    fn road_map() -> (MapDocument, WayId, WayId) {
+        let mut map = MapDocument::new("mm", "t", GeoReference::Unaligned { hint: None });
+        let a = map.add_node(Point2::new(0.0, 0.0), Tags::new());
+        let b = map.add_node(Point2::new(200.0, 0.0), Tags::new());
+        let south = map
+            .add_way(
+                vec![a, b],
+                Tags::new()
+                    .with("highway", "residential")
+                    .with("name", "South"),
+            )
+            .unwrap();
+        let c = map.add_node(Point2::new(0.0, 30.0), Tags::new());
+        let d = map.add_node(Point2::new(200.0, 30.0), Tags::new());
+        let north = map
+            .add_way(
+                vec![c, d],
+                Tags::new()
+                    .with("highway", "residential")
+                    .with("name", "North"),
+            )
+            .unwrap();
+        (map, south, north)
+    }
+
+    #[test]
+    fn clean_trace_matches_its_road() {
+        let (map, south, _) = road_map();
+        let trace: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64 * 20.0, 1.0)).collect();
+        let matched = mapmatch(&map, &trace, 25.0, 5.0, 10.0, |_| true);
+        assert_eq!(matched.len(), 10);
+        assert!(matched.iter().all(|m| m.way == south));
+        assert!(matched.iter().all(|m| m.point.y == 0.0));
+    }
+
+    #[test]
+    fn noisy_trace_stays_on_one_road() {
+        // Noise pushes some fixes closer to the north road; HMM
+        // continuity must keep the match on the south road.
+        let (map, south, _north) = road_map();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace: Vec<Point2> = (0..20)
+            .map(|i| Point2::new(i as f64 * 10.0, rng.gen_range(-6.0..14.0)))
+            .collect();
+        let matched = mapmatch(&map, &trace, 40.0, 5.0, 10.0, |_| true);
+        assert_eq!(matched.len(), 20);
+        let south_count = matched.iter().filter(|m| m.way == south).count();
+        assert!(south_count >= 18, "only {south_count}/20 on the true road");
+    }
+
+    #[test]
+    fn pure_nearest_would_flap_but_hmm_does_not() {
+        let (map, _south, _north) = road_map();
+        // Alternate fixes between y=5 and y=25: nearest-way snapping
+        // would alternate roads every fix.
+        let trace: Vec<Point2> = (0..12)
+            .map(|i| Point2::new(i as f64 * 15.0, if i % 2 == 0 { 5.0 } else { 25.0 }))
+            .collect();
+        let matched = mapmatch(&map, &trace, 40.0, 10.0, 10.0, |_| true);
+        let transitions = matched.windows(2).filter(|w| w[0].way != w[1].way).count();
+        assert!(
+            transitions <= 2,
+            "HMM should not flap; {transitions} transitions"
+        );
+    }
+
+    #[test]
+    fn out_of_range_points_skipped() {
+        let (map, _, _) = road_map();
+        let trace = vec![
+            Point2::new(10.0, 1.0),
+            Point2::new(10.0, 500.0), // unreachable
+            Point2::new(30.0, 1.0),
+        ];
+        let matched = mapmatch(&map, &trace, 25.0, 5.0, 10.0, |_| true);
+        assert_eq!(matched.len(), 2);
+        assert_eq!(matched[0].trace_index, 0);
+        assert_eq!(matched[1].trace_index, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (map, _, _) = road_map();
+        assert!(mapmatch(&map, &[], 25.0, 5.0, 10.0, |_| true).is_empty());
+        let far = vec![Point2::new(0.0, 9_999.0)];
+        assert!(mapmatch(&map, &far, 25.0, 5.0, 10.0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn way_filter_respected() {
+        let (map, south, _north) = road_map();
+        let trace: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 10.0, 28.0)).collect();
+        // Only the south way usable: everything must match it despite
+        // being closer to the north way.
+        let matched = mapmatch(&map, &trace, 50.0, 5.0, 10.0, |w| {
+            w.tags.is("name", "South")
+        });
+        assert!(matched.iter().all(|m| m.way == south));
+    }
+}

@@ -1,0 +1,52 @@
+//! Text normalization shared by geocoding and search.
+
+/// Words that carry no signal in addresses or place names.
+const STOPWORDS: &[&str] = &["the", "of", "at", "a", "an", "and", "in", "on"];
+
+/// Lower-cases, strips punctuation, splits on whitespace and drops
+/// stopwords.
+///
+/// # Examples
+///
+/// ```
+/// use openflame_geocode::tokenize;
+///
+/// assert_eq!(
+///     tokenize("The Shops at Liberty Ave."),
+///     vec!["shops", "liberty", "ave"]
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .filter(|t| !STOPWORDS.contains(&t.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(tokenize("Forbes Ave, #5!"), vec!["forbes", "ave", "5"]);
+    }
+
+    #[test]
+    fn drops_stopwords() {
+        assert_eq!(tokenize("the house of pizza"), vec!["house", "pizza"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("...!!!").is_empty());
+        assert!(tokenize("the of at").is_empty());
+    }
+
+    #[test]
+    fn numbers_survive() {
+        assert_eq!(tokenize("4810 Forbes"), vec!["4810", "forbes"]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Location cues and localization estimates.
+
+use openflame_geo::{LatLng, Point2};
+
+/// A sensor observation a client can send to a map server for
+/// localization (§5.2: "images, beacon signals, fiduciary tag scans").
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocationCue {
+    /// A GNSS fix in geographic coordinates with reported accuracy.
+    Gnss {
+        /// The fix.
+        fix: LatLng,
+        /// 1-sigma accuracy estimate, meters.
+        accuracy_m: f64,
+    },
+    /// Received signal strengths from nearby radio beacons.
+    BeaconRssi {
+        /// `(beacon id, RSSI dBm)` pairs.
+        readings: Vec<(u64, f64)>,
+    },
+    /// A scanned fiducial tag.
+    FiducialTag {
+        /// The tag identifier.
+        tag_id: u64,
+    },
+}
+
+impl LocationCue {
+    /// The technology name a server advertises to accept this cue.
+    pub fn technology(&self) -> &'static str {
+        match self {
+            LocationCue::Gnss { .. } => "gnss",
+            LocationCue::BeaconRssi { .. } => "beacon",
+            LocationCue::FiducialTag { .. } => "tag",
+        }
+    }
+}
+
+/// A localization estimate returned by a map server, expressed in the
+/// *server's own map frame* (§3: frames may be unaligned).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Position in the server's map frame.
+    pub pos: Point2,
+    /// 1-sigma error estimate, meters.
+    pub error_m: f64,
+    /// Technology that produced the estimate.
+    pub technology: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technology_names() {
+        let g = LocationCue::Gnss {
+            fix: LatLng::new(0.0, 0.0).unwrap(),
+            accuracy_m: 5.0,
+        };
+        assert_eq!(g.technology(), "gnss");
+        assert_eq!(
+            LocationCue::BeaconRssi { readings: vec![] }.technology(),
+            "beacon"
+        );
+        assert_eq!(LocationCue::FiducialTag { tag_id: 3 }.technology(), "tag");
+    }
+}

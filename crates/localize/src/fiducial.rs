@@ -1,0 +1,100 @@
+//! Fiducial-tag localization: exact position lookup from tag scans.
+
+use crate::cues::{Estimate, LocationCue};
+use openflame_geo::Point2;
+use std::collections::HashMap;
+
+/// Positions of fiducial tags (QR codes, AprilTags) installed in a
+/// venue, keyed by tag id.
+///
+/// Scanning a tag localizes the device to the tag's surveyed position
+/// with sub-meter error — the highest-precision, lowest-availability
+/// cue in the §5.2 taxonomy.
+#[derive(Debug, Clone, Default)]
+pub struct TagRegistry {
+    tags: HashMap<u64, Point2>,
+}
+
+/// Scan-distance error assumed for tag sightings.
+const TAG_ERROR_M: f64 = 0.5;
+
+impl TagRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tag at a position (replacing any previous position).
+    pub fn install(&mut self, tag_id: u64, pos: Point2) {
+        self.tags.insert(tag_id, pos);
+    }
+
+    /// Number of installed tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The position of a tag, if installed.
+    pub fn position(&self, tag_id: u64) -> Option<Point2> {
+        self.tags.get(&tag_id).copied()
+    }
+
+    /// Localizes a tag-scan cue.
+    pub fn localize(&self, cue: &LocationCue) -> Option<Estimate> {
+        let LocationCue::FiducialTag { tag_id } = cue else {
+            return None;
+        };
+        self.tags.get(tag_id).map(|&pos| Estimate {
+            pos,
+            error_m: TAG_ERROR_M,
+            technology: "tag".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_localize() {
+        let mut reg = TagRegistry::new();
+        assert!(reg.is_empty());
+        reg.install(7, Point2::new(3.0, 4.0));
+        assert_eq!(reg.len(), 1);
+        let est = reg
+            .localize(&LocationCue::FiducialTag { tag_id: 7 })
+            .unwrap();
+        assert_eq!(est.pos, Point2::new(3.0, 4.0));
+        assert!(est.error_m <= 1.0);
+        assert_eq!(est.technology, "tag");
+    }
+
+    #[test]
+    fn unknown_tag_or_wrong_cue() {
+        let mut reg = TagRegistry::new();
+        reg.install(1, Point2::ZERO);
+        assert!(reg
+            .localize(&LocationCue::FiducialTag { tag_id: 2 })
+            .is_none());
+        assert!(reg
+            .localize(&LocationCue::BeaconRssi {
+                readings: vec![(1, -40.0)]
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn reinstall_replaces() {
+        let mut reg = TagRegistry::new();
+        reg.install(1, Point2::ZERO);
+        reg.install(1, Point2::new(9.0, 9.0));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.position(1), Some(Point2::new(9.0, 9.0)));
+    }
+}

@@ -1,0 +1,108 @@
+//! GNSS fix simulation: outdoor-only, Gaussian-noised positions.
+
+use crate::cues::LocationCue;
+use openflame_geo::LatLng;
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+
+/// A GNSS receiver model.
+///
+/// Produces fixes with configurable horizontal error outdoors and *no*
+/// fixes indoors — the availability gap that motivates venue-provided
+/// localization in the paper (§2: "the availability of these
+/// technologies is limited to outdoor locations for GPS").
+#[derive(Debug, Clone, Copy)]
+pub struct GnssModel {
+    /// 1-sigma horizontal error outdoors, meters.
+    pub sigma_m: f64,
+}
+
+impl Default for GnssModel {
+    fn default() -> Self {
+        // Typical consumer-phone GNSS error.
+        Self { sigma_m: 4.0 }
+    }
+}
+
+impl GnssModel {
+    /// Samples a fix at the true position, or `None` when indoors.
+    pub fn sample<R: Rng>(&self, rng: &mut R, truth: LatLng, indoors: bool) -> Option<LocationCue> {
+        if indoors {
+            return None;
+        }
+        let east = sample_normal(rng, 0.0, self.sigma_m);
+        let north = sample_normal(rng, 0.0, self.sigma_m);
+        let bearing = east.atan2(north).to_degrees();
+        let dist = (east * east + north * north).sqrt();
+        Some(LocationCue::Gnss {
+            fix: truth.destination(bearing, dist),
+            accuracy_m: self.sigma_m,
+        })
+    }
+}
+
+/// Minimal normal sampling via Box-Muller, avoiding a rand_distr
+/// dependency.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Samples `N(mean, sigma²)`.
+    pub fn sample_normal<R: Rng>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+        // Box-Muller transform; u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + sigma * z
+    }
+}
+
+pub use rand_distr_normal::sample_normal as normal_sample;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_fix_indoors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GnssModel::default();
+        let p = LatLng::new(40.44, -79.94).unwrap();
+        assert!(model.sample(&mut rng, p, true).is_none());
+        assert!(model.sample(&mut rng, p, false).is_some());
+    }
+
+    #[test]
+    fn error_statistics_match_sigma() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = GnssModel { sigma_m: 5.0 };
+        let truth = LatLng::new(40.44, -79.94).unwrap();
+        let n = 2000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let Some(LocationCue::Gnss { fix, .. }) = model.sample(&mut rng, truth, false) else {
+                panic!("expected a fix");
+            };
+            sum_sq += truth.haversine_distance(fix).powi(2);
+        }
+        // E[d²] = 2σ² for 2-D Gaussian error.
+        let rms = (sum_sq / n as f64).sqrt();
+        let expected = (2.0f64).sqrt() * 5.0;
+        assert!(
+            (rms - expected).abs() < 0.6,
+            "rms {rms} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_sample(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Localization substrate.
+//!
+//! Localization is "the service that informs a device of its location
+//! and orientation with respect to a map" (§4). In the federated design
+//! (§5.2) the *client* collects location cues — GNSS fixes, beacon
+//! signal strengths, fiducial tag scans — and sends them to discovered
+//! map servers; each server localizes the device *within its own map*
+//! and the client selects the most plausible result by comparing
+//! against its inertial dead reckoning.
+//!
+//! This crate provides every piece of that pipeline:
+//!
+//! - [`LocationCue`] — the cue vocabulary exchanged with servers,
+//! - [`gnss`] — a noise-modelled outdoor-only GNSS fix source,
+//! - [`radio`] — log-distance path-loss beacon simulation plus
+//!   fingerprint-database (k-NN) indoor localization,
+//! - [`fiducial`] — exact tag-based localization,
+//! - [`deadreckon`] — IMU-style odometry with drift,
+//! - [`fusion`] — a particle filter fusing odometry with server
+//!   estimates, and the plausibility scoring used to pick among
+//!   candidate results from overlapping servers.
+
+pub mod cues;
+pub mod deadreckon;
+pub mod fiducial;
+pub mod fusion;
+pub mod gnss;
+pub mod radio;
+
+pub use cues::{Estimate, LocationCue};
+pub use deadreckon::DeadReckoner;
+pub use fiducial::TagRegistry;
+pub use fusion::{plausibility, ParticleFilter};
+pub use gnss::GnssModel;
+pub use radio::{Beacon, RadioMap};

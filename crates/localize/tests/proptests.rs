@@ -1,0 +1,122 @@
+//! Property-based tests for localization primitives.
+
+use openflame_geo::Point2;
+use openflame_localize::cues::LocationCue;
+use openflame_localize::{Beacon, Estimate, ParticleFilter, RadioMap, TagRegistry};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn store_beacons() -> Vec<Beacon> {
+    vec![
+        Beacon {
+            id: 1,
+            pos: Point2::new(0.0, 0.0),
+            tx_power_dbm: -40.0,
+        },
+        Beacon {
+            id: 2,
+            pos: Point2::new(40.0, 0.0),
+            tx_power_dbm: -40.0,
+        },
+        Beacon {
+            id: 3,
+            pos: Point2::new(0.0, 30.0),
+            tx_power_dbm: -40.0,
+        },
+        Beacon {
+            id: 4,
+            pos: Point2::new(40.0, 30.0),
+            tx_power_dbm: -40.0,
+        },
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fingerprint_estimate_stays_in_surveyed_area(
+        x in 0.0f64..40.0,
+        y in 0.0f64..30.0,
+        noise in 0.1f64..6.0,
+        seed in any::<u64>(),
+    ) {
+        let rm = RadioMap::survey(store_beacons(), Point2::ZERO, Point2::new(40.0, 30.0), 2.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cue = rm.observe(&mut rng, Point2::new(x, y), noise);
+        if let Some(est) = rm.localize(&cue, 4) {
+            prop_assert!(est.pos.x >= -1.0 && est.pos.x <= 41.0);
+            prop_assert!(est.pos.y >= -1.0 && est.pos.y <= 31.0);
+            prop_assert!(est.error_m >= 1.0, "error estimate at least half the grid step");
+        }
+    }
+
+    #[test]
+    fn localization_error_bounded_under_low_noise(
+        x in 2.0f64..38.0,
+        y in 2.0f64..28.0,
+        seed in any::<u64>(),
+    ) {
+        let rm = RadioMap::survey(store_beacons(), Point2::ZERO, Point2::new(40.0, 30.0), 2.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cue = rm.observe(&mut rng, Point2::new(x, y), 0.5);
+        let est = rm.localize(&cue, 4).expect("low noise always localizes");
+        let err = est.pos.distance(Point2::new(x, y));
+        prop_assert!(err < 6.0, "err {} at ({}, {})", err, x, y);
+    }
+
+    #[test]
+    fn particle_filter_mean_within_particle_hull(
+        px in -50.0f64..50.0,
+        py in -50.0f64..50.0,
+        spread in 0.5f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pf = ParticleFilter::new(&mut rng, 200, Point2::new(px, py), spread);
+        let mean = pf.mean();
+        // The mean of a cloud centered at (px, py) stays near it.
+        prop_assert!(mean.distance(Point2::new(px, py)) < spread * 4.0 + 1.0);
+        prop_assert!(pf.spread() < spread * 4.0 + 1.0);
+    }
+
+    #[test]
+    fn repeated_updates_converge_anywhere(
+        tx in -100.0f64..100.0,
+        ty in -100.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pf = ParticleFilter::new(&mut rng, 300, Point2::ZERO, 30.0);
+        let est = Estimate { pos: Point2::new(tx, ty), error_m: 2.0, technology: "t".into() };
+        // A bootstrap filter can only travel via process noise, so give
+        // it enough steps (and realistic pedestrian process noise) to
+        // reach targets up to ~2 sigma outside the initial cloud.
+        for _ in 0..30 {
+            pf.predict(&mut rng, Point2::ZERO, 1.0);
+            pf.update(&mut rng, &est);
+        }
+        prop_assert!(pf.mean().distance(est.pos) < 3.0);
+    }
+
+    #[test]
+    fn tag_registry_lookup_total(ids in proptest::collection::vec(any::<u64>(), 1..30)) {
+        let mut reg = TagRegistry::new();
+        for (i, id) in ids.iter().enumerate() {
+            reg.install(*id, Point2::new(i as f64, 0.0));
+        }
+        for id in &ids {
+            // prop_assert! stringifies its expression into a format
+            // string, so struct-literal braces must stay outside it.
+            let cue = LocationCue::FiducialTag { tag_id: *id };
+            let found = reg.localize(&cue).is_some();
+            prop_assert!(found);
+        }
+        // Unknown ids (outside the set) return None.
+        let unknown = ids.iter().max().unwrap().wrapping_add(1);
+        if !ids.contains(&unknown) {
+            let cue = LocationCue::FiducialTag { tag_id: unknown };
+            let missing = reg.localize(&cue).is_none();
+            prop_assert!(missing);
+        }
+    }
+}

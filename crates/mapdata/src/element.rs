@@ -1,0 +1,186 @@
+//! The three OSM element kinds: nodes, ways and relations.
+
+use crate::Tags;
+use openflame_geo::Point2;
+
+/// Identifier of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// Identifier of a way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WayId(pub u64);
+
+/// Identifier of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u64);
+
+/// A typed reference to any element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementId {
+    /// A node reference.
+    Node(NodeId),
+    /// A way reference.
+    Way(WayId),
+    /// A relation reference.
+    Relation(RelationId),
+}
+
+/// A point on the map with metadata.
+///
+/// Positions are meters in the owning document's local frame; see
+/// [`crate::GeoReference`] for how frames relate to geographic space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Unique id within the document.
+    pub id: NodeId,
+    /// Position in the document frame (meters).
+    pub pos: Point2,
+    /// Metadata.
+    pub tags: Tags,
+}
+
+impl Node {
+    /// Creates a node.
+    pub fn new(id: NodeId, pos: Point2, tags: Tags) -> Self {
+        Self { id, pos, tags }
+    }
+}
+
+/// An ordered polyline (or closed ring) of nodes with metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Way {
+    /// Unique id within the document.
+    pub id: WayId,
+    /// Ordered node references; at least two.
+    pub nodes: Vec<NodeId>,
+    /// Metadata.
+    pub tags: Tags,
+}
+
+impl Way {
+    /// Creates a way.
+    pub fn new(id: WayId, nodes: Vec<NodeId>, tags: Tags) -> Self {
+        Self { id, nodes, tags }
+    }
+
+    /// Whether the way forms a closed ring (first node repeats last).
+    pub fn is_closed(&self) -> bool {
+        self.nodes.len() >= 3 && self.nodes.first() == self.nodes.last()
+    }
+
+    /// Whether traffic is one-way (`oneway=yes`).
+    pub fn is_oneway(&self) -> bool {
+        self.tags.is("oneway", "yes")
+    }
+}
+
+/// A member of a relation: an element reference plus a role string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Referenced element.
+    pub element: ElementId,
+    /// Role of the member within the relation (e.g. `"entrance"`).
+    pub role: String,
+}
+
+impl Member {
+    /// Creates a member.
+    pub fn new(element: ElementId, role: impl Into<String>) -> Self {
+        Self {
+            element,
+            role: role.into(),
+        }
+    }
+}
+
+/// A collection of related elements with roles and metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// Unique id within the document.
+    pub id: RelationId,
+    /// Members in order.
+    pub members: Vec<Member>,
+    /// Metadata.
+    pub tags: Tags,
+}
+
+impl Relation {
+    /// Creates a relation.
+    pub fn new(id: RelationId, members: Vec<Member>, tags: Tags) -> Self {
+        Self { id, members, tags }
+    }
+
+    /// Members having the given role.
+    pub fn members_with_role<'a>(&'a self, role: &'a str) -> impl Iterator<Item = &'a Member> {
+        self.members.iter().filter(move |m| m.role == role)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn way_closed_detection() {
+        let open = Way::new(WayId(1), vec![NodeId(1), NodeId(2), NodeId(3)], Tags::new());
+        assert!(!open.is_closed());
+        let closed = Way::new(
+            WayId(2),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(1)],
+            Tags::new(),
+        );
+        assert!(closed.is_closed());
+        // Two nodes can't close a ring.
+        let tiny = Way::new(WayId(3), vec![NodeId(1), NodeId(1)], Tags::new());
+        assert!(!tiny.is_closed());
+    }
+
+    #[test]
+    fn way_oneway_tag() {
+        let w = Way::new(
+            WayId(1),
+            vec![NodeId(1), NodeId(2)],
+            Tags::new().with("oneway", "yes"),
+        );
+        assert!(w.is_oneway());
+        let w2 = Way::new(WayId(1), vec![NodeId(1), NodeId(2)], Tags::new());
+        assert!(!w2.is_oneway());
+    }
+
+    #[test]
+    fn relation_role_filter() {
+        let r = Relation::new(
+            RelationId(9),
+            vec![
+                Member::new(ElementId::Node(NodeId(1)), "entrance"),
+                Member::new(ElementId::Node(NodeId(2)), "exit"),
+                Member::new(ElementId::Node(NodeId(3)), "entrance"),
+            ],
+            Tags::new(),
+        );
+        let entrances: Vec<_> = r.members_with_role("entrance").collect();
+        assert_eq!(entrances.len(), 2);
+        assert_eq!(r.members_with_role("nothing").count(), 0);
+    }
+
+    #[test]
+    fn element_id_ordering_stable() {
+        let mut ids = vec![
+            ElementId::Relation(RelationId(1)),
+            ElementId::Way(WayId(5)),
+            ElementId::Node(NodeId(9)),
+            ElementId::Node(NodeId(2)),
+        ];
+        ids.sort();
+        assert_eq!(
+            ids,
+            vec![
+                ElementId::Node(NodeId(2)),
+                ElementId::Node(NodeId(9)),
+                ElementId::Way(WayId(5)),
+                ElementId::Relation(RelationId(1)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Free-form key/value metadata attached to map elements.
+
+use std::collections::BTreeMap;
+
+/// An ordered key → value tag map.
+///
+/// Tags carry all element semantics, exactly as in OpenStreetMap: a way
+/// with `highway=residential` is a street, a node with `shop=grocery` is
+/// a store, a shelf node in an indoor map might carry
+/// `product=seaweed, flavor=wasabi`. Ordering is deterministic
+/// (`BTreeMap`) so encodings and iteration are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use openflame_mapdata::Tags;
+///
+/// let tags = Tags::new()
+///     .with("amenity", "restaurant")
+///     .with("name", "Primanti Bros");
+/// assert_eq!(tags.get("amenity"), Some("restaurant"));
+/// assert!(tags.has("name"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tags {
+    entries: BTreeMap<String, String>,
+}
+
+impl Tags {
+    /// Creates an empty tag set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.insert(key, value);
+        self
+    }
+
+    /// Inserts or replaces a tag, returning the previous value.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// The value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Whether `key` is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Whether `key` is present with exactly `value`.
+    pub fn is(&self, key: &str, value: &str) -> bool {
+        self.get(key) == Some(value)
+    }
+
+    /// Removes a tag, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        self.entries.remove(key)
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no tags.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The element's display name (`name` tag), if any.
+    pub fn name(&self) -> Option<&str> {
+        self.get("name")
+    }
+}
+
+impl FromIterator<(String, String)> for Tags {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Tags {
+    type Item = (&'a String, &'a String);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, String>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = Tags::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert("k", "v1"), None);
+        assert_eq!(t.insert("k", "v2"), Some("v1".to_string()));
+        assert_eq!(t.get("k"), Some("v2"));
+        assert!(t.is("k", "v2"));
+        assert!(!t.is("k", "v1"));
+        assert_eq!(t.remove("k"), Some("v2".to_string()));
+        assert!(t.get("k").is_none());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let t = Tags::new().with("z", "1").with("a", "2").with("m", "3");
+        let keys: Vec<&str> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn name_helper() {
+        assert_eq!(Tags::new().name(), None);
+        assert_eq!(Tags::new().with("name", "CMU").name(), Some("CMU"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tags = vec![("a".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(t.get("a"), Some("1"));
+    }
+}

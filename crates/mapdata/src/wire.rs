@@ -1,0 +1,420 @@
+//! Wire-format encodings for map data, so documents and patches can
+//! cross the simulated network with honest byte accounting.
+
+use crate::element::{ElementId, Member, Node, NodeId, Relation, RelationId, Way, WayId};
+use crate::{GeoReference, MapDocument, MapMeta, MapPatch, Tags};
+use openflame_codec::{CodecError, Reader, Wire, Writer};
+use openflame_geo::{LatLng, Point2};
+
+/// Encodes a planar point (two f64s).
+pub fn put_point(w: &mut Writer, p: Point2) {
+    w.put_f64(p.x);
+    w.put_f64(p.y);
+}
+
+/// Decodes a planar point.
+pub fn read_point(r: &mut Reader<'_>) -> Result<Point2, CodecError> {
+    Ok(Point2::new(r.read_f64()?, r.read_f64()?))
+}
+
+/// Encodes a geodetic coordinate (two f64s).
+pub fn put_latlng(w: &mut Writer, p: LatLng) {
+    w.put_f64(p.lat());
+    w.put_f64(p.lng());
+}
+
+/// Decodes a geodetic coordinate, validating range.
+pub fn read_latlng(r: &mut Reader<'_>) -> Result<LatLng, CodecError> {
+    let lat = r.read_f64()?;
+    let lng = r.read_f64()?;
+    LatLng::new(lat, lng).map_err(|_| CodecError::InvalidTag {
+        context: "LatLng",
+        tag: 0,
+    })
+}
+
+impl Wire for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(NodeId(r.read_varint()?))
+    }
+}
+
+impl Wire for WayId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WayId(r.read_varint()?))
+    }
+}
+
+impl Wire for RelationId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RelationId(r.read_varint()?))
+    }
+}
+
+impl Wire for ElementId {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ElementId::Node(id) => {
+                w.put_u8(0);
+                id.encode(w);
+            }
+            ElementId::Way(id) => {
+                w.put_u8(1);
+                id.encode(w);
+            }
+            ElementId::Relation(id) => {
+                w.put_u8(2);
+                id.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.read_u8()? {
+            0 => Ok(ElementId::Node(NodeId::decode(r)?)),
+            1 => Ok(ElementId::Way(WayId::decode(r)?)),
+            2 => Ok(ElementId::Relation(RelationId::decode(r)?)),
+            tag => Err(CodecError::InvalidTag {
+                context: "ElementId",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+impl Wire for Tags {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.len() as u64);
+        for (k, v) in self.iter() {
+            w.put_str(k);
+            w.put_str(v);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_length()?;
+        let mut tags = Tags::new();
+        for _ in 0..n {
+            let k = r.read_string()?;
+            let v = r.read_string()?;
+            tags.insert(k, v);
+        }
+        Ok(tags)
+    }
+}
+
+impl Wire for Node {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        put_point(w, self.pos);
+        self.tags.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Node {
+            id: NodeId::decode(r)?,
+            pos: read_point(r)?,
+            tags: Tags::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Way {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.nodes.encode(w);
+        self.tags.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Way {
+            id: WayId::decode(r)?,
+            nodes: Vec::decode(r)?,
+            tags: Tags::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Member {
+    fn encode(&self, w: &mut Writer) {
+        self.element.encode(w);
+        w.put_str(&self.role);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Member {
+            element: ElementId::decode(r)?,
+            role: r.read_string()?,
+        })
+    }
+}
+
+impl Wire for Relation {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.members.encode(w);
+        self.tags.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Relation {
+            id: RelationId::decode(r)?,
+            members: Vec::decode(r)?,
+            tags: Tags::decode(r)?,
+        })
+    }
+}
+
+impl Wire for GeoReference {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GeoReference::Anchored { origin } => {
+                w.put_u8(0);
+                put_latlng(w, *origin);
+            }
+            GeoReference::Unaligned { hint } => {
+                w.put_u8(1);
+                match hint {
+                    Some(h) => {
+                        w.put_u8(1);
+                        put_latlng(w, *h);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.read_u8()? {
+            0 => Ok(GeoReference::Anchored {
+                origin: read_latlng(r)?,
+            }),
+            1 => {
+                let hint = match r.read_u8()? {
+                    0 => None,
+                    1 => Some(read_latlng(r)?),
+                    tag => {
+                        return Err(CodecError::InvalidTag {
+                            context: "GeoReference hint",
+                            tag: tag as u64,
+                        })
+                    }
+                };
+                Ok(GeoReference::Unaligned { hint })
+            }
+            tag => Err(CodecError::InvalidTag {
+                context: "GeoReference",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+impl Wire for MapMeta {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_str(&self.provider);
+        w.put_varint(self.version);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MapMeta {
+            name: r.read_string()?,
+            provider: r.read_string()?,
+            version: r.read_varint()?,
+        })
+    }
+}
+
+impl Wire for MapDocument {
+    fn encode(&self, w: &mut Writer) {
+        self.meta().encode(w);
+        self.georef().encode(w);
+        w.put_varint(self.node_count() as u64);
+        for n in self.nodes() {
+            n.encode(w);
+        }
+        w.put_varint(self.way_count() as u64);
+        for way in self.ways() {
+            way.encode(w);
+        }
+        w.put_varint(self.relation_count() as u64);
+        for rel in self.relations() {
+            rel.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let meta = MapMeta::decode(r)?;
+        let georef = GeoReference::decode(r)?;
+        let mut doc = MapDocument::new(meta.name.clone(), meta.provider.clone(), georef);
+        let invalid = |_| CodecError::InvalidTag {
+            context: "MapDocument element",
+            tag: 0,
+        };
+        let n_nodes = r.read_length()?;
+        for _ in 0..n_nodes {
+            doc.insert_node(Node::decode(r)?).map_err(invalid)?;
+        }
+        let n_ways = r.read_length()?;
+        for _ in 0..n_ways {
+            doc.insert_way(Way::decode(r)?).map_err(invalid)?;
+        }
+        let n_rels = r.read_length()?;
+        for _ in 0..n_rels {
+            doc.insert_relation(Relation::decode(r)?).map_err(invalid)?;
+        }
+        for _ in 0..meta.version {
+            doc.bump_version();
+        }
+        Ok(doc)
+    }
+}
+
+impl Wire for MapPatch {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.base_version);
+        self.upsert_nodes.encode(w);
+        self.upsert_ways.encode(w);
+        self.upsert_relations.encode(w);
+        self.remove_nodes.encode(w);
+        self.remove_ways.encode(w);
+        self.remove_relations.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MapPatch {
+            base_version: r.read_varint()?,
+            upsert_nodes: Vec::decode(r)?,
+            upsert_ways: Vec::decode(r)?,
+            upsert_relations: Vec::decode(r)?,
+            remove_nodes: Vec::decode(r)?,
+            remove_ways: Vec::decode(r)?,
+            remove_relations: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_codec::{from_bytes, to_bytes};
+
+    fn sample_doc() -> MapDocument {
+        let mut m = MapDocument::new(
+            "wire-test",
+            "tester",
+            GeoReference::Anchored {
+                origin: LatLng::new(40.44, -79.94).unwrap(),
+            },
+        );
+        let a = m.add_node(Point2::new(0.0, 0.0), Tags::new().with("name", "A"));
+        let b = m.add_node(Point2::new(10.0, 5.0), Tags::new().with("shop", "grocery"));
+        let w = m
+            .add_way(vec![a, b], Tags::new().with("highway", "service"))
+            .unwrap();
+        m.add_relation(
+            vec![
+                Member::new(ElementId::Way(w), "perimeter"),
+                Member::new(ElementId::Node(a), "entrance"),
+            ],
+            Tags::new().with("type", "building"),
+        )
+        .unwrap();
+        m.bump_version();
+        m
+    }
+
+    #[test]
+    fn node_round_trip() {
+        let n = Node::new(
+            NodeId(42),
+            Point2::new(1.5, -2.5),
+            Tags::new().with("a", "b"),
+        );
+        assert_eq!(from_bytes::<Node>(&to_bytes(&n)).unwrap(), n);
+    }
+
+    #[test]
+    fn element_id_round_trip() {
+        for id in [
+            ElementId::Node(NodeId(1)),
+            ElementId::Way(WayId(2)),
+            ElementId::Relation(RelationId(3)),
+        ] {
+            assert_eq!(from_bytes::<ElementId>(&to_bytes(&id)).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn georef_round_trip() {
+        let cases = [
+            GeoReference::Anchored {
+                origin: LatLng::new(1.0, 2.0).unwrap(),
+            },
+            GeoReference::Unaligned {
+                hint: Some(LatLng::new(3.0, 4.0).unwrap()),
+            },
+            GeoReference::Unaligned { hint: None },
+        ];
+        for g in cases {
+            assert_eq!(from_bytes::<GeoReference>(&to_bytes(&g)).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn latlng_decode_validates() {
+        let mut w = Writer::new();
+        w.put_f64(200.0); // invalid latitude
+        w.put_f64(0.0);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(read_latlng(&mut r).is_err());
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let doc = sample_doc();
+        let encoded = to_bytes(&doc);
+        let decoded = from_bytes::<MapDocument>(&encoded).unwrap();
+        assert_eq!(decoded.meta(), doc.meta());
+        assert_eq!(decoded.georef(), doc.georef());
+        assert_eq!(decoded.node_count(), doc.node_count());
+        assert_eq!(decoded.way_count(), doc.way_count());
+        assert_eq!(decoded.relation_count(), doc.relation_count());
+        assert!(decoded.validate().is_ok());
+        // Spot-check an element survived with tags.
+        let grocery = decoded.nodes().find(|n| n.tags.is("shop", "grocery"));
+        assert!(grocery.is_some());
+    }
+
+    #[test]
+    fn document_encoding_is_compact() {
+        let doc = sample_doc();
+        let encoded = to_bytes(&doc);
+        // 4 elements with small tags should encode in well under a KiB.
+        assert!(encoded.len() < 512, "encoded {} bytes", encoded.len());
+    }
+
+    #[test]
+    fn patch_round_trip() {
+        let mut p = MapPatch::new(7);
+        p.upsert_nodes
+            .push(Node::new(NodeId(1), Point2::new(1.0, 2.0), Tags::new()));
+        p.remove_ways.push(WayId(3));
+        let back = from_bytes::<MapPatch>(&to_bytes(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn corrupt_document_rejected_not_panicking() {
+        let doc = sample_doc();
+        let mut bytes = to_bytes(&doc).to_vec();
+        // Flip bytes throughout and ensure decode never panics.
+        for i in (0..bytes.len()).step_by(7) {
+            bytes[i] ^= 0xA5;
+            let _ = from_bytes::<MapDocument>(&bytes);
+            bytes[i] ^= 0xA5;
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The spatial naming scheme: cells ↔ domain names (§5.1).
+//!
+//! "We can leverage spatial indexing systems (e.g., S2, H3) to convert
+//! locations to hierarchical domain names. A polygonal region, or a
+//! zone, can be approximated by a collection of domain names. Coarse
+//! location in the form of latitude and longitude can also be converted
+//! to a domain name."
+
+use openflame_cells::CellId;
+use openflame_dns::{DnsError, DomainName};
+use openflame_geo::LatLng;
+
+/// The root domain under which all spatial names live.
+pub const SPATIAL_ROOT: &str = "cell.flame.";
+
+/// The canonical cell level for discovery queries (~600 m cells:
+/// coarse enough for GPS-quality location, fine enough to bound the
+/// result set).
+pub const QUERY_LEVEL: u8 = 14;
+
+/// The domain name of a cell: its label path under [`SPATIAL_ROOT`].
+pub fn cell_to_name(cell: CellId) -> DomainName {
+    let root = DomainName::parse(SPATIAL_ROOT).expect("constant parses");
+    let mut name = root;
+    // dns_labels is most-specific-first; build from the root down.
+    for label in cell.dns_labels().iter().rev() {
+        name = name.child(label).expect("cell labels are valid DNS labels");
+    }
+    name
+}
+
+/// The wildcard name matching every descendant cell of `cell`.
+pub fn cell_to_wildcard(cell: CellId) -> DomainName {
+    cell_to_name(cell).child("*").expect("'*' is a valid label")
+}
+
+/// The discovery query name for a coarse device location.
+pub fn query_name(location: LatLng) -> DomainName {
+    let cell = CellId::from_latlng(location, QUERY_LEVEL).expect("query level is valid");
+    cell_to_name(cell)
+}
+
+/// Parses a spatial name back into its cell.
+pub fn name_to_cell(name: &DomainName) -> Result<CellId, DnsError> {
+    let root = DomainName::parse(SPATIAL_ROOT).expect("constant parses");
+    if !name.is_subdomain_of(&root) || name == &root {
+        return Err(DnsError::BadName(format!("{name} is not a spatial name")));
+    }
+    let cell_labels: Vec<&str> = name.labels()[..name.label_count() - root.label_count()]
+        .iter()
+        .map(String::as_str)
+        .collect();
+    CellId::from_dns_labels(&cell_labels).map_err(|e| DnsError::BadName(format!("{name}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pitt() -> LatLng {
+        LatLng::new(40.4433, -79.9436).unwrap()
+    }
+
+    #[test]
+    fn cell_name_round_trip() {
+        for level in [0u8, 5, QUERY_LEVEL, 20] {
+            let cell = CellId::from_latlng(pitt(), level).unwrap();
+            let name = cell_to_name(cell);
+            assert!(name.to_string().ends_with(SPATIAL_ROOT));
+            assert_eq!(name_to_cell(&name).unwrap(), cell, "level {level}");
+        }
+    }
+
+    #[test]
+    fn query_name_is_at_query_level() {
+        let name = query_name(pitt());
+        let cell = name_to_cell(&name).unwrap();
+        assert_eq!(cell.level(), QUERY_LEVEL);
+        assert!(cell.contains_point(pitt()));
+    }
+
+    #[test]
+    fn parent_cell_name_is_suffix_of_child() {
+        let cell = CellId::from_latlng(pitt(), 10).unwrap();
+        let parent = cell.parent().unwrap();
+        let child_name = cell_to_name(cell).to_string();
+        let parent_name = cell_to_name(parent).to_string();
+        assert!(child_name.ends_with(&parent_name));
+    }
+
+    #[test]
+    fn wildcard_form() {
+        let cell = CellId::from_latlng(pitt(), 8).unwrap();
+        let w = cell_to_wildcard(cell);
+        assert!(w.is_wildcard());
+        assert!(w.to_string().starts_with("*."));
+    }
+
+    #[test]
+    fn non_spatial_names_rejected() {
+        assert!(name_to_cell(&DomainName::parse("www.example.").unwrap()).is_err());
+        assert!(name_to_cell(&DomainName::parse(SPATIAL_ROOT).unwrap()).is_err());
+        assert!(name_to_cell(&DomainName::parse("bogus.cell.flame.").unwrap()).is_err());
+    }
+
+    #[test]
+    fn nearby_points_share_query_name() {
+        let a = query_name(pitt());
+        let b = query_name(pitt().destination(45.0, 5.0));
+        assert_eq!(a, b, "5 m apart should land in the same ~600 m cell");
+    }
+}

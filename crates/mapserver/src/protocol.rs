@@ -1,0 +1,880 @@
+//! The client ↔ map-server wire protocol.
+//!
+//! Every federated interaction in §5.2 maps to one request kind. The
+//! `Hello` exchange is how servers advertise their services,
+//! localization technologies and portal nodes, which the paper calls
+//! out explicitly ("the location cue sent to the map server depends on
+//! the localization technology advertised by the server").
+
+use crate::acl::Principal;
+use openflame_codec::{CodecError, Reader, Wire, Writer};
+use openflame_geo::Point2;
+use openflame_localize::{Estimate, LocationCue};
+use openflame_mapdata::wire::{put_latlng, put_point, read_latlng, read_point};
+use openflame_mapdata::{ElementId, MapPatch};
+
+/// A request wrapped with the caller's identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Caller identity for ACL evaluation (§5.3).
+    pub principal: Principal,
+    /// The request body.
+    pub request: Request,
+}
+
+/// A map-server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Capability discovery.
+    Hello,
+    /// Forward geocode: text → positions.
+    Geocode {
+        /// Free-text address or name.
+        query: String,
+        /// Maximum results.
+        k: u32,
+    },
+    /// Reverse geocode: position → named element.
+    ReverseGeocode {
+        /// Query position in the server's map frame.
+        pos: Point2,
+        /// Search radius, meters.
+        radius_m: f64,
+    },
+    /// Location-based search.
+    Search {
+        /// Keyword query.
+        query: String,
+        /// Optional center in the server's map frame.
+        center: Option<Point2>,
+        /// Radius filter, meters.
+        radius_m: f64,
+        /// Maximum results.
+        k: u32,
+    },
+    /// Point-to-point route within this server's map.
+    Route {
+        /// Source map node.
+        from: u64,
+        /// Destination map node.
+        to: u64,
+    },
+    /// Portal cost matrix for stitched routing (§5.2).
+    RouteMatrix {
+        /// Entry portal nodes.
+        entries: Vec<u64>,
+        /// Exit portal nodes.
+        exits: Vec<u64>,
+    },
+    /// Localize from sensor cues.
+    Localize {
+        /// The cues collected by the device.
+        cues: Vec<LocationCue>,
+    },
+    /// Fetch a rendered tile (anchored servers only).
+    GetTile {
+        /// Zoom level.
+        z: u8,
+        /// Tile column.
+        x: u32,
+        /// Tile row.
+        y: u32,
+    },
+    /// Apply a map update.
+    ApplyPatch {
+        /// The patch.
+        patch: MapPatch,
+    },
+    /// Find the nearest routable map node to a position (the primitive
+    /// clients use to turn a geocoded position into a route endpoint).
+    NearestNode {
+        /// Query position in the server's map frame.
+        pos: Point2,
+    },
+}
+
+/// Server capability advertisement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloInfo {
+    /// Stable server identifier.
+    pub server_id: String,
+    /// Human-readable map name.
+    pub map_name: String,
+    /// Services this server offers (post-ACL visibility not applied;
+    /// callers may still be denied per identity).
+    pub services: Vec<String>,
+    /// Localization technologies accepted (`"beacon"`, `"tag"`,
+    /// `"gnss"`).
+    pub localization_techs: Vec<String>,
+    /// Whether the map frame is geo-anchored.
+    pub anchored: bool,
+    /// For anchored maps, the geographic anchor of the local frame, so
+    /// clients can convert geographic positions into the server's frame.
+    pub anchor: Option<openflame_geo::LatLng>,
+    /// Portal (entrance) nodes usable for route stitching, with a
+    /// coarse geographic hint of where each portal meets the street.
+    pub portals: Vec<(u64, openflame_geo::LatLng)>,
+    /// Current map data version.
+    pub version: u64,
+}
+
+/// A geocode hit on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGeocodeHit {
+    /// Matched element.
+    pub element: ElementId,
+    /// Position in the server's map frame.
+    pub pos: Point2,
+    /// Match score.
+    pub score: f64,
+    /// Display label.
+    pub label: String,
+}
+
+/// A search result on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSearchResult {
+    /// Matched element.
+    pub element: ElementId,
+    /// Position in the server's map frame.
+    pub pos: Point2,
+    /// Ranking score.
+    pub score: f64,
+    /// Distance from the query center.
+    pub distance_m: f64,
+    /// Display label.
+    pub label: String,
+}
+
+/// A route on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRoute {
+    /// Map node ids along the path.
+    pub nodes: Vec<u64>,
+    /// Total cost, seconds.
+    pub cost: f64,
+    /// Total length, meters.
+    pub length_m: f64,
+    /// Geometry in the server's map frame.
+    pub geometry: Vec<Point2>,
+}
+
+/// A localization estimate on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEstimate {
+    /// Position in the server's map frame.
+    pub pos: Point2,
+    /// 1-sigma error, meters.
+    pub error_m: f64,
+    /// Producing technology.
+    pub technology: String,
+}
+
+impl From<Estimate> for WireEstimate {
+    fn from(e: Estimate) -> Self {
+        Self {
+            pos: e.pos,
+            error_m: e.error_m,
+            technology: e.technology,
+        }
+    }
+}
+
+/// A map-server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Capability advertisement.
+    Hello(HelloInfo),
+    /// Geocode results.
+    Geocode {
+        /// Ranked hits.
+        hits: Vec<WireGeocodeHit>,
+    },
+    /// Reverse-geocode result.
+    ReverseGeocode {
+        /// The nearest named element, if any.
+        hit: Option<WireGeocodeHit>,
+    },
+    /// Search results.
+    Search {
+        /// Ranked results.
+        results: Vec<WireSearchResult>,
+    },
+    /// Route result.
+    Route {
+        /// The route, or `None` when no path exists.
+        route: Option<WireRoute>,
+    },
+    /// Portal cost matrix (`entries × exits`, seconds; infinity encoded
+    /// as a very large sentinel preserved by f64).
+    RouteMatrix {
+        /// Row-major costs.
+        costs: Vec<Vec<f64>>,
+    },
+    /// Localization estimates, best first.
+    Localize {
+        /// Candidate estimates.
+        estimates: Vec<WireEstimate>,
+    },
+    /// A rendered tile.
+    Tile {
+        /// Zoom level.
+        z: u8,
+        /// Column.
+        x: u32,
+        /// Row.
+        y: u32,
+        /// Raw RGB bytes, row-major 256×256×3.
+        rgb: Vec<u8>,
+    },
+    /// Patch accepted.
+    PatchApplied {
+        /// New map version.
+        version: u64,
+    },
+    /// Nearest routable node result.
+    NearestNode {
+        /// The node and its distance from the query position, if the
+        /// graph is non-empty.
+        node: Option<(u64, f64)>,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable code (1 = denied, 2 = not offered,
+        /// 3 = malformed, 4 = failed).
+        code: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------
+// Wire implementations.
+// ---------------------------------------------------------------
+
+impl Wire for Principal {
+    fn encode(&self, w: &mut Writer) {
+        self.user.encode(w);
+        self.app.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Principal {
+            user: Option::decode(r)?,
+            app: Option::decode(r)?,
+        })
+    }
+}
+
+/// Encodes a location cue (free function: `LocationCue` lives in
+/// `openflame-localize`, which does not depend on the codec).
+pub fn put_cue(w: &mut Writer, cue: &LocationCue) {
+    match cue {
+        LocationCue::Gnss { fix, accuracy_m } => {
+            w.put_u8(0);
+            put_latlng(w, *fix);
+            w.put_f64(*accuracy_m);
+        }
+        LocationCue::BeaconRssi { readings } => {
+            w.put_u8(1);
+            w.put_varint(readings.len() as u64);
+            for (id, rssi) in readings {
+                w.put_varint(*id);
+                w.put_f64(*rssi);
+            }
+        }
+        LocationCue::FiducialTag { tag_id } => {
+            w.put_u8(2);
+            w.put_varint(*tag_id);
+        }
+    }
+}
+
+/// Decodes a location cue.
+pub fn read_cue(r: &mut Reader<'_>) -> Result<LocationCue, CodecError> {
+    match r.read_u8()? {
+        0 => Ok(LocationCue::Gnss {
+            fix: read_latlng(r)?,
+            accuracy_m: r.read_f64()?,
+        }),
+        1 => {
+            let n = r.read_length()?;
+            let mut readings = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                readings.push((r.read_varint()?, r.read_f64()?));
+            }
+            Ok(LocationCue::BeaconRssi { readings })
+        }
+        2 => Ok(LocationCue::FiducialTag {
+            tag_id: r.read_varint()?,
+        }),
+        tag => Err(CodecError::InvalidTag {
+            context: "LocationCue",
+            tag: tag as u64,
+        }),
+    }
+}
+
+impl Wire for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Hello => w.put_u8(0),
+            Request::Geocode { query, k } => {
+                w.put_u8(1);
+                w.put_str(query);
+                w.put_varint(*k as u64);
+            }
+            Request::ReverseGeocode { pos, radius_m } => {
+                w.put_u8(2);
+                put_point(w, *pos);
+                w.put_f64(*radius_m);
+            }
+            Request::Search {
+                query,
+                center,
+                radius_m,
+                k,
+            } => {
+                w.put_u8(3);
+                w.put_str(query);
+                match center {
+                    Some(c) => {
+                        w.put_u8(1);
+                        put_point(w, *c);
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_f64(*radius_m);
+                w.put_varint(*k as u64);
+            }
+            Request::Route { from, to } => {
+                w.put_u8(4);
+                w.put_varint(*from);
+                w.put_varint(*to);
+            }
+            Request::RouteMatrix { entries, exits } => {
+                w.put_u8(5);
+                entries.encode(w);
+                exits.encode(w);
+            }
+            Request::Localize { cues } => {
+                w.put_u8(6);
+                w.put_varint(cues.len() as u64);
+                for c in cues {
+                    put_cue(w, c);
+                }
+            }
+            Request::GetTile { z, x, y } => {
+                w.put_u8(7);
+                w.put_u8(*z);
+                w.put_varint(*x as u64);
+                w.put_varint(*y as u64);
+            }
+            Request::ApplyPatch { patch } => {
+                w.put_u8(8);
+                patch.encode(w);
+            }
+            Request::NearestNode { pos } => {
+                w.put_u8(9);
+                put_point(w, *pos);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.read_u8()? {
+            0 => Ok(Request::Hello),
+            1 => Ok(Request::Geocode {
+                query: r.read_string()?,
+                k: r.read_varint()? as u32,
+            }),
+            2 => Ok(Request::ReverseGeocode {
+                pos: read_point(r)?,
+                radius_m: r.read_f64()?,
+            }),
+            3 => {
+                let query = r.read_string()?;
+                let center = match r.read_u8()? {
+                    0 => None,
+                    1 => Some(read_point(r)?),
+                    tag => {
+                        return Err(CodecError::InvalidTag {
+                            context: "Search center",
+                            tag: tag as u64,
+                        })
+                    }
+                };
+                Ok(Request::Search {
+                    query,
+                    center,
+                    radius_m: r.read_f64()?,
+                    k: r.read_varint()? as u32,
+                })
+            }
+            4 => Ok(Request::Route {
+                from: r.read_varint()?,
+                to: r.read_varint()?,
+            }),
+            5 => Ok(Request::RouteMatrix {
+                entries: Vec::decode(r)?,
+                exits: Vec::decode(r)?,
+            }),
+            6 => {
+                let n = r.read_length()?;
+                let mut cues = Vec::with_capacity(n.min(32));
+                for _ in 0..n {
+                    cues.push(read_cue(r)?);
+                }
+                Ok(Request::Localize { cues })
+            }
+            7 => Ok(Request::GetTile {
+                z: r.read_u8()?,
+                x: r.read_varint()? as u32,
+                y: r.read_varint()? as u32,
+            }),
+            8 => Ok(Request::ApplyPatch {
+                patch: MapPatch::decode(r)?,
+            }),
+            9 => Ok(Request::NearestNode {
+                pos: read_point(r)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                context: "Request",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+impl Wire for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        self.principal.encode(w);
+        self.request.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Envelope {
+            principal: Principal::decode(r)?,
+            request: Request::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HelloInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.server_id);
+        w.put_str(&self.map_name);
+        self.services.encode(w);
+        self.localization_techs.encode(w);
+        self.anchored.encode(w);
+        match self.anchor {
+            Some(a) => {
+                w.put_u8(1);
+                put_latlng(w, a);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_varint(self.portals.len() as u64);
+        for (node, hint) in &self.portals {
+            w.put_varint(*node);
+            put_latlng(w, *hint);
+        }
+        w.put_varint(self.version);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let server_id = r.read_string()?;
+        let map_name = r.read_string()?;
+        let services = Vec::decode(r)?;
+        let localization_techs = Vec::decode(r)?;
+        let anchored = bool::decode(r)?;
+        let anchor = match r.read_u8()? {
+            0 => None,
+            1 => Some(read_latlng(r)?),
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    context: "Hello anchor",
+                    tag: tag as u64,
+                })
+            }
+        };
+        let n = r.read_length()?;
+        let mut portals = Vec::with_capacity(n.min(32));
+        for _ in 0..n {
+            portals.push((r.read_varint()?, read_latlng(r)?));
+        }
+        Ok(HelloInfo {
+            server_id,
+            map_name,
+            services,
+            localization_techs,
+            anchored,
+            anchor,
+            portals,
+            version: r.read_varint()?,
+        })
+    }
+}
+
+impl Wire for WireGeocodeHit {
+    fn encode(&self, w: &mut Writer) {
+        self.element.encode(w);
+        put_point(w, self.pos);
+        w.put_f64(self.score);
+        w.put_str(&self.label);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireGeocodeHit {
+            element: ElementId::decode(r)?,
+            pos: read_point(r)?,
+            score: r.read_f64()?,
+            label: r.read_string()?,
+        })
+    }
+}
+
+impl Wire for WireSearchResult {
+    fn encode(&self, w: &mut Writer) {
+        self.element.encode(w);
+        put_point(w, self.pos);
+        w.put_f64(self.score);
+        w.put_f64(self.distance_m);
+        w.put_str(&self.label);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireSearchResult {
+            element: ElementId::decode(r)?,
+            pos: read_point(r)?,
+            score: r.read_f64()?,
+            distance_m: r.read_f64()?,
+            label: r.read_string()?,
+        })
+    }
+}
+
+impl Wire for WireRoute {
+    fn encode(&self, w: &mut Writer) {
+        self.nodes.encode(w);
+        w.put_f64(self.cost);
+        w.put_f64(self.length_m);
+        w.put_varint(self.geometry.len() as u64);
+        for p in &self.geometry {
+            put_point(w, *p);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let nodes = Vec::decode(r)?;
+        let cost = r.read_f64()?;
+        let length_m = r.read_f64()?;
+        let n = r.read_length()?;
+        let mut geometry = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            geometry.push(read_point(r)?);
+        }
+        Ok(WireRoute {
+            nodes,
+            cost,
+            length_m,
+            geometry,
+        })
+    }
+}
+
+impl Wire for WireEstimate {
+    fn encode(&self, w: &mut Writer) {
+        put_point(w, self.pos);
+        w.put_f64(self.error_m);
+        w.put_str(&self.technology);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireEstimate {
+            pos: read_point(r)?,
+            error_m: r.read_f64()?,
+            technology: r.read_string()?,
+        })
+    }
+}
+
+impl Wire for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Hello(info) => {
+                w.put_u8(0);
+                info.encode(w);
+            }
+            Response::Geocode { hits } => {
+                w.put_u8(1);
+                hits.encode(w);
+            }
+            Response::ReverseGeocode { hit } => {
+                w.put_u8(2);
+                hit.encode(w);
+            }
+            Response::Search { results } => {
+                w.put_u8(3);
+                results.encode(w);
+            }
+            Response::Route { route } => {
+                w.put_u8(4);
+                route.encode(w);
+            }
+            Response::RouteMatrix { costs } => {
+                w.put_u8(5);
+                w.put_varint(costs.len() as u64);
+                for row in costs {
+                    w.put_varint(row.len() as u64);
+                    for c in row {
+                        w.put_f64(*c);
+                    }
+                }
+            }
+            Response::Localize { estimates } => {
+                w.put_u8(6);
+                estimates.encode(w);
+            }
+            Response::Tile { z, x, y, rgb } => {
+                w.put_u8(7);
+                w.put_u8(*z);
+                w.put_varint(*x as u64);
+                w.put_varint(*y as u64);
+                w.put_bytes(rgb);
+            }
+            Response::PatchApplied { version } => {
+                w.put_u8(8);
+                w.put_varint(*version);
+            }
+            Response::NearestNode { node } => {
+                w.put_u8(10);
+                match node {
+                    Some((id, d)) => {
+                        w.put_u8(1);
+                        w.put_varint(*id);
+                        w.put_f64(*d);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Response::Error { code, message } => {
+                w.put_u8(9);
+                w.put_u8(*code);
+                w.put_str(message);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.read_u8()? {
+            0 => Ok(Response::Hello(HelloInfo::decode(r)?)),
+            1 => Ok(Response::Geocode {
+                hits: Vec::decode(r)?,
+            }),
+            2 => Ok(Response::ReverseGeocode {
+                hit: Option::decode(r)?,
+            }),
+            3 => Ok(Response::Search {
+                results: Vec::decode(r)?,
+            }),
+            4 => Ok(Response::Route {
+                route: Option::decode(r)?,
+            }),
+            5 => {
+                let rows = r.read_length()?;
+                let mut costs = Vec::with_capacity(rows.min(128));
+                for _ in 0..rows {
+                    let cols = r.read_length()?;
+                    let mut row = Vec::with_capacity(cols.min(128));
+                    for _ in 0..cols {
+                        row.push(r.read_f64()?);
+                    }
+                    costs.push(row);
+                }
+                Ok(Response::RouteMatrix { costs })
+            }
+            6 => Ok(Response::Localize {
+                estimates: Vec::decode(r)?,
+            }),
+            7 => Ok(Response::Tile {
+                z: r.read_u8()?,
+                x: r.read_varint()? as u32,
+                y: r.read_varint()? as u32,
+                rgb: r.read_bytes()?,
+            }),
+            8 => Ok(Response::PatchApplied {
+                version: r.read_varint()?,
+            }),
+            9 => Ok(Response::Error {
+                code: r.read_u8()?,
+                message: r.read_string()?,
+            }),
+            10 => {
+                let node = match r.read_u8()? {
+                    0 => None,
+                    1 => Some((r.read_varint()?, r.read_f64()?)),
+                    tag => {
+                        return Err(CodecError::InvalidTag {
+                            context: "NearestNode",
+                            tag: tag as u64,
+                        })
+                    }
+                };
+                Ok(Response::NearestNode { node })
+            }
+            tag => Err(CodecError::InvalidTag {
+                context: "Response",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_codec::{from_bytes, to_bytes};
+    use openflame_geo::LatLng;
+    use openflame_mapdata::NodeId;
+
+    fn round_trip_request(req: Request) {
+        let env = Envelope {
+            principal: Principal::user_via_app("a@b.c", "app"),
+            request: req.clone(),
+        };
+        let back = from_bytes::<Envelope>(&to_bytes(&env)).unwrap();
+        assert_eq!(back.request, req);
+        assert_eq!(back.principal.user.as_deref(), Some("a@b.c"));
+    }
+
+    #[test]
+    fn all_request_kinds_round_trip() {
+        round_trip_request(Request::Hello);
+        round_trip_request(Request::Geocode {
+            query: "4810 forbes".into(),
+            k: 5,
+        });
+        round_trip_request(Request::ReverseGeocode {
+            pos: Point2::new(1.0, -2.0),
+            radius_m: 30.0,
+        });
+        round_trip_request(Request::Search {
+            query: "seaweed".into(),
+            center: Some(Point2::new(5.0, 5.0)),
+            radius_m: 100.0,
+            k: 10,
+        });
+        round_trip_request(Request::Search {
+            query: "x".into(),
+            center: None,
+            radius_m: f64::INFINITY,
+            k: 1,
+        });
+        round_trip_request(Request::Route { from: 3, to: 9 });
+        round_trip_request(Request::RouteMatrix {
+            entries: vec![1, 2],
+            exits: vec![3],
+        });
+        round_trip_request(Request::Localize {
+            cues: vec![
+                LocationCue::Gnss {
+                    fix: LatLng::new(40.0, -80.0).unwrap(),
+                    accuracy_m: 4.0,
+                },
+                LocationCue::BeaconRssi {
+                    readings: vec![(7, -55.5), (9, -72.25)],
+                },
+                LocationCue::FiducialTag { tag_id: 12 },
+            ],
+        });
+        round_trip_request(Request::GetTile {
+            z: 16,
+            x: 18300,
+            y: 24800,
+        });
+        round_trip_request(Request::ApplyPatch {
+            patch: MapPatch::new(3),
+        });
+        round_trip_request(Request::NearestNode {
+            pos: Point2::new(4.0, 5.0),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Hello(HelloInfo {
+                server_id: "grocer-1".into(),
+                map_name: "FreshMart #1".into(),
+                services: vec!["search".into(), "route".into()],
+                localization_techs: vec!["beacon".into(), "tag".into()],
+                anchored: false,
+                anchor: None,
+                portals: vec![(17, openflame_geo::LatLng::new(40.0, -80.0).unwrap())],
+                version: 4,
+            }),
+            Response::Geocode {
+                hits: vec![WireGeocodeHit {
+                    element: ElementId::Node(NodeId(4)),
+                    pos: Point2::new(1.0, 2.0),
+                    score: 0.9,
+                    label: "X".into(),
+                }],
+            },
+            Response::ReverseGeocode { hit: None },
+            Response::Search { results: vec![] },
+            Response::Route {
+                route: Some(WireRoute {
+                    nodes: vec![1, 2, 3],
+                    cost: 12.5,
+                    length_m: 17.5,
+                    geometry: vec![Point2::ZERO, Point2::new(1.0, 1.0)],
+                }),
+            },
+            Response::RouteMatrix {
+                costs: vec![vec![1.0, f64::INFINITY], vec![2.0, 3.0]],
+            },
+            Response::Localize {
+                estimates: vec![WireEstimate {
+                    pos: Point2::new(3.0, 4.0),
+                    error_m: 2.0,
+                    technology: "beacon".into(),
+                }],
+            },
+            Response::Tile {
+                z: 3,
+                x: 1,
+                y: 2,
+                rgb: vec![0u8; 12],
+            },
+            Response::PatchApplied { version: 9 },
+            Response::NearestNode {
+                node: Some((7, 2.5)),
+            },
+            Response::NearestNode { node: None },
+            Response::Error {
+                code: 1,
+                message: "denied".into(),
+            },
+        ];
+        for resp in cases {
+            let back = from_bytes::<Response>(&to_bytes(&resp)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn infinity_survives_matrix_encoding() {
+        let resp = Response::RouteMatrix {
+            costs: vec![vec![f64::INFINITY]],
+        };
+        let back = from_bytes::<Response>(&to_bytes(&resp)).unwrap();
+        let Response::RouteMatrix { costs } = back else {
+            panic!()
+        };
+        assert!(costs[0][0].is_infinite());
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for len in [0usize, 1, 7, 64] {
+            let junk: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let _ = from_bytes::<Envelope>(&junk);
+            let _ = from_bytes::<Response>(&junk);
+        }
+    }
+}

@@ -1,0 +1,825 @@
+//! The map server: service engines, ACL enforcement, RPC dispatch.
+
+use crate::acl::{AccessPolicy, Principal, ServiceKind};
+use crate::protocol::{
+    Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
+    WireSearchResult,
+};
+use crate::ServerError;
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_geo::{LatLng, Point2};
+use openflame_geocode::{reverse_geocode, Geocoder};
+use openflame_localize::{Estimate, LocationCue, RadioMap, TagRegistry};
+use openflame_mapdata::{MapDocument, MapPatch, NodeId};
+use openflame_netsim::{EndpointId, NetError, SimNet};
+use openflame_routing::dijkstra::dijkstra_many;
+use openflame_routing::{bidirectional, ContractionHierarchy, Profile, RoadGraph};
+use openflame_search::SearchIndex;
+use openflame_tiles::{Tile, TileCoord, TileRenderer};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration for spawning a map server.
+pub struct MapServerConfig {
+    /// Stable server id (used in DNS MAPSRV records).
+    pub id: String,
+    /// The map this server is authoritative for.
+    pub map: MapDocument,
+    /// Radio beacons installed in the mapped space (map frame).
+    pub beacons: Vec<openflame_localize::Beacon>,
+    /// Fiducial tags installed in the mapped space.
+    pub tags: TagRegistry,
+    /// Access policy (§5.3).
+    pub policy: AccessPolicy,
+    /// Portal nodes advertised for route stitching, each with a coarse
+    /// geographic hint of where the portal meets the outside world.
+    pub portals: Vec<(NodeId, LatLng)>,
+    /// Coarse location used for discovery registration.
+    pub location_hint: LatLng,
+    /// Zone radius used for discovery registration, meters.
+    pub radius_m: f64,
+    /// Whether to precompute a contraction hierarchy (§4.1).
+    pub build_ch: bool,
+}
+
+/// Per-service counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests served per service.
+    pub served: HashMap<ServiceKind, u64>,
+    /// Requests denied by the ACL.
+    pub denied: u64,
+    /// Patches applied.
+    pub patches: u64,
+}
+
+/// Engines rebuilt whenever the map changes.
+struct Engines {
+    map: MapDocument,
+    geocoder: Geocoder,
+    search: SearchIndex,
+    graph: RoadGraph,
+    ch: Option<ContractionHierarchy>,
+    radio: Option<RadioMap>,
+    renderer: Option<TileRenderer>,
+}
+
+impl Engines {
+    fn build(map: MapDocument, beacons: &[openflame_localize::Beacon], build_ch: bool) -> Self {
+        let geocoder = Geocoder::build(&map);
+        let search = SearchIndex::build(&map);
+        let graph = RoadGraph::from_map(&map, Profile::Walking);
+        let ch = if build_ch && graph.node_count() > 0 {
+            Some(ContractionHierarchy::build(&graph))
+        } else {
+            None
+        };
+        let radio = if beacons.is_empty() {
+            None
+        } else {
+            let (min, max) = map
+                .local_bounds()
+                .unwrap_or((Point2::ZERO, Point2::new(1.0, 1.0)));
+            Some(RadioMap::survey(
+                beacons.to_vec(),
+                min - Point2::new(2.0, 2.0),
+                max + Point2::new(2.0, 2.0),
+                2.0,
+            ))
+        };
+        let renderer = TileRenderer::new(&map);
+        Self {
+            map,
+            geocoder,
+            search,
+            graph,
+            ch,
+            radio,
+            renderer,
+        }
+    }
+}
+
+/// A federated map server bound to a network endpoint.
+pub struct MapServer {
+    id: String,
+    endpoint: EndpointId,
+    engines: RwLock<Engines>,
+    tags: TagRegistry,
+    beacons: Vec<openflame_localize::Beacon>,
+    policy: AccessPolicy,
+    portals: Vec<(NodeId, LatLng)>,
+    location_hint: LatLng,
+    radius_m: f64,
+    build_ch: bool,
+    stats: Mutex<ServerStats>,
+}
+
+impl MapServer {
+    /// Spawns the server onto the network.
+    pub fn spawn(net: &SimNet, config: MapServerConfig) -> Arc<Self> {
+        let endpoint = net.register(format!("mapsrv:{}", config.id), Some(config.location_hint));
+        let engines = Engines::build(config.map, &config.beacons, config.build_ch);
+        let server = Arc::new(Self {
+            id: config.id,
+            endpoint,
+            engines: RwLock::new(engines),
+            tags: config.tags,
+            beacons: config.beacons,
+            policy: config.policy,
+            portals: config.portals,
+            location_hint: config.location_hint,
+            radius_m: config.radius_m,
+            build_ch: config.build_ch,
+            stats: Mutex::new(ServerStats::default()),
+        });
+        let handler = server.clone();
+        net.set_handler(
+            endpoint,
+            move |_net: &SimNet, _from: EndpointId, payload: &[u8]| {
+                let response = match from_bytes::<Envelope>(payload) {
+                    Ok(env) => handler.dispatch(&env.principal, env.request),
+                    Err(e) => Response::Error {
+                        code: 3,
+                        message: format!("bad envelope: {e}"),
+                    },
+                };
+                Ok::<Vec<u8>, NetError>(to_bytes(&response).to_vec())
+            },
+        );
+        server
+    }
+
+    /// The server's stable identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The server's network endpoint.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// Coarse registration location.
+    pub fn location_hint(&self) -> LatLng {
+        self.location_hint
+    }
+
+    /// Zone radius for discovery registration.
+    pub fn radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.lock().clone()
+    }
+
+    fn count(&self, service: ServiceKind) {
+        *self.stats.lock().served.entry(service).or_insert(0) += 1;
+    }
+
+    fn check(&self, principal: &Principal, service: ServiceKind) -> Result<(), ServerError> {
+        if self.policy.allows(principal, service) {
+            Ok(())
+        } else {
+            self.stats.lock().denied += 1;
+            Err(ServerError::AccessDenied { service })
+        }
+    }
+
+    /// Capability advertisement (§5.2: technology advertisement drives
+    /// which cues clients send).
+    pub fn hello(&self) -> HelloInfo {
+        let engines = self.engines.read();
+        let mut techs = Vec::new();
+        if !self.tags.is_empty() {
+            techs.push("tag".to_string());
+        }
+        if engines.radio.is_some() {
+            techs.push("beacon".to_string());
+        }
+        let anchored = engines.renderer.is_some();
+        if anchored {
+            techs.push("gnss".to_string());
+        }
+        let mut services = vec![
+            "geocode".to_string(),
+            "rgeocode".to_string(),
+            "search".to_string(),
+            "route".to_string(),
+        ];
+        services.push("localize".to_string());
+        if anchored {
+            services.push("tiles".to_string());
+        }
+        let anchor = match engines.map.georef() {
+            openflame_mapdata::GeoReference::Anchored { origin } => Some(origin),
+            openflame_mapdata::GeoReference::Unaligned { .. } => None,
+        };
+        HelloInfo {
+            server_id: self.id.clone(),
+            map_name: engines.map.meta().name.clone(),
+            services,
+            localization_techs: techs,
+            anchored,
+            anchor,
+            portals: self.portals.iter().map(|(n, hint)| (n.0, *hint)).collect(),
+            version: engines.map.meta().version,
+        }
+    }
+
+    /// Forward geocode (ACL-checked).
+    pub fn geocode(
+        &self,
+        principal: &Principal,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<WireGeocodeHit>, ServerError> {
+        self.check(principal, ServiceKind::Geocode)?;
+        self.count(ServiceKind::Geocode);
+        let engines = self.engines.read();
+        Ok(engines
+            .geocoder
+            .query(query, k)
+            .into_iter()
+            .map(|h| WireGeocodeHit {
+                element: h.element,
+                pos: h.pos,
+                score: h.score,
+                label: h.label,
+            })
+            .collect())
+    }
+
+    /// Reverse geocode (ACL-checked).
+    pub fn reverse_geocode(
+        &self,
+        principal: &Principal,
+        pos: Point2,
+        radius_m: f64,
+    ) -> Result<Option<WireGeocodeHit>, ServerError> {
+        self.check(principal, ServiceKind::ReverseGeocode)?;
+        self.count(ServiceKind::ReverseGeocode);
+        let engines = self.engines.read();
+        Ok(
+            reverse_geocode(&engines.map, pos, radius_m).map(|h| WireGeocodeHit {
+                element: h.element,
+                pos,
+                score: 1.0 / (1.0 + h.distance_m),
+                label: h.label,
+            }),
+        )
+    }
+
+    /// Location-based search (ACL-checked).
+    pub fn search(
+        &self,
+        principal: &Principal,
+        query: &str,
+        center: Option<Point2>,
+        radius_m: f64,
+        k: usize,
+    ) -> Result<Vec<WireSearchResult>, ServerError> {
+        self.check(principal, ServiceKind::Search)?;
+        self.count(ServiceKind::Search);
+        let engines = self.engines.read();
+        Ok(engines
+            .search
+            .query(query, center, radius_m, k)
+            .into_iter()
+            .map(|r| WireSearchResult {
+                element: r.element,
+                pos: r.pos,
+                score: r.score,
+                distance_m: r.distance_m,
+                label: r.label,
+            })
+            .collect())
+    }
+
+    /// Point-to-point route within this map (ACL-checked).
+    pub fn route(
+        &self,
+        principal: &Principal,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Option<WireRoute>, ServerError> {
+        self.check(principal, ServiceKind::Route)?;
+        self.count(ServiceKind::Route);
+        let engines = self.engines.read();
+        let result = match &engines.ch {
+            Some(ch) => ch.query(from, to),
+            None => bidirectional(&engines.graph, from, to),
+        };
+        match result {
+            Ok(route) => {
+                let geometry = route
+                    .nodes
+                    .iter()
+                    .filter_map(|n| engines.map.node(*n).map(|node| node.pos))
+                    .collect();
+                Ok(Some(WireRoute {
+                    nodes: route.nodes.iter().map(|n| n.0).collect(),
+                    cost: route.cost,
+                    length_m: route.length_m,
+                    geometry,
+                }))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Portal cost matrix for stitching (ACL-checked under `Route`).
+    pub fn route_matrix(
+        &self,
+        principal: &Principal,
+        entries: &[NodeId],
+        exits: &[NodeId],
+    ) -> Result<Vec<Vec<f64>>, ServerError> {
+        self.check(principal, ServiceKind::Route)?;
+        self.count(ServiceKind::Route);
+        let engines = self.engines.read();
+        Ok(entries
+            .iter()
+            .map(|e| dijkstra_many(&engines.graph, *e, exits))
+            .collect())
+    }
+
+    /// Localization from cues (ACL-checked). Estimates are returned
+    /// best-first.
+    pub fn localize(
+        &self,
+        principal: &Principal,
+        cues: &[LocationCue],
+    ) -> Result<Vec<WireEstimate>, ServerError> {
+        self.check(principal, ServiceKind::Localize)?;
+        self.count(ServiceKind::Localize);
+        let engines = self.engines.read();
+        let mut estimates: Vec<Estimate> = Vec::new();
+        for cue in cues {
+            match cue {
+                LocationCue::FiducialTag { .. } => {
+                    if let Some(e) = self.tags.localize(cue) {
+                        estimates.push(e);
+                    }
+                }
+                LocationCue::BeaconRssi { .. } => {
+                    if let Some(radio) = &engines.radio {
+                        if let Some(e) = radio.localize(cue, 4) {
+                            estimates.push(e);
+                        }
+                    }
+                }
+                LocationCue::Gnss { fix, accuracy_m } => {
+                    // Only anchored maps can place a geographic fix in
+                    // their frame.
+                    if let Some(local) = engines.map.georef().from_geo(*fix) {
+                        estimates.push(Estimate {
+                            pos: local,
+                            error_m: *accuracy_m,
+                            technology: "gnss".into(),
+                        });
+                    }
+                }
+            }
+        }
+        estimates.sort_by(|a, b| a.error_m.total_cmp(&b.error_m));
+        Ok(estimates.into_iter().map(WireEstimate::from).collect())
+    }
+
+    /// Rendered tile (ACL-checked; anchored maps only).
+    pub fn tile(&self, principal: &Principal, coord: TileCoord) -> Result<Arc<Tile>, ServerError> {
+        self.check(principal, ServiceKind::Tiles)?;
+        self.count(ServiceKind::Tiles);
+        let engines = self.engines.read();
+        match &engines.renderer {
+            Some(renderer) => Ok(renderer.tile(coord)),
+            None => Err(ServerError::NotOffered(ServiceKind::Tiles)),
+        }
+    }
+
+    /// Applies a patch and rebuilds service engines (ACL-checked).
+    pub fn apply_patch(&self, principal: &Principal, patch: &MapPatch) -> Result<u64, ServerError> {
+        self.check(principal, ServiceKind::Update)?;
+        self.count(ServiceKind::Update);
+        let mut engines = self.engines.write();
+        let mut map = engines.map.clone();
+        patch
+            .apply(&mut map)
+            .map_err(|e| ServerError::Failed(format!("patch: {e}")))?;
+        let version = map.meta().version;
+        *engines = Engines::build(map, &self.beacons, self.build_ch);
+        self.stats.lock().patches += 1;
+        Ok(version)
+    }
+
+    /// Nearest routable node to a position (ACL-checked under `Route`).
+    pub fn nearest_node(
+        &self,
+        principal: &Principal,
+        pos: Point2,
+    ) -> Result<Option<(NodeId, f64)>, ServerError> {
+        self.check(principal, ServiceKind::Route)?;
+        self.count(ServiceKind::Route);
+        let engines = self.engines.read();
+        Ok(engines.graph.nearest_node(pos).map(|idx| {
+            let id = engines.graph.node_id(idx);
+            (id, engines.graph.position(idx).distance(pos))
+        }))
+    }
+
+    /// Runs `f` with shared access to the current map document.
+    pub fn with_map<R>(&self, f: impl FnOnce(&MapDocument) -> R) -> R {
+        f(&self.engines.read().map)
+    }
+
+    /// Dispatches a decoded request (the RPC entry point; also usable
+    /// in-process).
+    pub fn dispatch(&self, principal: &Principal, request: Request) -> Response {
+        let into_error = |e: ServerError| {
+            let code = match &e {
+                ServerError::AccessDenied { .. } => 1,
+                ServerError::NotOffered(_) => 2,
+                ServerError::Failed(_) => 4,
+            };
+            Response::Error {
+                code,
+                message: e.to_string(),
+            }
+        };
+        match request {
+            Request::Hello => {
+                if let Err(e) = self.check(principal, ServiceKind::Info) {
+                    return into_error(e);
+                }
+                self.count(ServiceKind::Info);
+                Response::Hello(self.hello())
+            }
+            Request::Geocode { query, k } => match self.geocode(principal, &query, k as usize) {
+                Ok(hits) => Response::Geocode { hits },
+                Err(e) => into_error(e),
+            },
+            Request::ReverseGeocode { pos, radius_m } => {
+                match self.reverse_geocode(principal, pos, radius_m) {
+                    Ok(hit) => Response::ReverseGeocode { hit },
+                    Err(e) => into_error(e),
+                }
+            }
+            Request::Search {
+                query,
+                center,
+                radius_m,
+                k,
+            } => match self.search(principal, &query, center, radius_m, k as usize) {
+                Ok(results) => Response::Search { results },
+                Err(e) => into_error(e),
+            },
+            Request::Route { from, to } => match self.route(principal, NodeId(from), NodeId(to)) {
+                Ok(route) => Response::Route { route },
+                Err(e) => into_error(e),
+            },
+            Request::RouteMatrix { entries, exits } => {
+                let entries: Vec<NodeId> = entries.into_iter().map(NodeId).collect();
+                let exits: Vec<NodeId> = exits.into_iter().map(NodeId).collect();
+                match self.route_matrix(principal, &entries, &exits) {
+                    Ok(costs) => Response::RouteMatrix { costs },
+                    Err(e) => into_error(e),
+                }
+            }
+            Request::Localize { cues } => match self.localize(principal, &cues) {
+                Ok(estimates) => Response::Localize { estimates },
+                Err(e) => into_error(e),
+            },
+            Request::GetTile { z, x, y } => match self.tile(principal, TileCoord { z, x, y }) {
+                Ok(tile) => {
+                    let mut rgb = Vec::with_capacity(tile.pixels().len() * 3);
+                    for &px in tile.pixels() {
+                        rgb.push((px >> 16) as u8);
+                        rgb.push((px >> 8) as u8);
+                        rgb.push(px as u8);
+                    }
+                    Response::Tile { z, x, y, rgb }
+                }
+                Err(e) => into_error(e),
+            },
+            Request::ApplyPatch { patch } => match self.apply_patch(principal, &patch) {
+                Ok(version) => Response::PatchApplied { version },
+                Err(e) => into_error(e),
+            },
+            Request::NearestNode { pos } => match self.nearest_node(principal, pos) {
+                Ok(node) => Response::NearestNode {
+                    node: node.map(|(id, d)| (id.0, d)),
+                },
+                Err(e) => into_error(e),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::Rule;
+    use openflame_mapdata::Tags;
+    use openflame_worldgen::{World, WorldConfig};
+
+    fn venue_server(net: &SimNet) -> (Arc<MapServer>, World) {
+        let world = World::generate(WorldConfig::default());
+        let venue = &world.venues[0];
+        let config = MapServerConfig {
+            id: "venue0".into(),
+            map: venue.map.clone(),
+            beacons: venue.beacons.clone(),
+            tags: venue.tags.clone(),
+            policy: AccessPolicy::open(),
+            portals: vec![(venue.entrance_local, venue.hint)],
+            location_hint: venue.hint,
+            radius_m: venue.radius_m,
+            build_ch: false,
+        };
+        (MapServer::spawn(net, config), world)
+    }
+
+    #[test]
+    fn hello_advertises_capabilities() {
+        let net = SimNet::new(1);
+        let (server, _world) = venue_server(&net);
+        let hello = server.hello();
+        assert_eq!(hello.server_id, "venue0");
+        assert!(!hello.anchored, "venue maps are unaligned");
+        assert!(hello.localization_techs.contains(&"beacon".to_string()));
+        assert!(hello.localization_techs.contains(&"tag".to_string()));
+        assert!(!hello.localization_techs.contains(&"gnss".to_string()));
+        assert_eq!(hello.portals.len(), 1);
+    }
+
+    #[test]
+    fn search_finds_stocked_products() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let product = &world.products[0];
+        let results = server
+            .search(
+                &Principal::anonymous(),
+                &product.name,
+                None,
+                f64::INFINITY,
+                5,
+            )
+            .unwrap();
+        assert!(!results.is_empty());
+        assert_eq!(results[0].label, product.name);
+    }
+
+    #[test]
+    fn route_entrance_to_shelf() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let venue = &world.venues[0];
+        let shelf = venue.stocked[5].1;
+        let route = server
+            .route(&Principal::anonymous(), venue.entrance_local, shelf)
+            .unwrap()
+            .expect("shelf is reachable");
+        assert!(route.cost > 0.0);
+        assert!(route.length_m > 1.0);
+        assert_eq!(route.nodes.first().copied(), Some(venue.entrance_local.0));
+        assert_eq!(route.nodes.last().copied(), Some(shelf.0));
+    }
+
+    #[test]
+    fn localize_from_beacon_cue() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let venue = &world.venues[0];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let truth = Point2::new(10.0, 10.0);
+        let radio = RadioMap::survey(
+            venue.beacons.clone(),
+            Point2::new(-2.0, -2.0),
+            Point2::new(60.0, 40.0),
+            2.0,
+        );
+        let cue = radio.observe(&mut rng, truth, 2.0);
+        let estimates = server.localize(&Principal::anonymous(), &[cue]).unwrap();
+        assert!(!estimates.is_empty());
+        let best = &estimates[0];
+        assert!(
+            best.pos.distance(truth) < 8.0,
+            "err {}",
+            best.pos.distance(truth)
+        );
+    }
+
+    #[test]
+    fn localize_tag_beats_beacon() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let venue = &world.venues[0];
+        let tag_id = {
+            // Find any installed tag by probing the registry through a
+            // known position: venue tags include entrance tag; we can't
+            // enumerate, so test with beacon + tag cues where tag id is
+            // reconstructed from the venue fixture.
+            // The venue installs a tag at the entrance; recover its id by
+            // trying ids derived the same way is fragile — instead
+            // install a fresh registry for this test server.
+            let mut tags = TagRegistry::new();
+            tags.install(4242, Point2::new(5.0, 5.0));
+            tags
+        };
+        let config = MapServerConfig {
+            id: "tagged".into(),
+            map: venue.map.clone(),
+            beacons: venue.beacons.clone(),
+            tags: tag_id,
+            policy: AccessPolicy::open(),
+            portals: vec![],
+            location_hint: venue.hint,
+            radius_m: venue.radius_m,
+            build_ch: false,
+        };
+        let server2 = MapServer::spawn(&net, config);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(10);
+        let radio = RadioMap::survey(
+            venue.beacons.clone(),
+            Point2::new(-2.0, -2.0),
+            Point2::new(60.0, 40.0),
+            2.0,
+        );
+        let cues = vec![
+            radio.observe(&mut rng, Point2::new(5.0, 5.0), 3.0),
+            LocationCue::FiducialTag { tag_id: 4242 },
+        ];
+        let estimates = server2.localize(&Principal::anonymous(), &cues).unwrap();
+        assert!(estimates.len() >= 2);
+        assert_eq!(estimates[0].technology, "tag", "tag is most precise");
+        let _ = server;
+    }
+
+    #[test]
+    fn acl_denies_and_counts() {
+        let net = SimNet::new(1);
+        let world = World::generate(WorldConfig::default());
+        let venue = &world.venues[1];
+        let policy = AccessPolicy::locked().with(
+            ServiceKind::Search,
+            vec![
+                Rule::AllowUserDomain("@staff.example".into()),
+                Rule::DenyAll,
+            ],
+        );
+        let config = MapServerConfig {
+            id: "locked".into(),
+            map: venue.map.clone(),
+            beacons: vec![],
+            tags: TagRegistry::new(),
+            policy,
+            portals: vec![],
+            location_hint: venue.hint,
+            radius_m: venue.radius_m,
+            build_ch: false,
+        };
+        let server = MapServer::spawn(&net, config);
+        let anon = server.search(&Principal::anonymous(), "seaweed", None, 100.0, 5);
+        assert!(matches!(anon, Err(ServerError::AccessDenied { .. })));
+        let staff = server.search(
+            &Principal::user("a@staff.example"),
+            "seaweed",
+            None,
+            f64::INFINITY,
+            5,
+        );
+        assert!(staff.is_ok());
+        assert_eq!(server.stats().denied, 1);
+    }
+
+    #[test]
+    fn rpc_round_trip_over_network() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let client = net.register("client", None);
+        let product = &world.products[2];
+        let env = Envelope {
+            principal: Principal::anonymous(),
+            request: Request::Search {
+                query: product.name.clone(),
+                center: None,
+                radius_m: f64::INFINITY,
+                k: 3,
+            },
+        };
+        let bytes = net
+            .call(client, server.endpoint(), to_bytes(&env).to_vec())
+            .unwrap();
+        let resp: Response = from_bytes(&bytes).unwrap();
+        let Response::Search { results } = resp else {
+            panic!("unexpected response {resp:?}")
+        };
+        assert!(!results.is_empty());
+        assert_eq!(results[0].label, product.name);
+        assert!(net.stats().messages >= 2);
+    }
+
+    #[test]
+    fn malformed_rpc_returns_error_response() {
+        let net = SimNet::new(1);
+        let (server, _world) = venue_server(&net);
+        let client = net.register("client", None);
+        let bytes = net
+            .call(client, server.endpoint(), vec![0xFF, 0xFE])
+            .unwrap();
+        let resp: Response = from_bytes(&bytes).unwrap();
+        assert!(matches!(resp, Response::Error { code: 3, .. }));
+    }
+
+    #[test]
+    fn patch_updates_and_rebuilds_indices() {
+        let net = SimNet::new(1);
+        let (server, _world) = venue_server(&net);
+        let admin = Principal::anonymous(); // open policy
+                                            // Add a new product node via patch.
+        let (base_version, new_node) = server.with_map(|m| (m.meta().version, NodeId(500_000)));
+        let mut patch = MapPatch::new(base_version);
+        patch.upsert_nodes.push(openflame_mapdata::Node::new(
+            new_node,
+            Point2::new(3.0, 3.0),
+            Tags::new()
+                .with("product", "starfruit")
+                .with("name", "Fresh Starfruit"),
+        ));
+        let v = server.apply_patch(&admin, &patch).unwrap();
+        assert_eq!(v, base_version + 1);
+        // The new product is searchable immediately (E9 visibility).
+        let results = server
+            .search(&admin, "starfruit", None, f64::INFINITY, 5)
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(server.stats().patches, 1);
+    }
+
+    #[test]
+    fn stale_patch_rejected() {
+        let net = SimNet::new(1);
+        let (server, _world) = venue_server(&net);
+        let patch = MapPatch::new(99);
+        assert!(matches!(
+            server.apply_patch(&Principal::anonymous(), &patch),
+            Err(ServerError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn anchored_server_serves_tiles() {
+        let net = SimNet::new(1);
+        let world = World::generate(WorldConfig::default());
+        let config = MapServerConfig {
+            id: "outdoor".into(),
+            map: world.outdoor.clone(),
+            beacons: vec![],
+            tags: TagRegistry::new(),
+            policy: AccessPolicy::open(),
+            portals: vec![],
+            location_hint: world.config.center,
+            radius_m: 2_000.0,
+            build_ch: false,
+        };
+        let server = MapServer::spawn(&net, config);
+        assert!(server.hello().anchored);
+        let (x, y) = openflame_geo::Mercator::tile_for(world.config.center, 15);
+        let tile = server
+            .tile(&Principal::anonymous(), TileCoord { z: 15, x, y })
+            .unwrap();
+        assert!(tile.coverage() > 0.0);
+        // Venue (unaligned) servers refuse tiles.
+        let (venue_server, _) = venue_server(&net);
+        assert!(matches!(
+            venue_server.tile(&Principal::anonymous(), TileCoord { z: 15, x, y }),
+            Err(ServerError::NotOffered(_))
+        ));
+    }
+
+    #[test]
+    fn route_matrix_shape_and_consistency() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let venue = &world.venues[0];
+        let entrance = venue.entrance_local;
+        let shelves: Vec<NodeId> = venue.stocked.iter().take(3).map(|s| s.1).collect();
+        let matrix = server
+            .route_matrix(&Principal::anonymous(), &[entrance], &shelves)
+            .unwrap();
+        assert_eq!(matrix.len(), 1);
+        assert_eq!(matrix[0].len(), 3);
+        // Matrix costs match individual routes.
+        for (i, shelf) in shelves.iter().enumerate() {
+            let route = server
+                .route(&Principal::anonymous(), entrance, *shelf)
+                .unwrap()
+                .expect("reachable");
+            assert!((matrix[0][i] - route.cost).abs() < 1e-6);
+        }
+    }
+}

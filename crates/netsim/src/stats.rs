@@ -1,0 +1,66 @@
+//! Traffic counters for the simulated network.
+
+/// Global traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages delivered (both directions of an RPC count separately).
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+    /// Messages dropped by failure injection.
+    pub drops: u64,
+}
+
+/// Per-endpoint traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Messages received.
+    pub rx_msgs: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Messages sent.
+    pub tx_msgs: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+}
+
+impl EndpointStats {
+    /// Total messages in either direction.
+    pub fn total_msgs(&self) -> u64 {
+        self.rx_msgs + self.tx_msgs
+    }
+
+    /// Total bytes in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.rx_bytes + self.tx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_directions() {
+        let s = EndpointStats {
+            rx_msgs: 2,
+            rx_bytes: 10,
+            tx_msgs: 3,
+            tx_bytes: 20,
+        };
+        assert_eq!(s.total_msgs(), 5);
+        assert_eq!(s.total_bytes(), 30);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(
+            NetStats::default(),
+            NetStats {
+                messages: 0,
+                bytes: 0,
+                drops: 0
+            }
+        );
+    }
+}

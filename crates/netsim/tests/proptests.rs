@@ -1,0 +1,80 @@
+//! Property-based tests for the network simulation.
+
+use openflame_netsim::{LatencyModel, NetError, SimNet};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn clock_is_monotone_under_any_call_sequence(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..3, 0usize..512), 1..40),
+    ) {
+        let net = SimNet::new(seed);
+        let server = net.register("s", None);
+        net.set_handler(server, |_: &SimNet, _f, p: &[u8]| Ok(p.to_vec()));
+        let client = net.register("c", None);
+        let mut last = net.now_us();
+        for (op, size) in ops {
+            match op {
+                0 => {
+                    let _ = net.call(client, server, vec![0u8; size]);
+                }
+                1 => net.advance_us(size as u64),
+                _ => {
+                    let _ = net.call_parallel(
+                        client,
+                        vec![(server, vec![0u8; size]), (server, vec![1u8; size])],
+                    );
+                }
+            }
+            let now = net.now_us();
+            prop_assert!(now >= last, "clock went backwards: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(seed in any::<u64>(), sizes in proptest::collection::vec(0usize..256, 1..20)) {
+        let run = |sizes: &[usize]| {
+            let net = SimNet::new(seed);
+            let server = net.register("s", None);
+            net.set_handler(server, |_: &SimNet, _f, p: &[u8]| Ok(p.to_vec()));
+            let client = net.register("c", None);
+            for &s in sizes {
+                let _ = net.call(client, server, vec![7u8; s]);
+            }
+            (net.now_us(), net.stats())
+        };
+        prop_assert_eq!(run(&sizes), run(&sizes));
+    }
+
+    #[test]
+    fn byte_accounting_is_exact(
+        sizes in proptest::collection::vec(0usize..1024, 1..20),
+    ) {
+        let lm = LatencyModel { jitter_us: 0, ..LatencyModel::default() };
+        let net = SimNet::with_latency(3, lm);
+        let server = net.register("s", None);
+        net.set_handler(server, |_: &SimNet, _f, _p: &[u8]| Ok(vec![9u8; 10]));
+        let client = net.register("c", None);
+        for &s in &sizes {
+            net.call(client, server, vec![0u8; s]).unwrap();
+        }
+        let expected: u64 = sizes.iter().map(|&s| s as u64 + 10).sum();
+        prop_assert_eq!(net.stats().bytes, expected);
+        prop_assert_eq!(net.stats().messages, sizes.len() as u64 * 2);
+    }
+
+    #[test]
+    fn down_endpoints_always_error_never_panic(seed in any::<u64>()) {
+        let net = SimNet::new(seed);
+        let server = net.register("s", None);
+        net.set_handler(server, |_: &SimNet, _f, p: &[u8]| Ok(p.to_vec()));
+        let client = net.register("c", None);
+        net.set_down(server, true);
+        for _ in 0..5 {
+            let r = net.call(client, server, vec![1]);
+            prop_assert!(matches!(r, Err(NetError::EndpointDown(_))));
+        }
+    }
+}

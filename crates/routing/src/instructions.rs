@@ -1,0 +1,197 @@
+//! Turn-by-turn instruction generation from route geometry.
+
+use openflame_geo::Point2;
+
+/// The kind of maneuver at a point along the route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Maneuver {
+    /// Start of the route.
+    Depart,
+    /// Continue straight (heading change below the turn threshold).
+    Straight,
+    /// Gentle left (30°–60°).
+    SlightLeft,
+    /// Normal left (60°–120°).
+    Left,
+    /// Sharp left (over 120°).
+    SharpLeft,
+    /// Gentle right.
+    SlightRight,
+    /// Normal right.
+    Right,
+    /// Sharp right.
+    SharpRight,
+    /// End of the route.
+    Arrive,
+}
+
+/// One instruction: do `maneuver` after traveling `distance_m` from the
+/// previous instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The maneuver to perform.
+    pub maneuver: Maneuver,
+    /// Distance from the previous instruction point, meters.
+    pub distance_m: f64,
+    /// Index into the route geometry where the maneuver happens.
+    pub at_index: usize,
+}
+
+/// Heading change (degrees, in `(-180, 180]`, positive = left turn for
+/// this convention) between two successive segments.
+fn heading_change(a: Point2, b: Point2, c: Point2) -> f64 {
+    let h1 = (b.y - a.y).atan2(b.x - a.x);
+    let h2 = (c.y - b.y).atan2(c.x - b.x);
+    let mut d = (h2 - h1).to_degrees();
+    while d > 180.0 {
+        d -= 360.0;
+    }
+    while d <= -180.0 {
+        d += 360.0;
+    }
+    d
+}
+
+/// Generates turn-by-turn instructions from route geometry.
+///
+/// Consecutive straight stretches are merged into the distance of the
+/// next real maneuver, so output length is proportional to the number of
+/// actual turns.
+///
+/// # Examples
+///
+/// ```
+/// use openflame_geo::Point2;
+/// use openflame_routing::{turn_instructions, Maneuver};
+///
+/// let path = [
+///     Point2::new(0.0, 0.0),
+///     Point2::new(10.0, 0.0),
+///     Point2::new(10.0, 10.0),
+/// ];
+/// let steps = turn_instructions(&path);
+/// assert_eq!(steps.first().unwrap().maneuver, Maneuver::Depart);
+/// assert!(steps.iter().any(|s| s.maneuver == Maneuver::Left));
+/// assert_eq!(steps.last().unwrap().maneuver, Maneuver::Arrive);
+/// ```
+pub fn turn_instructions(path: &[Point2]) -> Vec<Instruction> {
+    if path.len() < 2 {
+        return Vec::new();
+    }
+    let mut out = vec![Instruction {
+        maneuver: Maneuver::Depart,
+        distance_m: 0.0,
+        at_index: 0,
+    }];
+    let mut leg = path[0].distance(path[1]);
+    for i in 1..path.len() - 1 {
+        let turn = heading_change(path[i - 1], path[i], path[i + 1]);
+        let maneuver = match turn {
+            t if t.abs() < 30.0 => Maneuver::Straight,
+            t if t >= 120.0 => Maneuver::SharpLeft,
+            t if t >= 60.0 => Maneuver::Left,
+            t if t >= 30.0 => Maneuver::SlightLeft,
+            t if t <= -120.0 => Maneuver::SharpRight,
+            t if t <= -60.0 => Maneuver::Right,
+            _ => Maneuver::SlightRight,
+        };
+        if maneuver != Maneuver::Straight {
+            out.push(Instruction {
+                maneuver,
+                distance_m: leg,
+                at_index: i,
+            });
+            leg = 0.0;
+        }
+        leg += path[i].distance(path[i + 1]);
+    }
+    out.push(Instruction {
+        maneuver: Maneuver::Arrive,
+        distance_m: leg,
+        at_index: path.len() - 1,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_path_has_no_turns() {
+        let path: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 10.0, 0.0)).collect();
+        let steps = turn_instructions(&path);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].maneuver, Maneuver::Depart);
+        assert_eq!(steps[1].maneuver, Maneuver::Arrive);
+        assert!((steps[1].distance_m - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn left_and_right_turns_detected() {
+        // East, then north (left), then east again (right).
+        let path = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(10.0, 10.0),
+            Point2::new(20.0, 10.0),
+        ];
+        let steps = turn_instructions(&path);
+        let kinds: Vec<Maneuver> = steps.iter().map(|s| s.maneuver).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Maneuver::Depart,
+                Maneuver::Left,
+                Maneuver::Right,
+                Maneuver::Arrive
+            ]
+        );
+        // Distances: 10 m to the left turn, 10 m to the right, 10 m to
+        // arrival.
+        assert!((steps[1].distance_m - 10.0).abs() < 1e-9);
+        assert!((steps[2].distance_m - 10.0).abs() < 1e-9);
+        assert!((steps[3].distance_m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slight_and_sharp_classification() {
+        // 45° left = slight left.
+        let slight = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(17.07, 7.07),
+        ];
+        assert_eq!(turn_instructions(&slight)[1].maneuver, Maneuver::SlightLeft);
+        // 135° right = sharp right.
+        let sharp = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(3.0, -7.0),
+        ];
+        assert_eq!(turn_instructions(&sharp)[1].maneuver, Maneuver::SharpRight);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(turn_instructions(&[]).is_empty());
+        assert!(turn_instructions(&[Point2::ZERO]).is_empty());
+        let two = turn_instructions(&[Point2::ZERO, Point2::new(5.0, 0.0)]);
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn distances_sum_to_path_length() {
+        let path = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(10.0, 20.0),
+            Point2::new(-5.0, 20.0),
+            Point2::new(-5.0, 0.0),
+        ];
+        let total: f64 = path.windows(2).map(|w| w[0].distance(w[1])).sum();
+        let steps = turn_instructions(&path);
+        let sum: f64 = steps.iter().map(|s| s.distance_m).sum();
+        assert!((sum - total).abs() < 1e-9);
+    }
+}

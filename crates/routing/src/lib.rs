@@ -1,0 +1,56 @@
+//! Routing substrate: road graphs, shortest-path engines and federated
+//! route stitching.
+//!
+//! The paper names routing as a base location-based service (§4) and
+//! describes both the centralized pattern — preprocess the global map
+//! with contraction hierarchies for fast queries (§4.1, citing
+//! Geisberger et al.) — and the federated pattern, where each map server
+//! routes within its own region and the client stitches per-region legs
+//! at portal nodes (§5.2). This crate implements all of it:
+//!
+//! - [`RoadGraph`] — a directed, weighted graph extracted from a
+//!   [`MapDocument`](openflame_mapdata::MapDocument) under a travel
+//!   [`Profile`],
+//! - [`dijkstra()`], [`bidirectional`], [`astar()`] — baseline engines,
+//! - [`ContractionHierarchy`] — preprocessing + fast queries, with
+//!   shortcut unpacking,
+//! - [`stitch`] — dynamic-programming composition of per-region legs
+//!   across portal candidates,
+//! - [`instructions`] — turn-by-turn generation from route geometry.
+
+pub mod astar;
+pub mod ch;
+pub mod dijkstra;
+pub mod graph;
+pub mod instructions;
+pub mod stitch;
+
+pub use astar::astar;
+pub use ch::ContractionHierarchy;
+pub use dijkstra::{bidirectional, dijkstra, dijkstra_many};
+pub use graph::{Profile, RoadGraph, Route};
+pub use instructions::{turn_instructions, Instruction, Maneuver};
+pub use stitch::{stitch_legs, LegMatrix, StitchedPlan};
+
+/// Errors produced by routing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The requested node is not part of the routing graph.
+    NodeNotInGraph(u64),
+    /// No path exists between the endpoints.
+    NoPath,
+    /// A stitching input was malformed (e.g. empty portal set).
+    BadStitchInput(String),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NodeNotInGraph(id) => write!(f, "node {id} not in routing graph"),
+            RouteError::NoPath => write!(f, "no path between endpoints"),
+            RouteError::BadStitchInput(msg) => write!(f, "bad stitch input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}

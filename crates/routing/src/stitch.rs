@@ -1,0 +1,250 @@
+//! Stitching per-region route legs into an end-to-end plan.
+//!
+//! In the federated model (§5.2) "each map server would calculate the
+//! route that is relevant for the region that they cover. The client
+//! would collect paths from all relevant map servers, and stitch them
+//! together such that the final path optimizes a metric of interest."
+//!
+//! The stitching problem is a shortest path through a layered DAG: the
+//! traveler crosses regions `R0 → R1 → … → Rk`, each consecutive pair
+//! connected at a set of candidate portals (store entrances, campus
+//! gates). Each region server reports a cost matrix between its entry
+//! and exit portals; dynamic programming picks the portal sequence with
+//! minimal total cost.
+
+use crate::RouteError;
+
+/// Cost matrix for one leg: `costs[i][j]` is the in-region cost from
+/// entry portal `i` to exit portal `j` (`f64::INFINITY` = unreachable).
+#[derive(Debug, Clone)]
+pub struct LegMatrix {
+    /// Row = entry portal index, column = exit portal index.
+    pub costs: Vec<Vec<f64>>,
+}
+
+impl LegMatrix {
+    /// Creates a matrix, validating rectangular shape.
+    pub fn new(costs: Vec<Vec<f64>>) -> Result<Self, RouteError> {
+        if costs.is_empty() || costs[0].is_empty() {
+            return Err(RouteError::BadStitchInput("empty cost matrix".into()));
+        }
+        let cols = costs[0].len();
+        if costs.iter().any(|row| row.len() != cols) {
+            return Err(RouteError::BadStitchInput("ragged cost matrix".into()));
+        }
+        Ok(Self { costs })
+    }
+
+    fn rows(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn cols(&self) -> usize {
+        self.costs[0].len()
+    }
+}
+
+/// The result of stitching: which exit portal to take out of each leg,
+/// and the total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StitchedPlan {
+    /// For legs `0..k-1`: the chosen exit-portal index (which is also
+    /// the entry-portal index of the next leg).
+    pub portal_choices: Vec<usize>,
+    /// Total end-to-end cost.
+    pub total_cost: f64,
+}
+
+/// Stitches a chain of legs.
+///
+/// Leg `l` must have as many exit columns as leg `l + 1` has entry rows
+/// (they are the same physical portals). The first leg must have exactly
+/// one entry (the trip origin) and the last exactly one exit (the
+/// destination).
+///
+/// # Examples
+///
+/// ```
+/// use openflame_routing::{stitch_legs, LegMatrix};
+///
+/// // Origin → two doors → destination. Door 1 is better overall.
+/// let outdoor = LegMatrix::new(vec![vec![100.0, 80.0]]).unwrap();
+/// let indoor = LegMatrix::new(vec![vec![10.0], vec![50.0]]).unwrap();
+/// let plan = stitch_legs(&[outdoor, indoor]).unwrap();
+/// assert_eq!(plan.total_cost, 110.0);
+/// assert_eq!(plan.portal_choices, vec![0]);
+/// ```
+pub fn stitch_legs(legs: &[LegMatrix]) -> Result<StitchedPlan, RouteError> {
+    if legs.is_empty() {
+        return Err(RouteError::BadStitchInput("no legs".into()));
+    }
+    if legs[0].rows() != 1 {
+        return Err(RouteError::BadStitchInput(format!(
+            "first leg must have one entry, has {}",
+            legs[0].rows()
+        )));
+    }
+    if legs[legs.len() - 1].cols() != 1 {
+        return Err(RouteError::BadStitchInput(format!(
+            "last leg must have one exit, has {}",
+            legs[legs.len() - 1].cols()
+        )));
+    }
+    for (i, pair) in legs.windows(2).enumerate() {
+        if pair[0].cols() != pair[1].rows() {
+            return Err(RouteError::BadStitchInput(format!(
+                "leg {i} has {} exits but leg {} has {} entries",
+                pair[0].cols(),
+                i + 1,
+                pair[1].rows()
+            )));
+        }
+    }
+    // Forward DP over portal layers.
+    // best[j] = min cost to reach exit portal j of the current leg.
+    let mut best: Vec<f64> = legs[0].costs[0].clone();
+    // choice[l][j] = entry portal of leg l used to reach its exit j.
+    let mut choices: Vec<Vec<usize>> = vec![vec![0; legs[0].cols()]];
+    for leg in &legs[1..] {
+        let mut next = vec![f64::INFINITY; leg.cols()];
+        let mut choice = vec![usize::MAX; leg.cols()];
+        for (i, &cost_in) in best.iter().enumerate() {
+            if cost_in.is_infinite() {
+                continue;
+            }
+            for j in 0..leg.cols() {
+                let c = cost_in + leg.costs[i][j];
+                if c < next[j] {
+                    next[j] = c;
+                    choice[j] = i;
+                }
+            }
+        }
+        best = next;
+        choices.push(choice);
+    }
+    let total_cost = best[0];
+    if total_cost.is_infinite() {
+        return Err(RouteError::NoPath);
+    }
+    // Backtrack portal choices.
+    let mut portal_choices = vec![0usize; legs.len() - 1];
+    let mut exit = 0usize;
+    for l in (1..legs.len()).rev() {
+        let entry = choices[l][exit];
+        portal_choices[l - 1] = entry;
+        exit = entry;
+    }
+    Ok(StitchedPlan {
+        portal_choices,
+        total_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn single_leg_direct() {
+        let leg = LegMatrix::new(vec![vec![42.0]]).unwrap();
+        let plan = stitch_legs(&[leg]).unwrap();
+        assert_eq!(plan.total_cost, 42.0);
+        assert!(plan.portal_choices.is_empty());
+    }
+
+    #[test]
+    fn picks_globally_best_not_greedy() {
+        // Greedy would exit leg 0 via portal 0 (cost 10 < 20), but
+        // portal 0 leads to an expensive leg 1.
+        let leg0 = LegMatrix::new(vec![vec![10.0, 20.0]]).unwrap();
+        let leg1 = LegMatrix::new(vec![vec![100.0], vec![5.0]]).unwrap();
+        let plan = stitch_legs(&[leg0, leg1]).unwrap();
+        assert_eq!(plan.total_cost, 25.0);
+        assert_eq!(plan.portal_choices, vec![1]);
+    }
+
+    #[test]
+    fn three_legs_chain() {
+        let leg0 = LegMatrix::new(vec![vec![1.0, 4.0]]).unwrap();
+        let leg1 = LegMatrix::new(vec![vec![10.0, 2.0], vec![1.0, 20.0]]).unwrap();
+        let leg2 = LegMatrix::new(vec![vec![3.0], vec![1.0]]).unwrap();
+        let plan = stitch_legs(&[leg0, leg1, leg2]).unwrap();
+        // Best: 1.0 (→p0) + 2.0 (p0→p1) + 1.0 (p1→dest) = 4.0.
+        assert_eq!(plan.total_cost, 4.0);
+        assert_eq!(plan.portal_choices, vec![0, 1]);
+    }
+
+    #[test]
+    fn unreachable_portals_skipped() {
+        let leg0 = LegMatrix::new(vec![vec![INF, 7.0]]).unwrap();
+        let leg1 = LegMatrix::new(vec![vec![1.0], vec![2.0]]).unwrap();
+        let plan = stitch_legs(&[leg0, leg1]).unwrap();
+        assert_eq!(plan.total_cost, 9.0);
+        assert_eq!(plan.portal_choices, vec![1]);
+    }
+
+    #[test]
+    fn fully_blocked_is_no_path() {
+        let leg0 = LegMatrix::new(vec![vec![INF, INF]]).unwrap();
+        let leg1 = LegMatrix::new(vec![vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(stitch_legs(&[leg0, leg1]), Err(RouteError::NoPath));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(LegMatrix::new(vec![]).is_err());
+        assert!(LegMatrix::new(vec![vec![1.0], vec![]]).is_err());
+        assert!(stitch_legs(&[]).is_err());
+        // First leg with two entries is invalid.
+        let bad_first = LegMatrix::new(vec![vec![1.0], vec![2.0]]).unwrap();
+        let last = LegMatrix::new(vec![vec![1.0]]).unwrap();
+        assert!(stitch_legs(&[bad_first.clone(), last.clone()]).is_err());
+        // Mismatched interface sizes.
+        let leg0 = LegMatrix::new(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        let leg1 = LegMatrix::new(vec![vec![1.0], vec![2.0]]).unwrap();
+        assert!(matches!(
+            stitch_legs(&[leg0, leg1]),
+            Err(RouteError::BadStitchInput(_))
+        ));
+    }
+
+    #[test]
+    fn many_portals_scales() {
+        // 5 legs with 20 portals each; DP should handle instantly and
+        // find the planted cheap chain (portal k on every boundary).
+        let k = 13usize;
+        let n = 20usize;
+        let mut legs = Vec::new();
+        legs.push(
+            LegMatrix::new(vec![(0..n)
+                .map(|j| if j == k { 1.0 } else { 50.0 })
+                .collect()])
+            .unwrap(),
+        );
+        for _ in 0..3 {
+            let mut m = vec![vec![100.0; n]; n];
+            for (i, row) in m.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    if i == k && j == k {
+                        *cell = 1.0;
+                    }
+                }
+            }
+            legs.push(LegMatrix::new(m).unwrap());
+        }
+        legs.push(
+            LegMatrix::new(
+                (0..n)
+                    .map(|i| vec![if i == k { 1.0 } else { 50.0 }])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let plan = stitch_legs(&legs).unwrap();
+        assert_eq!(plan.total_cost, 5.0);
+        assert!(plan.portal_choices.iter().all(|&c| c == k));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for search ranking and fusion.
+
+use openflame_geo::Point2;
+use openflame_mapdata::{ElementId, GeoReference, MapDocument, NodeId, Tags};
+use openflame_search::{fuse_ranked, SearchIndex, SearchResult};
+use proptest::prelude::*;
+
+fn result(label: &str, score: f64) -> SearchResult {
+    SearchResult {
+        element: ElementId::Node(NodeId(1)),
+        pos: Point2::ZERO,
+        text_score: score,
+        distance_m: 0.0,
+        score,
+        label: label.to_string(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn fusion_output_bounded_and_sorted(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(("[a-z]{1,6}", 0.0f64..10.0), 0..8),
+            0..6,
+        ),
+        k in 1usize..20,
+    ) {
+        let lists: Vec<Vec<SearchResult>> = lists
+            .into_iter()
+            .map(|l| l.into_iter().map(|(s, sc)| result(&s, sc)).collect())
+            .collect();
+        let fused = fuse_ranked(lists, k);
+        prop_assert!(fused.len() <= k);
+        for w in fused.windows(2) {
+            prop_assert!(w[0].fused_score >= w[1].fused_score);
+        }
+    }
+
+    #[test]
+    fn fusion_consensus_never_hurts(label in "[a-z]{3,8}", others in proptest::collection::vec("[a-z]{3,8}", 1..5)) {
+        // An item present in two lists must rank at least as high as the
+        // same item present in one list, all else equal.
+        prop_assume!(!others.contains(&label));
+        let single = fuse_ranked(
+            vec![vec![result(&label, 1.0)], others.iter().map(|o| result(o, 1.0)).collect()],
+            20,
+        );
+        let double = fuse_ranked(
+            vec![
+                vec![result(&label, 1.0)],
+                std::iter::once(result(&label, 1.0))
+                    .chain(others.iter().map(|o| result(o, 1.0)))
+                    .collect(),
+            ],
+            20,
+        );
+        let pos_single = single.iter().position(|f| f.result.label == label).unwrap();
+        let pos_double = double.iter().position(|f| f.result.label == label).unwrap();
+        prop_assert!(pos_double <= pos_single);
+    }
+
+    #[test]
+    fn index_finds_every_inserted_product(
+        names in proptest::collection::vec("[a-z]{4,10}", 1..20),
+    ) {
+        let mut map = MapDocument::new("p", "p", GeoReference::Unaligned { hint: None });
+        for (i, name) in names.iter().enumerate() {
+            map.add_node(
+                Point2::new(i as f64, 0.0),
+                Tags::new().with("product", name.clone()).with("name", format!("item {name}")),
+            );
+        }
+        let index = SearchIndex::build(&map);
+        for name in &names {
+            let hits = index.query(name, None, f64::INFINITY, names.len());
+            prop_assert!(
+                hits.iter().any(|h| h.label.contains(name.as_str())),
+                "product {name} not found"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_filter_monotone(
+        r1 in 1.0f64..100.0,
+        extra in 1.0f64..100.0,
+    ) {
+        let mut map = MapDocument::new("p", "p", GeoReference::Unaligned { hint: None });
+        for i in 0..30 {
+            map.add_node(
+                Point2::new(i as f64 * 7.0, 0.0),
+                Tags::new().with("product", "widget"),
+            );
+        }
+        let index = SearchIndex::build(&map);
+        let small = index.query("widget", Some(Point2::ZERO), r1, 100);
+        let large = index.query("widget", Some(Point2::ZERO), r1 + extra, 100);
+        prop_assert!(large.len() >= small.len());
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: generate a world, stand up the federation, and use every
+//! location-based service once.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use openflame_core::{Deployment, DeploymentConfig};
+use openflame_localize::LocationCue;
+use openflame_worldgen::{World, WorldConfig};
+
+fn main() {
+    // 1. A synthetic city: street grid, POIs, and eight grocery stores,
+    //    each with a private indoor map in its own coordinate frame.
+    let world = World::generate(WorldConfig::default());
+    println!(
+        "world: {} outdoor nodes, {} venues, {} products",
+        world.outdoor.node_count(),
+        world.venues.len(),
+        world.products.len()
+    );
+
+    // 2. The OpenFLAME deployment: DNS hierarchy, resolver, one map
+    //    server per venue plus the outdoor world-map provider, all
+    //    registered in the spatial namespace.
+    let dep = Deployment::build(world, DeploymentConfig::default());
+    println!(
+        "deployment: {} venue servers, {} DNS records in the cell zone",
+        dep.venue_servers.len(),
+        dep.cell_dns.record_count()
+    );
+
+    // 3. Discovery: coarse location → map servers (a DNS lookup, §5.1).
+    let here = dep.world.venues[0].hint;
+    let servers = dep.client.discover(here).unwrap();
+    println!("\ndiscovered at {here}:");
+    for s in &servers {
+        println!("  {} ({} services)", s.server_id, s.services.len());
+    }
+
+    // 4. Federated search (§5.2): scatter, gather, fuse.
+    let product = dep.world.products[0].clone();
+    let hits = dep.client.federated_search(&product.name, here, 3).unwrap();
+    println!("\nsearch {:?}:", product.name);
+    for h in &hits {
+        println!(
+            "  [{}] {} (score {:.3})",
+            h.server_id, h.result.label, h.result.score
+        );
+    }
+
+    // 5. Federated routing (§5.2): outdoor leg + indoor leg stitched at
+    //    the store entrance.
+    let start = here.destination(225.0, 100.0);
+    let route = dep.client.federated_route(start, &hits[0]).unwrap();
+    println!(
+        "\nroute: {:.0} m across {} legs",
+        route.total_length_m,
+        route.legs.len()
+    );
+    for leg in &route.legs {
+        println!(
+            "  [{}] {:.0} m, {:.0} s ({} nodes)",
+            leg.server_id,
+            leg.route.length_m,
+            leg.route.cost,
+            leg.route.nodes.len()
+        );
+    }
+
+    // 6. Federated localization (§5.2): the venue's beacons answer
+    //    indoors where GPS cannot.
+    let cue = LocationCue::Gnss {
+        fix: start,
+        accuracy_m: 4.0,
+    };
+    let estimates = dep.client.federated_localize(start, &[cue]).unwrap();
+    let (sid, best) = &estimates[0];
+    println!(
+        "\noutdoor localization: {} via {} (±{:.1} m)",
+        sid, best.technology, best.error_m
+    );
+
+    // 7. Tiles: composed from every provider that can draw this area.
+    let tile = dep
+        .client
+        .federated_tile(dep.world.config.center, 16)
+        .unwrap();
+    println!(
+        "tile at city center: {:.1}% painted",
+        tile.coverage() * 100.0
+    );
+
+    println!(
+        "\nsimulated time elapsed: {:.1} ms",
+        dep.net.now_us() as f64 / 1000.0
+    );
+    println!("messages exchanged: {}", dep.net.stats().messages);
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the OpenFLAME reproduction workspace.
+//!
+//! Re-exports every subsystem so examples and integration tests (and
+//! downstream users who want the whole stack) can depend on one crate.
+//! See the individual crates for focused APIs; the paper's contribution
+//! lives in [`core`].
+
+pub use openflame_cells as cells;
+pub use openflame_codec as codec;
+pub use openflame_core as core;
+pub use openflame_dns as dns;
+pub use openflame_geo as geo;
+pub use openflame_geocode as geocode;
+pub use openflame_localize as localize;
+pub use openflame_mapdata as mapdata;
+pub use openflame_mapserver as mapserver;
+pub use openflame_netsim as netsim;
+pub use openflame_routing as routing;
+pub use openflame_search as search;
+pub use openflame_tiles as tiles;
+pub use openflame_worldgen as worldgen;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compose() {
+        // The whole stack is reachable through the umbrella.
+        let world = crate::worldgen::World::generate(crate::worldgen::WorldConfig {
+            stores: 1,
+            ..Default::default()
+        });
+        let cell = crate::cells::CellId::from_latlng(world.config.center, 10).unwrap();
+        assert_eq!(cell.level(), 10);
+    }
+}

@@ -1,0 +1,91 @@
+//! Batch bench — what the batched, session-cached wire path buys.
+//!
+//! Sweeps the federation fan-out and compares, per federated search:
+//!
+//! - **cold**: a fresh client whose session knows nothing — it pays
+//!   DNS discovery plus one hello round before the search round;
+//! - **warm**: the same client a moment later — discovery and hellos
+//!   come from the session cache and the search costs exactly one
+//!   batched envelope per discovered server.
+//!
+//! `cargo run --release -p openflame-bench --bin batch_bench`
+
+use openflame_bench::{header, mean, row};
+use openflame_core::{Deployment, DeploymentConfig, OpenFlameClient};
+use openflame_worldgen::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    header(
+        "BATCH",
+        "cold vs warm session: messages, bytes and latency per federated search",
+    );
+    row(&[
+        "servers".into(),
+        "cold msgs".into(),
+        "warm msgs".into(),
+        "cold KiB".into(),
+        "warm KiB".into(),
+        "cold ms".into(),
+        "warm ms".into(),
+        "envelopes/search".into(),
+    ]);
+    for stores in [4usize, 8, 16, 32] {
+        let world = World::generate(WorldConfig {
+            stores,
+            products_per_store: 12,
+            blocks_x: 8,
+            blocks_y: 8,
+            ..WorldConfig::default()
+        });
+        let dep = Deployment::build(world, DeploymentConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cold_msgs = Vec::new();
+        let mut warm_msgs = Vec::new();
+        let mut cold_kib = Vec::new();
+        let mut warm_kib = Vec::new();
+        let mut cold_ms = Vec::new();
+        let mut warm_ms = Vec::new();
+        let mut envelopes = Vec::new();
+        for _ in 0..20 {
+            let product = &dep.world.products[rng.gen_range(0..dep.world.products.len())];
+            let near = dep.world.venues[product.venue]
+                .hint
+                .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..100.0));
+            // Cold: a fresh client with an empty session.
+            let cold_client = OpenFlameClient::builder().build(&dep.net, dep.resolver.clone());
+            dep.net.reset_stats();
+            let t0 = dep.net.now_us();
+            let _ = cold_client.federated_search(&product.name, near, 5);
+            cold_msgs.push(dep.net.stats().messages as f64);
+            cold_kib.push(dep.net.stats().bytes as f64 / 1024.0);
+            cold_ms.push((dep.net.now_us() - t0) as f64 / 1000.0);
+            // Warm: the same client again, caches populated.
+            dep.net.reset_stats();
+            let batches_before = cold_client.session().stats().batches;
+            let t0 = dep.net.now_us();
+            let _ = cold_client.federated_search(&product.name, near, 5);
+            warm_msgs.push(dep.net.stats().messages as f64);
+            warm_kib.push(dep.net.stats().bytes as f64 / 1024.0);
+            warm_ms.push((dep.net.now_us() - t0) as f64 / 1000.0);
+            envelopes.push((cold_client.session().stats().batches - batches_before) as f64);
+        }
+        row(&[
+            format!("{}", stores + 1),
+            format!("{:.0}", mean(&cold_msgs)),
+            format!("{:.0}", mean(&warm_msgs)),
+            format!("{:.1}", mean(&cold_kib)),
+            format!("{:.1}", mean(&warm_kib)),
+            format!("{:.2}", mean(&cold_ms)),
+            format!("{:.2}", mean(&warm_ms)),
+            format!("{:.0}", mean(&envelopes)),
+        ]);
+    }
+    println!(
+        "\nexpected shape: warm msgs == 2 x discovered servers (one batched\n\
+         envelope per server, request + response), warm latency one RTT of\n\
+         concurrent fan-out; cold pays DNS + hello on top, once per session\n\
+         rather than once per operation."
+    );
+}

@@ -57,7 +57,9 @@ fn main() {
             let loc = dep.world.venues[venue]
                 .hint
                 .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..150.0));
-            let _ = dep.client.discover(loc);
+            // Measure authoritative DNS load: bypass the session's
+            // per-cell discovery cache, which would absorb the repeats.
+            let _ = dep.client.discovery().discover(loc, true);
         }
         // Per-authoritative-server receive counts. The parent keeps
         // all referral traffic (this resolver does not cache NS

@@ -5,7 +5,9 @@
 //! `cargo run --release -p openflame-bench --bin e4_routing`
 
 use openflame_bench::{header, mean, row};
-use openflame_core::{CentralizedProvider, Deployment, DeploymentConfig};
+use openflame_core::{
+    CentralizedProvider, Deployment, DeploymentConfig, RouteQuery, SpatialProvider,
+};
 use openflame_mapserver::Principal;
 use openflame_netsim::SimNet;
 use openflame_routing::{astar, bidirectional, dijkstra, ContractionHierarchy, Profile, RoadGraph};
@@ -111,18 +113,22 @@ fn stitching_quality() {
         let user = world.venues[product.venue]
             .hint
             .destination(rng.gen_range(0.0..360.0), rng.gen_range(60.0..300.0));
-        // Federated stitched route.
+        // Federated stitched route, through the provider trait.
         let Ok(hit) = dep.find_product(&product.name, user) else {
             continue;
         };
         if hit.result.label != product.name {
             continue;
         }
-        dep.net.reset_stats();
-        let Ok(fed) = dep.client.federated_route(user, &hit) else {
+        let federated: &dyn SpatialProvider = &dep.client;
+        let Ok(outcome) = federated.route(RouteQuery {
+            from: user,
+            target: hit.clone(),
+        }) else {
             continue;
         };
-        fed_msgs.push(dep.net.stats().messages as f64);
+        let fed = outcome.route;
+        fed_msgs.push(outcome.stats.messages as f64);
         // Centralized optimum on the merged graph, to the *same* shelf
         // the federation chose (identical product names can be stocked
         // in several stores; both are valid answers, but the quality

@@ -5,8 +5,9 @@
 //! `cargo run --release -p openflame-bench --bin e5_search`
 
 use openflame_bench::{header, mean, row};
-use openflame_core::{CentralizedProvider, Deployment, DeploymentConfig};
-use openflame_mapserver::Principal;
+use openflame_core::{
+    CentralizedProvider, Deployment, DeploymentConfig, SearchQuery, SpatialProvider,
+};
 use openflame_netsim::SimNet;
 use openflame_worldgen::{World, WorldConfig};
 use rand::rngs::StdRng;
@@ -36,7 +37,10 @@ fn main() {
         let dep = Deployment::build(world.clone(), DeploymentConfig::default());
         let omni_net = SimNet::new(2);
         let omni = CentralizedProvider::omniscient(&omni_net, &world);
-        let principal = Principal::anonymous();
+        // Both architectures behind the same trait — the comparison is
+        // the point of the experiment.
+        let federated: &dyn SpatialProvider = &dep.client;
+        let centralized: &dyn SpatialProvider = &omni;
         let mut rng = StdRng::seed_from_u64(31);
         let trials: Vec<usize> = (0..60)
             .map(|_| rng.gen_range(0..world.products.len()))
@@ -49,32 +53,40 @@ fn main() {
             let near = world.venues[product.venue]
                 .hint
                 .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..120.0));
-            dep.net.reset_stats();
-            let t0 = dep.net.now_us();
-            if let Ok(hits) = dep.client.federated_search(&product.name, near, 5) {
-                lat.push((dep.net.now_us() - t0) as f64 / 1000.0);
-                msgs.push(dep.net.stats().messages as f64);
-                if hits
+            if let Ok(outcome) = federated.search(SearchQuery {
+                query: product.name.clone(),
+                location: near,
+                radius_m: 2_000.0,
+                k: 5,
+            }) {
+                lat.push(outcome.stats.elapsed_us as f64 / 1000.0);
+                msgs.push(outcome.stats.messages as f64);
+                if outcome
+                    .hits
                     .first()
                     .map(|h| h.result.label == product.name)
                     .unwrap_or(false)
                 {
                     fed1 += 1;
                 }
-                if hits.iter().any(|h| h.result.label == product.name) {
+                if outcome.hits.iter().any(|h| h.result.label == product.name) {
                     fed5 += 1;
                 }
             }
-            let chits = omni
-                .server
-                .search(&principal, &product.name, None, f64::INFINITY, 1)
-                .unwrap();
-            if chits
-                .first()
-                .map(|h| h.label == product.name)
-                .unwrap_or(false)
-            {
-                cen1 += 1;
+            if let Ok(outcome) = centralized.search(SearchQuery {
+                query: product.name.clone(),
+                location: near,
+                radius_m: f64::INFINITY,
+                k: 1,
+            }) {
+                if outcome
+                    .hits
+                    .first()
+                    .map(|h| h.result.label == product.name)
+                    .unwrap_or(false)
+                {
+                    cen1 += 1;
+                }
             }
         }
         let n = trials.len();

@@ -81,7 +81,7 @@ impl CellId {
         let tz = id.trailing_zeros();
         // The sentinel bit must sit at an even offset no higher than the
         // level-0 slot (bit 60); `tz > 60` also catches `id == 0`.
-        if face >= NUM_FACES || tz > 60 || tz % 2 != 0 {
+        if face >= NUM_FACES || tz > 60 || !tz.is_multiple_of(2) {
             return Err(CellError::InvalidId(id));
         }
         Ok(CellId(id))

@@ -15,24 +15,59 @@
 //!   says won't happen), but it provides the global optimum that
 //!   experiment E4b scores stitched routes against.
 
+use crate::client::{FederatedRoute, FederatedSearchHit, RouteLeg};
+use crate::provider::{
+    GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery, ProviderEstimate,
+    ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery, SearchOutcome,
+    SearchQuery, SpatialProvider, StatScope, TileOutcome, TileQuery,
+};
+use crate::session::{expect_nearest, unexpected, Session};
+use crate::ClientError;
 use openflame_geo::{LatLng, LocalFrame};
-use openflame_localize::TagRegistry;
-use openflame_mapdata::{GeoReference, NodeId, Tags};
-use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig};
+use openflame_localize::{LocationCue, TagRegistry};
+use openflame_mapdata::{ElementId, GeoReference, NodeId, Tags};
+use openflame_mapserver::protocol::{Request, Response};
+use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig, Principal};
 use openflame_netsim::SimNet;
+use openflame_tiles::Tile;
 use openflame_worldgen::World;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A centralized map provider (Figure 1).
+///
+/// Serves the same [`SpatialProvider`] API as the federation from a
+/// single monolithic map. Its client side goes over the simulated
+/// network through the same batched [`Session`] layer, so message and
+/// byte accounting is directly comparable with the federation's.
 pub struct CentralizedProvider {
     /// The provider's single map server.
     pub server: Arc<MapServer>,
     /// For omniscient providers: venue-frame node id → merged node id.
     pub merged_nodes: HashMap<(usize, NodeId), NodeId>,
+    /// The provider's geographic anchor (city center).
+    anchor: LatLng,
+    net: SimNet,
+    session: Session,
 }
 
 impl CentralizedProvider {
+    fn assemble(
+        net: &SimNet,
+        server: Arc<MapServer>,
+        merged_nodes: HashMap<(usize, NodeId), NodeId>,
+        anchor: LatLng,
+    ) -> Self {
+        let endpoint = net.register("central-client", None);
+        Self {
+            server,
+            merged_nodes,
+            anchor,
+            net: net.clone(),
+            session: Session::new(net.clone(), endpoint, Principal::anonymous()),
+        }
+    }
+
     /// The realistic centralized provider: public outdoor data only.
     pub fn public_only(net: &SimNet, world: &World) -> Self {
         let server = MapServer::spawn(
@@ -49,10 +84,7 @@ impl CentralizedProvider {
                 build_ch: false,
             },
         );
-        Self {
-            server,
-            merged_nodes: HashMap::new(),
-        }
+        Self::assemble(net, server, HashMap::new(), world.config.center)
     }
 
     /// The omniscient upper bound: every venue merged into the global
@@ -103,15 +135,32 @@ impl CentralizedProvider {
                 build_ch: false,
             },
         );
-        Self {
-            server,
-            merged_nodes,
-        }
+        Self::assemble(net, server, merged_nodes, world.config.center)
     }
 
     /// The provider's frame (anchored at the city center).
     pub fn frame(&self, world: &World) -> LocalFrame {
         LocalFrame::new(world.config.center)
+    }
+
+    /// The provider's local frame.
+    fn local_frame(&self) -> LocalFrame {
+        LocalFrame::new(self.anchor)
+    }
+
+    /// The session layer (batched wire calls + hello cache).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// One batched envelope to the central server, all items required.
+    fn batch_all(&self, requests: Vec<Request>) -> Result<Vec<Response>, ClientError> {
+        Session::expect_all(self.session.batch(self.server.endpoint(), requests)?)
+    }
+
+    /// A single-request envelope whose one response is required.
+    fn call_one(&self, request: Request, expected: &'static str) -> Result<Response, ClientError> {
+        crate::session::take_one(self.batch_all(vec![request])?, expected)
     }
 
     /// The merged node id for a venue-frame node, if this provider has
@@ -126,6 +175,205 @@ impl CentralizedProvider {
             GeoReference::Anchored { origin } => Some(origin),
             GeoReference::Unaligned { .. } => None,
         })
+    }
+}
+
+impl SpatialProvider for CentralizedProvider {
+    fn provider_id(&self) -> String {
+        self.server.id().to_string()
+    }
+
+    fn geocode(&self, query: GeocodeQuery) -> Result<GeocodeOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let hits = match self.call_one(
+            Request::Geocode {
+                query: query.query,
+                k: query.k as u32,
+            },
+            "Geocode",
+        )? {
+            Response::Geocode { hits } => hits,
+            other => return Err(unexpected("Geocode", &other)),
+        };
+        let frame = self.local_frame();
+        let hits = hits
+            .into_iter()
+            .map(|hit| GeocodeHit {
+                server_id: self.server.id().to_string(),
+                geo: Some(frame.from_local(hit.pos)),
+                hit,
+            })
+            .collect();
+        let stats = scope.finish(&self.net, 1);
+        Ok(GeocodeOutcome { hits, stats })
+    }
+
+    fn reverse_geocode(
+        &self,
+        query: ReverseGeocodeQuery,
+    ) -> Result<ReverseGeocodeOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let frame = self.local_frame();
+        let hit = match self.call_one(
+            Request::ReverseGeocode {
+                pos: frame.to_local(query.location),
+                radius_m: query.radius_m,
+            },
+            "ReverseGeocode",
+        )? {
+            Response::ReverseGeocode { hit } => hit,
+            other => return Err(unexpected("ReverseGeocode", &other)),
+        };
+        let hit = hit.map(|hit| GeocodeHit {
+            server_id: self.server.id().to_string(),
+            geo: Some(frame.from_local(hit.pos)),
+            hit,
+        });
+        let stats = scope.finish(&self.net, 1);
+        Ok(ReverseGeocodeOutcome { hit, stats })
+    }
+
+    fn search(&self, query: SearchQuery) -> Result<SearchOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let frame = self.local_frame();
+        let results = match self.call_one(
+            Request::Search {
+                query: query.query,
+                center: Some(frame.to_local(query.location)),
+                radius_m: query.radius_m,
+                k: query.k as u32,
+            },
+            "Search",
+        )? {
+            Response::Search { results } => results,
+            other => return Err(unexpected("Search", &other)),
+        };
+        let hits = results
+            .into_iter()
+            .map(|result| FederatedSearchHit {
+                server_id: self.server.id().to_string(),
+                endpoint: self.server.endpoint(),
+                result,
+            })
+            .collect();
+        let stats = scope.finish(&self.net, 1);
+        Ok(SearchOutcome { hits, stats })
+    }
+
+    fn route(&self, query: RouteQuery) -> Result<RouteOutcome, ClientError> {
+        let target_node = match query.target.result.element {
+            ElementId::Node(n) => Some(n),
+            _ => None,
+        };
+        let scope = StatScope::begin(&self.net);
+        let frame = self.local_frame();
+        let start = expect_nearest(&self.call_one(
+            Request::NearestNode {
+                pos: frame.to_local(query.from),
+            },
+            "NearestNode",
+        )?)?
+        .0;
+        // Try the target node directly; non-node targets and POIs that
+        // are not on the road graph get snapped to their nearest
+        // routable node.
+        let mut route = match target_node {
+            Some(node) => self.try_route(start, node.0)?,
+            None => None,
+        };
+        if route.is_none() {
+            if let Ok(snapped) = expect_nearest(&self.call_one(
+                Request::NearestNode {
+                    pos: query.target.result.pos,
+                },
+                "NearestNode",
+            )?) {
+                route = self.try_route(start, snapped.0)?;
+            }
+        }
+        let Some(route) = route else {
+            return Err(ClientError::NotFound("no path in central map".into()));
+        };
+        let outcome = FederatedRoute {
+            total_cost: route.cost,
+            total_length_m: route.length_m,
+            legs: vec![RouteLeg {
+                server_id: self.server.id().to_string(),
+                route,
+                anchored: true,
+            }],
+            servers_consulted: 1,
+        };
+        let stats = scope.finish(&self.net, 1);
+        Ok(RouteOutcome {
+            route: outcome,
+            stats,
+        })
+    }
+
+    fn localize(&self, query: LocalizeQuery) -> Result<LocalizeOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        // Send only the cues the server's advertisement accepts — for a
+        // centralized outdoor map that is GNSS and nothing else (§2:
+        // coverage stops at the door). No accepted cues, no wire call.
+        let techs = self
+            .session
+            .hello(self.server.endpoint())
+            .map(|h| h.localization_techs)
+            .unwrap_or_default();
+        let cues: Vec<LocationCue> = query
+            .cues
+            .into_iter()
+            .filter(|c| techs.iter().any(|t| t == c.technology()))
+            .collect();
+        let estimates = if cues.is_empty() {
+            Vec::new()
+        } else {
+            match self.call_one(Request::Localize { cues }, "Localize")? {
+                Response::Localize { estimates } => estimates,
+                other => return Err(unexpected("Localize", &other)),
+            }
+        };
+        let frame = self.local_frame();
+        let estimates: Vec<ProviderEstimate> = estimates
+            .into_iter()
+            .map(|estimate| ProviderEstimate {
+                server_id: self.server.id().to_string(),
+                geo: Some(frame.from_local(estimate.pos)),
+                estimate,
+            })
+            .collect();
+        // When every cue was filtered out, no server contributed.
+        let stats = scope.finish(&self.net, usize::from(!estimates.is_empty()));
+        Ok(LocalizeOutcome { estimates, stats })
+    }
+
+    fn tile(&self, query: TileQuery) -> Result<TileOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let (x, y) = openflame_geo::Mercator::tile_for(query.center, query.z);
+        let tile = match self.call_one(Request::GetTile { z: query.z, x, y }, "Tile")? {
+            Response::Tile { z, x, y, rgb } => {
+                Tile::from_rgb(openflame_tiles::TileCoord { z, x, y }, &rgb)
+                    .ok_or_else(|| ClientError::Protocol("malformed tile payload".into()))?
+            }
+            other => return Err(unexpected("Tile", &other)),
+        };
+        let stats = scope.finish(&self.net, 1);
+        Ok(TileOutcome { tile, stats })
+    }
+}
+
+impl CentralizedProvider {
+    /// One route attempt over the wire; `None` when no path exists.
+    fn try_route(
+        &self,
+        from: u64,
+        to: u64,
+    ) -> Result<Option<openflame_mapserver::protocol::WireRoute>, ClientError> {
+        match self.call_one(Request::Route { from, to }, "Route")? {
+            Response::Route { route } => Ok(route),
+            other => Err(unexpected("Route", &other)),
+        }
     }
 }
 

@@ -3,14 +3,28 @@
 //! "In OpenFLAME, the client device first has to discover relevant map
 //! servers and request the required services from these map servers,
 //! stitching the results if required."
+//!
+//! Wire discipline: every scatter round sends **one batched envelope
+//! per server** through the [`Session`] layer, which also caches
+//! capability handshakes and discovery results, so steady-state
+//! operation pays one round trip per server per logical operation and
+//! re-resolves nothing it already knows.
 
 use crate::discovery::{DiscoveredServer, DiscoveryClient};
+use crate::provider::{
+    GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery, ProviderEstimate,
+    ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery, SearchOutcome,
+    SearchQuery, SpatialProvider, StatScope, TileOutcome, TileQuery,
+};
+use crate::session::{expect_matrix, expect_nearest, expect_route, unexpected_opt, Session};
 use crate::ClientError;
+use openflame_cells::CellId;
 use openflame_codec::{from_bytes, to_bytes};
 use openflame_dns::Resolver;
 use openflame_geo::{LatLng, LocalFrame, Point2};
 use openflame_localize::LocationCue;
 use openflame_mapdata::{ElementId, NodeId};
+use openflame_mapserver::naming::QUERY_LEVEL;
 use openflame_mapserver::protocol::{
     Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
     WireSearchResult,
@@ -57,26 +71,117 @@ pub struct FederatedRoute {
     pub servers_consulted: usize,
 }
 
+/// Configures and builds an [`OpenFlameClient`].
+///
+/// ```
+/// use openflame_core::OpenFlameClient;
+/// use openflame_dns::Resolver;
+/// use openflame_mapserver::Principal;
+/// use openflame_netsim::SimNet;
+/// use std::sync::Arc;
+///
+/// let net = SimNet::new(1);
+/// let dns = net.register("stub-dns", None);
+/// let resolver = Arc::new(Resolver::new(&net, "resolver", vec![dns]));
+/// let client = OpenFlameClient::builder()
+///     .principal(Principal::user("alice@example.com"))
+///     .expand_neighbors(false)
+///     .build(&net, resolver);
+/// assert!(!client.expand_neighbors());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenFlameClientBuilder {
+    principal: Principal,
+    expand_neighbors: bool,
+    session_ttl_us: Option<u64>,
+    world_provider: Option<EndpointId>,
+}
+
+impl Default for OpenFlameClientBuilder {
+    fn default() -> Self {
+        Self {
+            principal: Principal::anonymous(),
+            expand_neighbors: true,
+            session_ttl_us: None,
+            world_provider: None,
+        }
+    }
+}
+
+impl OpenFlameClientBuilder {
+    /// Starts from defaults: anonymous principal, neighbor expansion
+    /// on, default session TTL, no world provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The identity attached to requests (§5.3 ACLs).
+    pub fn principal(mut self, principal: Principal) -> Self {
+        self.principal = principal;
+        self
+    }
+
+    /// Whether discovery also resolves the query cell's edge neighbors
+    /// (ablation E12).
+    pub fn expand_neighbors(mut self, expand: bool) -> Self {
+        self.expand_neighbors = expand;
+        self
+    }
+
+    /// Session cache TTL in simulated microseconds (capability and
+    /// discovery caches).
+    pub fn session_ttl_us(mut self, ttl_us: u64) -> Self {
+        self.session_ttl_us = Some(ttl_us);
+        self
+    }
+
+    /// The world-map provider used for coarse geocoding
+    /// ([`SpatialProvider::geocode`] needs one; per-endpoint
+    /// [`OpenFlameClient::federated_geocode`] does not).
+    pub fn world_provider(mut self, endpoint: EndpointId) -> Self {
+        self.world_provider = Some(endpoint);
+        self
+    }
+
+    /// Registers the client on `net` and builds it.
+    pub fn build(self, net: &SimNet, resolver: Arc<Resolver>) -> OpenFlameClient {
+        let endpoint = net.register("openflame-client", None);
+        let mut session = Session::new(net.clone(), endpoint, self.principal);
+        if let Some(ttl) = self.session_ttl_us {
+            session.set_ttl_us(ttl);
+        }
+        OpenFlameClient {
+            net: net.clone(),
+            endpoint,
+            discovery: DiscoveryClient::new(resolver),
+            session,
+            expand_neighbors: self.expand_neighbors,
+            world_provider: self.world_provider,
+        }
+    }
+}
+
 /// The OpenFLAME client device.
 pub struct OpenFlameClient {
     net: SimNet,
     endpoint: EndpointId,
     discovery: DiscoveryClient,
-    principal: Principal,
+    session: Session,
     expand_neighbors: bool,
+    world_provider: Option<EndpointId>,
 }
 
 impl OpenFlameClient {
     /// Creates a client on the network using `resolver` for discovery.
+    ///
+    /// Shorthand for [`OpenFlameClient::builder`] with a principal.
     pub fn new(net: &SimNet, resolver: Arc<Resolver>, principal: Principal) -> Self {
-        let endpoint = net.register("openflame-client", None);
-        Self {
-            net: net.clone(),
-            endpoint,
-            discovery: DiscoveryClient::new(resolver),
-            principal,
-            expand_neighbors: true,
-        }
+        Self::builder().principal(principal).build(net, resolver)
+    }
+
+    /// A builder for configured clients.
+    pub fn builder() -> OpenFlameClientBuilder {
+        OpenFlameClientBuilder::new()
     }
 
     /// The discovery layer.
@@ -89,21 +194,34 @@ impl OpenFlameClient {
         self.endpoint
     }
 
+    /// The session layer (batched wire calls + caches).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Whether discovery expands to neighbor cells.
+    pub fn expand_neighbors(&self) -> bool {
+        self.expand_neighbors
+    }
+
     /// Sets the identity attached to subsequent requests.
+    #[deprecated(note = "configure via OpenFlameClient::builder().principal(...)")]
     pub fn set_principal(&mut self, principal: Principal) {
-        self.principal = principal;
+        self.session.set_principal(principal);
     }
 
     /// Enables or disables neighbor-cell expansion during discovery
     /// (ablation E12).
+    #[deprecated(note = "configure via OpenFlameClient::builder().expand_neighbors(...)")]
     pub fn set_expand_neighbors(&mut self, expand: bool) {
         self.expand_neighbors = expand;
     }
 
-    /// Issues one request to one server.
+    /// Issues one raw (unbatched) request to one server. Low-level
+    /// escape hatch; service methods go through the batched session.
     pub fn call(&self, to: EndpointId, request: Request) -> Result<Response, ClientError> {
         let env = Envelope {
-            principal: self.principal.clone(),
+            principal: self.session.principal().clone(),
             request,
         };
         let bytes = self
@@ -113,29 +231,49 @@ impl OpenFlameClient {
         from_bytes::<Response>(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
-    /// Capability handshake with a server.
+    /// Capability handshake with a server (session-cached).
     pub fn hello(&self, to: EndpointId) -> Result<HelloInfo, ClientError> {
-        match self.call(to, Request::Hello)? {
-            Response::Hello(info) => Ok(info),
-            other => Err(unexpected("Hello", &other)),
-        }
+        self.session.hello(to)
     }
 
-    /// Discovers map servers around a coarse location.
+    /// Discovers map servers around a coarse location, consulting the
+    /// session's per-cell cache before the DNS.
     pub fn discover(&self, location: LatLng) -> Result<Vec<DiscoveredServer>, ClientError> {
-        self.discovery.discover(location, self.expand_neighbors)
+        let cell = CellId::from_latlng(location, QUERY_LEVEL)
+            .map_err(|e| ClientError::Protocol(format!("bad location: {e}")))?;
+        if let Some(servers) = self
+            .session
+            .cached_discovery(cell.raw(), self.expand_neighbors)
+        {
+            return Ok(servers);
+        }
+        let servers = self.discovery.discover(location, self.expand_neighbors)?;
+        self.session
+            .store_discovery(cell.raw(), self.expand_neighbors, servers.clone());
+        Ok(servers)
     }
 
     // ----------------------------------------------------------------
     // Federated services (§5.2).
     // ----------------------------------------------------------------
 
-    /// Federated location-based search: scatter to every discovered
-    /// server, gather, and fuse rankings on the client.
+    /// Federated location-based search: scatter one batched envelope to
+    /// every discovered server, gather, and fuse rankings on the
+    /// client.
     pub fn federated_search(
         &self,
         query: &str,
         location: LatLng,
+        k: usize,
+    ) -> Result<Vec<FederatedSearchHit>, ClientError> {
+        self.search_impl(query, location, 2_000.0, k)
+    }
+
+    fn search_impl(
+        &self,
+        query: &str,
+        location: LatLng,
+        radius_m: f64,
         k: usize,
     ) -> Result<Vec<FederatedSearchHit>, ClientError> {
         let servers = self.discover(location)?;
@@ -144,32 +282,41 @@ impl OpenFlameClient {
                 "no servers near {location}"
             )));
         }
+        let endpoints: Vec<EndpointId> = servers.iter().map(|s| s.endpoint).collect();
+        self.session.ensure_hellos(&endpoints);
+        // One batched envelope per server. Anchored servers get a
+        // frame-local center so they can distance-rank; unaligned venue
+        // maps are small, so their whole extent is relevant (center
+        // unknown in their frame).
+        let calls: Vec<(EndpointId, Vec<Request>)> = servers
+            .iter()
+            .map(|server| {
+                let center = self
+                    .session
+                    .cached_hello(server.endpoint)
+                    .and_then(|h| h.anchor)
+                    .map(|anchor| LocalFrame::new(anchor).to_local(location));
+                (
+                    server.endpoint,
+                    vec![Request::Search {
+                        query: query.to_string(),
+                        center,
+                        radius_m,
+                        k: k as u32,
+                    }],
+                )
+            })
+            .collect();
+        let gathered = self.session.batch_parallel(calls);
         let mut lists: Vec<Vec<SearchResult>> = Vec::new();
         let mut provenance: Vec<Vec<FederatedSearchHit>> = Vec::new();
-        for server in &servers {
-            // Anchored servers get a frame-local center so they can
-            // distance-rank; unaligned venue maps are small, so their
-            // whole extent is relevant (center unknown in their frame).
-            let center = self
-                .hello(server.endpoint)
-                .ok()
-                .and_then(|h| h.anchor)
-                .map(|anchor| LocalFrame::new(anchor).to_local(location));
-            let response = self.call(
-                server.endpoint,
-                Request::Search {
-                    query: query.to_string(),
-                    center,
-                    radius_m: 2_000.0,
-                    k: k as u32,
-                },
-            );
-            let results = match response {
-                Ok(Response::Search { results }) => results,
-                // A server may deny search (§5.3) — skip it, the show
-                // goes on with the rest of the federation.
-                Ok(Response::Error { .. }) | Err(_) => continue,
-                Ok(other) => return Err(unexpected("Search", &other)),
+        for (server, outcome) in servers.iter().zip(gathered) {
+            let results = match outcome.map(|mut r| r.pop()) {
+                Ok(Some(Response::Search { results })) => results,
+                // A server may deny search (§5.3) or be down — skip it,
+                // the show goes on with the rest of the federation.
+                Ok(Some(Response::Error { .. })) | Err(_) => continue,
+                Ok(other) => return Err(unexpected_opt("Search", other)),
             };
             let mut list = Vec::with_capacity(results.len());
             let mut prov = Vec::with_capacity(results.len());
@@ -220,23 +367,37 @@ impl OpenFlameClient {
 
     /// Federated forward geocode: coarse lookup on the world provider,
     /// then refinement by servers discovered at the coarse location
-    /// (§5.2).
+    /// (§5.2), one batched envelope per refining server.
     pub fn federated_geocode(
         &self,
         address: &str,
         world_provider: EndpointId,
         k: usize,
     ) -> Result<Vec<(String, WireGeocodeHit)>, ClientError> {
+        Ok(self
+            .geocode_impl(address, world_provider, k)?
+            .into_iter()
+            .map(|h| (h.server_id, h.hit))
+            .collect())
+    }
+
+    fn geocode_impl(
+        &self,
+        address: &str,
+        world_provider: EndpointId,
+        k: usize,
+    ) -> Result<Vec<GeocodeHit>, ClientError> {
         // Step 1: coarse position from the world-map provider.
-        let coarse = match self.call(
+        let responses = self.session.batch(
             world_provider,
-            Request::Geocode {
+            vec![Request::Geocode {
                 query: address.to_string(),
                 k: 1,
-            },
-        )? {
-            Response::Geocode { hits } => hits.into_iter().next(),
-            other => return Err(unexpected("Geocode", &other)),
+            }],
+        )?;
+        let coarse = match responses.into_iter().next() {
+            Some(Response::Geocode { hits }) => hits.into_iter().next(),
+            other => return Err(unexpected_opt("Geocode", other)),
         };
         let Some(coarse_hit) = coarse else {
             return Err(ClientError::NotFound(format!(
@@ -244,36 +405,112 @@ impl OpenFlameClient {
             )));
         };
         let anchor = self
+            .session
             .hello(world_provider)?
             .anchor
             .ok_or_else(|| ClientError::Protocol("world provider must be anchored".into()))?;
-        let coarse_geo = LocalFrame::new(anchor).from_local(coarse_hit.pos);
-        // Step 2: fine geocode on the servers discovered there.
-        let mut out = vec![("world".to_string(), coarse_hit)];
-        for server in self.discover(coarse_geo)? {
-            if server.endpoint == world_provider {
-                continue;
-            }
-            if let Ok(Response::Geocode { hits }) = self.call(
-                server.endpoint,
-                Request::Geocode {
-                    query: address.to_string(),
-                    k: k as u32,
-                },
-            ) {
+        let world_frame = LocalFrame::new(anchor);
+        let coarse_geo = world_frame.from_local(coarse_hit.pos);
+        let mut out = vec![GeocodeHit {
+            server_id: "world".to_string(),
+            geo: Some(coarse_geo),
+            hit: coarse_hit,
+        }];
+        // Step 2: fine geocode on the servers discovered there — one
+        // batched envelope each, in one concurrent round.
+        let refiners: Vec<DiscoveredServer> = self
+            .discover(coarse_geo)?
+            .into_iter()
+            .filter(|s| s.endpoint != world_provider)
+            .collect();
+        let refiner_endpoints: Vec<EndpointId> = refiners.iter().map(|s| s.endpoint).collect();
+        self.session.ensure_hellos(&refiner_endpoints);
+        let calls: Vec<(EndpointId, Vec<Request>)> = refiners
+            .iter()
+            .map(|server| {
+                (
+                    server.endpoint,
+                    vec![Request::Geocode {
+                        query: address.to_string(),
+                        k: k as u32,
+                    }],
+                )
+            })
+            .collect();
+        for (server, outcome) in refiners.iter().zip(self.session.batch_parallel(calls)) {
+            if let Ok(Some(Response::Geocode { hits })) = outcome.map(|mut r| r.pop()) {
+                let frame = self
+                    .session
+                    .cached_hello(server.endpoint)
+                    .and_then(|h| h.anchor)
+                    .map(LocalFrame::new);
                 for hit in hits {
-                    out.push((server.server_id.clone(), hit));
+                    out.push(GeocodeHit {
+                        server_id: server.server_id.clone(),
+                        geo: frame.as_ref().map(|f| f.from_local(hit.pos)),
+                        hit,
+                    });
                 }
             }
         }
-        out.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+        out.sort_by(|a, b| b.hit.score.total_cmp(&a.hit.score));
         out.truncate(k);
         Ok(out)
     }
 
+    /// Federated reverse geocode: ask every discovered *anchored*
+    /// server to name the position, best score wins. Unaligned venue
+    /// maps cannot interpret a geographic position (§3) and are
+    /// skipped without a wire call.
+    pub fn federated_reverse_geocode(
+        &self,
+        location: LatLng,
+        radius_m: f64,
+    ) -> Result<Option<GeocodeHit>, ClientError> {
+        let servers = self.discover(location)?;
+        let endpoints: Vec<EndpointId> = servers.iter().map(|s| s.endpoint).collect();
+        self.session.ensure_hellos(&endpoints);
+        let anchored: Vec<(DiscoveredServer, LocalFrame)> = servers
+            .into_iter()
+            .filter_map(|s| {
+                let anchor = self.session.cached_hello(s.endpoint)?.anchor?;
+                Some((s, LocalFrame::new(anchor)))
+            })
+            .collect();
+        let calls: Vec<(EndpointId, Vec<Request>)> = anchored
+            .iter()
+            .map(|(server, frame)| {
+                (
+                    server.endpoint,
+                    vec![Request::ReverseGeocode {
+                        pos: frame.to_local(location),
+                        radius_m,
+                    }],
+                )
+            })
+            .collect();
+        let mut best: Option<GeocodeHit> = None;
+        for ((server, frame), outcome) in anchored.iter().zip(self.session.batch_parallel(calls)) {
+            if let Ok(Some(Response::ReverseGeocode { hit: Some(hit) })) =
+                outcome.map(|mut r| r.pop())
+            {
+                if best.as_ref().is_none_or(|b| hit.score > b.hit.score) {
+                    best = Some(GeocodeHit {
+                        server_id: server.server_id.clone(),
+                        geo: Some(frame.from_local(hit.pos)),
+                        hit,
+                    });
+                }
+            }
+        }
+        Ok(best)
+    }
+
     /// Routes from a street position to a search result, stitching an
     /// outdoor leg and (if the target is in a venue) an indoor leg at
-    /// the portal the §5.2 dynamic program selects.
+    /// the portal the §5.2 dynamic program selects. The per-portal
+    /// probes are coalesced into batched envelopes: one nearest-node
+    /// batch, one concurrent matrix round, one concurrent leg round.
     pub fn federated_route(
         &self,
         from: LatLng,
@@ -287,12 +524,18 @@ impl OpenFlameClient {
                 ))
             }
         };
-        let target_hello = self.hello(target.endpoint)?;
+        let target_hello = self.session.hello(target.endpoint)?;
         let mut servers_consulted = 1usize;
         if let Some(anchor) = target_hello.anchor {
             // Single anchored map covers both endpoints.
             let frame = LocalFrame::new(anchor);
-            let from_node = self.nearest_node(target.endpoint, frame.to_local(from))?;
+            let responses = Session::expect_all(self.session.batch(
+                target.endpoint,
+                vec![Request::NearestNode {
+                    pos: frame.to_local(from),
+                }],
+            )?)?;
+            let from_node = expect_nearest(&responses[0])?;
             let route = self.route_on(target.endpoint, from_node, target_node)?;
             return Ok(FederatedRoute {
                 total_cost: route.cost,
@@ -313,47 +556,106 @@ impl OpenFlameClient {
             )));
         }
         // Find the outdoor provider covering the start.
-        let outdoor = self
+        let candidates: Vec<DiscoveredServer> = self
             .discover(from)?
             .into_iter()
             .filter(|s| s.endpoint != target.endpoint)
+            .collect();
+        let candidate_endpoints: Vec<EndpointId> = candidates.iter().map(|s| s.endpoint).collect();
+        self.session.ensure_hellos(&candidate_endpoints);
+        let outdoor = candidates
+            .into_iter()
             .find_map(|s| {
-                let hello = self.hello(s.endpoint).ok()?;
+                let hello = self.session.cached_hello(s.endpoint)?;
                 hello.anchor.map(|anchor| (s, anchor))
             })
             .ok_or_else(|| ClientError::NothingDiscovered("no anchored outdoor provider".into()))?;
         servers_consulted += 1;
         let (outdoor_server, outdoor_anchor) = outdoor;
         let outdoor_frame = LocalFrame::new(outdoor_anchor);
-        let from_node = self.nearest_node(outdoor_server.endpoint, outdoor_frame.to_local(from))?;
-        // Outdoor-side portal nodes from the advertised geo hints.
-        let mut outdoor_portals = Vec::with_capacity(target_hello.portals.len());
-        for (_, hint) in &target_hello.portals {
-            outdoor_portals
-                .push(self.nearest_node(outdoor_server.endpoint, outdoor_frame.to_local(*hint))?);
-        }
+        // Round 1 — one batch to the outdoor server: nearest node to
+        // the start plus the outdoor side of every advertised portal.
+        let mut probes = vec![Request::NearestNode {
+            pos: outdoor_frame.to_local(from),
+        }];
+        probes.extend(
+            target_hello
+                .portals
+                .iter()
+                .map(|(_, hint)| Request::NearestNode {
+                    pos: outdoor_frame.to_local(*hint),
+                }),
+        );
+        let responses = Session::expect_all(self.session.batch(outdoor_server.endpoint, probes)?)?;
+        let from_node = expect_nearest(&responses[0])?;
+        let outdoor_portals: Vec<NodeId> = responses[1..]
+            .iter()
+            .map(expect_nearest)
+            .collect::<Result<_, _>>()?;
         let venue_portals: Vec<NodeId> = target_hello
             .portals
             .iter()
             .map(|(n, _)| NodeId(*n))
             .collect();
-        // Cost matrices from both servers, then the stitching DP.
-        let outdoor_matrix =
-            self.route_matrix(outdoor_server.endpoint, &[from_node], &outdoor_portals)?;
-        let venue_matrix = self.route_matrix(target.endpoint, &venue_portals, &[target_node])?;
+        // Round 2 — both cost matrices, concurrently.
+        let matrix_calls = vec![
+            (
+                outdoor_server.endpoint,
+                vec![Request::RouteMatrix {
+                    entries: vec![from_node.0],
+                    exits: outdoor_portals.iter().map(|n| n.0).collect(),
+                }],
+            ),
+            (
+                target.endpoint,
+                vec![Request::RouteMatrix {
+                    entries: venue_portals.iter().map(|n| n.0).collect(),
+                    exits: vec![target_node.0],
+                }],
+            ),
+        ];
+        let mut matrices = Vec::with_capacity(2);
+        for outcome in self.session.batch_parallel(matrix_calls) {
+            let responses = Session::expect_all(outcome?)?;
+            matrices.push(expect_matrix(
+                responses.into_iter().next().expect("one item sent"),
+            )?);
+        }
+        let venue_matrix = matrices.pop().expect("two matrices");
+        let outdoor_matrix = matrices.pop().expect("two matrices");
+        // The §5.2 stitching DP selects the portal.
         let plan = stitch_legs(&[
             LegMatrix::new(outdoor_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
             LegMatrix::new(venue_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
         ])
         .map_err(|e| ClientError::NotFound(format!("no stitched path: {e}")))?;
         let portal_idx = plan.portal_choices[0];
-        // Fetch the actual legs for the chosen portal.
-        let outdoor_route = self.route_on(
-            outdoor_server.endpoint,
-            from_node,
-            outdoor_portals[portal_idx],
-        )?;
-        let venue_route = self.route_on(target.endpoint, venue_portals[portal_idx], target_node)?;
+        // Round 3 — fetch both chosen legs, concurrently.
+        let leg_calls = vec![
+            (
+                outdoor_server.endpoint,
+                vec![Request::Route {
+                    from: from_node.0,
+                    to: outdoor_portals[portal_idx].0,
+                }],
+            ),
+            (
+                target.endpoint,
+                vec![Request::Route {
+                    from: venue_portals[portal_idx].0,
+                    to: target_node.0,
+                }],
+            ),
+        ];
+        let mut legs = Vec::with_capacity(2);
+        for outcome in self.session.batch_parallel(leg_calls) {
+            let responses = Session::expect_all(outcome?)?;
+            legs.push(expect_route(
+                responses.into_iter().next().expect("one item sent"),
+            )?);
+        }
+        let venue_route = legs.pop().expect("two legs");
+        let outdoor_route = legs.pop().expect("two legs");
         Ok(FederatedRoute {
             total_cost: outdoor_route.cost + venue_route.cost,
             total_length_m: outdoor_route.length_m + venue_route.length_m,
@@ -374,15 +676,29 @@ impl OpenFlameClient {
     }
 
     /// Federated localization: send each discovered server the cues its
-    /// advertisement accepts, gather estimates, best (smallest error)
-    /// first (§5.2).
+    /// advertisement accepts — one batched envelope per server, in one
+    /// concurrent round — gather estimates, best (smallest error) first
+    /// (§5.2).
     pub fn federated_localize(
         &self,
         coarse: LatLng,
         cues: &[LocationCue],
     ) -> Result<Vec<(String, WireEstimate)>, ClientError> {
+        Ok(self
+            .localize_impl(coarse, cues)?
+            .into_iter()
+            .map(|(server, estimate)| (server.server_id, estimate))
+            .collect())
+    }
+
+    fn localize_impl(
+        &self,
+        coarse: LatLng,
+        cues: &[LocationCue],
+    ) -> Result<Vec<(DiscoveredServer, WireEstimate)>, ClientError> {
         let servers = self.discover(coarse)?;
-        let mut out: Vec<(String, WireEstimate)> = Vec::new();
+        let mut targets: Vec<DiscoveredServer> = Vec::new();
+        let mut calls: Vec<(EndpointId, Vec<Request>)> = Vec::new();
         for server in servers {
             let matching: Vec<LocationCue> = cues
                 .iter()
@@ -392,11 +708,14 @@ impl OpenFlameClient {
             if matching.is_empty() {
                 continue;
             }
-            if let Ok(Response::Localize { estimates }) =
-                self.call(server.endpoint, Request::Localize { cues: matching })
-            {
+            calls.push((server.endpoint, vec![Request::Localize { cues: matching }]));
+            targets.push(server);
+        }
+        let mut out: Vec<(DiscoveredServer, WireEstimate)> = Vec::new();
+        for (server, outcome) in targets.into_iter().zip(self.session.batch_parallel(calls)) {
+            if let Ok(Some(Response::Localize { estimates })) = outcome.map(|mut r| r.pop()) {
                 for e in estimates {
-                    out.push((server.server_id.clone(), e));
+                    out.push((server.clone(), e));
                 }
             }
         }
@@ -405,21 +724,30 @@ impl OpenFlameClient {
     }
 
     /// Federated tiles: fetch the tile covering `center` at zoom `z`
-    /// from every discovered anchored server and compose them (§5.2).
+    /// from every discovered server — one batched envelope each, in one
+    /// concurrent round — and compose them (§5.2).
     pub fn federated_tile(&self, center: LatLng, z: u8) -> Result<Tile, ClientError> {
+        Ok(self.tile_impl(center, z)?.0)
+    }
+
+    /// [`OpenFlameClient::federated_tile`] plus the number of servers
+    /// whose layers went into the composition.
+    fn tile_impl(&self, center: LatLng, z: u8) -> Result<(Tile, usize), ClientError> {
         let (x, y) = openflame_geo::Mercator::tile_for(center, z);
         let coord = TileCoord { z, x, y };
+        let servers = self.discover(center)?;
+        let calls: Vec<(EndpointId, Vec<Request>)> = servers
+            .iter()
+            .map(|s| (s.endpoint, vec![Request::GetTile { z, x, y }]))
+            .collect();
         let mut layers: Vec<Tile> = Vec::new();
-        for server in self.discover(center)? {
-            match self.call(server.endpoint, Request::GetTile { z, x, y }) {
-                Ok(Response::Tile { rgb, .. }) => {
-                    if let Some(tile) = Tile::from_rgb(coord, &rgb) {
-                        layers.push(tile);
-                    }
+        for outcome in self.session.batch_parallel(calls) {
+            // Unaligned venues and denied servers simply don't
+            // contribute a layer.
+            if let Ok(Some(Response::Tile { rgb, .. })) = outcome.map(|mut r| r.pop()) {
+                if let Some(tile) = Tile::from_rgb(coord, &rgb) {
+                    layers.push(tile);
                 }
-                // Unaligned venues and denied servers simply don't
-                // contribute a layer.
-                Ok(_) | Err(_) => continue,
             }
         }
         if layers.is_empty() {
@@ -428,7 +756,7 @@ impl OpenFlameClient {
             )));
         }
         let refs: Vec<&Tile> = layers.iter().collect();
-        Ok(compose(&refs))
+        Ok((compose(&refs), layers.len()))
     }
 
     // ----------------------------------------------------------------
@@ -437,15 +765,9 @@ impl OpenFlameClient {
 
     /// Nearest routable node on a server.
     pub fn nearest_node(&self, to: EndpointId, pos: Point2) -> Result<NodeId, ClientError> {
-        match self.call(to, Request::NearestNode { pos })? {
-            Response::NearestNode {
-                node: Some((id, _)),
-            } => Ok(NodeId(id)),
-            Response::NearestNode { node: None } => {
-                Err(ClientError::NotFound("server has no routable nodes".into()))
-            }
-            other => Err(unexpected("NearestNode", &other)),
-        }
+        let responses =
+            Session::expect_all(self.session.batch(to, vec![Request::NearestNode { pos }])?)?;
+        expect_nearest(&responses[0])
     }
 
     /// Point-to-point route on one server.
@@ -455,19 +777,14 @@ impl OpenFlameClient {
         from: NodeId,
         dest: NodeId,
     ) -> Result<WireRoute, ClientError> {
-        match self.call(
+        let responses = Session::expect_all(self.session.batch(
             to,
-            Request::Route {
+            vec![Request::Route {
                 from: from.0,
                 to: dest.0,
-            },
-        )? {
-            Response::Route { route: Some(route) } => Ok(route),
-            Response::Route { route: None } => {
-                Err(ClientError::NotFound("no path on server".into()))
-            }
-            other => Err(unexpected("Route", &other)),
-        }
+            }],
+        )?)?;
+        expect_route(responses.into_iter().next().expect("one item sent"))
     }
 
     /// Portal cost matrix from one server.
@@ -481,10 +798,89 @@ impl OpenFlameClient {
             entries: entries.iter().map(|n| n.0).collect(),
             exits: exits.iter().map(|n| n.0).collect(),
         };
-        match self.call(to, request)? {
-            Response::RouteMatrix { costs } => Ok(costs),
-            other => Err(unexpected("RouteMatrix", &other)),
-        }
+        let responses = Session::expect_all(self.session.batch(to, vec![request])?)?;
+        expect_matrix(responses.into_iter().next().expect("one item sent"))
+    }
+}
+
+impl SpatialProvider for OpenFlameClient {
+    fn provider_id(&self) -> String {
+        "openflame-federated".into()
+    }
+
+    fn geocode(&self, query: GeocodeQuery) -> Result<GeocodeOutcome, ClientError> {
+        let world = self.world_provider.ok_or_else(|| {
+            ClientError::Protocol("no world provider configured for coarse geocoding".into())
+        })?;
+        let scope = StatScope::begin(&self.net);
+        let hits = self.geocode_impl(&query.query, world, query.k)?;
+        let servers: std::collections::HashSet<&str> =
+            hits.iter().map(|h| h.server_id.as_str()).collect();
+        let stats = scope.finish(&self.net, servers.len());
+        Ok(GeocodeOutcome { hits, stats })
+    }
+
+    fn reverse_geocode(
+        &self,
+        query: ReverseGeocodeQuery,
+    ) -> Result<ReverseGeocodeOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let hit = self.federated_reverse_geocode(query.location, query.radius_m)?;
+        let stats = scope.finish(&self.net, usize::from(hit.is_some()));
+        Ok(ReverseGeocodeOutcome { hit, stats })
+    }
+
+    fn search(&self, query: SearchQuery) -> Result<SearchOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let hits = self.search_impl(&query.query, query.location, query.radius_m, query.k)?;
+        let servers: std::collections::HashSet<&str> =
+            hits.iter().map(|h| h.server_id.as_str()).collect();
+        let stats = scope.finish(&self.net, servers.len());
+        Ok(SearchOutcome { hits, stats })
+    }
+
+    fn route(&self, query: RouteQuery) -> Result<RouteOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let route = self.federated_route(query.from, &query.target)?;
+        let servers = route.servers_consulted;
+        let stats = scope.finish(&self.net, servers);
+        Ok(RouteOutcome { route, stats })
+    }
+
+    fn localize(&self, query: LocalizeQuery) -> Result<LocalizeOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let raw = self.localize_impl(query.coarse, &query.cues)?;
+        // Geo-anchor the estimates whose producing server is anchored
+        // (hellos are warm by now in steady state; cold misses are one
+        // concurrent round).
+        let endpoints: Vec<EndpointId> = raw.iter().map(|(s, _)| s.endpoint).collect();
+        self.session.ensure_hellos(&endpoints);
+        let estimates: Vec<ProviderEstimate> = raw
+            .into_iter()
+            .map(|(server, estimate)| {
+                let geo = self
+                    .session
+                    .cached_hello(server.endpoint)
+                    .and_then(|h| h.anchor)
+                    .map(|anchor| LocalFrame::new(anchor).from_local(estimate.pos));
+                ProviderEstimate {
+                    server_id: server.server_id,
+                    estimate,
+                    geo,
+                }
+            })
+            .collect();
+        let servers: std::collections::HashSet<&str> =
+            estimates.iter().map(|e| e.server_id.as_str()).collect();
+        let stats = scope.finish(&self.net, servers.len());
+        Ok(LocalizeOutcome { estimates, stats })
+    }
+
+    fn tile(&self, query: TileQuery) -> Result<TileOutcome, ClientError> {
+        let scope = StatScope::begin(&self.net);
+        let (tile, layer_servers) = self.tile_impl(query.center, query.z)?;
+        let stats = scope.finish(&self.net, layer_servers);
+        Ok(TileOutcome { tile, stats })
     }
 }
 
@@ -504,15 +900,4 @@ fn label_relevance(query: &str, label: &str) -> f64 {
     let qc = matched / q.len() as f64;
     let lc = matched / l.len() as f64;
     2.0 * qc * lc / (qc + lc)
-}
-
-fn unexpected(expected: &str, got: &Response) -> ClientError {
-    match got {
-        Response::Error { code, message } => ClientError::Server {
-            server_id: String::new(),
-            code: *code,
-            message: message.clone(),
-        },
-        other => ClientError::Protocol(format!("expected {expected}, got {other:?}")),
-    }
 }

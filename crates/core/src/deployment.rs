@@ -153,7 +153,10 @@ impl Deployment {
             ));
         }
 
-        let client = OpenFlameClient::new(&net, resolver.clone(), Principal::anonymous());
+        let client = OpenFlameClient::builder()
+            .principal(Principal::anonymous())
+            .world_provider(outdoor_server.endpoint())
+            .build(&net, resolver.clone());
         let mut deployment = Self {
             net,
             world,
@@ -233,8 +236,10 @@ impl Deployment {
             } else {
                 &self.shard_dns[shard_idx - 1]
             };
-            if !self.shard_of_cell.contains_key(&shard_cell) {
-                self.shard_of_cell.insert(shard_cell, shard_idx);
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.shard_of_cell.entry(shard_cell)
+            {
+                e.insert(shard_idx);
                 host.with_zones_mut(|zones| zones.push(Zone::new(zone_origin.clone())));
                 if shard_idx != 0 {
                     let ns_host = zone_origin.child("ns").expect("valid label");

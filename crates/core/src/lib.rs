@@ -2,39 +2,90 @@
 //! contribution).
 //!
 //! This crate ties the substrates together into the two architectures
-//! the paper contrasts:
+//! the paper contrasts, and — the point of the exercise — puts them
+//! behind **one** service abstraction:
 //!
-//! - **Figure 2 — federated**: [`OpenFlameClient`] discovers map servers
-//!   through DNS ([`DiscoveryClient`]), then provides every
-//!   location-based service of §4 by scattering requests across the
-//!   discovered servers and stitching the results on the client
-//!   (federated geocode, search, routing with portal stitching,
-//!   localization with plausibility selection, tile composition — §5.2).
-//! - **Figure 1 — centralized**: [`CentralizedProvider`] serves the same
-//!   client API from a single monolithic map, in two flavors:
+//! - [`SpatialProvider`] is the client-facing API of §4: `geocode`,
+//!   `reverse_geocode`, `search`, `route`, `localize` and `tile`, each
+//!   taking a typed query and returning a typed outcome that carries
+//!   provenance (which server answered) and per-call wire statistics.
+//!   Application code — the grocery scenario, the benches, your code —
+//!   holds a `&dyn SpatialProvider` and cannot tell the deployments
+//!   apart except by looking at the outcomes.
+//! - **Figure 2 — federated**: [`OpenFlameClient`] implements the trait
+//!   by discovering map servers through DNS ([`DiscoveryClient`]),
+//!   scattering requests across them and stitching results on the
+//!   client (rank-fused search, portal-stitched routing, plausibility
+//!   localization, tile composition — §5.2).
+//! - **Figure 1 — centralized**: [`CentralizedProvider`] implements the
+//!   same trait from a single monolithic map, in two flavors:
 //!   `public_only` (outdoor data only — the realistic Google-Maps
 //!   baseline whose indoor blindness motivates the paper) and
 //!   `omniscient` (all data merged — the unrealizable upper bound used
 //!   to score federated route quality).
 //!
+//! Underneath the trait sits the [`Session`] wire layer: every
+//! provider's traffic goes out as batched envelopes
+//! (`Request::Batch`), one per server per scatter round, and the
+//! session caches `Hello` capability advertisements per server and
+//! discovery results per cell, so repeated scatter-gather rounds skip
+//! the handshakes they have already done.
+//!
 //! [`Deployment`] stands up a complete simulated world — DNS hierarchy,
 //! resolver, outdoor provider, one map server per venue — in one call,
-//! and [`scenario`] runs the §2 grocery end-to-end scenario on top.
+//! and [`scenario`] runs the §2 grocery end-to-end scenario over any
+//! `&dyn SpatialProvider`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use openflame_core::{Deployment, DeploymentConfig, SearchQuery, SpatialProvider};
+//! use openflame_worldgen::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig { stores: 2, ..Default::default() });
+//! let dep = Deployment::build(world, DeploymentConfig::default());
+//! let product = dep.world.products[0].clone();
+//! let provider: &dyn SpatialProvider = &dep.client;
+//! let outcome = provider
+//!     .search(SearchQuery {
+//!         query: product.name.clone(),
+//!         location: dep.world.venues[product.venue].hint,
+//!         radius_m: 2_000.0,
+//!         k: 3,
+//!     })
+//!     .unwrap();
+//! assert_eq!(outcome.hits[0].result.label, product.name);
+//! assert!(outcome.stats.messages > 0);
+//! ```
 
 pub mod centralized;
 pub mod client;
 pub mod deployment;
 pub mod discovery;
+pub mod provider;
 pub mod scenario;
+pub mod session;
 
 pub use centralized::CentralizedProvider;
-pub use client::{FederatedRoute, OpenFlameClient, RouteLeg};
+pub use client::{
+    FederatedRoute, FederatedSearchHit, OpenFlameClient, OpenFlameClientBuilder, RouteLeg,
+};
 pub use deployment::{Deployment, DeploymentConfig};
 pub use discovery::{DiscoveredServer, DiscoveryClient, DiscoveryStats};
+pub use provider::{
+    CallStats, GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery,
+    ProviderEstimate, ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery,
+    SearchOutcome, SearchQuery, SpatialProvider, TileOutcome, TileQuery,
+};
 pub use scenario::{run_grocery_scenario, GroceryScenarioReport, ProviderKind};
+pub use session::{Session, SessionStats};
 
 /// Errors surfaced by the OpenFLAME client.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard
+/// arm so new failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ClientError {
     /// No map servers were discovered for the location.
     NothingDiscovered(String),
@@ -53,6 +104,18 @@ pub enum ClientError {
     Protocol(String),
     /// The requested object could not be found.
     NotFound(String),
+    /// A batched call partially failed: `succeeded` items completed,
+    /// the listed items did not. The successes are *not* lost — callers
+    /// that can proceed with partial results inspect the batch
+    /// responses directly; this error is returned only by paths that
+    /// need every item. [`std::error::Error::source`] exposes the first
+    /// item failure, preserving the cause chain.
+    PartialFailure {
+        /// Number of items in the batch that succeeded.
+        succeeded: usize,
+        /// The failed items as `(batch index, error)`.
+        failures: Vec<(usize, ClientError)>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -69,8 +132,54 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::NotFound(msg) => write!(f, "not found: {msg}"),
+            ClientError::PartialFailure {
+                succeeded,
+                failures,
+            } => {
+                write!(
+                    f,
+                    "batch partially failed: {succeeded} ok, {} failed (first: ",
+                    failures.len()
+                )?;
+                match failures.first() {
+                    Some((idx, err)) => write!(f, "item {idx}: {err})"),
+                    None => write!(f, "none)"),
+                }
+            }
         }
     }
 }
 
-impl std::error::Error for ClientError {}
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::PartialFailure { failures, .. } => failures
+                .first()
+                .map(|(_, err)| err as &(dyn std::error::Error + 'static)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn partial_failure_preserves_source() {
+        let inner = ClientError::Server {
+            server_id: "venue-3".into(),
+            code: 1,
+            message: "denied".into(),
+        };
+        let err = ClientError::PartialFailure {
+            succeeded: 2,
+            failures: vec![(1, inner.clone())],
+        };
+        let source = err.source().expect("source preserved");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(err.to_string().contains("2 ok"));
+        assert!(err.to_string().contains("item 1"));
+    }
+}

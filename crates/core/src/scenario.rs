@@ -8,16 +8,21 @@
 //! [`run_grocery_scenario`] executes that flow under each provider
 //! architecture and reports what succeeded — the executable form of the
 //! paper's Figure 1 vs Figure 2 comparison (experiment E1).
+//!
+//! The flow itself is written once, against `&dyn SpatialProvider`:
+//! the *same* search → route → localize sequence runs under every
+//! architecture, and only provider construction differs. What the
+//! centralized baselines cannot do (find inventory, localize indoors)
+//! shows up as missing data in the report, not as a different code
+//! path.
 
 use crate::centralized::CentralizedProvider;
 use crate::deployment::{Deployment, DeploymentConfig};
+use crate::provider::{LocalizeQuery, RouteQuery, SearchQuery, SpatialProvider};
 use crate::ClientError;
-use openflame_codec::{from_bytes, to_bytes};
 use openflame_geo::LatLng;
 use openflame_localize::{GnssModel, LocationCue, RadioMap};
 use openflame_mapdata::ElementId;
-use openflame_mapserver::protocol::{Envelope, Request, Response};
-use openflame_mapserver::Principal;
 use openflame_netsim::SimNet;
 use openflame_worldgen::{WalkTrace, World};
 use rand::rngs::StdRng;
@@ -61,7 +66,7 @@ pub struct GroceryScenarioReport {
     pub bytes: u64,
 }
 
-fn median(values: &mut Vec<f64>) -> Option<f64> {
+fn median(values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
@@ -73,7 +78,8 @@ fn median(values: &mut Vec<f64>) -> Option<f64> {
 ///
 /// The user starts on the street ~80 m from the store, searches for the
 /// product, navigates toward the shelf, and localizes continuously
-/// along the way.
+/// along the way. Only provider *construction* depends on `provider`;
+/// the flow runs through [`SpatialProvider`] for every architecture.
 pub fn run_grocery_scenario(
     world: &World,
     provider: ProviderKind,
@@ -81,9 +87,32 @@ pub fn run_grocery_scenario(
     seed: u64,
 ) -> Result<GroceryScenarioReport, ClientError> {
     match provider {
-        ProviderKind::Federated => run_federated(world.clone(), product_idx, seed),
-        ProviderKind::CentralizedPublic => run_centralized(world, product_idx, seed, false),
-        ProviderKind::CentralizedOmniscient => run_centralized(world, product_idx, seed, true),
+        ProviderKind::Federated => {
+            let dep = Deployment::build(
+                world.clone(),
+                DeploymentConfig {
+                    net_seed: seed,
+                    ..Default::default()
+                },
+            );
+            run_with_provider(
+                &dep.client,
+                &dep.net,
+                &dep.world,
+                provider,
+                product_idx,
+                seed,
+            )
+        }
+        ProviderKind::CentralizedPublic | ProviderKind::CentralizedOmniscient => {
+            let net = SimNet::new(seed);
+            let central = if provider == ProviderKind::CentralizedOmniscient {
+                CentralizedProvider::omniscient(&net, world)
+            } else {
+                CentralizedProvider::public_only(&net, world)
+            };
+            run_with_provider(&central, &net, world, provider, product_idx, seed)
+        }
     }
 }
 
@@ -118,79 +147,137 @@ fn localization_cues(
     out
 }
 
-fn run_federated(
-    world: World,
+/// The provider-agnostic §2 flow (see module docs).
+fn run_with_provider(
+    provider: &dyn SpatialProvider,
+    net: &SimNet,
+    world: &World,
+    kind: ProviderKind,
     product_idx: usize,
     seed: u64,
 ) -> Result<GroceryScenarioReport, ClientError> {
     let product = world.products[product_idx].clone();
     let venue_idx = product.venue;
-    let dep = Deployment::build(
-        world,
-        DeploymentConfig {
-            net_seed: seed,
-            ..Default::default()
-        },
-    );
-    dep.net.reset_stats();
+    net.reset_stats();
     // The user stands on the street near the store (coarse GPS puts
     // discovery in the right cell).
-    let user_geo = dep.world.venues[venue_idx].hint.destination(225.0, 80.0);
+    let user_geo = world.venues[venue_idx].hint.destination(225.0, 80.0);
     // 1. Search for the product.
-    let hit = dep.find_product(&product.name, user_geo)?;
-    let found_product = hit.result.label == product.name;
-    // 2. Navigate to the shelf.
-    let route = dep.client.federated_route(user_geo, &hit)?;
-    let reaches = match hit.result.element {
-        ElementId::Node(n) => {
-            route
-                .legs
-                .last()
-                .and_then(|leg| leg.route.nodes.last().copied())
-                == Some(n.0)
+    let search = provider.search(SearchQuery {
+        query: product.name.clone(),
+        location: user_geo,
+        radius_m: 5_000.0,
+        k: 5,
+    });
+    let top_hit = match search {
+        Ok(outcome) => outcome.hits.into_iter().next(),
+        // A provider with no data for the query still runs the rest of
+        // the errand (the §2 status quo).
+        Err(ClientError::NothingDiscovered(_)) | Err(ClientError::NotFound(_)) => None,
+        Err(e) => return Err(e),
+    };
+    let found_product = top_hit
+        .as_ref()
+        .map(|h| h.result.label == product.name)
+        .unwrap_or(false);
+    // 2. Navigate as far as the data allows.
+    let (route_length_m, route_reaches_shelf) = if found_product {
+        let hit = top_hit.expect("found_product implies a hit");
+        let target_node = match hit.result.element {
+            ElementId::Node(n) => Some(n),
+            _ => None,
+        };
+        match provider.route(RouteQuery {
+            from: user_geo,
+            target: hit,
+        }) {
+            Ok(outcome) => {
+                let reaches = target_node
+                    .map(|n| {
+                        outcome
+                            .route
+                            .legs
+                            .last()
+                            .and_then(|leg| leg.route.nodes.last().copied())
+                            == Some(n.0)
+                    })
+                    .unwrap_or(false);
+                (Some(outcome.route.total_length_m), reaches)
+            }
+            Err(_) => (None, false),
         }
-        _ => false,
+    } else {
+        // Fall back to routing to the storefront (the §2 status quo:
+        // guidance stops at the door).
+        let storefront = provider
+            .search(SearchQuery {
+                query: world.venues[venue_idx].name.clone(),
+                location: user_geo,
+                radius_m: f64::INFINITY,
+                k: 1,
+            })
+            .ok()
+            .and_then(|outcome| outcome.hits.into_iter().next());
+        match storefront {
+            Some(hit) => match provider.route(RouteQuery {
+                from: user_geo,
+                target: hit,
+            }) {
+                Ok(outcome) => (Some(outcome.route.total_length_m), false),
+                Err(_) => (None, false),
+            },
+            None => (None, false),
+        }
     };
     // 3. Localize along the walk.
-    let trace = WalkTrace::into_venue(&dep.world, venue_idx, 80.0);
+    let trace = WalkTrace::into_venue(world, venue_idx, 80.0);
     let mut outdoor_errs = Vec::new();
     let mut indoor_errs = Vec::new();
     let mut indoor_total = 0usize;
     let mut indoor_answered = 0usize;
-    for (i, coarse_geo, cues, indoors) in localization_cues(&dep.world, venue_idx, &trace, seed) {
+    for (i, coarse_geo, cues, indoors) in localization_cues(world, venue_idx, &trace, seed) {
         if cues.is_empty() {
             if indoors {
                 indoor_total += 1;
             }
             continue;
         }
-        let estimates = dep.client.federated_localize(coarse_geo, &cues)?;
+        let outcome = provider.localize(LocalizeQuery {
+            coarse: coarse_geo,
+            cues,
+        })?;
         let sample = &trace.samples[i];
         if indoors {
             indoor_total += 1;
             // Indoor truth is in the venue frame; venue estimates are in
             // the same frame, so the error is directly comparable.
-            let venue_estimate = estimates.iter().find(|(sid, _)| sid.starts_with("venue-"));
-            if let Some((_, est)) = venue_estimate {
+            let venue_estimate = outcome
+                .estimates
+                .iter()
+                .find(|e| e.server_id.starts_with("venue-"));
+            if let Some(est) = venue_estimate {
                 indoor_answered += 1;
                 let (_, local_truth) = sample.venue_local.expect("indoor sample");
-                indoor_errs.push(est.pos.distance(local_truth));
+                indoor_errs.push(est.estimate.pos.distance(local_truth));
             }
-        } else if let Some((_, est)) = estimates.iter().find(|(_, e)| e.technology == "gnss") {
-            // Outdoor estimates live in the world-map frame.
-            let hello = dep.client.hello(dep.outdoor_server.endpoint())?;
-            let anchor = hello.anchor.expect("outdoor map is anchored");
-            let est_geo = openflame_geo::LocalFrame::new(anchor).from_local(est.pos);
+        } else if let Some(est_geo) = outcome
+            .estimates
+            .iter()
+            .find(|e| e.estimate.technology == "gnss")
+            .and_then(|e| e.geo)
+        {
+            // Outdoor estimates carry a geographic position whenever the
+            // producing server is anchored.
             outdoor_errs.push(est_geo.haversine_distance(sample.geo));
         }
     }
-    let stats = dep.net.stats();
+    let stats = net.stats();
     Ok(GroceryScenarioReport {
-        provider: ProviderKind::Federated,
+        provider: kind,
         product: product.name.clone(),
         found_product,
-        route_reaches_shelf: reaches,
-        route_length_m: Some(route.total_length_m),
+        route_reaches_shelf,
+        route_length_m,
         outdoor_median_err_m: median(&mut outdoor_errs),
         indoor_median_err_m: median(&mut indoor_errs),
         indoor_availability: if indoor_total == 0 {
@@ -198,169 +285,6 @@ fn run_federated(
         } else {
             indoor_answered as f64 / indoor_total as f64
         },
-        messages: stats.messages,
-        bytes: stats.bytes,
-    })
-}
-
-fn run_centralized(
-    world: &World,
-    product_idx: usize,
-    seed: u64,
-    omniscient: bool,
-) -> Result<GroceryScenarioReport, ClientError> {
-    let product = world.products[product_idx].clone();
-    let venue_idx = product.venue;
-    let net = SimNet::new(seed);
-    let provider = if omniscient {
-        CentralizedProvider::omniscient(&net, world)
-    } else {
-        CentralizedProvider::public_only(&net, world)
-    };
-    let client_ep = net.register("central-client", None);
-    net.reset_stats();
-    let principal = Principal::anonymous();
-    // All centralized interactions go over the simulated network too,
-    // so message/byte accounting is comparable with the federation.
-    let rpc = |request: Request| -> Result<Response, ClientError> {
-        let env = Envelope {
-            principal: Principal::anonymous(),
-            request,
-        };
-        let bytes = net
-            .call(
-                client_ep,
-                provider.server.endpoint(),
-                to_bytes(&env).to_vec(),
-            )
-            .map_err(|e| ClientError::Network(e.to_string()))?;
-        from_bytes::<Response>(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))
-    };
-    let user_geo = world.venues[venue_idx].hint.destination(225.0, 80.0);
-    let frame = provider.frame(world);
-    // 1. Search the central index.
-    let results = match rpc(Request::Search {
-        query: product.name.clone(),
-        center: Some(frame.to_local(user_geo)),
-        radius_m: 5_000.0,
-        k: 5,
-    })? {
-        Response::Search { results } => results,
-        other => {
-            return Err(ClientError::Protocol(format!(
-                "expected Search, got {other:?}"
-            )))
-        }
-    };
-    let found_product = results
-        .first()
-        .map(|r| r.label == product.name)
-        .unwrap_or(false);
-    // 2. Route as far as the data allows.
-    let (route_len, reaches) = if found_product {
-        let target = match results[0].element {
-            ElementId::Node(n) => n,
-            _ => product.shelf,
-        };
-        let start = match rpc(Request::NearestNode {
-            pos: frame.to_local(user_geo),
-        })? {
-            Response::NearestNode {
-                node: Some((id, _)),
-            } => id,
-            _ => return Err(ClientError::NotFound("no outdoor nodes".into())),
-        };
-        match rpc(Request::Route {
-            from: start,
-            to: target.0,
-        })? {
-            Response::Route { route: Some(route) } => {
-                let reaches = route.nodes.last().copied() == Some(target.0);
-                (Some(route.length_m), reaches)
-            }
-            _ => (None, false),
-        }
-    } else {
-        // Fall back to routing to the storefront (the §2 status quo:
-        // guidance stops at the door).
-        let store_hits = provider
-            .server
-            .search(
-                &principal,
-                &world.venues[venue_idx].name,
-                None,
-                f64::INFINITY,
-                1,
-            )
-            .unwrap_or_default();
-        match store_hits.first() {
-            Some(hit) => {
-                let start = match rpc(Request::NearestNode {
-                    pos: frame.to_local(user_geo),
-                })? {
-                    Response::NearestNode {
-                        node: Some((id, _)),
-                    } => id,
-                    _ => return Err(ClientError::NotFound("no outdoor nodes".into())),
-                };
-                let end = match rpc(Request::NearestNode { pos: hit.pos })? {
-                    Response::NearestNode {
-                        node: Some((id, _)),
-                    } => id,
-                    _ => return Err(ClientError::NotFound("no outdoor nodes".into())),
-                };
-                match rpc(Request::Route {
-                    from: start,
-                    to: end,
-                })? {
-                    Response::Route { route: Some(route) } => (Some(route.length_m), false),
-                    _ => (None, false),
-                }
-            }
-            None => (None, false),
-        }
-    };
-    // 3. Localization: the centralized provider accepts only GNSS (§2:
-    // GPS-and-streetview coverage stops at the door).
-    let trace = WalkTrace::into_venue(world, venue_idx, 80.0);
-    let mut outdoor_errs = Vec::new();
-    let mut indoor_total = 0usize;
-    for (i, _geo, cues, indoors) in localization_cues(world, venue_idx, &trace, seed) {
-        let sample = &trace.samples[i];
-        if indoors {
-            indoor_total += 1;
-            continue;
-        }
-        let gnss_cues: Vec<LocationCue> = cues
-            .into_iter()
-            .filter(|c| c.technology() == "gnss")
-            .collect();
-        if gnss_cues.is_empty() {
-            continue;
-        }
-        let estimates = match rpc(Request::Localize { cues: gnss_cues })? {
-            Response::Localize { estimates } => estimates,
-            _ => Vec::new(),
-        };
-        if let Some(est) = estimates.first() {
-            let est_geo = frame.from_local(est.pos);
-            outdoor_errs.push(est_geo.haversine_distance(sample.geo));
-        }
-    }
-    let stats = net.stats();
-    Ok(GroceryScenarioReport {
-        provider: if omniscient {
-            ProviderKind::CentralizedOmniscient
-        } else {
-            ProviderKind::CentralizedPublic
-        },
-        product: product.name.clone(),
-        found_product,
-        route_reaches_shelf: reaches,
-        route_length_m: route_len,
-        outdoor_median_err_m: median(&mut outdoor_errs),
-        indoor_median_err_m: None,
-        indoor_availability: if indoor_total == 0 { 0.0 } else { 0.0 },
         messages: stats.messages,
         bytes: stats.bytes,
     })
@@ -427,5 +351,20 @@ mod tests {
                 .expect("outdoor GNSS always available");
             assert!(err < 15.0, "{kind:?} outdoor err {err}");
         }
+    }
+
+    #[test]
+    fn federated_spends_fewer_messages_than_unbatched_would() {
+        // The batched session path: a full scenario's message count must
+        // stay well below one message per primitive request (the
+        // pre-batching wire discipline). This guards the amortization
+        // from regressing silently.
+        let report = run_grocery_scenario(&world(), ProviderKind::Federated, 3, 11).unwrap();
+        let session_heavy_upper_bound = 400;
+        assert!(
+            report.messages < session_heavy_upper_bound,
+            "scenario burned {} messages — batching or session caching regressed",
+            report.messages
+        );
     }
 }

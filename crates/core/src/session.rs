@@ -1,0 +1,474 @@
+//! The per-server session layer: batched envelopes + capability and
+//! discovery caching.
+//!
+//! Every wire interaction of both provider architectures goes through a
+//! [`Session`]. It does three things the naive per-request path did
+//! not:
+//!
+//! - **Batching**: callers hand it a `Vec<Request>` per server and it
+//!   ships one [`Request::Batch`] envelope, so a scatter round costs
+//!   one round trip per server regardless of how many primitives the
+//!   round needs (OpenFLAME's per-server amortization; cf. federated
+//!   SPARQL source selection, which likewise routes one logical query
+//!   per backend).
+//! - **Hello caching**: `Hello` capability advertisements are cached
+//!   per endpoint with a TTL on the simulated clock, so repeated
+//!   scatter-gather rounds stop re-asking servers who they are.
+//! - **Discovery caching**: discovery results are cached per query
+//!   cell, so a client localizing every few seconds does not re-resolve
+//!   the same cell through DNS each time.
+//!
+//! The TTLs default to the DNS record TTL the deployment uses (300 s),
+//! so cached knowledge ages out on the same schedule as the naming
+//! layer that produced it.
+
+use crate::discovery::DiscoveredServer;
+use crate::ClientError;
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_mapdata::NodeId;
+use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response, WireRoute};
+use openflame_mapserver::Principal;
+use openflame_netsim::{EndpointId, SimNet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Default cache TTL: matches the 300 s DNS record TTL used by
+/// deployment registrations.
+pub const DEFAULT_TTL_US: u64 = 300 * 1_000_000;
+
+/// Counters for session-layer behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Batch envelopes sent.
+    pub batches: u64,
+    /// Individual requests carried inside those envelopes.
+    pub batched_requests: u64,
+    /// Hello lookups answered from the cache.
+    pub hello_hits: u64,
+    /// Hello lookups that went to the wire.
+    pub hello_misses: u64,
+    /// Discovery lookups answered from the cache.
+    pub discovery_hits: u64,
+    /// Discovery lookups that fell through to DNS.
+    pub discovery_misses: u64,
+}
+
+struct Cached<T> {
+    value: T,
+    expires_us: u64,
+}
+
+/// Discovery cache key: (query cell raw id, expand-neighbors flag).
+type DiscoveryKey = (u64, bool);
+type DiscoveryCache = HashMap<DiscoveryKey, Cached<Vec<DiscoveredServer>>>;
+
+/// A client-side wire session: batched calls with capability and
+/// discovery caches (see module docs).
+pub struct Session {
+    net: SimNet,
+    endpoint: EndpointId,
+    principal: Principal,
+    ttl_us: u64,
+    hellos: Mutex<HashMap<EndpointId, Cached<HelloInfo>>>,
+    discoveries: Mutex<DiscoveryCache>,
+    stats: Mutex<SessionStats>,
+}
+
+impl Session {
+    /// Creates a session speaking from `endpoint` as `principal`.
+    pub fn new(net: SimNet, endpoint: EndpointId, principal: Principal) -> Self {
+        Self {
+            net,
+            endpoint,
+            principal,
+            ttl_us: DEFAULT_TTL_US,
+            hellos: Mutex::new(HashMap::new()),
+            discoveries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(SessionStats::default()),
+        }
+    }
+
+    /// Overrides the cache TTL (microseconds of simulated time).
+    pub fn set_ttl_us(&mut self, ttl_us: u64) {
+        self.ttl_us = ttl_us;
+    }
+
+    /// The identity attached to outgoing envelopes.
+    pub fn principal(&self) -> &Principal {
+        &self.principal
+    }
+
+    /// Changes the identity for subsequent envelopes. Caches are
+    /// dropped: what a server advertises or a cell resolves to may be
+    /// identity-dependent.
+    pub fn set_principal(&mut self, principal: Principal) {
+        self.principal = principal;
+        self.invalidate();
+    }
+
+    /// The session's network endpoint.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// The underlying network handle.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SessionStats {
+        self.stats.lock().clone()
+    }
+
+    /// Drops all cached state.
+    pub fn invalidate(&self) {
+        self.hellos.lock().clear();
+        self.discoveries.lock().clear();
+    }
+
+    // ----------------------------------------------------------------
+    // Wire calls.
+    // ----------------------------------------------------------------
+
+    fn encode(&self, request: Request) -> Vec<u8> {
+        let env = Envelope {
+            principal: self.principal.clone(),
+            request,
+        };
+        to_bytes(&env).to_vec()
+    }
+
+    fn decode_batch(bytes: &[u8], expected: usize) -> Result<Vec<Response>, ClientError> {
+        match from_bytes::<Response>(bytes).map_err(|e| ClientError::Protocol(e.to_string()))? {
+            Response::Batch(responses) if responses.len() == expected => Ok(responses),
+            Response::Batch(responses) => Err(ClientError::Protocol(format!(
+                "batch answered {} of {expected} items",
+                responses.len()
+            ))),
+            // A whole-envelope failure (e.g. the envelope itself was
+            // rejected) surfaces as a top-level error.
+            Response::Error { code, message } => Err(ClientError::Server {
+                server_id: String::new(),
+                code,
+                message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Batch, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one batched envelope to one server and returns the
+    /// positional responses. Per-item failures come back as
+    /// `Response::Error` items; the call errs only when the envelope
+    /// itself fails.
+    pub fn batch(
+        &self,
+        to: EndpointId,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Response>, ClientError> {
+        let expected = requests.len();
+        {
+            let mut stats = self.stats.lock();
+            stats.batches += 1;
+            stats.batched_requests += expected as u64;
+        }
+        let payload = self.encode(Request::Batch(requests));
+        let bytes = self
+            .net
+            .call(self.endpoint, to, payload)
+            .map_err(|e| ClientError::Network(e.to_string()))?;
+        let responses = Self::decode_batch(&bytes, expected)?;
+        self.absorb_hellos(to, &responses);
+        Ok(responses)
+    }
+
+    /// Sends one batched envelope to each server *concurrently* (the
+    /// clock advances by the slowest branch, as a real fan-out would).
+    /// One failed branch does not sink the others.
+    pub fn batch_parallel(
+        &self,
+        calls: Vec<(EndpointId, Vec<Request>)>,
+    ) -> Vec<Result<Vec<Response>, ClientError>> {
+        let mut expected = Vec::with_capacity(calls.len());
+        let mut wire_calls = Vec::with_capacity(calls.len());
+        for (to, requests) in calls {
+            expected.push((to, requests.len()));
+            wire_calls.push((to, self.encode(Request::Batch(requests))));
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.batches += expected.len() as u64;
+            stats.batched_requests += expected.iter().map(|(_, n)| *n as u64).sum::<u64>();
+        }
+        let results = self.net.call_parallel(self.endpoint, wire_calls);
+        results
+            .into_iter()
+            .zip(expected)
+            .map(|(result, (to, n))| {
+                let bytes = result.map_err(|e| ClientError::Network(e.to_string()))?;
+                let responses = Self::decode_batch(&bytes, n)?;
+                self.absorb_hellos(to, &responses);
+                Ok(responses)
+            })
+            .collect()
+    }
+
+    /// Turns per-item `Response::Error` entries into a
+    /// [`ClientError::PartialFailure`], for callers that need every
+    /// item of a batch.
+    pub fn expect_all(responses: Vec<Response>) -> Result<Vec<Response>, ClientError> {
+        let mut failures = Vec::new();
+        for (idx, response) in responses.iter().enumerate() {
+            if let Response::Error { code, message } = response {
+                failures.push((
+                    idx,
+                    ClientError::Server {
+                        server_id: String::new(),
+                        code: *code,
+                        message: message.clone(),
+                    },
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(responses)
+        } else {
+            Err(ClientError::PartialFailure {
+                succeeded: responses.len() - failures.len(),
+                failures,
+            })
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Hello cache.
+    // ----------------------------------------------------------------
+
+    /// Opportunistically caches any `Hello` answers riding in a batch.
+    fn absorb_hellos(&self, from: EndpointId, responses: &[Response]) {
+        for response in responses {
+            if let Response::Hello(info) = response {
+                self.store_hello(from, info.clone());
+            }
+        }
+    }
+
+    /// Inserts a capability advertisement into the cache.
+    pub fn store_hello(&self, from: EndpointId, info: HelloInfo) {
+        self.hellos.lock().insert(
+            from,
+            Cached {
+                value: info,
+                expires_us: self.net.now_us().saturating_add(self.ttl_us),
+            },
+        );
+    }
+
+    /// Cache probe without touching the hit counters (internal
+    /// bookkeeping, e.g. [`Session::ensure_hellos`] filtering, must not
+    /// inflate the hit rate).
+    fn peek_hello(&self, server: EndpointId) -> Option<HelloInfo> {
+        let now = self.net.now_us();
+        let mut hellos = self.hellos.lock();
+        match hellos.get(&server) {
+            Some(cached) if cached.expires_us > now => Some(cached.value.clone()),
+            Some(_) => {
+                hellos.remove(&server);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// The cached advertisement for `server`, if fresh.
+    pub fn cached_hello(&self, server: EndpointId) -> Option<HelloInfo> {
+        let info = self.peek_hello(server);
+        if info.is_some() {
+            self.stats.lock().hello_hits += 1;
+        }
+        info
+    }
+
+    /// The advertisement for `server`, from cache or the wire.
+    pub fn hello(&self, server: EndpointId) -> Result<HelloInfo, ClientError> {
+        if let Some(info) = self.cached_hello(server) {
+            return Ok(info);
+        }
+        self.stats.lock().hello_misses += 1;
+        let responses = self.batch(server, vec![Request::Hello])?;
+        match responses.into_iter().next() {
+            Some(Response::Hello(info)) => Ok(info),
+            Some(Response::Error { code, message }) => Err(ClientError::Server {
+                server_id: String::new(),
+                code,
+                message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fills the hello cache for every listed server in **one**
+    /// concurrent round of single-item batches, skipping servers whose
+    /// advertisement is already fresh. Unreachable or denying servers
+    /// are silently left uncached — the caller's next move decides how
+    /// to treat them.
+    pub fn ensure_hellos(&self, servers: &[EndpointId]) {
+        let missing: Vec<EndpointId> = servers
+            .iter()
+            .copied()
+            .filter(|s| self.peek_hello(*s).is_none())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        self.stats.lock().hello_misses += missing.len() as u64;
+        let calls = missing.iter().map(|s| (*s, vec![Request::Hello])).collect();
+        // Results are absorbed into the cache by batch_parallel.
+        let _ = self.batch_parallel(calls);
+    }
+
+    // ----------------------------------------------------------------
+    // Discovery cache.
+    // ----------------------------------------------------------------
+
+    /// The cached discovery result for a query cell, if fresh.
+    pub fn cached_discovery(
+        &self,
+        cell_raw: u64,
+        expand_neighbors: bool,
+    ) -> Option<Vec<DiscoveredServer>> {
+        let now = self.net.now_us();
+        let mut discoveries = self.discoveries.lock();
+        let cached = match discoveries.get(&(cell_raw, expand_neighbors)) {
+            Some(cached) if cached.expires_us > now => Some(cached.value.clone()),
+            Some(_) => {
+                discoveries.remove(&(cell_raw, expand_neighbors));
+                None
+            }
+            None => None,
+        };
+        drop(discoveries);
+        let mut stats = self.stats.lock();
+        if cached.is_some() {
+            stats.discovery_hits += 1;
+        } else {
+            // A miss is a miss at lookup time, whether or not the
+            // fallback DNS resolution later succeeds and is stored.
+            stats.discovery_misses += 1;
+        }
+        cached
+    }
+
+    /// Caches a discovery result for a query cell.
+    pub fn store_discovery(
+        &self,
+        cell_raw: u64,
+        expand_neighbors: bool,
+        servers: Vec<DiscoveredServer>,
+    ) {
+        self.discoveries.lock().insert(
+            (cell_raw, expand_neighbors),
+            Cached {
+                value: servers,
+                expires_us: self.net.now_us().saturating_add(self.ttl_us),
+            },
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// Response-unwrap helpers shared by every provider implementation.
+// --------------------------------------------------------------------
+
+/// The single response of a one-item batch.
+pub(crate) fn take_one(
+    responses: Vec<Response>,
+    expected: &'static str,
+) -> Result<Response, ClientError> {
+    responses
+        .into_iter()
+        .next()
+        .ok_or_else(|| ClientError::Protocol(format!("expected {expected}, got empty batch")))
+}
+
+pub(crate) fn expect_nearest(response: &Response) -> Result<NodeId, ClientError> {
+    match response {
+        Response::NearestNode {
+            node: Some((id, _)),
+        } => Ok(NodeId(*id)),
+        Response::NearestNode { node: None } => {
+            Err(ClientError::NotFound("server has no routable nodes".into()))
+        }
+        other => Err(unexpected("NearestNode", other)),
+    }
+}
+
+pub(crate) fn expect_route(response: Response) -> Result<WireRoute, ClientError> {
+    match response {
+        Response::Route { route: Some(route) } => Ok(route),
+        Response::Route { route: None } => Err(ClientError::NotFound("no path on server".into())),
+        other => Err(unexpected("Route", &other)),
+    }
+}
+
+pub(crate) fn expect_matrix(response: Response) -> Result<Vec<Vec<f64>>, ClientError> {
+    match response {
+        Response::RouteMatrix { costs } => Ok(costs),
+        other => Err(unexpected("RouteMatrix", &other)),
+    }
+}
+
+/// Maps a response of the wrong kind to the matching [`ClientError`].
+pub(crate) fn unexpected(expected: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { code, message } => ClientError::Server {
+            server_id: String::new(),
+            code: *code,
+            message: message.clone(),
+        },
+        other => ClientError::Protocol(format!("expected {expected}, got {other:?}")),
+    }
+}
+
+pub(crate) fn unexpected_opt(expected: &str, got: Option<Response>) -> ClientError {
+    match got {
+        Some(response) => unexpected(expected, &response),
+        None => ClientError::Protocol(format!("expected {expected}, got empty batch")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_mapserver::protocol::Response;
+
+    #[test]
+    fn expect_all_reports_partial_failure() {
+        let ok = Response::PatchApplied { version: 1 };
+        let err = Response::Error {
+            code: 1,
+            message: "denied".into(),
+        };
+        let result = Session::expect_all(vec![ok.clone(), err, ok]);
+        let Err(ClientError::PartialFailure {
+            succeeded,
+            failures,
+        }) = result
+        else {
+            panic!("expected partial failure");
+        };
+        assert_eq!(succeeded, 2);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 1);
+    }
+
+    #[test]
+    fn expect_all_passes_clean_batches() {
+        let ok = Response::PatchApplied { version: 1 };
+        assert_eq!(Session::expect_all(vec![ok.clone()]).unwrap(), vec![ok]);
+    }
+}

@@ -202,7 +202,7 @@ mod tests {
 
     #[test]
     fn ordering_is_deterministic() {
-        let mut names = vec![
+        let mut names = [
             DomainName::parse("b.example.").unwrap(),
             DomainName::parse("a.example.").unwrap(),
         ];

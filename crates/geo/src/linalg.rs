@@ -29,14 +29,16 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, G
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        // Eliminate below.
+        // Eliminate below (pivot row copied out so the elimination can
+        // mutate other rows of `a` without aliasing it).
+        let pivot_row = a[col].clone();
         for row in (col + 1)..n {
-            let f = a[row][col] / a[col][col];
+            let f = a[row][col] / pivot_row[col];
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            for (k, pivot_k) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= f * pivot_k;
             }
             b[row] -= f * b[col];
         }

@@ -91,6 +91,12 @@ pub enum Request {
         /// Query position in the server's map frame.
         pos: Point2,
     },
+    /// Several requests in one envelope, answered positionally by a
+    /// [`Response::Batch`]. Scatter-gather clients coalesce their
+    /// per-server traffic into one of these per round, paying one
+    /// network round trip instead of one per request. Batches must be
+    /// flat: a nested batch is rejected at both decode and dispatch.
+    Batch(Vec<Request>),
 }
 
 /// Server capability advertisement.
@@ -246,6 +252,11 @@ pub enum Response {
         /// Human-readable message.
         message: String,
     },
+    /// Positional answers to a [`Request::Batch`]: `responses[i]`
+    /// answers `requests[i]`, and per-item failures are ordinary
+    /// [`Response::Error`] entries, so one denied item never sinks the
+    /// rest of the batch.
+    Batch(Vec<Response>),
 }
 
 // ---------------------------------------------------------------
@@ -377,10 +388,25 @@ impl Wire for Request {
                 w.put_u8(9);
                 put_point(w, *pos);
             }
+            Request::Batch(requests) => {
+                w.put_u8(10);
+                w.put_varint(requests.len() as u64);
+                for req in requests {
+                    req.encode(w);
+                }
+            }
         }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        decode_request(r, false)
+    }
+}
+
+/// Decodes one request; `inside_batch` rejects nested batches so a
+/// corrupt or hostile payload cannot recurse the decoder arbitrarily.
+fn decode_request(r: &mut Reader<'_>, inside_batch: bool) -> Result<Request, CodecError> {
+    {
         match r.read_u8()? {
             0 => Ok(Request::Hello),
             1 => Ok(Request::Geocode {
@@ -437,6 +463,20 @@ impl Wire for Request {
             9 => Ok(Request::NearestNode {
                 pos: read_point(r)?,
             }),
+            10 => {
+                if inside_batch {
+                    return Err(CodecError::InvalidTag {
+                        context: "nested Request::Batch",
+                        tag: 10,
+                    });
+                }
+                let n = r.read_length()?;
+                let mut requests = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    requests.push(decode_request(r, true)?);
+                }
+                Ok(Request::Batch(requests))
+            }
             tag => Err(CodecError::InvalidTag {
                 context: "Request",
                 tag: tag as u64,
@@ -656,10 +696,25 @@ impl Wire for Response {
                 w.put_u8(*code);
                 w.put_str(message);
             }
+            Response::Batch(responses) => {
+                w.put_u8(11);
+                w.put_varint(responses.len() as u64);
+                for resp in responses {
+                    resp.encode(w);
+                }
+            }
         }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        decode_response(r, false)
+    }
+}
+
+/// Decodes one response; `inside_batch` mirrors [`decode_request`]'s
+/// nested-batch rejection.
+fn decode_response(r: &mut Reader<'_>, inside_batch: bool) -> Result<Response, CodecError> {
+    {
         match r.read_u8()? {
             0 => Ok(Response::Hello(HelloInfo::decode(r)?)),
             1 => Ok(Response::Geocode {
@@ -716,6 +771,20 @@ impl Wire for Response {
                 };
                 Ok(Response::NearestNode { node })
             }
+            11 => {
+                if inside_batch {
+                    return Err(CodecError::InvalidTag {
+                        context: "nested Response::Batch",
+                        tag: 11,
+                    });
+                }
+                let n = r.read_length()?;
+                let mut responses = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    responses.push(decode_response(r, true)?);
+                }
+                Ok(Response::Batch(responses))
+            }
             tag => Err(CodecError::InvalidTag {
                 context: "Response",
                 tag: tag as u64,
@@ -727,7 +796,7 @@ impl Wire for Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use openflame_codec::{from_bytes, to_bytes};
+    use openflame_codec::{from_bytes, to_bytes, CodecError};
     use openflame_geo::LatLng;
     use openflame_mapdata::NodeId;
 
@@ -792,6 +861,45 @@ mod tests {
         round_trip_request(Request::NearestNode {
             pos: Point2::new(4.0, 5.0),
         });
+        round_trip_request(Request::Batch(vec![
+            Request::Hello,
+            Request::Geocode {
+                query: "forbes".into(),
+                k: 2,
+            },
+            Request::NearestNode {
+                pos: Point2::new(1.0, 2.0),
+            },
+        ]));
+        round_trip_request(Request::Batch(Vec::new()));
+    }
+
+    #[test]
+    fn nested_batches_rejected_by_decoder() {
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::Hello])]);
+        let err = from_bytes::<Request>(&to_bytes(&nested)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CodecError::InvalidTag {
+                    context: "nested Request::Batch",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let nested = Response::Batch(vec![Response::Batch(vec![])]);
+        let err = from_bytes::<Response>(&to_bytes(&nested)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CodecError::InvalidTag {
+                    context: "nested Response::Batch",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -850,6 +958,14 @@ mod tests {
                 code: 1,
                 message: "denied".into(),
             },
+            Response::Batch(vec![
+                Response::PatchApplied { version: 1 },
+                Response::Error {
+                    code: 2,
+                    message: "not offered".into(),
+                },
+            ]),
+            Response::Batch(Vec::new()),
         ];
         for resp in cases {
             let back = from_bytes::<Response>(&to_bytes(&resp)).unwrap();

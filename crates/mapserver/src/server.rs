@@ -514,6 +514,21 @@ impl MapServer {
                 },
                 Err(e) => into_error(e),
             },
+            Request::Batch(requests) => {
+                // Positional fan-in: each item is dispatched under the
+                // same principal, and per-item failures stay per-item.
+                let responses = requests
+                    .into_iter()
+                    .map(|req| match req {
+                        Request::Batch(_) => Response::Error {
+                            code: 3,
+                            message: "nested batch".into(),
+                        },
+                        req => self.dispatch(principal, req),
+                    })
+                    .collect();
+                Response::Batch(responses)
+            }
         }
     }
 }
@@ -721,6 +736,40 @@ mod tests {
         assert!(!results.is_empty());
         assert_eq!(results[0].label, product.name);
         assert!(net.stats().messages >= 2);
+    }
+
+    #[test]
+    fn batch_dispatch_answers_positionally() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let product = &world.products[0];
+        let response = server.dispatch(
+            &Principal::anonymous(),
+            Request::Batch(vec![
+                Request::Hello,
+                Request::Search {
+                    query: product.name.clone(),
+                    center: None,
+                    radius_m: f64::INFINITY,
+                    k: 3,
+                },
+                Request::GetTile { z: 15, x: 0, y: 0 },
+                Request::Batch(vec![Request::Hello]),
+            ]),
+        );
+        let Response::Batch(items) = response else {
+            panic!("expected batch response");
+        };
+        assert_eq!(items.len(), 4);
+        assert!(matches!(items[0], Response::Hello(_)));
+        let Response::Search { results } = &items[1] else {
+            panic!("expected search item");
+        };
+        assert_eq!(results[0].label, product.name);
+        // Unaligned venue: tiles not offered — the item fails alone.
+        assert!(matches!(items[2], Response::Error { code: 2, .. }));
+        // Nested batches are refused per-item.
+        assert!(matches!(items[3], Response::Error { code: 3, .. }));
     }
 
     #[test]

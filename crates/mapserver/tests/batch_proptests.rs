@@ -1,0 +1,124 @@
+//! Property-based round-trip coverage for the batched wire protocol:
+//! arbitrary flat batches of requests and responses must survive
+//! encode → decode bit-exactly inside an [`Envelope`].
+
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_geo::Point2;
+use openflame_mapdata::{ElementId, NodeId};
+use openflame_mapserver::protocol::{
+    Envelope, Request, Response, WireGeocodeHit, WireSearchResult,
+};
+use openflame_mapserver::Principal;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point2> {
+    (-10_000.0f64..10_000.0, -10_000.0f64..10_000.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+/// One non-batch request, arbitrary enough to cover every field shape
+/// that appears inside batches on the real fan-out paths.
+fn arb_inner_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..5,
+        "[a-z0-9 ]{0,12}",
+        arb_point(),
+        0.0f64..5_000.0,
+        proptest::collection::vec(any::<u64>(), 0..6),
+        1u32..20,
+    )
+        .prop_map(|(kind, text, pos, radius, nodes, k)| match kind {
+            0 => Request::Hello,
+            1 => Request::Geocode { query: text, k },
+            2 => Request::Search {
+                query: text,
+                center: Some(pos),
+                radius_m: radius,
+                k,
+            },
+            3 => Request::RouteMatrix {
+                entries: nodes.clone(),
+                exits: nodes,
+            },
+            _ => Request::NearestNode { pos },
+        })
+}
+
+fn arb_inner_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..5,
+        "[a-z0-9 ]{0,12}",
+        arb_point(),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()),
+        proptest::collection::vec(any::<u64>(), 0..6),
+        any::<u64>(),
+    )
+        .prop_map(|(kind, text, pos, score, nodes, version)| match kind {
+            0 => Response::Geocode {
+                hits: vec![WireGeocodeHit {
+                    element: ElementId::Node(NodeId(version)),
+                    pos,
+                    score,
+                    label: text,
+                }],
+            },
+            1 => Response::Search {
+                results: vec![WireSearchResult {
+                    element: ElementId::Node(NodeId(version)),
+                    pos,
+                    score,
+                    distance_m: score.abs(),
+                    label: text,
+                }],
+            },
+            2 => Response::RouteMatrix {
+                costs: vec![nodes.iter().map(|n| *n as f64).collect()],
+            },
+            3 => Response::Error {
+                code: (version % 250) as u8,
+                message: text,
+            },
+            _ => Response::PatchApplied { version },
+        })
+}
+
+proptest! {
+    #[test]
+    fn request_batches_round_trip(requests in proptest::collection::vec(arb_inner_request(), 0..12)) {
+        let env = Envelope {
+            principal: Principal::user_via_app("prop@test", "batch"),
+            request: Request::Batch(requests.clone()),
+        };
+        let back = from_bytes::<Envelope>(&to_bytes(&env)).unwrap();
+        prop_assert_eq!(back.request, Request::Batch(requests));
+    }
+
+    #[test]
+    fn response_batches_round_trip(responses in proptest::collection::vec(arb_inner_response(), 0..12)) {
+        let batch = Response::Batch(responses);
+        let back = from_bytes::<Response>(&to_bytes(&batch)).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn batched_and_sequential_encodings_stay_decodable(requests in proptest::collection::vec(arb_inner_request(), 1..8)) {
+        // A batch is never larger than the sum of its parts wrapped in
+        // individual envelopes — the amortization the client relies on.
+        let principal = Principal::anonymous();
+        let batch_len = to_bytes(&Envelope {
+            principal: principal.clone(),
+            request: Request::Batch(requests.clone()),
+        })
+        .len();
+        let split_len: usize = requests
+            .iter()
+            .map(|req| {
+                to_bytes(&Envelope {
+                    principal: principal.clone(),
+                    request: req.clone(),
+                })
+                .len()
+            })
+            .sum();
+        prop_assert!(batch_len <= split_len + 2, "batch {batch_len} vs split {split_len}");
+    }
+}

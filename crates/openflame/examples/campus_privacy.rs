@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example campus_privacy`
 
-use openflame_core::{Deployment, DeploymentConfig};
+use openflame_core::{Deployment, DeploymentConfig, OpenFlameClient};
 use openflame_localize::{LocationCue, RadioMap};
 use openflame_mapserver::{AccessPolicy, Principal, Rule, ServiceKind};
 use openflame_worldgen::{World, WorldConfig};
@@ -32,7 +32,7 @@ fn main() {
         stores: 4,
         ..WorldConfig::default()
     });
-    let mut dep = Deployment::build(
+    let dep = Deployment::build(
         world,
         DeploymentConfig {
             venue_policy: policy,
@@ -72,36 +72,36 @@ fn main() {
         "identity", "search", "route", "localize"
     );
     for (label, principal) in identities {
-        dep.client.set_principal(principal);
-        let search_ok = dep
-            .client
+        // One client per identity: principals are builder-time
+        // configuration, not mutable state.
+        let client = OpenFlameClient::builder()
+            .principal(principal)
+            .build(&dep.net, dep.resolver.clone());
+        let search_ok = client
             .federated_search(&product.name, venue.hint, 3)
             .map(|hits| hits.iter().any(|h| h.result.label == product.name))
             .unwrap_or(false);
         let route_ok = if search_ok {
-            let hit = dep
-                .client
+            let hit = client
                 .federated_search(&product.name, venue.hint, 3)
                 .unwrap()
                 .into_iter()
                 .find(|h| h.result.label == product.name)
                 .unwrap();
-            dep.client
+            client
                 .federated_route(venue.hint.destination(200.0, 80.0), &hit)
                 .is_ok()
         } else {
             false
         };
-        let localize_ok = dep
-            .client
-            .federated_localize(venue.hint, &[beacon_cue.clone()])
+        let localize_ok = client
+            .federated_localize(venue.hint, std::slice::from_ref(&beacon_cue))
             .map(|ests| ests.iter().any(|(sid, _)| sid.starts_with("venue-")))
             .unwrap_or(false);
         println!("{label:<28} {search_ok:>8} {route_ok:>8} {localize_ok:>10}");
     }
 
     // Tiles remain open to everyone (service-level separation).
-    dep.client.set_principal(Principal::anonymous());
     let gps = LocationCue::Gnss {
         fix: dep.world.config.center,
         accuracy_m: 4.0,

@@ -65,7 +65,7 @@ fn acl_protected_venue_invisible_to_strangers_but_searchable_by_staff() {
             Rule::DenyAll,
         ],
     );
-    let mut dep = Deployment::build(
+    let dep = Deployment::build(
         small_world(),
         DeploymentConfig {
             venue_policy: policy,
@@ -84,9 +84,10 @@ fn acl_protected_venue_invisible_to_strangers_but_searchable_by_staff() {
         "protected inventory leaked to anonymous client"
     );
     // Staff identity: same query succeeds.
-    dep.client
-        .set_principal(Principal::user("worker@staff.example"));
-    let staff_hits = dep.client.federated_search(&product.name, hint, 5).unwrap();
+    let staff = openflame_core::OpenFlameClient::builder()
+        .principal(Principal::user("worker@staff.example"))
+        .build(&dep.net, dep.resolver.clone());
+    let staff_hits = staff.federated_search(&product.name, hint, 5).unwrap();
     assert_eq!(staff_hits[0].result.label, product.name);
 }
 

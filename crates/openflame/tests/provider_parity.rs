@@ -1,0 +1,220 @@
+//! The paper's core claim as tests: the federation serves the *same*
+//! services as a centralized map, behind the same `SpatialProvider`
+//! trait — plus the wire-discipline guarantees of the batched session
+//! layer (exactly one `Request::Batch` envelope per discovered server
+//! per scatter round).
+
+use openflame_core::{
+    CentralizedProvider, Deployment, DeploymentConfig, GeocodeQuery, LocalizeQuery, RouteQuery,
+    SearchQuery, SpatialProvider, TileQuery,
+};
+use openflame_localize::LocationCue;
+use openflame_netsim::SimNet;
+use openflame_worldgen::{World, WorldConfig};
+
+fn one_venue_world() -> World {
+    World::generate(WorldConfig {
+        stores: 1,
+        products_per_store: 8,
+        ..WorldConfig::default()
+    })
+}
+
+/// An outdoor address that exists in the public world map.
+fn some_address(world: &World) -> String {
+    world
+        .outdoor
+        .nodes()
+        .find_map(|n| {
+            n.tags
+                .has("addr:housenumber")
+                .then(|| n.tags.get("name").unwrap().to_string())
+        })
+        .expect("world has addresses")
+}
+
+#[test]
+fn federated_and_omniscient_geocode_agree_on_one_venue_world() {
+    let world = one_venue_world();
+    let address = some_address(&world);
+    let dep = Deployment::build(world.clone(), DeploymentConfig::default());
+    let omni_net = SimNet::new(9);
+    let omni = CentralizedProvider::omniscient(&omni_net, &world);
+
+    let federated: &dyn SpatialProvider = &dep.client;
+    let centralized: &dyn SpatialProvider = &omni;
+    let query = GeocodeQuery {
+        query: address.clone(),
+        k: 3,
+    };
+    let fed = federated.geocode(query.clone()).unwrap();
+    let cen = centralized.geocode(query).unwrap();
+
+    // Identical top answer: same label, same place on the globe.
+    let fed_top = &fed.hits[0];
+    let cen_top = &cen.hits[0];
+    assert_eq!(fed_top.hit.label, cen_top.hit.label, "address {address:?}");
+    assert!((fed_top.hit.score - cen_top.hit.score).abs() < 1e-9);
+    let (fed_geo, cen_geo) = (fed_top.geo.unwrap(), cen_top.geo.unwrap());
+    assert!(
+        fed_geo.haversine_distance(cen_geo) < 0.5,
+        "geocoded positions diverge: {fed_geo} vs {cen_geo}"
+    );
+    // Both calls actually crossed the wire and said who answered.
+    assert!(fed.stats.messages > 0 && cen.stats.messages > 0);
+    assert_eq!(fed_top.server_id, "world");
+    assert_eq!(cen_top.server_id, "central-omniscient");
+}
+
+#[test]
+fn every_service_runs_under_both_architectures() {
+    let world = one_venue_world();
+    let dep = Deployment::build(world.clone(), DeploymentConfig::default());
+    let omni_net = SimNet::new(5);
+    let omni = CentralizedProvider::omniscient(&omni_net, &world);
+    let product = world.products[0].clone();
+    let near = world.venues[product.venue].hint;
+
+    for provider in [&dep.client as &dyn SpatialProvider, &omni] {
+        let id = provider.provider_id();
+        let search = provider
+            .search(SearchQuery {
+                query: product.name.clone(),
+                location: near,
+                radius_m: 5_000.0,
+                k: 3,
+            })
+            .unwrap();
+        assert_eq!(search.hits[0].result.label, product.name, "{id}");
+        let route = provider
+            .route(RouteQuery {
+                from: near.destination(225.0, 80.0),
+                target: search.hits[0].clone(),
+            })
+            .unwrap();
+        assert!(route.route.total_length_m > 1.0, "{id}");
+        let localize = provider
+            .localize(LocalizeQuery {
+                coarse: near,
+                cues: vec![LocationCue::Gnss {
+                    fix: near,
+                    accuracy_m: 4.0,
+                }],
+            })
+            .unwrap();
+        assert!(
+            localize
+                .estimates
+                .iter()
+                .any(|e| e.estimate.technology == "gnss" && e.geo.is_some()),
+            "{id}"
+        );
+        let tile = provider
+            .tile(TileQuery {
+                center: world.config.center,
+                z: 16,
+            })
+            .unwrap();
+        assert!(tile.tile.coverage() > 0.0, "{id}");
+        let rev = provider
+            .reverse_geocode(openflame_core::ReverseGeocodeQuery {
+                location: world.config.center,
+                radius_m: 100.0,
+            })
+            .unwrap();
+        assert!(rev.hit.is_some(), "{id}");
+    }
+}
+
+#[test]
+fn warm_search_issues_exactly_one_batch_envelope_per_server() {
+    let world = World::generate(WorldConfig {
+        stores: 4,
+        products_per_store: 10,
+        ..WorldConfig::default()
+    });
+    let dep = Deployment::build(world, DeploymentConfig::default());
+    let product = dep.world.products[0].clone();
+    let near = dep.world.venues[product.venue].hint;
+    // Warm the session: discovery and hellos are cached after this.
+    dep.client.federated_search(&product.name, near, 3).unwrap();
+    let servers = dep.client.discover(near).unwrap();
+    assert!(servers.len() >= 2, "need a federation to make the point");
+
+    dep.net.reset_stats();
+    let batches_before = dep.client.session().stats().batches;
+    dep.client.federated_search(&product.name, near, 3).unwrap();
+    let stats = dep.net.stats();
+    let batches = dep.client.session().stats().batches - batches_before;
+    // One batch envelope per discovered server...
+    assert_eq!(batches, servers.len() as u64);
+    // ...and nothing else on the wire: request + response per server,
+    // no DNS, no hello traffic.
+    assert_eq!(stats.messages, 2 * servers.len() as u64);
+}
+
+#[test]
+fn warm_geocode_issues_exactly_one_batch_envelope_per_server() {
+    let world = one_venue_world();
+    let address = some_address(&world);
+    let dep = Deployment::build(world, DeploymentConfig::default());
+    let world_ep = dep.outdoor_server.endpoint();
+    // Warm: coarse hit location discovered, hellos cached.
+    dep.client.federated_geocode(&address, world_ep, 3).unwrap();
+    // The refinement fan-out happens at the coarse hit's location.
+    let coarse = dep.client.federated_geocode(&address, world_ep, 1).unwrap();
+    let _ = coarse;
+
+    dep.net.reset_stats();
+    let batches_before = dep.client.session().stats().batches;
+    dep.client.federated_geocode(&address, world_ep, 3).unwrap();
+    let batches = dep.client.session().stats().batches - batches_before;
+    let stats = dep.net.stats();
+    // One envelope to the world provider plus one per refining server;
+    // every envelope is exactly one request + one response message.
+    assert_eq!(stats.messages, 2 * batches);
+    assert!(batches >= 2, "coarse + at least one refiner");
+}
+
+#[test]
+fn session_discovery_cache_short_circuits_repeat_lookups() {
+    let world = one_venue_world();
+    let dep = Deployment::build(world, DeploymentConfig::default());
+    let near = dep.world.venues[0].hint;
+    dep.client.discover(near).unwrap();
+    let resolver_queries = dep.client.discovery().resolver().stats().queries;
+    dep.net.reset_stats();
+    dep.client.discover(near).unwrap();
+    // No resolver traffic, no network traffic: pure cache hit.
+    assert_eq!(
+        dep.client.discovery().resolver().stats().queries,
+        resolver_queries
+    );
+    assert_eq!(dep.net.stats().messages, 0);
+    assert!(dep.client.session().stats().discovery_hits >= 1);
+}
+
+#[test]
+fn partial_failure_carries_item_errors_and_successes() {
+    use openflame_core::ClientError;
+    use std::error::Error;
+
+    let world = one_venue_world();
+    let dep = Deployment::build(world, DeploymentConfig::default());
+    // NearestNode on a venue server with an out-of-graph id mixed with
+    // a valid request: the matrix helper demands all items, so the
+    // partial failure surfaces with the successes counted.
+    let venue = dep.venue_servers[0].endpoint();
+    let bogus = openflame_mapdata::NodeId(u64::MAX);
+    let err = dep
+        .client
+        .route_on(venue, bogus, bogus)
+        .expect_err("bogus nodes cannot route");
+    // Whatever the exact failure shape, it must be displayable and—
+    // when a batch is involved—preserve its source chain.
+    if let ClientError::PartialFailure { failures, .. } = &err {
+        assert!(!failures.is_empty());
+        assert!(err.source().is_some());
+    }
+    let _ = err.to_string();
+}

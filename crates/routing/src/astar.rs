@@ -79,12 +79,12 @@ mod tests {
                 ));
             }
         }
-        for r in 0..n {
-            map.add_way(ids[r].clone(), Tags::new().with("highway", "footway"))
+        for row in &ids {
+            map.add_way(row.clone(), Tags::new().with("highway", "footway"))
                 .unwrap();
         }
         for c in 0..n {
-            let col: Vec<NodeId> = (0..n).map(|r| ids[r][c]).collect();
+            let col: Vec<NodeId> = ids.iter().map(|row| row[c]).collect();
             map.add_way(col, Tags::new().with("highway", "footway"))
                 .unwrap();
         }

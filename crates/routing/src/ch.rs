@@ -75,9 +75,9 @@ impl ContractionHierarchy {
         let mut out: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
         let mut inn: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
         let mut unpack: HashMap<(usize, usize), usize> = HashMap::new();
-        for u in 0..n {
+        for (u, out_u) in out.iter_mut().enumerate() {
             for e in graph.out_edges(u) {
-                let w = out[u].entry(e.to).or_insert(f64::INFINITY);
+                let w = out_u.entry(e.to).or_insert(f64::INFINITY);
                 *w = w.min(e.weight);
                 let r = inn[e.to].entry(u).or_insert(f64::INFINITY);
                 *r = r.min(e.weight);

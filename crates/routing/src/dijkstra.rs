@@ -93,7 +93,7 @@ pub fn dijkstra_many(graph: &RoadGraph, from: NodeId, targets: &[NodeId]) -> Vec
         if cost > dist[node] {
             continue;
         }
-        if !found[node] && target_idx.iter().any(|t| *t == Some(node)) {
+        if !found[node] && target_idx.contains(&Some(node)) {
             found[node] = true;
             remaining =
                 remaining.saturating_sub(target_idx.iter().filter(|t| **t == Some(node)).count());
@@ -248,12 +248,12 @@ mod tests {
                 row.push(map.add_node(Point2::new(c as f64 * 10.0, r as f64 * 10.0), Tags::new()));
             }
         }
-        for r in 0..4 {
-            map.add_way(ids[r].clone(), Tags::new().with("highway", "footway"))
+        for row in &ids {
+            map.add_way(row.clone(), Tags::new().with("highway", "footway"))
                 .unwrap();
         }
         for c in 0..4 {
-            let col: Vec<NodeId> = (0..4).map(|r| ids[r][c]).collect();
+            let col: Vec<NodeId> = ids.iter().map(|row| row[c]).collect();
             map.add_way(col, Tags::new().with("highway", "footway"))
                 .unwrap();
         }

@@ -263,7 +263,10 @@ mod tests {
     use super::*;
     use openflame_mapdata::{GeoReference, Tags};
 
-    fn map_with_ways(ways: &[(&[(f64, f64)], &[(&str, &str)])]) -> (MapDocument, Vec<Vec<NodeId>>) {
+    /// One way spec: its node positions and its tags.
+    type WaySpec<'a> = (&'a [(f64, f64)], &'a [(&'a str, &'a str)]);
+
+    fn map_with_ways(ways: &[WaySpec<'_>]) -> (MapDocument, Vec<Vec<NodeId>>) {
         let mut map = MapDocument::new("t", "t", GeoReference::Unaligned { hint: None });
         let mut all_ids = Vec::new();
         for (pts, tags) in ways {

@@ -115,7 +115,7 @@ mod tests {
             .flat_map(|y| (0..256).map(move |x| (x, y)))
             .filter(|&(x, y)| t.get(x, y) != BACKGROUND)
             .count();
-        assert!(painted >= 41 && painted <= 82, "painted {painted}");
+        assert!((41..=82).contains(&painted), "painted {painted}");
     }
 
     #[test]

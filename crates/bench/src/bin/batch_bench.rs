@@ -54,21 +54,22 @@ fn main() {
                 .hint
                 .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..100.0));
             // Cold: a fresh client with an empty session.
-            let cold_client = OpenFlameClient::builder().build(&dep.net, dep.resolver.clone());
-            dep.net.reset_stats();
-            let t0 = dep.net.now_us();
+            let cold_client =
+                OpenFlameClient::builder().build_on(dep.transport.clone(), dep.resolver.clone());
+            dep.transport.reset_stats();
+            let t0 = dep.transport.now_us();
             let _ = cold_client.federated_search(&product.name, near, 5);
-            cold_msgs.push(dep.net.stats().messages as f64);
-            cold_kib.push(dep.net.stats().bytes as f64 / 1024.0);
-            cold_ms.push((dep.net.now_us() - t0) as f64 / 1000.0);
+            cold_msgs.push(dep.transport.stats().messages as f64);
+            cold_kib.push(dep.transport.stats().bytes as f64 / 1024.0);
+            cold_ms.push((dep.transport.now_us() - t0) as f64 / 1000.0);
             // Warm: the same client again, caches populated.
-            dep.net.reset_stats();
+            dep.transport.reset_stats();
             let batches_before = cold_client.session().stats().batches;
-            let t0 = dep.net.now_us();
+            let t0 = dep.transport.now_us();
             let _ = cold_client.federated_search(&product.name, near, 5);
-            warm_msgs.push(dep.net.stats().messages as f64);
-            warm_kib.push(dep.net.stats().bytes as f64 / 1024.0);
-            warm_ms.push((dep.net.now_us() - t0) as f64 / 1000.0);
+            warm_msgs.push(dep.transport.stats().messages as f64);
+            warm_kib.push(dep.transport.stats().bytes as f64 / 1024.0);
+            warm_ms.push((dep.transport.now_us() - t0) as f64 / 1000.0);
             envelopes.push((cold_client.session().stats().batches - batches_before) as f64);
         }
         row(&[

@@ -51,7 +51,7 @@ fn main() {
         );
         let zipf = ZipfSampler::new(dep.world.venues.len(), 0.8);
         let mut rng = StdRng::seed_from_u64(44);
-        dep.net.reset_stats();
+        dep.transport.reset_stats();
         for _ in 0..QUERIES / 10 {
             let venue = zipf.sample(&mut rng);
             let loc = dep.world.venues[venue]
@@ -67,7 +67,7 @@ fn main() {
         // parent column further). The answer-serving load is what the
         // shards split.
         let parent = dep
-            .net
+            .transport
             .endpoint_stats(dep.cell_dns.endpoint())
             .map(|s| s.rx_msgs as f64)
             .unwrap_or(0.0);
@@ -75,7 +75,7 @@ fn main() {
             .shard_dns
             .iter()
             .map(|shard| {
-                dep.net
+                dep.transport
                     .endpoint_stats(shard.endpoint())
                     .map(|s| s.rx_msgs as f64)
                     .unwrap_or(0.0)

@@ -36,17 +36,17 @@ fn run(cache_enabled: bool, zipf_s: f64, think_s: u64) -> (f64, f64, f64, f64, f
     for _ in 0..QUERIES {
         // Inter-query think time lets TTLs expire, so cache hits come
         // from locality rather than a permanently warm cache.
-        dep.net.advance_us(think_s * 1_000_000);
+        dep.transport.advance_us(think_s * 1_000_000);
         // A user near a Zipf-popular venue, jittered by up to 80 m.
         let venue = zipf.sample(&mut rng);
         let loc = dep.world.venues[venue]
             .hint
             .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..80.0));
-        let t0 = dep.net.now_us();
+        let t0 = dep.transport.now_us();
         // Measure the DNS layer itself: go through the discovery
         // client, below the session's per-cell cache.
         let found = dep.client.discovery().discover(loc, true).unwrap();
-        latencies.push((dep.net.now_us() - t0) as f64 / 1000.0);
+        latencies.push((dep.transport.now_us() - t0) as f64 / 1000.0);
         assert!(!found.is_empty(), "the city is fully covered");
     }
     let stats = dep.client.discovery().resolver().stats();

@@ -59,15 +59,15 @@ fn main() {
         );
         // Take down open servers for private venues and respawn locked.
         for i in 0..4 {
-            d.net.set_down(d.venue_servers[i].endpoint(), true);
+            d.transport.set_down(d.venue_servers[i].endpoint(), true);
         }
         let city = d.world.city_frame();
         for i in 0..4 {
             let venue = d.world.venues[i].clone();
             let entrance_geo =
                 city.from_local(d.world.outdoor.node(venue.entrance_outdoor).unwrap().pos);
-            let server = openflame_mapserver::MapServer::spawn(
-                &d.net,
+            let server = openflame_mapserver::MapServer::spawn_on(
+                &d.transport,
                 openflame_mapserver::MapServerConfig {
                     id: format!("venue-{i}"),
                     map: venue.map.clone(),

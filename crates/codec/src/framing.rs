@@ -1,0 +1,104 @@
+//! Length-prefixed framing for wire envelopes on stream transports.
+//!
+//! The simulated network delivers each envelope as one discrete
+//! message, but a byte-stream transport (TCP today, QUIC later) needs
+//! explicit message boundaries. Every frame is:
+//!
+//! ```text
+//! +----------------+----------------+------------------+
+//! | length: u32 LE | sender: u64 LE | payload bytes    |
+//! +----------------+----------------+------------------+
+//! ```
+//!
+//! `length` counts only the payload. `sender` carries the endpoint id
+//! of the writing side (requests: the client endpoint, so servers can
+//! attribute traffic; responses: the server endpoint). The format is
+//! symmetric so one codec serves both directions.
+//!
+//! Lengths above [`crate::MAX_LENGTH`] are rejected on both ends,
+//! preventing a corrupt or hostile length prefix from triggering a
+//! giant allocation.
+
+use std::io::{self, Read, Write};
+
+/// Bytes of framing overhead per message (`u32` length + `u64` sender).
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Writes one frame and flushes the stream.
+pub fn write_frame<W: Write>(w: &mut W, sender: u64, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > crate::MAX_LENGTH {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&sender.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning the sender id and the payload.
+///
+/// Errors with [`io::ErrorKind::InvalidData`] when the length prefix
+/// exceeds [`crate::MAX_LENGTH`]; other errors are the underlying
+/// stream's (including clean EOF as [`io::ErrorKind::UnexpectedEof`]).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u64, Vec<u8>)> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as u64;
+    let sender = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+    if len > crate::MAX_LENGTH {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((sender, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 42, b"hello").unwrap();
+        write_frame(&mut buf, 7, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), (42, b"hello".to_vec()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), (7, Vec::new()));
+    }
+
+    #[test]
+    fn header_len_matches_layout() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"xyz").unwrap();
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 3);
+    }
+
+    #[test]
+    fn truncated_stream_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 9, b"payload").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

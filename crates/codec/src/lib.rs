@@ -18,9 +18,11 @@
 //! Types opt in by implementing [`Wire`]; [`to_bytes`] / [`from_bytes`]
 //! are the entry points, and `from_bytes` rejects trailing garbage.
 
+pub mod framing;
 pub mod reader;
 pub mod writer;
 
+pub use framing::{read_frame, write_frame, FRAME_HEADER_LEN};
 pub use reader::Reader;
 pub use writer::Writer;
 

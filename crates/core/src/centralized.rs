@@ -28,7 +28,7 @@ use openflame_localize::{LocationCue, TagRegistry};
 use openflame_mapdata::{ElementId, GeoReference, NodeId, Tags};
 use openflame_mapserver::protocol::{Request, Response};
 use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig, Principal};
-use openflame_netsim::SimNet;
+use openflame_netsim::{SimNet, SimTransport, Transport};
 use openflame_tiles::Tile;
 use openflame_worldgen::World;
 use std::collections::HashMap;
@@ -37,9 +37,10 @@ use std::sync::Arc;
 /// A centralized map provider (Figure 1).
 ///
 /// Serves the same [`SpatialProvider`] API as the federation from a
-/// single monolithic map. Its client side goes over the simulated
-/// network through the same batched [`Session`] layer, so message and
-/// byte accounting is directly comparable with the federation's.
+/// single monolithic map. Its client side goes over the same wire
+/// [`Transport`] (simulated or real TCP) through the same batched
+/// [`Session`] layer, so message and byte accounting is directly
+/// comparable with the federation's.
 pub struct CentralizedProvider {
     /// The provider's single map server.
     pub server: Arc<MapServer>,
@@ -47,31 +48,35 @@ pub struct CentralizedProvider {
     pub merged_nodes: HashMap<(usize, NodeId), NodeId>,
     /// The provider's geographic anchor (city center).
     anchor: LatLng,
-    net: SimNet,
     session: Session,
 }
 
 impl CentralizedProvider {
     fn assemble(
-        net: &SimNet,
+        transport: Arc<dyn Transport>,
         server: Arc<MapServer>,
         merged_nodes: HashMap<(usize, NodeId), NodeId>,
         anchor: LatLng,
     ) -> Self {
-        let endpoint = net.register("central-client", None);
+        let endpoint = transport.register("central-client", None);
         Self {
             server,
             merged_nodes,
             anchor,
-            net: net.clone(),
-            session: Session::new(net.clone(), endpoint, Principal::anonymous()),
+            session: Session::new(transport, endpoint, Principal::anonymous()),
         }
     }
 
-    /// The realistic centralized provider: public outdoor data only.
+    /// The realistic centralized provider: public outdoor data only,
+    /// on the simulated network.
     pub fn public_only(net: &SimNet, world: &World) -> Self {
-        let server = MapServer::spawn(
-            net,
+        Self::public_only_on(SimTransport::shared(net), world)
+    }
+
+    /// [`CentralizedProvider::public_only`] on any transport backend.
+    pub fn public_only_on(transport: Arc<dyn Transport>, world: &World) -> Self {
+        let server = MapServer::spawn_on(
+            &transport,
             MapServerConfig {
                 id: "central-public".into(),
                 map: world.outdoor.clone(),
@@ -84,13 +89,19 @@ impl CentralizedProvider {
                 build_ch: false,
             },
         );
-        Self::assemble(net, server, HashMap::new(), world.config.center)
+        Self::assemble(transport, server, HashMap::new(), world.config.center)
     }
 
     /// The omniscient upper bound: every venue merged into the global
     /// frame via ground-truth transforms, entrances fused into portal
-    /// edges.
+    /// edges. Simulated network; see
+    /// [`CentralizedProvider::omniscient_on`] for other backends.
     pub fn omniscient(net: &SimNet, world: &World) -> Self {
+        Self::omniscient_on(SimTransport::shared(net), world)
+    }
+
+    /// [`CentralizedProvider::omniscient`] on any transport backend.
+    pub fn omniscient_on(transport: Arc<dyn Transport>, world: &World) -> Self {
         let mut map = world.outdoor.clone();
         let mut merged_nodes = HashMap::new();
         let city = world.city_frame();
@@ -121,8 +132,8 @@ impl CentralizedProvider {
         }
         debug_assert!(map.validate().is_ok());
         let _ = city;
-        let server = MapServer::spawn(
-            net,
+        let server = MapServer::spawn_on(
+            &transport,
             MapServerConfig {
                 id: "central-omniscient".into(),
                 map,
@@ -135,7 +146,7 @@ impl CentralizedProvider {
                 build_ch: false,
             },
         );
-        Self::assemble(net, server, merged_nodes, world.config.center)
+        Self::assemble(transport, server, merged_nodes, world.config.center)
     }
 
     /// The provider's frame (anchored at the city center).
@@ -151,6 +162,11 @@ impl CentralizedProvider {
     /// The session layer (batched wire calls + hello cache).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// The wire transport the provider's client side speaks.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        self.session.transport()
     }
 
     /// One batched envelope to the central server, all items required.
@@ -184,7 +200,7 @@ impl SpatialProvider for CentralizedProvider {
     }
 
     fn geocode(&self, query: GeocodeQuery) -> Result<GeocodeOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let hits = match self.call_one(
             Request::Geocode {
                 query: query.query,
@@ -204,7 +220,7 @@ impl SpatialProvider for CentralizedProvider {
                 hit,
             })
             .collect();
-        let stats = scope.finish(&self.net, 1);
+        let stats = scope.finish(self.session.transport().as_ref(), 1);
         Ok(GeocodeOutcome { hits, stats })
     }
 
@@ -212,7 +228,7 @@ impl SpatialProvider for CentralizedProvider {
         &self,
         query: ReverseGeocodeQuery,
     ) -> Result<ReverseGeocodeOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let frame = self.local_frame();
         let hit = match self.call_one(
             Request::ReverseGeocode {
@@ -229,12 +245,12 @@ impl SpatialProvider for CentralizedProvider {
             geo: Some(frame.from_local(hit.pos)),
             hit,
         });
-        let stats = scope.finish(&self.net, 1);
+        let stats = scope.finish(self.session.transport().as_ref(), 1);
         Ok(ReverseGeocodeOutcome { hit, stats })
     }
 
     fn search(&self, query: SearchQuery) -> Result<SearchOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let frame = self.local_frame();
         let results = match self.call_one(
             Request::Search {
@@ -256,7 +272,7 @@ impl SpatialProvider for CentralizedProvider {
                 result,
             })
             .collect();
-        let stats = scope.finish(&self.net, 1);
+        let stats = scope.finish(self.session.transport().as_ref(), 1);
         Ok(SearchOutcome { hits, stats })
     }
 
@@ -265,7 +281,7 @@ impl SpatialProvider for CentralizedProvider {
             ElementId::Node(n) => Some(n),
             _ => None,
         };
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let frame = self.local_frame();
         let start = expect_nearest(&self.call_one(
             Request::NearestNode {
@@ -304,7 +320,7 @@ impl SpatialProvider for CentralizedProvider {
             }],
             servers_consulted: 1,
         };
-        let stats = scope.finish(&self.net, 1);
+        let stats = scope.finish(self.session.transport().as_ref(), 1);
         Ok(RouteOutcome {
             route: outcome,
             stats,
@@ -312,7 +328,7 @@ impl SpatialProvider for CentralizedProvider {
     }
 
     fn localize(&self, query: LocalizeQuery) -> Result<LocalizeOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         // Send only the cues the server's advertisement accepts — for a
         // centralized outdoor map that is GNSS and nothing else (§2:
         // coverage stops at the door). No accepted cues, no wire call.
@@ -344,12 +360,15 @@ impl SpatialProvider for CentralizedProvider {
             })
             .collect();
         // When every cue was filtered out, no server contributed.
-        let stats = scope.finish(&self.net, usize::from(!estimates.is_empty()));
+        let stats = scope.finish(
+            self.session.transport().as_ref(),
+            usize::from(!estimates.is_empty()),
+        );
         Ok(LocalizeOutcome { estimates, stats })
     }
 
     fn tile(&self, query: TileQuery) -> Result<TileOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let (x, y) = openflame_geo::Mercator::tile_for(query.center, query.z);
         let tile = match self.call_one(Request::GetTile { z: query.z, x, y }, "Tile")? {
             Response::Tile { z, x, y, rgb } => {
@@ -358,7 +377,7 @@ impl SpatialProvider for CentralizedProvider {
             }
             other => return Err(unexpected("Tile", &other)),
         };
-        let stats = scope.finish(&self.net, 1);
+        let stats = scope.finish(self.session.transport().as_ref(), 1);
         Ok(TileOutcome { tile, stats })
     }
 }

@@ -9,6 +9,12 @@
 //! capability handshakes and discovery results, so steady-state
 //! operation pays one round trip per server per logical operation and
 //! re-resolves nothing it already knows.
+//!
+//! The client is transport-agnostic: it holds an `Arc<dyn Transport>`
+//! and runs identically over the deterministic simulator
+//! ([`openflame_netsim::SimTransport`]) and real TCP sockets
+//! ([`openflame_netsim::TcpTransport`]) — pick the backend with
+//! [`OpenFlameClientBuilder::build_on`].
 
 use crate::discovery::{DiscoveredServer, DiscoveryClient};
 use crate::provider::{
@@ -30,7 +36,7 @@ use openflame_mapserver::protocol::{
     WireSearchResult,
 };
 use openflame_mapserver::Principal;
-use openflame_netsim::{EndpointId, SimNet};
+use openflame_netsim::{EndpointId, SimNet, SimTransport, Transport};
 use openflame_routing::{stitch_legs, LegMatrix};
 use openflame_search::{fuse_ranked, SearchResult};
 use openflame_tiles::{stitch::compose, Tile, TileCoord};
@@ -143,15 +149,26 @@ impl OpenFlameClientBuilder {
         self
     }
 
-    /// Registers the client on `net` and builds it.
+    /// Registers the client on the simulated network and builds it
+    /// ([`OpenFlameClientBuilder::build_on`] with a [`SimTransport`]).
     pub fn build(self, net: &SimNet, resolver: Arc<Resolver>) -> OpenFlameClient {
-        let endpoint = net.register("openflame-client", None);
-        let mut session = Session::new(net.clone(), endpoint, self.principal);
+        self.build_on(SimTransport::shared(net), resolver)
+    }
+
+    /// Registers the client on any transport backend and builds it.
+    /// The resolver should speak the same transport, or discovery will
+    /// hand back endpoints the client cannot dial.
+    pub fn build_on(
+        self,
+        transport: Arc<dyn Transport>,
+        resolver: Arc<Resolver>,
+    ) -> OpenFlameClient {
+        let endpoint = transport.register("openflame-client", None);
+        let session = Session::new(transport.clone(), endpoint, self.principal);
         if let Some(ttl) = self.session_ttl_us {
             session.set_ttl_us(ttl);
         }
         OpenFlameClient {
-            net: net.clone(),
             endpoint,
             discovery: DiscoveryClient::new(resolver),
             session,
@@ -163,7 +180,6 @@ impl OpenFlameClientBuilder {
 
 /// The OpenFLAME client device.
 pub struct OpenFlameClient {
-    net: SimNet,
     endpoint: EndpointId,
     discovery: DiscoveryClient,
     session: Session,
@@ -199,6 +215,11 @@ impl OpenFlameClient {
         &self.session
     }
 
+    /// The wire transport the client speaks.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        self.session.transport()
+    }
+
     /// Whether discovery expands to neighbor cells.
     pub fn expand_neighbors(&self) -> bool {
         self.expand_neighbors
@@ -206,7 +227,7 @@ impl OpenFlameClient {
 
     /// Sets the identity attached to subsequent requests.
     #[deprecated(note = "configure via OpenFlameClient::builder().principal(...)")]
-    pub fn set_principal(&mut self, principal: Principal) {
+    pub fn set_principal(&self, principal: Principal) {
         self.session.set_principal(principal);
     }
 
@@ -221,14 +242,15 @@ impl OpenFlameClient {
     /// escape hatch; service methods go through the batched session.
     pub fn call(&self, to: EndpointId, request: Request) -> Result<Response, ClientError> {
         let env = Envelope {
-            principal: self.session.principal().clone(),
+            principal: self.session.principal(),
             request,
         };
-        let bytes = self
-            .net
+        let transfer = self
+            .session
+            .transport()
             .call(self.endpoint, to, to_bytes(&env).to_vec())
             .map_err(|e| ClientError::Network(e.to_string()))?;
-        from_bytes::<Response>(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))
+        from_bytes::<Response>(&transfer.payload).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// Capability handshake with a server (session-cached).
@@ -310,12 +332,26 @@ impl OpenFlameClient {
         let gathered = self.session.batch_parallel(calls);
         let mut lists: Vec<Vec<SearchResult>> = Vec::new();
         let mut provenance: Vec<Vec<FederatedSearchHit>> = Vec::new();
-        for (server, outcome) in servers.iter().zip(gathered) {
+        let mut answered = 0usize;
+        let mut failures: Vec<(usize, ClientError)> = Vec::new();
+        for (idx, (server, outcome)) in servers.iter().zip(gathered).enumerate() {
             let results = match outcome.map(|mut r| r.pop()) {
-                Ok(Some(Response::Search { results })) => results,
-                // A server may deny search (§5.3) or be down — skip it,
-                // the show goes on with the rest of the federation.
-                Ok(Some(Response::Error { .. })) | Err(_) => continue,
+                Ok(Some(Response::Search { results })) => {
+                    answered += 1;
+                    results
+                }
+                // A §5.3 denial is an answer — skip it, the show goes
+                // on with the rest of the federation.
+                Ok(Some(Response::Error { .. })) => {
+                    answered += 1;
+                    continue;
+                }
+                // A dead or dropping server is not; the source error is
+                // kept for total-blackout detection.
+                Err(e) => {
+                    failures.push((idx, e));
+                    continue;
+                }
                 Ok(other) => return Err(unexpected_opt("Search", other)),
             };
             let mut list = Vec::with_capacity(results.len());
@@ -337,6 +373,15 @@ impl OpenFlameClient {
             }
             lists.push(list);
             provenance.push(prov);
+        }
+        // Every server was unreachable (denials count as answers):
+        // surface the sources instead of passing off a total outage as
+        // an empty result set.
+        if answered == 0 && !failures.is_empty() {
+            return Err(ClientError::PartialFailure {
+                succeeded: 0,
+                failures,
+            });
         }
         // Client-side rank fusion (§5.2: "the client would then rank
         // results from multiple map servers"). RRF merges the
@@ -490,18 +535,38 @@ impl OpenFlameClient {
             })
             .collect();
         let mut best: Option<GeocodeHit> = None;
-        for ((server, frame), outcome) in anchored.iter().zip(self.session.batch_parallel(calls)) {
-            if let Ok(Some(Response::ReverseGeocode { hit: Some(hit) })) =
-                outcome.map(|mut r| r.pop())
-            {
-                if best.as_ref().is_none_or(|b| hit.score > b.hit.score) {
-                    best = Some(GeocodeHit {
-                        server_id: server.server_id.clone(),
-                        geo: Some(frame.from_local(hit.pos)),
-                        hit,
-                    });
+        let mut answered = 0usize;
+        let mut failures: Vec<(usize, ClientError)> = Vec::new();
+        for (idx, ((server, frame), outcome)) in anchored
+            .iter()
+            .zip(self.session.batch_parallel(calls))
+            .enumerate()
+        {
+            match outcome.map(|mut r| r.pop()) {
+                Ok(Some(Response::ReverseGeocode { hit: Some(hit) })) => {
+                    answered += 1;
+                    if best.as_ref().is_none_or(|b| hit.score > b.hit.score) {
+                        best = Some(GeocodeHit {
+                            server_id: server.server_id.clone(),
+                            geo: Some(frame.from_local(hit.pos)),
+                            hit,
+                        });
+                    }
                 }
+                // A server answering "nothing nearby" or denying the
+                // service (§5.3) has spoken; only wire failures count
+                // toward total-blackout detection.
+                Ok(_) => answered += 1,
+                Err(e) => failures.push((idx, e)),
             }
+        }
+        // Every consulted server was unreachable: that is an outage,
+        // not an honest "nothing here".
+        if answered == 0 && !failures.is_empty() {
+            return Err(ClientError::PartialFailure {
+                succeeded: 0,
+                failures,
+            });
         }
         Ok(best)
     }
@@ -614,9 +679,11 @@ impl OpenFlameClient {
                 }],
             ),
         ];
+        // A dead or dropping server in either branch surfaces as a
+        // PartialFailure carrying the source error, never a panic.
         let mut matrices = Vec::with_capacity(2);
-        for outcome in self.session.batch_parallel(matrix_calls) {
-            let responses = Session::expect_all(outcome?)?;
+        for responses in Session::gather_all(self.session.batch_parallel(matrix_calls))? {
+            let responses = Session::expect_all(responses)?;
             matrices.push(expect_matrix(
                 responses.into_iter().next().expect("one item sent"),
             )?);
@@ -648,8 +715,8 @@ impl OpenFlameClient {
             ),
         ];
         let mut legs = Vec::with_capacity(2);
-        for outcome in self.session.batch_parallel(leg_calls) {
-            let responses = Session::expect_all(outcome?)?;
+        for responses in Session::gather_all(self.session.batch_parallel(leg_calls))? {
+            let responses = Session::expect_all(responses)?;
             legs.push(expect_route(
                 responses.into_iter().next().expect("one item sent"),
             )?);
@@ -712,12 +779,33 @@ impl OpenFlameClient {
             targets.push(server);
         }
         let mut out: Vec<(DiscoveredServer, WireEstimate)> = Vec::new();
-        for (server, outcome) in targets.into_iter().zip(self.session.batch_parallel(calls)) {
-            if let Ok(Some(Response::Localize { estimates })) = outcome.map(|mut r| r.pop()) {
-                for e in estimates {
-                    out.push((server.clone(), e));
+        let mut answered = 0usize;
+        let mut failures: Vec<(usize, ClientError)> = Vec::new();
+        for (idx, (server, outcome)) in targets
+            .into_iter()
+            .zip(self.session.batch_parallel(calls))
+            .enumerate()
+        {
+            match outcome.map(|mut r| r.pop()) {
+                Ok(Some(Response::Localize { estimates })) => {
+                    answered += 1;
+                    for e in estimates {
+                        out.push((server.clone(), e));
+                    }
                 }
+                // No fix and §5.3 denials are answers; only wire
+                // failures count toward total-blackout detection.
+                Ok(_) => answered += 1,
+                Err(e) => failures.push((idx, e)),
             }
+        }
+        // Every consulted server was unreachable: an outage must not
+        // read as "no localization coverage here".
+        if answered == 0 && !failures.is_empty() {
+            return Err(ClientError::PartialFailure {
+                succeeded: 0,
+                failures,
+            });
         }
         out.sort_by(|a, b| a.1.error_m.total_cmp(&b.1.error_m));
         Ok(out)
@@ -812,11 +900,11 @@ impl SpatialProvider for OpenFlameClient {
         let world = self.world_provider.ok_or_else(|| {
             ClientError::Protocol("no world provider configured for coarse geocoding".into())
         })?;
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let hits = self.geocode_impl(&query.query, world, query.k)?;
         let servers: std::collections::HashSet<&str> =
             hits.iter().map(|h| h.server_id.as_str()).collect();
-        let stats = scope.finish(&self.net, servers.len());
+        let stats = scope.finish(self.session.transport().as_ref(), servers.len());
         Ok(GeocodeOutcome { hits, stats })
     }
 
@@ -824,31 +912,34 @@ impl SpatialProvider for OpenFlameClient {
         &self,
         query: ReverseGeocodeQuery,
     ) -> Result<ReverseGeocodeOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let hit = self.federated_reverse_geocode(query.location, query.radius_m)?;
-        let stats = scope.finish(&self.net, usize::from(hit.is_some()));
+        let stats = scope.finish(
+            self.session.transport().as_ref(),
+            usize::from(hit.is_some()),
+        );
         Ok(ReverseGeocodeOutcome { hit, stats })
     }
 
     fn search(&self, query: SearchQuery) -> Result<SearchOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let hits = self.search_impl(&query.query, query.location, query.radius_m, query.k)?;
         let servers: std::collections::HashSet<&str> =
             hits.iter().map(|h| h.server_id.as_str()).collect();
-        let stats = scope.finish(&self.net, servers.len());
+        let stats = scope.finish(self.session.transport().as_ref(), servers.len());
         Ok(SearchOutcome { hits, stats })
     }
 
     fn route(&self, query: RouteQuery) -> Result<RouteOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let route = self.federated_route(query.from, &query.target)?;
         let servers = route.servers_consulted;
-        let stats = scope.finish(&self.net, servers);
+        let stats = scope.finish(self.session.transport().as_ref(), servers);
         Ok(RouteOutcome { route, stats })
     }
 
     fn localize(&self, query: LocalizeQuery) -> Result<LocalizeOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let raw = self.localize_impl(query.coarse, &query.cues)?;
         // Geo-anchor the estimates whose producing server is anchored
         // (hellos are warm by now in steady state; cold misses are one
@@ -872,14 +963,14 @@ impl SpatialProvider for OpenFlameClient {
             .collect();
         let servers: std::collections::HashSet<&str> =
             estimates.iter().map(|e| e.server_id.as_str()).collect();
-        let stats = scope.finish(&self.net, servers.len());
+        let stats = scope.finish(self.session.transport().as_ref(), servers.len());
         Ok(LocalizeOutcome { estimates, stats })
     }
 
     fn tile(&self, query: TileQuery) -> Result<TileOutcome, ClientError> {
-        let scope = StatScope::begin(&self.net);
+        let scope = StatScope::begin(self.session.transport().as_ref());
         let (tile, layer_servers) = self.tile_impl(query.center, query.z)?;
-        let stats = scope.finish(&self.net, layer_servers);
+        let stats = scope.finish(self.session.transport().as_ref(), layer_servers);
         Ok(TileOutcome { tile, stats })
     }
 }

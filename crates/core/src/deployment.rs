@@ -5,6 +5,13 @@
 //! zones), a caching resolver, the outdoor world-map provider, one map
 //! server per venue with its covering registered in DNS, and an
 //! [`OpenFlameClient`].
+//!
+//! The whole stack is built on one [`Transport`]: pick
+//! [`BackendKind::Sim`] (the default — deterministic discrete-event
+//! simulation) or [`BackendKind::Tcp`] (every DNS server, map server
+//! and client on real loopback sockets) via
+//! [`DeploymentConfig::backend`], or hand
+//! [`Deployment::build_on`] a transport you constructed yourself.
 
 use crate::client::OpenFlameClient;
 use crate::ClientError;
@@ -13,7 +20,7 @@ use openflame_dns::{AuthServer, DomainName, Record, RecordData, Resolver, Resolv
 use openflame_localize::TagRegistry;
 use openflame_mapserver::naming::{cell_to_name, cell_to_wildcard, SPATIAL_ROOT};
 use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig, Principal};
-use openflame_netsim::SimNet;
+use openflame_netsim::{BackendKind, Transport};
 use openflame_worldgen::World;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,8 +28,10 @@ use std::sync::Arc;
 /// Deployment knobs.
 #[derive(Debug, Clone)]
 pub struct DeploymentConfig {
-    /// Network RNG seed.
+    /// Network RNG seed (latency jitter and drop injection).
     pub net_seed: u64,
+    /// Which wire backend carries the deployment's traffic.
+    pub backend: BackendKind,
     /// Cell level for zone coverings (E3 sweeps this).
     pub covering_level: u8,
     /// Cell level at which the spatial zone is sharded across
@@ -43,6 +52,7 @@ impl Default for DeploymentConfig {
     fn default() -> Self {
         Self {
             net_seed: 7,
+            backend: BackendKind::Sim,
             covering_level: 13,
             shard_level: 11,
             dns_shards: 1,
@@ -55,8 +65,9 @@ impl Default for DeploymentConfig {
 
 /// A running federated deployment.
 pub struct Deployment {
-    /// The simulated network.
-    pub net: SimNet,
+    /// The wire transport everything runs on (simulated or real TCP;
+    /// stats, clock and failure injection all live here).
+    pub transport: Arc<dyn Transport>,
     /// The generated world (ground truth).
     pub world: World,
     /// Root DNS server.
@@ -81,15 +92,26 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Builds and wires the whole deployment.
+    /// Builds and wires the whole deployment on the backend named by
+    /// [`DeploymentConfig::backend`].
     pub fn build(world: World, config: DeploymentConfig) -> Self {
-        let net = SimNet::new(config.net_seed);
+        let transport = config.backend.build(config.net_seed);
+        Self::build_on(transport, world, config)
+    }
+
+    /// Builds and wires the whole deployment on a caller-supplied
+    /// transport (any [`Transport`] implementation).
+    pub fn build_on(transport: Arc<dyn Transport>, world: World, config: DeploymentConfig) -> Self {
         // ---- DNS hierarchy.
         let spatial_root = DomainName::parse(SPATIAL_ROOT).expect("constant parses");
-        let cell_dns = AuthServer::spawn(&net, "cell-zone", vec![Zone::new(spatial_root.clone())]);
+        let cell_dns = AuthServer::spawn_on(
+            &transport,
+            "cell-zone",
+            vec![Zone::new(spatial_root.clone())],
+        );
         let shard_dns: Vec<Arc<AuthServer>> = (0..config.dns_shards.max(1))
             .skip(1)
-            .map(|i| AuthServer::spawn(&net, format!("cell-shard{i}"), Vec::new()))
+            .map(|i| AuthServer::spawn_on(&transport, format!("cell-shard{i}"), Vec::new()))
             .collect();
         let mut tld_zone = Zone::new(DomainName::parse("flame.").expect("valid"));
         tld_zone.delegate(
@@ -97,24 +119,24 @@ impl Deployment {
             DomainName::parse("ns.cell.flame.").expect("valid"),
             cell_dns.endpoint().0,
         );
-        let tld_dns = AuthServer::spawn(&net, "flame-tld", vec![tld_zone]);
+        let tld_dns = AuthServer::spawn_on(&transport, "flame-tld", vec![tld_zone]);
         let mut root_zone = Zone::new(DomainName::root());
         root_zone.delegate(
             DomainName::parse("flame.").expect("valid"),
             DomainName::parse("ns.flame.").expect("valid"),
             tld_dns.endpoint().0,
         );
-        let root_dns = AuthServer::spawn(&net, "root", vec![root_zone]);
-        let resolver = Arc::new(Resolver::with_config(
-            &net,
+        let root_dns = AuthServer::spawn_on(&transport, "root", vec![root_zone]);
+        let resolver = Arc::new(Resolver::with_config_on(
+            transport.clone(),
             "campus-resolver",
             vec![root_dns.endpoint()],
             config.resolver,
         ));
 
         // ---- Map servers.
-        let outdoor_server = MapServer::spawn(
-            &net,
+        let outdoor_server = MapServer::spawn_on(
+            &transport,
             MapServerConfig {
                 id: "world-map".into(),
                 map: world.outdoor.clone(),
@@ -137,8 +159,8 @@ impl Deployment {
                     .expect("entrance exists")
                     .pos,
             );
-            venue_servers.push(MapServer::spawn(
-                &net,
+            venue_servers.push(MapServer::spawn_on(
+                &transport,
                 MapServerConfig {
                     id: format!("venue-{i}"),
                     map: venue.map.clone(),
@@ -156,9 +178,9 @@ impl Deployment {
         let client = OpenFlameClient::builder()
             .principal(Principal::anonymous())
             .world_provider(outdoor_server.endpoint())
-            .build(&net, resolver.clone());
+            .build_on(transport.clone(), resolver.clone());
         let mut deployment = Self {
-            net,
+            transport,
             world,
             root_dns,
             tld_dns,
@@ -288,6 +310,27 @@ mod tests {
         assert_eq!(dep.venue_servers.len(), dep.world.venues.len());
         let records = dep.cell_dns.record_count();
         assert!(records > 0, "registrations must land in the cell zone");
+    }
+
+    #[test]
+    fn tcp_deployment_builds_and_discovers_over_real_sockets() {
+        let dep = Deployment::build(
+            World::generate(WorldConfig {
+                stores: 2,
+                ..WorldConfig::default()
+            }),
+            DeploymentConfig {
+                backend: openflame_netsim::BackendKind::Tcp,
+                ..DeploymentConfig::default()
+            },
+        );
+        assert_eq!(dep.transport.kind(), "tcp");
+        let hint = dep.world.venues[0].hint;
+        // Discovery walks the real-TCP DNS hierarchy.
+        let found = dep.client.discovery().discover(hint, true).unwrap();
+        assert!(found.iter().any(|s| s.server_id == "venue-0"));
+        assert!(found.iter().any(|s| s.server_id == "world-map"));
+        assert!(dep.transport.stats().messages > 0);
     }
 
     #[test]

@@ -24,17 +24,40 @@
 //!   `omniscient` (all data merged — the unrealizable upper bound used
 //!   to score federated route quality).
 //!
-//! Underneath the trait sits the [`Session`] wire layer: every
+//! # Architecture: trait → session → transport
+//!
+//! Underneath the provider trait sits the [`Session`] wire layer: every
 //! provider's traffic goes out as batched envelopes
 //! (`Request::Batch`), one per server per scatter round, and the
 //! session caches `Hello` capability advertisements per server and
 //! discovery results per cell, so repeated scatter-gather rounds skip
 //! the handshakes they have already done.
 //!
-//! [`Deployment`] stands up a complete simulated world — DNS hierarchy,
-//! resolver, outdoor provider, one map server per venue — in one call,
-//! and [`scenario`] runs the §2 grocery end-to-end scenario over any
-//! `&dyn SpatialProvider`.
+//! Underneath the session sits the pluggable
+//! [`Transport`](openflame_netsim::Transport) layer: the session, the
+//! DNS resolver and every server bind to `Arc<dyn Transport>` and
+//! cannot tell which backend carries their bytes. Two backends ship:
+//!
+//! - [`BackendKind::Sim`](openflame_netsim::BackendKind) — the
+//!   deterministic discrete-event simulator (modelled latencies,
+//!   seeded jitter, failure injection); the default.
+//! - [`BackendKind::Tcp`](openflame_netsim::BackendKind) — real
+//!   loopback TCP sockets with per-server connection pooling and
+//!   threaded listeners, proving the stack end to end over an actual
+//!   network.
+//!
+//! Select the backend per deployment
+//! (`DeploymentConfig { backend: BackendKind::Tcp, .. }`), or hand any
+//! transport to `Deployment::build_on` /
+//! `OpenFlameClient::builder().build_on(..)`. The wire discipline —
+//! exactly one batched envelope per discovered server per warm scatter
+//! round — holds on both backends and is enforced by the
+//! backend-parity integration test.
+//!
+//! [`Deployment`] stands up a complete world — DNS hierarchy, resolver,
+//! outdoor provider, one map server per venue — in one call on either
+//! backend, and [`scenario`] runs the §2 grocery end-to-end scenario
+//! over any `&dyn SpatialProvider`.
 //!
 //! # Quick example
 //!
@@ -77,7 +100,9 @@ pub use provider::{
     ProviderEstimate, ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery,
     SearchOutcome, SearchQuery, SpatialProvider, TileOutcome, TileQuery,
 };
-pub use scenario::{run_grocery_scenario, GroceryScenarioReport, ProviderKind};
+pub use scenario::{
+    run_grocery_scenario, run_grocery_scenario_on, GroceryScenarioReport, ProviderKind,
+};
 pub use session::{Session, SessionStats};
 
 /// Errors surfaced by the OpenFLAME client.

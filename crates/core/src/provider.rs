@@ -26,24 +26,26 @@ use crate::ClientError;
 use openflame_geo::LatLng;
 use openflame_localize::LocationCue;
 use openflame_mapserver::protocol::{WireEstimate, WireGeocodeHit};
-use openflame_netsim::SimNet;
+use openflame_netsim::Transport;
 use openflame_tiles::Tile;
 
-/// Per-call wire cost, measured at the simulated network.
+/// Per-call wire cost, measured at the transport layer (simulated or
+/// real, per the backend the provider runs on).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CallStats {
     /// Messages exchanged (requests + responses, both directions).
     pub messages: u64,
     /// Bytes exchanged.
     pub bytes: u64,
-    /// Simulated time the call took, microseconds.
+    /// Time the call took on the transport clock, microseconds
+    /// (simulated time on the simulator, wall-clock time on sockets).
     pub elapsed_us: u64,
     /// Distinct map servers that contributed to the outcome.
     pub servers_consulted: usize,
 }
 
 /// Measures the wire cost of one provider call by snapshotting the
-/// network counters around it.
+/// transport counters around it.
 pub(crate) struct StatScope {
     messages: u64,
     bytes: u64,
@@ -51,21 +53,21 @@ pub(crate) struct StatScope {
 }
 
 impl StatScope {
-    pub(crate) fn begin(net: &SimNet) -> Self {
-        let stats = net.stats();
+    pub(crate) fn begin(transport: &dyn Transport) -> Self {
+        let stats = transport.stats();
         Self {
             messages: stats.messages,
             bytes: stats.bytes,
-            start_us: net.now_us(),
+            start_us: transport.now_us(),
         }
     }
 
-    pub(crate) fn finish(self, net: &SimNet, servers_consulted: usize) -> CallStats {
-        let stats = net.stats();
+    pub(crate) fn finish(self, transport: &dyn Transport, servers_consulted: usize) -> CallStats {
+        let stats = transport.stats();
         CallStats {
-            messages: stats.messages - self.messages,
-            bytes: stats.bytes - self.bytes,
-            elapsed_us: net.now_us() - self.start_us,
+            messages: stats.messages.saturating_sub(self.messages),
+            bytes: stats.bytes.saturating_sub(self.bytes),
+            elapsed_us: transport.now_us() - self.start_us,
             servers_consulted,
         }
     }

@@ -23,7 +23,7 @@ use crate::ClientError;
 use openflame_geo::LatLng;
 use openflame_localize::{GnssModel, LocationCue, RadioMap};
 use openflame_mapdata::ElementId;
-use openflame_netsim::SimNet;
+use openflame_netsim::{BackendKind, Transport};
 use openflame_worldgen::{WalkTrace, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,18 +86,32 @@ pub fn run_grocery_scenario(
     product_idx: usize,
     seed: u64,
 ) -> Result<GroceryScenarioReport, ClientError> {
+    run_grocery_scenario_on(world, provider, product_idx, seed, BackendKind::Sim)
+}
+
+/// [`run_grocery_scenario`] on an explicit wire backend: the *same*
+/// provider-agnostic flow over the simulator or over real loopback TCP
+/// sockets.
+pub fn run_grocery_scenario_on(
+    world: &World,
+    provider: ProviderKind,
+    product_idx: usize,
+    seed: u64,
+    backend: BackendKind,
+) -> Result<GroceryScenarioReport, ClientError> {
     match provider {
         ProviderKind::Federated => {
             let dep = Deployment::build(
                 world.clone(),
                 DeploymentConfig {
                     net_seed: seed,
+                    backend,
                     ..Default::default()
                 },
             );
             run_with_provider(
                 &dep.client,
-                &dep.net,
+                dep.transport.as_ref(),
                 &dep.world,
                 provider,
                 product_idx,
@@ -105,13 +119,20 @@ pub fn run_grocery_scenario(
             )
         }
         ProviderKind::CentralizedPublic | ProviderKind::CentralizedOmniscient => {
-            let net = SimNet::new(seed);
+            let transport = backend.build(seed);
             let central = if provider == ProviderKind::CentralizedOmniscient {
-                CentralizedProvider::omniscient(&net, world)
+                CentralizedProvider::omniscient_on(transport.clone(), world)
             } else {
-                CentralizedProvider::public_only(&net, world)
+                CentralizedProvider::public_only_on(transport.clone(), world)
             };
-            run_with_provider(&central, &net, world, provider, product_idx, seed)
+            run_with_provider(
+                &central,
+                transport.as_ref(),
+                world,
+                provider,
+                product_idx,
+                seed,
+            )
         }
     }
 }
@@ -150,7 +171,7 @@ fn localization_cues(
 /// The provider-agnostic §2 flow (see module docs).
 fn run_with_provider(
     provider: &dyn SpatialProvider,
-    net: &SimNet,
+    transport: &dyn Transport,
     world: &World,
     kind: ProviderKind,
     product_idx: usize,
@@ -158,7 +179,7 @@ fn run_with_provider(
 ) -> Result<GroceryScenarioReport, ClientError> {
     let product = world.products[product_idx].clone();
     let venue_idx = product.venue;
-    net.reset_stats();
+    transport.reset_stats();
     // The user stands on the street near the store (coarse GPS puts
     // discovery in the right cell).
     let user_geo = world.venues[venue_idx].hint.destination(225.0, 80.0);
@@ -271,7 +292,7 @@ fn run_with_provider(
             outdoor_errs.push(est_geo.haversine_distance(sample.geo));
         }
     }
-    let stats = net.stats();
+    let stats = transport.stats();
     Ok(GroceryScenarioReport {
         provider: kind,
         product: product.name.clone(),

@@ -1,5 +1,5 @@
 //! The per-server session layer: batched envelopes + capability and
-//! discovery caching.
+//! discovery caching, over any wire transport.
 //!
 //! Every wire interaction of both provider architectures goes through a
 //! [`Session`]. It does three things the naive per-request path did
@@ -12,15 +12,24 @@
 //!   SPARQL source selection, which likewise routes one logical query
 //!   per backend).
 //! - **Hello caching**: `Hello` capability advertisements are cached
-//!   per endpoint with a TTL on the simulated clock, so repeated
+//!   per endpoint with a TTL on the transport clock, so repeated
 //!   scatter-gather rounds stop re-asking servers who they are.
 //! - **Discovery caching**: discovery results are cached per query
 //!   cell, so a client localizing every few seconds does not re-resolve
 //!   the same cell through DNS each time.
 //!
-//! The TTLs default to the DNS record TTL the deployment uses (300 s),
-//! so cached knowledge ages out on the same schedule as the naming
-//! layer that produced it.
+//! The session speaks only through the [`Transport`] trait — the
+//! deterministic simulator and real TCP sockets run the exact same
+//! code, and the one-envelope-per-server wire discipline holds on
+//! both (the backend-parity integration test enforces it). TTLs
+//! default to the DNS record TTL the deployment uses (300 s), measured
+//! on the transport clock (simulated time or wall-clock time), so
+//! cached knowledge ages out on the same schedule as the naming layer
+//! that produced it.
+//!
+//! TTL and principal are adjustable through `&self` (providers hand
+//! out shared sessions), which is why they sit behind interior
+//! mutability.
 
 use crate::discovery::DiscoveredServer;
 use crate::ClientError;
@@ -28,9 +37,11 @@ use openflame_codec::{from_bytes, to_bytes};
 use openflame_mapdata::NodeId;
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response, WireRoute};
 use openflame_mapserver::Principal;
-use openflame_netsim::{EndpointId, SimNet};
+use openflame_netsim::{EndpointId, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default cache TTL: matches the 300 s DNS record TTL used by
 /// deployment registrations.
@@ -43,6 +54,9 @@ pub struct SessionStats {
     pub batches: u64,
     /// Individual requests carried inside those envelopes.
     pub batched_requests: u64,
+    /// Cumulative wire latency of those envelopes, microseconds
+    /// (simulated or wall-clock, per the transport).
+    pub wire_us: u64,
     /// Hello lookups answered from the cache.
     pub hello_hits: u64,
     /// Hello lookups that went to the wire.
@@ -65,10 +79,10 @@ type DiscoveryCache = HashMap<DiscoveryKey, Cached<Vec<DiscoveredServer>>>;
 /// A client-side wire session: batched calls with capability and
 /// discovery caches (see module docs).
 pub struct Session {
-    net: SimNet,
+    transport: Arc<dyn Transport>,
     endpoint: EndpointId,
-    principal: Principal,
-    ttl_us: u64,
+    principal: Mutex<Principal>,
+    ttl_us: AtomicU64,
     hellos: Mutex<HashMap<EndpointId, Cached<HelloInfo>>>,
     discoveries: Mutex<DiscoveryCache>,
     stats: Mutex<SessionStats>,
@@ -76,33 +90,40 @@ pub struct Session {
 
 impl Session {
     /// Creates a session speaking from `endpoint` as `principal`.
-    pub fn new(net: SimNet, endpoint: EndpointId, principal: Principal) -> Self {
+    pub fn new(transport: Arc<dyn Transport>, endpoint: EndpointId, principal: Principal) -> Self {
         Self {
-            net,
+            transport,
             endpoint,
-            principal,
-            ttl_us: DEFAULT_TTL_US,
+            principal: Mutex::new(principal),
+            ttl_us: AtomicU64::new(DEFAULT_TTL_US),
             hellos: Mutex::new(HashMap::new()),
             discoveries: Mutex::new(HashMap::new()),
             stats: Mutex::new(SessionStats::default()),
         }
     }
 
-    /// Overrides the cache TTL (microseconds of simulated time).
-    pub fn set_ttl_us(&mut self, ttl_us: u64) {
-        self.ttl_us = ttl_us;
+    /// Overrides the cache TTL (microseconds of transport time).
+    /// Adjustable on a shared session: entries already cached keep
+    /// their old expiry, new entries use the new TTL.
+    pub fn set_ttl_us(&self, ttl_us: u64) {
+        self.ttl_us.store(ttl_us, Ordering::Relaxed);
+    }
+
+    /// The current cache TTL in microseconds.
+    pub fn ttl_us(&self) -> u64 {
+        self.ttl_us.load(Ordering::Relaxed)
     }
 
     /// The identity attached to outgoing envelopes.
-    pub fn principal(&self) -> &Principal {
-        &self.principal
+    pub fn principal(&self) -> Principal {
+        self.principal.lock().clone()
     }
 
-    /// Changes the identity for subsequent envelopes. Caches are
-    /// dropped: what a server advertises or a cell resolves to may be
-    /// identity-dependent.
-    pub fn set_principal(&mut self, principal: Principal) {
-        self.principal = principal;
+    /// Changes the identity for subsequent envelopes (works on a shared
+    /// session). Caches are dropped: what a server advertises or a cell
+    /// resolves to may be identity-dependent.
+    pub fn set_principal(&self, principal: Principal) {
+        *self.principal.lock() = principal;
         self.invalidate();
     }
 
@@ -111,9 +132,9 @@ impl Session {
         self.endpoint
     }
 
-    /// The underlying network handle.
-    pub fn net(&self) -> &SimNet {
-        &self.net
+    /// The underlying wire transport.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Statistics snapshot.
@@ -133,7 +154,7 @@ impl Session {
 
     fn encode(&self, request: Request) -> Vec<u8> {
         let env = Envelope {
-            principal: self.principal.clone(),
+            principal: self.principal(),
             request,
         };
         to_bytes(&env).to_vec()
@@ -175,18 +196,19 @@ impl Session {
             stats.batched_requests += expected as u64;
         }
         let payload = self.encode(Request::Batch(requests));
-        let bytes = self
-            .net
+        let transfer = self
+            .transport
             .call(self.endpoint, to, payload)
             .map_err(|e| ClientError::Network(e.to_string()))?;
-        let responses = Self::decode_batch(&bytes, expected)?;
+        self.stats.lock().wire_us += transfer.latency_us;
+        let responses = Self::decode_batch(&transfer.payload, expected)?;
         self.absorb_hellos(to, &responses);
         Ok(responses)
     }
 
     /// Sends one batched envelope to each server *concurrently* (the
-    /// clock advances by the slowest branch, as a real fan-out would).
-    /// One failed branch does not sink the others.
+    /// round costs the slowest branch, as a real fan-out would). One
+    /// failed branch does not sink the others.
     pub fn batch_parallel(
         &self,
         calls: Vec<(EndpointId, Vec<Request>)>,
@@ -202,13 +224,14 @@ impl Session {
             stats.batches += expected.len() as u64;
             stats.batched_requests += expected.iter().map(|(_, n)| *n as u64).sum::<u64>();
         }
-        let results = self.net.call_parallel(self.endpoint, wire_calls);
+        let results = self.transport.call_parallel(self.endpoint, wire_calls);
         results
             .into_iter()
             .zip(expected)
             .map(|(result, (to, n))| {
-                let bytes = result.map_err(|e| ClientError::Network(e.to_string()))?;
-                let responses = Self::decode_batch(&bytes, n)?;
+                let transfer = result.map_err(|e| ClientError::Network(e.to_string()))?;
+                self.stats.lock().wire_us += transfer.latency_us;
+                let responses = Self::decode_batch(&transfer.payload, n)?;
                 self.absorb_hellos(to, &responses);
                 Ok(responses)
             })
@@ -242,6 +265,32 @@ impl Session {
         }
     }
 
+    /// Turns failed *branches* of a parallel scatter round into a
+    /// [`ClientError::PartialFailure`], for callers that need every
+    /// server of the round. The per-branch source errors (endpoint
+    /// down, timeout, ...) ride inside the failure list, so nothing
+    /// degrades into a silent empty result.
+    pub fn gather_all(
+        results: Vec<Result<Vec<Response>, ClientError>>,
+    ) -> Result<Vec<Vec<Response>>, ClientError> {
+        let mut gathered = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for (idx, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(responses) => gathered.push(responses),
+                Err(e) => failures.push((idx, e)),
+            }
+        }
+        if failures.is_empty() {
+            Ok(gathered)
+        } else {
+            Err(ClientError::PartialFailure {
+                succeeded: gathered.len(),
+                failures,
+            })
+        }
+    }
+
     // ----------------------------------------------------------------
     // Hello cache.
     // ----------------------------------------------------------------
@@ -261,7 +310,7 @@ impl Session {
             from,
             Cached {
                 value: info,
-                expires_us: self.net.now_us().saturating_add(self.ttl_us),
+                expires_us: self.transport.now_us().saturating_add(self.ttl_us()),
             },
         );
     }
@@ -270,7 +319,7 @@ impl Session {
     /// bookkeeping, e.g. [`Session::ensure_hellos`] filtering, must not
     /// inflate the hit rate).
     fn peek_hello(&self, server: EndpointId) -> Option<HelloInfo> {
-        let now = self.net.now_us();
+        let now = self.transport.now_us();
         let mut hellos = self.hellos.lock();
         match hellos.get(&server) {
             Some(cached) if cached.expires_us > now => Some(cached.value.clone()),
@@ -341,7 +390,7 @@ impl Session {
         cell_raw: u64,
         expand_neighbors: bool,
     ) -> Option<Vec<DiscoveredServer>> {
-        let now = self.net.now_us();
+        let now = self.transport.now_us();
         let mut discoveries = self.discoveries.lock();
         let cached = match discoveries.get(&(cell_raw, expand_neighbors)) {
             Some(cached) if cached.expires_us > now => Some(cached.value.clone()),
@@ -374,7 +423,7 @@ impl Session {
             (cell_raw, expand_neighbors),
             Cached {
                 value: servers,
-                expires_us: self.net.now_us().saturating_add(self.ttl_us),
+                expires_us: self.transport.now_us().saturating_add(self.ttl_us()),
             },
         );
     }
@@ -445,6 +494,7 @@ pub(crate) fn unexpected_opt(expected: &str, got: Option<Response>) -> ClientErr
 mod tests {
     use super::*;
     use openflame_mapserver::protocol::Response;
+    use openflame_netsim::{SimNet, SimTransport};
 
     #[test]
     fn expect_all_reports_partial_failure() {
@@ -470,5 +520,40 @@ mod tests {
     fn expect_all_passes_clean_batches() {
         let ok = Response::PatchApplied { version: 1 };
         assert_eq!(Session::expect_all(vec![ok.clone()]).unwrap(), vec![ok]);
+    }
+
+    #[test]
+    fn gather_all_preserves_branch_errors() {
+        let ok = vec![Response::PatchApplied { version: 1 }];
+        let results = vec![
+            Ok(ok.clone()),
+            Err(ClientError::Network(
+                "endpoint EndpointId(7) is down".into(),
+            )),
+        ];
+        let Err(ClientError::PartialFailure {
+            succeeded,
+            failures,
+        }) = Session::gather_all(results)
+        else {
+            panic!("expected partial failure");
+        };
+        assert_eq!(succeeded, 1);
+        assert_eq!(failures[0].0, 1);
+        assert!(failures[0].1.to_string().contains("down"));
+        // Clean rounds pass through.
+        assert_eq!(Session::gather_all(vec![Ok(ok.clone())]).unwrap(), vec![ok]);
+    }
+
+    #[test]
+    fn ttl_and_principal_adjust_through_shared_reference() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Arc::new(Session::new(transport, endpoint, Principal::anonymous()));
+        let shared = session.clone();
+        shared.set_ttl_us(42);
+        assert_eq!(session.ttl_us(), 42);
+        shared.set_principal(Principal::user("a@b.c"));
+        assert_eq!(session.principal(), Principal::user("a@b.c"));
     }
 }

@@ -10,9 +10,10 @@ use crate::name::DomainName;
 use crate::record::{QueryMsg, Rcode, Record, RecordType, ResponseMsg};
 use crate::DnsError;
 use openflame_codec::{from_bytes, to_bytes};
-use openflame_netsim::{EndpointId, SimNet};
+use openflame_netsim::{EndpointId, SimNet, SimTransport, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Resolver tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -90,12 +91,14 @@ fn type_tag(rtype: RecordType) -> u8 {
     }
 }
 
-/// An iterative caching resolver attached to the simulated network.
+/// An iterative caching resolver attached to a wire transport.
 ///
 /// A resolver owns its own network endpoint (it is a host, like a
 /// campus or ISP resolver) and serves any number of clients in-process.
+/// It speaks only through the [`Transport`] trait, so the same resolver
+/// walks referrals over the simulator or over real TCP sockets.
 pub struct Resolver {
-    net: SimNet,
+    transport: Arc<dyn Transport>,
     endpoint: EndpointId,
     root_hints: Vec<EndpointId>,
     config: ResolverConfig,
@@ -104,21 +107,43 @@ pub struct Resolver {
 }
 
 impl Resolver {
-    /// Creates a resolver using `root_hints` as the root server set.
+    /// Creates a resolver on the simulated network using `root_hints`
+    /// as the root server set.
     pub fn new(net: &SimNet, name: impl Into<String>, root_hints: Vec<EndpointId>) -> Self {
         Self::with_config(net, name, root_hints, ResolverConfig::default())
     }
 
-    /// Creates a resolver with custom configuration.
+    /// Creates a resolver on the simulated network with custom
+    /// configuration.
     pub fn with_config(
         net: &SimNet,
         name: impl Into<String>,
         root_hints: Vec<EndpointId>,
         config: ResolverConfig,
     ) -> Self {
-        let endpoint = net.register(format!("resolver:{}", name.into()), None);
+        Self::with_config_on(SimTransport::shared(net), name, root_hints, config)
+    }
+
+    /// Creates a resolver on any transport backend.
+    pub fn on_transport(
+        transport: Arc<dyn Transport>,
+        name: impl Into<String>,
+        root_hints: Vec<EndpointId>,
+    ) -> Self {
+        Self::with_config_on(transport, name, root_hints, ResolverConfig::default())
+    }
+
+    /// Creates a resolver on any transport backend with custom
+    /// configuration.
+    pub fn with_config_on(
+        transport: Arc<dyn Transport>,
+        name: impl Into<String>,
+        root_hints: Vec<EndpointId>,
+        config: ResolverConfig,
+    ) -> Self {
+        let endpoint = transport.register(&format!("resolver:{}", name.into()), None);
         Self {
-            net: net.clone(),
+            transport,
             endpoint,
             root_hints,
             config,
@@ -154,7 +179,7 @@ impl Resolver {
     /// Resolves `name`/`rtype`, consulting the cache first and walking
     /// referrals from the root hints otherwise.
     pub fn resolve(&self, name: &DomainName, rtype: RecordType) -> Result<QueryOutcome, DnsError> {
-        let t0 = self.net.now_us();
+        let t0 = self.transport.now_us();
         self.stats.lock().queries += 1;
         // Cache lookup.
         if self.config.cache_enabled {
@@ -169,7 +194,7 @@ impl Resolver {
                     let records = entry.records.clone();
                     drop(cache);
                     // A local cache answer still costs a hair of CPU.
-                    self.net.advance_us(10);
+                    self.transport.advance_us(10);
                     if negative {
                         self.stats.lock().negative_hits += 1;
                         return Err(DnsError::NxDomain(name.to_string()));
@@ -179,7 +204,7 @@ impl Resolver {
                         records,
                         from_cache: true,
                         upstream_queries: 0,
-                        latency_us: self.net.now_us() - t0,
+                        latency_us: self.transport.now_us() - t0,
                     });
                 }
                 cache.entries.remove(&(name.clone(), type_tag(rtype)));
@@ -220,7 +245,7 @@ impl Resolver {
                             records: resp.answers,
                             from_cache: false,
                             upstream_queries: upstream,
-                            latency_us: self.net.now_us() - t0,
+                            latency_us: self.transport.now_us() - t0,
                         });
                     }
                     // Referral: gather glue endpoints for the child zone.
@@ -263,9 +288,9 @@ impl Resolver {
         while let Some(server) = candidates.first().copied() {
             *upstream += 1;
             self.stats.lock().upstream_queries += 1;
-            match self.net.call(self.endpoint, server, query.clone()) {
-                Ok(bytes) => {
-                    return from_bytes::<ResponseMsg>(&bytes)
+            match self.transport.call(self.endpoint, server, query.clone()) {
+                Ok(transfer) => {
+                    return from_bytes::<ResponseMsg>(&transfer.payload)
                         .map_err(|e| DnsError::ServFail(format!("bad response: {e}")));
                 }
                 Err(e) => {
@@ -292,7 +317,7 @@ impl Resolver {
         let mut cache = self.cache.lock();
         cache.use_counter += 1;
         let counter = cache.use_counter;
-        let expires = self.net.now_us() + ttl_s as u64 * 1_000_000;
+        let expires = self.transport.now_us() + ttl_s as u64 * 1_000_000;
         cache.entries.insert(
             (name.clone(), type_tag(rtype)),
             CacheEntry {

@@ -3,16 +3,17 @@
 use crate::record::{QueryMsg, Rcode, ResponseMsg};
 use crate::zone::Zone;
 use openflame_codec::{from_bytes, to_bytes};
-use openflame_netsim::{EndpointId, NetError, RpcHandler, SimNet};
+use openflame_netsim::{EndpointId, SimNet, SimTransport, Transport, WireService};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// An authoritative server hosting one or more zones.
 ///
-/// The server is registered as a [`SimNet`] endpoint; queries arrive as
-/// wire-encoded [`QueryMsg`]s and leave as [`ResponseMsg`]s. Zones are
-/// behind a lock so registrations (map servers coming and going) can
-/// happen while the server is serving.
+/// The server binds a [`Transport`] endpoint (the simulator or real
+/// sockets — it cannot tell); queries arrive as wire-encoded
+/// [`QueryMsg`]s and leave as [`ResponseMsg`]s. Zones are behind a lock
+/// so registrations (map servers coming and going) can happen while the
+/// server is serving.
 pub struct AuthServer {
     zones: Arc<RwLock<Vec<Zone>>>,
     endpoint: EndpointId,
@@ -20,20 +21,32 @@ pub struct AuthServer {
 }
 
 impl AuthServer {
-    /// Creates a server hosting `zones` and registers it on the network.
+    /// Creates a server hosting `zones` and registers it on the
+    /// simulated network ([`AuthServer::spawn_on`] with a
+    /// [`SimTransport`]).
     pub fn spawn(net: &SimNet, name: impl Into<String>, zones: Vec<Zone>) -> Arc<Self> {
+        Self::spawn_on(&SimTransport::shared(net), name, zones)
+    }
+
+    /// Creates a server hosting `zones` and binds it on any transport
+    /// backend.
+    pub fn spawn_on(
+        transport: &Arc<dyn Transport>,
+        name: impl Into<String>,
+        zones: Vec<Zone>,
+    ) -> Arc<Self> {
         let name = name.into();
-        let endpoint = net.register(format!("dns:{name}"), None);
+        let endpoint = transport.register(&format!("dns:{name}"), None);
         let server = Arc::new(Self {
             zones: Arc::new(RwLock::new(zones)),
             endpoint,
             name,
         });
-        net.set_handler(
+        transport.set_service(
             endpoint,
-            ZoneHandler {
+            Arc::new(ZoneHandler {
                 zones: server.zones.clone(),
-            },
+            }),
         );
         server
     }
@@ -69,20 +82,15 @@ struct ZoneHandler {
     zones: Arc<RwLock<Vec<Zone>>>,
 }
 
-impl RpcHandler for ZoneHandler {
-    fn handle(
-        &self,
-        _net: &SimNet,
-        _from: EndpointId,
-        payload: &[u8],
-    ) -> Result<Vec<u8>, NetError> {
+impl WireService for ZoneHandler {
+    fn handle(&self, _from: EndpointId, payload: &[u8]) -> Vec<u8> {
         let query: QueryMsg = match from_bytes(payload) {
             Ok(q) => q,
             Err(e) => {
                 // Malformed query: answer SERVFAIL rather than dropping.
                 let resp = ResponseMsg::empty(Rcode::ServFail);
                 let _ = e;
-                return Ok(to_bytes(&resp).to_vec());
+                return to_bytes(&resp).to_vec();
             }
         };
         let zones = self.zones.read();
@@ -95,7 +103,7 @@ impl RpcHandler for ZoneHandler {
             Some(zone) => zone.query(&query.name, query.rtype),
             None => ResponseMsg::empty(Rcode::ServFail),
         };
-        Ok(to_bytes(&resp).to_vec())
+        to_bytes(&resp).to_vec()
     }
 }
 

@@ -11,7 +11,7 @@ use openflame_geo::{LatLng, Point2};
 use openflame_geocode::{reverse_geocode, Geocoder};
 use openflame_localize::{Estimate, LocationCue, RadioMap, TagRegistry};
 use openflame_mapdata::{MapDocument, MapPatch, NodeId};
-use openflame_netsim::{EndpointId, NetError, SimNet};
+use openflame_netsim::{EndpointId, SimNet, SimTransport, TcpTransport, Transport, WireService};
 use openflame_routing::dijkstra::dijkstra_many;
 use openflame_routing::{bidirectional, ContractionHierarchy, Profile, RoadGraph};
 use openflame_search::SearchIndex;
@@ -117,9 +117,17 @@ pub struct MapServer {
 }
 
 impl MapServer {
-    /// Spawns the server onto the network.
+    /// Spawns the server onto the simulated network
+    /// ([`MapServer::spawn_on`] with a [`SimTransport`]).
     pub fn spawn(net: &SimNet, config: MapServerConfig) -> Arc<Self> {
-        let endpoint = net.register(format!("mapsrv:{}", config.id), Some(config.location_hint));
+        Self::spawn_on(&SimTransport::shared(net), config)
+    }
+
+    /// Spawns the server onto any transport backend: the simulator or a
+    /// real-socket transport — the server code cannot tell which.
+    pub fn spawn_on(transport: &Arc<dyn Transport>, config: MapServerConfig) -> Arc<Self> {
+        let endpoint =
+            transport.register(&format!("mapsrv:{}", config.id), Some(config.location_hint));
         let engines = Engines::build(config.map, &config.beacons, config.build_ch);
         let server = Arc::new(Self {
             id: config.id,
@@ -134,21 +142,37 @@ impl MapServer {
             build_ch: config.build_ch,
             stats: Mutex::new(ServerStats::default()),
         });
-        let handler = server.clone();
-        net.set_handler(
-            endpoint,
-            move |_net: &SimNet, _from: EndpointId, payload: &[u8]| {
-                let response = match from_bytes::<Envelope>(payload) {
-                    Ok(env) => handler.dispatch(&env.principal, env.request),
-                    Err(e) => Response::Error {
-                        code: 3,
-                        message: format!("bad envelope: {e}"),
-                    },
-                };
-                Ok::<Vec<u8>, NetError>(to_bytes(&response).to_vec())
-            },
-        );
+        transport.set_service(endpoint, server.wire_service());
         server
+    }
+
+    /// The server's RPC dispatch loop as a transport-bindable service:
+    /// decode envelope, dispatch under the envelope's principal, encode
+    /// the response.
+    pub fn wire_service(self: &Arc<Self>) -> Arc<dyn WireService> {
+        let handler = self.clone();
+        Arc::new(move |_from: EndpointId, payload: &[u8]| {
+            let response = match from_bytes::<Envelope>(payload) {
+                Ok(env) => handler.dispatch(&env.principal, env.request),
+                Err(e) => Response::Error {
+                    code: 3,
+                    message: format!("bad envelope: {e}"),
+                },
+            };
+            to_bytes(&response).to_vec()
+        })
+    }
+
+    /// Binds this server's dispatch loop on an *additional* TCP
+    /// listener (threaded accept loop on loopback) and returns the new
+    /// endpoint in `tcp`'s address space. Useful for hybrid setups
+    /// where a simulator-spawned server must also answer real sockets;
+    /// deployments built entirely on TCP simply use
+    /// [`MapServer::spawn_on`].
+    pub fn serve_tcp(self: &Arc<Self>, tcp: &TcpTransport) -> EndpointId {
+        let endpoint = tcp.register(&format!("mapsrv:{}", self.id), Some(self.location_hint));
+        tcp.set_service(endpoint, self.wire_service());
+        endpoint
     }
 
     /// The server's stable identifier.
@@ -770,6 +794,43 @@ mod tests {
         assert!(matches!(items[2], Response::Error { code: 2, .. }));
         // Nested batches are refused per-item.
         assert!(matches!(items[3], Response::Error { code: 3, .. }));
+    }
+
+    #[test]
+    fn serve_tcp_answers_real_socket_clients() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        // The same server, bound on an additional real-TCP listener.
+        let tcp = TcpTransport::new(5);
+        let tcp_endpoint = server.serve_tcp(&tcp);
+        let client = tcp.register("tcp-client", None);
+        let product = &world.products[1];
+        let env = Envelope {
+            principal: Principal::anonymous(),
+            request: Request::Batch(vec![
+                Request::Hello,
+                Request::Search {
+                    query: product.name.clone(),
+                    center: None,
+                    radius_m: f64::INFINITY,
+                    k: 3,
+                },
+            ]),
+        };
+        let transfer = tcp
+            .call(client, tcp_endpoint, to_bytes(&env).to_vec())
+            .unwrap();
+        let resp: Response = from_bytes(&transfer.payload).unwrap();
+        let Response::Batch(items) = resp else {
+            panic!("expected batch over TCP, got {resp:?}");
+        };
+        assert!(matches!(items[0], Response::Hello(_)));
+        let Response::Search { results } = &items[1] else {
+            panic!("expected search item over TCP");
+        };
+        assert_eq!(results[0].label, product.name);
+        assert!(transfer.latency_us > 0);
+        assert_eq!(tcp.stats().messages, 2);
     }
 
     #[test]

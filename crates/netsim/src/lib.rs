@@ -21,8 +21,12 @@
 //! exactly like sequential network round trips.
 
 pub mod stats;
+pub mod tcp;
+pub mod transport;
 
 pub use stats::{EndpointStats, NetStats};
+pub use tcp::TcpTransport;
+pub use transport::{BackendKind, SimTransport, Transfer, Transport, WireService};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -46,6 +50,9 @@ pub enum NetError {
     /// The message (or its response) was dropped; the caller waited out
     /// its timeout.
     Timeout,
+    /// A stream transport failed to connect or lost its connection
+    /// mid-call (never produced by the simulator).
+    Connection(String),
     /// The remote handler returned an application-level error.
     Service(String),
 }
@@ -56,6 +63,7 @@ impl std::fmt::Display for NetError {
             NetError::NoSuchEndpoint(id) => write!(f, "no such endpoint {id:?}"),
             NetError::EndpointDown(id) => write!(f, "endpoint {id:?} is down"),
             NetError::Timeout => write!(f, "request timed out"),
+            NetError::Connection(msg) => write!(f, "connection failed: {msg}"),
             NetError::Service(msg) => write!(f, "service error: {msg}"),
         }
     }
@@ -340,6 +348,20 @@ impl SimNet {
         from: EndpointId,
         requests: Vec<(EndpointId, Vec<u8>)>,
     ) -> Vec<Result<Vec<u8>, NetError>> {
+        self.call_parallel_traced(from, requests)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// [`SimNet::call_parallel`] plus the per-branch latency in
+    /// microseconds (each branch is timed from the shared start
+    /// instant, as the transport layer's per-call stats require).
+    pub fn call_parallel_traced(
+        &self,
+        from: EndpointId,
+        requests: Vec<(EndpointId, Vec<u8>)>,
+    ) -> Vec<(Result<Vec<u8>, NetError>, u64)> {
         let t0 = self.now_us();
         let mut t_end = t0;
         let mut results = Vec::with_capacity(requests.len());
@@ -348,8 +370,9 @@ impl SimNet {
                 self.inner.lock().clock_us = t0;
             }
             let r = self.call(from, to, payload);
-            t_end = t_end.max(self.now_us());
-            results.push(r);
+            let t = self.now_us();
+            t_end = t_end.max(t);
+            results.push((r, t - t0));
         }
         self.inner.lock().clock_us = t_end;
         results

@@ -1,0 +1,574 @@
+//! Real-socket transport: length-prefixed envelopes over loopback TCP.
+//!
+//! [`TcpTransport`] implements [`Transport`] over `std::net`, proving
+//! the whole federated stack — DNS discovery, batched sessions, map
+//! servers — runs end to end over actual sockets, not just the
+//! simulator:
+//!
+//! - **Served endpoints** bind a `127.0.0.1:0` listener; a threaded
+//!   accept loop hands each connection to a handler thread that reads
+//!   framed requests ([`openflame_codec::framing`]) and writes framed
+//!   responses until the peer hangs up.
+//! - **Connection pooling**: client-side connections are kept per
+//!   destination endpoint and reused across scatter rounds, so a warm
+//!   session pays one TCP handshake per server, ever — the socket
+//!   analogue of the session layer's hello caching. A stale pooled
+//!   connection is retried once on a fresh dial.
+//! - **Parallel fan-out** spawns one thread per branch, so the
+//!   wall-clock cost of a scatter round is the slowest server, matching
+//!   the simulator's concurrency model.
+//! - **Failure injection** mirrors the simulator: a down endpoint fails
+//!   with [`NetError::EndpointDown`] and its server threads cut the
+//!   connection instead of answering; message drops surface as
+//!   [`NetError::Timeout`].
+//!
+//! Clocks are wall-clock microseconds since transport creation, so the
+//! TTL caches built on [`Transport::now_us`] age in real time. Traffic
+//! counters are charged on the calling side and include the 12-byte
+//! frame header; raw sockets poking a listener from outside this
+//! transport are served but not counted. Failed calls charge nothing,
+//! whereas the simulator charges per hop — so cross-backend stats
+//! parity (identical message counts for identical workloads) holds for
+//! failure-free runs; under injected loss the counters intentionally
+//! reflect each backend's own semantics.
+//!
+//! Listener and connection threads are detached but bounded: dropping
+//! the last transport handle wakes every accept loop, which releases
+//! its listener port and its service (connection threads follow as
+//! their client sockets close). This backend is built for tests,
+//! benches and single-process demos, not as a hardened production
+//! server.
+
+use crate::stats::{EndpointStats, NetStats};
+use crate::transport::{Transfer, Transport, WireService};
+use crate::{EndpointId, NetError};
+use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
+use openflame_geo::LatLng;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Idle connections kept per destination endpoint.
+const POOL_CAP: usize = 8;
+
+struct Endpoint {
+    name: String,
+    /// Listener address once the endpoint serves; `None` for clients.
+    addr: Option<SocketAddr>,
+    /// Shared with the endpoint's connection threads: when set, they
+    /// cut connections instead of answering.
+    down: Arc<AtomicBool>,
+    stats: EndpointStats,
+    /// Idle client connections *to* this endpoint, ready for reuse.
+    pool: Vec<TcpStream>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    timeout_us: AtomicU64,
+    /// Drop probability as IEEE-754 bits (atomics hold no f64).
+    drop_bits: AtomicU64,
+    rng: Mutex<StdRng>,
+    stats: Mutex<NetStats>,
+    endpoints: Mutex<HashMap<EndpointId, Endpoint>>,
+    /// Set when the last transport handle drops; accept loops exit on
+    /// the next connection, releasing their listener and service.
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake every parked accept loop with a throwaway connection so
+        // it observes the flag, drops its listener and its
+        // Arc<dyn WireService>, and exits. Without this, each served
+        // endpoint would pin a thread, a port and its whole service
+        // (map, indexes, tiles) until process exit.
+        for ep in self.endpoints.get_mut().values() {
+            if let Some(addr) = ep.addr {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// [`Transport`] over real loopback TCP sockets (see module docs).
+///
+/// Cheap to clone (shared handle), and usually passed around as
+/// `Arc<dyn Transport>` via [`TcpTransport::shared`].
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+}
+
+impl TcpTransport {
+    /// Creates a transport. `seed` drives the drop-injection RNG.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                timeout_us: AtomicU64::new(2_000_000),
+                drop_bits: AtomicU64::new(0f64.to_bits()),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                stats: Mutex::new(NetStats::default()),
+                endpoints: Mutex::new(HashMap::new()),
+                shutdown: Arc::new(AtomicBool::new(false)),
+            }),
+        }
+    }
+
+    /// Creates a transport as a shared `Arc<dyn Transport>`.
+    pub fn shared(seed: u64) -> Arc<dyn Transport> {
+        Arc::new(Self::new(seed))
+    }
+
+    /// The socket address an endpoint listens on, if it serves.
+    pub fn listen_addr(&self, id: EndpointId) -> Option<SocketAddr> {
+        self.inner.endpoints.lock().get(&id).and_then(|e| e.addr)
+    }
+
+    fn timeout(&self) -> Duration {
+        Duration::from_micros(self.inner.timeout_us.load(Ordering::Relaxed).max(1_000))
+    }
+
+    fn checkout(&self, to: EndpointId) -> Option<TcpStream> {
+        self.inner
+            .endpoints
+            .lock()
+            .get_mut(&to)
+            .and_then(|e| e.pool.pop())
+    }
+
+    fn checkin(&self, to: EndpointId, stream: TcpStream) {
+        if let Some(ep) = self.inner.endpoints.lock().get_mut(&to) {
+            if ep.pool.len() < POOL_CAP {
+                ep.pool.push(stream);
+            }
+        }
+    }
+
+    fn connect(&self, addr: SocketAddr) -> Result<TcpStream, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, self.timeout())
+            .map_err(|e| NetError::Connection(format!("dial {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn round_trip(
+        &self,
+        stream: &mut TcpStream,
+        from: EndpointId,
+        payload: &[u8],
+    ) -> io::Result<Vec<u8>> {
+        let timeout = self.timeout();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        write_frame(stream, from.0, payload)?;
+        let (_sender, response) = read_frame(stream)?;
+        Ok(response)
+    }
+
+    /// Charges one request/response exchange to the global and both
+    /// per-endpoint counters (frame headers included: these are the
+    /// bytes actually on the wire).
+    fn charge(&self, from: EndpointId, to: EndpointId, payload_out: u64, payload_in: u64) {
+        let sent = payload_out + FRAME_HEADER_LEN as u64;
+        let received = payload_in + FRAME_HEADER_LEN as u64;
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.messages += 2;
+            stats.bytes += sent + received;
+        }
+        let mut endpoints = self.inner.endpoints.lock();
+        if let Some(ep) = endpoints.get_mut(&from) {
+            ep.stats.tx_msgs += 1;
+            ep.stats.tx_bytes += sent;
+            ep.stats.rx_msgs += 1;
+            ep.stats.rx_bytes += received;
+        }
+        if let Some(ep) = endpoints.get_mut(&to) {
+            ep.stats.rx_msgs += 1;
+            ep.stats.rx_bytes += sent;
+            ep.stats.tx_msgs += 1;
+            ep.stats.tx_bytes += received;
+        }
+    }
+
+    fn classify(&self, e: io::Error, to: EndpointId, down: &AtomicBool) -> NetError {
+        if down.load(Ordering::Relaxed) {
+            // The server cut the connection because it is down: to the
+            // caller that is a dead endpoint, same as on the simulator.
+            return NetError::EndpointDown(to);
+        }
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => NetError::Timeout,
+            _ => NetError::Connection(e.to_string()),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn register(&self, name: &str, location: Option<LatLng>) -> EndpointId {
+        let _ = location; // wall-clock transport: no distance model
+        let id = EndpointId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        self.inner.endpoints.lock().insert(
+            id,
+            Endpoint {
+                name: name.to_string(),
+                addr: None,
+                down: Arc::new(AtomicBool::new(false)),
+                stats: EndpointStats::default(),
+                pool: Vec::new(),
+            },
+        );
+        id
+    }
+
+    fn set_service(&self, id: EndpointId, service: Arc<dyn WireService>) {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener has an address");
+        let down = {
+            let mut endpoints = self.inner.endpoints.lock();
+            let ep = endpoints
+                .get_mut(&id)
+                .expect("set_service on an unregistered endpoint");
+            ep.addr = Some(addr);
+            ep.down.clone()
+        };
+        let shutdown = self.inner.shutdown.clone();
+        thread::Builder::new()
+            .name(format!("ofl-tcp-accept-{}", id.0))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    // The transport's Drop wakes us with a throwaway
+                    // connection after setting this flag.
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(stream) => stream,
+                        // Transient accept failures (ECONNABORTED, fd
+                        // pressure) must not kill the endpoint for the
+                        // rest of the process; back off briefly.
+                        Err(_) => {
+                            thread::sleep(Duration::from_millis(1));
+                            continue;
+                        }
+                    };
+                    let service = service.clone();
+                    let down = down.clone();
+                    let _ = thread::Builder::new()
+                        .name(format!("ofl-tcp-conn-{}", id.0))
+                        .spawn(move || serve_connection(stream, id, service, down));
+                }
+            })
+            .expect("spawn accept thread");
+    }
+
+    fn call(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        payload: Vec<u8>,
+    ) -> Result<Transfer, NetError> {
+        let (addr, down) = {
+            let endpoints = self.inner.endpoints.lock();
+            let ep = endpoints.get(&to).ok_or(NetError::NoSuchEndpoint(to))?;
+            (ep.addr, ep.down.clone())
+        };
+        let addr = addr.ok_or(NetError::NoSuchEndpoint(to))?;
+        if down.load(Ordering::Relaxed) {
+            return Err(NetError::EndpointDown(to));
+        }
+        let drop_p = f64::from_bits(self.inner.drop_bits.load(Ordering::Relaxed));
+        if drop_p > 0.0 && self.inner.rng.lock().gen_bool(drop_p) {
+            self.inner.stats.lock().drops += 1;
+            return Err(NetError::Timeout);
+        }
+        let t0 = Instant::now();
+        let pooled = self.checkout(to);
+        let reused = pooled.is_some();
+        let mut stream = match pooled {
+            Some(stream) => stream,
+            None => self.connect(addr)?,
+        };
+        let mut outcome = self.round_trip(&mut stream, from, &payload);
+        if reused && outcome.as_ref().is_err_and(is_stale_connection) {
+            // The pooled connection went stale (server restarted or cut
+            // us off) before the request can have been processed; retry
+            // exactly once on a fresh dial. Timeouts are NOT retried —
+            // the server may still be executing the request, and
+            // re-sending would duplicate non-idempotent work (patches).
+            stream = self.connect(addr)?;
+            outcome = self.round_trip(&mut stream, from, &payload);
+        }
+        match outcome {
+            Ok(response) => {
+                self.checkin(to, stream);
+                self.charge(from, to, payload.len() as u64, response.len() as u64);
+                Ok(Transfer {
+                    latency_us: t0.elapsed().as_micros() as u64,
+                    bytes_sent: payload.len() as u64 + FRAME_HEADER_LEN as u64,
+                    bytes_received: response.len() as u64 + FRAME_HEADER_LEN as u64,
+                    payload: response,
+                })
+            }
+            Err(e) => Err(self.classify(e, to, &down)),
+        }
+    }
+
+    fn call_parallel(
+        &self,
+        from: EndpointId,
+        calls: Vec<(EndpointId, Vec<u8>)>,
+    ) -> Vec<Result<Transfer, NetError>> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = calls
+                .into_iter()
+                .map(|(to, payload)| scope.spawn(move || self.call(from, to, payload)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        Err(NetError::Service("fan-out branch panicked".into()))
+                    })
+                })
+                .collect()
+        })
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    fn advance_us(&self, _dt_us: u64) {
+        // Wall-clock transport: think time passes by itself.
+    }
+
+    fn stats(&self) -> NetStats {
+        self.inner.stats.lock().clone()
+    }
+
+    fn endpoint_stats(&self, id: EndpointId) -> Option<EndpointStats> {
+        self.inner
+            .endpoints
+            .lock()
+            .get(&id)
+            .map(|e| e.stats.clone())
+    }
+
+    fn reset_stats(&self) {
+        *self.inner.stats.lock() = NetStats::default();
+        for ep in self.inner.endpoints.lock().values_mut() {
+            ep.stats = EndpointStats::default();
+        }
+    }
+
+    fn endpoint_name(&self, id: EndpointId) -> Option<String> {
+        self.inner.endpoints.lock().get(&id).map(|e| e.name.clone())
+    }
+
+    fn set_down(&self, id: EndpointId, down: bool) {
+        let pool = {
+            let mut endpoints = self.inner.endpoints.lock();
+            let Some(ep) = endpoints.get_mut(&id) else {
+                return;
+            };
+            ep.down.store(down, Ordering::Relaxed);
+            // Drop pooled connections either way: a revived server gets
+            // fresh connections instead of sockets its threads already
+            // abandoned.
+            std::mem::take(&mut ep.pool)
+        };
+        drop(pool);
+    }
+
+    fn set_drop_probability(&self, p: f64) {
+        self.inner
+            .drop_bits
+            .store(p.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    }
+
+    fn set_timeout_us(&self, timeout_us: u64) {
+        self.inner.timeout_us.store(timeout_us, Ordering::Relaxed);
+    }
+}
+
+/// Whether an I/O failure means the connection itself died (as a
+/// pooled-but-abandoned socket does) rather than the request timing
+/// out. Only these are safe to retry on a fresh dial.
+fn is_stale_connection(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+/// One connection's serve loop: framed request in, framed response out,
+/// until the peer hangs up or the endpoint goes down.
+fn serve_connection(
+    mut stream: TcpStream,
+    me: EndpointId,
+    service: Arc<dyn WireService>,
+    down: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    while let Ok((from, payload)) = read_frame(&mut stream) {
+        if down.load(Ordering::Relaxed) {
+            // A dead server stops mid-conversation; the caller sees the
+            // connection die, exactly like a crashed process.
+            break;
+        }
+        let response = service.handle(EndpointId(from), &payload);
+        if write_frame(&mut stream, me.0, &response).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    fn echo_transport() -> (TcpTransport, EndpointId, EndpointId) {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("echo", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| payload.to_vec()),
+        );
+        let client = transport.register("client", None);
+        (transport, client, server)
+    }
+
+    #[test]
+    fn echo_round_trip_over_real_sockets() {
+        let (transport, client, server) = echo_transport();
+        let transfer = transport.call(client, server, vec![1, 2, 3]).unwrap();
+        assert_eq!(transfer.payload, vec![1, 2, 3]);
+        assert_eq!(transfer.bytes_sent, 3 + FRAME_HEADER_LEN as u64);
+        let stats = transport.stats();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.bytes, 2 * (3 + FRAME_HEADER_LEN as u64));
+    }
+
+    #[test]
+    fn connections_are_pooled_across_calls() {
+        let (transport, client, server) = echo_transport();
+        for i in 0..5u8 {
+            transport.call(client, server, vec![i]).unwrap();
+        }
+        let pooled = transport
+            .inner
+            .endpoints
+            .lock()
+            .get(&server)
+            .map(|e| e.pool.len())
+            .unwrap();
+        assert_eq!(pooled, 1, "sequential calls must reuse one connection");
+        let ep = transport.endpoint_stats(server).unwrap();
+        assert_eq!(ep.rx_msgs, 5);
+    }
+
+    #[test]
+    fn parallel_fanout_answers_positionally() {
+        let (transport, client, server) = echo_transport();
+        let results =
+            transport.call_parallel(client, (0..8u8).map(|i| (server, vec![i])).collect());
+        assert_eq!(results.len(), 8);
+        for (i, result) in results.into_iter().enumerate() {
+            assert_eq!(result.unwrap().payload, vec![i as u8]);
+        }
+        assert_eq!(transport.stats().messages, 16);
+    }
+
+    #[test]
+    fn down_endpoint_fails_cleanly_and_revives() {
+        let (transport, client, server) = echo_transport();
+        transport.call(client, server, vec![1]).unwrap();
+        transport.set_down(server, true);
+        assert!(matches!(
+            transport.call(client, server, vec![1]),
+            Err(NetError::EndpointDown(_))
+        ));
+        transport.set_down(server, false);
+        assert_eq!(
+            transport.call(client, server, vec![2]).unwrap().payload,
+            [2]
+        );
+    }
+
+    #[test]
+    fn drop_probability_one_always_times_out() {
+        let (transport, client, server) = echo_transport();
+        transport.set_drop_probability(1.0);
+        assert!(matches!(
+            transport.call(client, server, vec![1]),
+            Err(NetError::Timeout)
+        ));
+        assert_eq!(transport.stats().drops, 1);
+        transport.set_drop_probability(0.0);
+        assert!(transport.call(client, server, vec![1]).is_ok());
+    }
+
+    #[test]
+    fn unknown_and_serviceless_endpoints_error() {
+        let (transport, client, _server) = echo_transport();
+        assert!(matches!(
+            transport.call(client, EndpointId(999), vec![]),
+            Err(NetError::NoSuchEndpoint(_))
+        ));
+        let silent = transport.register("no-service", None);
+        assert!(matches!(
+            transport.call(client, silent, vec![]),
+            Err(NetError::NoSuchEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn dropping_the_transport_releases_listeners() {
+        let (transport, client, server) = echo_transport();
+        transport.call(client, server, vec![1]).unwrap();
+        let addr = transport.listen_addr(server).unwrap();
+        drop(transport);
+        // The accept loop exits and closes the listener; new dials must
+        // start failing (give the woken thread a moment to unwind).
+        let mut released = false;
+        for _ in 0..50 {
+            if TcpStream::connect_timeout(&addr, Duration::from_millis(50)).is_err() {
+                released = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(released, "listener port still accepting after drop");
+    }
+
+    #[test]
+    fn clock_is_monotonic_wall_time() {
+        let transport = TcpTransport::new(1);
+        let t0 = transport.now_us();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(transport.now_us() > t0);
+        transport.advance_us(1_000_000); // no-op by contract
+        assert!(transport.now_us() < 60_000_000);
+    }
+}

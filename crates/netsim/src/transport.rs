@@ -1,0 +1,339 @@
+//! The pluggable wire backend behind every client/server interaction.
+//!
+//! The paper argues for many independently-operated map servers reached
+//! over a real network; the reproduction needs both a deterministic
+//! simulator (for measurement and failure injection) and real sockets
+//! (to prove the stack end to end). [`Transport`] is the seam: it
+//! carries length-prefixed envelope bytes between addressed endpoints —
+//! one synchronous call or a parallel fan-out — and reports per-call
+//! latency/byte stats plus global traffic counters, identically for
+//! every backend.
+//!
+//! Two backends ship today:
+//!
+//! - [`SimTransport`] wraps the discrete-event [`SimNet`]: simulated
+//!   clock, modelled latencies, deterministic jitter and failure
+//!   injection. The default for tests and benches.
+//! - [`crate::tcp::TcpTransport`] speaks real TCP over `std::net` with
+//!   per-server connection pooling and a threaded accept loop per
+//!   served endpoint. The same deployments and the same client code run
+//!   unchanged over loopback sockets.
+//!
+//! Servers bind by registering a [`WireService`]; transports own the
+//! listener mechanics (a handler closure on the simulator, an accept
+//! thread on TCP).
+
+use crate::stats::{EndpointStats, NetStats};
+use crate::{EndpointId, NetError, SimNet};
+use openflame_geo::LatLng;
+use std::sync::Arc;
+
+/// The payload and per-call wire measurements of one completed call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// The response bytes.
+    pub payload: Vec<u8>,
+    /// How long the call took: simulated time on [`SimTransport`],
+    /// wall-clock time on real-socket backends (microseconds).
+    pub latency_us: u64,
+    /// Request bytes put on the wire.
+    pub bytes_sent: u64,
+    /// Response bytes taken off the wire.
+    pub bytes_received: u64,
+}
+
+/// A server-side message handler bound to a transport endpoint.
+///
+/// The transport hands it the raw request payload and the caller's
+/// endpoint id (carried in the frame header on stream transports) and
+/// sends whatever it returns back as the response.
+pub trait WireService: Send + Sync {
+    /// Handles one request.
+    fn handle(&self, from: EndpointId, payload: &[u8]) -> Vec<u8>;
+}
+
+impl<F> WireService for F
+where
+    F: Fn(EndpointId, &[u8]) -> Vec<u8> + Send + Sync,
+{
+    fn handle(&self, from: EndpointId, payload: &[u8]) -> Vec<u8> {
+        self(from, payload)
+    }
+}
+
+/// A wire backend: addressed request/response calls with stats and
+/// failure injection (see module docs).
+///
+/// All methods take `&self`; implementations are internally shared and
+/// are passed around as `Arc<dyn Transport>`.
+pub trait Transport: Send + Sync {
+    /// A short label for reports: `"simnet"`, `"tcp"`, ...
+    fn kind(&self) -> &'static str;
+
+    /// Registers a client endpoint (no listener).
+    fn register(&self, name: &str, location: Option<LatLng>) -> EndpointId;
+
+    /// Installs `service` as the handler for `id`, binding whatever
+    /// listener the backend needs (a handler slot on the simulator, a
+    /// threaded TCP accept loop on sockets).
+    fn set_service(&self, id: EndpointId, service: Arc<dyn WireService>);
+
+    /// One request/response round trip.
+    fn call(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        payload: Vec<u8>,
+    ) -> Result<Transfer, NetError>;
+
+    /// Concurrent fan-out: all branches start together, the call
+    /// returns when the slowest finishes, one failed branch does not
+    /// sink the others. Results are positional.
+    fn call_parallel(
+        &self,
+        from: EndpointId,
+        calls: Vec<(EndpointId, Vec<u8>)>,
+    ) -> Vec<Result<Transfer, NetError>>;
+
+    /// The transport clock in microseconds: simulated time on the
+    /// simulator, monotonic wall-clock time on real sockets. Cache TTLs
+    /// throughout the stack are measured against this clock.
+    fn now_us(&self) -> u64;
+
+    /// Advances the clock where that is meaningful (simulated think
+    /// time); a no-op on wall-clock backends.
+    fn advance_us(&self, dt_us: u64);
+
+    /// Global traffic counters (both directions of an RPC count
+    /// separately, matching the simulator's accounting).
+    fn stats(&self) -> NetStats;
+
+    /// Per-endpoint traffic counters, if the endpoint exists.
+    fn endpoint_stats(&self, id: EndpointId) -> Option<EndpointStats>;
+
+    /// Resets global and per-endpoint counters (not the clock).
+    fn reset_stats(&self);
+
+    /// The registered name of an endpoint.
+    fn endpoint_name(&self, id: EndpointId) -> Option<String>;
+
+    /// Failure injection: marks an endpoint up or down. Calls to a down
+    /// endpoint fail with [`NetError::EndpointDown`] on every backend.
+    fn set_down(&self, id: EndpointId, down: bool);
+
+    /// Failure injection: probability in `[0, 1]` that any call is
+    /// dropped (surfacing as [`NetError::Timeout`]).
+    fn set_drop_probability(&self, p: f64);
+
+    /// The timeout charged to dropped or unresponsive calls
+    /// (microseconds; stream backends use it as the socket read/write
+    /// timeout).
+    fn set_timeout_us(&self, timeout_us: u64);
+}
+
+/// Which wire backend a deployment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Deterministic discrete-event simulation ([`SimTransport`]).
+    Sim,
+    /// Real loopback TCP sockets ([`crate::tcp::TcpTransport`]).
+    Tcp,
+}
+
+impl BackendKind {
+    /// Builds a fresh transport of this kind. `seed` drives the
+    /// simulator's latency jitter and both backends' drop-injection
+    /// RNG.
+    pub fn build(self, seed: u64) -> Arc<dyn Transport> {
+        match self {
+            BackendKind::Sim => SimTransport::shared(&SimNet::new(seed)),
+            BackendKind::Tcp => crate::tcp::TcpTransport::shared(seed),
+        }
+    }
+}
+
+/// [`Transport`] over the deterministic [`SimNet`] simulator.
+///
+/// A thin stateless wrapper: any number of `SimTransport`s over clones
+/// of the same `SimNet` handle see the same clock, counters and
+/// endpoints.
+#[derive(Clone)]
+pub struct SimTransport {
+    net: SimNet,
+}
+
+impl SimTransport {
+    /// Wraps a simulator handle.
+    pub fn new(net: SimNet) -> Self {
+        Self { net }
+    }
+
+    /// Wraps a simulator handle as a shared `Arc<dyn Transport>`.
+    pub fn shared(net: &SimNet) -> Arc<dyn Transport> {
+        Arc::new(Self::new(net.clone()))
+    }
+
+    /// The underlying simulator.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+}
+
+impl Transport for SimTransport {
+    fn kind(&self) -> &'static str {
+        "simnet"
+    }
+
+    fn register(&self, name: &str, location: Option<LatLng>) -> EndpointId {
+        self.net.register(name, location)
+    }
+
+    fn set_service(&self, id: EndpointId, service: Arc<dyn WireService>) {
+        self.net
+            .set_handler(id, move |_net: &SimNet, from: EndpointId, payload: &[u8]| {
+                Ok(service.handle(from, payload))
+            });
+    }
+
+    fn call(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        payload: Vec<u8>,
+    ) -> Result<Transfer, NetError> {
+        let bytes_sent = payload.len() as u64;
+        let t0 = self.net.now_us();
+        let response = self.net.call(from, to, payload)?;
+        Ok(Transfer {
+            latency_us: self.net.now_us() - t0,
+            bytes_sent,
+            bytes_received: response.len() as u64,
+            payload: response,
+        })
+    }
+
+    fn call_parallel(
+        &self,
+        from: EndpointId,
+        calls: Vec<(EndpointId, Vec<u8>)>,
+    ) -> Vec<Result<Transfer, NetError>> {
+        let sent: Vec<u64> = calls.iter().map(|(_, p)| p.len() as u64).collect();
+        self.net
+            .call_parallel_traced(from, calls)
+            .into_iter()
+            .zip(sent)
+            .map(|((result, latency_us), bytes_sent)| {
+                result.map(|response| Transfer {
+                    latency_us,
+                    bytes_sent,
+                    bytes_received: response.len() as u64,
+                    payload: response,
+                })
+            })
+            .collect()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.net.now_us()
+    }
+
+    fn advance_us(&self, dt_us: u64) {
+        self.net.advance_us(dt_us);
+    }
+
+    fn stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    fn endpoint_stats(&self, id: EndpointId) -> Option<EndpointStats> {
+        self.net.endpoint_stats(id)
+    }
+
+    fn reset_stats(&self) {
+        self.net.reset_stats();
+    }
+
+    fn endpoint_name(&self, id: EndpointId) -> Option<String> {
+        self.net.endpoint_name(id)
+    }
+
+    fn set_down(&self, id: EndpointId, down: bool) {
+        self.net.set_down(id, down);
+    }
+
+    fn set_drop_probability(&self, p: f64) {
+        self.net.set_drop_probability(p);
+    }
+
+    fn set_timeout_us(&self, timeout_us: u64) {
+        self.net.set_timeout_us(timeout_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_transport() -> (Arc<dyn Transport>, EndpointId, EndpointId) {
+        let transport = SimTransport::shared(&SimNet::new(3));
+        let server = transport.register("echo", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| payload.to_vec()),
+        );
+        let client = transport.register("client", None);
+        (transport, client, server)
+    }
+
+    #[test]
+    fn sim_transport_round_trip_reports_per_call_stats() {
+        let (transport, client, server) = echo_transport();
+        let transfer = transport.call(client, server, vec![1, 2, 3]).unwrap();
+        assert_eq!(transfer.payload, vec![1, 2, 3]);
+        assert_eq!(transfer.bytes_sent, 3);
+        assert_eq!(transfer.bytes_received, 3);
+        assert!(transfer.latency_us >= 400, "two hops of base latency");
+        assert_eq!(transport.stats().messages, 2);
+    }
+
+    #[test]
+    fn sim_transport_parallel_latency_is_per_branch() {
+        let (transport, client, server) = echo_transport();
+        let results =
+            transport.call_parallel(client, vec![(server, vec![1]), (server, vec![2, 3])]);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let t = r.as_ref().unwrap();
+            assert!(t.latency_us > 0);
+        }
+        assert_eq!(results[1].as_ref().unwrap().bytes_sent, 2);
+    }
+
+    #[test]
+    fn sim_transport_surfaces_failure_injection() {
+        let (transport, client, server) = echo_transport();
+        transport.set_down(server, true);
+        assert!(matches!(
+            transport.call(client, server, vec![1]),
+            Err(NetError::EndpointDown(_))
+        ));
+        transport.set_down(server, false);
+        transport.set_drop_probability(1.0);
+        transport.set_timeout_us(5_000);
+        assert!(matches!(
+            transport.call(client, server, vec![1]),
+            Err(NetError::Timeout)
+        ));
+        assert_eq!(transport.stats().drops, 1);
+    }
+
+    #[test]
+    fn backend_kind_builds_both_backends() {
+        for (kind, label) in [(BackendKind::Sim, "simnet"), (BackendKind::Tcp, "tcp")] {
+            let transport = kind.build(1);
+            assert_eq!(transport.kind(), label);
+            let id = transport.register("c", None);
+            assert_eq!(transport.endpoint_name(id).as_deref(), Some("c"));
+        }
+    }
+}

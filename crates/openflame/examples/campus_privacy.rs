@@ -76,7 +76,7 @@ fn main() {
         // configuration, not mutable state.
         let client = OpenFlameClient::builder()
             .principal(principal)
-            .build(&dep.net, dep.resolver.clone());
+            .build_on(dep.transport.clone(), dep.resolver.clone());
         let search_ok = client
             .federated_search(&product.name, venue.hint, 3)
             .map(|hits| hits.iter().any(|h| h.result.label == product.name))

@@ -4,13 +4,17 @@
 //! executed three times.
 //!
 //! Run with: `cargo run --release --example federated_vs_centralized`
+//!
+//! Transport selection: add `--tcp` to run all three architectures
+//! over real loopback TCP sockets instead of the network simulator —
+//! the errand code is identical either way.
 
 use openflame_core::{
     CentralizedProvider, Deployment, DeploymentConfig, LocalizeQuery, RouteQuery, SearchQuery,
     SpatialProvider,
 };
 use openflame_localize::RadioMap;
-use openflame_netsim::SimNet;
+use openflame_netsim::BackendKind;
 use openflame_worldgen::{World, WorldConfig};
 
 /// One grocery errand, provider-agnostic: search the product, route to
@@ -96,6 +100,11 @@ fn errand(
 }
 
 fn main() {
+    let backend = if std::env::args().any(|a| a == "--tcp") {
+        BackendKind::Tcp
+    } else {
+        BackendKind::Sim
+    };
     let world = World::generate(WorldConfig {
         stores: 6,
         products_per_store: 20,
@@ -103,16 +112,21 @@ fn main() {
     });
     let errands: Vec<usize> = (0..world.products.len()).step_by(9).take(12).collect();
     println!(
-        "running {} errands under three architectures (one code path)...\n",
+        "running {} errands under three architectures (one code path) on the {backend:?} transport...\n",
         errands.len()
     );
 
-    // The three deployments, all behind the same trait.
-    let dep = Deployment::build(world.clone(), DeploymentConfig::default());
-    let public_net = SimNet::new(2);
-    let public = CentralizedProvider::public_only(&public_net, &world);
-    let omni_net = SimNet::new(3);
-    let omni = CentralizedProvider::omniscient(&omni_net, &world);
+    // The three deployments, all behind the same trait, all on the
+    // selected wire backend (each gets its own transport instance).
+    let dep = Deployment::build(
+        world.clone(),
+        DeploymentConfig {
+            backend,
+            ..DeploymentConfig::default()
+        },
+    );
+    let public = CentralizedProvider::public_only_on(backend.build(2), &world);
+    let omni = CentralizedProvider::omniscient_on(backend.build(3), &world);
     let providers: [(&str, &dyn SpatialProvider); 3] = [
         ("CentralizedPublic", &public),
         ("CentralizedOmniscient", &omni),

@@ -3,15 +3,30 @@
 //! the same API a centralized deployment would serve.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Transport selection: the whole stack runs on the deterministic
+//! network simulator by default; pass `--tcp` to run every DNS server,
+//! map server and client over real loopback TCP sockets instead — the
+//! code below does not change.
+//!
+//! `cargo run --release --example quickstart -- --tcp`
 
 use openflame_core::{
     Deployment, DeploymentConfig, GeocodeQuery, LocalizeQuery, RouteQuery, SearchQuery,
     SpatialProvider, TileQuery,
 };
 use openflame_localize::LocationCue;
+use openflame_netsim::BackendKind;
 use openflame_worldgen::{World, WorldConfig};
 
 fn main() {
+    let backend = if std::env::args().any(|a| a == "--tcp") {
+        BackendKind::Tcp
+    } else {
+        BackendKind::Sim
+    };
+    println!("wire backend: {backend:?} (pass --tcp for real loopback sockets)");
+
     // 1. A synthetic city: street grid, POIs, and eight grocery stores,
     //    each with a private indoor map in its own coordinate frame.
     let world = World::generate(WorldConfig::default());
@@ -25,7 +40,13 @@ fn main() {
     // 2. The OpenFLAME deployment: DNS hierarchy, resolver, one map
     //    server per venue plus the outdoor world-map provider, all
     //    registered in the spatial namespace.
-    let dep = Deployment::build(world, DeploymentConfig::default());
+    let dep = Deployment::build(
+        world,
+        DeploymentConfig {
+            backend,
+            ..DeploymentConfig::default()
+        },
+    );
     println!(
         "deployment: {} venue servers, {} DNS records in the cell zone",
         dep.venue_servers.len(),
@@ -151,10 +172,11 @@ fn main() {
     );
 
     println!(
-        "\nsimulated time elapsed: {:.1} ms",
-        dep.net.now_us() as f64 / 1000.0
+        "\ntime elapsed on the {} transport: {:.1} ms",
+        dep.transport.kind(),
+        dep.transport.now_us() as f64 / 1000.0
     );
-    println!("messages exchanged: {}", dep.net.stats().messages);
+    println!("messages exchanged: {}", dep.transport.stats().messages);
     let session = dep.client.session().stats();
     println!(
         "session: {} batched envelopes carrying {} requests, {} hello cache hits, {} discovery cache hits",

@@ -86,7 +86,7 @@ fn acl_protected_venue_invisible_to_strangers_but_searchable_by_staff() {
     // Staff identity: same query succeeds.
     let staff = openflame_core::OpenFlameClient::builder()
         .principal(Principal::user("worker@staff.example"))
-        .build(&dep.net, dep.resolver.clone());
+        .build_on(dep.transport.clone(), dep.resolver.clone());
     let staff_hits = staff.federated_search(&product.name, hint, 5).unwrap();
     assert_eq!(staff_hits[0].result.label, product.name);
 }
@@ -97,7 +97,7 @@ fn dead_venue_server_degrades_gracefully() {
     let product = dep.world.products[0].clone();
     let hint = dep.world.venues[product.venue].hint;
     // Kill the venue's server.
-    dep.net
+    dep.transport
         .set_down(dep.venue_servers[product.venue].endpoint(), true);
     // Search still completes using the remaining federation; the dead
     // server's inventory is simply missing.
@@ -109,7 +109,7 @@ fn dead_venue_server_degrades_gracefully() {
         .iter()
         .all(|h| h.server_id != format!("venue-{}", product.venue)));
     // Revive and retry: the product is back.
-    dep.net
+    dep.transport
         .set_down(dep.venue_servers[product.venue].endpoint(), false);
     let hits = dep.client.federated_search(&product.name, hint, 5).unwrap();
     assert_eq!(hits[0].result.label, product.name);
@@ -177,8 +177,8 @@ fn ttl_expiry_picks_up_reregistration() {
     let before = dep.client.discover(corner).unwrap();
     // Spawn a new venue server there at runtime and register it.
     let venue = dep.world.venues[0].clone();
-    let server = openflame_mapserver::MapServer::spawn(
-        &dep.net,
+    let server = openflame_mapserver::MapServer::spawn_on(
+        &dep.transport,
         openflame_mapserver::MapServerConfig {
             id: "popup-store".into(),
             map: venue.map.clone(),
@@ -193,7 +193,7 @@ fn ttl_expiry_picks_up_reregistration() {
     );
     dep.register(&server);
     // Cached (possibly negative) answers hide it until TTL expiry.
-    dep.net.advance_us(301 * 1_000_000);
+    dep.transport.advance_us(301 * 1_000_000);
     let after = dep.client.discover(corner).unwrap();
     assert!(
         after.len() > before.len(),
@@ -205,8 +205,8 @@ fn ttl_expiry_picks_up_reregistration() {
 #[test]
 fn packet_loss_surfaces_as_client_errors_not_panics() {
     let dep = Deployment::build(small_world(), DeploymentConfig::default());
-    dep.net.set_drop_probability(0.35);
-    dep.net.set_timeout_us(10_000);
+    dep.transport.set_drop_probability(0.35);
+    dep.transport.set_timeout_us(10_000);
     let hint = dep.world.venues[0].hint;
     // Run a bunch of operations; all must return Ok or Err, never panic.
     for i in 0..10 {
@@ -308,7 +308,7 @@ fn deterministic_end_to_end() {
         (
             hit[0].result.label.clone(),
             route.total_cost,
-            dep.net.now_us(),
+            dep.transport.now_us(),
         )
     };
     assert_eq!(run(), run(), "identical seeds must give identical runs");

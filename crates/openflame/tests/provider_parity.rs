@@ -141,10 +141,10 @@ fn warm_search_issues_exactly_one_batch_envelope_per_server() {
     let servers = dep.client.discover(near).unwrap();
     assert!(servers.len() >= 2, "need a federation to make the point");
 
-    dep.net.reset_stats();
+    dep.transport.reset_stats();
     let batches_before = dep.client.session().stats().batches;
     dep.client.federated_search(&product.name, near, 3).unwrap();
-    let stats = dep.net.stats();
+    let stats = dep.transport.stats();
     let batches = dep.client.session().stats().batches - batches_before;
     // One batch envelope per discovered server...
     assert_eq!(batches, servers.len() as u64);
@@ -165,11 +165,11 @@ fn warm_geocode_issues_exactly_one_batch_envelope_per_server() {
     let coarse = dep.client.federated_geocode(&address, world_ep, 1).unwrap();
     let _ = coarse;
 
-    dep.net.reset_stats();
+    dep.transport.reset_stats();
     let batches_before = dep.client.session().stats().batches;
     dep.client.federated_geocode(&address, world_ep, 3).unwrap();
     let batches = dep.client.session().stats().batches - batches_before;
-    let stats = dep.net.stats();
+    let stats = dep.transport.stats();
     // One envelope to the world provider plus one per refining server;
     // every envelope is exactly one request + one response message.
     assert_eq!(stats.messages, 2 * batches);
@@ -183,14 +183,14 @@ fn session_discovery_cache_short_circuits_repeat_lookups() {
     let near = dep.world.venues[0].hint;
     dep.client.discover(near).unwrap();
     let resolver_queries = dep.client.discovery().resolver().stats().queries;
-    dep.net.reset_stats();
+    dep.transport.reset_stats();
     dep.client.discover(near).unwrap();
     // No resolver traffic, no network traffic: pure cache hit.
     assert_eq!(
         dep.client.discovery().resolver().stats().queries,
         resolver_queries
     );
-    assert_eq!(dep.net.stats().messages, 0);
+    assert_eq!(dep.transport.stats().messages, 0);
     assert!(dep.client.session().stats().discovery_hits >= 1);
 }
 

@@ -1,0 +1,273 @@
+//! Backend parity: the federation behaves identically over the
+//! deterministic network simulator and over real loopback TCP sockets.
+//!
+//! Three claims are enforced here:
+//!
+//! 1. **End-to-end equivalence** — the grocery scenario and the
+//!    provider-parity service sweep run unchanged (same code, through
+//!    `&dyn SpatialProvider`) on both backends.
+//! 2. **Wire-discipline parity** — an identical warm-search workload
+//!    costs exactly one batched envelope per discovered server (two
+//!    messages: request + response) on BOTH backends, with identical
+//!    message counts. This is `batch_bench`'s warm-search invariant,
+//!    enforced across transports.
+//! 3. **Failure parity** — endpoint-down and dropped-message injection
+//!    surface as `ClientError::PartialFailure` with per-branch source
+//!    errors preserved on both backends: never a panic, never a silent
+//!    empty result.
+
+use openflame_core::{
+    run_grocery_scenario_on, CentralizedProvider, ClientError, Deployment, DeploymentConfig,
+    LocalizeQuery, ProviderKind, RouteQuery, SearchQuery, SpatialProvider, TileQuery,
+};
+use openflame_localize::LocationCue;
+use openflame_netsim::BackendKind;
+use openflame_worldgen::{World, WorldConfig};
+use std::error::Error;
+
+const BACKENDS: [BackendKind; 2] = [BackendKind::Sim, BackendKind::Tcp];
+
+fn small_world() -> World {
+    World::generate(WorldConfig {
+        stores: 4,
+        products_per_store: 10,
+        ..WorldConfig::default()
+    })
+}
+
+fn deployment_on(backend: BackendKind, world: World) -> Deployment {
+    Deployment::build(
+        world,
+        DeploymentConfig {
+            backend,
+            ..DeploymentConfig::default()
+        },
+    )
+}
+
+#[test]
+fn grocery_scenario_completes_on_both_backends() {
+    let world = small_world();
+    for backend in BACKENDS {
+        let report =
+            run_grocery_scenario_on(&world, ProviderKind::Federated, 3, 11, backend).unwrap();
+        assert!(report.found_product, "{backend:?}: product must be found");
+        assert!(
+            report.route_reaches_shelf,
+            "{backend:?}: route must reach the shelf"
+        );
+        assert!(report.route_length_m.unwrap() > 10.0, "{backend:?}");
+        assert!(
+            report.indoor_availability > 0.5,
+            "{backend:?}: indoor localization mostly available"
+        );
+        assert!(report.messages > 0, "{backend:?}: traffic was counted");
+    }
+}
+
+#[test]
+fn every_service_runs_under_both_architectures_on_tcp() {
+    // The provider-parity sweep, over real sockets: one federated and
+    // one centralized provider, the same `&dyn SpatialProvider` flow.
+    let world = World::generate(WorldConfig {
+        stores: 1,
+        products_per_store: 8,
+        ..WorldConfig::default()
+    });
+    let dep = deployment_on(BackendKind::Tcp, world.clone());
+    let omni = CentralizedProvider::omniscient_on(BackendKind::Tcp.build(5), &world);
+    let product = world.products[0].clone();
+    let near = world.venues[product.venue].hint;
+
+    for provider in [&dep.client as &dyn SpatialProvider, &omni] {
+        let id = provider.provider_id();
+        let search = provider
+            .search(SearchQuery {
+                query: product.name.clone(),
+                location: near,
+                radius_m: 5_000.0,
+                k: 3,
+            })
+            .unwrap();
+        assert_eq!(search.hits[0].result.label, product.name, "{id}");
+        assert!(search.stats.messages > 0, "{id}: real sockets were used");
+        let route = provider
+            .route(RouteQuery {
+                from: near.destination(225.0, 80.0),
+                target: search.hits[0].clone(),
+            })
+            .unwrap();
+        assert!(route.route.total_length_m > 1.0, "{id}");
+        let localize = provider
+            .localize(LocalizeQuery {
+                coarse: near,
+                cues: vec![LocationCue::Gnss {
+                    fix: near,
+                    accuracy_m: 4.0,
+                }],
+            })
+            .unwrap();
+        assert!(
+            localize
+                .estimates
+                .iter()
+                .any(|e| e.estimate.technology == "gnss" && e.geo.is_some()),
+            "{id}"
+        );
+        let tile = provider
+            .tile(TileQuery {
+                center: world.config.center,
+                z: 16,
+            })
+            .unwrap();
+        assert!(tile.tile.coverage() > 0.0, "{id}");
+        let rev = provider
+            .reverse_geocode(openflame_core::ReverseGeocodeQuery {
+                location: world.config.center,
+                radius_m: 100.0,
+            })
+            .unwrap();
+        assert!(rev.hit.is_some(), "{id}");
+    }
+}
+
+/// Warm-search wire cost on one backend: (transport messages, session
+/// batch envelopes, discovered servers).
+fn warm_search_cost(backend: BackendKind) -> (u64, u64, usize) {
+    let dep = deployment_on(backend, small_world());
+    let product = dep.world.products[0].clone();
+    let near = dep.world.venues[product.venue].hint;
+    // Warm the session: discovery and hellos are cached after this.
+    dep.client.federated_search(&product.name, near, 3).unwrap();
+    let servers = dep.client.discover(near).unwrap();
+    assert!(servers.len() >= 2, "need a federation to make the point");
+
+    dep.transport.reset_stats();
+    let batches_before = dep.client.session().stats().batches;
+    dep.client.federated_search(&product.name, near, 3).unwrap();
+    let messages = dep.transport.stats().messages;
+    let batches = dep.client.session().stats().batches - batches_before;
+    (messages, batches, servers.len())
+}
+
+#[test]
+fn identical_warm_search_costs_identical_messages_on_both_backends() {
+    let (sim_msgs, sim_batches, sim_servers) = warm_search_cost(BackendKind::Sim);
+    let (tcp_msgs, tcp_batches, tcp_servers) = warm_search_cost(BackendKind::Tcp);
+    // Same world, same registrations: discovery agrees.
+    assert_eq!(sim_servers, tcp_servers);
+    // batch_bench's warm-search invariant, on each backend: exactly one
+    // batched envelope per discovered server, two messages each, and
+    // nothing else (no DNS, no hello traffic).
+    assert_eq!(sim_batches, sim_servers as u64);
+    assert_eq!(tcp_batches, tcp_servers as u64);
+    assert_eq!(sim_msgs, 2 * sim_servers as u64);
+    assert_eq!(
+        sim_msgs, tcp_msgs,
+        "identical workload must cost identical message counts on both backends"
+    );
+}
+
+/// Warm up a venue route, kill the venue server, route again: the
+/// scatter round that needs the venue must report a PartialFailure
+/// carrying the branch's source error.
+fn endpoint_down_partial_failure(backend: BackendKind) -> ClientError {
+    let dep = deployment_on(backend, small_world());
+    let product = dep.world.products[0].clone();
+    let near = dep.world.venues[product.venue].hint;
+    let hit = dep
+        .client
+        .federated_search(&product.name, near, 3)
+        .unwrap()
+        .into_iter()
+        .find(|h| h.result.label == product.name)
+        .expect("product is stocked");
+    let user = near.destination(225.0, 80.0);
+    // Warm route: caches (hello, discovery) are hot afterwards.
+    dep.client.federated_route(user, &hit).unwrap();
+    // The venue dies; the client's caches still point at it.
+    dep.transport
+        .set_down(dep.venue_servers[product.venue].endpoint(), true);
+    dep.client
+        .federated_route(user, &hit)
+        .expect_err("routing into a dead venue cannot succeed")
+}
+
+#[test]
+fn endpoint_down_surfaces_as_partial_failure_on_both_backends() {
+    for backend in BACKENDS {
+        let err = endpoint_down_partial_failure(backend);
+        let ClientError::PartialFailure {
+            succeeded,
+            ref failures,
+        } = err
+        else {
+            panic!("{backend:?}: expected PartialFailure, got {err}");
+        };
+        // The outdoor branch of the matrix round still succeeded; the
+        // venue branch failed with its source preserved.
+        assert_eq!(succeeded, 1, "{backend:?}");
+        assert_eq!(failures.len(), 1, "{backend:?}");
+        assert!(
+            err.source().is_some(),
+            "{backend:?}: source chain must be preserved"
+        );
+        assert!(
+            failures[0].1.to_string().contains("down"),
+            "{backend:?}: source names the dead endpoint, got {}",
+            failures[0].1
+        );
+    }
+}
+
+#[test]
+fn dropped_messages_surface_as_partial_failure_not_silent_empty() {
+    for backend in BACKENDS {
+        let dep = deployment_on(backend, small_world());
+        let product = dep.world.products[0].clone();
+        let near = dep.world.venues[product.venue].hint;
+        // Warm caches so the drop injection hits the search fan-out
+        // itself, not discovery.
+        dep.client.federated_search(&product.name, near, 3).unwrap();
+        dep.transport.set_timeout_us(50_000);
+        dep.transport.set_drop_probability(1.0);
+        let err = dep
+            .client
+            .federated_search(&product.name, near, 3)
+            .expect_err("total packet loss cannot look like an empty result");
+        let ClientError::PartialFailure {
+            succeeded,
+            ref failures,
+        } = err
+        else {
+            panic!("{backend:?}: expected PartialFailure, got {err}");
+        };
+        assert_eq!(succeeded, 0, "{backend:?}");
+        assert!(!failures.is_empty(), "{backend:?}");
+        assert!(
+            failures
+                .iter()
+                .all(|(_, e)| e.to_string().contains("timed out")),
+            "{backend:?}: branch errors must carry the timeout source"
+        );
+        // Localization under total loss is an outage too, not an
+        // honest "no coverage here".
+        let loc_err = dep
+            .client
+            .federated_localize(
+                near,
+                &[LocationCue::Gnss {
+                    fix: near,
+                    accuracy_m: 4.0,
+                }],
+            )
+            .expect_err("total packet loss cannot look like missing coverage");
+        assert!(
+            matches!(loc_err, ClientError::PartialFailure { succeeded: 0, .. }),
+            "{backend:?}: expected PartialFailure, got {loc_err}"
+        );
+        // Recovery: lifting the injection restores service.
+        dep.transport.set_drop_probability(0.0);
+        assert!(dep.client.federated_search(&product.name, near, 3).is_ok());
+    }
+}

@@ -22,7 +22,7 @@ pub mod framing;
 pub mod reader;
 pub mod writer;
 
-pub use framing::{read_frame, write_frame, FRAME_HEADER_LEN};
+pub use framing::{read_frame, write_frame, Frame, FRAME_HEADER_LEN, FRAME_VERSION};
 pub use reader::Reader;
 pub use writer::Writer;
 

@@ -103,3 +103,112 @@ proptest! {
         prop_assert_eq!(len, expected);
     }
 }
+
+mod framing {
+    //! Robustness of the v2 stream framing (version byte, correlation
+    //! ids): round-trips, pipelined sequences, and adversarial inputs —
+    //! truncation, oversized length prefixes, unknown versions.
+
+    use openflame_codec::framing::{
+        read_frame, write_frame, Frame, FRAME_HEADER_LEN, FRAME_VERSION,
+    };
+    use openflame_codec::MAX_LENGTH;
+    use proptest::prelude::*;
+    use std::io;
+
+    proptest! {
+        #[test]
+        fn frame_round_trips_with_correlation(
+            sender in any::<u64>(),
+            correlation in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, sender, correlation, &payload).unwrap();
+            prop_assert_eq!(buf.len(), FRAME_HEADER_LEN + payload.len());
+            let frame = read_frame(&mut io::Cursor::new(buf)).unwrap();
+            prop_assert_eq!(frame, Frame { sender, correlation, payload });
+        }
+
+        #[test]
+        fn pipelined_frame_sequences_round_trip_in_order(
+            frames in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+                0..10,
+            ),
+        ) {
+            // One connection carries many frames back to back — the
+            // reader must recover every (sender, correlation, payload)
+            // triple at exact boundaries.
+            let mut buf = Vec::new();
+            for (sender, correlation, payload) in &frames {
+                write_frame(&mut buf, *sender, *correlation, payload).unwrap();
+            }
+            let mut cursor = io::Cursor::new(buf);
+            for (sender, correlation, payload) in frames {
+                let frame = read_frame(&mut cursor).unwrap();
+                prop_assert_eq!(frame, Frame { sender, correlation, payload });
+            }
+            // Clean EOF after the last frame, not trailing garbage.
+            prop_assert_eq!(
+                read_frame(&mut cursor).unwrap_err().kind(),
+                io::ErrorKind::UnexpectedEof
+            );
+        }
+
+        #[test]
+        fn truncation_anywhere_is_unexpected_eof(
+            payload in proptest::collection::vec(any::<u8>(), 1..64),
+            cut_fraction in 0.0f64..1.0,
+        ) {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, 7, 9, &payload).unwrap();
+            let cut = ((buf.len() as f64) * cut_fraction) as usize;
+            prop_assume!(cut < buf.len());
+            buf.truncate(cut);
+            // A frame cut anywhere — mid-header or mid-payload — reads
+            // as UnexpectedEof, never a panic or a bogus frame.
+            let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+            prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        }
+
+        #[test]
+        fn length_prefix_over_max_length_rejected(
+            excess in 1u64..=(u32::MAX as u64 - MAX_LENGTH),
+            sender in any::<u64>(),
+            correlation in any::<u64>(),
+        ) {
+            let mut buf = vec![FRAME_VERSION];
+            buf.extend_from_slice(&((MAX_LENGTH + excess) as u32).to_le_bytes());
+            buf.extend_from_slice(&sender.to_le_bytes());
+            buf.extend_from_slice(&correlation.to_le_bytes());
+            let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+            prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+
+        #[test]
+        fn unknown_version_byte_rejected(
+            version in any::<u8>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            prop_assume!(version != FRAME_VERSION);
+            let mut buf = Vec::new();
+            write_frame(&mut buf, 1, 2, &payload).unwrap();
+            buf[0] = version;
+            let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+            prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            prop_assert!(err.to_string().contains("version"));
+        }
+
+        #[test]
+        fn random_garbage_never_yields_a_frame_payload_over_limit(
+            bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            // Whatever the stream contains, a successful parse never
+            // reports a payload above the sanity cap.
+            if let Ok(frame) = read_frame(&mut io::Cursor::new(bytes)) {
+                prop_assert!((frame.payload.len() as u64) <= MAX_LENGTH);
+            }
+        }
+    }
+}

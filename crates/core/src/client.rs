@@ -10,6 +10,17 @@
 //! operation pays one round trip per server per logical operation and
 //! re-resolves nothing it already knows.
 //!
+//! Multi-round operations are **pipelined** through the session's
+//! [`crate::session::ScatterRound`]: envelopes whose inputs are already
+//! known go on the wire immediately instead of barriering behind an
+//! earlier round — cold searches overlap the capability handshake with
+//! warm servers' search envelopes, stitched routing sends the venue's
+//! portal cost matrix alongside the outdoor nearest-node probes, and
+//! localization prefetches the anchoring handshakes inside the localize
+//! scatter itself. Pipelining reorders *waiting*, never traffic: the
+//! one-envelope-per-server discipline and all message counts are
+//! unchanged on the warm path.
+//!
 //! The client is transport-agnostic: it holds an `Arc<dyn Transport>`
 //! and runs identically over the deterministic simulator
 //! ([`openflame_netsim::SimTransport`]) and real TCP sockets
@@ -225,19 +236,6 @@ impl OpenFlameClient {
         self.expand_neighbors
     }
 
-    /// Sets the identity attached to subsequent requests.
-    #[deprecated(note = "configure via OpenFlameClient::builder().principal(...)")]
-    pub fn set_principal(&self, principal: Principal) {
-        self.session.set_principal(principal);
-    }
-
-    /// Enables or disables neighbor-cell expansion during discovery
-    /// (ablation E12).
-    #[deprecated(note = "configure via OpenFlameClient::builder().expand_neighbors(...)")]
-    pub fn set_expand_neighbors(&mut self, expand: bool) {
-        self.expand_neighbors = expand;
-    }
-
     /// Issues one raw (unbatched) request to one server. Low-level
     /// escape hatch; service methods go through the batched session.
     pub fn call(&self, to: EndpointId, request: Request) -> Result<Response, ClientError> {
@@ -304,32 +302,79 @@ impl OpenFlameClient {
                 "no servers near {location}"
             )));
         }
-        let endpoints: Vec<EndpointId> = servers.iter().map(|s| s.endpoint).collect();
-        self.session.ensure_hellos(&endpoints);
-        // One batched envelope per server. Anchored servers get a
+        // One batched envelope per server, pipelined with the
+        // capability handshake: servers whose Hello is cached get their
+        // search envelope immediately (anchored servers get a
         // frame-local center so they can distance-rank; unaligned venue
-        // maps are small, so their whole extent is relevant (center
-        // unknown in their frame).
-        let calls: Vec<(EndpointId, Vec<Request>)> = servers
+        // maps are small, so their whole extent is relevant — center
+        // unknown in their frame). Unknown servers get a Hello envelope
+        // in the *same* round, and their search follows once the anchor
+        // is known — so a few cold servers no longer stall the whole
+        // warm federation behind a handshake barrier. Steady state is
+        // one round of exactly one envelope per server, as ever.
+        let search_request = |center| Request::Search {
+            query: query.to_string(),
+            center,
+            radius_m,
+            k: k as u32,
+        };
+        let center_for = |hello: Option<openflame_mapserver::protocol::HelloInfo>| {
+            hello
+                .and_then(|h| h.anchor)
+                .map(|anchor| LocalFrame::new(anchor).to_local(location))
+        };
+        enum Slot {
+            /// Search submitted in the first round, at this index.
+            Warm(usize),
+            /// Hello submitted in the first round; the search rides the
+            /// follow-up round, at this index.
+            Cold(usize),
+        }
+        let mut round = self.session.scatter();
+        let slots: Vec<Slot> = servers
             .iter()
-            .map(|server| {
-                let center = self
-                    .session
-                    .cached_hello(server.endpoint)
-                    .and_then(|h| h.anchor)
-                    .map(|anchor| LocalFrame::new(anchor).to_local(location));
-                (
+            .map(|server| match self.session.cached_hello(server.endpoint) {
+                Some(hello) => Slot::Warm(round.submit(
                     server.endpoint,
-                    vec![Request::Search {
-                        query: query.to_string(),
-                        center,
-                        radius_m,
-                        k: k as u32,
-                    }],
-                )
+                    vec![search_request(center_for(Some(hello)))],
+                )),
+                None => {
+                    self.session.note_hello_misses(1);
+                    Slot::Cold(round.submit(server.endpoint, vec![Request::Hello]))
+                }
             })
             .collect();
-        let gathered = self.session.batch_parallel(calls);
+        let first = round.collect();
+        // Follow-up searches for the servers that needed the
+        // handshake (their Hello answers were absorbed into the cache
+        // on collect). A failed or denying Hello does not exempt a
+        // server from being searched — the search still goes out
+        // (center unknown) and its outcome is what the caller sees,
+        // exactly as the pre-pipelining two-round flow behaved.
+        let mut follow = self.session.scatter();
+        let slots: Vec<Slot> = servers
+            .iter()
+            .zip(slots)
+            .map(|(server, slot)| match slot {
+                Slot::Warm(i) => Slot::Warm(i),
+                Slot::Cold(_) => {
+                    let center = center_for(self.session.cached_hello(server.endpoint));
+                    Slot::Cold(follow.submit(server.endpoint, vec![search_request(center)]))
+                }
+            })
+            .collect();
+        let second = follow.collect();
+        let mut first: Vec<Option<Result<Vec<Response>, ClientError>>> =
+            first.into_iter().map(Some).collect();
+        let mut second: Vec<Option<Result<Vec<Response>, ClientError>>> =
+            second.into_iter().map(Some).collect();
+        let gathered: Vec<Result<Vec<Response>, ClientError>> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Warm(i) => first[i].take().expect("claimed once"),
+                Slot::Cold(i) => second[i].take().expect("claimed once"),
+            })
+            .collect();
         let mut lists: Vec<Vec<SearchResult>> = Vec::new();
         let mut provenance: Vec<Vec<FederatedSearchHit>> = Vec::new();
         let mut answered = 0usize;
@@ -638,8 +683,12 @@ impl OpenFlameClient {
         servers_consulted += 1;
         let (outdoor_server, outdoor_anchor) = outdoor;
         let outdoor_frame = LocalFrame::new(outdoor_anchor);
-        // Round 1 — one batch to the outdoor server: nearest node to
-        // the start plus the outdoor side of every advertised portal.
+        // Round 1 — pipelined: one batch to the outdoor server (nearest
+        // node to the start plus the outdoor side of every advertised
+        // portal) *and*, in the same scatter round, the venue-side cost
+        // matrix — its entries are the advertised portals and the
+        // target node, none of which depend on the outdoor probes, so
+        // it has no reason to wait behind them.
         let mut probes = vec![Request::NearestNode {
             pos: outdoor_frame.to_local(from),
         }];
@@ -651,45 +700,59 @@ impl OpenFlameClient {
                     pos: outdoor_frame.to_local(*hint),
                 }),
         );
-        let responses = Session::expect_all(self.session.batch(outdoor_server.endpoint, probes)?)?;
-        let from_node = expect_nearest(&responses[0])?;
-        let outdoor_portals: Vec<NodeId> = responses[1..]
-            .iter()
-            .map(expect_nearest)
-            .collect::<Result<_, _>>()?;
         let venue_portals: Vec<NodeId> = target_hello
             .portals
             .iter()
             .map(|(n, _)| NodeId(*n))
             .collect();
-        // Round 2 — both cost matrices, concurrently.
-        let matrix_calls = vec![
-            (
-                outdoor_server.endpoint,
-                vec![Request::RouteMatrix {
-                    entries: vec![from_node.0],
-                    exits: outdoor_portals.iter().map(|n| n.0).collect(),
-                }],
-            ),
-            (
-                target.endpoint,
-                vec![Request::RouteMatrix {
-                    entries: venue_portals.iter().map(|n| n.0).collect(),
-                    exits: vec![target_node.0],
-                }],
-            ),
-        ];
+        let mut round1 = self.session.scatter();
+        let probe_idx = round1.submit(outdoor_server.endpoint, probes);
+        let venue_idx = round1.submit(
+            target.endpoint,
+            vec![Request::RouteMatrix {
+                entries: venue_portals.iter().map(|n| n.0).collect(),
+                exits: vec![target_node.0],
+            }],
+        );
         // A dead or dropping server in either branch surfaces as a
         // PartialFailure carrying the source error, never a panic.
-        let mut matrices = Vec::with_capacity(2);
-        for responses in Session::gather_all(self.session.batch_parallel(matrix_calls))? {
-            let responses = Session::expect_all(responses)?;
-            matrices.push(expect_matrix(
-                responses.into_iter().next().expect("one item sent"),
-            )?);
-        }
-        let venue_matrix = matrices.pop().expect("two matrices");
-        let outdoor_matrix = matrices.pop().expect("two matrices");
+        let mut gathered: Vec<Option<Vec<Response>>> = Session::gather_all(round1.collect())?
+            .into_iter()
+            .map(Some)
+            .collect();
+        let responses =
+            Session::expect_all(gathered[probe_idx].take().expect("probe branch present"))?;
+        let from_node = expect_nearest(&responses[0])?;
+        let outdoor_portals: Vec<NodeId> = responses[1..]
+            .iter()
+            .map(expect_nearest)
+            .collect::<Result<_, _>>()?;
+        let venue_matrix = expect_matrix(
+            Session::expect_all(gathered[venue_idx].take().expect("venue branch present"))?
+                .into_iter()
+                .next()
+                .expect("one item sent"),
+        )?;
+        // Round 2 — the outdoor cost matrix (it needs round 1's snapped
+        // nodes). Same failure discipline as the scatter rounds.
+        let mut round2 = self.session.scatter();
+        round2.submit(
+            outdoor_server.endpoint,
+            vec![Request::RouteMatrix {
+                entries: vec![from_node.0],
+                exits: outdoor_portals.iter().map(|n| n.0).collect(),
+            }],
+        );
+        let outdoor_matrix = expect_matrix(
+            Session::expect_all(
+                Session::gather_all(round2.collect())?
+                    .pop()
+                    .expect("one branch sent"),
+            )?
+            .into_iter()
+            .next()
+            .expect("one item sent"),
+        )?;
         // The §5.2 stitching DP selects the portal.
         let plan = stitch_legs(&[
             LegMatrix::new(outdoor_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
@@ -752,20 +815,26 @@ impl OpenFlameClient {
         cues: &[LocationCue],
     ) -> Result<Vec<(String, WireEstimate)>, ClientError> {
         Ok(self
-            .localize_impl(coarse, cues)?
+            .localize_impl(coarse, cues, false)?
             .into_iter()
             .map(|(server, estimate)| (server.server_id, estimate))
             .collect())
     }
 
+    /// The localize scatter. With `prefetch_hellos`, capability
+    /// handshakes for consulted servers that lack a cached Hello ride
+    /// in the *same* pipelined round as the localize envelopes — the
+    /// provider path needs them immediately afterwards to geo-anchor
+    /// the estimates, and overlapping them costs no extra round trip.
     fn localize_impl(
         &self,
         coarse: LatLng,
         cues: &[LocationCue],
+        prefetch_hellos: bool,
     ) -> Result<Vec<(DiscoveredServer, WireEstimate)>, ClientError> {
         let servers = self.discover(coarse)?;
         let mut targets: Vec<DiscoveredServer> = Vec::new();
-        let mut calls: Vec<(EndpointId, Vec<Request>)> = Vec::new();
+        let mut round = self.session.scatter();
         for server in servers {
             let matching: Vec<LocationCue> = cues
                 .iter()
@@ -775,17 +844,26 @@ impl OpenFlameClient {
             if matching.is_empty() {
                 continue;
             }
-            calls.push((server.endpoint, vec![Request::Localize { cues: matching }]));
+            round.submit(server.endpoint, vec![Request::Localize { cues: matching }]);
             targets.push(server);
         }
+        if prefetch_hellos {
+            for server in &targets {
+                if !self.session.has_hello(server.endpoint) {
+                    self.session.note_hello_misses(1);
+                    round.submit(server.endpoint, vec![Request::Hello]);
+                }
+            }
+        }
+        let mut results = round.collect();
+        // Hello branches were absorbed into the session cache on
+        // collect; only the localize branches (submitted first, so
+        // positionally first) carry estimates.
+        results.truncate(targets.len());
         let mut out: Vec<(DiscoveredServer, WireEstimate)> = Vec::new();
         let mut answered = 0usize;
         let mut failures: Vec<(usize, ClientError)> = Vec::new();
-        for (idx, (server, outcome)) in targets
-            .into_iter()
-            .zip(self.session.batch_parallel(calls))
-            .enumerate()
-        {
+        for (idx, (server, outcome)) in targets.into_iter().zip(results).enumerate() {
             match outcome.map(|mut r| r.pop()) {
                 Ok(Some(Response::Localize { estimates })) => {
                     answered += 1;
@@ -940,10 +1018,13 @@ impl SpatialProvider for OpenFlameClient {
 
     fn localize(&self, query: LocalizeQuery) -> Result<LocalizeOutcome, ClientError> {
         let scope = StatScope::begin(self.session.transport().as_ref());
-        let raw = self.localize_impl(query.coarse, &query.cues)?;
-        // Geo-anchor the estimates whose producing server is anchored
-        // (hellos are warm by now in steady state; cold misses are one
-        // concurrent round).
+        // Hellos for anchoring are prefetched inside the localize
+        // scatter itself (one pipelined round, no handshake barrier).
+        let raw = self.localize_impl(query.coarse, &query.cues, true)?;
+        // Geo-anchor the estimates whose producing server is anchored.
+        // Steady state and prefetched-cold are pure cache reads here;
+        // ensure_hellos only fires for servers whose prefetched
+        // handshake failed in-round.
         let endpoints: Vec<EndpointId> = raw.iter().map(|(s, _)| s.endpoint).collect();
         self.session.ensure_hellos(&endpoints);
         let estimates: Vec<ProviderEstimate> = raw

@@ -12,7 +12,7 @@
 
 use crate::ClientError;
 use openflame_cells::CellId;
-use openflame_dns::{DnsError, RecordData, RecordType, Resolver};
+use openflame_dns::{DnsError, DomainName, RecordData, RecordType, Resolver};
 use openflame_geo::LatLng;
 use openflame_mapserver::naming::{cell_to_name, QUERY_LEVEL};
 use openflame_netsim::EndpointId;
@@ -108,11 +108,20 @@ impl DiscoveryClient {
         if expand_neighbors {
             cells.extend(cell.edge_neighbors());
         }
+        // All cell lookups (primary + neighbors) walk the DNS in one
+        // pipelined round: five cells cost one walk's latency, not
+        // five. Results come back positionally, so dedup order — and
+        // therefore the discovered-server order every layer above
+        // relies on — is identical to the sequential walk's.
+        let queries: Vec<(DomainName, RecordType)> = cells
+            .iter()
+            .map(|c| (cell_to_name(*c), RecordType::MapSrv))
+            .collect();
+        self.stats.lock().lookups += queries.len() as u64;
+        let outcomes = self.resolver.resolve_many(&queries);
         let mut servers: Vec<DiscoveredServer> = Vec::new();
-        for c in cells {
-            let name = cell_to_name(c);
-            self.stats.lock().lookups += 1;
-            match self.resolver.resolve(&name, RecordType::MapSrv) {
+        for ((name, _), outcome) in queries.into_iter().zip(outcomes) {
+            match outcome {
                 Ok(outcome) => {
                     if outcome.from_cache {
                         self.stats.lock().cache_hits += 1;

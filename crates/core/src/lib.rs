@@ -31,20 +31,37 @@
 //! (`Request::Batch`), one per server per scatter round, and the
 //! session caches `Hello` capability advertisements per server and
 //! discovery results per cell, so repeated scatter-gather rounds skip
-//! the handshakes they have already done.
+//! the handshakes they have already done. Scatter rounds are built on
+//! the session's pipelined [`session::ScatterRound`]: envelopes are
+//! *submitted* as soon as their inputs are known and *collected* when
+//! the caller needs the answers, so multi-round operations (cold
+//! search handshakes, route leg matrices, localization anchoring)
+//! overlap their rounds instead of barriering between them.
 //!
 //! Underneath the session sits the pluggable
-//! [`Transport`](openflame_netsim::Transport) layer: the session, the
-//! DNS resolver and every server bind to `Arc<dyn Transport>` and
-//! cannot tell which backend carries their bytes. Two backends ship:
+//! [`Transport`](openflame_netsim::Transport) layer, whose core is
+//! **non-blocking**: `submit(from, to, payload)` returns a
+//! [`CallHandle`](openflame_netsim::CallHandle) immediately and
+//! completion is claimed via `wait()` or a
+//! [`CompletionSet`](openflame_netsim::CompletionSet); blocking `call`
+//! / `call_parallel` are default methods over submit+wait. The
+//! session, the DNS resolver and every server bind to
+//! `Arc<dyn Transport>` and cannot tell which backend carries their
+//! bytes. Two backends ship:
 //!
 //! - [`BackendKind::Sim`](openflame_netsim::BackendKind) — the
 //!   deterministic discrete-event simulator (modelled latencies,
-//!   seeded jitter, failure injection); the default.
+//!   seeded jitter, failure injection); the default. Submitted calls
+//!   execute eagerly and share a start instant on the simulated
+//!   clock, modelling real concurrency deterministically.
 //! - [`BackendKind::Tcp`](openflame_netsim::BackendKind) — real
-//!   loopback TCP sockets with per-server connection pooling and
-//!   threaded listeners, proving the stack end to end over an actual
-//!   network.
+//!   loopback TCP sockets. One pooled connection per server
+//!   multiplexes many in-flight requests (frames carry a version byte
+//!   and a correlation id; responses may complete out of order), with
+//!   one writer and one reader thread per connection — worker threads
+//!   are O(connections), not O(fan-out width). The frame layout,
+//!   correlation semantics and pipelining rules are specified in
+//!   `docs/wire-protocol.md`.
 //!
 //! Select the backend per deployment
 //! (`DeploymentConfig { backend: BackendKind::Tcp, .. }`), or hand any
@@ -52,7 +69,8 @@
 //! `OpenFlameClient::builder().build_on(..)`. The wire discipline —
 //! exactly one batched envelope per discovered server per warm scatter
 //! round — holds on both backends and is enforced by the
-//! backend-parity integration test.
+//! backend-parity integration test; pipelining reorders waiting, never
+//! traffic.
 //!
 //! [`Deployment`] stands up a complete world — DNS hierarchy, resolver,
 //! outdoor provider, one map server per venue — in one call on either

@@ -67,7 +67,10 @@ impl StatScope {
         CallStats {
             messages: stats.messages.saturating_sub(self.messages),
             bytes: stats.bytes.saturating_sub(self.bytes),
-            elapsed_us: transport.now_us() - self.start_us,
+            // Saturate like the counters above: a non-monotonic wall
+            // clock (or counters reset mid-call) must yield a zero
+            // reading, not a panic.
+            elapsed_us: transport.now_us().saturating_sub(self.start_us),
             servers_consulted,
         }
     }

@@ -37,7 +37,7 @@ use openflame_codec::{from_bytes, to_bytes};
 use openflame_mapdata::NodeId;
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response, WireRoute};
 use openflame_mapserver::Principal;
-use openflame_netsim::{EndpointId, Transport};
+use openflame_netsim::{CallHandle, EndpointId, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -213,29 +213,21 @@ impl Session {
         &self,
         calls: Vec<(EndpointId, Vec<Request>)>,
     ) -> Vec<Result<Vec<Response>, ClientError>> {
-        let mut expected = Vec::with_capacity(calls.len());
-        let mut wire_calls = Vec::with_capacity(calls.len());
+        let mut round = self.scatter();
         for (to, requests) in calls {
-            expected.push((to, requests.len()));
-            wire_calls.push((to, self.encode(Request::Batch(requests))));
+            round.submit(to, requests);
         }
-        {
-            let mut stats = self.stats.lock();
-            stats.batches += expected.len() as u64;
-            stats.batched_requests += expected.iter().map(|(_, n)| *n as u64).sum::<u64>();
+        round.collect()
+    }
+
+    /// Starts a pipelined scatter round: envelopes submitted through
+    /// [`ScatterRound::submit`] go on the wire immediately and their
+    /// responses are claimed together by [`ScatterRound::collect`].
+    pub fn scatter(&self) -> ScatterRound<'_> {
+        ScatterRound {
+            session: self,
+            pending: Vec::new(),
         }
-        let results = self.transport.call_parallel(self.endpoint, wire_calls);
-        results
-            .into_iter()
-            .zip(expected)
-            .map(|(result, (to, n))| {
-                let transfer = result.map_err(|e| ClientError::Network(e.to_string()))?;
-                self.stats.lock().wire_us += transfer.latency_us;
-                let responses = Self::decode_batch(&transfer.payload, n)?;
-                self.absorb_hellos(to, &responses);
-                Ok(responses)
-            })
-            .collect()
     }
 
     /// Turns per-item `Response::Error` entries into a
@@ -360,6 +352,22 @@ impl Session {
         }
     }
 
+    /// Whether a fresh advertisement is cached for `server`, without
+    /// touching the hit/miss counters (pipelined callers probe before
+    /// deciding what to submit, then count the lookups they actually
+    /// perform through [`Session::cached_hello`] and the miss
+    /// counter).
+    pub fn has_hello(&self, server: EndpointId) -> bool {
+        self.peek_hello(server).is_some()
+    }
+
+    /// Counts hello lookups that are about to go to the wire (the
+    /// pipelined paths submit `Request::Hello` envelopes directly
+    /// instead of going through [`Session::hello`]).
+    pub(crate) fn note_hello_misses(&self, n: u64) {
+        self.stats.lock().hello_misses += n;
+    }
+
     /// Fills the hello cache for every listed server in **one**
     /// concurrent round of single-item batches, skipping servers whose
     /// advertisement is already fresh. Unreachable or denying servers
@@ -426,6 +434,75 @@ impl Session {
                 expires_us: self.transport.now_us().saturating_add(self.ttl_us()),
             },
         );
+    }
+}
+
+/// A pipelined scatter round over one [`Session`].
+///
+/// Each [`ScatterRound::submit`] encodes one batched envelope and puts
+/// it on the wire through the transport's non-blocking submit path —
+/// the request is in flight *while the caller keeps building the
+/// round* (and, on socket backends, while earlier rounds are still
+/// draining). [`ScatterRound::collect`] then claims every completion;
+/// its wall-clock cost is the slowest branch. Results are positional in
+/// submit order, and any `Hello` answers riding in the responses are
+/// absorbed into the session's capability cache, exactly as with
+/// [`Session::batch_parallel`] (which is now a submit-everything,
+/// collect-once round of this API).
+///
+/// The one-batched-envelope-per-server wire discipline is unchanged:
+/// pipelining reorders *waiting*, not traffic.
+pub struct ScatterRound<'a> {
+    session: &'a Session,
+    pending: Vec<(EndpointId, usize, CallHandle)>,
+}
+
+impl ScatterRound<'_> {
+    /// Encodes `requests` as one batched envelope to `to` and submits
+    /// it, returning the submission's index in the
+    /// [`ScatterRound::collect`] result.
+    pub fn submit(&mut self, to: EndpointId, requests: Vec<Request>) -> usize {
+        let expected = requests.len();
+        {
+            let mut stats = self.session.stats.lock();
+            stats.batches += 1;
+            stats.batched_requests += expected as u64;
+        }
+        let payload = self.session.encode(Request::Batch(requests));
+        let handle = self
+            .session
+            .transport
+            .submit(self.session.endpoint, to, payload);
+        self.pending.push((to, expected, handle));
+        self.pending.len() - 1
+    }
+
+    /// Number of envelopes submitted so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Claims every submitted envelope's responses, positionally. Per-
+    /// item failures come back as `Response::Error` items inside the
+    /// `Ok` lists; a branch errs only when its envelope itself fails.
+    pub fn collect(self) -> Vec<Result<Vec<Response>, ClientError>> {
+        self.pending
+            .into_iter()
+            .map(|(to, expected, handle)| {
+                let transfer = handle
+                    .wait()
+                    .map_err(|e| ClientError::Network(e.to_string()))?;
+                self.session.stats.lock().wire_us += transfer.latency_us;
+                let responses = Session::decode_batch(&transfer.payload, expected)?;
+                self.session.absorb_hellos(to, &responses);
+                Ok(responses)
+            })
+            .collect()
     }
 }
 

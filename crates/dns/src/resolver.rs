@@ -82,6 +82,31 @@ struct CacheState {
     use_counter: u64,
 }
 
+/// In-progress state of one pipelined referral walk
+/// (see [`Resolver::resolve_many`]).
+struct Walk {
+    /// Candidate servers for the current zone cut, tried in order.
+    candidates: Vec<EndpointId>,
+    /// Upstream asks issued so far (including failed candidates).
+    upstream: u32,
+    /// Authoritative responses processed so far (the referral-hop
+    /// budget counts these, not failed candidates).
+    responses_seen: usize,
+    /// The most recent candidate failure, surfaced if the zone cut
+    /// runs out of servers.
+    last_err: DnsError,
+    /// Transport clock at query start (per-walk latency).
+    t0: u64,
+}
+
+/// Outcome of interpreting one authoritative response within a walk.
+enum WalkStep {
+    /// The walk terminated with this outcome.
+    Done(Result<QueryOutcome, DnsError>),
+    /// Referral: continue at the child zone's servers.
+    Referral(Vec<EndpointId>),
+}
+
 fn type_tag(rtype: RecordType) -> u8 {
     match rtype {
         RecordType::A => 0,
@@ -179,76 +204,193 @@ impl Resolver {
     /// Resolves `name`/`rtype`, consulting the cache first and walking
     /// referrals from the root hints otherwise.
     pub fn resolve(&self, name: &DomainName, rtype: RecordType) -> Result<QueryOutcome, DnsError> {
-        let t0 = self.transport.now_us();
-        self.stats.lock().queries += 1;
-        // Cache lookup.
-        if self.config.cache_enabled {
-            let mut cache = self.cache.lock();
-            cache.use_counter += 1;
-            let counter = cache.use_counter;
-            let now = t0;
-            if let Some(entry) = cache.entries.get_mut(&(name.clone(), type_tag(rtype))) {
-                if entry.expires_us > now {
-                    entry.last_used = counter;
-                    let negative = entry.negative;
-                    let records = entry.records.clone();
-                    drop(cache);
-                    // A local cache answer still costs a hair of CPU.
-                    self.transport.advance_us(10);
-                    if negative {
-                        self.stats.lock().negative_hits += 1;
-                        return Err(DnsError::NxDomain(name.to_string()));
-                    }
-                    self.stats.lock().cache_hits += 1;
-                    return Ok(QueryOutcome {
-                        records,
-                        from_cache: true,
-                        upstream_queries: 0,
-                        latency_us: self.transport.now_us() - t0,
-                    });
-                }
-                cache.entries.remove(&(name.clone(), type_tag(rtype)));
-            }
-        }
-        // Iterative resolution.
-        let result = self.resolve_iterative(name, rtype, t0);
-        if result.is_err() {
-            self.stats.lock().failures += 1;
-        }
-        result
+        self.resolve_many(&[(name.clone(), rtype)])
+            .pop()
+            .expect("one query in, one outcome out")
     }
 
-    fn resolve_iterative(
+    /// Resolves many queries with their referral walks **pipelined**:
+    /// at every step, each unfinished walk's next upstream ask is
+    /// submitted through the transport's non-blocking path before any
+    /// answer is awaited, so N lookups cost the slowest walk rather
+    /// than the sum of all walks. This is what keeps neighbor-cell
+    /// discovery (five cells per query) at one walk's latency. Results
+    /// are positional; caching, negative caching, candidate failover
+    /// and the referral-hop limit behave exactly as in
+    /// [`Resolver::resolve`].
+    ///
+    /// Queries in one batch should be distinct: duplicates each walk
+    /// the hierarchy independently (they race to the cache instead of
+    /// the second queueing behind the first's freshly-stored answer,
+    /// as sequential [`Resolver::resolve`] calls would).
+    pub fn resolve_many(
+        &self,
+        queries: &[(DomainName, RecordType)],
+    ) -> Vec<Result<QueryOutcome, DnsError>> {
+        let mut results: Vec<Option<Result<QueryOutcome, DnsError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut walks: Vec<Option<Walk>> = (0..queries.len()).map(|_| None).collect();
+        for (i, (name, rtype)) in queries.iter().enumerate() {
+            let t0 = self.transport.now_us();
+            self.stats.lock().queries += 1;
+            if let Some(cached) = self.cache_probe(name, *rtype, t0) {
+                results[i] = Some(cached);
+                continue;
+            }
+            walks[i] = Some(Walk {
+                candidates: self.root_hints.clone(),
+                upstream: 0,
+                responses_seen: 0,
+                last_err: DnsError::Network("no candidate servers".into()),
+                t0,
+            });
+        }
+        loop {
+            // Submit one step of every unfinished walk, then claim the
+            // round together: overlapped referral walking.
+            let mut step: Vec<(usize, openflame_netsim::CallHandle)> = Vec::new();
+            for (i, slot) in walks.iter_mut().enumerate() {
+                let Some(walk) = slot else { continue };
+                match walk.candidates.first().copied() {
+                    Some(server) => {
+                        walk.upstream += 1;
+                        self.stats.lock().upstream_queries += 1;
+                        let query = to_bytes(&QueryMsg {
+                            name: queries[i].0.clone(),
+                            rtype: queries[i].1,
+                        })
+                        .to_vec();
+                        step.push((i, self.transport.submit(self.endpoint, server, query)));
+                    }
+                    None => {
+                        // Every candidate for this zone cut failed.
+                        let err =
+                            std::mem::replace(&mut walk.last_err, DnsError::Network(String::new()));
+                        self.stats.lock().failures += 1;
+                        results[i] = Some(Err(err));
+                        *slot = None;
+                    }
+                }
+            }
+            if step.is_empty() {
+                break;
+            }
+            for (i, handle) in step {
+                let walk = walks[i].as_mut().expect("walk active for pending ask");
+                match handle.wait() {
+                    Ok(transfer) => {
+                        walk.responses_seen += 1;
+                        let done = match from_bytes::<ResponseMsg>(&transfer.payload) {
+                            Err(e) => Some(Err(DnsError::ServFail(format!("bad response: {e}")))),
+                            Ok(resp) => {
+                                match self.interpret(&queries[i].0, queries[i].1, resp, walk) {
+                                    WalkStep::Done(outcome) => Some(outcome),
+                                    WalkStep::Referral(next) => {
+                                        if walk.responses_seen >= self.config.max_referrals {
+                                            Some(Err(DnsError::TooManyReferrals))
+                                        } else {
+                                            walk.candidates = next;
+                                            None
+                                        }
+                                    }
+                                }
+                            }
+                        };
+                        if let Some(outcome) = done {
+                            if outcome.is_err() {
+                                self.stats.lock().failures += 1;
+                            }
+                            results[i] = Some(outcome);
+                            walks[i] = None;
+                        }
+                    }
+                    Err(e) => {
+                        // Dead or flaky server: drop it and let the
+                        // next round try the following candidate.
+                        walk.candidates.remove(0);
+                        walk.last_err = DnsError::Network(e.to_string());
+                    }
+                }
+            }
+        }
+        // Walk failures were counted where each walk concluded; cache
+        // answers (including negative hits) never touch the failure
+        // counter, exactly as in the sequential path.
+        results
+            .into_iter()
+            .map(|r| r.expect("every walk terminated"))
+            .collect()
+    }
+
+    /// Serves a query from the cache if a fresh entry exists,
+    /// replicating the hit/negative-hit accounting and the 10 µs local
+    /// lookup cost.
+    fn cache_probe(
         &self,
         name: &DomainName,
         rtype: RecordType,
         t0: u64,
-    ) -> Result<QueryOutcome, DnsError> {
-        let mut candidates = self.root_hints.clone();
-        let mut upstream = 0u32;
-        for _hop in 0..self.config.max_referrals {
-            let resp = self.ask_any(&mut candidates, name, rtype, &mut upstream)?;
-            match resp.rcode {
-                Rcode::ServFail => {
-                    return Err(DnsError::ServFail(name.to_string()));
-                }
-                Rcode::NxDomain => {
-                    self.cache_store(name, rtype, Vec::new(), self.config.negative_ttl_s, true);
-                    return Err(DnsError::NxDomain(name.to_string()));
-                }
-                Rcode::NoError => {
-                    if !resp.answers.is_empty() || resp.authority.is_empty() {
-                        // Terminal answer (possibly NODATA).
-                        let ttl = resp.answers.iter().map(|r| r.ttl_s).min().unwrap_or(30);
-                        self.cache_store(name, rtype, resp.answers.clone(), ttl, false);
-                        return Ok(QueryOutcome {
-                            records: resp.answers,
-                            from_cache: false,
-                            upstream_queries: upstream,
-                            latency_us: self.transport.now_us() - t0,
-                        });
-                    }
-                    // Referral: gather glue endpoints for the child zone.
+    ) -> Option<Result<QueryOutcome, DnsError>> {
+        if !self.config.cache_enabled {
+            return None;
+        }
+        let mut cache = self.cache.lock();
+        cache.use_counter += 1;
+        let counter = cache.use_counter;
+        let entry = cache.entries.get_mut(&(name.clone(), type_tag(rtype)))?;
+        if entry.expires_us <= t0 {
+            cache.entries.remove(&(name.clone(), type_tag(rtype)));
+            return None;
+        }
+        entry.last_used = counter;
+        let negative = entry.negative;
+        let records = entry.records.clone();
+        drop(cache);
+        // A local cache answer still costs a hair of CPU.
+        self.transport.advance_us(10);
+        if negative {
+            self.stats.lock().negative_hits += 1;
+            return Some(Err(DnsError::NxDomain(name.to_string())));
+        }
+        self.stats.lock().cache_hits += 1;
+        Some(Ok(QueryOutcome {
+            records,
+            from_cache: true,
+            upstream_queries: 0,
+            latency_us: self.transport.now_us() - t0,
+        }))
+    }
+
+    /// Interprets one authoritative response for a walk: a terminal
+    /// answer (cached), a negative answer (negatively cached), or a
+    /// referral with glue.
+    fn interpret(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+        resp: ResponseMsg,
+        walk: &Walk,
+    ) -> WalkStep {
+        match resp.rcode {
+            Rcode::ServFail => WalkStep::Done(Err(DnsError::ServFail(name.to_string()))),
+            Rcode::NxDomain => {
+                self.cache_store(name, rtype, Vec::new(), self.config.negative_ttl_s, true);
+                WalkStep::Done(Err(DnsError::NxDomain(name.to_string())))
+            }
+            Rcode::NoError => {
+                if !resp.answers.is_empty() || resp.authority.is_empty() {
+                    // Terminal answer (possibly NODATA).
+                    let ttl = resp.answers.iter().map(|r| r.ttl_s).min().unwrap_or(30);
+                    self.cache_store(name, rtype, resp.answers.clone(), ttl, false);
+                    WalkStep::Done(Ok(QueryOutcome {
+                        records: resp.answers,
+                        from_cache: false,
+                        upstream_queries: walk.upstream,
+                        latency_us: self.transport.now_us().saturating_sub(walk.t0),
+                    }))
+                } else {
+                    // Referral: gather glue endpoints for the child
+                    // zone.
                     let mut next = Vec::new();
                     for auth in &resp.authority {
                         if let crate::record::RecordData::Ns(ns_host) = &auth.data {
@@ -262,45 +404,15 @@ impl Resolver {
                         }
                     }
                     if next.is_empty() {
-                        return Err(DnsError::ServFail(format!("lame delegation for {name}")));
+                        WalkStep::Done(Err(DnsError::ServFail(format!(
+                            "lame delegation for {name}"
+                        ))))
+                    } else {
+                        WalkStep::Referral(next)
                     }
-                    candidates = next;
                 }
             }
         }
-        Err(DnsError::TooManyReferrals)
-    }
-
-    /// Tries candidate servers in order until one responds.
-    fn ask_any(
-        &self,
-        candidates: &mut Vec<EndpointId>,
-        name: &DomainName,
-        rtype: RecordType,
-        upstream: &mut u32,
-    ) -> Result<ResponseMsg, DnsError> {
-        let query = to_bytes(&QueryMsg {
-            name: name.clone(),
-            rtype,
-        })
-        .to_vec();
-        let mut last_err = DnsError::Network("no candidate servers".into());
-        while let Some(server) = candidates.first().copied() {
-            *upstream += 1;
-            self.stats.lock().upstream_queries += 1;
-            match self.transport.call(self.endpoint, server, query.clone()) {
-                Ok(transfer) => {
-                    return from_bytes::<ResponseMsg>(&transfer.payload)
-                        .map_err(|e| DnsError::ServFail(format!("bad response: {e}")));
-                }
-                Err(e) => {
-                    // Dead or flaky server: drop it and try the next.
-                    candidates.remove(0);
-                    last_err = DnsError::Network(e.to_string());
-                }
-            }
-        }
-        Err(last_err)
     }
 
     fn cache_store(

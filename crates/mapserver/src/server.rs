@@ -834,6 +834,48 @@ mod tests {
     }
 
     #[test]
+    fn serve_tcp_echoes_correlation_ids_for_pipelined_requests() {
+        use openflame_codec::framing::{read_frame, write_frame};
+        use std::net::TcpStream;
+
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let tcp = TcpTransport::new(5);
+        let tcp_endpoint = server.serve_tcp(&tcp);
+        let addr = tcp.listen_addr(tcp_endpoint).expect("served endpoint");
+        // Speak the v2 frame protocol directly: two requests pipelined
+        // on one connection before reading anything back; each response
+        // must carry its request's correlation id verbatim.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let product = &world.products[0];
+        for (corr, query) in [(7001u64, product.name.as_str()), (7002, "no-such-thing")] {
+            let env = Envelope {
+                principal: Principal::anonymous(),
+                request: Request::Search {
+                    query: query.to_string(),
+                    center: None,
+                    radius_m: f64::INFINITY,
+                    k: 3,
+                },
+            };
+            write_frame(&mut stream, 42, corr, &to_bytes(&env)).unwrap();
+        }
+        let first = read_frame(&mut stream).unwrap();
+        assert_eq!(first.correlation, 7001);
+        assert_eq!(first.sender, tcp_endpoint.0);
+        let Response::Search { results } = from_bytes::<Response>(&first.payload).unwrap() else {
+            panic!("expected search response");
+        };
+        assert_eq!(results[0].label, product.name);
+        let second = read_frame(&mut stream).unwrap();
+        assert_eq!(second.correlation, 7002);
+        let Response::Search { results } = from_bytes::<Response>(&second.payload).unwrap() else {
+            panic!("expected search response");
+        };
+        assert!(results.is_empty(), "nothing stocked under that name");
+    }
+
+    #[test]
     fn malformed_rpc_returns_error_response() {
         let net = SimNet::new(1);
         let (server, _world) = venue_server(&net);

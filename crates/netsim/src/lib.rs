@@ -26,7 +26,10 @@ pub mod transport;
 
 pub use stats::{EndpointStats, NetStats};
 pub use tcp::TcpTransport;
-pub use transport::{BackendKind, SimTransport, Transfer, Transport, WireService};
+pub use transport::{
+    BackendKind, CallHandle, CompletionSet, PendingCall, SimTransport, Transfer, Transport,
+    WireService,
+};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -237,6 +240,22 @@ impl SimNet {
     /// Advances the clock (e.g. a client thinking or a sensor sampling).
     pub fn advance_us(&self, dt: u64) {
         self.inner.lock().clock_us += dt;
+    }
+
+    /// Rewinds the clock to `t_us`. Used by the submit/completion wire
+    /// layer: a submitted call executes eagerly from the submit instant
+    /// and the clock is restored, so concurrent branches all start
+    /// together; claiming the completion advances to the branch's end.
+    pub(crate) fn set_clock_us(&self, t_us: u64) {
+        self.inner.lock().clock_us = t_us;
+    }
+
+    /// Advances the clock to at least `t_us` (no-op if already past).
+    pub(crate) fn advance_to_us(&self, t_us: u64) {
+        let mut inner = self.inner.lock();
+        if inner.clock_us < t_us {
+            inner.clock_us = t_us;
+        }
     }
 
     /// The registered name of an endpoint.

@@ -1,4 +1,5 @@
-//! Real-socket transport: length-prefixed envelopes over loopback TCP.
+//! Real-socket transport: multiplexed, pipelined envelopes over
+//! loopback TCP.
 //!
 //! [`TcpTransport`] implements [`Transport`] over `std::net`, proving
 //! the whole federated stack — DNS discovery, batched sessions, map
@@ -8,15 +9,23 @@
 //! - **Served endpoints** bind a `127.0.0.1:0` listener; a threaded
 //!   accept loop hands each connection to a handler thread that reads
 //!   framed requests ([`openflame_codec::framing`]) and writes framed
-//!   responses until the peer hangs up.
-//! - **Connection pooling**: client-side connections are kept per
-//!   destination endpoint and reused across scatter rounds, so a warm
-//!   session pays one TCP handshake per server, ever — the socket
-//!   analogue of the session layer's hello caching. A stale pooled
-//!   connection is retried once on a fresh dial.
-//! - **Parallel fan-out** spawns one thread per branch, so the
-//!   wall-clock cost of a scatter round is the slowest server, matching
-//!   the simulator's concurrency model.
+//!   responses carrying the request's correlation id until the peer
+//!   hangs up.
+//! - **Multiplexed connections**: one pooled connection carries many
+//!   in-flight requests at once. Each connection runs exactly two
+//!   worker threads — a writer draining an outbound queue and a reader
+//!   demultiplexing responses by correlation id (out-of-order
+//!   completion allowed) — so thread count is O(pooled connections),
+//!   not O(fan-out width). A scatter over 64 servers reuses the same
+//!   64 warm connections round after round instead of spawning 64
+//!   threads per round.
+//! - **Submit/completion**: [`Transport::submit`] enqueues the frame
+//!   and returns a [`CallHandle`] immediately; waiting on the handle
+//!   parks on a completion cell the reader thread fills. Bounded
+//!   fan-out falls out of the pool: at most [`POOL_CAP`] connections
+//!   per destination, each pipelining up to [`PIPELINE_DEPTH`]
+//!   requests before another connection is dialed; beyond that,
+//!   requests queue on the least-loaded connection.
 //! - **Failure injection** mirrors the simulator: a down endpoint fails
 //!   with [`NetError::EndpointDown`] and its server threads cut the
 //!   connection instead of answering; message drops surface as
@@ -24,23 +33,28 @@
 //!
 //! Clocks are wall-clock microseconds since transport creation, so the
 //! TTL caches built on [`Transport::now_us`] age in real time. Traffic
-//! counters are charged on the calling side and include the 12-byte
-//! frame header; raw sockets poking a listener from outside this
-//! transport are served but not counted. Failed calls charge nothing,
-//! whereas the simulator charges per hop — so cross-backend stats
-//! parity (identical message counts for identical workloads) holds for
-//! failure-free runs; under injected loss the counters intentionally
-//! reflect each backend's own semantics.
+//! counters are charged on the waiting side when a completion is
+//! claimed and include the frame header; raw sockets poking a listener
+//! from outside this transport are served but not counted. Failed or
+//! abandoned calls charge nothing, whereas the simulator charges per
+//! hop — so cross-backend stats parity (identical message counts for
+//! identical workloads) holds for failure-free runs; under injected
+//! loss the counters intentionally reflect each backend's own
+//! semantics.
 //!
-//! Listener and connection threads are detached but bounded: dropping
-//! the last transport handle wakes every accept loop, which releases
-//! its listener port and its service (connection threads follow as
-//! their client sockets close). This backend is built for tests,
-//! benches and single-process demos, not as a hardened production
-//! server.
+//! A response whose correlation id matches no in-flight request (for
+//! example, one that arrives after its waiter timed out) is discarded
+//! and counted in [`TcpTransport::orphan_responses`]; it never
+//! completes a different call. Worker threads are detached but
+//! bounded and observable via [`TcpTransport::worker_threads`]:
+//! dropping the last transport handle wakes every accept loop, which
+//! releases its listener port and its service; connection writers exit
+//! when their queues close, shutting the socket down so the paired
+//! reader follows. This backend is built for tests, benches and
+//! single-process demos, not as a hardened production server.
 
 use crate::stats::{EndpointStats, NetStats};
-use crate::transport::{Transfer, Transport, WireService};
+use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
 use crate::{EndpointId, NetError};
 use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
 use openflame_geo::LatLng;
@@ -49,14 +63,242 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io;
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Idle connections kept per destination endpoint.
-const POOL_CAP: usize = 8;
+/// Pipelined connections kept per destination endpoint.
+pub const POOL_CAP: usize = 4;
+
+/// In-flight requests a connection absorbs before the pool dials
+/// another one (further requests queue on the least-loaded connection
+/// — the bounded-fan-out knob).
+pub const PIPELINE_DEPTH: usize = 32;
+
+// ---------------------------------------------------------------------
+// Completion plumbing.
+// ---------------------------------------------------------------------
+
+/// A completed call's payload-or-error, plus the context the retry
+/// policy needs.
+struct CellDone {
+    result: io::Result<Vec<u8>>,
+    /// Whether this request was the only one in flight on its
+    /// connection when the outcome landed. A connection-death failure
+    /// is only retried when true: with siblings pipelined behind it,
+    /// the server may have processed any of them before the cut, and
+    /// re-sending would duplicate non-idempotent work.
+    sole_in_flight: bool,
+}
+
+/// One in-flight request's completion slot, filled exactly once by a
+/// connection worker (or by the timeout path abandoning it).
+///
+/// Uses `std::sync` primitives: the waiter needs a `Condvar`, which the
+/// crate's vendored `parking_lot` facade does not provide.
+struct CompletionCell {
+    state: StdMutex<Option<CellDone>>,
+    cond: Condvar,
+}
+
+impl CompletionCell {
+    fn new() -> Self {
+        Self {
+            state: StdMutex::new(None),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: io::Result<Vec<u8>>, sole_in_flight: bool) {
+        let mut state = self.state.lock().expect("completion lock");
+        if state.is_none() {
+            *state = Some(CellDone {
+                result,
+                sole_in_flight,
+            });
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until filled or `deadline`; `None` means the deadline
+    /// passed first.
+    fn wait_until(&self, deadline: Instant) -> Option<CellDone> {
+        let mut state = self.state.lock().expect("completion lock");
+        loop {
+            if state.is_some() {
+                return state.take();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .expect("completion lock");
+            state = next;
+        }
+    }
+}
+
+/// A connection's demultiplexer: correlation id → completion cell.
+/// Shared between the submitting side and the connection's reader.
+struct Demux {
+    pending: StdMutex<HashMap<u64, Arc<CompletionCell>>>,
+    /// Responses successfully delivered on this connection, ever. The
+    /// retry policy compares snapshots of this: a delivery after a
+    /// request was submitted proves the server was alive and
+    /// processing past that point, so a subsequent connection death no
+    /// longer proves the request untouched.
+    delivered: AtomicU64,
+    /// Transport-wide count of discarded responses (unknown or
+    /// already-completed correlation ids).
+    orphans: Arc<AtomicU64>,
+}
+
+impl Demux {
+    fn new(orphans: Arc<AtomicU64>) -> Self {
+        Self {
+            pending: StdMutex::new(HashMap::new()),
+            delivered: AtomicU64::new(0),
+            orphans,
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::SeqCst)
+    }
+
+    fn register(&self, corr: u64) -> Arc<CompletionCell> {
+        let cell = Arc::new(CompletionCell::new());
+        self.pending
+            .lock()
+            .expect("demux lock")
+            .insert(corr, cell.clone());
+        cell
+    }
+
+    /// Routes a response to its waiter. A correlation id that matches
+    /// no in-flight request — never issued, already completed
+    /// (duplicate), or abandoned by a timed-out waiter — is discarded
+    /// and counted, never delivered to a different call.
+    fn complete(&self, corr: u64, result: io::Result<Vec<u8>>) {
+        let (cell, sole) = {
+            let mut pending = self.pending.lock().expect("demux lock");
+            let cell = pending.remove(&corr);
+            (cell, pending.is_empty())
+        };
+        match cell {
+            Some(cell) => {
+                if result.is_ok() {
+                    self.delivered.fetch_add(1, Ordering::SeqCst);
+                }
+                cell.fill(result, sole);
+            }
+            None => {
+                self.orphans.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fails every in-flight request (the connection died). Each cell
+    /// learns whether it was alone in flight — the retry policy's
+    /// safety condition.
+    fn fail_all(&self, kind: io::ErrorKind, msg: &str) {
+        let cells: Vec<_> = self
+            .pending
+            .lock()
+            .expect("demux lock")
+            .drain()
+            .map(|(_, cell)| cell)
+            .collect();
+        let sole = cells.len() == 1;
+        for cell in cells {
+            cell.fill(Err(io::Error::new(kind, msg.to_string())), sole);
+        }
+    }
+
+    /// Fails a request that never reached the socket (still queued when
+    /// the writer exited). Marked sole-in-flight: re-sending something
+    /// that was never sent cannot duplicate work.
+    fn fail_unsent(&self, corr: u64) {
+        if let Some(cell) = self.pending.lock().expect("demux lock").remove(&corr) {
+            cell.fill(
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "request queued behind a failed connection",
+                )),
+                true,
+            );
+        }
+    }
+
+    /// Abandons a request (timed-out waiter, racing submitter); a late
+    /// response becomes an orphan. Returns whether the slot was still
+    /// pending.
+    fn forget(&self, corr: u64) -> bool {
+        self.pending
+            .lock()
+            .expect("demux lock")
+            .remove(&corr)
+            .is_some()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pending.lock().expect("demux lock").len()
+    }
+}
+
+struct Outbound {
+    corr: u64,
+    sender: u64,
+    payload: Vec<u8>,
+}
+
+/// One pooled, pipelined client connection (writer + reader thread).
+struct Conn {
+    /// Feeds the writer thread; behind a mutex only to be shareable.
+    tx: StdMutex<mpsc::Sender<Outbound>>,
+    demux: Arc<Demux>,
+    /// Set by either worker when the connection dies; broken
+    /// connections are pruned from the pool on the next checkout.
+    broken: Arc<AtomicBool>,
+}
+
+impl Conn {
+    /// Queues a frame for the writer; hands it back if the writer is
+    /// already gone (so the caller can re-route without re-encoding).
+    fn send(&self, out: Outbound) -> Result<(), Outbound> {
+        self.tx
+            .lock()
+            .expect("conn sender lock")
+            .send(out)
+            .map_err(|e| e.0)
+    }
+}
+
+/// Decrements the transport's worker-thread gauge when a worker exits.
+struct ThreadGuard(Arc<AtomicUsize>);
+
+impl ThreadGuard {
+    fn enter(counter: &Arc<AtomicUsize>) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Self(counter.clone())
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport state.
+// ---------------------------------------------------------------------
 
 struct Endpoint {
     name: String,
@@ -66,19 +308,25 @@ struct Endpoint {
     /// cut connections instead of answering.
     down: Arc<AtomicBool>,
     stats: EndpointStats,
-    /// Idle client connections *to* this endpoint, ready for reuse.
-    pool: Vec<TcpStream>,
+    /// Pooled pipelined connections *to* this endpoint.
+    conns: Vec<Arc<Conn>>,
 }
 
 struct Inner {
     epoch: Instant,
     next_id: AtomicU64,
+    next_corr: AtomicU64,
     timeout_us: AtomicU64,
     /// Drop probability as IEEE-754 bits (atomics hold no f64).
     drop_bits: AtomicU64,
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
     endpoints: Mutex<HashMap<EndpointId, Endpoint>>,
+    /// Live worker threads: accept loops, per-connection server
+    /// handlers, connection writers and readers.
+    threads: Arc<AtomicUsize>,
+    /// Responses discarded because no in-flight request matched.
+    orphans: Arc<AtomicU64>,
     /// Set when the last transport handle drops; accept loops exit on
     /// the next connection, releasing their listener and service.
     shutdown: Arc<AtomicBool>,
@@ -91,7 +339,10 @@ impl Drop for Inner {
         // it observes the flag, drops its listener and its
         // Arc<dyn WireService>, and exits. Without this, each served
         // endpoint would pin a thread, a port and its whole service
-        // (map, indexes, tiles) until process exit.
+        // (map, indexes, tiles) until process exit. Client connection
+        // workers unwind on their own: dropping the endpoints map drops
+        // every Conn, closing its queue — the writer exits and shuts
+        // the socket down, which unblocks the paired reader.
         for ep in self.endpoints.get_mut().values() {
             if let Some(addr) = ep.addr {
                 let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
@@ -116,11 +367,14 @@ impl TcpTransport {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
                 next_id: AtomicU64::new(1),
+                next_corr: AtomicU64::new(1),
                 timeout_us: AtomicU64::new(2_000_000),
                 drop_bits: AtomicU64::new(0f64.to_bits()),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 stats: Mutex::new(NetStats::default()),
                 endpoints: Mutex::new(HashMap::new()),
+                threads: Arc::new(AtomicUsize::new(0)),
+                orphans: Arc::new(AtomicU64::new(0)),
                 shutdown: Arc::new(AtomicBool::new(false)),
             }),
         }
@@ -136,45 +390,238 @@ impl TcpTransport {
         self.inner.endpoints.lock().get(&id).and_then(|e| e.addr)
     }
 
+    /// Live worker threads (accept loops, server connection handlers,
+    /// client connection writers/readers). Bounded by the served
+    /// endpoint count plus the pooled connection count — **not** by
+    /// fan-out width or call volume; the pipelining stress test pins
+    /// this down.
+    pub fn worker_threads(&self) -> usize {
+        self.inner.threads.load(Ordering::SeqCst)
+    }
+
+    /// Responses discarded because their correlation id matched no
+    /// in-flight request (late responses after a timeout, duplicates).
+    pub fn orphan_responses(&self) -> u64 {
+        self.inner.orphans.load(Ordering::Relaxed)
+    }
+
+    /// Pooled connections currently held toward `to` (test hook).
+    #[cfg(test)]
+    fn pooled_conns(&self, to: EndpointId) -> usize {
+        self.inner
+            .endpoints
+            .lock()
+            .get(&to)
+            .map(|e| e.conns.len())
+            .unwrap_or(0)
+    }
+
     fn timeout(&self) -> Duration {
         Duration::from_micros(self.inner.timeout_us.load(Ordering::Relaxed).max(1_000))
     }
 
-    fn checkout(&self, to: EndpointId) -> Option<TcpStream> {
-        self.inner
-            .endpoints
-            .lock()
-            .get_mut(&to)
-            .and_then(|e| e.pool.pop())
-    }
+    /// Creates a connection toward `addr`: the writer/reader worker
+    /// pair is spawned immediately, but the TCP handshake itself runs
+    /// on the writer thread — `submit` never blocks on a dial, frames
+    /// queue behind the in-progress handshake, and N cold dials to N
+    /// servers proceed concurrently. A failed handshake fails every
+    /// queued and subsequently raced-in request through the demux.
+    fn dial(&self, to: EndpointId, addr: SocketAddr) -> Conn {
+        let timeout = self.timeout();
+        let demux = Arc::new(Demux::new(self.inner.orphans.clone()));
+        let broken = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Outbound>();
 
-    fn checkin(&self, to: EndpointId, stream: TcpStream) {
-        if let Some(ep) = self.inner.endpoints.lock().get_mut(&to) {
-            if ep.pool.len() < POOL_CAP {
-                ep.pool.push(stream);
-            }
+        let guard = ThreadGuard::enter(&self.inner.threads);
+        let reader_threads = self.inner.threads.clone();
+        let writer_demux = demux.clone();
+        let writer_broken = broken.clone();
+        thread::Builder::new()
+            .name(format!("ofl-tcp-wr-{}", to.0))
+            .spawn(move || {
+                let _guard = guard;
+                let fail = |kind: io::ErrorKind, msg: &str| {
+                    writer_broken.store(true, Ordering::SeqCst);
+                    writer_demux.fail_all(kind, msg);
+                    // Fail frames already queued behind the failure
+                    // before the receiver drops: a submit that raced it
+                    // must fail fast (those frames never touched the
+                    // socket, so they are safe to re-route), not stall
+                    // to its timeout.
+                    while let Ok(queued) = rx.try_recv() {
+                        writer_demux.fail_unsent(queued.corr);
+                    }
+                };
+                let mut stream = match TcpStream::connect_timeout(&addr, timeout) {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        fail(e.kind(), &format!("dial {addr}: {e}"));
+                        return;
+                    }
+                };
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(timeout));
+                let reader_stream = match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(e) => {
+                        fail(e.kind(), &format!("clone socket: {e}"));
+                        return;
+                    }
+                };
+                let reader_guard = ThreadGuard::enter(&reader_threads);
+                let reader_demux = writer_demux.clone();
+                let reader_broken = writer_broken.clone();
+                thread::Builder::new()
+                    .name(format!("ofl-tcp-rd-{}", to.0))
+                    .spawn(move || {
+                        let _guard = reader_guard;
+                        let mut stream = reader_stream;
+                        loop {
+                            match read_frame(&mut stream) {
+                                Ok(frame) => {
+                                    reader_demux.complete(frame.correlation, Ok(frame.payload))
+                                }
+                                Err(e) => {
+                                    reader_broken.store(true, Ordering::SeqCst);
+                                    reader_demux.fail_all(e.kind(), &e.to_string());
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn connection reader");
+                while let Ok(out) = rx.recv() {
+                    if write_frame(&mut stream, out.sender, out.corr, &out.payload).is_err() {
+                        fail(io::ErrorKind::BrokenPipe, "connection writer failed");
+                        break;
+                    }
+                }
+                // Queue closed or write failed: tear the socket down so
+                // the paired reader unblocks and exits too.
+                let _ = stream.shutdown(Shutdown::Both);
+            })
+            .expect("spawn connection writer");
+
+        Conn {
+            tx: StdMutex::new(tx),
+            demux,
+            broken,
         }
     }
 
-    fn connect(&self, addr: SocketAddr) -> Result<TcpStream, NetError> {
-        let stream = TcpStream::connect_timeout(&addr, self.timeout())
-            .map_err(|e| NetError::Connection(format!("dial {addr}: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        Ok(stream)
+    /// Checks out a connection toward `to`: the least-loaded pooled one
+    /// when its pipeline has room (or the pool is full), a fresh dial
+    /// otherwise. Returns whether the connection pre-existed (only
+    /// those are eligible for the stale-retry).
+    fn obtain_conn(
+        &self,
+        to: EndpointId,
+        addr: SocketAddr,
+        force_fresh: bool,
+    ) -> (Arc<Conn>, bool) {
+        if !force_fresh {
+            let mut endpoints = self.inner.endpoints.lock();
+            if let Some(ep) = endpoints.get_mut(&to) {
+                ep.conns.retain(|c| !c.broken.load(Ordering::SeqCst));
+                if let Some(best) = ep.conns.iter().min_by_key(|c| c.demux.in_flight()).cloned() {
+                    if best.demux.in_flight() < PIPELINE_DEPTH || ep.conns.len() >= POOL_CAP {
+                        return (best, true);
+                    }
+                }
+            }
+        }
+        let conn = Arc::new(self.dial(to, addr));
+        let mut endpoints = self.inner.endpoints.lock();
+        if let Some(ep) = endpoints.get_mut(&to) {
+            // Make room before the cap check: broken connections must
+            // not squat pool slots and force fresh dials unpooled.
+            ep.conns.retain(|c| !c.broken.load(Ordering::SeqCst));
+            if ep.conns.len() < POOL_CAP {
+                ep.conns.push(conn.clone());
+            }
+        }
+        (conn, false)
     }
 
-    fn round_trip(
+    fn submit_inner(
         &self,
-        stream: &mut TcpStream,
         from: EndpointId,
-        payload: &[u8],
-    ) -> io::Result<Vec<u8>> {
-        let timeout = self.timeout();
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        write_frame(stream, from.0, payload)?;
-        let (_sender, response) = read_frame(stream)?;
-        Ok(response)
+        to: EndpointId,
+        payload: Vec<u8>,
+        force_fresh: bool,
+    ) -> Result<TcpPending, NetError> {
+        let (addr, down) = {
+            let endpoints = self.inner.endpoints.lock();
+            let ep = endpoints.get(&to).ok_or(NetError::NoSuchEndpoint(to))?;
+            (ep.addr, ep.down.clone())
+        };
+        let addr = addr.ok_or(NetError::NoSuchEndpoint(to))?;
+        if down.load(Ordering::Relaxed) {
+            return Err(NetError::EndpointDown(to));
+        }
+        if !force_fresh {
+            let drop_p = f64::from_bits(self.inner.drop_bits.load(Ordering::Relaxed));
+            if drop_p > 0.0 && self.inner.rng.lock().gen_bool(drop_p) {
+                self.inner.stats.lock().drops += 1;
+                return Err(NetError::Timeout);
+            }
+        }
+        let (conn, reused) = self.obtain_conn(to, addr, force_fresh);
+        let corr = self.inner.next_corr.fetch_add(1, Ordering::Relaxed);
+        let cell = conn.demux.register(corr);
+        let delivered_at_submit = conn.demux.delivered();
+        let bytes_sent = payload.len() as u64;
+        // Keep a retry copy only when a retry is actually possible
+        // (requests that went out on a pre-existing pooled connection);
+        // the common case moves the payload straight into the frame.
+        let retry_payload = if reused && !force_fresh {
+            Some(payload.clone())
+        } else {
+            None
+        };
+        if let Err(returned) = conn.send(Outbound {
+            corr,
+            sender: from.0,
+            payload,
+        }) {
+            // Writer already gone: prune and, once, try a fresh dial.
+            // The frame never left this process, so re-routing it
+            // cannot duplicate work.
+            conn.broken.store(true, Ordering::SeqCst);
+            conn.demux.forget(corr);
+            if !force_fresh {
+                return self.submit_inner(from, to, returned.payload, true);
+            }
+            return Err(NetError::Connection("connection writer gone".into()));
+        }
+        if conn.broken.load(Ordering::SeqCst) && conn.demux.forget(corr) {
+            // The connection died while we were enqueueing and its
+            // failure sweep may have run before our registration —
+            // nobody would ever fill this cell, stalling the waiter to
+            // its deadline. Re-route on a fresh dial when we kept a
+            // copy; otherwise fail fast.
+            if !force_fresh {
+                if let Some(payload) = retry_payload {
+                    return self.submit_inner(from, to, payload, true);
+                }
+            }
+            return Err(NetError::Connection("connection died during submit".into()));
+        }
+        Ok(TcpPending {
+            transport: self.clone(),
+            from,
+            to,
+            payload: retry_payload,
+            bytes_sent,
+            corr,
+            cell,
+            demux: conn.demux.clone(),
+            conn_broken: conn.broken.clone(),
+            delivered_at_submit,
+            down,
+            t0: Instant::now(),
+            _conn: conn,
+        })
     }
 
     /// Charges one request/response exchange to the global and both
@@ -216,6 +663,102 @@ impl TcpTransport {
     }
 }
 
+/// One in-flight TCP call: the frame is queued (or written); the
+/// reader thread fills `cell` when the correlated response lands.
+struct TcpPending {
+    transport: TcpTransport,
+    from: EndpointId,
+    to: EndpointId,
+    /// Retry copy, kept only for calls that went out on a pre-existing
+    /// pooled connection (the only ones eligible for the single
+    /// stale-connection retry).
+    payload: Option<Vec<u8>>,
+    /// Request payload length (the payload itself may have moved into
+    /// the frame).
+    bytes_sent: u64,
+    corr: u64,
+    cell: Arc<CompletionCell>,
+    demux: Arc<Demux>,
+    /// The carrying connection's broken flag: set on deadline expiry so
+    /// a stalled connection is pruned instead of re-pooled.
+    conn_broken: Arc<AtomicBool>,
+    /// The connection's delivered-response count at submit time; any
+    /// delivery after it vetoes the stale-retry (server provably alive
+    /// past this request's submission).
+    delivered_at_submit: u64,
+    down: Arc<AtomicBool>,
+    t0: Instant,
+    /// Keeps the connection's writer alive while the call is in
+    /// flight: a fresh dial that lost the pool-slot race would
+    /// otherwise be torn down the moment `submit` returned, killing
+    /// the response mid-air.
+    _conn: Arc<Conn>,
+}
+
+impl PendingCall for TcpPending {
+    fn wait(mut self: Box<Self>) -> Result<Transfer, NetError> {
+        let deadline = self.t0 + self.transport.timeout();
+        match self.cell.wait_until(deadline) {
+            Some(CellDone {
+                result: Ok(response),
+                ..
+            }) => {
+                self.transport
+                    .charge(self.from, self.to, self.bytes_sent, response.len() as u64);
+                Ok(Transfer {
+                    latency_us: self.t0.elapsed().as_micros() as u64,
+                    bytes_sent: self.bytes_sent + FRAME_HEADER_LEN as u64,
+                    bytes_received: response.len() as u64 + FRAME_HEADER_LEN as u64,
+                    payload: response,
+                })
+            }
+            Some(CellDone {
+                result: Err(e),
+                sole_in_flight,
+            }) => {
+                let retriable = sole_in_flight
+                    && is_stale_connection(&e)
+                    // No response landed on this connection since the
+                    // submit: nothing proves the server ever got past
+                    // this request, so re-sending cannot duplicate
+                    // observed work. A delivery in between vetoes it.
+                    && self.demux.delivered() == self.delivered_at_submit;
+                if retriable {
+                    if let Some(payload) = self.payload.take() {
+                        // The pooled connection went stale (server
+                        // restarted or cut us off) with this request
+                        // alone in flight — it cannot have been
+                        // processed; retry exactly once on a fresh
+                        // dial. With siblings pipelined on the same
+                        // connection the server may have processed any
+                        // of them, so those failures are surfaced, not
+                        // retried. Timeouts are NEVER retried — the
+                        // server may still be executing the request,
+                        // and re-sending would duplicate non-idempotent
+                        // work (patches).
+                        let retried = self
+                            .transport
+                            .submit_inner(self.from, self.to, payload, true)?;
+                        return Box::new(retried).wait();
+                    }
+                }
+                Err(self.transport.classify(e, self.to, &self.down))
+            }
+            None => {
+                // Abandon the slot: a late response is discarded as an
+                // orphan rather than delivered to a future call. The
+                // connection swallowed a request past its deadline, so
+                // stop pooling it — the next submit dials fresh instead
+                // of feeding a stalled server's tar pit (in-flight
+                // siblings keep their cells; only checkout is barred).
+                self.demux.forget(self.corr);
+                self.conn_broken.store(true, Ordering::SeqCst);
+                Err(NetError::Timeout)
+            }
+        }
+    }
+}
+
 impl Transport for TcpTransport {
     fn kind(&self) -> &'static str {
         "tcp"
@@ -231,7 +774,7 @@ impl Transport for TcpTransport {
                 addr: None,
                 down: Arc::new(AtomicBool::new(false)),
                 stats: EndpointStats::default(),
-                pool: Vec::new(),
+                conns: Vec::new(),
             },
         );
         id
@@ -249,9 +792,12 @@ impl Transport for TcpTransport {
             ep.down.clone()
         };
         let shutdown = self.inner.shutdown.clone();
+        let threads = self.inner.threads.clone();
+        let guard = ThreadGuard::enter(&threads);
         thread::Builder::new()
             .name(format!("ofl-tcp-accept-{}", id.0))
             .spawn(move || {
+                let _guard = guard;
                 for stream in listener.incoming() {
                     // The transport's Drop wakes us with a throwaway
                     // connection after setting this flag.
@@ -270,85 +816,23 @@ impl Transport for TcpTransport {
                     };
                     let service = service.clone();
                     let down = down.clone();
+                    let conn_guard = ThreadGuard::enter(&threads);
                     let _ = thread::Builder::new()
                         .name(format!("ofl-tcp-conn-{}", id.0))
-                        .spawn(move || serve_connection(stream, id, service, down));
+                        .spawn(move || {
+                            let _guard = conn_guard;
+                            serve_connection(stream, id, service, down)
+                        });
                 }
             })
             .expect("spawn accept thread");
     }
 
-    fn call(
-        &self,
-        from: EndpointId,
-        to: EndpointId,
-        payload: Vec<u8>,
-    ) -> Result<Transfer, NetError> {
-        let (addr, down) = {
-            let endpoints = self.inner.endpoints.lock();
-            let ep = endpoints.get(&to).ok_or(NetError::NoSuchEndpoint(to))?;
-            (ep.addr, ep.down.clone())
-        };
-        let addr = addr.ok_or(NetError::NoSuchEndpoint(to))?;
-        if down.load(Ordering::Relaxed) {
-            return Err(NetError::EndpointDown(to));
+    fn submit(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> CallHandle {
+        match self.submit_inner(from, to, payload, false) {
+            Ok(pending) => CallHandle::new(Box::new(pending)),
+            Err(e) => CallHandle::ready(Err(e)),
         }
-        let drop_p = f64::from_bits(self.inner.drop_bits.load(Ordering::Relaxed));
-        if drop_p > 0.0 && self.inner.rng.lock().gen_bool(drop_p) {
-            self.inner.stats.lock().drops += 1;
-            return Err(NetError::Timeout);
-        }
-        let t0 = Instant::now();
-        let pooled = self.checkout(to);
-        let reused = pooled.is_some();
-        let mut stream = match pooled {
-            Some(stream) => stream,
-            None => self.connect(addr)?,
-        };
-        let mut outcome = self.round_trip(&mut stream, from, &payload);
-        if reused && outcome.as_ref().is_err_and(is_stale_connection) {
-            // The pooled connection went stale (server restarted or cut
-            // us off) before the request can have been processed; retry
-            // exactly once on a fresh dial. Timeouts are NOT retried —
-            // the server may still be executing the request, and
-            // re-sending would duplicate non-idempotent work (patches).
-            stream = self.connect(addr)?;
-            outcome = self.round_trip(&mut stream, from, &payload);
-        }
-        match outcome {
-            Ok(response) => {
-                self.checkin(to, stream);
-                self.charge(from, to, payload.len() as u64, response.len() as u64);
-                Ok(Transfer {
-                    latency_us: t0.elapsed().as_micros() as u64,
-                    bytes_sent: payload.len() as u64 + FRAME_HEADER_LEN as u64,
-                    bytes_received: response.len() as u64 + FRAME_HEADER_LEN as u64,
-                    payload: response,
-                })
-            }
-            Err(e) => Err(self.classify(e, to, &down)),
-        }
-    }
-
-    fn call_parallel(
-        &self,
-        from: EndpointId,
-        calls: Vec<(EndpointId, Vec<u8>)>,
-    ) -> Vec<Result<Transfer, NetError>> {
-        thread::scope(|scope| {
-            let handles: Vec<_> = calls
-                .into_iter()
-                .map(|(to, payload)| scope.spawn(move || self.call(from, to, payload)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| {
-                    handle.join().unwrap_or_else(|_| {
-                        Err(NetError::Service("fan-out branch panicked".into()))
-                    })
-                })
-                .collect()
-        })
     }
 
     fn now_us(&self) -> u64 {
@@ -383,7 +867,7 @@ impl Transport for TcpTransport {
     }
 
     fn set_down(&self, id: EndpointId, down: bool) {
-        let pool = {
+        let conns = {
             let mut endpoints = self.inner.endpoints.lock();
             let Some(ep) = endpoints.get_mut(&id) else {
                 return;
@@ -391,10 +875,11 @@ impl Transport for TcpTransport {
             ep.down.store(down, Ordering::Relaxed);
             // Drop pooled connections either way: a revived server gets
             // fresh connections instead of sockets its threads already
-            // abandoned.
-            std::mem::take(&mut ep.pool)
+            // abandoned. In-flight requests on them fail through the
+            // reader when the server side cuts the stream.
+            std::mem::take(&mut ep.conns)
         };
-        drop(pool);
+        drop(conns);
     }
 
     fn set_drop_probability(&self, p: f64) {
@@ -421,8 +906,12 @@ fn is_stale_connection(e: &io::Error) -> bool {
     )
 }
 
-/// One connection's serve loop: framed request in, framed response out,
-/// until the peer hangs up or the endpoint goes down.
+/// One server connection's serve loop: framed request in, framed
+/// response out with the request's correlation id echoed, until the
+/// peer hangs up or the endpoint goes down. Requests on one connection
+/// are handled in order (responses MAY be reordered by the protocol,
+/// but this implementation does not); pipelined callers regain
+/// concurrency across connections and across servers.
 fn serve_connection(
     mut stream: TcpStream,
     me: EndpointId,
@@ -430,14 +919,14 @@ fn serve_connection(
     down: Arc<AtomicBool>,
 ) {
     let _ = stream.set_nodelay(true);
-    while let Ok((from, payload)) = read_frame(&mut stream) {
+    while let Ok(frame) = read_frame(&mut stream) {
         if down.load(Ordering::Relaxed) {
             // A dead server stops mid-conversation; the caller sees the
             // connection die, exactly like a crashed process.
             break;
         }
-        let response = service.handle(EndpointId(from), &payload);
-        if write_frame(&mut stream, me.0, &response).is_err() {
+        let response = service.handle(EndpointId(frame.sender), &frame.payload);
+        if write_frame(&mut stream, me.0, frame.correlation, &response).is_err() {
             break;
         }
     }
@@ -446,7 +935,7 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::Transport;
+    use crate::transport::{CompletionSet, Transport};
 
     fn echo_transport() -> (TcpTransport, EndpointId, EndpointId) {
         let transport = TcpTransport::new(7);
@@ -476,14 +965,11 @@ mod tests {
         for i in 0..5u8 {
             transport.call(client, server, vec![i]).unwrap();
         }
-        let pooled = transport
-            .inner
-            .endpoints
-            .lock()
-            .get(&server)
-            .map(|e| e.pool.len())
-            .unwrap();
-        assert_eq!(pooled, 1, "sequential calls must reuse one connection");
+        assert_eq!(
+            transport.pooled_conns(server),
+            1,
+            "sequential calls must reuse one connection"
+        );
         let ep = transport.endpoint_stats(server).unwrap();
         assert_eq!(ep.rx_msgs, 5);
     }
@@ -498,6 +984,126 @@ mod tests {
             assert_eq!(result.unwrap().payload, vec![i as u8]);
         }
         assert_eq!(transport.stats().messages, 16);
+    }
+
+    #[test]
+    fn pipelined_submits_share_one_connection() {
+        let (transport, client, server) = echo_transport();
+        // Warm the pool so every pipelined submit reuses it.
+        transport.call(client, server, vec![0]).unwrap();
+        let mut set = CompletionSet::new();
+        for i in 0..16u8 {
+            set.push(transport.submit(client, server, vec![i]));
+        }
+        for (i, result) in set.wait_all().into_iter().enumerate() {
+            assert_eq!(result.unwrap().payload, vec![i as u8]);
+        }
+        assert_eq!(
+            transport.pooled_conns(server),
+            1,
+            "16 in-flight requests fit one pipelined connection"
+        );
+        assert_eq!(transport.orphan_responses(), 0);
+    }
+
+    #[test]
+    fn worker_threads_do_not_grow_with_call_volume() {
+        let (transport, client, server) = echo_transport();
+        transport.call(client, server, vec![0]).unwrap();
+        let after_first = transport.worker_threads();
+        for round in 0..10 {
+            let mut set = CompletionSet::new();
+            for i in 0..8u8 {
+                set.push(transport.submit(client, server, vec![round, i]));
+            }
+            for result in set.wait_all() {
+                result.unwrap();
+            }
+        }
+        assert_eq!(
+            transport.worker_threads(),
+            after_first,
+            "reused connections must not spawn per-call threads"
+        );
+    }
+
+    #[test]
+    fn demux_discards_unknown_and_duplicate_correlations() {
+        let orphans = Arc::new(AtomicU64::new(0));
+        let demux = Demux::new(orphans.clone());
+        let cell = demux.register(1);
+        // Unknown correlation id: discarded, counted, no delivery.
+        demux.complete(99, Ok(vec![9]));
+        assert_eq!(orphans.load(Ordering::Relaxed), 1);
+        // First completion delivers...
+        demux.complete(1, Ok(vec![1]));
+        let done = cell.wait_until(Instant::now()).unwrap();
+        assert_eq!(done.result.unwrap(), vec![1]);
+        assert!(done.sole_in_flight, "it was alone in the demux");
+        // ...a duplicate for the same id is an orphan, not a overwrite.
+        demux.complete(1, Ok(vec![2]));
+        assert_eq!(orphans.load(Ordering::Relaxed), 2);
+        assert_eq!(demux.in_flight(), 0);
+    }
+
+    #[test]
+    fn stale_frame_version_cuts_server_connection() {
+        let (transport, _client, server) = echo_transport();
+        let addr = transport.listen_addr(server).unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        // A v1-era frame (no version byte): the server must refuse to
+        // parse it and cut the connection rather than desynchronize.
+        use std::io::{Read, Write};
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&3u32.to_le_bytes());
+        v1.extend_from_slice(&7u64.to_le_bytes());
+        v1.extend_from_slice(b"abc");
+        raw.write_all(&v1).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut buf = [0u8; 16];
+        // Connection cut: EOF (0 bytes) or reset.
+        if let Ok(n) = raw.read(&mut buf) {
+            assert_eq!(n, 0, "server must not answer a bad-version frame");
+        }
+    }
+
+    #[test]
+    fn timed_out_connection_is_pruned_not_repooled() {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("stall", None);
+        let stalling = Arc::new(AtomicBool::new(true));
+        let gate = stalling.clone();
+        transport.set_service(
+            server,
+            Arc::new(move |_from: EndpointId, payload: &[u8]| {
+                if gate.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(400));
+                }
+                payload.to_vec()
+            }),
+        );
+        let client = transport.register("client", None);
+        transport.set_timeout_us(60_000);
+        assert!(matches!(
+            transport.call(client, server, vec![1]),
+            Err(NetError::Timeout)
+        ));
+        // The stalled connection's serve loop is still busy sleeping;
+        // if the pool handed it out again the next call would queue
+        // behind the stall and time out too. It must dial fresh and
+        // answer within the budget instead.
+        stalling.store(false, Ordering::SeqCst);
+        assert_eq!(
+            transport.call(client, server, vec![2]).unwrap().payload,
+            [2],
+            "post-timeout call must not be fed to the stalled connection"
+        );
+        // The stalled connection was pruned at the next checkout, so
+        // its workers tore the socket down; the stalled request's
+        // eventual response dies with the connection instead of being
+        // delivered anywhere.
+        thread::sleep(Duration::from_millis(450));
+        assert_eq!(transport.stats().messages, 2, "only the good call charged");
     }
 
     #[test]

@@ -4,19 +4,34 @@
 //! over a real network; the reproduction needs both a deterministic
 //! simulator (for measurement and failure injection) and real sockets
 //! (to prove the stack end to end). [`Transport`] is the seam: it
-//! carries length-prefixed envelope bytes between addressed endpoints —
-//! one synchronous call or a parallel fan-out — and reports per-call
-//! latency/byte stats plus global traffic counters, identically for
-//! every backend.
+//! carries length-prefixed envelope bytes between addressed endpoints
+//! and reports per-call latency/byte stats plus global traffic
+//! counters, identically for every backend.
+//!
+//! The core of the trait is **non-blocking**: [`Transport::submit`]
+//! puts a request on the wire and returns a [`CallHandle`]
+//! immediately; the outcome is claimed later with [`CallHandle::wait`]
+//! or gathered across many handles with a [`CompletionSet`]. The
+//! blocking conveniences [`Transport::call`] and
+//! [`Transport::call_parallel`] are default methods over submit+wait,
+//! so backends implement only the non-blocking core and callers are
+//! free to overlap scatter rounds (submit round N+1 while round N is
+//! still in flight) instead of barriering between them.
 //!
 //! Two backends ship today:
 //!
 //! - [`SimTransport`] wraps the discrete-event [`SimNet`]: simulated
 //!   clock, modelled latencies, deterministic jitter and failure
-//!   injection. The default for tests and benches.
+//!   injection. A submitted call executes eagerly on the simulated
+//!   clock and the clock is rewound to the submit instant, so every
+//!   call submitted before a wait starts from the same instant — the
+//!   deterministic analogue of real concurrency. The default for tests
+//!   and benches.
 //! - [`crate::tcp::TcpTransport`] speaks real TCP over `std::net` with
-//!   per-server connection pooling and a threaded accept loop per
-//!   served endpoint. The same deployments and the same client code run
+//!   multiplexed, pipelined connections: one writer and one reader
+//!   thread per pooled connection, responses matched to requests by
+//!   correlation id, thread count O(connections) rather than
+//!   O(fan-out). The same deployments and the same client code run
 //!   unchanged over loopback sockets.
 //!
 //! Servers bind by registering a [`WireService`]; transports own the
@@ -61,11 +76,106 @@ where
     }
 }
 
+/// Backend-specific state of one in-flight call, claimed exactly once.
+///
+/// Implemented per backend; callers hold it behind a [`CallHandle`].
+pub trait PendingCall: Send {
+    /// Blocks until the call completes and returns its outcome.
+    fn wait(self: Box<Self>) -> Result<Transfer, NetError>;
+}
+
+struct ReadyCall(Result<Transfer, NetError>);
+
+impl PendingCall for ReadyCall {
+    fn wait(self: Box<Self>) -> Result<Transfer, NetError> {
+        self.0
+    }
+}
+
+/// An in-flight wire call returned by [`Transport::submit`].
+///
+/// The request is already on the wire (or already failed); claiming the
+/// handle with [`CallHandle::wait`] blocks only for the remaining
+/// flight time. Dropping a handle abandons the call, and whether an
+/// abandoned call shows up in the traffic counters is
+/// backend-dependent (the simulator charges at submit, sockets charge
+/// at claim) — **always claim every handle**: the cross-backend stats
+/// parity the federation's invariants rest on is only defined for
+/// fully-claimed workloads.
+pub struct CallHandle(Box<dyn PendingCall>);
+
+impl CallHandle {
+    /// Wraps backend-specific pending state.
+    pub fn new(pending: Box<dyn PendingCall>) -> Self {
+        Self(pending)
+    }
+
+    /// A handle whose outcome is already known (immediate failures,
+    /// eagerly-executed simulator calls).
+    pub fn ready(result: Result<Transfer, NetError>) -> Self {
+        Self(Box::new(ReadyCall(result)))
+    }
+
+    /// Blocks until the call completes and returns its outcome.
+    pub fn wait(self) -> Result<Transfer, NetError> {
+        self.0.wait()
+    }
+}
+
+impl std::fmt::Debug for CallHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CallHandle(..)")
+    }
+}
+
+/// Waits on many [`CallHandle`]s at once.
+///
+/// All pushed calls progress concurrently (they were on the wire the
+/// moment they were submitted); [`CompletionSet::wait_all`] claims them
+/// positionally, so its wall-clock cost is the slowest branch, not the
+/// sum.
+#[derive(Debug, Default)]
+pub struct CompletionSet {
+    handles: Vec<CallHandle>,
+}
+
+impl CompletionSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a handle, returning its position in the
+    /// [`CompletionSet::wait_all`] result.
+    pub fn push(&mut self, handle: CallHandle) -> usize {
+        self.handles.push(handle);
+        self.handles.len() - 1
+    }
+
+    /// Number of handles in the set.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Claims every handle, in push order. One failed branch does not
+    /// sink the others.
+    pub fn wait_all(self) -> Vec<Result<Transfer, NetError>> {
+        self.handles.into_iter().map(CallHandle::wait).collect()
+    }
+}
+
 /// A wire backend: addressed request/response calls with stats and
 /// failure injection (see module docs).
 ///
 /// All methods take `&self`; implementations are internally shared and
-/// are passed around as `Arc<dyn Transport>`.
+/// are passed around as `Arc<dyn Transport>`. Backends implement the
+/// non-blocking [`Transport::submit`]; the blocking conveniences are
+/// default methods over it.
 pub trait Transport: Send + Sync {
     /// A short label for reports: `"simnet"`, `"tcp"`, ...
     fn kind(&self) -> &'static str;
@@ -78,13 +188,22 @@ pub trait Transport: Send + Sync {
     /// threaded TCP accept loop on sockets).
     fn set_service(&self, id: EndpointId, service: Arc<dyn WireService>);
 
-    /// One request/response round trip.
+    /// Puts one request on the wire and returns immediately; the
+    /// outcome is claimed through the returned [`CallHandle`].
+    /// Submitting many calls before waiting on any of them is the
+    /// pipelined fan-out primitive every higher layer builds on.
+    fn submit(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> CallHandle;
+
+    /// One blocking request/response round trip
+    /// (submit + immediate wait).
     fn call(
         &self,
         from: EndpointId,
         to: EndpointId,
         payload: Vec<u8>,
-    ) -> Result<Transfer, NetError>;
+    ) -> Result<Transfer, NetError> {
+        self.submit(from, to, payload).wait()
+    }
 
     /// Concurrent fan-out: all branches start together, the call
     /// returns when the slowest finishes, one failed branch does not
@@ -93,7 +212,13 @@ pub trait Transport: Send + Sync {
         &self,
         from: EndpointId,
         calls: Vec<(EndpointId, Vec<u8>)>,
-    ) -> Vec<Result<Transfer, NetError>>;
+    ) -> Vec<Result<Transfer, NetError>> {
+        let mut set = CompletionSet::new();
+        for (to, payload) in calls {
+            set.push(self.submit(from, to, payload));
+        }
+        set.wait_all()
+    }
 
     /// The transport clock in microseconds: simulated time on the
     /// simulator, monotonic wall-clock time on real sockets. Cache TTLs
@@ -126,8 +251,8 @@ pub trait Transport: Send + Sync {
     fn set_drop_probability(&self, p: f64);
 
     /// The timeout charged to dropped or unresponsive calls
-    /// (microseconds; stream backends use it as the socket read/write
-    /// timeout).
+    /// (microseconds; stream backends use it as the completion-wait
+    /// deadline and dial/write timeout).
     fn set_timeout_us(&self, timeout_us: u64);
 }
 
@@ -157,6 +282,24 @@ impl BackendKind {
 /// A thin stateless wrapper: any number of `SimTransport`s over clones
 /// of the same `SimNet` handle see the same clock, counters and
 /// endpoints.
+///
+/// **Submit semantics**: a submitted call executes *eagerly* (the
+/// request really is "on the wire" the moment it is submitted, like on
+/// a socket backend) and the simulated clock is rewound to the submit
+/// instant, so every call submitted before the first wait starts from
+/// the same instant. Waiting advances the clock to the branch's end,
+/// never backwards — a round of submits followed by waits costs the
+/// slowest branch, exactly as [`SimNet::call_parallel`] always modelled
+/// it, and submit order fixes the RNG draw order, preserving
+/// determinism.
+///
+/// **Single driver**: the execute-then-rewind dance manipulates the
+/// one shared simulated clock, so submits from *concurrent OS threads*
+/// would interleave their rewinds and corrupt each other's timings
+/// (true of [`SimNet::call_parallel`] since its inception). The
+/// simulator models concurrency *in* simulated time from *one* driving
+/// thread; workloads that need real OS-thread concurrency belong on
+/// [`crate::tcp::TcpTransport`], as the pipelining stress test does.
 #[derive(Clone)]
 pub struct SimTransport {
     net: SimNet,
@@ -179,6 +322,21 @@ impl SimTransport {
     }
 }
 
+/// A simulator call that already executed; waiting advances the clock
+/// to its completion instant.
+struct SimPending {
+    net: SimNet,
+    result: Result<Transfer, NetError>,
+    end_us: u64,
+}
+
+impl PendingCall for SimPending {
+    fn wait(self: Box<Self>) -> Result<Transfer, NetError> {
+        self.net.advance_to_us(self.end_us);
+        self.result
+    }
+}
+
 impl Transport for SimTransport {
     fn kind(&self) -> &'static str {
         "simnet"
@@ -195,42 +353,26 @@ impl Transport for SimTransport {
             });
     }
 
-    fn call(
-        &self,
-        from: EndpointId,
-        to: EndpointId,
-        payload: Vec<u8>,
-    ) -> Result<Transfer, NetError> {
+    fn submit(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> CallHandle {
         let bytes_sent = payload.len() as u64;
         let t0 = self.net.now_us();
-        let response = self.net.call(from, to, payload)?;
-        Ok(Transfer {
-            latency_us: self.net.now_us() - t0,
+        let result = self.net.call(from, to, payload);
+        let end_us = self.net.now_us();
+        // Restore the clock: the branch ran eagerly, but simulated time
+        // only moves for the caller when the completion is claimed, so
+        // calls submitted after this one start from the same instant.
+        self.net.set_clock_us(t0);
+        let result = result.map(|response| Transfer {
+            latency_us: end_us - t0,
             bytes_sent,
             bytes_received: response.len() as u64,
             payload: response,
-        })
-    }
-
-    fn call_parallel(
-        &self,
-        from: EndpointId,
-        calls: Vec<(EndpointId, Vec<u8>)>,
-    ) -> Vec<Result<Transfer, NetError>> {
-        let sent: Vec<u64> = calls.iter().map(|(_, p)| p.len() as u64).collect();
-        self.net
-            .call_parallel_traced(from, calls)
-            .into_iter()
-            .zip(sent)
-            .map(|((result, latency_us), bytes_sent)| {
-                result.map(|response| Transfer {
-                    latency_us,
-                    bytes_sent,
-                    bytes_received: response.len() as u64,
-                    payload: response,
-                })
-            })
-            .collect()
+        });
+        CallHandle::new(Box::new(SimPending {
+            net: self.net.clone(),
+            result,
+            end_us,
+        }))
     }
 
     fn now_us(&self) -> u64 {
@@ -310,6 +452,33 @@ mod tests {
     }
 
     #[test]
+    fn submitted_calls_share_a_start_instant() {
+        let (transport, client, server) = echo_transport();
+        let t0 = transport.now_us();
+        let a = transport.submit(client, server, vec![1]);
+        // The clock has not moved for the caller between submits.
+        assert_eq!(transport.now_us(), t0);
+        let b = transport.submit(client, server, vec![2]);
+        let ta = a.wait().unwrap().latency_us;
+        let tb = b.wait().unwrap().latency_us;
+        // Waiting the round costs the slowest branch, not the sum.
+        assert_eq!(transport.now_us() - t0, ta.max(tb));
+    }
+
+    #[test]
+    fn overlapped_rounds_cost_max_not_sum() {
+        let (transport, client, server) = echo_transport();
+        let t0 = transport.now_us();
+        // Submit two "rounds" before claiming either: both start now.
+        let first = transport.submit(client, server, vec![1]);
+        let second = transport.submit(client, server, vec![2; 100]);
+        let l1 = first.wait().unwrap().latency_us;
+        let l2 = second.wait().unwrap().latency_us;
+        assert_eq!(transport.now_us() - t0, l1.max(l2));
+        assert_eq!(transport.stats().messages, 4);
+    }
+
+    #[test]
     fn sim_transport_surfaces_failure_injection() {
         let (transport, client, server) = echo_transport();
         transport.set_down(server, true);
@@ -325,6 +494,20 @@ mod tests {
             Err(NetError::Timeout)
         ));
         assert_eq!(transport.stats().drops, 1);
+    }
+
+    #[test]
+    fn completion_set_is_positional() {
+        let (transport, client, server) = echo_transport();
+        let mut set = CompletionSet::new();
+        for i in 0..4u8 {
+            let idx = set.push(transport.submit(client, server, vec![i]));
+            assert_eq!(idx, i as usize);
+        }
+        assert_eq!(set.len(), 4);
+        for (i, result) in set.wait_all().into_iter().enumerate() {
+            assert_eq!(result.unwrap().payload, vec![i as u8]);
+        }
     }
 
     #[test]

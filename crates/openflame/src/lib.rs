@@ -4,6 +4,11 @@
 //! downstream users who want the whole stack) can depend on one crate.
 //! See the individual crates for focused APIs; the paper's contribution
 //! lives in [`core`].
+//!
+//! The wire path (submit/completion transports, multiplexed TCP
+//! pipelining, the session's scatter rounds) is documented in
+//! [`core`]'s architecture section and specified normatively in
+//! `docs/wire-protocol.md`.
 
 pub use openflame_cells as cells;
 pub use openflame_codec as codec;

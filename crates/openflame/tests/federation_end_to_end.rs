@@ -39,6 +39,75 @@ fn discovery_to_search_to_route_pipeline() {
 }
 
 #[test]
+fn partially_warm_search_pipelines_handshakes_without_extra_traffic() {
+    // The pipelined cold-search path splits a scatter round: servers
+    // with a cached Hello get their search envelope immediately,
+    // unknown servers get a Hello first and their search in a
+    // follow-up round. Warm a session in one part of the city, then
+    // search near a different venue so the round mixes warm servers
+    // (the city-wide world map) with cold ones (the new venue) — the
+    // wire cost must be exactly one envelope per warm server plus two
+    // per cold server, and the results must be correct.
+    //
+    // A city big enough that venues land in different query cells —
+    // in the 720 m default world one neighbor-expanded discovery
+    // already blankets every server.
+    let world = World::generate(WorldConfig {
+        stores: 6,
+        products_per_store: 8,
+        blocks_x: 40,
+        blocks_y: 40,
+        ..WorldConfig::default()
+    });
+    let dep = Deployment::build(world, DeploymentConfig::default());
+    let first = dep.world.products[0].clone();
+    let near_first = dep.world.venues[first.venue].hint;
+    dep.client
+        .federated_search(&first.name, near_first, 3)
+        .unwrap();
+
+    // Find a product whose venue discovery includes at least one
+    // server the session has not yet handshaken with.
+    let (product, near, warm, cold) = dep
+        .world
+        .products
+        .iter()
+        .find_map(|p| {
+            let near = dep.world.venues[p.venue].hint;
+            let servers = dep.client.discover(near).ok()?;
+            let warm = servers
+                .iter()
+                .filter(|s| dep.client.session().has_hello(s.endpoint))
+                .count();
+            let cold = servers.len() - warm;
+            (cold > 0).then(|| (p.clone(), near, warm, cold))
+        })
+        .expect("some venue outside the first discovery footprint");
+    assert!(warm > 0, "the city-wide world map is always warm");
+
+    let batches_before = dep.client.session().stats().batches;
+    dep.transport.reset_stats();
+    let hits = dep.client.federated_search(&product.name, near, 3).unwrap();
+    assert!(hits.iter().any(|h| h.result.label == product.name));
+
+    let batches = dep.client.session().stats().batches - batches_before;
+    assert_eq!(
+        batches,
+        (warm + 2 * cold) as u64,
+        "one envelope per warm server, hello + search per cold server"
+    );
+    // Discovery was cached by the probe above, so the whole search is
+    // exactly those envelopes: two messages each, nothing else.
+    assert_eq!(dep.transport.stats().messages, 2 * batches);
+
+    // Steady state thereafter: everyone is warm, one envelope each.
+    let batches_before = dep.client.session().stats().batches;
+    dep.client.federated_search(&product.name, near, 3).unwrap();
+    let warm_batches = dep.client.session().stats().batches - batches_before;
+    assert_eq!(warm_batches, (warm + cold) as u64);
+}
+
+#[test]
 fn scenario_comparison_federated_wins_indoors() {
     let world = small_world();
     let fed = openflame_core::run_grocery_scenario(&world, ProviderKind::Federated, 2, 5).unwrap();

@@ -1,0 +1,140 @@
+//! Pipelining stress: many concurrent sessions scatter wide fan-outs
+//! over ONE shared `TcpTransport`, and the transport's worker-thread
+//! population stays bounded by its connection pools — it does not grow
+//! with fan-out width, session count or call volume.
+//!
+//! This is the acceptance check for the submit/completion redesign:
+//! the old backend spawned one OS thread per scatter *branch* (width ×
+//! rounds × sessions threads over a run); the reactor model spawns two
+//! workers per pooled connection plus one accept loop and one serve
+//! thread per server connection, all reused round after round.
+
+use openflame_core::{ClientError, Session};
+use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response};
+use openflame_mapserver::Principal;
+use openflame_netsim::tcp::{TcpTransport, POOL_CAP};
+use openflame_netsim::{EndpointId, Transport};
+use std::sync::Arc;
+
+const SESSIONS: usize = 4;
+const SERVERS: usize = 32;
+const ROUNDS: usize = 8;
+
+/// A minimal map-protocol stub: answers every batched request with a
+/// `Hello`, like a server that only speaks capability discovery.
+fn stub_service(id: usize) -> Arc<dyn openflame_netsim::WireService> {
+    Arc::new(move |_from: EndpointId, payload: &[u8]| {
+        let env: Envelope = openflame_codec::from_bytes(payload).expect("well-formed envelope");
+        let Request::Batch(items) = env.request else {
+            panic!("sessions always batch");
+        };
+        let answers: Vec<Response> = items
+            .iter()
+            .map(|_| {
+                Response::Hello(HelloInfo {
+                    server_id: format!("stub-{id}"),
+                    map_name: "stress".into(),
+                    services: vec!["hello".into()],
+                    localization_techs: Vec::new(),
+                    anchored: false,
+                    anchor: None,
+                    portals: Vec::new(),
+                    version: 1,
+                })
+            })
+            .collect();
+        openflame_codec::to_bytes(&Response::Batch(answers)).to_vec()
+    })
+}
+
+#[test]
+fn worker_threads_bounded_under_concurrent_fanout() {
+    let transport = TcpTransport::new(42);
+    let shared: Arc<dyn Transport> = Arc::new(transport.clone());
+
+    let servers: Vec<EndpointId> = (0..SERVERS)
+        .map(|i| {
+            let id = shared.register(&format!("stub-{i}"), None);
+            shared.set_service(id, stub_service(i));
+            id
+        })
+        .collect();
+
+    let sessions: Vec<Session> = (0..SESSIONS)
+        .map(|i| {
+            let endpoint = shared.register(&format!("session-{i}"), None);
+            Session::new(shared.clone(), endpoint, Principal::anonymous())
+        })
+        .collect();
+
+    // Warm-up round: every session scatters once, dialing whatever
+    // connections the pools will hold onto.
+    for session in &sessions {
+        for result in session.batch_parallel(
+            servers
+                .iter()
+                .map(|s| (*s, vec![Request::Hello]))
+                .collect::<Vec<_>>(),
+        ) {
+            result.expect("warm-up scatter succeeds");
+        }
+    }
+    let after_warmup = transport.worker_threads();
+
+    // The stress: all sessions scatter concurrently, round after round.
+    std::thread::scope(|scope| {
+        for session in &sessions {
+            let servers = &servers;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let calls: Vec<(EndpointId, Vec<Request>)> = servers
+                        .iter()
+                        .map(|s| (*s, vec![Request::Hello, Request::Hello]))
+                        .collect();
+                    for (i, result) in session.batch_parallel(calls).into_iter().enumerate() {
+                        let responses: Result<Vec<Response>, ClientError> = result;
+                        let responses = responses
+                            .unwrap_or_else(|e| panic!("round {round} branch {i} failed: {e}"));
+                        assert_eq!(responses.len(), 2, "positional batch answers");
+                        assert!(matches!(responses[0], Response::Hello(_)));
+                    }
+                }
+            });
+        }
+    });
+
+    // Thread population: bounded by pools, regardless of the
+    // SESSIONS × ROUNDS × SERVERS branches just issued. Budget per
+    // server: 1 accept loop + POOL_CAP client connections × (writer +
+    // reader + server-side handler).
+    let ceiling = SERVERS * (1 + 3 * POOL_CAP);
+    let now = transport.worker_threads();
+    assert!(
+        now <= ceiling,
+        "worker threads {now} exceed the pool ceiling {ceiling}"
+    );
+    // And stable: steady-state scattering reuses the warm connections
+    // instead of spawning per-branch threads (a small allowance covers
+    // pools deepened by genuine concurrency after warm-up).
+    let grow_cap = after_warmup + SERVERS * 3 * (POOL_CAP - 1);
+    assert!(
+        now <= grow_cap,
+        "threads grew from {after_warmup} to {now}, cap {grow_cap}"
+    );
+
+    // Wire accounting is exact: every envelope is one request frame
+    // plus one response frame, nothing else rode the sockets.
+    let envelopes = (SESSIONS * (1 + ROUNDS) * SERVERS) as u64;
+    assert_eq!(transport.stats().messages, 2 * envelopes);
+    assert_eq!(
+        transport.orphan_responses(),
+        0,
+        "no response went unmatched under pipelining"
+    );
+
+    // Every session kept the one-envelope-per-server discipline.
+    for session in &sessions {
+        let stats = session.stats();
+        assert_eq!(stats.batches, ((1 + ROUNDS) * SERVERS) as u64);
+    }
+}

@@ -158,7 +158,8 @@ fn identical_warm_search_costs_identical_messages_on_both_backends() {
     assert_eq!(sim_servers, tcp_servers);
     // batch_bench's warm-search invariant, on each backend: exactly one
     // batched envelope per discovered server, two messages each, and
-    // nothing else (no DNS, no hello traffic).
+    // nothing else (no DNS, no hello traffic). Pipelining must reorder
+    // waiting, never traffic.
     assert_eq!(sim_batches, sim_servers as u64);
     assert_eq!(tcp_batches, tcp_servers as u64);
     assert_eq!(sim_msgs, 2 * sim_servers as u64);
@@ -166,6 +167,31 @@ fn identical_warm_search_costs_identical_messages_on_both_backends() {
         sim_msgs, tcp_msgs,
         "identical workload must cost identical message counts on both backends"
     );
+}
+
+#[test]
+fn identical_cold_search_costs_identical_messages_on_both_backends() {
+    // The cold path is where the pipelining lives: DNS referral walks
+    // for primary + neighbor cells interleaved, the capability
+    // handshake overlapped with the search round. None of that may
+    // change WHAT goes on the wire — a fresh client's first search
+    // must cost the same messages on the simulator and on real TCP.
+    let cold_cost = |backend: BackendKind| {
+        let dep = deployment_on(backend, small_world());
+        let product = dep.world.products[0].clone();
+        let near = dep.world.venues[product.venue].hint;
+        dep.transport.reset_stats();
+        dep.client.federated_search(&product.name, near, 3).unwrap();
+        dep.transport.stats().messages
+    };
+    let sim = cold_cost(BackendKind::Sim);
+    let tcp = cold_cost(BackendKind::Tcp);
+    assert_eq!(
+        sim, tcp,
+        "cold search (DNS walks + hello round + search round) must cost \
+         identical messages on both backends"
+    );
+    assert!(sim > 0);
 }
 
 /// Warm up a venue route, kill the venue server, route again: the

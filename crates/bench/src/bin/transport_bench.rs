@@ -22,12 +22,18 @@
 //! spawning one thread per branch, so warm latency stays flat as the
 //! width grows.
 //!
+//! **Slow-request sweep** pipelines fast requests behind one
+//! deliberately slow request on a single TCP connection. With
+//! concurrent server-side dispatch the fast requests complete at
+//! unchanged latency while the slow one is in flight; before it, they
+//! queued behind the slow request's entire service time.
+//!
 //! Latency is read off the transport clock: simulated microseconds on
 //! `sim`, wall-clock microseconds on `tcp`.
 //!
-//! Flags: `--sweep` runs only the fan-out sweep (fast, CI-friendly);
-//! `--json` additionally emits one JSON line per sweep point so the
-//! bench trajectory can be recorded across commits.
+//! Flags: `--sweep` runs only the fan-out and slow-request sweeps
+//! (fast, CI-friendly); `--json` additionally emits one JSON line per
+//! sweep point so the bench trajectory can be recorded across commits.
 //!
 //! `cargo run --release -p openflame-bench --bin transport_bench [-- --sweep] [-- --json]`
 
@@ -36,7 +42,7 @@ use openflame_codec::{from_bytes, to_bytes};
 use openflame_core::{Deployment, DeploymentConfig, OpenFlameClient, Session};
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response};
 use openflame_mapserver::Principal;
-use openflame_netsim::{BackendKind, EndpointId, WireService};
+use openflame_netsim::{BackendKind, CompletionSet, EndpointId, WireService};
 use openflame_worldgen::{World, WorldConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +51,9 @@ use std::sync::Arc;
 const SEARCHES: usize = 15;
 const SWEEP_WIDTHS: [usize; 5] = [5, 8, 16, 32, 64];
 const SWEEP_REPS: usize = 20;
+const SLOW_MS: u64 = 40;
+const SLOW_FAST_REQS: usize = 16;
+const SLOW_REPS: usize = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +63,7 @@ fn main() {
         cold_warm_search();
     }
     fanout_sweep(json);
+    slow_request_sweep(json);
 }
 
 fn cold_warm_search() {
@@ -243,5 +253,83 @@ fn fanout_sweep(json: bool) {
          connections instead of spawning one thread per branch, so a\n\
          64-wide scatter pays queueing, not thread churn. The simulator\n\
          charges max-of-branches by construction."
+    );
+}
+
+fn slow_request_sweep(json: bool) {
+    header(
+        "SLOW REQUEST",
+        "fast pipelined requests while one slow request is in flight (tcp, one connection)",
+    );
+    row(&[
+        "fast reqs".into(),
+        "slow ms".into(),
+        "baseline mean us".into(),
+        "baseline p95 us".into(),
+        "contended mean us".into(),
+        "contended p95 us".into(),
+    ]);
+    let transport = BackendKind::Tcp.build(11);
+    let server = transport.register("mixed-speed", None);
+    // payload[0] == 1 marks the deliberately slow request.
+    transport.set_service(
+        server,
+        Arc::new(|_from: EndpointId, payload: &[u8]| {
+            if payload.first() == Some(&1) {
+                std::thread::sleep(std::time::Duration::from_millis(SLOW_MS));
+            }
+            payload.to_vec()
+        }),
+    );
+    let client = transport.register("client", None);
+    // Warm the pool: every round below rides one pipelined connection.
+    transport
+        .call(client, server, vec![0])
+        .expect("warm-up call");
+    let fast_round = |contended: bool| -> Vec<f64> {
+        let mut lat_us = Vec::with_capacity(SLOW_REPS * SLOW_FAST_REQS);
+        for _ in 0..SLOW_REPS {
+            let slow = contended.then(|| transport.submit(client, server, vec![1]));
+            let mut set = CompletionSet::new();
+            for i in 0..SLOW_FAST_REQS {
+                set.push(transport.submit(client, server, vec![0, i as u8]));
+            }
+            for result in set.wait_all() {
+                lat_us.push(result.expect("fast request").latency_us as f64);
+            }
+            if let Some(slow) = slow {
+                slow.wait().expect("slow request");
+            }
+        }
+        lat_us
+    };
+    // One unmeasured round soaks up scheduler/allocator cold start.
+    let _ = fast_round(false);
+    let mut baseline = fast_round(false);
+    let mut contended = fast_round(true);
+    let (base_mean, base_p95) = (mean(&baseline), percentile(&mut baseline, 95.0));
+    let (cont_mean, cont_p95) = (mean(&contended), percentile(&mut contended, 95.0));
+    row(&[
+        format!("{SLOW_FAST_REQS}"),
+        format!("{SLOW_MS}"),
+        format!("{base_mean:.0}"),
+        format!("{base_p95:.0}"),
+        format!("{cont_mean:.0}"),
+        format!("{cont_p95:.0}"),
+    ]);
+    if json {
+        println!(
+            "{{\"bench\":\"slow_request\",\"backend\":\"tcp\",\"fast_reqs\":{SLOW_FAST_REQS},\
+             \"slow_ms\":{SLOW_MS},\"reps\":{SLOW_REPS},\
+             \"baseline_mean_us\":{base_mean:.1},\"baseline_p95_us\":{base_p95:.1},\
+             \"contended_mean_us\":{cont_mean:.1},\"contended_p95_us\":{cont_p95:.1}}}"
+        );
+    }
+    println!(
+        "\nexpected shape: contended ~= baseline (a few hundred us at most):\n\
+         the server's dispatch pool answers fast requests out of order in\n\
+         completion order while the slow request occupies one worker.\n\
+         Before concurrent server-side dispatch, contended ~= slow ms —\n\
+         every fast request queued behind the slow one's service time."
     );
 }

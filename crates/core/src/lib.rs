@@ -31,12 +31,15 @@
 //! (`Request::Batch`), one per server per scatter round, and the
 //! session caches `Hello` capability advertisements per server and
 //! discovery results per cell, so repeated scatter-gather rounds skip
-//! the handshakes they have already done. Scatter rounds are built on
-//! the session's pipelined [`session::ScatterRound`]: envelopes are
-//! *submitted* as soon as their inputs are known and *collected* when
-//! the caller needs the answers, so multi-round operations (cold
-//! search handshakes, route leg matrices, localization anchoring)
-//! overlap their rounds instead of barriering between them.
+//! the handshakes they have already done. Both caches are bounded
+//! (expired-first eviction past a capacity cap), so a long-lived
+//! session touring many cells holds steady-state memory. Scatter
+//! rounds are built on the session's pipelined
+//! [`session::ScatterRound`]: envelopes are *submitted* as soon as
+//! their inputs are known and *collected* when the caller needs the
+//! answers, so multi-round operations (cold search handshakes, route
+//! leg matrices, localization anchoring) overlap their rounds instead
+//! of barriering between them.
 //!
 //! Underneath the session sits the pluggable
 //! [`Transport`](openflame_netsim::Transport) layer, whose core is
@@ -59,9 +62,13 @@
 //!   multiplexes many in-flight requests (frames carry a version byte
 //!   and a correlation id; responses may complete out of order), with
 //!   one writer and one reader thread per connection — worker threads
-//!   are O(connections), not O(fan-out width). The frame layout,
-//!   correlation semantics and pipelining rules are specified in
-//!   `docs/wire-protocol.md`.
+//!   are O(connections), not O(fan-out width). Served endpoints
+//!   dispatch pipelined requests **concurrently** through a bounded
+//!   per-endpoint worker pool and answer in completion order, so one
+//!   slow request never head-of-line blocks the fast requests behind
+//!   it on the same connection. The frame layout, correlation
+//!   semantics, pipelining rules and server dispatch guarantees are
+//!   specified in `docs/wire-protocol.md`.
 //!
 //! Select the backend per deployment
 //! (`DeploymentConfig { backend: BackendKind::Tcp, .. }`), or hand any

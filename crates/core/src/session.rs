@@ -18,6 +18,13 @@
 //!   cell, so a client localizing every few seconds does not re-resolve
 //!   the same cell through DNS each time.
 //!
+//! Both caches are **bounded** ([`DEFAULT_CACHE_CAP`], adjustable via
+//! [`Session::set_cache_cap`]): a long-lived session touring many
+//! cells does not grow memory forever. Inserts past the cap evict
+//! expired entries first, then the live entries closest to expiry;
+//! evictions and current cache sizes are reported in
+//! [`SessionStats`].
+//!
 //! The session speaks only through the [`Transport`] trait — the
 //! deterministic simulator and real TCP sockets run the exact same
 //! code, and the one-envelope-per-server wire discipline holds on
@@ -40,12 +47,18 @@ use openflame_mapserver::Principal;
 use openflame_netsim::{CallHandle, EndpointId, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default cache TTL: matches the 300 s DNS record TTL used by
 /// deployment registrations.
 pub const DEFAULT_TTL_US: u64 = 300 * 1_000_000;
+
+/// Default capacity bound for each session cache (hello entries,
+/// discovery cells). A long-lived session touring many cells stays
+/// bounded: inserts over the cap evict expired entries first, then the
+/// live entries closest to expiry.
+pub const DEFAULT_CACHE_CAP: usize = 256;
 
 /// Counters for session-layer behaviour.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -65,11 +78,56 @@ pub struct SessionStats {
     pub discovery_hits: u64,
     /// Discovery lookups that fell through to DNS.
     pub discovery_misses: u64,
+    /// Entries removed from either cache to hold the capacity bound
+    /// (expired entries purged while evicting included).
+    pub cache_evictions: u64,
+    /// Hello-cache entries held at snapshot time.
+    pub hello_cache_len: u64,
+    /// Discovery-cache entries held at snapshot time.
+    pub discovery_cache_len: u64,
 }
 
 struct Cached<T> {
     value: T,
     expires_us: u64,
+    /// Insertion sequence (session-wide counter): the deterministic
+    /// tie-break when many entries share an expiry instant, as a whole
+    /// discovery round's hellos do on the simulated clock. Eviction
+    /// must not depend on `HashMap`'s per-process random iteration
+    /// order — seeded runs replay identically.
+    seq: u64,
+}
+
+/// Holds `map` within `cap` entries after an insert. Expired entries
+/// are purged first (they are dead weight whoever probes them next);
+/// if the map is still over, the live entries closest to expiry — the
+/// oldest knowledge, insertion order breaking ties deterministically —
+/// are evicted. Returns how many entries were removed.
+fn evict_to_cap<K: Eq + std::hash::Hash + Clone, V>(
+    map: &mut HashMap<K, Cached<V>>,
+    cap: usize,
+    now_us: u64,
+) -> u64 {
+    if map.len() <= cap {
+        return 0;
+    }
+    let before = map.len();
+    map.retain(|_, cached| cached.expires_us > now_us);
+    let mut removed = (before - map.len()) as u64;
+    while map.len() > cap {
+        let victim = map
+            .iter()
+            .min_by_key(|(_, cached)| (cached.expires_us, cached.seq))
+            .map(|(key, _)| key.clone());
+        match victim {
+            Some(key) => {
+                map.remove(&key);
+                removed += 1;
+            }
+            None => break,
+        }
+    }
+    removed
 }
 
 /// Discovery cache key: (query cell raw id, expand-neighbors flag).
@@ -83,6 +141,10 @@ pub struct Session {
     endpoint: EndpointId,
     principal: Mutex<Principal>,
     ttl_us: AtomicU64,
+    cache_cap: AtomicUsize,
+    /// Monotonic insertion counter shared by both caches (the eviction
+    /// tie-break in [`evict_to_cap`]).
+    cache_seq: AtomicU64,
     hellos: Mutex<HashMap<EndpointId, Cached<HelloInfo>>>,
     discoveries: Mutex<DiscoveryCache>,
     stats: Mutex<SessionStats>,
@@ -96,6 +158,8 @@ impl Session {
             endpoint,
             principal: Mutex::new(principal),
             ttl_us: AtomicU64::new(DEFAULT_TTL_US),
+            cache_cap: AtomicUsize::new(DEFAULT_CACHE_CAP),
+            cache_seq: AtomicU64::new(0),
             hellos: Mutex::new(HashMap::new()),
             discoveries: Mutex::new(HashMap::new()),
             stats: Mutex::new(SessionStats::default()),
@@ -112,6 +176,18 @@ impl Session {
     /// The current cache TTL in microseconds.
     pub fn ttl_us(&self) -> u64 {
         self.ttl_us.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the per-cache capacity bound (hello entries and
+    /// discovery cells each). Adjustable on a shared session; the new
+    /// bound applies from the next insert.
+    pub fn set_cache_cap(&self, cap: usize) {
+        self.cache_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// The per-cache capacity bound.
+    pub fn cache_cap(&self) -> usize {
+        self.cache_cap.load(Ordering::Relaxed)
     }
 
     /// The identity attached to outgoing envelopes.
@@ -137,9 +213,12 @@ impl Session {
         &self.transport
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (cache sizes are sampled at snapshot time).
     pub fn stats(&self) -> SessionStats {
-        self.stats.lock().clone()
+        let mut stats = self.stats.lock().clone();
+        stats.hello_cache_len = self.hellos.lock().len() as u64;
+        stats.discovery_cache_len = self.discoveries.lock().len() as u64;
+        stats
     }
 
     /// Drops all cached state.
@@ -296,15 +375,25 @@ impl Session {
         }
     }
 
-    /// Inserts a capability advertisement into the cache.
+    /// Inserts a capability advertisement into the cache, evicting
+    /// (expired-first) if the insert pushed it over the capacity bound.
     pub fn store_hello(&self, from: EndpointId, info: HelloInfo) {
-        self.hellos.lock().insert(
-            from,
-            Cached {
-                value: info,
-                expires_us: self.transport.now_us().saturating_add(self.ttl_us()),
-            },
-        );
+        let now = self.transport.now_us();
+        let evicted = {
+            let mut hellos = self.hellos.lock();
+            hellos.insert(
+                from,
+                Cached {
+                    value: info,
+                    expires_us: now.saturating_add(self.ttl_us()),
+                    seq: self.cache_seq.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+            evict_to_cap(&mut hellos, self.cache_cap(), now)
+        };
+        if evicted > 0 {
+            self.stats.lock().cache_evictions += evicted;
+        }
     }
 
     /// Cache probe without touching the hit counters (internal
@@ -420,20 +509,31 @@ impl Session {
         cached
     }
 
-    /// Caches a discovery result for a query cell.
+    /// Caches a discovery result for a query cell, evicting
+    /// (expired-first) if the insert pushed the cache over the
+    /// capacity bound.
     pub fn store_discovery(
         &self,
         cell_raw: u64,
         expand_neighbors: bool,
         servers: Vec<DiscoveredServer>,
     ) {
-        self.discoveries.lock().insert(
-            (cell_raw, expand_neighbors),
-            Cached {
-                value: servers,
-                expires_us: self.transport.now_us().saturating_add(self.ttl_us()),
-            },
-        );
+        let now = self.transport.now_us();
+        let evicted = {
+            let mut discoveries = self.discoveries.lock();
+            discoveries.insert(
+                (cell_raw, expand_neighbors),
+                Cached {
+                    value: servers,
+                    expires_us: now.saturating_add(self.ttl_us()),
+                    seq: self.cache_seq.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+            evict_to_cap(&mut discoveries, self.cache_cap(), now)
+        };
+        if evicted > 0 {
+            self.stats.lock().cache_evictions += evicted;
+        }
     }
 }
 
@@ -620,6 +720,72 @@ mod tests {
         assert!(failures[0].1.to_string().contains("down"));
         // Clean rounds pass through.
         assert_eq!(Session::gather_all(vec![Ok(ok.clone())]).unwrap(), vec![ok]);
+    }
+
+    fn stub_hello(id: u64) -> HelloInfo {
+        HelloInfo {
+            server_id: format!("stub-{id}"),
+            map_name: "cache-test".into(),
+            services: vec!["hello".into()],
+            localization_techs: Vec::new(),
+            anchored: false,
+            anchor: None,
+            portals: Vec::new(),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn session_caches_stay_bounded_under_a_many_cell_tour() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport.clone(), endpoint, Principal::anonymous());
+        session.set_cache_cap(8);
+        // Tour 100 cells (each with its own nearby server): without a
+        // bound both caches would hold all 100 entries forever.
+        for cell in 0..100u64 {
+            transport.advance_us(1_000);
+            session.store_discovery(cell, true, Vec::new());
+            session.store_hello(EndpointId(1_000 + cell), stub_hello(cell));
+        }
+        let stats = session.stats();
+        assert_eq!(stats.discovery_cache_len, 8);
+        assert_eq!(stats.hello_cache_len, 8);
+        assert_eq!(stats.cache_evictions, 2 * (100 - 8));
+        // The freshest knowledge survived; the start of the tour aged
+        // out.
+        assert!(session.cached_discovery(99, true).is_some());
+        assert!(session.cached_discovery(0, true).is_none());
+        assert!(session.cached_hello(EndpointId(1_099)).is_some());
+        assert!(session.cached_hello(EndpointId(1_000)).is_none());
+    }
+
+    #[test]
+    fn expired_entries_are_evicted_before_live_ones() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport.clone(), endpoint, Principal::anonymous());
+        session.set_cache_cap(4);
+        // Two entries that will be long dead...
+        session.set_ttl_us(1_000);
+        session.store_discovery(1, false, Vec::new());
+        session.store_discovery(2, false, Vec::new());
+        transport.advance_us(10_000);
+        // ...then four live ones, overflowing the cap of 4.
+        session.set_ttl_us(DEFAULT_TTL_US);
+        for cell in 10..14u64 {
+            session.store_discovery(cell, false, Vec::new());
+        }
+        // The expired pair was purged; every live entry kept its slot.
+        let stats = session.stats();
+        assert_eq!(stats.discovery_cache_len, 4);
+        assert_eq!(stats.cache_evictions, 2);
+        for cell in 10..14u64 {
+            assert!(
+                session.cached_discovery(cell, false).is_some(),
+                "live cell {cell} must not be displaced by expired entries"
+            );
+        }
     }
 
     #[test]

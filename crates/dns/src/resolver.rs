@@ -52,8 +52,12 @@ pub struct ResolverStats {
     pub upstream_queries: u64,
     /// Queries that ultimately failed.
     pub failures: u64,
-    /// Cache entries evicted by the LRU policy.
+    /// Live cache entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Expired cache entries purged while making room (these are not
+    /// LRU victims: dead entries must never occupy capacity that a
+    /// live entry needs).
+    pub expired_purges: u64,
 }
 
 /// The result of a successful resolution.
@@ -196,9 +200,17 @@ impl Resolver {
         cache.entries.clear();
     }
 
-    /// Number of live cache entries.
+    /// Number of live (unexpired) cache entries. Expired entries still
+    /// awaiting their lazy removal are not counted — they are dead
+    /// weight, not cached knowledge.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().entries.len()
+        let now = self.transport.now_us();
+        self.cache
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.expires_us > now)
+            .count()
     }
 
     /// Resolves `name`/`rtype`, consulting the cache first and walking
@@ -219,10 +231,15 @@ impl Resolver {
     /// and the referral-hop limit behave exactly as in
     /// [`Resolver::resolve`].
     ///
-    /// Queries in one batch should be distinct: duplicates each walk
-    /// the hierarchy independently (they race to the cache instead of
-    /// the second queueing behind the first's freshly-stored answer,
-    /// as sequential [`Resolver::resolve`] calls would).
+    /// Duplicate queries within one batch are **deduplicated**: every
+    /// duplicate shares the first occurrence's single walk (and its
+    /// one upstream-query count) and receives a clone of its outcome,
+    /// so a batch of five identical lookups costs exactly one
+    /// hierarchy walk — the same wire cost as sequential
+    /// [`Resolver::resolve`] calls hitting the freshly-stored cache
+    /// entry. Each duplicate still counts in
+    /// [`ResolverStats::queries`]; walk-level counters (upstream
+    /// queries, failures) are charged once.
     pub fn resolve_many(
         &self,
         queries: &[(DomainName, RecordType)],
@@ -230,9 +247,22 @@ impl Resolver {
         let mut results: Vec<Option<Result<QueryOutcome, DnsError>>> =
             (0..queries.len()).map(|_| None).collect();
         let mut walks: Vec<Option<Walk>> = (0..queries.len()).map(|_| None).collect();
+        // In-batch dedupe: map every query to the index of its first
+        // occurrence; only canonical indices walk or probe the cache.
+        let canonical: Vec<usize> = {
+            let mut first: HashMap<(&DomainName, u8), usize> = HashMap::new();
+            queries
+                .iter()
+                .enumerate()
+                .map(|(i, (name, rtype))| *first.entry((name, type_tag(*rtype))).or_insert(i))
+                .collect()
+        };
         for (i, (name, rtype)) in queries.iter().enumerate() {
-            let t0 = self.transport.now_us();
             self.stats.lock().queries += 1;
+            if canonical[i] != i {
+                continue;
+            }
+            let t0 = self.transport.now_us();
             if let Some(cached) = self.cache_probe(name, *rtype, t0) {
                 results[i] = Some(cached);
                 continue;
@@ -311,6 +341,13 @@ impl Resolver {
                         walk.last_err = DnsError::Network(e.to_string());
                     }
                 }
+            }
+        }
+        // Duplicates inherit their canonical query's outcome: one walk,
+        // one upstream-query count, identical (cloned) results.
+        for i in 0..queries.len() {
+            if canonical[i] != i {
+                results[i] = results[canonical[i]].clone();
             }
         }
         // Walk failures were counted where each walk concluded; cache
@@ -439,17 +476,34 @@ impl Resolver {
                 last_used: counter,
             },
         );
-        // LRU eviction.
+        // Capacity enforcement. Expired entries are purged *before*
+        // LRU victim selection: a dead entry must neither occupy
+        // capacity nor — by having been touched recently while alive —
+        // shield itself while a fresh live entry gets evicted.
         if cache.entries.len() > self.config.cache_capacity {
-            if let Some(victim) = cache
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                cache.entries.remove(&victim);
-                self.stats.lock().evictions += 1;
+            let now = self.transport.now_us();
+            let before = cache.entries.len();
+            cache.entries.retain(|_, e| e.expires_us > now);
+            let purged = (before - cache.entries.len()) as u64;
+            let mut evicted = 0u64;
+            while cache.entries.len() > self.config.cache_capacity {
+                let victim = cache
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        cache.entries.remove(&k);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
             }
+            drop(cache);
+            let mut stats = self.stats.lock();
+            stats.evictions += evicted;
+            stats.expired_purges += purged;
         }
     }
 }
@@ -659,6 +713,90 @@ mod tests {
         // The most recent entry is still cached.
         let out = resolver.resolve(&name("n19."), RecordType::A).unwrap();
         assert!(out.from_cache);
+    }
+
+    #[test]
+    fn expired_entries_do_not_displace_live_ones() {
+        let net = SimNet::new(5);
+        // A flat zone: three short-TTL names and four long-TTL names.
+        let mut zone = Zone::new(DomainName::root());
+        for i in 0..3 {
+            zone.add(Record::new(
+                name(&format!("short{i}.")),
+                5,
+                RecordData::A(i as u64),
+            ));
+        }
+        for i in 0..4 {
+            zone.add(Record::new(
+                name(&format!("long{i}.")),
+                300,
+                RecordData::A(100 + i as u64),
+            ));
+        }
+        let server = AuthServer::spawn(&net, "root", vec![zone]);
+        let config = ResolverConfig {
+            cache_capacity: 4,
+            ..Default::default()
+        };
+        let resolver = Resolver::with_config(&net, "small", vec![server.endpoint()], config);
+        for i in 0..3 {
+            resolver
+                .resolve(&name(&format!("short{i}.")), RecordType::A)
+                .unwrap();
+        }
+        // All three short entries expire.
+        net.advance_us(6 * 1_000_000);
+        assert_eq!(
+            resolver.cache_len(),
+            0,
+            "cache_len counts live entries only"
+        );
+        // Four fresh entries overflow the capacity of 4 only if the
+        // dead ones are allowed to squat: the purge must claim the
+        // expired entries, never a live one.
+        for i in 0..4 {
+            resolver
+                .resolve(&name(&format!("long{i}.")), RecordType::A)
+                .unwrap();
+        }
+        assert_eq!(resolver.cache_len(), 4);
+        let stats = resolver.stats();
+        assert_eq!(stats.expired_purges, 3, "dead entries purged, not kept");
+        assert_eq!(stats.evictions, 0, "no live entry was sacrificed");
+        for i in 0..4 {
+            let out = resolver
+                .resolve(&name(&format!("long{i}.")), RecordType::A)
+                .unwrap();
+            assert!(out.from_cache, "live entry long{i} must still be cached");
+        }
+    }
+
+    #[test]
+    fn resolve_many_dedupes_in_batch_duplicates() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let n = name("1.2.f0.cell.flame.");
+        let batch = vec![
+            (n.clone(), RecordType::MapSrv),
+            (n.clone(), RecordType::MapSrv),
+            (n.clone(), RecordType::MapSrv),
+        ];
+        let outcomes = resolver.resolve_many(&batch);
+        assert_eq!(outcomes.len(), 3);
+        for outcome in &outcomes {
+            let out = outcome.as_ref().unwrap();
+            assert_eq!(out.records.len(), 1);
+            // One shared walk: root referral + TLD referral + answer.
+            assert_eq!(out.upstream_queries, 3);
+        }
+        let stats = resolver.stats();
+        assert_eq!(stats.queries, 3, "every batch item counts as a query");
+        assert_eq!(
+            stats.upstream_queries, 3,
+            "duplicates share one walk's upstream asks, not 3 walks x 3 hops"
+        );
     }
 
     #[test]

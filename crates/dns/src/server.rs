@@ -11,9 +11,12 @@ use std::sync::Arc;
 ///
 /// The server binds a [`Transport`] endpoint (the simulator or real
 /// sockets — it cannot tell); queries arrive as wire-encoded
-/// [`QueryMsg`]s and leave as [`ResponseMsg`]s. Zones are behind a lock
-/// so registrations (map servers coming and going) can happen while the
-/// server is serving.
+/// [`QueryMsg`]s and leave as [`ResponseMsg`]s. Zones are behind a
+/// reader-writer lock so registrations (map servers coming and going)
+/// can happen while the server is serving — and so the transport's
+/// concurrent dispatch (pipelined queries on one connection are
+/// handled by a worker pool) scales across parallel readers instead of
+/// serializing on a mutex.
 pub struct AuthServer {
     zones: Arc<RwLock<Vec<Zone>>>,
     endpoint: EndpointId,

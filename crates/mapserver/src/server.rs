@@ -1,6 +1,18 @@
 //! The map server: service engines, ACL enforcement, RPC dispatch.
+//!
+//! # Concurrency
+//!
+//! [`MapServer::dispatch`] is invoked **concurrently** by the transport
+//! layer (the TCP backend dispatches pipelined requests on one
+//! connection through a worker pool; see the `WireService` contract in
+//! `openflame-netsim`). Handler state is organized for parallel
+//! readers: the service engines sit behind an `RwLock` (reads share,
+//! only `ApplyPatch` writes), the tag registry / beacons / policy /
+//! portals are immutable after spawn, and the request counters are
+//! lock-free atomics — concurrent dispatch never serializes on a stats
+//! mutex.
 
-use crate::acl::{AccessPolicy, Principal, ServiceKind};
+use crate::acl::{AccessPolicy, Principal, ServiceKind, ALL_SERVICES};
 use crate::protocol::{
     Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
     WireSearchResult,
@@ -16,8 +28,9 @@ use openflame_routing::dijkstra::dijkstra_many;
 use openflame_routing::{bidirectional, ContractionHierarchy, Profile, RoadGraph};
 use openflame_search::SearchIndex;
 use openflame_tiles::{Tile, TileCoord, TileRenderer};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration for spawning a map server.
@@ -43,7 +56,8 @@ pub struct MapServerConfig {
     pub build_ch: bool,
 }
 
-/// Per-service counters.
+/// Per-service counters (a point-in-time snapshot; see
+/// [`MapServer::stats`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests served per service.
@@ -52,6 +66,41 @@ pub struct ServerStats {
     pub denied: u64,
     /// Patches applied.
     pub patches: u64,
+}
+
+/// Lock-free request counters: with concurrent dispatch every request
+/// thread bumps these, and a mutex here would serialize the very
+/// parallelism the serve pool buys.
+#[derive(Default)]
+struct StatCounters {
+    served: [AtomicU64; ALL_SERVICES.len()],
+    denied: AtomicU64,
+    patches: AtomicU64,
+}
+
+impl StatCounters {
+    fn count(&self, service: ServiceKind) {
+        let idx = ALL_SERVICES
+            .iter()
+            .position(|s| *s == service)
+            .expect("every service kind is listed in ALL_SERVICES");
+        self.served[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let mut served = HashMap::new();
+        for (idx, kind) in ALL_SERVICES.iter().enumerate() {
+            let n = self.served[idx].load(Ordering::Relaxed);
+            if n > 0 {
+                served.insert(*kind, n);
+            }
+        }
+        ServerStats {
+            served,
+            denied: self.denied.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Engines rebuilt whenever the map changes.
@@ -113,7 +162,7 @@ pub struct MapServer {
     location_hint: LatLng,
     radius_m: f64,
     build_ch: bool,
-    stats: Mutex<ServerStats>,
+    stats: StatCounters,
 }
 
 impl MapServer {
@@ -140,7 +189,7 @@ impl MapServer {
             location_hint: config.location_hint,
             radius_m: config.radius_m,
             build_ch: config.build_ch,
-            stats: Mutex::new(ServerStats::default()),
+            stats: StatCounters::default(),
         });
         transport.set_service(endpoint, server.wire_service());
         server
@@ -197,18 +246,18 @@ impl MapServer {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> ServerStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
     }
 
     fn count(&self, service: ServiceKind) {
-        *self.stats.lock().served.entry(service).or_insert(0) += 1;
+        self.stats.count(service);
     }
 
     fn check(&self, principal: &Principal, service: ServiceKind) -> Result<(), ServerError> {
         if self.policy.allows(principal, service) {
             Ok(())
         } else {
-            self.stats.lock().denied += 1;
+            self.stats.denied.fetch_add(1, Ordering::Relaxed);
             Err(ServerError::AccessDenied { service })
         }
     }
@@ -435,7 +484,7 @@ impl MapServer {
             .map_err(|e| ServerError::Failed(format!("patch: {e}")))?;
         let version = map.meta().version;
         *engines = Engines::build(map, &self.beacons, self.build_ch);
-        self.stats.lock().patches += 1;
+        self.stats.patches.fetch_add(1, Ordering::Relaxed);
         Ok(version)
     }
 
@@ -460,7 +509,9 @@ impl MapServer {
     }
 
     /// Dispatches a decoded request (the RPC entry point; also usable
-    /// in-process).
+    /// in-process). Safe to call from many threads at once — the
+    /// transport layer does exactly that for pipelined requests (see
+    /// the module-level concurrency notes).
     pub fn dispatch(&self, principal: &Principal, request: Request) -> Response {
         let into_error = |e: ServerError| {
             let code = match &e {
@@ -860,19 +911,93 @@ mod tests {
             };
             write_frame(&mut stream, 42, corr, &to_bytes(&env)).unwrap();
         }
-        let first = read_frame(&mut stream).unwrap();
-        assert_eq!(first.correlation, 7001);
-        assert_eq!(first.sender, tcp_endpoint.0);
-        let Response::Search { results } = from_bytes::<Response>(&first.payload).unwrap() else {
+        // Responses arrive in completion order (the server dispatches
+        // concurrently), so match them by correlation id — exactly
+        // what the protocol obliges clients to do.
+        let mut answered = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let frame = read_frame(&mut stream).unwrap();
+            assert_eq!(frame.sender, tcp_endpoint.0);
+            answered.insert(frame.correlation, frame.payload);
+        }
+        let Response::Search { results } = from_bytes::<Response>(&answered[&7001]).unwrap() else {
             panic!("expected search response");
         };
         assert_eq!(results[0].label, product.name);
-        let second = read_frame(&mut stream).unwrap();
-        assert_eq!(second.correlation, 7002);
-        let Response::Search { results } = from_bytes::<Response>(&second.payload).unwrap() else {
+        let Response::Search { results } = from_bytes::<Response>(&answered[&7002]).unwrap() else {
             panic!("expected search response");
         };
         assert!(results.is_empty(), "nothing stocked under that name");
+    }
+
+    #[test]
+    fn serve_tcp_answers_fast_requests_while_slow_request_is_in_flight() {
+        use openflame_codec::framing::{read_frame, write_frame};
+        use std::net::TcpStream;
+
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let tcp = TcpTransport::new(5);
+        let tcp_endpoint = server.serve_tcp(&tcp);
+        let addr = tcp.listen_addr(tcp_endpoint).expect("served endpoint");
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Slow request first: a batch of route-matrix items over every
+        // stocked shelf — many milliseconds of dijkstra. Then a fast
+        // Hello (microseconds) pipelined behind it on the SAME
+        // connection. Concurrent server-side dispatch must answer the
+        // Hello first, in completion order, correlation ids intact.
+        let venue = &world.venues[0];
+        let shelves: Vec<u64> = venue.stocked.iter().map(|s| s.1 .0).collect();
+        let mut matrix_items: Vec<Request> = (0..64)
+            .map(|_| Request::RouteMatrix {
+                entries: shelves.clone(),
+                exits: shelves.clone(),
+            })
+            .collect();
+        // Calibrate: grow the batch until one in-process dispatch costs
+        // well over any dispatch-worker wakeup, so the ordering
+        // assertion below cannot flake on a fast machine.
+        loop {
+            let t0 = std::time::Instant::now();
+            let _ = server.dispatch(
+                &Principal::anonymous(),
+                Request::Batch(matrix_items.clone()),
+            );
+            if t0.elapsed() >= std::time::Duration::from_millis(50) || matrix_items.len() >= 4096 {
+                break;
+            }
+            matrix_items.extend_from_slice(&matrix_items.clone());
+        }
+        let item_count = matrix_items.len();
+        let slow = Envelope {
+            principal: Principal::anonymous(),
+            request: Request::Batch(matrix_items),
+        };
+        write_frame(&mut stream, 42, 9001, &to_bytes(&slow)).unwrap();
+        let fast = Envelope {
+            principal: Principal::anonymous(),
+            request: Request::Batch(vec![Request::Hello]),
+        };
+        write_frame(&mut stream, 42, 9002, &to_bytes(&fast)).unwrap();
+        let first = read_frame(&mut stream).unwrap();
+        assert_eq!(
+            first.correlation, 9002,
+            "fast request must complete while the slow batch is still executing"
+        );
+        let Response::Batch(items) = from_bytes::<Response>(&first.payload).unwrap() else {
+            panic!("expected batch response");
+        };
+        assert!(matches!(items[0], Response::Hello(_)));
+        // The slow batch still completes, positionally intact.
+        let second = read_frame(&mut stream).unwrap();
+        assert_eq!(second.correlation, 9001);
+        let Response::Batch(items) = from_bytes::<Response>(&second.payload).unwrap() else {
+            panic!("expected batch response");
+        };
+        assert_eq!(items.len(), item_count);
+        assert!(items
+            .iter()
+            .all(|item| matches!(item, Response::RouteMatrix { .. })));
     }
 
     #[test]

@@ -7,10 +7,18 @@
 //! simulator:
 //!
 //! - **Served endpoints** bind a `127.0.0.1:0` listener; a threaded
-//!   accept loop hands each connection to a handler thread that reads
-//!   framed requests ([`openflame_codec::framing`]) and writes framed
-//!   responses carrying the request's correlation id until the peer
-//!   hangs up.
+//!   accept loop hands each connection to a reader thread that decodes
+//!   framed requests ([`openflame_codec::framing`]) into per-connection
+//!   bounded queues. A per-endpoint dispatch pool of [`SERVE_POOL`]
+//!   workers pulls decoded frames from every connection of that
+//!   endpoint, invokes the bound [`WireService`] concurrently, and
+//!   hands each response to the connection's writer thread, which
+//!   emits frames in **completion order** with the request's
+//!   correlation id echoed — a slow request head-of-line blocks only
+//!   its own completion, never the pipelined requests behind it. Each
+//!   connection holds at most [`SERVE_PIPELINE`] decoded requests in
+//!   dispatch; past that its reader stops reading (backpressure, not
+//!   unbounded buffering).
 //! - **Multiplexed connections**: one pooled connection carries many
 //!   in-flight requests at once. Each connection runs exactly two
 //!   worker threads — a writer draining an outbound queue and a reader
@@ -47,10 +55,15 @@
 //! and counted in [`TcpTransport::orphan_responses`]; it never
 //! completes a different call. Worker threads are detached but
 //! bounded and observable via [`TcpTransport::worker_threads`]:
-//! dropping the last transport handle wakes every accept loop, which
-//! releases its listener port and its service; connection writers exit
-//! when their queues close, shutting the socket down so the paired
-//! reader follows. This backend is built for tests, benches and
+//! accept loops, dispatch workers and server-side connection
+//! readers/writers on the serving side, connection writers/readers on
+//! the client side — O(endpoints + connections), never O(fan-out) or
+//! O(call volume). Dropping the last transport handle wakes every
+//! accept loop, which releases its listener port; dispatch workers
+//! exit (releasing their service) once the accept loop and every
+//! connection reader have gone; connection writers exit when their
+//! queues close, shutting the socket down so the paired reader
+//! follows. This backend is built for tests, benches and
 //! single-process demos, not as a hardened production server.
 
 use crate::stats::{EndpointStats, NetStats};
@@ -77,6 +90,18 @@ pub const POOL_CAP: usize = 4;
 /// another one (further requests queue on the least-loaded connection
 /// — the bounded-fan-out knob).
 pub const PIPELINE_DEPTH: usize = 32;
+
+/// Concurrent dispatch workers per served endpoint: decoded frames
+/// from every connection of that endpoint are executed by this many
+/// threads, so a slow request no longer head-of-line blocks the
+/// pipelined requests behind it on the same connection.
+pub const SERVE_POOL: usize = 4;
+
+/// Decoded requests one server connection may hold in dispatch at once
+/// (queued for a worker, executing, or awaiting its response write)
+/// before the connection's reader stops reading — the server-side
+/// bounded-queue mirror of the client's [`PIPELINE_DEPTH`].
+pub const SERVE_PIPELINE: usize = PIPELINE_DEPTH;
 
 // ---------------------------------------------------------------------
 // Completion plumbing.
@@ -322,8 +347,9 @@ struct Inner {
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
     endpoints: Mutex<HashMap<EndpointId, Endpoint>>,
-    /// Live worker threads: accept loops, per-connection server
-    /// handlers, connection writers and readers.
+    /// Live worker threads: accept loops, per-endpoint dispatch
+    /// workers, server-side connection readers/writers, client-side
+    /// connection writers/readers.
     threads: Arc<AtomicUsize>,
     /// Responses discarded because no in-flight request matched.
     orphans: Arc<AtomicU64>,
@@ -390,11 +416,12 @@ impl TcpTransport {
         self.inner.endpoints.lock().get(&id).and_then(|e| e.addr)
     }
 
-    /// Live worker threads (accept loops, server connection handlers,
-    /// client connection writers/readers). Bounded by the served
-    /// endpoint count plus the pooled connection count — **not** by
-    /// fan-out width or call volume; the pipelining stress test pins
-    /// this down.
+    /// Live worker threads (accept loops, per-endpoint dispatch
+    /// workers, server-side connection readers/writers, client-side
+    /// connection writers/readers). Bounded by the served endpoint
+    /// count plus the pooled connection count — **not** by fan-out
+    /// width or call volume; the pipelining stress test pins this
+    /// down.
     pub fn worker_threads(&self) -> usize {
         self.inner.threads.load(Ordering::SeqCst)
     }
@@ -793,6 +820,11 @@ impl Transport for TcpTransport {
         };
         let shutdown = self.inner.shutdown.clone();
         let threads = self.inner.threads.clone();
+        // The endpoint's bounded dispatch pool serves every connection;
+        // the accept loop holds the master job sender, each connection
+        // reader a clone — when all are gone the pool unwinds and
+        // releases the service.
+        let dispatch = spawn_dispatch_pool(id, service, &threads);
         let guard = ThreadGuard::enter(&threads);
         thread::Builder::new()
             .name(format!("ofl-tcp-accept-{}", id.0))
@@ -814,14 +846,15 @@ impl Transport for TcpTransport {
                             continue;
                         }
                     };
-                    let service = service.clone();
+                    let dispatch = dispatch.clone();
                     let down = down.clone();
+                    let conn_threads = threads.clone();
                     let conn_guard = ThreadGuard::enter(&threads);
                     let _ = thread::Builder::new()
                         .name(format!("ofl-tcp-conn-{}", id.0))
                         .spawn(move || {
                             let _guard = conn_guard;
-                            serve_connection(stream, id, service, down)
+                            serve_connection(stream, id, dispatch, down, conn_threads)
                         });
                 }
             })
@@ -906,29 +939,204 @@ fn is_stale_connection(e: &io::Error) -> bool {
     )
 }
 
-/// One server connection's serve loop: framed request in, framed
-/// response out with the request's correlation id echoed, until the
-/// peer hangs up or the endpoint goes down. Requests on one connection
-/// are handled in order (responses MAY be reordered by the protocol,
-/// but this implementation does not); pipelined callers regain
-/// concurrency across connections and across servers.
+// ---------------------------------------------------------------------
+// Server-side concurrent dispatch.
+// ---------------------------------------------------------------------
+
+/// Per-connection dispatch gate: bounds the decoded-but-unanswered
+/// requests of one connection to [`SERVE_PIPELINE`]. The connection's
+/// reader acquires a slot per frame (blocking when the connection is
+/// saturated — backpressure on the socket, not unbounded buffering);
+/// the slot is released when the response leaves the writer, or when
+/// the response can no longer be delivered.
+struct ServeGate {
+    inflight: StdMutex<usize>,
+    cond: Condvar,
+}
+
+impl ServeGate {
+    fn new() -> Self {
+        Self {
+            inflight: StdMutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut n = self.inflight.lock().expect("serve gate");
+        while *n >= SERVE_PIPELINE {
+            n = self.cond.wait(n).expect("serve gate");
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        *self.inflight.lock().expect("serve gate") -= 1;
+        self.cond.notify_one();
+    }
+}
+
+/// One decoded request frame on its way to a dispatch worker.
+struct ServeJob {
+    from: u64,
+    corr: u64,
+    payload: Vec<u8>,
+    /// The originating connection's writer queue.
+    respond: mpsc::Sender<ServeDone>,
+    gate: Arc<ServeGate>,
+}
+
+/// One computed response on its way to its connection's writer.
+/// `response` is `None` when the service panicked on this request —
+/// the writer cuts the connection (crash semantics, exactly what a
+/// panic in the old per-connection serve thread produced) instead of
+/// leaving the caller to its timeout.
+struct ServeDone {
+    corr: u64,
+    response: Option<Vec<u8>>,
+    gate: Arc<ServeGate>,
+}
+
+/// Spawns the bounded per-endpoint dispatch pool: [`SERVE_POOL`]
+/// workers pull decoded frames from every connection of the endpoint
+/// and invoke the service concurrently (its `Send + Sync` contract
+/// makes that legal; see [`WireService`]). Workers exit — releasing
+/// their service clone — once every sender (the accept loop's master
+/// handle plus one clone per live connection reader) is gone.
+fn spawn_dispatch_pool(
+    id: EndpointId,
+    service: Arc<dyn WireService>,
+    threads: &Arc<AtomicUsize>,
+) -> mpsc::Sender<ServeJob> {
+    let (job_tx, job_rx) = mpsc::channel::<ServeJob>();
+    let job_rx = Arc::new(StdMutex::new(job_rx));
+    for worker in 0..SERVE_POOL {
+        let guard = ThreadGuard::enter(threads);
+        let service = service.clone();
+        let job_rx = job_rx.clone();
+        thread::Builder::new()
+            .name(format!("ofl-tcp-disp-{}-{worker}", id.0))
+            .spawn(move || {
+                let _guard = guard;
+                loop {
+                    // Hold the shared receiver only for the blocking
+                    // recv: job *pickup* is serialized, execution is
+                    // not.
+                    let job = {
+                        let rx = job_rx.lock().expect("dispatch queue");
+                        rx.recv()
+                    };
+                    let Ok(job) = job else { break };
+                    // Contain panics: a panicking service must cost its
+                    // connection (as it did when each connection had
+                    // its own serve thread), never a shared dispatch
+                    // worker — and never leak the gate slot.
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        service.handle(EndpointId(job.from), &job.payload)
+                    }))
+                    .ok();
+                    let done = ServeDone {
+                        corr: job.corr,
+                        response,
+                        gate: job.gate,
+                    };
+                    if let Err(undelivered) = job.respond.send(done) {
+                        // The connection's writer is gone; free the
+                        // slot so a still-alive reader is not wedged
+                        // on a gate nobody will ever open.
+                        undelivered.0.gate.release();
+                    }
+                }
+            })
+            .expect("spawn dispatch worker");
+    }
+    job_tx
+}
+
+/// One server connection: the calling thread reads and decodes frames,
+/// handing each to the endpoint's dispatch pool under the connection's
+/// bounded gate; a paired writer thread emits responses in
+/// **completion order** (the wire protocol's correlation ids make
+/// reordering legal — see `docs/wire-protocol.md`). The connection
+/// ends when the peer hangs up, a frame is malformed, or the endpoint
+/// goes down.
 fn serve_connection(
     mut stream: TcpStream,
     me: EndpointId,
-    service: Arc<dyn WireService>,
+    dispatch: mpsc::Sender<ServeJob>,
     down: Arc<AtomicBool>,
+    threads: Arc<AtomicUsize>,
 ) {
     let _ = stream.set_nodelay(true);
-    while let Ok(frame) = read_frame(&mut stream) {
-        if down.load(Ordering::Relaxed) {
-            // A dead server stops mid-conversation; the caller sees the
-            // connection die, exactly like a crashed process.
-            break;
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let (resp_tx, resp_rx) = mpsc::channel::<ServeDone>();
+    let writer_guard = ThreadGuard::enter(&threads);
+    thread::Builder::new()
+        .name(format!("ofl-tcp-srv-wr-{}", me.0))
+        .spawn(move || {
+            let _guard = writer_guard;
+            let mut stream = writer_stream;
+            while let Ok(done) = resp_rx.recv() {
+                let ok = match &done.response {
+                    Some(response) => write_frame(&mut stream, me.0, done.corr, response).is_ok(),
+                    // Service panicked on this request: cut the
+                    // connection instead of answering.
+                    None => false,
+                };
+                done.gate.release();
+                if !ok {
+                    break;
+                }
+            }
+            // Free the slots of responses that will never be written,
+            // so the reader observes the torn-down socket instead of
+            // parking on the gate forever.
+            while let Ok(done) = resp_rx.try_recv() {
+                done.gate.release();
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+        })
+        .expect("spawn server connection writer");
+    let gate = Arc::new(ServeGate::new());
+    let hard_cut = loop {
+        match read_frame(&mut stream) {
+            Ok(frame) => {
+                if down.load(Ordering::Relaxed) {
+                    // A dead server stops mid-conversation; the caller
+                    // sees the connection die, exactly like a crashed
+                    // process.
+                    break true;
+                }
+                gate.acquire();
+                let job = ServeJob {
+                    from: frame.sender,
+                    corr: frame.correlation,
+                    payload: frame.payload,
+                    respond: resp_tx.clone(),
+                    gate: gate.clone(),
+                };
+                if dispatch.send(job).is_err() {
+                    // Pool gone: the transport is unwinding.
+                    break true;
+                }
+            }
+            // A corrupt stream (bad version, oversized length) MUST be
+            // cut without answering; a clean hangup lets responses
+            // still in dispatch drain first.
+            Err(e) => break e.kind() == io::ErrorKind::InvalidData,
         }
-        let response = service.handle(EndpointId(frame.sender), &frame.payload);
-        if write_frame(&mut stream, me.0, frame.correlation, &response).is_err() {
-            break;
-        }
+    };
+    // Reader done: drop our writer handle. On a hard cut the socket is
+    // torn down immediately, abandoning whatever is still in dispatch;
+    // otherwise the writer finishes delivering the responses still in
+    // dispatch (their jobs hold sender clones) and then tears the
+    // socket down itself — a peer that half-closed its write side
+    // still receives every answer it pipelined.
+    drop(resp_tx);
+    if hard_cut {
+        let _ = stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -1025,6 +1233,119 @@ mod tests {
             after_first,
             "reused connections must not spawn per-call threads"
         );
+    }
+
+    #[test]
+    fn slow_request_does_not_block_pipelined_fast_requests() {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("mixed", None);
+        // payload[0] == 1 marks a deliberately slow request.
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                if payload.first() == Some(&1) {
+                    thread::sleep(Duration::from_millis(400));
+                }
+                payload.to_vec()
+            }),
+        );
+        let client = transport.register("client", None);
+        // Warm the pool so everything shares ONE pipelined connection.
+        transport.call(client, server, vec![0]).unwrap();
+        assert_eq!(transport.pooled_conns(server), 1);
+        let t0 = Instant::now();
+        let slow = transport.submit(client, server, vec![1]);
+        let mut fast = CompletionSet::new();
+        for i in 0..8u8 {
+            fast.push(transport.submit(client, server, vec![0, i]));
+        }
+        for (i, result) in fast.wait_all().into_iter().enumerate() {
+            assert_eq!(result.unwrap().payload, vec![0, i as u8]);
+        }
+        let fast_elapsed = t0.elapsed();
+        assert!(
+            fast_elapsed < Duration::from_millis(300),
+            "fast requests queued behind the slow one: {fast_elapsed:?}"
+        );
+        assert_eq!(slow.wait().unwrap().payload, vec![1]);
+        assert!(t0.elapsed() >= Duration::from_millis(400));
+        assert_eq!(
+            transport.pooled_conns(server),
+            1,
+            "the whole out-of-order exchange rode one connection"
+        );
+        assert_eq!(transport.orphan_responses(), 0);
+    }
+
+    #[test]
+    fn overcommitted_pipelines_drain_through_bounded_dispatch() {
+        // More in-flight requests per connection than SERVE_PIPELINE:
+        // the server-side gate must throttle the reader (backpressure),
+        // not deadlock, drop, or reorder-by-correlation incorrectly.
+        let (transport, client, server) = echo_transport();
+        let mut set = CompletionSet::new();
+        for i in 0..200u32 {
+            set.push(transport.submit(client, server, i.to_le_bytes().to_vec()));
+        }
+        for (i, result) in set.wait_all().into_iter().enumerate() {
+            assert_eq!(result.unwrap().payload, (i as u32).to_le_bytes().to_vec());
+        }
+        assert!(transport.pooled_conns(server) <= POOL_CAP);
+        assert_eq!(transport.orphan_responses(), 0);
+        assert_eq!(transport.stats().messages, 400);
+    }
+
+    #[test]
+    fn service_panic_cuts_connection_not_dispatch_pool() {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("panicky", None);
+        // payload[0] == 1 makes the service panic.
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                assert_ne!(payload.first(), Some(&1), "injected service bug");
+                payload.to_vec()
+            }),
+        );
+        let client = transport.register("client", None);
+        transport.call(client, server, vec![0]).unwrap();
+        // The panicking request costs its connection (crash semantics,
+        // not a silent stall to the timeout)...
+        let err = transport.call(client, server, vec![1]).unwrap_err();
+        assert!(
+            matches!(err, NetError::Connection(_)),
+            "expected connection death, got {err:?}"
+        );
+        // ...but the dispatch pool survives: the endpoint keeps
+        // serving later requests.
+        assert_eq!(
+            transport.call(client, server, vec![2]).unwrap().payload,
+            [2],
+            "dispatch workers must outlive a panicking request"
+        );
+    }
+
+    #[test]
+    fn half_closing_peer_still_receives_pipelined_responses() {
+        // A protocol-conformant client may pipeline requests, close its
+        // write side, and keep reading: responses still in dispatch
+        // must drain, not die with the reader.
+        let (transport, _client, server) = echo_transport();
+        let addr = transport.listen_addr(server).unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for corr in [1u64, 2, 3] {
+            write_frame(&mut stream, 99, corr, &[corr as u8]).unwrap();
+        }
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut seen: Vec<u64> = (0..3)
+            .map(|_| {
+                let frame = read_frame(&mut stream).expect("response survives half-close");
+                assert_eq!(frame.payload, vec![frame.correlation as u8]);
+                frame.correlation
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3]);
     }
 
     #[test]

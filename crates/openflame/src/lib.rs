@@ -6,9 +6,10 @@
 //! lives in [`core`].
 //!
 //! The wire path (submit/completion transports, multiplexed TCP
-//! pipelining, the session's scatter rounds) is documented in
-//! [`core`]'s architecture section and specified normatively in
-//! `docs/wire-protocol.md`.
+//! pipelining, concurrent server-side dispatch answering in completion
+//! order, the session's scatter rounds and bounded caches) is
+//! documented in [`core`]'s architecture section and specified
+//! normatively in `docs/wire-protocol.md`.
 
 pub use openflame_cells as cells;
 pub use openflame_codec as codec;

@@ -6,13 +6,15 @@
 //! This is the acceptance check for the submit/completion redesign:
 //! the old backend spawned one OS thread per scatter *branch* (width ×
 //! rounds × sessions threads over a run); the reactor model spawns two
-//! workers per pooled connection plus one accept loop and one serve
-//! thread per server connection, all reused round after round.
+//! workers per pooled connection on the client side, and per served
+//! endpoint one accept loop, a bounded dispatch pool of `SERVE_POOL`
+//! workers, and a reader + writer pair per server-side connection —
+//! all reused round after round.
 
 use openflame_core::{ClientError, Session};
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response};
 use openflame_mapserver::Principal;
-use openflame_netsim::tcp::{TcpTransport, POOL_CAP};
+use openflame_netsim::tcp::{TcpTransport, POOL_CAP, SERVE_POOL};
 use openflame_netsim::{EndpointId, Transport};
 use std::sync::Arc;
 
@@ -105,9 +107,10 @@ fn worker_threads_bounded_under_concurrent_fanout() {
 
     // Thread population: bounded by pools, regardless of the
     // SESSIONS × ROUNDS × SERVERS branches just issued. Budget per
-    // server: 1 accept loop + POOL_CAP client connections × (writer +
-    // reader + server-side handler).
-    let ceiling = SERVERS * (1 + 3 * POOL_CAP);
+    // server: 1 accept loop + SERVE_POOL dispatch workers + POOL_CAP
+    // client connections × (client writer + client reader +
+    // server-side connection reader + server-side connection writer).
+    let ceiling = SERVERS * (1 + SERVE_POOL + 4 * POOL_CAP);
     let now = transport.worker_threads();
     assert!(
         now <= ceiling,
@@ -116,7 +119,7 @@ fn worker_threads_bounded_under_concurrent_fanout() {
     // And stable: steady-state scattering reuses the warm connections
     // instead of spawning per-branch threads (a small allowance covers
     // pools deepened by genuine concurrency after warm-up).
-    let grow_cap = after_warmup + SERVERS * 3 * (POOL_CAP - 1);
+    let grow_cap = after_warmup + SERVERS * 4 * (POOL_CAP - 1);
     assert!(
         now <= grow_cap,
         "threads grew from {after_warmup} to {now}, cap {grow_cap}"

@@ -1,9 +1,10 @@
-//! Transport bench — SimNet-modelled vs real-loopback TCP.
+//! Transport bench — SimNet-modelled vs real-loopback TCP vs QuicLite
+//! reliable datagrams.
 //!
 //! Two sections:
 //!
 //! **Cold/warm search** runs the identical federated-search workload on
-//! both wire backends and compares message counts (which must match
+//! every wire backend and compares message counts (which must match
 //! exactly: the batched wire discipline is transport-independent) and
 //! latency (which must not: the simulator charges a modelled WAN,
 //! loopback sockets charge reality).
@@ -16,11 +17,13 @@
 //!
 //! **Fan-out sweep** measures a warm route-leg-matrix-style scatter
 //! round (one `RouteMatrix` envelope per server through one `Session`)
-//! across fan-out widths 5 → 64 on both backends. This is the
-//! pipelining acceptance workload: with the submit/completion reactor,
-//! a TCP round reuses one multiplexed connection per server instead of
-//! spawning one thread per branch, so warm latency stays flat as the
-//! width grows.
+//! across fan-out widths 5 → 64 on every backend — the JSON lines feed
+//! the `BENCH_transport.json` CI artifact, which now compares sim vs
+//! tcp vs quiclite. This is the pipelining acceptance workload: with
+//! the submit/completion reactor, a TCP round reuses one multiplexed
+//! connection per server instead of spawning one thread per branch (on
+//! QuicLite, one shared socket multiplexes everything), so warm
+//! latency stays flat as the width grows.
 //!
 //! **Slow-request sweep** pipelines fast requests behind one
 //! deliberately slow request on a single TCP connection. With
@@ -69,7 +72,7 @@ fn main() {
 fn cold_warm_search() {
     header(
         "TRANSPORT",
-        "identical warm/cold search workload on the simulator vs real loopback TCP",
+        "identical warm/cold search workload: simulator vs loopback TCP vs QuicLite datagrams",
     );
     row(&[
         "backend".into(),
@@ -81,7 +84,7 @@ fn cold_warm_search() {
         "envelopes/search".into(),
     ]);
     for stores in [4usize, 8] {
-        for backend in [BackendKind::Sim, BackendKind::Tcp] {
+        for backend in [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite] {
             let world = World::generate(WorldConfig {
                 stores,
                 products_per_store: 12,
@@ -188,7 +191,7 @@ fn fanout_sweep(json: bool) {
         "warm p95 us".into(),
         "msgs/round".into(),
     ]);
-    for backend in [BackendKind::Sim, BackendKind::Tcp] {
+    for backend in [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite] {
         for width in SWEEP_WIDTHS {
             let transport = backend.build(9);
             let servers: Vec<EndpointId> = (0..width)
@@ -247,11 +250,13 @@ fn fanout_sweep(json: bool) {
         }
     }
     println!(
-        "\nexpected shape: msgs/round == 2 x width on both backends (one\n\
+        "\nexpected shape: msgs/round == 2 x width on every backend (one\n\
          batched envelope per server). On tcp, warm latency should stay\n\
          flat-ish as width grows: the reactor pipelines over pooled\n\
          connections instead of spawning one thread per branch, so a\n\
-         64-wide scatter pays queueing, not thread churn. The simulator\n\
+         64-wide scatter pays queueing, not thread churn. quiclite rides\n\
+         one multiplexed datagram socket and typically undercuts tcp at\n\
+         wide fan-outs (no per-connection pools at all). The simulator\n\
          charges max-of-branches by construction."
     );
 }

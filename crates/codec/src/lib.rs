@@ -19,10 +19,15 @@
 //! are the entry points, and `from_bytes` rejects trailing garbage.
 
 pub mod framing;
+pub mod packet;
 pub mod reader;
 pub mod writer;
 
 pub use framing::{read_frame, write_frame, Frame, FRAME_HEADER_LEN, FRAME_VERSION};
+pub use packet::{
+    decode_packet, encode_packet, Packet, PacketType, DATAGRAM_MTU, PACKET_HEADER_LEN,
+    PACKET_VERSION, PAYLOAD_MTU,
+};
 pub use reader::Reader;
 pub use writer::Writer;
 

@@ -8,9 +8,10 @@
 //!
 //! The whole stack is built on one [`Transport`]: pick
 //! [`BackendKind::Sim`] (the default — deterministic discrete-event
-//! simulation) or [`BackendKind::Tcp`] (every DNS server, map server
-//! and client on real loopback sockets) via
-//! [`DeploymentConfig::backend`], or hand
+//! simulation), [`BackendKind::Tcp`] (every DNS server, map server
+//! and client on real loopback sockets) or [`BackendKind::QuicLite`]
+//! (QUIC-inspired reliable datagrams: 0-RTT resumption, loss
+//! recovery) via [`DeploymentConfig::backend`], or hand
 //! [`Deployment::build_on`] a transport you constructed yourself.
 
 use crate::client::OpenFlameClient;

@@ -50,7 +50,7 @@
 //! / `call_parallel` are default methods over submit+wait. The
 //! session, the DNS resolver and every server bind to
 //! `Arc<dyn Transport>` and cannot tell which backend carries their
-//! bytes. Two backends ship:
+//! bytes. Three backends ship:
 //!
 //! - [`BackendKind::Sim`](openflame_netsim::BackendKind) — the
 //!   deterministic discrete-event simulator (modelled latencies,
@@ -66,16 +66,32 @@
 //!   dispatch pipelined requests **concurrently** through a bounded
 //!   per-endpoint worker pool and answer in completion order, so one
 //!   slow request never head-of-line blocks the fast requests behind
-//!   it on the same connection. The frame layout, correlation
-//!   semantics, pipelining rules and server dispatch guarantees are
-//!   specified in `docs/wire-protocol.md`.
+//!   it on the same connection.
+//! - [`BackendKind::QuicLite`](openflame_netsim::BackendKind) —
+//!   QUIC-inspired reliable datagrams over loopback UDP: connection
+//!   ids with 0-RTT resumption (a reconnect to a known server skips
+//!   the handshake round), packet numbers with ack-elicited
+//!   retransmission (injected datagram loss below the timeout is
+//!   recovered, not surfaced), fragmentation for over-MTU envelopes,
+//!   and one client socket multiplexing every destination. No TLS —
+//!   a documented non-goal of this offline tree.
 //!
-//! Select the backend per deployment
+//! Picking a backend:
+//!
+//! | backend    | clock      | determinism | loss story                | threads                     | best for                          |
+//! |------------|------------|-------------|---------------------------|-----------------------------|-----------------------------------|
+//! | `Sim`      | simulated  | total       | drop ⇒ modelled timeout   | none                        | experiments, benches, seeded runs |
+//! | `Tcp`      | wall-clock | scheduling  | drop ⇒ failed call        | O(pooled connections)       | proving the stack on real streams |
+//! | `QuicLite` | wall-clock | scheduling  | drop ⇒ retransmit+recover | O(served endpoints), lowest | reconnect-heavy wide fan-out      |
+//!
+//! The frame layout, correlation semantics, pipelining rules, server
+//! dispatch guarantees and the datagram binding are specified in
+//! `docs/wire-protocol.md`. Select the backend per deployment
 //! (`DeploymentConfig { backend: BackendKind::Tcp, .. }`), or hand any
 //! transport to `Deployment::build_on` /
 //! `OpenFlameClient::builder().build_on(..)`. The wire discipline —
 //! exactly one batched envelope per discovered server per warm scatter
-//! round — holds on both backends and is enforced by the
+//! round — holds on every backend and is enforced by the
 //! backend-parity integration test; pipelining reorders waiting, never
 //! traffic.
 //!

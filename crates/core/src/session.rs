@@ -81,9 +81,10 @@ pub struct SessionStats {
     /// Entries removed from either cache to hold the capacity bound
     /// (expired entries purged while evicting included).
     pub cache_evictions: u64,
-    /// Hello-cache entries held at snapshot time.
+    /// Live (unexpired) hello-cache entries at snapshot time. Expired
+    /// entries awaiting lazy removal are not counted.
     pub hello_cache_len: u64,
-    /// Discovery-cache entries held at snapshot time.
+    /// Live (unexpired) discovery-cache entries at snapshot time.
     pub discovery_cache_len: u64,
 }
 
@@ -213,11 +214,25 @@ impl Session {
         &self.transport
     }
 
-    /// Statistics snapshot (cache sizes are sampled at snapshot time).
+    /// Statistics snapshot. Cache sizes are sampled at snapshot time
+    /// and count **live** entries only: entries past their TTL that are
+    /// still awaiting lazy removal are dead weight, not cached
+    /// knowledge — the same semantics as the resolver's `cache_len`.
     pub fn stats(&self) -> SessionStats {
         let mut stats = self.stats.lock().clone();
-        stats.hello_cache_len = self.hellos.lock().len() as u64;
-        stats.discovery_cache_len = self.discoveries.lock().len() as u64;
+        let now = self.transport.now_us();
+        stats.hello_cache_len = self
+            .hellos
+            .lock()
+            .values()
+            .filter(|cached| cached.expires_us > now)
+            .count() as u64;
+        stats.discovery_cache_len = self
+            .discoveries
+            .lock()
+            .values()
+            .filter(|cached| cached.expires_us > now)
+            .count() as u64;
         stats
     }
 
@@ -786,6 +801,34 @@ mod tests {
                 "live cell {cell} must not be displaced by expired entries"
             );
         }
+    }
+
+    #[test]
+    fn cache_len_stats_count_live_entries_only() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport.clone(), endpoint, Principal::anonymous());
+        session.set_ttl_us(1_000);
+        for cell in 0..3u64 {
+            session.store_discovery(cell, false, Vec::new());
+            session.store_hello(EndpointId(100 + cell), stub_hello(cell));
+        }
+        let stats = session.stats();
+        assert_eq!(stats.hello_cache_len, 3);
+        assert_eq!(stats.discovery_cache_len, 3);
+        // Past the TTL the entries still sit in the maps (eviction only
+        // runs on insert-over-cap), but the snapshot must report cached
+        // *knowledge*, not dead weight — mirroring the resolver's
+        // live-only `cache_len`.
+        transport.advance_us(2_000);
+        let stats = session.stats();
+        assert_eq!(stats.hello_cache_len, 0);
+        assert_eq!(stats.discovery_cache_len, 0);
+        assert_eq!(stats.cache_evictions, 0, "nothing was evicted, only aged");
+        // A fresh insert is counted again.
+        session.set_ttl_us(DEFAULT_TTL_US);
+        session.store_hello(EndpointId(7), stub_hello(7));
+        assert_eq!(session.stats().hello_cache_len, 1);
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //! discovery inherits "ubiquitous caching mechanisms, large-scale
 //! deployments, and infrastructure" (§5.1). The resolver walks referrals
 //! from the root exactly like a real recursive resolver, and serves
-//! repeat queries from a TTL-respecting LRU cache with negative caching.
+//! repeat queries from a TTL-respecting LRU cache with negative caching:
+//! NXDOMAIN, authoritative ServFail and lame-delegation outcomes are all
+//! replayed from a short-TTL negative entry (bounded by the same
+//! capacity, expired-first purge and LRU policy as positive entries), so
+//! a misbehaving client hammering a nonexistent or broken cell cannot
+//! amplify its queries into repeated full referral walks upstream.
 
 use crate::name::DomainName;
 use crate::record::{QueryMsg, Rcode, Record, RecordType, ResponseMsg};
@@ -22,7 +27,11 @@ pub struct ResolverConfig {
     pub cache_capacity: usize,
     /// Maximum referral hops per query.
     pub max_referrals: usize,
-    /// TTL applied to negative (NXDOMAIN) cache entries, seconds.
+    /// TTL applied to negative cache entries (NXDOMAIN, authoritative
+    /// ServFail, lame delegations), seconds. Without it, every repeat
+    /// lookup of a nonexistent or broken name re-walks the full
+    /// referral chain — trivial upstream-query amplification from one
+    /// misbehaving client.
     pub negative_ttl_s: u32,
     /// Disable the cache entirely (for cold-path measurements).
     pub cache_enabled: bool,
@@ -46,7 +55,8 @@ pub struct ResolverStats {
     pub queries: u64,
     /// Queries answered from the positive cache.
     pub cache_hits: u64,
-    /// Queries answered from the negative cache.
+    /// Queries answered from the negative cache (replayed NXDOMAIN and
+    /// ServFail outcomes; see `negative_ttl_s`).
     pub negative_hits: u64,
     /// Upstream (authoritative) queries sent.
     pub upstream_queries: u64,
@@ -73,11 +83,28 @@ pub struct QueryOutcome {
     pub latency_us: u64,
 }
 
+/// What a cache entry answers with: records, or a replayed negative
+/// outcome. Negative entries share the one bounded cache (capacity,
+/// expired-first purge, LRU eviction all apply to them identically),
+/// which is what stops a misbehaving client from amplifying repeated
+/// lookups of broken names into upstream referral walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    /// A positive answer (possibly NODATA: an empty record set).
+    Positive,
+    /// The name does not exist (RFC 2308 negative caching).
+    NxDomain,
+    /// The walk ended in an authoritative server failure or a lame
+    /// delegation; cached briefly (the negative TTL) so a broken name
+    /// does not trigger a full referral re-walk per lookup.
+    ServFail,
+}
+
 #[derive(Debug, Clone)]
 struct CacheEntry {
     records: Vec<Record>,
     expires_us: u64,
-    negative: bool,
+    kind: EntryKind,
     last_used: u64,
 }
 
@@ -380,14 +407,21 @@ impl Resolver {
             return None;
         }
         entry.last_used = counter;
-        let negative = entry.negative;
+        let kind = entry.kind;
         let records = entry.records.clone();
         drop(cache);
         // A local cache answer still costs a hair of CPU.
         self.transport.advance_us(10);
-        if negative {
-            self.stats.lock().negative_hits += 1;
-            return Some(Err(DnsError::NxDomain(name.to_string())));
+        match kind {
+            EntryKind::NxDomain => {
+                self.stats.lock().negative_hits += 1;
+                return Some(Err(DnsError::NxDomain(name.to_string())));
+            }
+            EntryKind::ServFail => {
+                self.stats.lock().negative_hits += 1;
+                return Some(Err(DnsError::ServFail(name.to_string())));
+            }
+            EntryKind::Positive => {}
         }
         self.stats.lock().cache_hits += 1;
         Some(Ok(QueryOutcome {
@@ -409,16 +443,35 @@ impl Resolver {
         walk: &Walk,
     ) -> WalkStep {
         match resp.rcode {
-            Rcode::ServFail => WalkStep::Done(Err(DnsError::ServFail(name.to_string()))),
+            Rcode::ServFail => {
+                // Cached like NXDOMAIN (short negative TTL): a broken
+                // authoritative server must not cost a full referral
+                // re-walk per repeat lookup. Transport-level failures
+                // (dead candidates) are NOT cached — those fail over.
+                self.cache_store(
+                    name,
+                    rtype,
+                    Vec::new(),
+                    self.config.negative_ttl_s,
+                    EntryKind::ServFail,
+                );
+                WalkStep::Done(Err(DnsError::ServFail(name.to_string())))
+            }
             Rcode::NxDomain => {
-                self.cache_store(name, rtype, Vec::new(), self.config.negative_ttl_s, true);
+                self.cache_store(
+                    name,
+                    rtype,
+                    Vec::new(),
+                    self.config.negative_ttl_s,
+                    EntryKind::NxDomain,
+                );
                 WalkStep::Done(Err(DnsError::NxDomain(name.to_string())))
             }
             Rcode::NoError => {
                 if !resp.answers.is_empty() || resp.authority.is_empty() {
                     // Terminal answer (possibly NODATA).
                     let ttl = resp.answers.iter().map(|r| r.ttl_s).min().unwrap_or(30);
-                    self.cache_store(name, rtype, resp.answers.clone(), ttl, false);
+                    self.cache_store(name, rtype, resp.answers.clone(), ttl, EntryKind::Positive);
                     WalkStep::Done(Ok(QueryOutcome {
                         records: resp.answers,
                         from_cache: false,
@@ -441,6 +494,16 @@ impl Resolver {
                         }
                     }
                     if next.is_empty() {
+                        // A lame delegation is as re-walkable-forever
+                        // as an authoritative ServFail: negative-cache
+                        // it under the same short TTL.
+                        self.cache_store(
+                            name,
+                            rtype,
+                            Vec::new(),
+                            self.config.negative_ttl_s,
+                            EntryKind::ServFail,
+                        );
                         WalkStep::Done(Err(DnsError::ServFail(format!(
                             "lame delegation for {name}"
                         ))))
@@ -458,7 +521,7 @@ impl Resolver {
         rtype: RecordType,
         records: Vec<Record>,
         ttl_s: u32,
-        negative: bool,
+        kind: EntryKind,
     ) {
         if !self.config.cache_enabled || ttl_s == 0 {
             return;
@@ -472,7 +535,7 @@ impl Resolver {
             CacheEntry {
                 records,
                 expires_us: expires,
-                negative,
+                kind,
                 last_used: counter,
             },
         );
@@ -796,6 +859,115 @@ mod tests {
         assert_eq!(
             stats.upstream_queries, 3,
             "duplicates share one walk's upstream asks, not 3 walks x 3 hops"
+        );
+    }
+
+    #[test]
+    fn servfail_walks_are_negatively_cached() {
+        let net = SimNet::new(5);
+        // Root delegates `broken.` to a server that hosts no such zone:
+        // every walk ends in an authoritative ServFail. Without
+        // negative caching each repeat lookup re-walks the chain.
+        let lame = AuthServer::spawn(&net, "lame", vec![Zone::new(name("other."))]);
+        let mut root = Zone::new(DomainName::root());
+        root.delegate(name("broken."), name("ns.broken."), lame.endpoint().0);
+        let root_server = AuthServer::spawn(&net, "root", vec![root]);
+        let resolver = Resolver::new(&net, "t", vec![root_server.endpoint()]);
+        let n = name("x.broken.");
+        let e1 = resolver.resolve(&n, RecordType::A).unwrap_err();
+        assert!(matches!(e1, DnsError::ServFail(_)));
+        let upstream = resolver.stats().upstream_queries;
+        assert!(upstream >= 2, "the first lookup really walked");
+        // Repeat lookups replay the failure from the negative cache.
+        for _ in 0..3 {
+            let e = resolver.resolve(&n, RecordType::A).unwrap_err();
+            assert!(matches!(e, DnsError::ServFail(_)));
+        }
+        assert_eq!(
+            resolver.stats().upstream_queries,
+            upstream,
+            "repeat ServFail lookups must not re-walk the referral chain"
+        );
+        assert_eq!(resolver.stats().negative_hits, 3);
+        // Expiry: after the negative TTL the walk is retried upstream.
+        net.advance_us(61 * 1_000_000);
+        let _ = resolver.resolve(&n, RecordType::A).unwrap_err();
+        assert!(resolver.stats().upstream_queries > upstream);
+    }
+
+    #[test]
+    fn negative_entries_share_the_bounded_cache() {
+        let net = SimNet::new(5);
+        // A flat zone with NO matching names: every lookup is an
+        // NXDOMAIN, so the negative entries alone must hit the
+        // capacity bound and be evicted expired-first/LRU exactly like
+        // positive ones.
+        let zone = Zone::new(DomainName::root());
+        let server = AuthServer::spawn(&net, "root", vec![zone]);
+        let config = ResolverConfig {
+            cache_capacity: 8,
+            ..Default::default()
+        };
+        let resolver = Resolver::with_config(&net, "small", vec![server.endpoint()], config);
+        for i in 0..20 {
+            let e = resolver
+                .resolve(&name(&format!("ghost{i}.")), RecordType::A)
+                .unwrap_err();
+            assert!(matches!(e, DnsError::NxDomain(_)));
+        }
+        assert!(
+            resolver.cache_len() <= 8,
+            "negative entries respect the cap"
+        );
+        assert!(resolver.stats().evictions >= 12);
+        // The most recent negative entry is still live: a repeat is a
+        // negative hit, not a walk.
+        let upstream = resolver.stats().upstream_queries;
+        let e = resolver
+            .resolve(&name("ghost19."), RecordType::A)
+            .unwrap_err();
+        assert!(matches!(e, DnsError::NxDomain(_)));
+        assert_eq!(resolver.stats().upstream_queries, upstream);
+        assert_eq!(resolver.stats().negative_hits, 1);
+        // An evicted one walks again.
+        let _ = resolver
+            .resolve(&name("ghost0."), RecordType::A)
+            .unwrap_err();
+        assert!(resolver.stats().upstream_queries > upstream);
+    }
+
+    #[test]
+    fn resolve_many_dedupes_nonexistent_names_onto_one_negative_walk() {
+        let net = SimNet::new(5);
+        let (roots, _cell) = hierarchy(&net);
+        let resolver = Resolver::new(&net, "test", roots);
+        let n = name("9.9.f0.cell.flame.");
+        let batch = vec![
+            (n.clone(), RecordType::MapSrv),
+            (n.clone(), RecordType::MapSrv),
+            (n.clone(), RecordType::MapSrv),
+        ];
+        let outcomes = resolver.resolve_many(&batch);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Err(DnsError::NxDomain(_)))));
+        let stats = resolver.stats();
+        assert_eq!(
+            stats.upstream_queries, 3,
+            "three duplicates share ONE walk (root + tld + NXDOMAIN), not three"
+        );
+        assert_eq!(stats.failures, 1, "one walk concluded, one failure charged");
+        // The shared walk fed the negative cache: the next batch is
+        // answered locally.
+        let again = resolver.resolve_many(&batch);
+        assert!(again
+            .iter()
+            .all(|o| matches!(o, Err(DnsError::NxDomain(_)))));
+        let stats = resolver.stats();
+        assert_eq!(stats.upstream_queries, 3, "no further upstream asks");
+        assert_eq!(
+            stats.negative_hits, 1,
+            "one canonical probe hit, duplicates cloned it"
         );
     }
 

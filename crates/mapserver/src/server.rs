@@ -23,7 +23,9 @@ use openflame_geo::{LatLng, Point2};
 use openflame_geocode::{reverse_geocode, Geocoder};
 use openflame_localize::{Estimate, LocationCue, RadioMap, TagRegistry};
 use openflame_mapdata::{MapDocument, MapPatch, NodeId};
-use openflame_netsim::{EndpointId, SimNet, SimTransport, TcpTransport, Transport, WireService};
+use openflame_netsim::{
+    EndpointId, QuicLiteTransport, SimNet, SimTransport, TcpTransport, Transport, WireService,
+};
 use openflame_routing::dijkstra::dijkstra_many;
 use openflame_routing::{bidirectional, ContractionHierarchy, Profile, RoadGraph};
 use openflame_search::SearchIndex;
@@ -221,6 +223,18 @@ impl MapServer {
     pub fn serve_tcp(self: &Arc<Self>, tcp: &TcpTransport) -> EndpointId {
         let endpoint = tcp.register(&format!("mapsrv:{}", self.id), Some(self.location_hint));
         tcp.set_service(endpoint, self.wire_service());
+        endpoint
+    }
+
+    /// Binds this server's dispatch loop on an *additional* QuicLite
+    /// (reliable-datagram UDP) listener and returns the new endpoint in
+    /// `quic`'s address space — the datagram analogue of
+    /// [`MapServer::serve_tcp`]. Deployments built entirely on QuicLite
+    /// simply use [`MapServer::spawn_on`] with a
+    /// `BackendKind::QuicLite` transport.
+    pub fn serve_udp(self: &Arc<Self>, quic: &QuicLiteTransport) -> EndpointId {
+        let endpoint = quic.register(&format!("mapsrv:{}", self.id), Some(self.location_hint));
+        quic.set_service(endpoint, self.wire_service());
         endpoint
     }
 
@@ -882,6 +896,44 @@ mod tests {
         assert_eq!(results[0].label, product.name);
         assert!(transfer.latency_us > 0);
         assert_eq!(tcp.stats().messages, 2);
+    }
+
+    #[test]
+    fn serve_udp_answers_quiclite_datagram_clients() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        // The same server, bound on an additional reliable-datagram
+        // listener: the whole dispatch stack (batching, ACLs, engines)
+        // must be reachable over UDP packets exactly as over streams.
+        let quic = QuicLiteTransport::new(5);
+        let quic_endpoint = server.serve_udp(&quic);
+        let client = quic.register("quic-client", None);
+        let product = &world.products[1];
+        let env = Envelope {
+            principal: Principal::anonymous(),
+            request: Request::Batch(vec![
+                Request::Hello,
+                Request::Search {
+                    query: product.name.clone(),
+                    center: None,
+                    radius_m: f64::INFINITY,
+                    k: 3,
+                },
+            ]),
+        };
+        let transfer = quic
+            .call(client, quic_endpoint, to_bytes(&env).to_vec())
+            .unwrap();
+        let resp: Response = from_bytes(&transfer.payload).unwrap();
+        let Response::Batch(items) = resp else {
+            panic!("expected batch over QuicLite, got {resp:?}");
+        };
+        assert!(matches!(items[0], Response::Hello(_)));
+        let Response::Search { results } = &items[1] else {
+            panic!("expected search item over QuicLite");
+        };
+        assert_eq!(results[0].label, product.name);
+        assert_eq!(quic.stats().messages, 2, "one exchange, two messages");
     }
 
     #[test]

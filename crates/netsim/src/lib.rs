@@ -23,6 +23,7 @@
 pub mod stats;
 pub mod tcp;
 pub mod transport;
+pub mod udp;
 
 pub use stats::{EndpointStats, NetStats};
 pub use tcp::TcpTransport;
@@ -30,14 +31,35 @@ pub use transport::{
     BackendKind, CallHandle, CompletionSet, PendingCall, SimTransport, Transfer, Transport,
     WireService,
 };
+pub use udp::{QuicLiteTransport, QuicStats};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use openflame_geo::LatLng;
+
+/// Decrements a shared worker-thread gauge when a worker exits: the
+/// RAII guard every detached thread of the real-socket backends (TCP,
+/// QuicLite) holds, so `worker_threads()` stays truthful on every exit
+/// path including panics.
+pub(crate) struct ThreadGuard(Arc<AtomicUsize>);
+
+impl ThreadGuard {
+    pub(crate) fn enter(counter: &Arc<AtomicUsize>) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Self(counter.clone())
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// Address of a simulated network endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

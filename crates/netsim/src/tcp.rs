@@ -43,12 +43,17 @@
 //! TTL caches built on [`Transport::now_us`] age in real time. Traffic
 //! counters are charged on the waiting side when a completion is
 //! claimed and include the frame header; raw sockets poking a listener
-//! from outside this transport are served but not counted. Failed or
-//! abandoned calls charge nothing, whereas the simulator charges per
-//! hop — so cross-backend stats parity (identical message counts for
-//! identical workloads) holds for failure-free runs; under injected
-//! loss the counters intentionally reflect each backend's own
-//! semantics.
+//! from outside this transport are served but not counted. A call
+//! whose request frame was **written** charges its request bytes even
+//! when the call then fails or times out — the bytes were really spent
+//! on the wire, and per-endpoint counters must not under-report
+//! traffic under failure injection (the single stale-connection retry
+//! charges both transmissions). Calls that never reach a socket
+//! (drop-injected, endpoint down, queued behind a dead dial) charge
+//! nothing; the simulator charges per hop — so cross-backend stats
+//! parity (identical message counts for identical workloads) holds for
+//! failure-free runs, and under injected loss the counters reflect
+//! each backend's own semantics.
 //!
 //! A response whose correlation id matches no in-flight request (for
 //! example, one that arrives after its waiter timed out) is discarded
@@ -68,7 +73,7 @@
 
 use crate::stats::{EndpointStats, NetStats};
 use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
-use crate::{EndpointId, NetError};
+use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
 use openflame_geo::LatLng;
 use parking_lot::Mutex;
@@ -127,6 +132,11 @@ struct CellDone {
 struct CompletionCell {
     state: StdMutex<Option<CellDone>>,
     cond: Condvar,
+    /// Set by the connection writer the moment it starts putting the
+    /// request frame on the socket. Failed calls whose frame was
+    /// written still charge their request bytes — the bytes were
+    /// really spent on the wire (see [`TcpTransport::charge_tx`]).
+    sent: AtomicBool,
 }
 
 impl CompletionCell {
@@ -134,7 +144,12 @@ impl CompletionCell {
         Self {
             state: StdMutex::new(None),
             cond: Condvar::new(),
+            sent: AtomicBool::new(false),
         }
+    }
+
+    fn was_sent(&self) -> bool {
+        self.sent.load(Ordering::SeqCst)
     }
 
     fn fill(&self, result: io::Result<Vec<u8>>, sole_in_flight: bool) {
@@ -261,6 +276,15 @@ impl Demux {
         }
     }
 
+    /// Marks a request's frame as on its way onto the socket (the
+    /// writer calls this immediately before writing), so failure paths
+    /// know whether the request bytes were spent.
+    fn mark_sent(&self, corr: u64) {
+        if let Some(cell) = self.pending.lock().expect("demux lock").get(&corr) {
+            cell.sent.store(true, Ordering::SeqCst);
+        }
+    }
+
     /// Abandons a request (timed-out waiter, racing submitter); a late
     /// response becomes an orphan. Returns whether the slot was still
     /// pending.
@@ -302,22 +326,6 @@ impl Conn {
             .expect("conn sender lock")
             .send(out)
             .map_err(|e| e.0)
-    }
-}
-
-/// Decrements the transport's worker-thread gauge when a worker exits.
-struct ThreadGuard(Arc<AtomicUsize>);
-
-impl ThreadGuard {
-    fn enter(counter: &Arc<AtomicUsize>) -> Self {
-        counter.fetch_add(1, Ordering::SeqCst);
-        Self(counter.clone())
-    }
-}
-
-impl Drop for ThreadGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -365,15 +373,26 @@ impl Drop for Inner {
         // it observes the flag, drops its listener and its
         // Arc<dyn WireService>, and exits. Without this, each served
         // endpoint would pin a thread, a port and its whole service
-        // (map, indexes, tiles) until process exit. Client connection
-        // workers unwind on their own: dropping the endpoints map drops
-        // every Conn, closing its queue — the writer exits and shuts
-        // the socket down, which unblocks the paired reader.
-        for ep in self.endpoints.get_mut().values() {
-            if let Some(addr) = ep.addr {
-                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+        // (map, indexes, tiles) until process exit. The wakes run in
+        // parallel on scoped threads: a transport serving N endpoints
+        // tears down in one connect's worth of time, not N sequential
+        // 100 ms connect timeouts. Client connection workers unwind on
+        // their own: dropping the endpoints map drops every Conn,
+        // closing its queue — the writer exits and shuts the socket
+        // down, which unblocks the paired reader.
+        let addrs: Vec<SocketAddr> = self
+            .endpoints
+            .get_mut()
+            .values()
+            .filter_map(|ep| ep.addr)
+            .collect();
+        thread::scope(|scope| {
+            for addr in addrs {
+                scope.spawn(move || {
+                    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+                });
             }
-        }
+        });
     }
 }
 
@@ -518,6 +537,10 @@ impl TcpTransport {
                     })
                     .expect("spawn connection reader");
                 while let Ok(out) = rx.recv() {
+                    // The frame is going onto the socket now: even if
+                    // the write (or the whole call) fails from here on,
+                    // its request bytes count as wire traffic.
+                    writer_demux.mark_sent(out.corr);
                     if write_frame(&mut stream, out.sender, out.corr, &out.payload).is_err() {
                         fail(io::ErrorKind::BrokenPipe, "connection writer failed");
                         break;
@@ -677,6 +700,29 @@ impl TcpTransport {
         }
     }
 
+    /// Charges a request whose frame was written but whose call failed
+    /// (timeout, connection death after the write): the request bytes
+    /// were really spent on the wire, so per-endpoint counters must not
+    /// under-report traffic under failure injection. The missing
+    /// response charges nothing.
+    fn charge_tx(&self, from: EndpointId, to: EndpointId, payload_out: u64) {
+        let sent = payload_out + FRAME_HEADER_LEN as u64;
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.messages += 1;
+            stats.bytes += sent;
+        }
+        let mut endpoints = self.inner.endpoints.lock();
+        if let Some(ep) = endpoints.get_mut(&from) {
+            ep.stats.tx_msgs += 1;
+            ep.stats.tx_bytes += sent;
+        }
+        if let Some(ep) = endpoints.get_mut(&to) {
+            ep.stats.rx_msgs += 1;
+            ep.stats.rx_bytes += sent;
+        }
+    }
+
     fn classify(&self, e: io::Error, to: EndpointId, down: &AtomicBool) -> NetError {
         if down.load(Ordering::Relaxed) {
             // The server cut the connection because it is down: to the
@@ -743,6 +789,13 @@ impl PendingCall for TcpPending {
                 result: Err(e),
                 sole_in_flight,
             }) => {
+                // A written request costs wire whether or not the call
+                // completes; the retry path charges the failed attempt
+                // before re-sending, so both transmissions account.
+                if self.cell.was_sent() {
+                    self.transport
+                        .charge_tx(self.from, self.to, self.bytes_sent);
+                }
                 let retriable = sole_in_flight
                     && is_stale_connection(&e)
                     // No response landed on this connection since the
@@ -780,6 +833,10 @@ impl PendingCall for TcpPending {
                 // siblings keep their cells; only checkout is barred).
                 self.demux.forget(self.corr);
                 self.conn_broken.store(true, Ordering::SeqCst);
+                if self.cell.was_sent() {
+                    self.transport
+                        .charge_tx(self.from, self.to, self.bytes_sent);
+                }
                 Err(NetError::Timeout)
             }
         }
@@ -1422,9 +1479,61 @@ mod tests {
         // The stalled connection was pruned at the next checkout, so
         // its workers tore the socket down; the stalled request's
         // eventual response dies with the connection instead of being
-        // delivered anywhere.
+        // delivered anywhere. The timed-out call still charged its
+        // *request* (the frame was written); only the response that
+        // never arrived goes uncounted.
         thread::sleep(Duration::from_millis(450));
-        assert_eq!(transport.stats().messages, 2, "only the good call charged");
+        assert_eq!(
+            transport.stats().messages,
+            3,
+            "timed-out request + the good call's two messages"
+        );
+    }
+
+    #[test]
+    fn timed_out_call_charges_its_written_request_bytes() {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("stall", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(300));
+                payload.to_vec()
+            }),
+        );
+        let client = transport.register("client", None);
+        transport.set_timeout_us(50_000);
+        let err = transport
+            .call(client, server, vec![1, 2, 3, 4])
+            .unwrap_err();
+        assert!(matches!(err, NetError::Timeout));
+        // The request frame hit the wire before the timeout: its bytes
+        // are accounted on both endpoints, the never-received response
+        // is not.
+        let stats = transport.stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.bytes, 4 + FRAME_HEADER_LEN as u64);
+        let c = transport.endpoint_stats(client).unwrap();
+        assert_eq!((c.tx_msgs, c.tx_bytes), (1, 4 + FRAME_HEADER_LEN as u64));
+        assert_eq!((c.rx_msgs, c.rx_bytes), (0, 0), "no response landed");
+        let s = transport.endpoint_stats(server).unwrap();
+        assert_eq!((s.rx_msgs, s.rx_bytes), (1, 4 + FRAME_HEADER_LEN as u64));
+        assert_eq!(s.tx_msgs, 0);
+    }
+
+    #[test]
+    fn drop_injected_call_never_reaches_the_wire_and_charges_nothing() {
+        let (transport, client, server) = echo_transport();
+        transport.set_drop_probability(1.0);
+        assert!(matches!(
+            transport.call(client, server, vec![1]),
+            Err(NetError::Timeout)
+        ));
+        // Drop injection models loss *before* the socket: unlike a
+        // timed-out written frame, nothing was spent.
+        assert_eq!(transport.stats().messages, 0);
+        assert_eq!(transport.stats().bytes, 0);
+        assert_eq!(transport.endpoint_stats(client).unwrap().tx_msgs, 0);
     }
 
     #[test]
@@ -1487,6 +1596,37 @@ mod tests {
             thread::sleep(Duration::from_millis(10));
         }
         assert!(released, "listener port still accepting after drop");
+    }
+
+    #[test]
+    fn dropping_a_many_endpoint_transport_completes_quickly() {
+        // Teardown wakes every parked accept loop; with ~16 served
+        // endpoints the old sequential 100 ms connect-timeout walk
+        // could cost 1.6 s. The wakes now run in parallel: the whole
+        // drop must finish well under a second.
+        let transport = TcpTransport::new(3);
+        let client = transport.register("client", None);
+        let servers: Vec<EndpointId> = (0..16)
+            .map(|i| {
+                let id = transport.register(&format!("srv-{i}"), None);
+                transport.set_service(
+                    id,
+                    Arc::new(|_from: EndpointId, payload: &[u8]| payload.to_vec()),
+                );
+                id
+            })
+            .collect();
+        // Exercise a few of them so real connections exist too.
+        for id in servers.iter().take(4) {
+            transport.call(client, *id, vec![1]).unwrap();
+        }
+        let t0 = Instant::now();
+        drop(transport);
+        assert!(
+            t0.elapsed() < Duration::from_millis(900),
+            "teardown of 16 served endpoints took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! free to overlap scatter rounds (submit round N+1 while round N is
 //! still in flight) instead of barriering between them.
 //!
-//! Two backends ship today:
+//! Three backends ship today:
 //!
 //! - [`SimTransport`] wraps the discrete-event [`SimNet`]: simulated
 //!   clock, modelled latencies, deterministic jitter and failure
@@ -36,6 +36,14 @@
 //!   so a slow request never head-of-line blocks the pipelined
 //!   requests behind it. The same deployments and the same client
 //!   code run unchanged over loopback sockets.
+//! - [`crate::udp::QuicLiteTransport`] speaks QUIC-inspired reliable
+//!   datagrams over `std::net::UdpSocket`: connection ids with 0-RTT
+//!   resumption, packet numbers with ack-elicited retransmission (so
+//!   injected datagram loss below the timeout is *recovered*, not
+//!   surfaced), fragmentation for frames over the datagram MTU, and
+//!   one client socket multiplexing unbounded in-flight calls by
+//!   correlation id. No TLS — a documented non-goal of this offline
+//!   tree.
 //!
 //! Servers bind by registering a [`WireService`]; transports own the
 //! listener mechanics (a handler closure on the simulator, an accept
@@ -281,16 +289,22 @@ pub enum BackendKind {
     Sim,
     /// Real loopback TCP sockets ([`crate::tcp::TcpTransport`]).
     Tcp,
+    /// QUIC-inspired reliable datagrams over real loopback UDP sockets
+    /// ([`crate::udp::QuicLiteTransport`]): 0-RTT connection
+    /// resumption, ack-elicited retransmission, fragmentation — no
+    /// crypto (a documented non-goal).
+    QuicLite,
 }
 
 impl BackendKind {
     /// Builds a fresh transport of this kind. `seed` drives the
-    /// simulator's latency jitter and both backends' drop-injection
+    /// simulator's latency jitter and every backend's drop-injection
     /// RNG.
     pub fn build(self, seed: u64) -> Arc<dyn Transport> {
         match self {
             BackendKind::Sim => SimTransport::shared(&SimNet::new(seed)),
             BackendKind::Tcp => crate::tcp::TcpTransport::shared(seed),
+            BackendKind::QuicLite => crate::udp::QuicLiteTransport::shared(seed),
         }
     }
 }
@@ -578,8 +592,12 @@ mod tests {
     }
 
     #[test]
-    fn backend_kind_builds_both_backends() {
-        for (kind, label) in [(BackendKind::Sim, "simnet"), (BackendKind::Tcp, "tcp")] {
+    fn backend_kind_builds_every_backend() {
+        for (kind, label) in [
+            (BackendKind::Sim, "simnet"),
+            (BackendKind::Tcp, "tcp"),
+            (BackendKind::QuicLite, "quiclite"),
+        ] {
             let transport = kind.build(1);
             assert_eq!(transport.kind(), label);
             let id = transport.register("c", None);

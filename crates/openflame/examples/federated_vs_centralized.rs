@@ -6,8 +6,9 @@
 //! Run with: `cargo run --release --example federated_vs_centralized`
 //!
 //! Transport selection: add `--tcp` to run all three architectures
-//! over real loopback TCP sockets instead of the network simulator —
-//! the errand code is identical either way.
+//! over real loopback TCP sockets, or `--quic` for QuicLite reliable
+//! datagrams, instead of the network simulator — the errand code is
+//! identical either way.
 
 use openflame_core::{
     CentralizedProvider, Deployment, DeploymentConfig, LocalizeQuery, RouteQuery, SearchQuery,
@@ -100,8 +101,11 @@ fn errand(
 }
 
 fn main() {
-    let backend = if std::env::args().any(|a| a == "--tcp") {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = if args.iter().any(|a| a == "--tcp") {
         BackendKind::Tcp
+    } else if args.iter().any(|a| a == "--quic") {
+        BackendKind::QuicLite
     } else {
         BackendKind::Sim
     };

@@ -6,10 +6,12 @@
 //!
 //! Transport selection: the whole stack runs on the deterministic
 //! network simulator by default; pass `--tcp` to run every DNS server,
-//! map server and client over real loopback TCP sockets instead — the
-//! code below does not change.
+//! map server and client over real loopback TCP sockets, or `--quic`
+//! for QuicLite reliable datagrams (0-RTT resumption, retransmission)
+//! — the code below does not change.
 //!
 //! `cargo run --release --example quickstart -- --tcp`
+//! `cargo run --release --example quickstart -- --quic`
 
 use openflame_core::{
     Deployment, DeploymentConfig, GeocodeQuery, LocalizeQuery, RouteQuery, SearchQuery,
@@ -20,12 +22,17 @@ use openflame_netsim::BackendKind;
 use openflame_worldgen::{World, WorldConfig};
 
 fn main() {
-    let backend = if std::env::args().any(|a| a == "--tcp") {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = if args.iter().any(|a| a == "--tcp") {
         BackendKind::Tcp
+    } else if args.iter().any(|a| a == "--quic") {
+        BackendKind::QuicLite
     } else {
         BackendKind::Sim
     };
-    println!("wire backend: {backend:?} (pass --tcp for real loopback sockets)");
+    println!(
+        "wire backend: {backend:?} (pass --tcp for loopback TCP, --quic for QuicLite datagrams)"
+    );
 
     // 1. A synthetic city: street grid, POIs, and eight grocery stores,
     //    each with a private indoor map in its own coordinate frame.

@@ -6,10 +6,12 @@
 //! lives in [`core`].
 //!
 //! The wire path (submit/completion transports, multiplexed TCP
-//! pipelining, concurrent server-side dispatch answering in completion
-//! order, the session's scatter rounds and bounded caches) is
-//! documented in [`core`]'s architecture section and specified
-//! normatively in `docs/wire-protocol.md`.
+//! pipelining, the QuicLite reliable-datagram backend with 0-RTT
+//! resumption and loss recovery, concurrent server-side dispatch
+//! answering in completion order, the session's scatter rounds and
+//! bounded caches) is documented in [`core`]'s architecture section —
+//! including a backend-selection matrix — and specified normatively in
+//! `docs/wire-protocol.md` (§6 is the datagram binding).
 
 pub use openflame_cells as cells;
 pub use openflame_codec as codec;

@@ -1,7 +1,7 @@
 //! Pipelining stress: many concurrent sessions scatter wide fan-outs
-//! over ONE shared `TcpTransport`, and the transport's worker-thread
-//! population stays bounded by its connection pools — it does not grow
-//! with fan-out width, session count or call volume.
+//! over ONE shared real-socket transport, and the transport's
+//! worker-thread population stays bounded — it does not grow with
+//! fan-out width, session count or call volume.
 //!
 //! This is the acceptance check for the submit/completion redesign:
 //! the old backend spawned one OS thread per scatter *branch* (width ×
@@ -9,12 +9,15 @@
 //! workers per pooled connection on the client side, and per served
 //! endpoint one accept loop, a bounded dispatch pool of `SERVE_POOL`
 //! workers, and a reader + writer pair per server-side connection —
-//! all reused round after round.
+//! all reused round after round. The QuicLite datagram backend pins a
+//! strictly lower ceiling: one shared client socket multiplexes every
+//! destination, so there are no per-connection worker pairs at all.
 
 use openflame_core::{ClientError, Session};
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response};
 use openflame_mapserver::Principal;
 use openflame_netsim::tcp::{TcpTransport, POOL_CAP, SERVE_POOL};
+use openflame_netsim::udp::{QuicLiteTransport, SERVE_POOL as UDP_SERVE_POOL};
 use openflame_netsim::{EndpointId, Transport};
 use std::sync::Arc;
 
@@ -136,6 +139,96 @@ fn worker_threads_bounded_under_concurrent_fanout() {
     );
 
     // Every session kept the one-envelope-per-server discipline.
+    for session in &sessions {
+        let stats = session.stats();
+        assert_eq!(stats.batches, ((1 + ROUNDS) * SERVERS) as u64);
+    }
+}
+
+#[test]
+fn quiclite_worker_threads_bounded_under_concurrent_fanout() {
+    // The same stress on the datagram backend, whose thread story is
+    // strictly better: ONE shared client socket (receiver + RTO timer)
+    // multiplexes every destination, and each served endpoint runs one
+    // receiver plus its dispatch pool — no per-connection worker pairs
+    // at all, so the ceiling is a small constant per server instead of
+    // TCP's `1 + SERVE_POOL + 4 * POOL_CAP`.
+    let transport = QuicLiteTransport::new(42);
+    let shared: Arc<dyn Transport> = Arc::new(transport.clone());
+
+    let servers: Vec<EndpointId> = (0..SERVERS)
+        .map(|i| {
+            let id = shared.register(&format!("stub-{i}"), None);
+            shared.set_service(id, stub_service(i));
+            id
+        })
+        .collect();
+
+    let sessions: Vec<Session> = (0..SESSIONS)
+        .map(|i| {
+            let endpoint = shared.register(&format!("session-{i}"), None);
+            Session::new(shared.clone(), endpoint, Principal::anonymous())
+        })
+        .collect();
+
+    // Warm-up: every session scatters once (cold connects pay their
+    // handshake round here).
+    for session in &sessions {
+        for result in session.batch_parallel(
+            servers
+                .iter()
+                .map(|s| (*s, vec![Request::Hello]))
+                .collect::<Vec<_>>(),
+        ) {
+            result.expect("warm-up scatter succeeds");
+        }
+    }
+    let after_warmup = transport.worker_threads();
+
+    std::thread::scope(|scope| {
+        for session in &sessions {
+            let servers = &servers;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let calls: Vec<(EndpointId, Vec<Request>)> = servers
+                        .iter()
+                        .map(|s| (*s, vec![Request::Hello, Request::Hello]))
+                        .collect();
+                    for (i, result) in session.batch_parallel(calls).into_iter().enumerate() {
+                        let responses: Result<Vec<Response>, ClientError> = result;
+                        let responses = responses
+                            .unwrap_or_else(|e| panic!("round {round} branch {i} failed: {e}"));
+                        assert_eq!(responses.len(), 2, "positional batch answers");
+                        assert!(matches!(responses[0], Response::Hello(_)));
+                    }
+                }
+            });
+        }
+    });
+
+    // Per served endpoint: 1 receiver + the dispatch pool. Plus the
+    // shared client receiver and the RTO timer. Nothing scales with
+    // fan-out width, session count or call volume.
+    let ceiling = SERVERS * (1 + UDP_SERVE_POOL) + 2;
+    let now = transport.worker_threads();
+    assert!(
+        now <= ceiling,
+        "worker threads {now} exceed the QuicLite ceiling {ceiling}"
+    );
+    assert_eq!(
+        now, after_warmup,
+        "steady-state scattering must not spawn further workers"
+    );
+
+    // Wire accounting stays exact under concurrency and multiplexing:
+    // one request + one response frame per envelope, nothing else.
+    let envelopes = (SESSIONS * (1 + ROUNDS) * SERVERS) as u64;
+    assert_eq!(transport.stats().messages, 2 * envelopes);
+    assert_eq!(
+        transport.orphan_responses(),
+        0,
+        "no response went unmatched under pipelining"
+    );
     for session in &sessions {
         let stats = session.stats();
         assert_eq!(stats.batches, ((1 + ROUNDS) * SERVERS) as u64);

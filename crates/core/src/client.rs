@@ -28,6 +28,7 @@
 //! [`OpenFlameClientBuilder::build_on`].
 
 use crate::discovery::{DiscoveredServer, DiscoveryClient};
+use crate::fleet::{DiscoveryView, FleetSelector, FleetShardView};
 use crate::provider::{
     GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery, ProviderEstimate,
     ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery, SearchOutcome,
@@ -183,6 +184,7 @@ impl OpenFlameClientBuilder {
             endpoint,
             discovery: DiscoveryClient::new(resolver),
             session,
+            fleet: FleetSelector::new(),
             expand_neighbors: self.expand_neighbors,
             world_provider: self.world_provider,
         }
@@ -194,9 +196,31 @@ pub struct OpenFlameClient {
     endpoint: EndpointId,
     discovery: DiscoveryClient,
     session: Session,
+    fleet: FleetSelector,
     expand_neighbors: bool,
     world_provider: Option<EndpointId>,
 }
+
+/// One branch of a fleet-aware scatter plan: the concrete server to
+/// consult, plus — when the branch serves a fleet shard — the failover
+/// context.
+struct PlannedTarget {
+    server: DiscoveredServer,
+    fleet: Option<FleetBranch>,
+}
+
+/// Fleet context of a planned branch: the shard it consults (sibling
+/// replicas live in `shard.replicas`) and the discovery-cache cell to
+/// invalidate on failover.
+struct FleetBranch {
+    shard: FleetShardView,
+    cell_raw: u64,
+}
+
+/// The footprint radius used to prune shards for localization: coarse
+/// fixes are street-address quality, so a shard further than this from
+/// the coarse position cannot be where the client stands.
+const LOCALIZE_FOOTPRINT_M: f64 = 150.0;
 
 impl OpenFlameClient {
     /// Creates a client on the network using `resolver` for discovery.
@@ -257,20 +281,155 @@ impl OpenFlameClient {
     }
 
     /// Discovers map servers around a coarse location, consulting the
-    /// session's per-cell cache before the DNS.
+    /// session's per-cell cache before the DNS. Fleets are flattened:
+    /// each shard contributes the replica the selector picks, so
+    /// callers without a spatial footprint still consult every shard
+    /// exactly once. Footprint-aware paths use the shard-pruning plan
+    /// instead.
     pub fn discover(&self, location: LatLng) -> Result<Vec<DiscoveredServer>, ClientError> {
+        Ok(self
+            .plan_targets(location, None)?
+            .into_iter()
+            .map(|t| t.server)
+            .collect())
+    }
+
+    /// The fleet-aware discovery view for a location, shard-stably
+    /// cached in the session (per query cell). Returns the cache key
+    /// cell alongside the view so failover can invalidate it.
+    fn discover_view_at(&self, location: LatLng) -> Result<(u64, DiscoveryView), ClientError> {
         let cell = CellId::from_latlng(location, QUERY_LEVEL)
             .map_err(|e| ClientError::Protocol(format!("bad location: {e}")))?;
-        if let Some(servers) = self
+        if let Some(view) = self
             .session
             .cached_discovery(cell.raw(), self.expand_neighbors)
         {
-            return Ok(servers);
+            return Ok((cell.raw(), view));
         }
-        let servers = self.discovery.discover(location, self.expand_neighbors)?;
+        let view = self
+            .discovery
+            .discover_view(location, self.expand_neighbors)?;
         self.session
-            .store_discovery(cell.raw(), self.expand_neighbors, servers.clone());
-        Ok(servers)
+            .store_discovery(cell.raw(), self.expand_neighbors, view.clone());
+        Ok((cell.raw(), view))
+    }
+
+    /// Builds the scatter plan for a location: every plain server, plus
+    /// one selected replica per fleet shard. With a `footprint` cap,
+    /// shards whose advertised extent cannot intersect it are skipped
+    /// entirely — the shard-aware scatter that makes wire cost scale
+    /// with shards *consulted*, not fleet size.
+    fn plan_targets(
+        &self,
+        location: LatLng,
+        footprint: Option<(LatLng, f64)>,
+    ) -> Result<Vec<PlannedTarget>, ClientError> {
+        let (cell_raw, view) = self.discover_view_at(location)?;
+        let transport = self.session.transport().clone();
+        let mut out: Vec<PlannedTarget> = view
+            .servers
+            .into_iter()
+            .map(|server| PlannedTarget {
+                server,
+                fleet: None,
+            })
+            .collect();
+        for fleet in view.fleets {
+            for shard in fleet.shards {
+                if shard.replicas.is_empty() {
+                    continue;
+                }
+                if let Some((center, radius_m)) = footprint {
+                    if !shard.intersects(center, radius_m) {
+                        continue;
+                    }
+                }
+                // Every replica dead-listed: consult the first anyway —
+                // the dead-list is a hint, and the wire (not the cache)
+                // should decide whether the shard is truly down.
+                let server = self
+                    .fleet
+                    .choose(transport.as_ref(), &shard)
+                    .unwrap_or(&shard.replicas[0])
+                    .clone();
+                out.push(PlannedTarget {
+                    server,
+                    fleet: Some(FleetBranch { shard, cell_raw }),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The servers a spatial query at `location` with footprint radius
+    /// `radius_m` would consult: every plain provider plus the selected
+    /// replica of each shard whose extent intersects the footprint.
+    /// Costs no wire traffic beyond (cached) discovery — benches and
+    /// tests use it to account for fleet wire cost.
+    pub fn plan_scatter(
+        &self,
+        location: LatLng,
+        radius_m: f64,
+    ) -> Result<Vec<DiscoveredServer>, ClientError> {
+        Ok(self
+            .plan_targets(location, Some((location, radius_m)))?
+            .into_iter()
+            .map(|t| t.server)
+            .collect())
+    }
+
+    /// Retries failed fleet branches on sibling replicas. **Idempotent
+    /// requests only** — the caller vouches for the request kind
+    /// (`docs/wire-protocol.md` §7, §9). Each failed branch's endpoint
+    /// is dead-listed and its discovery-cache cell invalidated, so the
+    /// dead replica is not re-consulted from cache; the branch then
+    /// retries on the first untried live sibling, round after round,
+    /// until it succeeds or its replicas are exhausted. Plain
+    /// (non-fleet) branches are left untouched. On success the branch's
+    /// plan entry is updated to the answering replica, keeping
+    /// provenance honest.
+    fn failover_fleet(
+        &self,
+        targets: &mut [PlannedTarget],
+        gathered: &mut [Result<Vec<Response>, ClientError>],
+        request_for: impl Fn(&DiscoveredServer) -> Vec<Request>,
+    ) {
+        let transport = self.session.transport().clone();
+        let mut tried: Vec<Vec<EndpointId>> =
+            targets.iter().map(|t| vec![t.server.endpoint]).collect();
+        loop {
+            let mut retry = self.session.scatter();
+            let mut retrying: Vec<(usize, DiscoveredServer)> = Vec::new();
+            for (idx, outcome) in gathered.iter().enumerate() {
+                if outcome.is_ok() {
+                    continue;
+                }
+                let Some(branch) = &targets[idx].fleet else {
+                    continue;
+                };
+                let failed = *tried[idx].last().expect("seeded with the first pick");
+                self.fleet.mark_dead(transport.as_ref(), failed);
+                self.session.invalidate_cell(branch.cell_raw);
+                let Some(sibling) =
+                    self.fleet
+                        .sibling(transport.as_ref(), &branch.shard, &tried[idx])
+                else {
+                    continue;
+                };
+                let sibling = sibling.clone();
+                retry.submit(sibling.endpoint, request_for(&sibling));
+                retrying.push((idx, sibling));
+            }
+            if retrying.is_empty() {
+                return;
+            }
+            let results = retry.collect();
+            for ((idx, sibling), result) in retrying.into_iter().zip(results) {
+                tried[idx].push(sibling.endpoint);
+                targets[idx].server = sibling;
+                gathered[idx] = result;
+            }
+        }
     }
 
     // ----------------------------------------------------------------
@@ -289,6 +448,20 @@ impl OpenFlameClient {
         self.search_impl(query, location, 2_000.0, k)
     }
 
+    /// [`OpenFlameClient::federated_search`] with an explicit query
+    /// radius. A spatially narrow radius lets the fleet layer prune
+    /// shards whose extent cannot intersect the query, so wire cost
+    /// scales with shards consulted rather than fleet size.
+    pub fn federated_search_within(
+        &self,
+        query: &str,
+        location: LatLng,
+        radius_m: f64,
+        k: usize,
+    ) -> Result<Vec<FederatedSearchHit>, ClientError> {
+        self.search_impl(query, location, radius_m, k)
+    }
+
     fn search_impl(
         &self,
         query: &str,
@@ -296,8 +469,10 @@ impl OpenFlameClient {
         radius_m: f64,
         k: usize,
     ) -> Result<Vec<FederatedSearchHit>, ClientError> {
-        let servers = self.discover(location)?;
-        if servers.is_empty() {
+        // Shard-aware plan: plain servers plus one selected replica per
+        // fleet shard whose extent intersects the query cap.
+        let mut targets = self.plan_targets(location, Some((location, radius_m)))?;
+        if targets.is_empty() {
             return Err(ClientError::NothingDiscovered(format!(
                 "no servers near {location}"
             )));
@@ -331,18 +506,20 @@ impl OpenFlameClient {
             Cold(usize),
         }
         let mut round = self.session.scatter();
-        let slots: Vec<Slot> = servers
+        let slots: Vec<Slot> = targets
             .iter()
-            .map(|server| match self.session.cached_hello(server.endpoint) {
-                Some(hello) => Slot::Warm(round.submit(
-                    server.endpoint,
-                    vec![search_request(center_for(Some(hello)))],
-                )),
-                None => {
-                    self.session.note_hello_misses(1);
-                    Slot::Cold(round.submit(server.endpoint, vec![Request::Hello]))
-                }
-            })
+            .map(
+                |target| match self.session.cached_hello(target.server.endpoint) {
+                    Some(hello) => Slot::Warm(round.submit(
+                        target.server.endpoint,
+                        vec![search_request(center_for(Some(hello)))],
+                    )),
+                    None => {
+                        self.session.note_hello_misses(1);
+                        Slot::Cold(round.submit(target.server.endpoint, vec![Request::Hello]))
+                    }
+                },
+            )
             .collect();
         let first = round.collect();
         // Follow-up searches for the servers that needed the
@@ -352,14 +529,14 @@ impl OpenFlameClient {
         // (center unknown) and its outcome is what the caller sees,
         // exactly as the pre-pipelining two-round flow behaved.
         let mut follow = self.session.scatter();
-        let slots: Vec<Slot> = servers
+        let slots: Vec<Slot> = targets
             .iter()
             .zip(slots)
-            .map(|(server, slot)| match slot {
+            .map(|(target, slot)| match slot {
                 Slot::Warm(i) => Slot::Warm(i),
                 Slot::Cold(_) => {
-                    let center = center_for(self.session.cached_hello(server.endpoint));
-                    Slot::Cold(follow.submit(server.endpoint, vec![search_request(center)]))
+                    let center = center_for(self.session.cached_hello(target.server.endpoint));
+                    Slot::Cold(follow.submit(target.server.endpoint, vec![search_request(center)]))
                 }
             })
             .collect();
@@ -368,18 +545,28 @@ impl OpenFlameClient {
             first.into_iter().map(Some).collect();
         let mut second: Vec<Option<Result<Vec<Response>, ClientError>>> =
             second.into_iter().map(Some).collect();
-        let gathered: Vec<Result<Vec<Response>, ClientError>> = slots
+        let mut gathered: Vec<Result<Vec<Response>, ClientError>> = slots
             .into_iter()
             .map(|slot| match slot {
                 Slot::Warm(i) => first[i].take().expect("claimed once"),
                 Slot::Cold(i) => second[i].take().expect("claimed once"),
             })
             .collect();
+        // Replica failover: search is idempotent (wire-protocol §7), so
+        // a failed fleet branch may retry on a sibling replica. The
+        // failed endpoint is dead-listed and its discovery cell
+        // invalidated; provenance follows the answering replica.
+        self.failover_fleet(&mut targets, &mut gathered, |server| {
+            vec![search_request(center_for(
+                self.session.cached_hello(server.endpoint),
+            ))]
+        });
         let mut lists: Vec<Vec<SearchResult>> = Vec::new();
         let mut provenance: Vec<Vec<FederatedSearchHit>> = Vec::new();
         let mut answered = 0usize;
         let mut failures: Vec<(usize, ClientError)> = Vec::new();
-        for (idx, (server, outcome)) in servers.iter().zip(gathered).enumerate() {
+        for (idx, (target, outcome)) in targets.iter().zip(gathered).enumerate() {
+            let server = &target.server;
             let results = match outcome.map(|mut r| r.pop()) {
                 Ok(Some(Response::Search { results })) => {
                     answered += 1;
@@ -425,6 +612,21 @@ impl OpenFlameClient {
         if answered == 0 && !failures.is_empty() {
             return Err(ClientError::PartialFailure {
                 succeeded: 0,
+                failures,
+            });
+        }
+        // A fleet branch still failing after failover means a whole
+        // shard is down: part of the advertised content is unreachable,
+        // which must not read as "no results there". Surface it with
+        // the per-replica sources preserved (a lone plain server
+        // failing while others answer stays absorbed, as before —
+        // plain servers advertise no content partition).
+        if failures
+            .iter()
+            .any(|(idx, _)| targets[*idx].fleet.is_some())
+        {
+            return Err(ClientError::PartialFailure {
+                succeeded: answered,
                 failures,
             });
         }
@@ -832,26 +1034,33 @@ impl OpenFlameClient {
         cues: &[LocationCue],
         prefetch_hellos: bool,
     ) -> Result<Vec<(DiscoveredServer, WireEstimate)>, ClientError> {
-        let servers = self.discover(coarse)?;
-        let mut targets: Vec<DiscoveredServer> = Vec::new();
-        let mut round = self.session.scatter();
-        for server in servers {
-            let matching: Vec<LocationCue> = cues
-                .iter()
+        // Shard-aware plan: the coarse fix bounds where the client can
+        // stand, so shards outside the localize footprint are skipped.
+        let planned = self.plan_targets(coarse, Some((coarse, LOCALIZE_FOOTPRINT_M)))?;
+        let cues_for = |server: &DiscoveredServer| -> Vec<LocationCue> {
+            cues.iter()
                 .filter(|c| server.accepts_cue(c.technology()))
                 .cloned()
-                .collect();
+                .collect()
+        };
+        let mut targets: Vec<PlannedTarget> = Vec::new();
+        let mut round = self.session.scatter();
+        for target in planned {
+            let matching = cues_for(&target.server);
             if matching.is_empty() {
                 continue;
             }
-            round.submit(server.endpoint, vec![Request::Localize { cues: matching }]);
-            targets.push(server);
+            round.submit(
+                target.server.endpoint,
+                vec![Request::Localize { cues: matching }],
+            );
+            targets.push(target);
         }
         if prefetch_hellos {
-            for server in &targets {
-                if !self.session.has_hello(server.endpoint) {
+            for target in &targets {
+                if !self.session.has_hello(target.server.endpoint) {
                     self.session.note_hello_misses(1);
-                    round.submit(server.endpoint, vec![Request::Hello]);
+                    round.submit(target.server.endpoint, vec![Request::Hello]);
                 }
             }
         }
@@ -860,28 +1069,42 @@ impl OpenFlameClient {
         // collect; only the localize branches (submitted first, so
         // positionally first) carry estimates.
         results.truncate(targets.len());
+        // Replica failover: localization is idempotent (wire-protocol
+        // §7) — a failed fleet branch retries on a sibling replica,
+        // which accepts the same cues (services are advertised
+        // group-wide).
+        self.failover_fleet(&mut targets, &mut results, |server| {
+            vec![Request::Localize {
+                cues: cues_for(server),
+            }]
+        });
         let mut out: Vec<(DiscoveredServer, WireEstimate)> = Vec::new();
         let mut answered = 0usize;
         let mut failures: Vec<(usize, ClientError)> = Vec::new();
-        for (idx, (server, outcome)) in targets.into_iter().zip(results).enumerate() {
+        let mut fleet_failed = false;
+        for (idx, (target, outcome)) in targets.iter().zip(results).enumerate() {
             match outcome.map(|mut r| r.pop()) {
                 Ok(Some(Response::Localize { estimates })) => {
                     answered += 1;
                     for e in estimates {
-                        out.push((server.clone(), e));
+                        out.push((target.server.clone(), e));
                     }
                 }
                 // No fix and §5.3 denials are answers; only wire
                 // failures count toward total-blackout detection.
                 Ok(_) => answered += 1,
-                Err(e) => failures.push((idx, e)),
+                Err(e) => {
+                    fleet_failed |= target.fleet.is_some();
+                    failures.push((idx, e));
+                }
             }
         }
         // Every consulted server was unreachable: an outage must not
-        // read as "no localization coverage here".
-        if answered == 0 && !failures.is_empty() {
+        // read as "no localization coverage here". A fleet shard still
+        // down after failover is likewise surfaced, sources preserved.
+        if (answered == 0 || fleet_failed) && !failures.is_empty() {
             return Err(ClientError::PartialFailure {
-                succeeded: 0,
+                succeeded: answered,
                 failures,
             });
         }

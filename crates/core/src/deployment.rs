@@ -15,15 +15,22 @@
 //! [`Deployment::build_on`] a transport you constructed yourself.
 
 use crate::client::OpenFlameClient;
+use crate::fleet::{plan_venue_shards, ShardPlan};
 use crate::ClientError;
 use openflame_cells::{CellId, Region, RegionCoverer};
-use openflame_dns::{AuthServer, DomainName, Record, RecordData, Resolver, ResolverConfig, Zone};
+use openflame_dns::{
+    AuthServer, DomainName, FleetReplica, FleetShard, Record, RecordData, Resolver, ResolverConfig,
+    Zone,
+};
 use openflame_localize::TagRegistry;
+use openflame_mapdata::{MapDocument, NodeId, Tags};
 use openflame_mapserver::naming::{cell_to_name, cell_to_wildcard, SPATIAL_ROOT};
 use openflame_mapserver::{AccessPolicy, MapServer, MapServerConfig, Principal};
 use openflame_netsim::{BackendKind, Transport};
+use openflame_search::SEARCHABLE_VALUE_KEYS;
 use openflame_worldgen::World;
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Deployment knobs.
@@ -47,6 +54,15 @@ pub struct DeploymentConfig {
     pub venue_policy: AccessPolicy,
     /// Whether servers precompute contraction hierarchies.
     pub build_ch: bool,
+    /// Replicas per content shard of each venue fleet. `1` (with
+    /// `content_shards: 1`) keeps the classic one-server-per-venue
+    /// deployment; anything larger spins every venue up as a fleet
+    /// advertised through `FLEETSRV` records.
+    pub replicas: usize,
+    /// Spatial content shards per venue fleet (skew-aware split of the
+    /// venue's searchable documents; see
+    /// [`crate::fleet::plan_venue_shards`]).
+    pub content_shards: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -60,8 +76,30 @@ impl Default for DeploymentConfig {
             resolver: ResolverConfig::default(),
             venue_policy: AccessPolicy::open(),
             build_ch: false,
+            replicas: 1,
+            content_shards: 1,
         }
     }
+}
+
+impl DeploymentConfig {
+    /// Whether venues deploy as replicated + sharded fleets.
+    pub fn fleet_mode(&self) -> bool {
+        self.replicas.max(1) > 1 || self.content_shards.max(1) > 1
+    }
+}
+
+/// One member server of a venue's serving fleet.
+#[derive(Clone)]
+pub struct FleetMember {
+    /// Venue index (into `world.venues`).
+    pub venue: usize,
+    /// Content-shard index within the venue.
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// The running map server.
+    pub server: Arc<MapServer>,
 }
 
 /// A running federated deployment.
@@ -83,8 +121,12 @@ pub struct Deployment {
     pub resolver: Arc<Resolver>,
     /// The outdoor world-map provider (anchored).
     pub outdoor_server: Arc<MapServer>,
-    /// One server per venue, same order as `world.venues`.
+    /// One server per venue, same order as `world.venues` (empty in
+    /// fleet mode, where venues are served by `fleet_servers`).
     pub venue_servers: Vec<Arc<MapServer>>,
+    /// Fleet member servers (empty outside fleet mode): every
+    /// venue × shard × replica, in that nesting order.
+    pub fleet_servers: Vec<FleetMember>,
     /// The OpenFLAME client.
     pub client: OpenFlameClient,
     /// Which shard each delegated cell zone landed on.
@@ -151,6 +193,11 @@ impl Deployment {
             },
         );
         let mut venue_servers = Vec::with_capacity(world.venues.len());
+        let mut fleet_servers: Vec<FleetMember> = Vec::new();
+        let mut venue_plans: Vec<Vec<ShardPlan>> = Vec::new();
+        let fleet_mode = config.fleet_mode();
+        let shards_per_venue = config.content_shards.max(1);
+        let replicas_per_shard = config.replicas.max(1);
         for (i, venue) in world.venues.iter().enumerate() {
             let city = world.city_frame();
             let entrance_outdoor_geo = city.from_local(
@@ -160,20 +207,53 @@ impl Deployment {
                     .expect("entrance exists")
                     .pos,
             );
-            venue_servers.push(MapServer::spawn_on(
-                &transport,
-                MapServerConfig {
-                    id: format!("venue-{i}"),
-                    map: venue.map.clone(),
-                    beacons: venue.beacons.clone(),
-                    tags: venue.tags.clone(),
-                    policy: config.venue_policy.clone(),
-                    portals: vec![(venue.entrance_local, entrance_outdoor_geo)],
-                    location_hint: venue.hint,
-                    radius_m: venue.radius_m,
-                    build_ch: config.build_ch,
-                },
-            ));
+            let server_config = |id: String, map: MapDocument| MapServerConfig {
+                id,
+                map,
+                beacons: venue.beacons.clone(),
+                tags: venue.tags.clone(),
+                policy: config.venue_policy.clone(),
+                portals: vec![(venue.entrance_local, entrance_outdoor_geo)],
+                location_hint: venue.hint,
+                radius_m: venue.radius_m,
+                build_ch: config.build_ch,
+            };
+            if !fleet_mode {
+                venue_servers.push(MapServer::spawn_on(
+                    &transport,
+                    server_config(format!("venue-{i}"), venue.map.clone()),
+                ));
+                continue;
+            }
+            // Fleet mode: split the venue's searchable content into
+            // spatial shards (skew-aware equal-count cuts), then spawn
+            // every shard × replica. Structure, ways, beacons and
+            // portals are replicated whole — only searchable content is
+            // partitioned, by stripping searchable keys from
+            // out-of-shard nodes.
+            let plans = plan_venue_shards(&world, i, shards_per_venue, |id| {
+                venue
+                    .map
+                    .node(NodeId(id))
+                    .is_some_and(|n| has_searchable(&n.tags))
+            });
+            for (k, plan) in plans.iter().enumerate() {
+                let owned: HashSet<u64> = plan.members.iter().copied().collect();
+                let doc = shard_document(&venue.map, &owned);
+                for r in 0..replicas_per_shard {
+                    let server = MapServer::spawn_on(
+                        &transport,
+                        server_config(format!("venue-{i}/s{k}r{r}"), doc.clone()),
+                    );
+                    fleet_servers.push(FleetMember {
+                        venue: i,
+                        shard: k,
+                        replica: r,
+                        server,
+                    });
+                }
+            }
+            venue_plans.push(plans);
         }
 
         let client = OpenFlameClient::builder()
@@ -190,6 +270,7 @@ impl Deployment {
             resolver,
             outdoor_server,
             venue_servers,
+            fleet_servers,
             client,
             shard_of_cell: HashMap::new(),
             config,
@@ -200,6 +281,9 @@ impl Deployment {
         let venues: Vec<Arc<MapServer>> = deployment.venue_servers.clone();
         for server in &venues {
             deployment.register(server);
+        }
+        for (venue_idx, plans) in venue_plans.iter().enumerate() {
+            deployment.register_fleet(venue_idx, plans);
         }
         deployment
     }
@@ -216,24 +300,67 @@ impl Deployment {
             radius_m: server.radius_m(),
         };
         let cells = RegionCoverer::default().covering_at_level(&region, self.config.covering_level);
-        let hello = server.hello();
         let data = RecordData::MapSrv {
             endpoint: server.endpoint().0,
             server_id: server.id().to_string(),
-            services: hello
-                .services
-                .iter()
-                .cloned()
-                .chain(
-                    hello
-                        .localization_techs
-                        .iter()
-                        .map(|t| format!("localize:{t}")),
-                )
-                .collect(),
+            services: advertised_services(server),
         };
+        self.install_records(&cells, &data);
+    }
+
+    /// Registers a venue fleet: one `FLEETSRV` record per covering
+    /// cell, carrying the full replica-set + shard-map advertisement
+    /// (`docs/wire-protocol.md` §9). Fleet venues do **not** get
+    /// per-replica `MAPSRV` records — the client's shard-aware scatter
+    /// is the only path to them, which keeps wire cost a function of
+    /// shards consulted rather than fleet size.
+    pub fn register_fleet(&mut self, venue_idx: usize, plans: &[ShardPlan]) {
+        let venue = &self.world.venues[venue_idx];
+        let region = Region::Cap {
+            center: venue.hint,
+            radius_m: venue.radius_m,
+        };
+        let cells = RegionCoverer::default().covering_at_level(&region, self.config.covering_level);
+        let members: Vec<&FleetMember> = self
+            .fleet_servers
+            .iter()
+            .filter(|m| m.venue == venue_idx)
+            .collect();
+        let services = advertised_services(
+            &members
+                .first()
+                .expect("fleet mode spawned members for every venue")
+                .server,
+        );
+        let shards: Vec<FleetShard> = plans
+            .iter()
+            .enumerate()
+            .map(|(k, plan)| FleetShard {
+                extents: plan.extents.iter().map(|c| c.raw()).collect(),
+                replicas: members
+                    .iter()
+                    .filter(|m| m.shard == k)
+                    .map(|m| FleetReplica {
+                        endpoint: m.server.endpoint().0,
+                        server_id: m.server.id().to_string(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let data = RecordData::FleetSrv {
+            group_id: format!("venue-{venue_idx}"),
+            services,
+            shards,
+        };
+        self.install_records(&cells, &data);
+    }
+
+    /// Installs `data` at every cell's exact and wildcard names,
+    /// routing each record to the cell's DNS shard zone (creating the
+    /// zone and its delegation on first touch) when sharding is on.
+    fn install_records(&mut self, cells: &[CellId], data: &RecordData) {
         let total_shards = self.config.dns_shards.max(1);
-        for cell in cells {
+        for &cell in cells {
             let exact = cell_to_name(cell);
             let wildcard = cell_to_wildcard(cell);
             if total_shards == 1 {
@@ -297,6 +424,52 @@ impl Deployment {
     }
 }
 
+/// The DNS-advertised service list for a server: its wire services
+/// plus one `localize:<tech>` entry per localization technique.
+fn advertised_services(server: &MapServer) -> Vec<String> {
+    let hello = server.hello();
+    hello
+        .services
+        .iter()
+        .cloned()
+        .chain(
+            hello
+                .localization_techs
+                .iter()
+                .map(|t| format!("localize:{t}")),
+        )
+        .collect()
+}
+
+/// Whether a node carries searchable content — the unit the fleet's
+/// content sharding partitions.
+fn has_searchable(tags: &Tags) -> bool {
+    SEARCHABLE_VALUE_KEYS.iter().any(|k| tags.get(k).is_some())
+}
+
+/// A shard's copy of a venue map: structure, ways and geometry stay
+/// whole (every replica can route and localize), but searchable keys
+/// are stripped from content nodes the shard does not own, so they
+/// vanish from this shard's search index while remaining routable.
+fn shard_document(full: &MapDocument, owned: &HashSet<u64>) -> MapDocument {
+    let mut doc = full.clone();
+    let strip: Vec<(NodeId, Tags)> = doc
+        .nodes()
+        .filter(|n| has_searchable(&n.tags) && !owned.contains(&n.id.0))
+        .map(|n| {
+            let mut tags = n.tags.clone();
+            for key in SEARCHABLE_VALUE_KEYS {
+                tags.remove(key);
+            }
+            (n.id, tags)
+        })
+        .collect();
+    for (id, tags) in strip {
+        doc.set_node_tags(id, tags).expect("node exists");
+    }
+    doc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +521,68 @@ mod tests {
         let hint = dep.world.venues[0].hint;
         let found = dep.client.discovery().discover(hint, true).unwrap();
         assert!(found.iter().any(|s| s.server_id.starts_with("venue-0")));
+    }
+
+    #[test]
+    fn fleet_deployment_spawns_shards_and_replicas() {
+        let config = DeploymentConfig {
+            replicas: 2,
+            content_shards: 3,
+            ..DeploymentConfig::default()
+        };
+        assert!(config.fleet_mode());
+        let dep = Deployment::build(World::generate(WorldConfig::default()), config);
+        assert!(dep.venue_servers.is_empty(), "fleet mode replaces venues");
+        assert_eq!(
+            dep.fleet_servers.len(),
+            dep.world.venues.len() * 3 * 2,
+            "every venue spawns shards × replicas members"
+        );
+        // Discovery surfaces the fleet advertisement, not per-replica
+        // MAPSRV records.
+        let hint = dep.world.venues[0].hint;
+        let view = dep.client.discovery().discover_view(hint, true).unwrap();
+        let fleet = view
+            .fleets
+            .iter()
+            .find(|f| f.group_id == "venue-0")
+            .expect("venue-0 fleet advertised");
+        assert_eq!(fleet.shards.len(), 3);
+        assert!(fleet.shards.iter().all(|s| s.replicas.len() == 2));
+        assert!(
+            !view
+                .servers
+                .iter()
+                .any(|s| s.server_id.starts_with("venue")),
+            "fleet members must not appear as plain MAPSRV servers"
+        );
+    }
+
+    #[test]
+    fn fleet_deployment_search_finds_sharded_content() {
+        let dep = Deployment::build(
+            World::generate(WorldConfig::default()),
+            DeploymentConfig {
+                replicas: 2,
+                content_shards: 2,
+                ..DeploymentConfig::default()
+            },
+        );
+        // Every generated product is owned by exactly one content
+        // shard; federated search must still surface it, attributed to
+        // a member of the owning venue's fleet.
+        for product in dep.world.products.iter().take(3) {
+            let hint = dep.world.venues[product.venue].hint;
+            let hit = dep.find_product(&product.name, hint).unwrap();
+            assert_eq!(hit.result.label, product.name);
+            assert!(
+                hit.server_id
+                    .starts_with(&format!("venue-{}/s", product.venue)),
+                "hit {:?} must come from venue {}'s fleet",
+                hit.server_id,
+                product.venue
+            );
+        }
     }
 
     #[test]

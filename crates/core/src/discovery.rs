@@ -10,6 +10,7 @@
 //! — because map boundaries are fuzzy (§3) — optionally repeats the
 //! lookup for the cell's edge neighbors, deduplicating the result.
 
+use crate::fleet::{DiscoveryView, FleetShardView, FleetView};
 use crate::ClientError;
 use openflame_cells::CellId;
 use openflame_dns::{DnsError, DomainName, RecordData, RecordType, Resolver};
@@ -101,6 +102,35 @@ impl DiscoveryClient {
         level: u8,
         expand_neighbors: bool,
     ) -> Result<Vec<DiscoveredServer>, ClientError> {
+        Ok(self
+            .discover_view_at_level(location, level, expand_neighbors)?
+            .servers)
+    }
+
+    /// Fleet-aware discovery: resolves both `MAPSRV` (plain servers)
+    /// and `FLEETSRV` (replica-set + shard-map advertisements) for the
+    /// query cells, in **one** pipelined resolver round — two record
+    /// types per cell cost one walk's latency, not two.
+    ///
+    /// In deployments without fleets the `FLEETSRV` lookups come back
+    /// empty and the view degenerates to the plain server list, so this
+    /// is the single discovery path for every client.
+    pub fn discover_view(
+        &self,
+        location: LatLng,
+        expand_neighbors: bool,
+    ) -> Result<DiscoveryView, ClientError> {
+        self.discover_view_at_level(location, QUERY_LEVEL, expand_neighbors)
+    }
+
+    /// [`DiscoveryClient::discover_view`] with an explicit query cell
+    /// level.
+    pub fn discover_view_at_level(
+        &self,
+        location: LatLng,
+        level: u8,
+        expand_neighbors: bool,
+    ) -> Result<DiscoveryView, ClientError> {
         self.stats.lock().discoveries += 1;
         let cell = CellId::from_latlng(location, level)
             .map_err(|e| ClientError::Protocol(format!("bad location: {e}")))?;
@@ -108,18 +138,24 @@ impl DiscoveryClient {
         if expand_neighbors {
             cells.extend(cell.edge_neighbors());
         }
-        // All cell lookups (primary + neighbors) walk the DNS in one
-        // pipelined round: five cells cost one walk's latency, not
-        // five. Results come back positionally, so dedup order — and
-        // therefore the discovered-server order every layer above
-        // relies on — is identical to the sequential walk's.
+        // All lookups (primary + neighbors, both record types) walk the
+        // DNS in one pipelined round: ten queries cost one walk's
+        // latency, not ten. Results come back positionally, so dedup
+        // order — and therefore the discovered-server order every layer
+        // above relies on — is identical to the sequential walk's.
         let queries: Vec<(DomainName, RecordType)> = cells
             .iter()
-            .map(|c| (cell_to_name(*c), RecordType::MapSrv))
+            .flat_map(|c| {
+                let name = cell_to_name(*c);
+                [
+                    (name.clone(), RecordType::MapSrv),
+                    (name, RecordType::FleetSrv),
+                ]
+            })
             .collect();
         self.stats.lock().lookups += queries.len() as u64;
         let outcomes = self.resolver.resolve_many(&queries);
-        let mut servers: Vec<DiscoveredServer> = Vec::new();
+        let mut view = DiscoveryView::default();
         for ((name, _), outcome) in queries.into_iter().zip(outcomes) {
             match outcome {
                 Ok(outcome) => {
@@ -130,20 +166,7 @@ impl DiscoveryClient {
                         self.stats.lock().empty += 1;
                     }
                     for record in outcome.records {
-                        if let RecordData::MapSrv {
-                            endpoint,
-                            server_id,
-                            services,
-                        } = record.data
-                        {
-                            if servers.iter().all(|s| s.server_id != server_id) {
-                                servers.push(DiscoveredServer {
-                                    server_id,
-                                    endpoint: EndpointId(endpoint),
-                                    services,
-                                });
-                            }
-                        }
+                        Self::absorb_record(&mut view, record.data);
                     }
                 }
                 Err(DnsError::NxDomain(_)) => {
@@ -156,7 +179,62 @@ impl DiscoveryClient {
                 }
             }
         }
-        Ok(servers)
+        Ok(view)
+    }
+
+    /// Folds one resource record into the view, deduplicating servers
+    /// by id and fleets by group id (neighbor cells re-advertise the
+    /// same providers).
+    fn absorb_record(view: &mut DiscoveryView, data: RecordData) {
+        match data {
+            RecordData::MapSrv {
+                endpoint,
+                server_id,
+                services,
+            } if view.servers.iter().all(|s| s.server_id != server_id) => {
+                view.servers.push(DiscoveredServer {
+                    server_id,
+                    endpoint: EndpointId(endpoint),
+                    services,
+                });
+            }
+            RecordData::FleetSrv {
+                group_id,
+                services,
+                shards,
+            } => {
+                if view.fleets.iter().any(|f| f.group_id == group_id) {
+                    return;
+                }
+                let shards = shards
+                    .into_iter()
+                    .map(|shard| FleetShardView {
+                        extents: shard
+                            .extents
+                            .iter()
+                            .filter_map(|&raw| CellId::from_raw(raw).ok())
+                            .collect(),
+                        replicas: shard
+                            .replicas
+                            .into_iter()
+                            .map(|r| DiscoveredServer {
+                                server_id: r.server_id,
+                                endpoint: EndpointId(r.endpoint),
+                                // Replicas inherit the group's service
+                                // advertisement.
+                                services: services.clone(),
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                view.fleets.push(FleetView {
+                    group_id,
+                    services,
+                    shards,
+                });
+            }
+            _ => {}
+        }
     }
 }
 

@@ -1,0 +1,462 @@
+//! The serving fleet: replicated + sharded per-cell map serving.
+//!
+//! A venue that outgrows one map server advertises a **fleet** instead
+//! of a single `MAPSRV` record: one `FLEETSRV` record carrying the
+//! venue's replica set and its **shard map** — a spatial split of the
+//! venue's documents at a sub-cell level, skew-aware so hot sub-areas
+//! (a busy aisle, a crowded wing) get their own shard. The client then
+//! does three things a single-server federation never had to:
+//!
+//! - **Shard-aware scatter**: a spatial query consults only the shards
+//!   whose advertised extent intersects the query footprint — wire cost
+//!   scales with shards *consulted*, not fleet size.
+//! - **Replica selection**: within a shard, the client picks one
+//!   replica by power-of-two-choices over the per-endpoint latency
+//!   summaries the transport already collects
+//!   ([`Transport::endpoint_latency`]).
+//! - **Failover**: when a consulted replica fails at the wire, the
+//!   client retries the branch on a sibling replica — for *idempotent*
+//!   requests only (`docs/wire-protocol.md` §7) — and marks the dead
+//!   endpoint so it is not re-consulted until its dead-list entry ages
+//!   out. Only a fully-down shard surfaces
+//!   [`ClientError::PartialFailure`](crate::ClientError::PartialFailure),
+//!   with the per-replica source errors preserved.
+//!
+//! The types here are the *client-side view* of an advertisement
+//! ([`DiscoveryView`], [`FleetView`], [`FleetShardView`]) plus the
+//! selector ([`FleetSelector`]) and the deployment-side shard planner
+//! ([`plan_venue_shards`]). Everything is backend-agnostic: selection
+//! is deterministic given identical latency books, so the fleet wire
+//! discipline holds identically on the simulator, TCP and QuicLite
+//! (the fleet parity test pins this).
+
+use crate::discovery::DiscoveredServer;
+use openflame_cells::{CellId, Region};
+use openflame_geo::LatLng;
+use openflame_netsim::{EndpointId, Transport};
+use openflame_worldgen::World;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// How long a replica that failed at the wire stays off the candidate
+/// list before the selector will consider it again (transport clock).
+/// Deliberately much shorter than the 300 s discovery TTL: a crashed
+/// replica that restarts should resume taking traffic without waiting
+/// for the naming layer to age out.
+pub const DEAD_TTL_US: u64 = 30 * 1_000_000;
+
+/// One content shard of a fleet, as the client sees it: the sub-cell
+/// extent it owns and the replicas serving it (advertisement order is
+/// stable — it is part of the DNS record — so every client derives the
+/// same candidate order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetShardView {
+    /// Fine cells whose content this shard owns.
+    pub extents: Vec<CellId>,
+    /// Replicas serving this shard (each carries the group's services).
+    pub replicas: Vec<DiscoveredServer>,
+}
+
+impl FleetShardView {
+    /// Whether this shard's extent may intersect a query cap. The test
+    /// is conservative (cell-level `may_intersect`): a shard is never
+    /// wrongly skipped, it can only be consulted unnecessarily.
+    pub fn intersects(&self, center: LatLng, radius_m: f64) -> bool {
+        let cap = Region::Cap { center, radius_m };
+        self.extents.iter().any(|c| cap.may_intersect_cell(*c))
+    }
+}
+
+/// A discovered fleet: one group (typically one venue) split into
+/// shards, each replicated.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetView {
+    /// Stable group id (e.g. `"venue-3"`).
+    pub group_id: String,
+    /// Advertised services, shared by every replica of the group.
+    pub services: Vec<String>,
+    /// The shard map, in advertisement order.
+    pub shards: Vec<FleetShardView>,
+}
+
+/// Everything one discovery round learned about a location: plain
+/// single-server providers plus fleet groups. Cached shard-stably in
+/// the session's discovery cache — repeated queries against the same
+/// cell reuse the same shard map, so replica choice (and therefore the
+/// hello cache) stays warm across requests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiscoveryView {
+    /// Plain (non-fleet) servers, e.g. the outdoor world-map provider.
+    pub servers: Vec<DiscoveredServer>,
+    /// Fleet groups advertising at this location.
+    pub fleets: Vec<FleetView>,
+}
+
+impl DiscoveryView {
+    /// A view holding only plain servers (the pre-fleet shape).
+    pub fn from_servers(servers: Vec<DiscoveredServer>) -> Self {
+        Self {
+            servers,
+            fleets: Vec::new(),
+        }
+    }
+
+    /// Whether the round discovered nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty() && self.fleets.iter().all(|f| f.shards.is_empty())
+    }
+}
+
+/// Client-side replica selection state: a dead-list of endpoints that
+/// failed at the wire, consulted by the power-of-two-choices pick.
+/// Latency knowledge itself lives in the transport
+/// ([`Transport::endpoint_latency`]); this struct only remembers who
+/// recently failed.
+#[derive(Default)]
+pub struct FleetSelector {
+    /// endpoint → transport-clock instant at which it may be retried.
+    dead: Mutex<HashMap<EndpointId, u64>>,
+}
+
+impl FleetSelector {
+    /// A selector with an empty dead-list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a wire failure: `endpoint` is skipped by selection until
+    /// [`DEAD_TTL_US`] of transport time passes.
+    pub fn mark_dead(&self, transport: &dyn Transport, endpoint: EndpointId) {
+        self.dead
+            .lock()
+            .insert(endpoint, transport.now_us().saturating_add(DEAD_TTL_US));
+    }
+
+    /// Whether `endpoint` is currently on the dead-list (expired
+    /// entries are pruned on probe).
+    pub fn is_dead(&self, transport: &dyn Transport, endpoint: EndpointId) -> bool {
+        let now = transport.now_us();
+        let mut dead = self.dead.lock();
+        match dead.get(&endpoint) {
+            Some(&until) if until > now => true,
+            Some(_) => {
+                dead.remove(&endpoint);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Number of endpoints currently dead-listed.
+    pub fn dead_len(&self, transport: &dyn Transport) -> usize {
+        let now = transport.now_us();
+        let mut dead = self.dead.lock();
+        dead.retain(|_, &mut until| until > now);
+        dead.len()
+    }
+
+    /// Picks the replica to consult for `shard`: power-of-two-choices
+    /// over the transport's per-endpoint latency EWMA.
+    ///
+    /// Two candidate indices are derived from a deterministic hash of
+    /// the replica set, then the one with the lower latency score wins;
+    /// a replica with no samples scores worst (so an incumbent with
+    /// measured latency is sticky — keeping its hello cache warm — and
+    /// a fresh book falls back to the lower candidate index, making the
+    /// pick identical across backends and runs). Dead-listed replicas
+    /// are excluded. Returns `None` only when every replica is
+    /// dead-listed — callers typically fall back to `replicas[0]` then,
+    /// letting the wire surface the truth.
+    pub fn choose<'a>(
+        &self,
+        transport: &dyn Transport,
+        shard: &'a FleetShardView,
+    ) -> Option<&'a DiscoveredServer> {
+        let alive: Vec<&DiscoveredServer> = shard
+            .replicas
+            .iter()
+            .filter(|r| !self.is_dead(transport, r.endpoint))
+            .collect();
+        match alive.len() {
+            0 => None,
+            1 => Some(alive[0]),
+            n => {
+                let h = fingerprint(shard);
+                let c1 = (h % n as u64) as usize;
+                // Second candidate from the high bits, shifted past the
+                // first so the two are always distinct.
+                let mut c2 = ((h >> 32) % (n as u64 - 1)) as usize;
+                if c2 >= c1 {
+                    c2 += 1;
+                }
+                let score = |r: &DiscoveredServer| {
+                    transport
+                        .endpoint_latency(r.endpoint)
+                        .filter(|l| l.count > 0)
+                        .map(|l| l.ewma_us)
+                        .unwrap_or(u64::MAX)
+                };
+                // Strict `<` on the swapped compare: ties (both
+                // unsampled) go to the lower index, deterministically.
+                let (lo, hi) = if c1 < c2 { (c1, c2) } else { (c2, c1) };
+                if score(alive[hi]) < score(alive[lo]) {
+                    Some(alive[hi])
+                } else {
+                    Some(alive[lo])
+                }
+            }
+        }
+    }
+
+    /// The failover sibling: the first replica (advertisement order)
+    /// that is neither dead-listed nor in `tried`. Advertisement order
+    /// keeps the retry deterministic across backends.
+    pub fn sibling<'a>(
+        &self,
+        transport: &dyn Transport,
+        shard: &'a FleetShardView,
+        tried: &[EndpointId],
+    ) -> Option<&'a DiscoveredServer> {
+        shard
+            .replicas
+            .iter()
+            .find(|r| !tried.contains(&r.endpoint) && !self.is_dead(transport, r.endpoint))
+    }
+}
+
+/// FNV-1a over the shard's replica endpoints: a stable fingerprint that
+/// spreads different shards across different candidate pairs without
+/// any per-process randomness.
+fn fingerprint(shard: &FleetShardView) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in &shard.replicas {
+        for byte in r.endpoint.0.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+// --------------------------------------------------------------------
+// Deployment-side shard planning.
+// --------------------------------------------------------------------
+
+/// The spatial plan for one content shard of a venue: which fine cells
+/// it owns and which content nodes land in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Deduplicated fine cells owned by this shard (the advertised
+    /// extent).
+    pub extents: Vec<CellId>,
+    /// Venue-map node ids whose searchable content this shard serves.
+    pub members: Vec<u64>,
+}
+
+/// Splits venue `venue_idx`'s searchable content into `shards`
+/// spatial shards, **skew-aware**: content nodes are geo-positioned
+/// through the world's ground-truth transform, mapped to fine cells
+/// (a level chosen from the venue radius), ordered along the
+/// space-filling curve the cell ids encode, and cut into equal-*count*
+/// contiguous runs. Equal counts — not equal areas — is what makes the
+/// split skew-aware: a hot sub-area holding half the documents gets
+/// half the shards, an empty corner costs none.
+///
+/// `is_content` decides which nodes count as shardable content
+/// (typically: nodes carrying searchable tags); structural nodes,
+/// beacons and ways are replicated into every shard by the deployment.
+pub fn plan_venue_shards(
+    world: &World,
+    venue_idx: usize,
+    shards: usize,
+    is_content: impl Fn(u64) -> bool,
+) -> Vec<ShardPlan> {
+    let venue = &world.venues[venue_idx];
+    let fine_level = fine_level_for(venue.radius_m);
+    // (curve position, node id) for every content node.
+    let mut ordered: Vec<(u64, u64, CellId)> = venue
+        .map
+        .nodes()
+        .filter(|n| is_content(n.id.0))
+        .filter_map(|n| {
+            let geo = world.venue_point_to_geo(venue_idx, n.pos);
+            let cell = CellId::from_latlng(geo, fine_level).ok()?;
+            Some((cell.raw(), n.id.0, cell))
+        })
+        .collect();
+    // Cell ids order points along the face's space-filling curve, so a
+    // contiguous run of this sort is spatially contiguous; node id
+    // breaks ties deterministically.
+    ordered.sort_unstable();
+    let k = shards.max(1).min(ordered.len().max(1));
+    let mut plans = Vec::with_capacity(k);
+    let per = ordered.len().div_ceil(k.max(1)).max(1);
+    for chunk in ordered.chunks(per) {
+        let mut extents: Vec<CellId> = chunk.iter().map(|(_, _, c)| *c).collect();
+        extents.dedup();
+        plans.push(ShardPlan {
+            extents,
+            members: chunk.iter().map(|(_, id, _)| *id).collect(),
+        });
+    }
+    // Degenerate worlds (fewer content nodes than shards): pad with
+    // empty shards so the advertised shard count matches the config.
+    while plans.len() < shards.max(1) {
+        plans.push(ShardPlan {
+            extents: Vec::new(),
+            members: Vec::new(),
+        });
+    }
+    plans
+}
+
+/// The fine cell level used for shard extents: the coarsest level whose
+/// cells are comfortably smaller than the venue, clamped to stay
+/// meaningful for tiny venues.
+fn fine_level_for(radius_m: f64) -> u8 {
+    for level in 14..=24u8 {
+        if CellId::approx_side_length_m(level) <= (radius_m / 3.0).max(1.0) {
+            return level;
+        }
+    }
+    24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflame_netsim::{SimNet, SimTransport};
+    use openflame_worldgen::WorldConfig;
+
+    fn server(id: u64) -> DiscoveredServer {
+        DiscoveredServer {
+            server_id: format!("r{id}"),
+            endpoint: EndpointId(id),
+            services: vec!["search".into()],
+        }
+    }
+
+    fn shard(ids: &[u64]) -> FleetShardView {
+        FleetShardView {
+            extents: Vec::new(),
+            replicas: ids.iter().map(|&i| server(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn choose_is_deterministic_on_a_fresh_latency_book() {
+        let net = SimNet::new(1);
+        let transport = SimTransport::shared(&net);
+        let selector = FleetSelector::new();
+        let s = shard(&[10, 11, 12]);
+        let first = selector.choose(transport.as_ref(), &s).unwrap().endpoint;
+        for _ in 0..5 {
+            assert_eq!(
+                selector.choose(transport.as_ref(), &s).unwrap().endpoint,
+                first,
+                "fresh-book pick must be stable"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_list_excludes_and_expires() {
+        let net = SimNet::new(1);
+        let transport = SimTransport::shared(&net);
+        let selector = FleetSelector::new();
+        let s = shard(&[20, 21]);
+        let victim = selector.choose(transport.as_ref(), &s).unwrap().endpoint;
+        selector.mark_dead(transport.as_ref(), victim);
+        let other = selector.choose(transport.as_ref(), &s).unwrap().endpoint;
+        assert_ne!(other, victim, "dead replica must not be chosen");
+        assert_eq!(selector.dead_len(transport.as_ref()), 1);
+        selector.mark_dead(transport.as_ref(), other);
+        assert!(
+            selector.choose(transport.as_ref(), &s).is_none(),
+            "all dead → no candidate"
+        );
+        // The dead-list ages out on the transport clock.
+        transport.advance_us(DEAD_TTL_US + 1);
+        assert!(!selector.is_dead(transport.as_ref(), victim));
+        assert!(selector.choose(transport.as_ref(), &s).is_some());
+    }
+
+    #[test]
+    fn sibling_skips_tried_and_dead() {
+        let net = SimNet::new(1);
+        let transport = SimTransport::shared(&net);
+        let selector = FleetSelector::new();
+        let s = shard(&[30, 31, 32]);
+        selector.mark_dead(transport.as_ref(), EndpointId(31));
+        let sib = selector
+            .sibling(transport.as_ref(), &s, &[EndpointId(30)])
+            .unwrap();
+        assert_eq!(sib.endpoint, EndpointId(32));
+        assert!(selector
+            .sibling(transport.as_ref(), &s, &[EndpointId(30), EndpointId(32)])
+            .is_none());
+    }
+
+    #[test]
+    fn shard_plan_is_equal_count_and_spatially_disjoint() {
+        let world = World::generate(WorldConfig {
+            stores: 1,
+            ..WorldConfig::default()
+        });
+        let content: Vec<u64> = world.venues[0]
+            .map
+            .nodes()
+            .filter(|n| n.tags.get("product").is_some())
+            .map(|n| n.id.0)
+            .collect();
+        assert!(content.len() >= 8, "worldgen stocks shelves");
+        let plans = plan_venue_shards(&world, 0, 4, |id| content.contains(&id));
+        assert_eq!(plans.len(), 4);
+        let total: usize = plans.iter().map(|p| p.members.len()).sum();
+        assert_eq!(total, content.len(), "every content node lands somewhere");
+        // Equal-count cuts: no shard holds more than ceil(n/k) nodes.
+        let cap = content.len().div_ceil(4);
+        for p in &plans {
+            assert!(p.members.len() <= cap, "skew-aware cut exceeded: {p:?}");
+        }
+        // Membership is a partition (no node in two shards).
+        let mut seen = std::collections::HashSet::new();
+        for p in &plans {
+            for m in &p.members {
+                assert!(seen.insert(*m), "node {m} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_cap_intersects_fewer_shards_than_fleet_size() {
+        let world = World::generate(WorldConfig {
+            stores: 1,
+            ..WorldConfig::default()
+        });
+        let plans = plan_venue_shards(&world, 0, 4, |_| true);
+        let views: Vec<FleetShardView> = plans
+            .iter()
+            .map(|p| FleetShardView {
+                extents: p.extents.clone(),
+                replicas: Vec::new(),
+            })
+            .collect();
+        // A cap tight around one shard's first cell must miss at least
+        // one other shard — the consulted-shards < K invariant.
+        let center = views[0].extents[0].center();
+        let consulted = views.iter().filter(|v| v.intersects(center, 3.0)).count();
+        assert!(
+            consulted < views.len(),
+            "narrow query consulted every shard ({consulted}/{})",
+            views.len()
+        );
+        assert!(consulted >= 1);
+        // A city-sized cap consults everything.
+        let wide = views
+            .iter()
+            .filter(|v| v.intersects(center, 10_000.0))
+            .count();
+        assert_eq!(wide, views.len());
+    }
+}

@@ -95,6 +95,40 @@
 //! backend-parity integration test; pipelining reorders waiting, never
 //! traffic.
 //!
+//! # Scale-out: the serving fleet
+//!
+//! A venue that outgrows one map server scales out without changing
+//! the client API, through the [`fleet`] subsystem
+//! (`DeploymentConfig { replicas, content_shards, .. }`):
+//!
+//! - **Advertisement**: instead of a `MAPSRV` record per server, the
+//!   venue publishes one `FLEETSRV` record carrying its replica set
+//!   and a **shard map** — a skew-aware spatial split of the venue's
+//!   searchable content at a sub-cell level (equal-*count* cuts along
+//!   the cell space-filling curve, so hot sub-areas get their own
+//!   shard). Discovery resolves both record types in one pipelined
+//!   round and the session caches the whole view shard-stably.
+//! - **Shard-aware scatter**: search, routing candidates and
+//!   localization consult only the shards whose advertised extent
+//!   intersects the query footprint — wire cost scales with shards
+//!   *consulted*, not fleet size.
+//! - **Replica selection + failover**: within a shard the client picks
+//!   one replica by power-of-two-choices over the transport's
+//!   per-endpoint latency EWMA
+//!   ([`Transport::endpoint_latency`](openflame_netsim::Transport::endpoint_latency)),
+//!   deterministic on a fresh book so every backend picks alike. A
+//!   replica that fails at the wire is retried on a sibling — for
+//!   idempotent requests only (`docs/wire-protocol.md` §7) — and
+//!   dead-listed; the session's per-cell discovery cache is invalidated
+//!   so the dead replica is not re-consulted from cache. Only a fully
+//!   down **shard** surfaces [`ClientError::PartialFailure`], sources
+//!   preserved.
+//!
+//! All of it is backend-agnostic: the fleet parity integration test
+//! asserts identical message counts across Sim/TCP/QuicLite, that a
+//! downed replica is transparently absorbed, and that a narrow query
+//! consults fewer shards than the fleet holds.
+//!
 //! [`Deployment`] stands up a complete world — DNS hierarchy, resolver,
 //! outdoor provider, one map server per venue — in one call on either
 //! backend, and [`scenario`] runs the §2 grocery end-to-end scenario
@@ -126,6 +160,7 @@ pub mod centralized;
 pub mod client;
 pub mod deployment;
 pub mod discovery;
+pub mod fleet;
 pub mod provider;
 pub mod scenario;
 pub mod session;
@@ -134,8 +169,9 @@ pub use centralized::CentralizedProvider;
 pub use client::{
     FederatedRoute, FederatedSearchHit, OpenFlameClient, OpenFlameClientBuilder, RouteLeg,
 };
-pub use deployment::{Deployment, DeploymentConfig};
+pub use deployment::{Deployment, DeploymentConfig, FleetMember};
 pub use discovery::{DiscoveredServer, DiscoveryClient, DiscoveryStats};
+pub use fleet::{DiscoveryView, FleetSelector, FleetShardView, FleetView};
 pub use provider::{
     CallStats, GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery,
     ProviderEstimate, ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery,

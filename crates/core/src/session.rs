@@ -38,7 +38,7 @@
 //! out shared sessions), which is why they sit behind interior
 //! mutability.
 
-use crate::discovery::DiscoveredServer;
+use crate::fleet::DiscoveryView;
 use crate::ClientError;
 use openflame_codec::{from_bytes, to_bytes};
 use openflame_mapdata::NodeId;
@@ -133,7 +133,7 @@ fn evict_to_cap<K: Eq + std::hash::Hash + Clone, V>(
 
 /// Discovery cache key: (query cell raw id, expand-neighbors flag).
 type DiscoveryKey = (u64, bool);
-type DiscoveryCache = HashMap<DiscoveryKey, Cached<Vec<DiscoveredServer>>>;
+type DiscoveryCache = HashMap<DiscoveryKey, Cached<DiscoveryView>>;
 
 /// A client-side wire session: batched calls with capability and
 /// discovery caches (see module docs).
@@ -496,12 +496,12 @@ impl Session {
     // Discovery cache.
     // ----------------------------------------------------------------
 
-    /// The cached discovery result for a query cell, if fresh.
-    pub fn cached_discovery(
-        &self,
-        cell_raw: u64,
-        expand_neighbors: bool,
-    ) -> Option<Vec<DiscoveredServer>> {
+    /// The cached discovery result for a query cell, if fresh. The
+    /// view carries plain servers *and* fleet groups; caching the whole
+    /// view keeps routing **shard-stable** — repeated requests against
+    /// the same cell see the same shard map, so replica choice and the
+    /// hello cache stay warm.
+    pub fn cached_discovery(&self, cell_raw: u64, expand_neighbors: bool) -> Option<DiscoveryView> {
         let now = self.transport.now_us();
         let mut discoveries = self.discoveries.lock();
         let cached = match discoveries.get(&(cell_raw, expand_neighbors)) {
@@ -527,19 +527,14 @@ impl Session {
     /// Caches a discovery result for a query cell, evicting
     /// (expired-first) if the insert pushed the cache over the
     /// capacity bound.
-    pub fn store_discovery(
-        &self,
-        cell_raw: u64,
-        expand_neighbors: bool,
-        servers: Vec<DiscoveredServer>,
-    ) {
+    pub fn store_discovery(&self, cell_raw: u64, expand_neighbors: bool, view: DiscoveryView) {
         let now = self.transport.now_us();
         let evicted = {
             let mut discoveries = self.discoveries.lock();
             discoveries.insert(
                 (cell_raw, expand_neighbors),
                 Cached {
-                    value: servers,
+                    value: view,
                     expires_us: now.saturating_add(self.ttl_us()),
                     seq: self.cache_seq.fetch_add(1, Ordering::Relaxed),
                 },
@@ -549,6 +544,19 @@ impl Session {
         if evicted > 0 {
             self.stats.lock().cache_evictions += evicted;
         }
+    }
+
+    /// Drops the cached discovery result for one query cell (both the
+    /// expanded and unexpanded variants). Called on replica failover:
+    /// without an explicit invalidation path a dead replica would keep
+    /// being re-consulted from this cache until its 300 s TTL expired —
+    /// the next discovery re-resolves (usually from the resolver's own
+    /// cache, so the cost is local) and re-selects against the current
+    /// dead-list.
+    pub fn invalidate_cell(&self, cell_raw: u64) {
+        let mut discoveries = self.discoveries.lock();
+        discoveries.remove(&(cell_raw, false));
+        discoveries.remove(&(cell_raw, true));
     }
 }
 
@@ -760,7 +768,7 @@ mod tests {
         // bound both caches would hold all 100 entries forever.
         for cell in 0..100u64 {
             transport.advance_us(1_000);
-            session.store_discovery(cell, true, Vec::new());
+            session.store_discovery(cell, true, DiscoveryView::default());
             session.store_hello(EndpointId(1_000 + cell), stub_hello(cell));
         }
         let stats = session.stats();
@@ -783,13 +791,13 @@ mod tests {
         session.set_cache_cap(4);
         // Two entries that will be long dead...
         session.set_ttl_us(1_000);
-        session.store_discovery(1, false, Vec::new());
-        session.store_discovery(2, false, Vec::new());
+        session.store_discovery(1, false, DiscoveryView::default());
+        session.store_discovery(2, false, DiscoveryView::default());
         transport.advance_us(10_000);
         // ...then four live ones, overflowing the cap of 4.
         session.set_ttl_us(DEFAULT_TTL_US);
         for cell in 10..14u64 {
-            session.store_discovery(cell, false, Vec::new());
+            session.store_discovery(cell, false, DiscoveryView::default());
         }
         // The expired pair was purged; every live entry kept its slot.
         let stats = session.stats();
@@ -810,7 +818,7 @@ mod tests {
         let session = Session::new(transport.clone(), endpoint, Principal::anonymous());
         session.set_ttl_us(1_000);
         for cell in 0..3u64 {
-            session.store_discovery(cell, false, Vec::new());
+            session.store_discovery(cell, false, DiscoveryView::default());
             session.store_hello(EndpointId(100 + cell), stub_hello(cell));
         }
         let stats = session.stats();
@@ -829,6 +837,23 @@ mod tests {
         session.set_ttl_us(DEFAULT_TTL_US);
         session.store_hello(EndpointId(7), stub_hello(7));
         assert_eq!(session.stats().hello_cache_len, 1);
+    }
+
+    #[test]
+    fn invalidate_cell_drops_both_expansion_variants() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport, endpoint, Principal::anonymous());
+        session.store_discovery(7, false, DiscoveryView::default());
+        session.store_discovery(7, true, DiscoveryView::default());
+        session.store_discovery(8, true, DiscoveryView::default());
+        session.invalidate_cell(7);
+        assert!(session.cached_discovery(7, false).is_none());
+        assert!(session.cached_discovery(7, true).is_none());
+        assert!(
+            session.cached_discovery(8, true).is_some(),
+            "other cells must be untouched"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod server;
 pub mod zone;
 
 pub use name::DomainName;
-pub use record::{Record, RecordData, RecordType};
+pub use record::{FleetReplica, FleetShard, Record, RecordData, RecordType};
 pub use resolver::{QueryOutcome, Resolver, ResolverConfig, ResolverStats};
 pub use server::AuthServer;
 pub use zone::Zone;

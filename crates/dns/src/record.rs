@@ -16,6 +16,11 @@ pub enum RecordType {
     /// Map-server advertisement: the OpenFLAME-specific record carrying
     /// a map server's endpoint and service catalogue (§5.1).
     MapSrv,
+    /// Fleet advertisement: a serving group's replica set and content
+    /// shard map for one cell (see docs/wire-protocol.md §9). Where a
+    /// `MapSrv` record names one server, a `FleetSrv` record names the
+    /// whole replicated + sharded fleet serving the same content.
+    FleetSrv,
 }
 
 impl RecordType {
@@ -25,6 +30,7 @@ impl RecordType {
             RecordType::Ns => 1,
             RecordType::Txt => 2,
             RecordType::MapSrv => 3,
+            RecordType::FleetSrv => 4,
         }
     }
 
@@ -34,12 +40,36 @@ impl RecordType {
             1 => Ok(RecordType::Ns),
             2 => Ok(RecordType::Txt),
             3 => Ok(RecordType::MapSrv),
+            4 => Ok(RecordType::FleetSrv),
             t => Err(CodecError::InvalidTag {
                 context: "RecordType",
                 tag: t as u64,
             }),
         }
     }
+}
+
+/// One replica server inside a fleet shard: interchangeable with its
+/// siblings for every idempotent request (same content, same services).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReplica {
+    /// Network endpoint of this replica.
+    pub endpoint: u64,
+    /// Stable identifier (e.g. `"grocer-1/s0r1"`), used for hello
+    /// caching and failure reporting.
+    pub server_id: String,
+}
+
+/// One content shard of a fleet: a spatial slice of the cell's
+/// documents plus the replica set that serves it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetShard {
+    /// Raw cell ids (sub-cells of the advertised cell) covering this
+    /// shard's content. Skew-aware splits give hot sub-areas their own
+    /// shard, so extents are narrower where content is dense.
+    pub extents: Vec<u64>,
+    /// Replicas serving this shard, all interchangeable.
+    pub replicas: Vec<FleetReplica>,
 }
 
 /// Payload of a resource record.
@@ -61,6 +91,17 @@ pub enum RecordData {
         /// `"localize:beacon"`).
         services: Vec<String>,
     },
+    /// A fleet advertisement: one serving group's replica set and
+    /// content shard map for the owning cell.
+    FleetSrv {
+        /// Stable identifier of the serving group (e.g. `"grocer-1"`).
+        group_id: String,
+        /// Advertised service names, shared by every replica.
+        services: Vec<String>,
+        /// The content shards; shard order is part of the advertisement
+        /// and stable across queries (shard-stable caching keys off it).
+        shards: Vec<FleetShard>,
+    },
 }
 
 impl RecordData {
@@ -71,6 +112,7 @@ impl RecordData {
             RecordData::Ns(_) => RecordType::Ns,
             RecordData::Txt(_) => RecordType::Txt,
             RecordData::MapSrv { .. } => RecordType::MapSrv,
+            RecordData::FleetSrv { .. } => RecordType::FleetSrv,
         }
     }
 }
@@ -197,6 +239,15 @@ impl Wire for RecordData {
                 w.put_str(server_id);
                 services.encode(w);
             }
+            RecordData::FleetSrv {
+                group_id,
+                services,
+                shards,
+            } => {
+                w.put_str(group_id);
+                services.encode(w);
+                shards.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -209,7 +260,46 @@ impl Wire for RecordData {
                 server_id: r.read_string()?,
                 services: Vec::decode(r)?,
             }),
+            RecordType::FleetSrv => Ok(RecordData::FleetSrv {
+                group_id: r.read_string()?,
+                services: Vec::decode(r)?,
+                shards: Vec::decode(r)?,
+            }),
         }
+    }
+}
+
+impl Wire for FleetReplica {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.endpoint);
+        w.put_str(&self.server_id);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FleetReplica {
+            endpoint: r.read_varint()?,
+            server_id: r.read_string()?,
+        })
+    }
+}
+
+impl Wire for FleetShard {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.extents.len() as u64);
+        for e in &self.extents {
+            w.put_varint(*e);
+        }
+        self.replicas.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_length()?;
+        let mut extents = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            extents.push(r.read_varint()?);
+        }
+        Ok(FleetShard {
+            extents,
+            replicas: Vec::decode(r)?,
+        })
     }
 }
 
@@ -286,6 +376,29 @@ mod tests {
                 endpoint: 7,
                 server_id: "grocer-1".into(),
                 services: vec!["search".into(), "routing".into()],
+            },
+            RecordData::FleetSrv {
+                group_id: "grocer-1".into(),
+                services: vec!["search".into()],
+                shards: vec![
+                    FleetShard {
+                        extents: vec![0x89c2_5a31, 0x89c2_5a33],
+                        replicas: vec![
+                            FleetReplica {
+                                endpoint: 11,
+                                server_id: "grocer-1/s0r0".into(),
+                            },
+                            FleetReplica {
+                                endpoint: 12,
+                                server_id: "grocer-1/s0r1".into(),
+                            },
+                        ],
+                    },
+                    FleetShard {
+                        extents: vec![],
+                        replicas: vec![],
+                    },
+                ],
             },
         ];
         for d in cases {

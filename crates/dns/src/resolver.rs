@@ -144,6 +144,7 @@ fn type_tag(rtype: RecordType) -> u8 {
         RecordType::Ns => 1,
         RecordType::Txt => 2,
         RecordType::MapSrv => 3,
+        RecordType::FleetSrv => 4,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the DNS substrate.
 
 use openflame_codec::{from_bytes, to_bytes};
-use openflame_dns::{DomainName, Record, RecordData, RecordType, Zone};
+use openflame_dns::{DomainName, FleetReplica, FleetShard, Record, RecordData, RecordType, Zone};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -54,6 +54,41 @@ proptest! {
             name,
             ttl,
             RecordData::MapSrv { endpoint, server_id: id, services },
+        );
+        prop_assert_eq!(from_bytes::<Record>(&to_bytes(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn fleet_record_wire_round_trip(
+        name in arb_name(),
+        ttl in 0u32..100_000,
+        group in "[a-z0-9-]{1,16}",
+        services in proptest::collection::vec("[a-z:]{1,12}", 0..4),
+        shards in proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u64>(), 0..6),
+                proptest::collection::vec(
+                    (any::<u64>(), "[a-z0-9/-]{1,20}"),
+                    0..4,
+                ),
+            ),
+            0..5,
+        ),
+    ) {
+        let shards: Vec<FleetShard> = shards
+            .into_iter()
+            .map(|(extents, replicas)| FleetShard {
+                extents,
+                replicas: replicas
+                    .into_iter()
+                    .map(|(endpoint, server_id)| FleetReplica { endpoint, server_id })
+                    .collect(),
+            })
+            .collect();
+        let rec = Record::new(
+            name,
+            ttl,
+            RecordData::FleetSrv { group_id: group, services, shards },
         );
         prop_assert_eq!(from_bytes::<Record>(&to_bytes(&rec)).unwrap(), rec);
     }

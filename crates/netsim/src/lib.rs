@@ -25,7 +25,7 @@ pub mod tcp;
 pub mod transport;
 pub mod udp;
 
-pub use stats::{EndpointStats, NetStats};
+pub use stats::{EndpointLatency, EndpointStats, NetStats};
 pub use tcp::TcpTransport;
 pub use transport::{
     BackendKind, CallHandle, CompletionSet, PendingCall, SimTransport, Transfer, Transport,
@@ -148,6 +148,7 @@ struct Endpoint {
     location: Option<LatLng>,
     down: bool,
     stats: EndpointStats,
+    latency: EndpointLatency,
 }
 
 struct NetInner {
@@ -223,6 +224,7 @@ impl SimNet {
                 location,
                 down: false,
                 stats: EndpointStats::default(),
+                latency: EndpointLatency::default(),
             },
         );
         id
@@ -299,12 +301,30 @@ impl SimNet {
             .map(|e| e.stats.clone())
     }
 
+    /// Latency summary of completed calls *to* `id` (see
+    /// [`EndpointLatency`]): samples are recorded when a call's
+    /// completion is claimed, and [`SimNet::reset_stats`] clears them.
+    pub fn endpoint_latency(&self, id: EndpointId) -> Option<EndpointLatency> {
+        self.inner.lock().endpoints.get(&id).map(|e| e.latency)
+    }
+
+    /// Folds one completed-call latency sample into `to`'s summary.
+    pub(crate) fn note_latency(&self, to: EndpointId, sample_us: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(ep) = inner.endpoints.get_mut(&to) {
+            ep.latency.observe(sample_us);
+        }
+    }
+
     /// Resets global and per-endpoint statistics (not the clock).
+    /// Latency summaries reset too, so replica selection after a reset
+    /// starts from the same blank book on every backend.
     pub fn reset_stats(&self) {
         let mut inner = self.inner.lock();
         inner.stats = NetStats::default();
         for ep in inner.endpoints.values_mut() {
             ep.stats = EndpointStats::default();
+            ep.latency = EndpointLatency::default();
         }
     }
 

@@ -71,7 +71,7 @@
 //! follows. This backend is built for tests, benches and
 //! single-process demos, not as a hardened production server.
 
-use crate::stats::{EndpointStats, NetStats};
+use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
 use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
@@ -341,6 +341,7 @@ struct Endpoint {
     /// cut connections instead of answering.
     down: Arc<AtomicBool>,
     stats: EndpointStats,
+    latency: EndpointLatency,
     /// Pooled pipelined connections *to* this endpoint.
     conns: Vec<Arc<Conn>>,
 }
@@ -723,6 +724,14 @@ impl TcpTransport {
         }
     }
 
+    /// Folds one completed-call latency sample into `to`'s summary.
+    fn note_latency(&self, to: EndpointId, sample_us: u64) {
+        let mut endpoints = self.inner.endpoints.lock();
+        if let Some(ep) = endpoints.get_mut(&to) {
+            ep.latency.observe(sample_us);
+        }
+    }
+
     fn classify(&self, e: io::Error, to: EndpointId, down: &AtomicBool) -> NetError {
         if down.load(Ordering::Relaxed) {
             // The server cut the connection because it is down: to the
@@ -778,8 +787,10 @@ impl PendingCall for TcpPending {
             }) => {
                 self.transport
                     .charge(self.from, self.to, self.bytes_sent, response.len() as u64);
+                let latency_us = self.t0.elapsed().as_micros() as u64;
+                self.transport.note_latency(self.to, latency_us);
                 Ok(Transfer {
-                    latency_us: self.t0.elapsed().as_micros() as u64,
+                    latency_us,
                     bytes_sent: self.bytes_sent + FRAME_HEADER_LEN as u64,
                     bytes_received: response.len() as u64 + FRAME_HEADER_LEN as u64,
                     payload: response,
@@ -858,6 +869,7 @@ impl Transport for TcpTransport {
                 addr: None,
                 down: Arc::new(AtomicBool::new(false)),
                 stats: EndpointStats::default(),
+                latency: EndpointLatency::default(),
                 conns: Vec::new(),
             },
         );
@@ -945,10 +957,15 @@ impl Transport for TcpTransport {
             .map(|e| e.stats.clone())
     }
 
+    fn endpoint_latency(&self, id: EndpointId) -> Option<EndpointLatency> {
+        self.inner.endpoints.lock().get(&id).map(|e| e.latency)
+    }
+
     fn reset_stats(&self) {
         *self.inner.stats.lock() = NetStats::default();
         for ep in self.inner.endpoints.lock().values_mut() {
             ep.stats = EndpointStats::default();
+            ep.latency = EndpointLatency::default();
         }
     }
 

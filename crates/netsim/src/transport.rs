@@ -49,7 +49,7 @@
 //! listener mechanics (a handler closure on the simulator, an accept
 //! thread on TCP).
 
-use crate::stats::{EndpointStats, NetStats};
+use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::{EndpointId, NetError, SimNet};
 use openflame_geo::LatLng;
 use std::sync::Arc;
@@ -262,7 +262,19 @@ pub trait Transport: Send + Sync {
     /// Per-endpoint traffic counters, if the endpoint exists.
     fn endpoint_stats(&self, id: EndpointId) -> Option<EndpointStats>;
 
+    /// Latency summary (count + EWMA µs) of completed calls *to* `id`,
+    /// as observed by callers on this transport: a sample is folded in
+    /// whenever a call's completion is claimed successfully. This is
+    /// the signal the client-side replica selector ranks candidates
+    /// with (power-of-two-choices); failed calls record nothing — a
+    /// dead replica keeps its last-known summary and is excluded by
+    /// the failover dead-list instead.
+    fn endpoint_latency(&self, id: EndpointId) -> Option<EndpointLatency>;
+
     /// Resets global and per-endpoint counters (not the clock).
+    /// Latency summaries ([`Transport::endpoint_latency`]) reset too,
+    /// so post-reset replica selection starts from a blank book
+    /// identically on every backend.
     fn reset_stats(&self);
 
     /// The registered name of an endpoint.
@@ -369,6 +381,7 @@ impl SimTransport {
 /// to its completion instant.
 struct SimPending {
     net: SimNet,
+    to: EndpointId,
     result: Result<Transfer, NetError>,
     end_us: u64,
 }
@@ -376,6 +389,9 @@ struct SimPending {
 impl PendingCall for SimPending {
     fn wait(self: Box<Self>) -> Result<Transfer, NetError> {
         self.net.advance_to_us(self.end_us);
+        if let Ok(transfer) = &self.result {
+            self.net.note_latency(self.to, transfer.latency_us);
+        }
         self.result
     }
 }
@@ -413,6 +429,7 @@ impl Transport for SimTransport {
         });
         CallHandle::new(Box::new(SimPending {
             net: self.net.clone(),
+            to,
             result,
             end_us,
         }))
@@ -432,6 +449,10 @@ impl Transport for SimTransport {
 
     fn endpoint_stats(&self, id: EndpointId) -> Option<EndpointStats> {
         self.net.endpoint_stats(id)
+    }
+
+    fn endpoint_latency(&self, id: EndpointId) -> Option<EndpointLatency> {
+        self.net.endpoint_latency(id)
     }
 
     fn reset_stats(&self) {
@@ -589,6 +610,30 @@ mod tests {
         for (i, result) in set.wait_all().into_iter().enumerate() {
             assert_eq!(result.unwrap().payload, vec![i as u8]);
         }
+    }
+
+    #[test]
+    fn endpoint_latency_tracks_claimed_calls_and_resets() {
+        let (transport, client, server) = echo_transport();
+        assert_eq!(
+            transport.endpoint_latency(server),
+            Some(EndpointLatency::default())
+        );
+        let t = transport.call(client, server, vec![1, 2]).unwrap();
+        let summary = transport.endpoint_latency(server).unwrap();
+        assert_eq!(summary.count, 1);
+        assert_eq!(summary.ewma_us, t.latency_us);
+        // Failed calls record nothing.
+        transport.set_down(server, true);
+        let _ = transport.call(client, server, vec![1]);
+        assert_eq!(transport.endpoint_latency(server).unwrap().count, 1);
+        transport.set_down(server, false);
+        transport.reset_stats();
+        assert_eq!(
+            transport.endpoint_latency(server),
+            Some(EndpointLatency::default())
+        );
+        assert_eq!(transport.endpoint_latency(EndpointId(999)), None);
     }
 
     #[test]

@@ -63,7 +63,7 @@
 //! [`QuicStats`] counters, because charging it to [`NetStats`] would
 //! break the parity the federation's invariants rest on.
 
-use crate::stats::{EndpointStats, NetStats};
+use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
 use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
@@ -555,6 +555,7 @@ struct Endpoint {
     /// are silently dropped instead of dispatched (a crashed process).
     down: Arc<AtomicBool>,
     stats: EndpointStats,
+    latency: EndpointLatency,
 }
 
 /// What a closed connection leaves behind for 0-RTT resumption: the
@@ -1017,6 +1018,14 @@ impl QuicLiteTransport {
             ep.stats.rx_bytes += sent;
         }
     }
+
+    /// Folds one completed-call latency sample into `to`'s summary.
+    fn note_latency(&self, to: EndpointId, sample_us: u64) {
+        let mut endpoints = self.inner.endpoints.lock();
+        if let Some(ep) = endpoints.get_mut(&to) {
+            ep.latency.observe(sample_us);
+        }
+    }
 }
 
 /// One in-flight QuicLite call: the frame is on the wire (or queued
@@ -1048,8 +1057,10 @@ impl PendingCall for QuicPending {
             Some(response) => {
                 self.transport
                     .charge(self.from, self.to, self.bytes_sent, response.len() as u64);
+                let latency_us = self.t0.elapsed().as_micros() as u64;
+                self.transport.note_latency(self.to, latency_us);
                 Ok(Transfer {
-                    latency_us: self.t0.elapsed().as_micros() as u64,
+                    latency_us,
                     bytes_sent: self.bytes_sent + FRAME_HEADER_LEN as u64,
                     bytes_received: response.len() as u64 + FRAME_HEADER_LEN as u64,
                     payload: response,
@@ -1093,6 +1104,7 @@ impl Transport for QuicLiteTransport {
                 addr: None,
                 down: Arc::new(AtomicBool::new(false)),
                 stats: EndpointStats::default(),
+                latency: EndpointLatency::default(),
             },
         );
         id
@@ -1257,10 +1269,15 @@ impl Transport for QuicLiteTransport {
             .map(|e| e.stats.clone())
     }
 
+    fn endpoint_latency(&self, id: EndpointId) -> Option<EndpointLatency> {
+        self.inner.endpoints.lock().get(&id).map(|e| e.latency)
+    }
+
     fn reset_stats(&self) {
         *self.inner.wire.stats.lock() = NetStats::default();
         for ep in self.inner.endpoints.lock().values_mut() {
             ep.stats = EndpointStats::default();
+            ep.latency = EndpointLatency::default();
         }
     }
 

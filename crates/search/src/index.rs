@@ -23,7 +23,12 @@ pub struct SearchResult {
 }
 
 /// Tag keys whose *values* describe an element for search purposes.
-const SEARCHABLE_VALUE_KEYS: &[&str] = &[
+///
+/// Public so content-partitioning layers (the fleet's shard splitter)
+/// can decide which nodes carry searchable content — and strip exactly
+/// these keys from out-of-shard copies, removing them from that
+/// shard's index without touching structural metadata.
+pub const SEARCHABLE_VALUE_KEYS: &[&str] = &[
     "name",
     "amenity",
     "shop",

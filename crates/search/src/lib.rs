@@ -17,4 +17,4 @@ pub mod fusion;
 pub mod index;
 
 pub use fusion::fuse_ranked;
-pub use index::{SearchIndex, SearchResult};
+pub use index::{SearchIndex, SearchResult, SEARCHABLE_VALUE_KEYS};

@@ -312,6 +312,7 @@ fn fanout_sweep(json: bool) {
         "warm mean us".into(),
         "warm p95 us".into(),
         "msgs/round".into(),
+        "threads".into(),
     ]);
     for backend in [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite] {
         for width in SWEEP_WIDTHS {
@@ -346,10 +347,17 @@ fn fanout_sweep(json: bool) {
             round(&session);
             transport.reset_stats();
             let mut lat_us = Vec::with_capacity(SWEEP_REPS);
+            // Peak worker-thread population over the measured rounds:
+            // the thread-budget acceptance column. On the real-socket
+            // backends this must stay flat as the width grows (tcp:
+            // reactor pool + dispatch pool; quiclite: its small
+            // constant); sim dispatches inline and reports 0.
+            let mut threads = transport.worker_threads();
             for _ in 0..SWEEP_REPS {
                 let t0 = transport.now_us();
                 round(&session);
                 lat_us.push((transport.now_us() - t0) as f64);
+                threads = threads.max(transport.worker_threads());
             }
             let msgs_per_round = transport.stats().messages as f64 / SWEEP_REPS as f64;
             let warm_mean = mean(&lat_us);
@@ -360,12 +368,14 @@ fn fanout_sweep(json: bool) {
                 format!("{warm_mean:.0}"),
                 format!("{warm_p95:.0}"),
                 format!("{msgs_per_round:.0}"),
+                format!("{threads}"),
             ]);
             if json {
                 println!(
                     "{{\"bench\":\"fanout_sweep\",\"backend\":\"{}\",\"width\":{width},\
                      \"reps\":{SWEEP_REPS},\"warm_mean_us\":{warm_mean:.1},\
-                     \"warm_p95_us\":{warm_p95:.1},\"msgs_per_round\":{msgs_per_round:.0}}}",
+                     \"warm_p95_us\":{warm_p95:.1},\"msgs_per_round\":{msgs_per_round:.0},\
+                     \"threads\":{threads}}}",
                     transport.kind(),
                 );
             }
@@ -379,7 +389,10 @@ fn fanout_sweep(json: bool) {
          64-wide scatter pays queueing, not thread churn. quiclite rides\n\
          one multiplexed datagram socket and typically undercuts tcp at\n\
          wide fan-outs (no per-connection pools at all). The simulator\n\
-         charges max-of-branches by construction."
+         charges max-of-branches by construction. threads is the peak\n\
+         worker population and must be FLAT across widths: tcp runs its\n\
+         reactor pool + dispatch pool, quiclite its small constant, sim\n\
+         dispatches inline (0)."
     );
 }
 

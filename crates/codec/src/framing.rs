@@ -104,6 +104,107 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     })
 }
 
+/// Incremental frame decoder for non-blocking readers.
+///
+/// [`read_frame`] blocks until a whole frame is available, which suits
+/// one-thread-per-connection readers. An event-loop reader instead
+/// receives the stream in arbitrary chunks — a partial header, a
+/// payload split across reads, several back-to-back frames in one
+/// read — and must resume decoding exactly where the last chunk
+/// stopped. Feed every received chunk to [`FrameDecoder::extend`] and
+/// drain complete frames with [`FrameDecoder::next_frame`]; the frame
+/// sequence is identical to calling [`read_frame`] on the same byte
+/// stream (the codec proptests pin this equivalence down).
+///
+/// Malformed input fails fast: a wrong version byte is rejected as
+/// soon as it is visible and an oversized length prefix as soon as the
+/// prefix is complete, without waiting for the rest of the header —
+/// on a live socket the connection should be cut immediately, not
+/// after the peer happens to send 21 bytes. Once `next_frame` has
+/// returned an error the decoder is poisoned and returns the same
+/// error kind forever; a desynchronized stream cannot be resumed.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames.
+    start: usize,
+    poisoned: Option<io::ErrorKind>,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes received from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: drop the consumed prefix before growing, so
+        // a long-lived connection does not accrete every frame it ever
+        // decoded.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame. Non-zero at
+    /// EOF means the stream stopped mid-frame (the blocking path's
+    /// [`io::ErrorKind::UnexpectedEof`]).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` when more bytes
+    /// are needed. Errors mirror [`read_frame`]:
+    /// [`io::ErrorKind::InvalidData`] for a bad version byte or an
+    /// oversized length prefix.
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        if let Some(kind) = self.poisoned {
+            return Err(io::Error::new(kind, "frame stream is desynchronized"));
+        }
+        let avail = &self.buf[self.start..];
+        let Some(&version) = avail.first() else {
+            return Ok(None);
+        };
+        if version != FRAME_VERSION {
+            self.poisoned = Some(io::ErrorKind::InvalidData);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported frame version {version}"),
+            ));
+        }
+        if avail.len() < 5 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[1..5].try_into().expect("4 bytes")) as u64;
+        if len > crate::MAX_LENGTH {
+            self.poisoned = Some(io::ErrorKind::InvalidData);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length prefix {len} exceeds limit"),
+            ));
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let sender = u64::from_le_bytes(avail[5..13].try_into().expect("8 bytes"));
+        let correlation = u64::from_le_bytes(avail[13..21].try_into().expect("8 bytes"));
+        let payload = avail[FRAME_HEADER_LEN..total].to_vec();
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(Frame {
+            sender,
+            correlation,
+            payload,
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +271,70 @@ mod tests {
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn incremental_decoder_survives_byte_at_a_time_delivery() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 42, 7001, b"hello").unwrap();
+        write_frame(&mut buf, 7, 7002, b"").unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in buf {
+            decoder.extend(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].correlation, 7001);
+        assert_eq!(frames[0].payload, b"hello");
+        assert_eq!(frames[1].correlation, 7002);
+        assert!(frames[1].payload.is_empty());
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn incremental_decoder_drains_back_to_back_frames_from_one_chunk() {
+        let mut buf = Vec::new();
+        for corr in 0..5u64 {
+            write_frame(&mut buf, 1, corr, &[corr as u8]).unwrap();
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&buf);
+        for corr in 0..5u64 {
+            let frame = decoder.next_frame().unwrap().expect("complete frame");
+            assert_eq!(frame.correlation, corr);
+        }
+        assert!(decoder.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_bad_version_immediately_and_stays_poisoned() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&[1]); // v1-era stream: no version byte
+        assert_eq!(
+            decoder.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Feeding more bytes cannot resurrect a desynchronized stream.
+        decoder.extend(&[FRAME_VERSION]);
+        assert_eq!(
+            decoder.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_length_prefix() {
+        let mut decoder = FrameDecoder::new();
+        let mut bytes = vec![FRAME_VERSION];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        decoder.extend(&bytes);
+        assert_eq!(
+            decoder.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

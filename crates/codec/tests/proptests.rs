@@ -110,11 +110,36 @@ mod framing {
     //! truncation, oversized length prefixes, unknown versions.
 
     use openflame_codec::framing::{
-        read_frame, write_frame, Frame, FRAME_HEADER_LEN, FRAME_VERSION,
+        read_frame, write_frame, Frame, FrameDecoder, FRAME_HEADER_LEN, FRAME_VERSION,
     };
     use openflame_codec::MAX_LENGTH;
     use proptest::prelude::*;
     use std::io;
+
+    /// Splits `buf` into the chunk sizes dictated by `splits` (cycled;
+    /// zero-length chunks allowed) — the arbitrary read boundaries a
+    /// non-blocking socket hands the incremental decoder.
+    fn chunks<'a>(buf: &'a [u8], splits: &[usize]) -> Vec<&'a [u8]> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < buf.len() {
+            let take = if splits.is_empty() {
+                buf.len()
+            } else {
+                splits[i % splits.len()].min(buf.len() - off)
+            };
+            out.push(&buf[off..off + take]);
+            off += take;
+            i += 1;
+            if i > buf.len() + splits.len() {
+                // All-zero splits make no progress: flush the rest.
+                out.push(&buf[off..]);
+                break;
+            }
+        }
+        out
+    }
 
     proptest! {
         #[test]
@@ -208,6 +233,95 @@ mod framing {
             // reports a payload above the sanity cap.
             if let Ok(frame) = read_frame(&mut io::Cursor::new(bytes)) {
                 prop_assert!((frame.payload.len() as u64) <= MAX_LENGTH);
+            }
+        }
+
+        #[test]
+        fn incremental_decoder_matches_blocking_reader_across_any_splits(
+            frames in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..96)),
+                0..8,
+            ),
+            splits in proptest::collection::vec(0usize..40, 1..12),
+        ) {
+            // The reactor feeds the incremental decoder whatever byte
+            // runs the socket happens to return. However the stream is
+            // split — mid-header, mid-payload, many frames in one
+            // chunk — the decoded sequence must be exactly what the
+            // blocking reader sees on the whole stream.
+            let mut buf = Vec::new();
+            for (sender, correlation, payload) in &frames {
+                write_frame(&mut buf, *sender, *correlation, payload).unwrap();
+            }
+            let mut decoder = FrameDecoder::new();
+            let mut decoded = Vec::new();
+            for chunk in chunks(&buf, &splits) {
+                decoder.extend(chunk);
+                while let Some(frame) = decoder.next_frame().unwrap() {
+                    decoded.push(frame);
+                }
+            }
+            let expected: Vec<Frame> = frames
+                .into_iter()
+                .map(|(sender, correlation, payload)| Frame { sender, correlation, payload })
+                .collect();
+            prop_assert_eq!(decoded, expected);
+            // Frame-aligned input leaves nothing buffered — the
+            // decoder consumed every byte it was given.
+            prop_assert_eq!(decoder.pending_bytes(), 0);
+        }
+
+        #[test]
+        fn incremental_decoder_poisons_exactly_where_the_blocking_reader_errors(
+            bytes in proptest::collection::vec(any::<u8>(), 0..192),
+            splits in proptest::collection::vec(0usize..24, 1..8),
+        ) {
+            // Error parity on arbitrary (possibly corrupt) streams: the
+            // incremental decoder must accept the same frame prefix as
+            // the blocking reader and then fail with the same error
+            // kind — regardless of how the bytes were chunked. (EOF is
+            // the one divergence by construction: the decoder just
+            // waits for more bytes.)
+            let mut expected_frames = Vec::new();
+            let mut cursor = io::Cursor::new(bytes.clone());
+            let expected_err = loop {
+                match read_frame(&mut cursor) {
+                    Ok(frame) => expected_frames.push(frame),
+                    Err(e) => break e,
+                }
+            };
+            let mut decoder = FrameDecoder::new();
+            let mut decoded = Vec::new();
+            let mut err = None;
+            'feed: for chunk in chunks(&bytes, &splits) {
+                decoder.extend(chunk);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => decoded.push(frame),
+                        Ok(None) => break,
+                        Err(e) => { err = Some(e); break 'feed; }
+                    }
+                }
+            }
+            prop_assert_eq!(decoded, expected_frames);
+            match err {
+                // A decoder error is always InvalidData — and it may
+                // fire where the blocking reader reports truncation
+                // instead: the decoder proves corruption from a
+                // partial header (bad version byte, oversized length)
+                // that `read_exact` is still waiting to complete.
+                Some(e) => {
+                    prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                    prop_assert!(matches!(
+                        expected_err.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ));
+                }
+                // No decoder error: the blocking reader must have hit
+                // end-of-stream (the decoder expresses that as "give
+                // me more bytes"); it must NOT have seen corruption
+                // the decoder missed.
+                None => prop_assert_eq!(expected_err.kind(), io::ErrorKind::UnexpectedEof),
             }
         }
     }

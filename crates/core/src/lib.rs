@@ -60,29 +60,34 @@
 //! - [`BackendKind::Tcp`](openflame_netsim::BackendKind) — real
 //!   loopback TCP sockets. One pooled connection per server
 //!   multiplexes many in-flight requests (frames carry a version byte
-//!   and a correlation id; responses may complete out of order), with
-//!   one writer and one reader thread per connection — worker threads
-//!   are O(connections), not O(fan-out width). Served endpoints
-//!   dispatch pipelined requests **concurrently** through a bounded
-//!   per-endpoint worker pool and answer in completion order, so one
-//!   slow request never head-of-line blocks the fast requests behind
-//!   it on the same connection.
+//!   and a correlation id; responses may complete out of order). All
+//!   sockets — client connections, listeners and served connections —
+//!   are non-blocking and multiplexed over a small fixed pool of
+//!   event-loop **reactor** threads sized by the host's cores, so
+//!   worker threads are O(cores), not O(connections) or O(servers).
+//!   Served endpoints dispatch pipelined requests **concurrently**
+//!   through a bounded transport-wide worker pool and answer in
+//!   completion order, so one slow request never head-of-line blocks
+//!   the fast requests behind it on the same connection.
 //! - [`BackendKind::QuicLite`](openflame_netsim::BackendKind) —
 //!   QUIC-inspired reliable datagrams over loopback UDP: connection
 //!   ids with 0-RTT resumption (a reconnect to a known server skips
 //!   the handshake round), packet numbers with ack-elicited
 //!   retransmission (injected datagram loss below the timeout is
 //!   recovered, not surfaced), fragmentation for over-MTU envelopes,
-//!   and one client socket multiplexing every destination. No TLS —
-//!   a documented non-goal of this offline tree.
+//!   and one client socket multiplexing every destination; on the
+//!   serve side a single poll-based thread multiplexes every served
+//!   endpoint's socket, so the whole transport runs on a small
+//!   constant number of threads. No TLS — a documented non-goal of
+//!   this offline tree.
 //!
 //! Picking a backend:
 //!
-//! | backend    | clock      | determinism | loss story                | threads                     | best for                          |
-//! |------------|------------|-------------|---------------------------|-----------------------------|-----------------------------------|
-//! | `Sim`      | simulated  | total       | drop ⇒ modelled timeout   | none                        | experiments, benches, seeded runs |
-//! | `Tcp`      | wall-clock | scheduling  | drop ⇒ failed call        | O(pooled connections)       | proving the stack on real streams |
-//! | `QuicLite` | wall-clock | scheduling  | drop ⇒ retransmit+recover | O(served endpoints), lowest | reconnect-heavy wide fan-out      |
+//! | backend    | clock      | determinism | loss story                | threads                        | best for                          |
+//! |------------|------------|-------------|---------------------------|--------------------------------|-----------------------------------|
+//! | `Sim`      | simulated  | total       | drop ⇒ modelled timeout   | none                           | experiments, benches, seeded runs |
+//! | `Tcp`      | wall-clock | scheduling  | drop ⇒ failed call        | O(cores) reactors + fixed pool | proving the stack on real streams |
+//! | `QuicLite` | wall-clock | scheduling  | drop ⇒ retransmit+recover | small constant, lowest         | reconnect-heavy wide fan-out      |
 //!
 //! The frame layout, correlation semantics, pipelining rules, server
 //! dispatch guarantees and the datagram binding are specified in

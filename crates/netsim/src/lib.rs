@@ -20,6 +20,7 @@
 //! contacting authoritative servers), which accumulate clock time
 //! exactly like sequential network round trips.
 
+pub(crate) mod reactor;
 pub mod stats;
 pub mod tcp;
 pub mod transport;

@@ -1,42 +1,55 @@
 //! Real-socket transport: multiplexed, pipelined envelopes over
-//! loopback TCP.
+//! loopback TCP, driven by a shared reactor pool.
 //!
 //! [`TcpTransport`] implements [`Transport`] over `std::net`, proving
 //! the whole federated stack — DNS discovery, batched sessions, map
 //! servers — runs end to end over actual sockets, not just the
 //! simulator:
 //!
-//! - **Served endpoints** bind a `127.0.0.1:0` listener; a threaded
-//!   accept loop hands each connection to a reader thread that decodes
-//!   framed requests ([`openflame_codec::framing`]) into per-connection
-//!   bounded queues. A per-endpoint dispatch pool of [`SERVE_POOL`]
-//!   workers pulls decoded frames from every connection of that
-//!   endpoint, invokes the bound [`WireService`] concurrently, and
-//!   hands each response to the connection's writer thread, which
-//!   emits frames in **completion order** with the request's
-//!   correlation id echoed — a slow request head-of-line blocks only
-//!   its own completion, never the pipelined requests behind it. Each
-//!   connection holds at most [`SERVE_PIPELINE`] decoded requests in
-//!   dispatch; past that its reader stops reading (backpressure, not
-//!   unbounded buffering).
+//! - **Shared reactors**: all socket I/O — client and served sides
+//!   both — runs on a small fixed pool of event-loop threads (default
+//!   `min(cores, 8)`, overridable via [`TcpTransport::with_reactors`])
+//!   multiplexing non-blocking sockets with `poll(2)` readiness. Each
+//!   reactor owns a slab of connections: it drains bounded
+//!   per-connection write buffers on writability, runs non-blocking
+//!   reads through the incremental framing-v2 decoder
+//!   ([`openflame_codec::framing::FrameDecoder`] — partial frames
+//!   across arbitrary split boundaries are the normal case), and
+//!   demultiplexes responses by correlation id. Thread count is
+//!   O(reactor pool + dispatch pool) — **independent of servers,
+//!   connections, fan-out width and call volume**; the pipelining
+//!   stress test pins this down at 128 servers × 8 sessions.
+//! - **Served endpoints** bind a `127.0.0.1:0` listener registered
+//!   with a reactor; accepted connections are spread across the pool.
+//!   Decoded requests go to a transport-wide dispatch pool of
+//!   [`DISPATCH_POOL`] workers which invoke the bound [`WireService`]
+//!   concurrently; completed responses return to the connection's
+//!   reactor, which emits frames in **completion order** with the
+//!   request's correlation id echoed — a slow request head-of-line
+//!   blocks only its own completion, never the pipelined requests
+//!   behind it. Each connection holds at most [`SERVE_PIPELINE`]
+//!   decoded requests in dispatch; past that the reactor drops the
+//!   connection's read interest (readiness-deregistration
+//!   backpressure) until responses drain — bounded buffering without
+//!   a blocked reader thread.
 //! - **Multiplexed connections**: one pooled connection carries many
-//!   in-flight requests at once. Each connection runs exactly two
-//!   worker threads — a writer draining an outbound queue and a reader
-//!   demultiplexing responses by correlation id (out-of-order
-//!   completion allowed) — so thread count is O(pooled connections),
-//!   not O(fan-out width). A scatter over 64 servers reuses the same
-//!   64 warm connections round after round instead of spawning 64
-//!   threads per round.
-//! - **Submit/completion**: [`Transport::submit`] enqueues the frame
-//!   and returns a [`CallHandle`] immediately; waiting on the handle
-//!   parks on a completion cell the reader thread fills. Bounded
-//!   fan-out falls out of the pool: at most [`POOL_CAP`] connections
-//!   per destination, each pipelining up to [`PIPELINE_DEPTH`]
-//!   requests before another connection is dialed; beyond that,
-//!   requests queue on the least-loaded connection.
-//! - **Failure injection** mirrors the simulator: a down endpoint fails
-//!   with [`NetError::EndpointDown`] and its server threads cut the
-//!   connection instead of answering; message drops surface as
+//!   in-flight requests at once; out-of-order completion is matched
+//!   by correlation id. A scatter over 64 servers reuses the same 64
+//!   warm connections round after round on the same handful of
+//!   reactor threads.
+//! - **Submit/completion**: [`Transport::submit`] encodes the frame,
+//!   appends it to the connection's write queue, wakes the owning
+//!   reactor and returns a [`CallHandle`] immediately — it never
+//!   blocks on a dial (connects are non-blocking too; N cold dials to
+//!   N servers proceed concurrently). Waiting on the handle parks on
+//!   a completion cell the reactor fills. Bounded fan-out falls out
+//!   of the pool: at most [`POOL_CAP`] connections per destination,
+//!   each pipelining up to [`PIPELINE_DEPTH`] requests before another
+//!   connection is dialed; beyond that, requests queue on the
+//!   least-loaded connection.
+//! - **Failure injection** mirrors the simulator: a down endpoint
+//!   fails with [`NetError::EndpointDown`] and its server side cuts
+//!   the connection instead of answering; message drops surface as
 //!   [`NetError::Timeout`].
 //!
 //! Clocks are wall-clock microseconds since transport creation, so the
@@ -58,30 +71,28 @@
 //! A response whose correlation id matches no in-flight request (for
 //! example, one that arrives after its waiter timed out) is discarded
 //! and counted in [`TcpTransport::orphan_responses`]; it never
-//! completes a different call. Worker threads are detached but
-//! bounded and observable via [`TcpTransport::worker_threads`]:
-//! accept loops, dispatch workers and server-side connection
-//! readers/writers on the serving side, connection writers/readers on
-//! the client side — O(endpoints + connections), never O(fan-out) or
-//! O(call volume). Dropping the last transport handle wakes every
-//! accept loop, which releases its listener port; dispatch workers
-//! exit (releasing their service) once the accept loop and every
-//! connection reader have gone; connection writers exit when their
-//! queues close, shutting the socket down so the paired reader
-//! follows. This backend is built for tests, benches and
+//! completes a different call. Worker threads are detached but bounded
+//! and observable via [`TcpTransport::worker_threads`]: the reactor
+//! pool plus the dispatch pool, nothing per connection, endpoint or
+//! call. Dropping the last transport handle wakes every reactor; each
+//! exits, closing its listeners (releasing their ports) and
+//! connections and dropping its service handles, which unwinds the
+//! dispatch pool. This backend is built for tests, benches and
 //! single-process demos, not as a hardened production server.
 
+use crate::reactor::{connect_nonblocking, poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
 use crate::{EndpointId, NetError, ThreadGuard};
-use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
+use openflame_codec::framing::{write_frame, FrameDecoder, FRAME_HEADER_LEN};
 use openflame_geo::LatLng;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -96,17 +107,31 @@ pub const POOL_CAP: usize = 4;
 /// — the bounded-fan-out knob).
 pub const PIPELINE_DEPTH: usize = 32;
 
-/// Concurrent dispatch workers per served endpoint: decoded frames
-/// from every connection of that endpoint are executed by this many
-/// threads, so a slow request no longer head-of-line blocks the
-/// pipelined requests behind it on the same connection.
-pub const SERVE_POOL: usize = 4;
+/// Concurrent dispatch workers for the whole transport: decoded
+/// frames from every served connection of every endpoint are executed
+/// by this many threads. A fixed transport-wide pool (not per
+/// endpoint) is what keeps the thread ceiling O(cores)-ish no matter
+/// how many endpoints serve.
+pub const DISPATCH_POOL: usize = 8;
 
 /// Decoded requests one server connection may hold in dispatch at once
 /// (queued for a worker, executing, or awaiting its response write)
-/// before the connection's reader stops reading — the server-side
-/// bounded-queue mirror of the client's [`PIPELINE_DEPTH`].
+/// before its reactor drops the connection's read interest — the
+/// server-side bounded-queue mirror of the client's
+/// [`PIPELINE_DEPTH`], expressed as readiness-deregistration instead
+/// of a blocked reader thread.
 pub const SERVE_PIPELINE: usize = PIPELINE_DEPTH;
+
+/// Hard cap on the reactor pool (the default is
+/// `min(available cores, MAX_REACTORS)`).
+pub const MAX_REACTORS: usize = 8;
+
+fn default_reactor_count() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_REACTORS)
+}
 
 // ---------------------------------------------------------------------
 // Completion plumbing.
@@ -125,17 +150,17 @@ struct CellDone {
 }
 
 /// One in-flight request's completion slot, filled exactly once by a
-/// connection worker (or by the timeout path abandoning it).
+/// reactor (or by the timeout path abandoning it).
 ///
 /// Uses `std::sync` primitives: the waiter needs a `Condvar`, which the
 /// crate's vendored `parking_lot` facade does not provide.
 struct CompletionCell {
     state: StdMutex<Option<CellDone>>,
     cond: Condvar,
-    /// Set by the connection writer the moment it starts putting the
-    /// request frame on the socket. Failed calls whose frame was
-    /// written still charge their request bytes — the bytes were
-    /// really spent on the wire (see [`TcpTransport::charge_tx`]).
+    /// Set by the reactor the moment it starts putting the request
+    /// frame on the socket. Failed calls whose frame was written still
+    /// charge their request bytes — the bytes were really spent on the
+    /// wire (see [`TcpTransport::charge_tx`]).
     sent: AtomicBool,
 }
 
@@ -185,7 +210,7 @@ impl CompletionCell {
 }
 
 /// A connection's demultiplexer: correlation id → completion cell.
-/// Shared between the submitting side and the connection's reader.
+/// Shared between the submitting side and the connection's reactor.
 struct Demux {
     pending: StdMutex<HashMap<u64, Arc<CompletionCell>>>,
     /// Responses successfully delivered on this connection, ever. The
@@ -261,24 +286,9 @@ impl Demux {
         }
     }
 
-    /// Fails a request that never reached the socket (still queued when
-    /// the writer exited). Marked sole-in-flight: re-sending something
-    /// that was never sent cannot duplicate work.
-    fn fail_unsent(&self, corr: u64) {
-        if let Some(cell) = self.pending.lock().expect("demux lock").remove(&corr) {
-            cell.fill(
-                Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "request queued behind a failed connection",
-                )),
-                true,
-            );
-        }
-    }
-
     /// Marks a request's frame as on its way onto the socket (the
-    /// writer calls this immediately before writing), so failure paths
-    /// know whether the request bytes were spent.
+    /// reactor calls this immediately before the first write), so
+    /// failure paths know whether the request bytes were spent.
     fn mark_sent(&self, corr: u64) {
         if let Some(cell) = self.pending.lock().expect("demux lock").get(&corr) {
             cell.sent.store(true, Ordering::SeqCst);
@@ -301,31 +311,127 @@ impl Demux {
     }
 }
 
-struct Outbound {
+// ---------------------------------------------------------------------
+// Client connections.
+// ---------------------------------------------------------------------
+
+/// One encoded frame waiting in (or part-way through) a connection's
+/// write queue.
+struct OutFrame {
     corr: u64,
-    sender: u64,
-    payload: Vec<u8>,
+    buf: Vec<u8>,
+    off: usize,
 }
 
-/// One pooled, pipelined client connection (writer + reader thread).
-struct Conn {
-    /// Feeds the writer thread; behind a mutex only to be shareable.
-    tx: StdMutex<mpsc::Sender<Outbound>>,
+#[derive(Default)]
+struct OutQueue {
+    /// Set by the reactor when the connection dies: enqueue attempts
+    /// fail fast instead of queueing frames nobody will ever write.
+    closed: bool,
+    frames: VecDeque<OutFrame>,
+}
+
+/// One pooled, pipelined client connection. The socket itself lives in
+/// the owning reactor's slab; submitters only touch the write queue
+/// and the demux.
+struct ClientConn {
+    addr: SocketAddr,
     demux: Arc<Demux>,
-    /// Set by either worker when the connection dies; broken
-    /// connections are pruned from the pool on the next checkout.
+    /// Set when the connection dies or goes stale; broken connections
+    /// are pruned from the pool on the next checkout and closed by
+    /// their reactor once drained.
     broken: Arc<AtomicBool>,
+    /// Set by `set_down`: the reactor cuts the connection immediately,
+    /// failing whatever is in flight (a crashed server does not drain
+    /// gracefully).
+    kill: AtomicBool,
+    out: StdMutex<OutQueue>,
+    /// The reactor that owns the socket — woken on every enqueue.
+    reactor: Arc<ReactorShared>,
 }
 
-impl Conn {
-    /// Queues a frame for the writer; hands it back if the writer is
-    /// already gone (so the caller can re-route without re-encoding).
-    fn send(&self, out: Outbound) -> Result<(), Outbound> {
-        self.tx
-            .lock()
-            .expect("conn sender lock")
-            .send(out)
-            .map_err(|e| e.0)
+impl ClientConn {
+    /// Queues a frame for the reactor; `Err` when the connection is
+    /// already closed (so the caller can re-route without re-sending
+    /// anything — the frame never touched the socket).
+    fn enqueue(&self, frame: OutFrame) -> Result<(), ()> {
+        {
+            let mut out = self.out.lock().expect("conn out queue");
+            if out.closed {
+                return Err(());
+            }
+            out.frames.push_back(frame);
+        }
+        self.reactor.waker.wake();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor pool.
+// ---------------------------------------------------------------------
+
+/// Registration commands handed to a reactor from other threads.
+enum Cmd {
+    /// Adopt a freshly dialed client connection (socket may still be
+    /// mid-handshake).
+    Client {
+        conn: Arc<ClientConn>,
+        stream: TcpStream,
+    },
+    /// Adopt a served endpoint's listener.
+    Listener {
+        listener: TcpListener,
+        me: u64,
+        down: Arc<AtomicBool>,
+        service: Arc<dyn WireService>,
+        dispatch: mpsc::Sender<ServeJob>,
+    },
+    /// Adopt an accepted server-side connection.
+    Served {
+        stream: TcpStream,
+        me: u64,
+        down: Arc<AtomicBool>,
+        service: Arc<dyn WireService>,
+        dispatch: mpsc::Sender<ServeJob>,
+        shared: Arc<SrvShared>,
+    },
+}
+
+/// The cross-thread face of one reactor: a command queue plus the
+/// waker that pops its `poll`.
+struct ReactorShared {
+    cmds: StdMutex<Vec<Cmd>>,
+    waker: Waker,
+}
+
+impl ReactorShared {
+    fn push(&self, cmd: Cmd) {
+        self.cmds.lock().expect("reactor command queue").push(cmd);
+        self.waker.wake();
+    }
+
+    fn take_cmds(&self) -> Vec<Cmd> {
+        std::mem::take(&mut *self.cmds.lock().expect("reactor command queue"))
+    }
+}
+
+struct ReactorPool {
+    handles: Vec<Arc<ReactorShared>>,
+    next: AtomicUsize,
+}
+
+impl ReactorPool {
+    /// Round-robin assignment of new sockets across the pool.
+    fn pick(&self) -> Arc<ReactorShared> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.handles.len();
+        self.handles[i].clone()
+    }
+
+    fn wake_all(&self) {
+        for handle in &self.handles {
+            handle.waker.wake();
+        }
     }
 }
 
@@ -337,13 +443,13 @@ struct Endpoint {
     name: String,
     /// Listener address once the endpoint serves; `None` for clients.
     addr: Option<SocketAddr>,
-    /// Shared with the endpoint's connection threads: when set, they
-    /// cut connections instead of answering.
+    /// Shared with the endpoint's server-side connections: when set,
+    /// they cut instead of answering.
     down: Arc<AtomicBool>,
     stats: EndpointStats,
     latency: EndpointLatency,
     /// Pooled pipelined connections *to* this endpoint.
-    conns: Vec<Arc<Conn>>,
+    conns: Vec<Arc<ClientConn>>,
 }
 
 struct Inner {
@@ -356,44 +462,33 @@ struct Inner {
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
     endpoints: Mutex<HashMap<EndpointId, Endpoint>>,
-    /// Live worker threads: accept loops, per-endpoint dispatch
-    /// workers, server-side connection readers/writers, client-side
-    /// connection writers/readers.
+    /// Configured reactor pool size (threads spawn lazily on first
+    /// dial or `set_service`).
+    reactor_count: usize,
+    reactors: Mutex<Option<Arc<ReactorPool>>>,
+    /// Master sender of the transport-wide dispatch pool.
+    dispatch: Mutex<Option<mpsc::Sender<ServeJob>>>,
+    /// Live worker threads: reactors plus dispatch workers.
     threads: Arc<AtomicUsize>,
     /// Responses discarded because no in-flight request matched.
     orphans: Arc<AtomicU64>,
-    /// Set when the last transport handle drops; accept loops exit on
-    /// the next connection, releasing their listener and service.
+    /// Set when the last transport handle drops; reactors exit on
+    /// their next wakeup, releasing listeners, sockets and services.
     shutdown: Arc<AtomicBool>,
 }
 
 impl Drop for Inner {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake every parked accept loop with a throwaway connection so
-        // it observes the flag, drops its listener and its
-        // Arc<dyn WireService>, and exits. Without this, each served
-        // endpoint would pin a thread, a port and its whole service
-        // (map, indexes, tiles) until process exit. The wakes run in
-        // parallel on scoped threads: a transport serving N endpoints
-        // tears down in one connect's worth of time, not N sequential
-        // 100 ms connect timeouts. Client connection workers unwind on
-        // their own: dropping the endpoints map drops every Conn,
-        // closing its queue — the writer exits and shuts the socket
-        // down, which unblocks the paired reader.
-        let addrs: Vec<SocketAddr> = self
-            .endpoints
-            .get_mut()
-            .values()
-            .filter_map(|ep| ep.addr)
-            .collect();
-        thread::scope(|scope| {
-            for addr in addrs {
-                scope.spawn(move || {
-                    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
-                });
-            }
-        });
+        // Wake every reactor so it observes the flag now: each exits,
+        // dropping its listeners (releasing their ports), its
+        // connections and its service/dispatch handles — which in turn
+        // unwinds the dispatch pool once our master sender below goes
+        // too. No connect-storm, no per-endpoint walk: teardown cost
+        // is O(reactors) regardless of how many endpoints served.
+        if let Some(pool) = self.reactors.get_mut().take() {
+            pool.wake_all();
+        }
     }
 }
 
@@ -407,8 +502,16 @@ pub struct TcpTransport {
 }
 
 impl TcpTransport {
-    /// Creates a transport. `seed` drives the drop-injection RNG.
+    /// Creates a transport with the default reactor pool
+    /// (`min(cores, MAX_REACTORS)`). `seed` drives the drop-injection
+    /// RNG.
     pub fn new(seed: u64) -> Self {
+        Self::with_reactors(seed, default_reactor_count())
+    }
+
+    /// Creates a transport with an explicit reactor-pool size
+    /// (clamped to `1..=MAX_REACTORS`).
+    pub fn with_reactors(seed: u64, reactors: usize) -> Self {
         Self {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
@@ -419,6 +522,9 @@ impl TcpTransport {
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 stats: Mutex::new(NetStats::default()),
                 endpoints: Mutex::new(HashMap::new()),
+                reactor_count: reactors.clamp(1, MAX_REACTORS),
+                reactors: Mutex::new(None),
+                dispatch: Mutex::new(None),
                 threads: Arc::new(AtomicUsize::new(0)),
                 orphans: Arc::new(AtomicU64::new(0)),
                 shutdown: Arc::new(AtomicBool::new(false)),
@@ -436,14 +542,18 @@ impl TcpTransport {
         self.inner.endpoints.lock().get(&id).and_then(|e| e.addr)
     }
 
-    /// Live worker threads (accept loops, per-endpoint dispatch
-    /// workers, server-side connection readers/writers, client-side
-    /// connection writers/readers). Bounded by the served endpoint
-    /// count plus the pooled connection count — **not** by fan-out
+    /// Live worker threads: the reactor pool plus the shared dispatch
+    /// pool. Bounded by [`TcpTransport::reactor_threads`] `+`
+    /// [`DISPATCH_POOL`] — **not** by endpoints, connections, fan-out
     /// width or call volume; the pipelining stress test pins this
     /// down.
     pub fn worker_threads(&self) -> usize {
         self.inner.threads.load(Ordering::SeqCst)
+    }
+
+    /// Configured reactor-pool size (the event-loop thread budget).
+    pub fn reactor_threads(&self) -> usize {
+        self.inner.reactor_count
     }
 
     /// Responses discarded because their correlation id matched no
@@ -467,97 +577,95 @@ impl TcpTransport {
         Duration::from_micros(self.inner.timeout_us.load(Ordering::Relaxed).max(1_000))
     }
 
-    /// Creates a connection toward `addr`: the writer/reader worker
-    /// pair is spawned immediately, but the TCP handshake itself runs
-    /// on the writer thread — `submit` never blocks on a dial, frames
-    /// queue behind the in-progress handshake, and N cold dials to N
-    /// servers proceed concurrently. A failed handshake fails every
-    /// queued and subsequently raced-in request through the demux.
-    fn dial(&self, to: EndpointId, addr: SocketAddr) -> Conn {
-        let timeout = self.timeout();
-        let demux = Arc::new(Demux::new(self.inner.orphans.clone()));
-        let broken = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<Outbound>();
-
-        let guard = ThreadGuard::enter(&self.inner.threads);
-        let reader_threads = self.inner.threads.clone();
-        let writer_demux = demux.clone();
-        let writer_broken = broken.clone();
-        thread::Builder::new()
-            .name(format!("ofl-tcp-wr-{}", to.0))
-            .spawn(move || {
-                let _guard = guard;
-                let fail = |kind: io::ErrorKind, msg: &str| {
-                    writer_broken.store(true, Ordering::SeqCst);
-                    writer_demux.fail_all(kind, msg);
-                    // Fail frames already queued behind the failure
-                    // before the receiver drops: a submit that raced it
-                    // must fail fast (those frames never touched the
-                    // socket, so they are safe to re-route), not stall
-                    // to its timeout.
-                    while let Ok(queued) = rx.try_recv() {
-                        writer_demux.fail_unsent(queued.corr);
-                    }
-                };
-                let mut stream = match TcpStream::connect_timeout(&addr, timeout) {
-                    Ok(stream) => stream,
-                    Err(e) => {
-                        fail(e.kind(), &format!("dial {addr}: {e}"));
-                        return;
-                    }
-                };
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_write_timeout(Some(timeout));
-                let reader_stream = match stream.try_clone() {
-                    Ok(clone) => clone,
-                    Err(e) => {
-                        fail(e.kind(), &format!("clone socket: {e}"));
-                        return;
-                    }
-                };
-                let reader_guard = ThreadGuard::enter(&reader_threads);
-                let reader_demux = writer_demux.clone();
-                let reader_broken = writer_broken.clone();
-                thread::Builder::new()
-                    .name(format!("ofl-tcp-rd-{}", to.0))
-                    .spawn(move || {
-                        let _guard = reader_guard;
-                        let mut stream = reader_stream;
-                        loop {
-                            match read_frame(&mut stream) {
-                                Ok(frame) => {
-                                    reader_demux.complete(frame.correlation, Ok(frame.payload))
-                                }
-                                Err(e) => {
-                                    reader_broken.store(true, Ordering::SeqCst);
-                                    reader_demux.fail_all(e.kind(), &e.to_string());
-                                    break;
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn connection reader");
-                while let Ok(out) = rx.recv() {
-                    // The frame is going onto the socket now: even if
-                    // the write (or the whole call) fails from here on,
-                    // its request bytes count as wire traffic.
-                    writer_demux.mark_sent(out.corr);
-                    if write_frame(&mut stream, out.sender, out.corr, &out.payload).is_err() {
-                        fail(io::ErrorKind::BrokenPipe, "connection writer failed");
-                        break;
-                    }
-                }
-                // Queue closed or write failed: tear the socket down so
-                // the paired reader unblocks and exits too.
-                let _ = stream.shutdown(Shutdown::Both);
-            })
-            .expect("spawn connection writer");
-
-        Conn {
-            tx: StdMutex::new(tx),
-            demux,
-            broken,
+    /// The lazily spawned reactor pool.
+    fn reactor_pool(&self) -> Arc<ReactorPool> {
+        let mut slot = self.inner.reactors.lock();
+        if let Some(pool) = slot.as_ref() {
+            return pool.clone();
         }
+        let handles: Vec<Arc<ReactorShared>> = (0..self.inner.reactor_count)
+            .map(|_| {
+                Arc::new(ReactorShared {
+                    cmds: StdMutex::new(Vec::new()),
+                    waker: Waker::new().expect("create reactor waker"),
+                })
+            })
+            .collect();
+        let pool = Arc::new(ReactorPool {
+            handles,
+            next: AtomicUsize::new(0),
+        });
+        for idx in 0..self.inner.reactor_count {
+            let guard = ThreadGuard::enter(&self.inner.threads);
+            let pool = pool.clone();
+            let shutdown = self.inner.shutdown.clone();
+            thread::Builder::new()
+                .name(format!("ofl-tcp-reactor-{idx}"))
+                .spawn(move || {
+                    let _guard = guard;
+                    run_reactor(idx, pool, shutdown);
+                })
+                .expect("spawn reactor");
+        }
+        *slot = Some(pool.clone());
+        pool
+    }
+
+    /// The lazily spawned transport-wide dispatch pool's job sender.
+    fn dispatch_sender(&self) -> mpsc::Sender<ServeJob> {
+        let mut slot = self.inner.dispatch.lock();
+        if let Some(tx) = slot.as_ref() {
+            return tx.clone();
+        }
+        let tx = spawn_dispatch_pool(&self.inner.threads);
+        *slot = Some(tx.clone());
+        tx
+    }
+
+    /// Wakes every reactor (no-op before the pool exists) so state
+    /// changes made outside the event loop — timeout pruning,
+    /// `set_down` kills — are noticed now, not at the next I/O event.
+    fn wake_reactors(&self) {
+        if let Some(pool) = self.inner.reactors.lock().as_ref() {
+            pool.wake_all();
+        }
+    }
+
+    /// Creates a connection toward `addr`: the socket starts a
+    /// non-blocking connect and is handed to a reactor mid-handshake —
+    /// `submit` never blocks on a dial, frames queue behind the
+    /// in-progress handshake, and N cold dials to N servers proceed
+    /// concurrently. A failed handshake fails every queued and
+    /// subsequently raced-in request through the demux.
+    fn dial(&self, addr: SocketAddr) -> Arc<ClientConn> {
+        let pool = self.reactor_pool();
+        let target = pool.pick();
+        let conn = Arc::new(ClientConn {
+            addr,
+            demux: Arc::new(Demux::new(self.inner.orphans.clone())),
+            broken: Arc::new(AtomicBool::new(false)),
+            kill: AtomicBool::new(false),
+            out: StdMutex::new(OutQueue::default()),
+            reactor: target.clone(),
+        });
+        match connect_nonblocking(&addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                target.push(Cmd::Client {
+                    conn: conn.clone(),
+                    stream,
+                });
+            }
+            Err(e) => {
+                // Synchronous dial failure (fd exhaustion, bad addr):
+                // the connection is born dead; submit's closed-queue
+                // check routes around it.
+                conn.broken.store(true, Ordering::SeqCst);
+                conn.out.lock().expect("conn out queue").closed = true;
+                conn.demux.fail_all(e.kind(), &format!("dial {addr}: {e}"));
+            }
+        }
+        conn
     }
 
     /// Checks out a connection toward `to`: the least-loaded pooled one
@@ -569,7 +677,7 @@ impl TcpTransport {
         to: EndpointId,
         addr: SocketAddr,
         force_fresh: bool,
-    ) -> (Arc<Conn>, bool) {
+    ) -> (Arc<ClientConn>, bool) {
         if !force_fresh {
             let mut endpoints = self.inner.endpoints.lock();
             if let Some(ep) = endpoints.get_mut(&to) {
@@ -581,7 +689,7 @@ impl TcpTransport {
                 }
             }
         }
-        let conn = Arc::new(self.dial(to, addr));
+        let conn = self.dial(addr);
         let mut endpoints = self.inner.endpoints.lock();
         if let Some(ep) = endpoints.get_mut(&to) {
             // Make room before the cap check: broken connections must
@@ -619,45 +727,37 @@ impl TcpTransport {
         }
         let (conn, reused) = self.obtain_conn(to, addr, force_fresh);
         let corr = self.inner.next_corr.fetch_add(1, Ordering::Relaxed);
+        // Encode up front (the reactor writes raw buffers); the
+        // payload stays owned here for the retry paths.
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        write_frame(&mut buf, from.0, corr, &payload)
+            .map_err(|e| NetError::Connection(format!("encode frame: {e}")))?;
         let cell = conn.demux.register(corr);
         let delivered_at_submit = conn.demux.delivered();
         let bytes_sent = payload.len() as u64;
-        // Keep a retry copy only when a retry is actually possible
-        // (requests that went out on a pre-existing pooled connection);
-        // the common case moves the payload straight into the frame.
-        let retry_payload = if reused && !force_fresh {
-            Some(payload.clone())
-        } else {
-            None
-        };
-        if let Err(returned) = conn.send(Outbound {
-            corr,
-            sender: from.0,
-            payload,
-        }) {
-            // Writer already gone: prune and, once, try a fresh dial.
-            // The frame never left this process, so re-routing it
-            // cannot duplicate work.
+        if conn.enqueue(OutFrame { corr, buf, off: 0 }).is_err() {
+            // Connection already closed: prune and, once, try a fresh
+            // dial. The frame never left this process, so re-routing
+            // it cannot duplicate work.
             conn.broken.store(true, Ordering::SeqCst);
             conn.demux.forget(corr);
             if !force_fresh {
-                return self.submit_inner(from, to, returned.payload, true);
+                return self.submit_inner(from, to, payload, true);
             }
-            return Err(NetError::Connection("connection writer gone".into()));
+            return Err(NetError::Connection("connection closed before send".into()));
         }
         if conn.broken.load(Ordering::SeqCst) && conn.demux.forget(corr) {
             // The connection died while we were enqueueing and its
             // failure sweep may have run before our registration —
             // nobody would ever fill this cell, stalling the waiter to
-            // its deadline. Re-route on a fresh dial when we kept a
-            // copy; otherwise fail fast.
-            if !force_fresh {
-                if let Some(payload) = retry_payload {
-                    return self.submit_inner(from, to, payload, true);
-                }
+            // its deadline. Re-route on a fresh dial when this was a
+            // pooled reuse; otherwise fail fast.
+            if !force_fresh && reused {
+                return self.submit_inner(from, to, payload, true);
             }
             return Err(NetError::Connection("connection died during submit".into()));
         }
+        let retry_payload = (reused && !force_fresh).then_some(payload);
         Ok(TcpPending {
             transport: self.clone(),
             from,
@@ -746,7 +846,7 @@ impl TcpTransport {
 }
 
 /// One in-flight TCP call: the frame is queued (or written); the
-/// reader thread fills `cell` when the correlated response lands.
+/// reactor fills `cell` when the correlated response lands.
 struct TcpPending {
     transport: TcpTransport,
     from: EndpointId,
@@ -755,8 +855,7 @@ struct TcpPending {
     /// pooled connection (the only ones eligible for the single
     /// stale-connection retry).
     payload: Option<Vec<u8>>,
-    /// Request payload length (the payload itself may have moved into
-    /// the frame).
+    /// Request payload length.
     bytes_sent: u64,
     corr: u64,
     cell: Arc<CompletionCell>,
@@ -770,11 +869,10 @@ struct TcpPending {
     delivered_at_submit: u64,
     down: Arc<AtomicBool>,
     t0: Instant,
-    /// Keeps the connection's writer alive while the call is in
-    /// flight: a fresh dial that lost the pool-slot race would
-    /// otherwise be torn down the moment `submit` returned, killing
-    /// the response mid-air.
-    _conn: Arc<Conn>,
+    /// Keeps the connection's demux and queue alive while the call is
+    /// in flight: a fresh dial that lost the pool-slot race must not
+    /// lose its response mid-air.
+    _conn: Arc<ClientConn>,
 }
 
 impl PendingCall for TcpPending {
@@ -841,9 +939,11 @@ impl PendingCall for TcpPending {
                 // connection swallowed a request past its deadline, so
                 // stop pooling it — the next submit dials fresh instead
                 // of feeding a stalled server's tar pit (in-flight
-                // siblings keep their cells; only checkout is barred).
+                // siblings keep their cells; only checkout is barred,
+                // and the reactor closes the socket once they drain).
                 self.demux.forget(self.corr);
                 self.conn_broken.store(true, Ordering::SeqCst);
+                self.transport.wake_reactors();
                 if self.cell.was_sent() {
                     self.transport
                         .charge_tx(self.from, self.to, self.bytes_sent);
@@ -878,6 +978,9 @@ impl Transport for TcpTransport {
 
     fn set_service(&self, id: EndpointId, service: Arc<dyn WireService>) {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind loopback listener");
+        listener
+            .set_nonblocking(true)
+            .expect("non-blocking listener");
         let addr = listener.local_addr().expect("listener has an address");
         let down = {
             let mut endpoints = self.inner.endpoints.lock();
@@ -887,47 +990,15 @@ impl Transport for TcpTransport {
             ep.addr = Some(addr);
             ep.down.clone()
         };
-        let shutdown = self.inner.shutdown.clone();
-        let threads = self.inner.threads.clone();
-        // The endpoint's bounded dispatch pool serves every connection;
-        // the accept loop holds the master job sender, each connection
-        // reader a clone — when all are gone the pool unwinds and
-        // releases the service.
-        let dispatch = spawn_dispatch_pool(id, service, &threads);
-        let guard = ThreadGuard::enter(&threads);
-        thread::Builder::new()
-            .name(format!("ofl-tcp-accept-{}", id.0))
-            .spawn(move || {
-                let _guard = guard;
-                for stream in listener.incoming() {
-                    // The transport's Drop wakes us with a throwaway
-                    // connection after setting this flag.
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let stream = match stream {
-                        Ok(stream) => stream,
-                        // Transient accept failures (ECONNABORTED, fd
-                        // pressure) must not kill the endpoint for the
-                        // rest of the process; back off briefly.
-                        Err(_) => {
-                            thread::sleep(Duration::from_millis(1));
-                            continue;
-                        }
-                    };
-                    let dispatch = dispatch.clone();
-                    let down = down.clone();
-                    let conn_threads = threads.clone();
-                    let conn_guard = ThreadGuard::enter(&threads);
-                    let _ = thread::Builder::new()
-                        .name(format!("ofl-tcp-conn-{}", id.0))
-                        .spawn(move || {
-                            let _guard = conn_guard;
-                            serve_connection(stream, id, dispatch, down, conn_threads)
-                        });
-                }
-            })
-            .expect("spawn accept thread");
+        let dispatch = self.dispatch_sender();
+        let pool = self.reactor_pool();
+        pool.pick().push(Cmd::Listener {
+            listener,
+            me: id.0,
+            down,
+            service,
+            dispatch,
+        });
     }
 
     fn submit(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> CallHandle {
@@ -981,12 +1052,19 @@ impl Transport for TcpTransport {
             };
             ep.down.store(down, Ordering::Relaxed);
             // Drop pooled connections either way: a revived server gets
-            // fresh connections instead of sockets its threads already
-            // abandoned. In-flight requests on them fail through the
-            // reader when the server side cuts the stream.
+            // fresh connections instead of sockets the server side
+            // already abandoned.
             std::mem::take(&mut ep.conns)
         };
+        // Cut them now: in-flight requests fail like they would on a
+        // crashed process, instead of riding a socket whose server
+        // will never answer again.
+        for conn in &conns {
+            conn.kill.store(true, Ordering::SeqCst);
+            conn.broken.store(true, Ordering::SeqCst);
+        }
         drop(conns);
+        self.wake_reactors();
     }
 
     fn set_drop_probability(&self, p: f64) {
@@ -997,6 +1075,10 @@ impl Transport for TcpTransport {
 
     fn set_timeout_us(&self, timeout_us: u64) {
         self.inner.timeout_us.store(timeout_us, Ordering::Relaxed);
+    }
+
+    fn worker_threads(&self) -> usize {
+        TcpTransport::worker_threads(self)
     }
 }
 
@@ -1017,79 +1099,50 @@ fn is_stale_connection(e: &io::Error) -> bool {
 // Server-side concurrent dispatch.
 // ---------------------------------------------------------------------
 
-/// Per-connection dispatch gate: bounds the decoded-but-unanswered
-/// requests of one connection to [`SERVE_PIPELINE`]. The connection's
-/// reader acquires a slot per frame (blocking when the connection is
-/// saturated — backpressure on the socket, not unbounded buffering);
-/// the slot is released when the response leaves the writer, or when
-/// the response can no longer be delivered.
-struct ServeGate {
-    inflight: StdMutex<usize>,
-    cond: Condvar,
-}
-
-impl ServeGate {
-    fn new() -> Self {
-        Self {
-            inflight: StdMutex::new(0),
-            cond: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) {
-        let mut n = self.inflight.lock().expect("serve gate");
-        while *n >= SERVE_PIPELINE {
-            n = self.cond.wait(n).expect("serve gate");
-        }
-        *n += 1;
-    }
-
-    fn release(&self) {
-        *self.inflight.lock().expect("serve gate") -= 1;
-        self.cond.notify_one();
-    }
-}
-
 /// One decoded request frame on its way to a dispatch worker.
 struct ServeJob {
     from: u64,
     corr: u64,
     payload: Vec<u8>,
-    /// The originating connection's writer queue.
-    respond: mpsc::Sender<ServeDone>,
-    gate: Arc<ServeGate>,
+    service: Arc<dyn WireService>,
+    shared: Arc<SrvShared>,
 }
 
-/// One computed response on its way to its connection's writer.
+/// One computed response on its way back to its connection's reactor.
 /// `response` is `None` when the service panicked on this request —
-/// the writer cuts the connection (crash semantics, exactly what a
-/// panic in the old per-connection serve thread produced) instead of
+/// the reactor cuts the connection (crash semantics) instead of
 /// leaving the caller to its timeout.
-struct ServeDone {
+struct SrvDone {
     corr: u64,
     response: Option<Vec<u8>>,
-    gate: Arc<ServeGate>,
 }
 
-/// Spawns the bounded per-endpoint dispatch pool: [`SERVE_POOL`]
-/// workers pull decoded frames from every connection of the endpoint
-/// and invoke the service concurrently (its `Send + Sync` contract
-/// makes that legal; see [`WireService`]). Workers exit — releasing
-/// their service clone — once every sender (the accept loop's master
-/// handle plus one clone per live connection reader) is gone.
-fn spawn_dispatch_pool(
-    id: EndpointId,
-    service: Arc<dyn WireService>,
-    threads: &Arc<AtomicUsize>,
-) -> mpsc::Sender<ServeJob> {
+/// The dispatch-facing half of one server connection: workers push
+/// completion-order results here and wake the owning reactor, which
+/// writes them out in that order.
+struct SrvShared {
+    done: StdMutex<VecDeque<SrvDone>>,
+    /// Set when the connection is torn down: late results are dropped
+    /// instead of queued for a writer that no longer exists.
+    dead: AtomicBool,
+    reactor: Arc<ReactorShared>,
+}
+
+/// Spawns the transport-wide dispatch pool: [`DISPATCH_POOL`] workers
+/// pull decoded frames from every served connection of every endpoint
+/// and invoke the owning service concurrently (its `Send + Sync`
+/// contract makes that legal; see [`WireService`]). Jobs carry their
+/// service handle, so idle workers pin no service alive; the pool
+/// unwinds once the transport's master sender and every reactor-held
+/// clone are gone.
+fn spawn_dispatch_pool(threads: &Arc<AtomicUsize>) -> mpsc::Sender<ServeJob> {
     let (job_tx, job_rx) = mpsc::channel::<ServeJob>();
     let job_rx = Arc::new(StdMutex::new(job_rx));
-    for worker in 0..SERVE_POOL {
+    for worker in 0..DISPATCH_POOL {
         let guard = ThreadGuard::enter(threads);
-        let service = service.clone();
         let job_rx = job_rx.clone();
         thread::Builder::new()
-            .name(format!("ofl-tcp-disp-{}-{worker}", id.0))
+            .name(format!("ofl-tcp-disp-{worker}"))
             .spawn(move || {
                 let _guard = guard;
                 loop {
@@ -1102,23 +1155,21 @@ fn spawn_dispatch_pool(
                     };
                     let Ok(job) = job else { break };
                     // Contain panics: a panicking service must cost its
-                    // connection (as it did when each connection had
-                    // its own serve thread), never a shared dispatch
-                    // worker — and never leak the gate slot.
+                    // connection, never a shared dispatch worker.
                     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        service.handle(EndpointId(job.from), &job.payload)
+                        job.service.handle(EndpointId(job.from), &job.payload)
                     }))
                     .ok();
-                    let done = ServeDone {
-                        corr: job.corr,
-                        response,
-                        gate: job.gate,
-                    };
-                    if let Err(undelivered) = job.respond.send(done) {
-                        // The connection's writer is gone; free the
-                        // slot so a still-alive reader is not wedged
-                        // on a gate nobody will ever open.
-                        undelivered.0.gate.release();
+                    if !job.shared.dead.load(Ordering::SeqCst) {
+                        job.shared
+                            .done
+                            .lock()
+                            .expect("served done queue")
+                            .push_back(SrvDone {
+                                corr: job.corr,
+                                response,
+                            });
+                        job.shared.reactor.waker.wake();
                     }
                 }
             })
@@ -1127,90 +1178,499 @@ fn spawn_dispatch_pool(
     job_tx
 }
 
-/// One server connection: the calling thread reads and decodes frames,
-/// handing each to the endpoint's dispatch pool under the connection's
-/// bounded gate; a paired writer thread emits responses in
-/// **completion order** (the wire protocol's correlation ids make
-/// reordering legal — see `docs/wire-protocol.md`). The connection
-/// ends when the peer hangs up, a frame is malformed, or the endpoint
-/// goes down.
-fn serve_connection(
-    mut stream: TcpStream,
-    me: EndpointId,
-    dispatch: mpsc::Sender<ServeJob>,
+// ---------------------------------------------------------------------
+// The reactor event loop.
+// ---------------------------------------------------------------------
+
+/// A client connection as its reactor sees it.
+struct ClientEntry {
+    conn: Arc<ClientConn>,
+    stream: TcpStream,
+    /// Still mid-handshake: watch for writability, then check
+    /// `SO_ERROR` before first use.
+    connecting: bool,
+    decoder: FrameDecoder,
+    dead: bool,
+}
+
+/// A served endpoint's listener as its reactor sees it.
+struct ListenerEntry {
+    listener: TcpListener,
+    me: u64,
     down: Arc<AtomicBool>,
-    threads: Arc<AtomicUsize>,
-) {
-    let _ = stream.set_nodelay(true);
-    let Ok(writer_stream) = stream.try_clone() else {
-        return;
-    };
-    let (resp_tx, resp_rx) = mpsc::channel::<ServeDone>();
-    let writer_guard = ThreadGuard::enter(&threads);
-    thread::Builder::new()
-        .name(format!("ofl-tcp-srv-wr-{}", me.0))
-        .spawn(move || {
-            let _guard = writer_guard;
-            let mut stream = writer_stream;
-            while let Ok(done) = resp_rx.recv() {
-                let ok = match &done.response {
-                    Some(response) => write_frame(&mut stream, me.0, done.corr, response).is_ok(),
-                    // Service panicked on this request: cut the
-                    // connection instead of answering.
-                    None => false,
-                };
-                done.gate.release();
-                if !ok {
-                    break;
+    service: Arc<dyn WireService>,
+    dispatch: mpsc::Sender<ServeJob>,
+}
+
+/// A response frame part-way through its write.
+struct WriteBuf {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+/// A server-side connection as its reactor sees it.
+struct ServedEntry {
+    stream: TcpStream,
+    me: u64,
+    down: Arc<AtomicBool>,
+    service: Arc<dyn WireService>,
+    dispatch: mpsc::Sender<ServeJob>,
+    shared: Arc<SrvShared>,
+    decoder: FrameDecoder,
+    /// Requests dispatched but not yet fully answered on the wire —
+    /// the [`SERVE_PIPELINE`] gate's counter.
+    in_dispatch: usize,
+    cur: Option<WriteBuf>,
+    /// False after EOF or a read error: stop reading, keep draining
+    /// responses (a half-closed peer still receives every answer it
+    /// pipelined).
+    read_open: bool,
+    dead: bool,
+}
+
+enum Entry {
+    Client(ClientEntry),
+    Listener(ListenerEntry),
+    Served(ServedEntry),
+}
+
+/// One reactor thread: poll readiness, pump non-blocking reads through
+/// the incremental decoder, drain write queues, accept connections —
+/// for every socket in its slab. Exits when the transport shuts down,
+/// dropping the slab (which closes every fd and releases every
+/// service/dispatch handle it held).
+fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
+    let shared = pool.handles[idx].clone();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut owners: Vec<usize> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for cmd in shared.take_cmds() {
+            entries.push(match cmd {
+                Cmd::Client { conn, stream } => Entry::Client(ClientEntry {
+                    conn,
+                    stream,
+                    connecting: true,
+                    decoder: FrameDecoder::new(),
+                    dead: false,
+                }),
+                Cmd::Listener {
+                    listener,
+                    me,
+                    down,
+                    service,
+                    dispatch,
+                } => Entry::Listener(ListenerEntry {
+                    listener,
+                    me,
+                    down,
+                    service,
+                    dispatch,
+                }),
+                Cmd::Served {
+                    stream,
+                    me,
+                    down,
+                    service,
+                    dispatch,
+                    shared,
+                } => Entry::Served(ServedEntry {
+                    stream,
+                    me,
+                    down,
+                    service,
+                    dispatch,
+                    shared,
+                    decoder: FrameDecoder::new(),
+                    in_dispatch: 0,
+                    cur: None,
+                    read_open: true,
+                    dead: false,
+                }),
+            });
+        }
+        // Retire sweep: externally killed connections, broken ones
+        // that drained, gracefully finished server connections, and
+        // everything that died during the last event round.
+        entries.retain_mut(|entry| match entry {
+            Entry::Listener(_) => true,
+            Entry::Client(c) => {
+                if !c.dead && c.conn.kill.load(Ordering::SeqCst) {
+                    client_death(c, io::ErrorKind::UnexpectedEof, "connection force-closed");
+                }
+                if !c.dead && c.conn.broken.load(Ordering::SeqCst) {
+                    // Externally marked stale (timeout pruning): keep
+                    // serving in-flight siblings, close once drained.
+                    let drained = c.conn.demux.in_flight() == 0
+                        && c.conn.out.lock().expect("conn out queue").frames.is_empty();
+                    if drained {
+                        c.conn.out.lock().expect("conn out queue").closed = true;
+                        let _ = c.stream.shutdown(Shutdown::Both);
+                        c.dead = true;
+                    }
+                }
+                !c.dead
+            }
+            Entry::Served(s) => {
+                if !s.dead
+                    && !s.read_open
+                    && s.in_dispatch == 0
+                    && s.cur.is_none()
+                    && s.shared.done.lock().expect("served done queue").is_empty()
+                {
+                    // Peer hung up and every pipelined response has
+                    // been delivered: done.
+                    s.dead = true;
+                }
+                if s.dead {
+                    s.shared.dead.store(true, Ordering::SeqCst);
+                    let _ = s.stream.shutdown(Shutdown::Both);
+                }
+                !s.dead
+            }
+        });
+        fds.clear();
+        owners.clear();
+        fds.push(PollFd::new(shared.waker.rx_fd(), POLLIN));
+        owners.push(usize::MAX);
+        for (i, entry) in entries.iter().enumerate() {
+            if let Some(fd) = interest(entry) {
+                fds.push(fd);
+                owners.push(i);
+            }
+        }
+        if poll_fds(&mut fds, -1).is_err() {
+            // EBADF/ENOMEM-class failure: back off instead of spinning.
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        if fds[0].readable() {
+            shared.waker.drain();
+        }
+        for k in 1..fds.len() {
+            let ready = fds[k];
+            if ready.revents == 0 {
+                continue;
+            }
+            match &mut entries[owners[k]] {
+                Entry::Client(c) => handle_client(c, ready),
+                Entry::Listener(l) => handle_listener(l, &pool),
+                Entry::Served(s) => handle_served(s, ready),
+            }
+        }
+    }
+}
+
+/// The poll interest of one slab entry; `None` keeps the fd out of
+/// this round entirely (dead, or — for a fully gated server
+/// connection — nothing to wait for until the waker fires).
+fn interest(entry: &Entry) -> Option<PollFd> {
+    match entry {
+        Entry::Listener(l) => Some(PollFd::new(l.listener.as_raw_fd(), POLLIN)),
+        Entry::Client(c) => {
+            if c.dead {
+                return None;
+            }
+            let mut events = 0i16;
+            if c.connecting {
+                events |= POLLOUT;
+            } else {
+                events |= POLLIN;
+                if !c.conn.out.lock().expect("conn out queue").frames.is_empty() {
+                    events |= POLLOUT;
                 }
             }
-            // Free the slots of responses that will never be written,
-            // so the reader observes the torn-down socket instead of
-            // parking on the gate forever.
-            while let Ok(done) = resp_rx.try_recv() {
-                done.gate.release();
+            Some(PollFd::new(c.stream.as_raw_fd(), events))
+        }
+        Entry::Served(s) => {
+            if s.dead {
+                return None;
             }
-            let _ = stream.shutdown(Shutdown::Both);
-        })
-        .expect("spawn server connection writer");
-    let gate = Arc::new(ServeGate::new());
-    let hard_cut = loop {
-        match read_frame(&mut stream) {
-            Ok(frame) => {
-                if down.load(Ordering::Relaxed) {
+            let mut events = 0i16;
+            if s.read_open && s.in_dispatch < SERVE_PIPELINE {
+                // The readiness-deregistration backpressure gate: a
+                // saturated connection simply stops watching for
+                // readability.
+                events |= POLLIN;
+            }
+            if s.cur.is_some() || !s.shared.done.lock().expect("served done queue").is_empty() {
+                events |= POLLOUT;
+            }
+            if events == 0 {
+                return None;
+            }
+            Some(PollFd::new(s.stream.as_raw_fd(), events))
+        }
+    }
+}
+
+/// Kills a client connection: fail every in-flight request, refuse
+/// further enqueues, mark for removal from the slab.
+fn client_death(c: &mut ClientEntry, kind: io::ErrorKind, msg: &str) {
+    c.conn.broken.store(true, Ordering::SeqCst);
+    {
+        let mut out = c.conn.out.lock().expect("conn out queue");
+        out.closed = true;
+        out.frames.clear();
+    }
+    // Queued-but-unwritten frames were registered too: the sweep
+    // fails them alongside the written ones (their cells carry
+    // `sent == false`, so they charge nothing).
+    c.conn.demux.fail_all(kind, msg);
+    let _ = c.stream.shutdown(Shutdown::Both);
+    c.dead = true;
+}
+
+fn handle_client(c: &mut ClientEntry, ready: PollFd) {
+    if c.connecting && ready.writable() {
+        match c.stream.take_error() {
+            Ok(None) => c.connecting = false,
+            Ok(Some(e)) | Err(e) => {
+                let addr = c.conn.addr;
+                client_death(c, e.kind(), &format!("dial {addr}: {e}"));
+                return;
+            }
+        }
+    }
+    if !c.dead && !c.connecting && ready.writable() {
+        if let Err(e) = pump_client_write(c) {
+            // The old writer thread reported every write failure as
+            // BrokenPipe; keep that so retry eligibility is unchanged.
+            client_death(
+                c,
+                io::ErrorKind::BrokenPipe,
+                &format!("connection writer failed: {e}"),
+            );
+            return;
+        }
+    }
+    if !c.dead && !c.connecting && ready.readable() {
+        if let Err((kind, msg)) = pump_client_read(c) {
+            client_death(c, kind, &msg);
+        }
+    }
+}
+
+/// Drains the connection's write queue into the socket until it would
+/// block or empties.
+fn pump_client_write(c: &mut ClientEntry) -> io::Result<()> {
+    let mut out = c.conn.out.lock().expect("conn out queue");
+    while let Some(frame) = out.frames.front_mut() {
+        if frame.off == 0 {
+            // The frame is going onto the socket now: even if the
+            // write (or the whole call) fails from here on, its
+            // request bytes count as wire traffic.
+            c.conn.demux.mark_sent(frame.corr);
+        }
+        match (&c.stream).write(&frame.buf[frame.off..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "wrote zero bytes")),
+            Ok(n) => {
+                frame.off += n;
+                if frame.off == frame.buf.len() {
+                    out.frames.pop_front();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads whatever the socket has, feeding the incremental decoder and
+/// completing responses by correlation id.
+fn pump_client_read(c: &mut ClientEntry) -> Result<(), (io::ErrorKind, String)> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match (&c.stream).read(&mut buf) {
+            Ok(0) => {
+                return Err((
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed by peer".into(),
+                ))
+            }
+            Ok(n) => {
+                c.decoder.extend(&buf[..n]);
+                loop {
+                    match c.decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            c.conn.demux.complete(frame.correlation, Ok(frame.payload))
+                        }
+                        Ok(None) => break,
+                        Err(e) => return Err((e.kind(), e.to_string())),
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err((e.kind(), e.to_string())),
+        }
+    }
+}
+
+/// Accepts every pending connection, spreading them across the pool.
+fn handle_listener(l: &mut ListenerEntry, pool: &Arc<ReactorPool>) {
+    loop {
+        match l.listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let target = pool.pick();
+                let shared = Arc::new(SrvShared {
+                    done: StdMutex::new(VecDeque::new()),
+                    dead: AtomicBool::new(false),
+                    reactor: target.clone(),
+                });
+                target.push(Cmd::Served {
+                    stream,
+                    me: l.me,
+                    down: l.down.clone(),
+                    service: l.service.clone(),
+                    dispatch: l.dispatch.clone(),
+                    shared,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Transient accept failures (ECONNABORTED, fd pressure)
+            // must not kill the endpoint for the rest of the process.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Tears a server connection down immediately (malformed frame, down
+/// endpoint, service panic): no answer, no drain.
+fn cut_served(s: &mut ServedEntry) {
+    s.dead = true;
+    s.shared.dead.store(true, Ordering::SeqCst);
+    let _ = s.stream.shutdown(Shutdown::Both);
+}
+
+fn handle_served(s: &mut ServedEntry, ready: PollFd) {
+    if !s.dead && s.read_open && ready.readable() && pump_served_read(s).is_err() {
+        cut_served(s);
+        return;
+    }
+    if !s.dead && ready.writable() {
+        if pump_served_write(s).is_err() {
+            cut_served(s);
+            return;
+        }
+        // Completed responses freed dispatch slots: frames already
+        // buffered while the connection was gated can dispatch now.
+        if pump_served_decode(s).is_err() {
+            cut_served(s);
+        }
+    }
+}
+
+/// Reads request bytes until the socket would block or the
+/// [`SERVE_PIPELINE`] gate closes. `Err` means cut the connection.
+fn pump_served_read(s: &mut ServedEntry) -> Result<(), ()> {
+    let mut buf = [0u8; 16 * 1024];
+    while s.read_open && s.in_dispatch < SERVE_PIPELINE {
+        match (&s.stream).read(&mut buf) {
+            Ok(0) => s.read_open = false,
+            Ok(n) => {
+                s.decoder.extend(&buf[..n]);
+                pump_served_decode(s)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // A reset mid-stream: stop reading; responses still in
+            // dispatch drain until their writes fail (same as the old
+            // reader thread's non-InvalidData exit).
+            Err(_) => s.read_open = false,
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches buffered frames while the gate has room. `Err` means cut
+/// the connection (corrupt stream, down endpoint, transport
+/// unwinding).
+fn pump_served_decode(s: &mut ServedEntry) -> Result<(), ()> {
+    while s.in_dispatch < SERVE_PIPELINE {
+        match s.decoder.next_frame() {
+            Ok(Some(frame)) => {
+                if s.down.load(Ordering::Relaxed) {
                     // A dead server stops mid-conversation; the caller
                     // sees the connection die, exactly like a crashed
                     // process.
-                    break true;
+                    return Err(());
                 }
-                gate.acquire();
                 let job = ServeJob {
                     from: frame.sender,
                     corr: frame.correlation,
                     payload: frame.payload,
-                    respond: resp_tx.clone(),
-                    gate: gate.clone(),
+                    service: s.service.clone(),
+                    shared: s.shared.clone(),
                 };
-                if dispatch.send(job).is_err() {
+                if s.dispatch.send(job).is_err() {
                     // Pool gone: the transport is unwinding.
-                    break true;
+                    return Err(());
                 }
+                s.in_dispatch += 1;
             }
+            Ok(None) => break,
             // A corrupt stream (bad version, oversized length) MUST be
-            // cut without answering; a clean hangup lets responses
-            // still in dispatch drain first.
-            Err(e) => break e.kind() == io::ErrorKind::InvalidData,
+            // cut without answering.
+            Err(_) => return Err(()),
         }
-    };
-    // Reader done: drop our writer handle. On a hard cut the socket is
-    // torn down immediately, abandoning whatever is still in dispatch;
-    // otherwise the writer finishes delivering the responses still in
-    // dispatch (their jobs hold sender clones) and then tears the
-    // socket down itself — a peer that half-closed its write side
-    // still receives every answer it pipelined.
-    drop(resp_tx);
-    if hard_cut {
-        let _ = stream.shutdown(Shutdown::Both);
+    }
+    Ok(())
+}
+
+/// Writes completed responses in completion order until the socket
+/// would block or the queue empties. `Err` means cut the connection
+/// (write failure, panicked service, oversized response).
+fn pump_served_write(s: &mut ServedEntry) -> Result<(), ()> {
+    loop {
+        if s.cur.is_none() {
+            let done = s.shared.done.lock().expect("served done queue").pop_front();
+            match done {
+                Some(SrvDone {
+                    corr,
+                    response: Some(response),
+                }) => {
+                    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + response.len());
+                    if write_frame(&mut buf, s.me, corr, &response).is_err() {
+                        return Err(());
+                    }
+                    s.cur = Some(WriteBuf { buf, off: 0 });
+                }
+                // Service panicked on this request: cut the connection
+                // instead of answering (crash semantics).
+                Some(SrvDone { response: None, .. }) => return Err(()),
+                None => return Ok(()),
+            }
+        }
+        let finished = {
+            let cur = s.cur.as_mut().expect("current write buffer");
+            match (&s.stream).write(&cur.buf[cur.off..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    cur.off += n;
+                    cur.off == cur.buf.len()
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => false,
+                Err(_) => return Err(()),
+            }
+        };
+        if finished {
+            s.cur = None;
+            // Frame delivered: release the gate slot it held since
+            // dispatch.
+            s.in_dispatch -= 1;
+        }
     }
 }
 
@@ -1218,6 +1678,7 @@ fn serve_connection(
 mod tests {
     use super::*;
     use crate::transport::{CompletionSet, Transport};
+    use openflame_codec::framing::read_frame;
 
     fn echo_transport() -> (TcpTransport, EndpointId, EndpointId) {
         let transport = TcpTransport::new(7);
@@ -1293,6 +1754,11 @@ mod tests {
         let (transport, client, server) = echo_transport();
         transport.call(client, server, vec![0]).unwrap();
         let after_first = transport.worker_threads();
+        assert_eq!(
+            after_first,
+            transport.reactor_threads() + DISPATCH_POOL,
+            "thread census is the reactor pool plus the dispatch pool"
+        );
         for round in 0..10 {
             let mut set = CompletionSet::new();
             for i in 0..8u8 {
@@ -1306,6 +1772,40 @@ mod tests {
             transport.worker_threads(),
             after_first,
             "reused connections must not spawn per-call threads"
+        );
+    }
+
+    #[test]
+    fn worker_threads_are_bounded_by_reactor_pool_not_endpoints() {
+        // The tentpole invariant in miniature: many served endpoints,
+        // many connections, an explicit 2-reactor pool — thread count
+        // is exactly reactors + dispatch workers.
+        let transport = TcpTransport::with_reactors(11, 2);
+        assert_eq!(transport.reactor_threads(), 2);
+        let client = transport.register("client", None);
+        let servers: Vec<EndpointId> = (0..12)
+            .map(|i| {
+                let id = transport.register(&format!("srv-{i}"), None);
+                transport.set_service(
+                    id,
+                    Arc::new(|_from: EndpointId, payload: &[u8]| payload.to_vec()),
+                );
+                id
+            })
+            .collect();
+        for round in 0..3u8 {
+            let mut set = CompletionSet::new();
+            for id in &servers {
+                set.push(transport.submit(client, *id, vec![round]));
+            }
+            for result in set.wait_all() {
+                result.unwrap();
+            }
+        }
+        assert_eq!(
+            transport.worker_threads(),
+            2 + DISPATCH_POOL,
+            "12 served endpoints x pooled connections must not add threads"
         );
     }
 
@@ -1483,22 +1983,22 @@ mod tests {
             transport.call(client, server, vec![1]),
             Err(NetError::Timeout)
         ));
-        // The stalled connection's serve loop is still busy sleeping;
-        // if the pool handed it out again the next call would queue
-        // behind the stall and time out too. It must dial fresh and
-        // answer within the budget instead.
+        // The stalled connection's dispatch slot is still busy
+        // sleeping; if the pool handed the connection out again the
+        // next call would queue behind the stall and time out too. It
+        // must dial fresh and answer within the budget instead.
         stalling.store(false, Ordering::SeqCst);
         assert_eq!(
             transport.call(client, server, vec![2]).unwrap().payload,
             [2],
             "post-timeout call must not be fed to the stalled connection"
         );
-        // The stalled connection was pruned at the next checkout, so
-        // its workers tore the socket down; the stalled request's
-        // eventual response dies with the connection instead of being
-        // delivered anywhere. The timed-out call still charged its
-        // *request* (the frame was written); only the response that
-        // never arrived goes uncounted.
+        // The stalled connection was pruned, so its reactor tore the
+        // socket down; the stalled request's eventual response dies
+        // with the connection instead of being delivered anywhere. The
+        // timed-out call still charged its *request* (the frame was
+        // written); only the response that never arrived goes
+        // uncounted.
         thread::sleep(Duration::from_millis(450));
         assert_eq!(
             transport.stats().messages,
@@ -1602,8 +2102,8 @@ mod tests {
         transport.call(client, server, vec![1]).unwrap();
         let addr = transport.listen_addr(server).unwrap();
         drop(transport);
-        // The accept loop exits and closes the listener; new dials must
-        // start failing (give the woken thread a moment to unwind).
+        // The reactors exit and close the listener; new dials must
+        // start failing (give the woken threads a moment to unwind).
         let mut released = false;
         for _ in 0..50 {
             if TcpStream::connect_timeout(&addr, Duration::from_millis(50)).is_err() {
@@ -1617,10 +2117,9 @@ mod tests {
 
     #[test]
     fn dropping_a_many_endpoint_transport_completes_quickly() {
-        // Teardown wakes every parked accept loop; with ~16 served
-        // endpoints the old sequential 100 ms connect-timeout walk
-        // could cost 1.6 s. The wakes now run in parallel: the whole
-        // drop must finish well under a second.
+        // Teardown is one wake per reactor, not a walk over endpoints:
+        // with ~16 served endpoints the whole drop must finish well
+        // under a second.
         let transport = TcpTransport::new(3);
         let client = transport.register("client", None);
         let servers: Vec<EndpointId> = (0..16)

@@ -28,14 +28,15 @@
 //!   deterministic analogue of real concurrency. The default for tests
 //!   and benches.
 //! - [`crate::tcp::TcpTransport`] speaks real TCP over `std::net` with
-//!   multiplexed, pipelined connections: one writer and one reader
-//!   thread per pooled connection, responses matched to requests by
-//!   correlation id, thread count O(connections) rather than
-//!   O(fan-out). Served endpoints dispatch concurrently through a
-//!   bounded per-endpoint worker pool and answer in completion order,
-//!   so a slow request never head-of-line blocks the pipelined
-//!   requests behind it. The same deployments and the same client
-//!   code run unchanged over loopback sockets.
+//!   multiplexed, pipelined connections driven by a shared pool of
+//!   event-loop reactor threads: non-blocking sockets multiplexed on
+//!   `poll(2)` readiness, responses matched to requests by correlation
+//!   id, thread count O(reactor pool + dispatch pool) — independent of
+//!   connections, endpoints and fan-out. Served endpoints dispatch
+//!   concurrently through a bounded transport-wide worker pool and
+//!   answer in completion order, so a slow request never head-of-line
+//!   blocks the pipelined requests behind it. The same deployments and
+//!   the same client code run unchanged over loopback sockets.
 //! - [`crate::udp::QuicLiteTransport`] speaks QUIC-inspired reliable
 //!   datagrams over `std::net::UdpSocket`: connection ids with 0-RTT
 //!   resumption, packet numbers with ack-elicited retransmission (so
@@ -46,8 +47,8 @@
 //!   tree.
 //!
 //! Servers bind by registering a [`WireService`]; transports own the
-//! listener mechanics (a handler closure on the simulator, an accept
-//! thread on TCP).
+//! listener mechanics (a handler closure on the simulator, a
+//! reactor-registered non-blocking listener on TCP).
 
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::{EndpointId, NetError, SimNet};
@@ -79,8 +80,8 @@ pub struct Transfer {
 /// Transports dispatch **concurrently**: [`WireService::handle`] may be
 /// invoked from many threads at once — for pipelined requests on one
 /// connection as much as for requests from different connections (the
-/// TCP backend runs a bounded dispatch pool per served endpoint; see
-/// [`crate::tcp::SERVE_POOL`]). The `Send + Sync` bound is therefore
+/// TCP backend runs a bounded transport-wide dispatch pool; see
+/// [`crate::tcp::DISPATCH_POOL`]). The `Send + Sync` bound is therefore
 /// load-bearing, not boilerplate: implementations must synchronize
 /// internally (read-mostly state belongs behind an `RwLock` or an
 /// immutable snapshot so parallel dispatch actually scales) and must
@@ -211,7 +212,7 @@ pub trait Transport: Send + Sync {
 
     /// Installs `service` as the handler for `id`, binding whatever
     /// listener the backend needs (a handler slot on the simulator, a
-    /// threaded TCP accept loop on sockets).
+    /// reactor-driven accept loop on sockets).
     fn set_service(&self, id: EndpointId, service: Arc<dyn WireService>);
 
     /// Puts one request on the wire and returns immediately; the
@@ -292,6 +293,15 @@ pub trait Transport: Send + Sync {
     /// (microseconds; stream backends use it as the completion-wait
     /// deadline and dial/write timeout).
     fn set_timeout_us(&self, timeout_us: u64);
+
+    /// Live worker threads the backend currently runs (reactors,
+    /// dispatch workers, timers). `0` for backends that spawn none
+    /// (the simulator). The bench sweep records this per width to pin
+    /// the thread budget alongside latency; the pipelining stress test
+    /// asserts its ceiling.
+    fn worker_threads(&self) -> usize {
+        0
+    }
 }
 
 /// Which wire backend a deployment runs on.

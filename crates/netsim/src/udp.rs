@@ -32,11 +32,13 @@
 //! - **Correlation-id demux**: one client socket multiplexes unbounded
 //!   in-flight calls across every destination; responses complete out
 //!   of order and are matched by the frame correlation id, exactly as
-//!   on TCP. Each served endpoint binds one UDP socket and dispatches
-//!   decoded frames through a bounded worker pool ([`SERVE_POOL`]);
-//!   responses are sent the moment they complete — with datagrams there
-//!   is no stream to keep ordered, so completion-order responses are
-//!   free (the "per-stream trivia" the roadmap predicted).
+//!   on TCP. Each served endpoint binds one UDP socket; all serve
+//!   sockets are multiplexed by a single poll-based poller thread,
+//!   which dispatches decoded frames through a bounded transport-wide
+//!   worker pool ([`SERVE_POOL`]); responses are sent the moment they
+//!   complete — with datagrams there is no stream to keep ordered, so
+//!   completion-order responses are free (the "per-stream trivia" the
+//!   roadmap predicted).
 //!
 //! **No TLS — deliberate non-goal.** This is an offline vendor tree
 //! with no crypto dependency; QuicLite carries the *transport* ideas of
@@ -45,13 +47,16 @@
 //! the backend is for tests, benches and single-process demos, like the
 //! TCP backend beside it.
 //!
-//! Threads are few and fixed: one receiver per served endpoint plus its
-//! [`SERVE_POOL`] dispatch workers, one shared client receiver, and one
-//! RTO timer — O(served endpoints), independent of fan-out width, call
+//! Threads are few and fixed: one poller multiplexing every served
+//! endpoint's socket, a transport-wide pool of [`SERVE_POOL`] dispatch
+//! workers, one shared client receiver, and one RTO timer — a small
+//! constant, independent of served endpoints, fan-out width, call
 //! volume and destination count (the pipelining stress test pins the
-//! ceiling, which sits far below TCP's per-connection reader/writer
-//! pairs). All exit within a socket-timeout tick of the last transport
-//! handle dropping.
+//! ceiling, which sits below even TCP's shared-reactor budget). The
+//! RTO timer is lazy and parked: it does not exist until the first
+//! packet awaits an ack, and it sleeps on a condvar — burning no
+//! wakeups — whenever nothing is unacknowledged. All workers exit
+//! within a poll tick of the last transport handle dropping.
 //!
 //! Accounting mirrors TCP at the frame level: each completed exchange
 //! charges 2 messages and `payload + FRAME_HEADER_LEN` bytes per
@@ -63,6 +68,7 @@
 //! [`QuicStats`] counters, because charging it to [`NetStats`] would
 //! break the parity the federation's invariants rest on.
 
+use crate::reactor::{poll_fds, PollFd, Waker, POLLIN};
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
 use crate::{EndpointId, NetError, ThreadGuard};
@@ -73,16 +79,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Concurrent dispatch workers per served endpoint: reassembled request
-/// frames are executed by this many threads, so a slow request delays
-/// only its own response (there is no stream to head-of-line block; see
-/// module docs).
+/// Concurrent dispatch workers for the whole transport: reassembled
+/// request frames from every served endpoint are executed by this many
+/// threads, so a slow request delays only its own response (there is
+/// no stream to head-of-line block; see module docs). A fixed
+/// transport-wide pool — not per endpoint — keeps the thread ceiling
+/// constant no matter how many endpoints serve.
 pub const SERVE_POOL: usize = 4;
 
 /// How often the RTO timer thread scans for unacknowledged packets.
@@ -391,13 +400,22 @@ struct Wire {
     packets_received: AtomicU64,
     retransmits: AtomicU64,
     orphans: Arc<AtomicU64>,
-    /// Live worker threads: served-endpoint receivers + dispatch
-    /// workers, the client receiver, the RTO timer.
+    /// Live worker threads: the serve poller + dispatch workers, the
+    /// client receiver, the RTO timer.
     threads: Arc<AtomicUsize>,
     /// Every live connection end, for the RTO timer's retransmit scan.
     conns: StdMutex<Vec<Weak<ConnState>>>,
+    /// Whether the lazy RTO timer thread has been spawned (it first
+    /// exists when the first packet awaits an ack).
+    rto_started: AtomicBool,
+    /// Bumped (under the lock, with a notify) whenever a packet enters
+    /// an unacked buffer: the parked RTO timer's wake signal. The
+    /// timer parks on the condvar whenever nothing is unacknowledged,
+    /// so an idle transport burns no RTO wakeups at all.
+    rto_gen: StdMutex<u64>,
+    rto_cv: Condvar,
     /// Set when the last transport handle drops; every worker exits
-    /// within one [`RECV_POLL`] / [`RTO_TICK`].
+    /// within one [`RECV_POLL`] / poll tick.
     shutdown: AtomicBool,
 }
 
@@ -412,13 +430,20 @@ impl Wire {
             self.stats.lock().drops += 1;
             return;
         }
-        let _ = socket.send_to(datagram, peer);
+        // Count before the send: once the datagram is on the loopback
+        // the receiver can run — and a caller can observe the
+        // completed exchange — before this thread regains the CPU, so
+        // counting after `send_to` undercounts under load. Counting
+        // first makes every packet a reader can observe already
+        // accounted for (the same charge-at-send discipline the TCP
+        // backend uses for wire accounting).
         self.packets_sent.fetch_add(1, Ordering::Relaxed);
+        let _ = socket.send_to(datagram, peer);
     }
 
     /// Fragments one frame into numbered `Data` packets, records them
     /// for retransmission, and transmits each once.
-    fn send_frame(&self, conn: &ConnState, frame: Vec<u8>) {
+    fn send_frame(self: &Arc<Self>, conn: &ConnState, frame: Vec<u8>) {
         let chunks: Vec<&[u8]> = frame.chunks(PAYLOAD_MTU).collect();
         let count = chunks.len();
         let base = conn
@@ -446,11 +471,12 @@ impl Wire {
             );
             self.transmit(&conn.socket, peer, &datagram);
         }
+        self.note_unacked();
     }
 
     /// Queues the frame if the connection is still handshaking, sends
     /// it otherwise. Returns whether the frame went on the wire now.
-    fn send_or_queue(&self, conn: &ConnState, frame: Vec<u8>) -> bool {
+    fn send_or_queue(self: &Arc<Self>, conn: &ConnState, frame: Vec<u8>) -> bool {
         if conn.established.load(Ordering::SeqCst) {
             self.send_frame(conn, frame);
             return true;
@@ -472,7 +498,7 @@ impl Wire {
     /// Completes a handshake: flips the established flag and flushes
     /// every queued frame (see [`Wire::send_or_queue`] for the lock
     /// discipline).
-    fn establish(&self, conn: &ConnState) {
+    fn establish(self: &Arc<Self>, conn: &ConnState) {
         let frames: Vec<Vec<u8>> = {
             let mut queued = conn.queued.lock().expect("queued lock");
             conn.established.store(true, Ordering::SeqCst);
@@ -541,6 +567,62 @@ impl Wire {
             .expect("conn registry")
             .push(Arc::downgrade(conn));
     }
+
+    /// Whether any live connection end currently has a packet awaiting
+    /// its ack — the RTO timer's keep-running condition.
+    fn any_unacked(&self) -> bool {
+        let conns: Vec<Arc<ConnState>> = {
+            let registry = self.conns.lock().expect("conn registry");
+            registry.iter().filter_map(Weak::upgrade).collect()
+        };
+        conns
+            .iter()
+            .any(|c| !c.unacked.lock().expect("unacked lock").is_empty())
+    }
+
+    /// Signals that a packet just entered an unacked buffer: spawns the
+    /// RTO timer on first use and unparks it if it was idle. Callers
+    /// invoke this AFTER the insert, so the timer's
+    /// snapshot-generation-then-scan park protocol can never miss it.
+    fn note_unacked(self: &Arc<Self>) {
+        if !self.rto_started.swap(true, Ordering::SeqCst) {
+            let wire = self.clone();
+            let guard = ThreadGuard::enter(&self.threads);
+            thread::Builder::new()
+                .name("ofl-quic-rto".into())
+                .spawn(move || {
+                    let _guard = guard;
+                    loop {
+                        if wire.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let gen_before = *wire.rto_gen.lock().expect("rto gen");
+                        if wire.any_unacked() {
+                            thread::sleep(RTO_TICK);
+                            wire.retransmit_due();
+                            continue;
+                        }
+                        // Nothing awaits an ack: park until the
+                        // generation moves (a new unacked packet) or
+                        // shutdown. The timed wait only bounds the
+                        // shutdown latency — an idle transport takes a
+                        // few waits per second, not a busy RTO loop.
+                        let mut gen = wire.rto_gen.lock().expect("rto gen");
+                        while *gen == gen_before && !wire.shutdown.load(Ordering::SeqCst) {
+                            let (next, _) = wire
+                                .rto_cv
+                                .wait_timeout(gen, Duration::from_millis(250))
+                                .expect("rto gen");
+                            gen = next;
+                        }
+                    }
+                })
+                .expect("spawn RTO timer");
+        }
+        let mut gen = self.rto_gen.lock().expect("rto gen");
+        *gen = gen.wrapping_add(1);
+        self.rto_cv.notify_all();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -589,18 +671,29 @@ struct Inner {
     /// 0-RTT resumption cache: destination endpoint → ticket.
     resume: Mutex<HashMap<EndpointId, ResumeTicket>>,
     client: Mutex<Option<ClientSide>>,
-    rto_started: AtomicBool,
+    /// The shared serve poller's registration queue + waker (spawned
+    /// lazily with the first served endpoint).
+    serve: Mutex<Option<Arc<ServeShared>>>,
+    /// Master sender of the transport-wide dispatch pool.
+    dispatch: Mutex<Option<mpsc::Sender<ServeJob>>>,
     wire: Arc<Wire>,
 }
 
 impl Drop for Inner {
     fn drop(&mut self) {
-        // Receiver threads poll with a short socket timeout and the RTO
-        // timer ticks every few milliseconds; the flag alone tears the
-        // whole backend down within ~one poll interval, with no
-        // per-endpoint blocking work (contrast the TCP accept loops,
-        // which need a wake connection each).
+        // The flag alone tears the whole backend down within ~one poll
+        // interval; the explicit wakes below just make it prompt. No
+        // per-endpoint blocking work regardless of fleet size.
         self.wire.shutdown.store(true, Ordering::SeqCst);
+        if let Some(serve) = self.serve.get_mut().take() {
+            serve.waker.wake();
+        }
+        // Unpark the RTO timer if it is idle so it observes the flag.
+        {
+            let mut gen = self.wire.rto_gen.lock().expect("rto gen");
+            *gen = gen.wrapping_add(1);
+            self.wire.rto_cv.notify_all();
+        }
     }
 }
 
@@ -630,7 +723,8 @@ impl QuicLiteTransport {
                 endpoints: Mutex::new(HashMap::new()),
                 resume: Mutex::new(HashMap::new()),
                 client: Mutex::new(None),
-                rto_started: AtomicBool::new(false),
+                serve: Mutex::new(None),
+                dispatch: Mutex::new(None),
                 wire: Arc::new(Wire {
                     timeout_us: AtomicU64::new(2_000_000),
                     drop_bits: AtomicU64::new(0f64.to_bits()),
@@ -642,6 +736,9 @@ impl QuicLiteTransport {
                     orphans: Arc::new(AtomicU64::new(0)),
                     threads: Arc::new(AtomicUsize::new(0)),
                     conns: StdMutex::new(Vec::new()),
+                    rto_started: AtomicBool::new(false),
+                    rto_gen: StdMutex::new(0),
+                    rto_cv: Condvar::new(),
                     shutdown: AtomicBool::new(false),
                 }),
             }),
@@ -658,10 +755,12 @@ impl QuicLiteTransport {
         self.inner.endpoints.lock().get(&id).and_then(|e| e.addr)
     }
 
-    /// Live worker threads: one receiver + [`SERVE_POOL`] dispatch
-    /// workers per served endpoint, one shared client receiver, one RTO
-    /// timer. Independent of fan-out width, destination count and call
-    /// volume; the pipelining stress test pins the ceiling.
+    /// Live worker threads: one shared serve poller + the
+    /// [`SERVE_POOL`] dispatch workers (however many endpoints serve),
+    /// one shared client receiver, and — once any packet has awaited
+    /// an ack — one RTO timer. A small constant, independent of served
+    /// endpoints, fan-out width, destination count and call volume;
+    /// the pipelining stress test pins the ceiling.
     pub fn worker_threads(&self) -> usize {
         self.inner.wire.threads.load(Ordering::SeqCst)
     }
@@ -734,33 +833,51 @@ impl QuicLiteTransport {
         )
     }
 
-    /// Spawns the RTO timer thread once, lazily with the first socket.
-    fn ensure_rto_timer(&self) {
-        if self.inner.rto_started.swap(true, Ordering::SeqCst) {
-            return;
+    /// The shared serve poller's registration handle, spawning the
+    /// poller thread on first use (the first served endpoint).
+    fn serve_shared(&self) -> Arc<ServeShared> {
+        let mut slot = self.inner.serve.lock();
+        if let Some(shared) = slot.as_ref() {
+            return shared.clone();
         }
+        let shared = Arc::new(ServeShared {
+            cmds: StdMutex::new(Vec::new()),
+            waker: Waker::new().expect("create serve poller waker"),
+        });
         let wire = self.inner.wire.clone();
+        let poller = shared.clone();
         let guard = ThreadGuard::enter(&wire.threads);
         thread::Builder::new()
-            .name("ofl-quic-rto".into())
+            .name("ofl-quic-serve".into())
             .spawn(move || {
                 let _guard = guard;
-                while !wire.shutdown.load(Ordering::SeqCst) {
-                    thread::sleep(RTO_TICK);
-                    wire.retransmit_due();
-                }
+                run_serve_poller(wire, poller);
             })
-            .expect("spawn RTO timer");
+            .expect("spawn serve poller");
+        *slot = Some(shared.clone());
+        shared
+    }
+
+    /// The lazily spawned transport-wide dispatch pool's job sender.
+    fn dispatch_sender(&self) -> mpsc::Sender<ServeJob> {
+        let mut slot = self.inner.dispatch.lock();
+        if let Some(tx) = slot.as_ref() {
+            return tx.clone();
+        }
+        let tx = spawn_dispatch_pool(&self.inner.wire);
+        *slot = Some(tx.clone());
+        tx
     }
 
     /// Binds the shared client socket and spawns its receiver on first
-    /// use.
+    /// use. (The RTO timer is spawned even more lazily — by
+    /// [`Wire::note_unacked`], when the first packet actually awaits
+    /// an ack.)
     fn ensure_client(&self) {
         let mut client = self.inner.client.lock();
         if client.is_some() {
             return;
         }
-        self.ensure_rto_timer();
         let socket =
             Arc::new(UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind client UDP socket"));
         socket
@@ -926,6 +1043,9 @@ impl QuicLiteTransport {
         client.conns.insert(to, conn.clone());
         if let Some(datagram) = init {
             wire.transmit(&conn.socket, addr, &datagram);
+            // The Init sits unacked until its InitAck: the (possibly
+            // parked) RTO timer must know to watch it.
+            wire.note_unacked();
         }
         conn
     }
@@ -1114,8 +1234,8 @@ impl Transport for QuicLiteTransport {
         let socket =
             Arc::new(UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind serve UDP socket"));
         socket
-            .set_read_timeout(Some(RECV_POLL))
-            .expect("set serve read timeout");
+            .set_nonblocking(true)
+            .expect("non-blocking serve socket");
         let addr = socket.local_addr().expect("socket has an address");
         let down = {
             let mut endpoints = self.inner.endpoints.lock();
@@ -1125,121 +1245,17 @@ impl Transport for QuicLiteTransport {
             ep.addr = Some(addr);
             ep.down.clone()
         };
-        self.ensure_rto_timer();
-        let wire = self.inner.wire.clone();
-        let dispatch = spawn_dispatch_pool(id, service, &wire);
-        let guard = ThreadGuard::enter(&wire.threads);
-        thread::Builder::new()
-            .name(format!("ofl-quic-srv-rx-{}", id.0))
-            .spawn(move || {
-                let _guard = guard;
-                // The receiver owns its conn table: it is the only
-                // thread that touches it, so no lock is needed; the
-                // dispatch workers reach connections through the Arc in
-                // their jobs. The table is bounded by IDLE eviction:
-                // conns silent past the generous idle horizon are
-                // dropped during quiet poll ticks, so a long-lived
-                // server with client churn holds state for recent
-                // clients only (an evicted client's next resumption
-                // misses, breaks, and falls back to a cold handshake).
-                let mut conns: HashMap<u64, Arc<ConnState>> = HashMap::new();
-                let mut last_seen: HashMap<u64, Instant> = HashMap::new();
-                let mut buf = [0u8; 2048];
-                while !wire.shutdown.load(Ordering::SeqCst) {
-                    let (n, src) = match socket.recv_from(&mut buf) {
-                        Ok(got) => got,
-                        Err(_) => {
-                            // Poll timeout (or transient error): an
-                            // idle moment, the cheap time to evict.
-                            if conns.len() > 1 {
-                                let now = Instant::now();
-                                conns.retain(|conn_id, _| {
-                                    last_seen.get(conn_id).is_some_and(|seen| {
-                                        now.duration_since(*seen) < SERVER_CONN_IDLE
-                                    })
-                                });
-                                last_seen.retain(|conn_id, _| conns.contains_key(conn_id));
-                            }
-                            continue;
-                        }
-                    };
-                    let Ok(pkt) = decode_packet(&buf[..n]) else {
-                        continue; // corrupt datagram: dropped, sender retransmits
-                    };
-                    wire.packets_received.fetch_add(1, Ordering::Relaxed);
-                    last_seen.insert(pkt.conn_id, Instant::now());
-                    match pkt.ptype {
-                        PacketType::Init => {
-                            // Register (or refresh) the connection and
-                            // answer. Duplicate Inits (a lost InitAck)
-                            // are answered idempotently.
-                            let conn = conns.entry(pkt.conn_id).or_insert_with(|| {
-                                let conn = ConnState::new(
-                                    pkt.conn_id,
-                                    socket.clone(),
-                                    src,
-                                    true,
-                                    false,
-                                    0,
-                                    None,
-                                );
-                                wire.register_conn(&conn);
-                                conn
-                            });
-                            *conn.peer.lock().expect("peer lock") = src;
-                            let ack = encode_packet(
-                                PacketType::InitAck,
-                                pkt.conn_id,
-                                pkt.packet_no,
-                                0,
-                                1,
-                                &[],
-                            );
-                            wire.transmit(&socket, src, &ack);
-                        }
-                        PacketType::Data => {
-                            // Data under an unregistered conn id is
-                            // dropped: without the handshake (or a
-                            // resumption ticket minted by one) the
-                            // server does not speak to you. The
-                            // client's RTO keeps retrying until its
-                            // deadline.
-                            let Some(conn) = conns.get(&pkt.conn_id) else {
-                                continue;
-                            };
-                            *conn.peer.lock().expect("peer lock") = src;
-                            wire.send_ack(&socket, src, pkt.conn_id, pkt.packet_no);
-                            if let Some(frame_bytes) = conn.accept_data(pkt, wire.give_up_horizon())
-                            {
-                                if down.load(Ordering::Relaxed) {
-                                    continue; // a crashed process answers nothing
-                                }
-                                if let Ok(frame) = read_frame(&mut &frame_bytes[..]) {
-                                    let job = ServeJob {
-                                        from: frame.sender,
-                                        corr: frame.correlation,
-                                        payload: frame.payload,
-                                        conn: conn.clone(),
-                                    };
-                                    if dispatch.send(job).is_err() {
-                                        break; // pool gone: unwinding
-                                    }
-                                }
-                            }
-                        }
-                        PacketType::Ack => {
-                            if let Some(conn) = conns.get(&pkt.conn_id) {
-                                conn.unacked
-                                    .lock()
-                                    .expect("unacked lock")
-                                    .remove(&pkt.packet_no);
-                            }
-                        }
-                        PacketType::InitAck => {} // server side never dials
-                    }
-                }
-            })
-            .expect("spawn serve receiver");
+        let dispatch = self.dispatch_sender();
+        let serve = self.serve_shared();
+        serve.push(ServeSock {
+            socket,
+            me: id.0,
+            down,
+            service,
+            dispatch,
+            conns: HashMap::new(),
+            last_seen: HashMap::new(),
+        });
     }
 
     fn submit(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> CallHandle {
@@ -1313,6 +1329,10 @@ impl Transport for QuicLiteTransport {
             .timeout_us
             .store(timeout_us, Ordering::Relaxed);
     }
+
+    fn worker_threads(&self) -> usize {
+        QuicLiteTransport::worker_threads(self)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1324,31 +1344,32 @@ struct ServeJob {
     from: u64,
     corr: u64,
     payload: Vec<u8>,
+    /// The served endpoint id: the response frame's sender.
+    me: u64,
+    /// The service bound to that endpoint. Carried per job (not per
+    /// worker) because the pool is transport-wide: idle workers pin no
+    /// service alive.
+    service: Arc<dyn WireService>,
     /// The connection to answer on (reliable, fragmented).
     conn: Arc<ConnState>,
 }
 
-/// Spawns the bounded per-endpoint dispatch pool: [`SERVE_POOL`]
-/// workers execute reassembled frames concurrently (the
-/// [`WireService`] `Send + Sync` contract makes that legal) and send
-/// each response the moment it completes — with no stream to keep
+/// Spawns the transport-wide dispatch pool: [`SERVE_POOL`] workers
+/// execute reassembled frames from every served endpoint concurrently
+/// (the [`WireService`] `Send + Sync` contract makes that legal) and
+/// send each response the moment it completes — with no stream to keep
 /// ordered, completion-order responses need no writer machinery at
-/// all. Workers exit, releasing their service clone, when the
-/// endpoint's receiver does.
-fn spawn_dispatch_pool(
-    id: EndpointId,
-    service: Arc<dyn WireService>,
-    wire: &Arc<Wire>,
-) -> mpsc::Sender<ServeJob> {
+/// all. Workers exit when the transport's master sender and the serve
+/// poller's clone are gone.
+fn spawn_dispatch_pool(wire: &Arc<Wire>) -> mpsc::Sender<ServeJob> {
     let (job_tx, job_rx) = mpsc::channel::<ServeJob>();
     let job_rx = Arc::new(StdMutex::new(job_rx));
     for worker in 0..SERVE_POOL {
         let guard = ThreadGuard::enter(&wire.threads);
-        let service = service.clone();
         let job_rx = job_rx.clone();
         let wire = wire.clone();
         thread::Builder::new()
-            .name(format!("ofl-quic-disp-{}-{worker}", id.0))
+            .name(format!("ofl-quic-disp-{worker}"))
             .spawn(move || {
                 let _guard = guard;
                 loop {
@@ -1364,11 +1385,11 @@ fn spawn_dispatch_pool(
                     // transport has no connection to cut — and must
                     // never kill a shared worker.
                     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        service.handle(EndpointId(job.from), &job.payload)
+                        job.service.handle(EndpointId(job.from), &job.payload)
                     }));
                     let Ok(response) = response else { continue };
                     let mut frame = Vec::with_capacity(response.len() + FRAME_HEADER_LEN);
-                    if write_frame(&mut frame, id.0, job.corr, &response).is_ok() {
+                    if write_frame(&mut frame, job.me, job.corr, &response).is_ok() {
                         wire.send_frame(&job.conn, frame);
                     }
                 }
@@ -1376,6 +1397,180 @@ fn spawn_dispatch_pool(
             .expect("spawn dispatch worker");
     }
     job_tx
+}
+
+/// The cross-thread face of the serve poller: newly served endpoints
+/// queue their socket state here and pop the poller's `poll`.
+struct ServeShared {
+    cmds: StdMutex<Vec<ServeSock>>,
+    waker: Waker,
+}
+
+impl ServeShared {
+    fn push(&self, sock: ServeSock) {
+        self.cmds.lock().expect("serve registrations").push(sock);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<ServeSock> {
+        std::mem::take(&mut *self.cmds.lock().expect("serve registrations"))
+    }
+}
+
+/// One served endpoint's socket and per-connection state, owned by the
+/// poller thread (single-threaded access: no locks). The conn table is
+/// bounded by IDLE eviction: conns silent past the generous idle
+/// horizon are dropped during quiet poll ticks, so a long-lived server
+/// with client churn holds state for recent clients only (an evicted
+/// client's next resumption misses, breaks, and falls back to a cold
+/// handshake).
+struct ServeSock {
+    socket: Arc<UdpSocket>,
+    me: u64,
+    down: Arc<AtomicBool>,
+    service: Arc<dyn WireService>,
+    dispatch: mpsc::Sender<ServeJob>,
+    conns: HashMap<u64, Arc<ConnState>>,
+    last_seen: HashMap<u64, Instant>,
+}
+
+impl ServeSock {
+    /// Drops connection state for clients silent past the idle horizon
+    /// (run on quiet poll ticks).
+    fn evict_idle(&mut self) {
+        if self.conns.len() <= 1 {
+            return;
+        }
+        let now = Instant::now();
+        let last_seen = &self.last_seen;
+        self.conns.retain(|conn_id, _| {
+            last_seen
+                .get(conn_id)
+                .is_some_and(|seen| now.duration_since(*seen) < SERVER_CONN_IDLE)
+        });
+        let conns = &self.conns;
+        self.last_seen
+            .retain(|conn_id, _| conns.contains_key(conn_id));
+    }
+}
+
+/// The one serve-side event loop: multiplexes every served endpoint's
+/// UDP socket with `poll(2)`, handling handshakes and acks inline and
+/// handing reassembled request frames to the dispatch pool. Replaces
+/// the receiver-thread-per-endpoint design — a 128-server fleet costs
+/// one poller, not 128 parked receivers. Exits on shutdown, dropping
+/// every socket, conn table and service handle it owns.
+fn run_serve_poller(wire: Arc<Wire>, shared: Arc<ServeShared>) {
+    let mut socks: Vec<ServeSock> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut buf = [0u8; 2048];
+    loop {
+        if wire.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        socks.extend(shared.take());
+        fds.clear();
+        fds.push(PollFd::new(shared.waker.rx_fd(), POLLIN));
+        for s in &socks {
+            fds.push(PollFd::new(s.socket.as_raw_fd(), POLLIN));
+        }
+        // The 1 s timeout bounds shutdown latency and provides the
+        // idle ticks conn eviction runs on.
+        let ready = match poll_fds(&mut fds, 1_000) {
+            Ok(n) => n,
+            Err(_) => {
+                thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        if fds[0].readable() {
+            shared.waker.drain();
+        }
+        if ready == 0 {
+            for s in &mut socks {
+                s.evict_idle();
+            }
+            continue;
+        }
+        for (i, s) in socks.iter_mut().enumerate() {
+            if fds[i + 1].readable() {
+                pump_serve_socket(&wire, s, &mut buf);
+            }
+        }
+    }
+}
+
+/// Drains one served socket: decode datagrams until the socket would
+/// block, answering handshakes/acks inline and dispatching complete
+/// request frames.
+fn pump_serve_socket(wire: &Arc<Wire>, s: &mut ServeSock, buf: &mut [u8]) {
+    loop {
+        let (n, src) = match s.socket.recv_from(buf) {
+            Ok(got) => got,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return, // transient; the sender retransmits
+        };
+        let Ok(pkt) = decode_packet(&buf[..n]) else {
+            continue; // corrupt datagram: dropped, sender retransmits
+        };
+        wire.packets_received.fetch_add(1, Ordering::Relaxed);
+        s.last_seen.insert(pkt.conn_id, Instant::now());
+        match pkt.ptype {
+            PacketType::Init => {
+                // Register (or refresh) the connection and answer.
+                // Duplicate Inits (a lost InitAck) are answered
+                // idempotently.
+                let socket = s.socket.clone();
+                let conn = s.conns.entry(pkt.conn_id).or_insert_with(|| {
+                    let conn = ConnState::new(pkt.conn_id, socket, src, true, false, 0, None);
+                    wire.register_conn(&conn);
+                    conn
+                });
+                *conn.peer.lock().expect("peer lock") = src;
+                let ack = encode_packet(PacketType::InitAck, pkt.conn_id, pkt.packet_no, 0, 1, &[]);
+                wire.transmit(&s.socket, src, &ack);
+            }
+            PacketType::Data => {
+                // Data under an unregistered conn id is dropped:
+                // without the handshake (or a resumption ticket minted
+                // by one) the server does not speak to you. The
+                // client's RTO keeps retrying until its deadline.
+                let Some(conn) = s.conns.get(&pkt.conn_id) else {
+                    continue;
+                };
+                *conn.peer.lock().expect("peer lock") = src;
+                wire.send_ack(&s.socket, src, pkt.conn_id, pkt.packet_no);
+                if let Some(frame_bytes) = conn.accept_data(pkt, wire.give_up_horizon()) {
+                    if s.down.load(Ordering::Relaxed) {
+                        continue; // a crashed process answers nothing
+                    }
+                    if let Ok(frame) = read_frame(&mut &frame_bytes[..]) {
+                        let job = ServeJob {
+                            from: frame.sender,
+                            corr: frame.correlation,
+                            payload: frame.payload,
+                            me: s.me,
+                            service: s.service.clone(),
+                            conn: conn.clone(),
+                        };
+                        // Send failure means the transport is
+                        // unwinding; nothing left to answer.
+                        let _ = s.dispatch.send(job);
+                    }
+                }
+            }
+            PacketType::Ack => {
+                if let Some(conn) = s.conns.get(&pkt.conn_id) {
+                    conn.unacked
+                        .lock()
+                        .expect("unacked lock")
+                        .remove(&pkt.packet_no);
+                }
+            }
+            PacketType::InitAck => {} // server side never dials
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1440,8 +1635,38 @@ mod tests {
             after_first,
             "datagram calls must not spawn per-call threads"
         );
-        // 1 serve receiver + SERVE_POOL workers + client receiver + RTO.
+        // 1 shared serve poller + SERVE_POOL workers + client receiver
+        // + RTO timer.
         assert_eq!(after_first, 1 + SERVE_POOL + 2);
+    }
+
+    #[test]
+    fn serve_side_threads_are_constant_and_rto_timer_is_lazy() {
+        let transport = QuicLiteTransport::new(7);
+        let client = transport.register("client", None);
+        let mut servers = Vec::new();
+        for i in 0..12 {
+            let id = transport.register(&format!("srv-{i}"), None);
+            transport.set_service(
+                id,
+                Arc::new(|_from: EndpointId, payload: &[u8]| payload.to_vec()),
+            );
+            servers.push(id);
+        }
+        // Serving any number of endpoints costs the one shared poller
+        // plus the dispatch pool — and no RTO timer until a client
+        // actually has unacked packets in flight.
+        assert_eq!(
+            transport.worker_threads(),
+            1 + SERVE_POOL,
+            "serve-only transport must not start the client rx or RTO threads"
+        );
+        for &server in &servers {
+            transport.call(client, server, vec![9]).unwrap();
+        }
+        // First dial added the shared client receiver and woke the
+        // (lazy) RTO timer; nothing scales with endpoint count.
+        assert_eq!(transport.worker_threads(), 1 + SERVE_POOL + 2);
     }
 
     #[test]

@@ -1,29 +1,31 @@
 //! Pipelining stress: many concurrent sessions scatter wide fan-outs
 //! over ONE shared real-socket transport, and the transport's
 //! worker-thread population stays bounded — it does not grow with
-//! fan-out width, session count or call volume.
+//! fan-out width, session count, served-endpoint count or call volume.
 //!
-//! This is the acceptance check for the submit/completion redesign:
-//! the old backend spawned one OS thread per scatter *branch* (width ×
-//! rounds × sessions threads over a run); the reactor model spawns two
-//! workers per pooled connection on the client side, and per served
-//! endpoint one accept loop, a bounded dispatch pool of `SERVE_POOL`
-//! workers, and a reader + writer pair per server-side connection —
-//! all reused round after round. The QuicLite datagram backend pins a
-//! strictly lower ceiling: one shared client socket multiplexes every
-//! destination, so there are no per-connection worker pairs at all.
+//! This is the acceptance check for the shared-reactor redesign: the
+//! old backend budgeted threads *per server* (an accept loop, a
+//! dispatch pool and a reader/writer pair per pooled connection each),
+//! so a 128-server fleet cost thousands of parked threads. The reactor
+//! model multiplexes every connection — client and served side — over
+//! a fixed pool of event-loop threads sized by the host's cores, plus
+//! one transport-wide dispatch pool. The whole fleet below runs on
+//! `reactor_threads() + DISPATCH_POOL` OS threads. The QuicLite
+//! datagram backend pins a strictly lower constant: one serve-side
+//! poller, its `SERVE_POOL` dispatch workers, one shared client
+//! receiver and one RTO timer, regardless of scale.
 
 use openflame_core::{ClientError, Session};
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response};
 use openflame_mapserver::Principal;
-use openflame_netsim::tcp::{TcpTransport, POOL_CAP, SERVE_POOL};
+use openflame_netsim::tcp::{TcpTransport, DISPATCH_POOL};
 use openflame_netsim::udp::{QuicLiteTransport, SERVE_POOL as UDP_SERVE_POOL};
 use openflame_netsim::{EndpointId, Transport};
 use std::sync::Arc;
 
-const SESSIONS: usize = 4;
-const SERVERS: usize = 32;
-const ROUNDS: usize = 8;
+const SESSIONS: usize = 8;
+const SERVERS: usize = 128;
+const ROUNDS: usize = 4;
 
 /// A minimal map-protocol stub: answers every batched request with a
 /// `Hello`, like a server that only speaks capability discovery.
@@ -52,11 +54,9 @@ fn stub_service(id: usize) -> Arc<dyn openflame_netsim::WireService> {
     })
 }
 
-#[test]
-fn worker_threads_bounded_under_concurrent_fanout() {
-    let transport = TcpTransport::new(42);
-    let shared: Arc<dyn Transport> = Arc::new(transport.clone());
-
+/// Registers `SERVERS` stub servers and `SESSIONS` client sessions on
+/// one shared transport.
+fn build_fleet(shared: &Arc<dyn Transport>) -> (Vec<EndpointId>, Vec<Session>) {
     let servers: Vec<EndpointId> = (0..SERVERS)
         .map(|i| {
             let id = shared.register(&format!("stub-{i}"), None);
@@ -64,17 +64,20 @@ fn worker_threads_bounded_under_concurrent_fanout() {
             id
         })
         .collect();
-
     let sessions: Vec<Session> = (0..SESSIONS)
         .map(|i| {
             let endpoint = shared.register(&format!("session-{i}"), None);
             Session::new(shared.clone(), endpoint, Principal::anonymous())
         })
         .collect();
+    (servers, sessions)
+}
 
-    // Warm-up round: every session scatters once, dialing whatever
-    // connections the pools will hold onto.
-    for session in &sessions {
+/// One warm-up scatter per session (cold dials and, on QuicLite, the
+/// handshake round happen here), then `ROUNDS` of all sessions
+/// scattering two-request batches concurrently.
+fn run_stress(servers: &[EndpointId], sessions: &[Session]) {
+    for session in sessions {
         for result in session.batch_parallel(
             servers
                 .iter()
@@ -84,12 +87,8 @@ fn worker_threads_bounded_under_concurrent_fanout() {
             result.expect("warm-up scatter succeeds");
         }
     }
-    let after_warmup = transport.worker_threads();
-
-    // The stress: all sessions scatter concurrently, round after round.
     std::thread::scope(|scope| {
-        for session in &sessions {
-            let servers = &servers;
+        for session in sessions {
             scope.spawn(move || {
                 for round in 0..ROUNDS {
                     let calls: Vec<(EndpointId, Vec<Request>)> = servers
@@ -107,130 +106,93 @@ fn worker_threads_bounded_under_concurrent_fanout() {
             });
         }
     });
+}
 
-    // Thread population: bounded by pools, regardless of the
-    // SESSIONS × ROUNDS × SERVERS branches just issued. Budget per
-    // server: 1 accept loop + SERVE_POOL dispatch workers + POOL_CAP
-    // client connections × (client writer + client reader +
-    // server-side connection reader + server-side connection writer).
-    let ceiling = SERVERS * (1 + SERVE_POOL + 4 * POOL_CAP);
-    let now = transport.worker_threads();
-    assert!(
-        now <= ceiling,
-        "worker threads {now} exceed the pool ceiling {ceiling}"
-    );
-    // And stable: steady-state scattering reuses the warm connections
-    // instead of spawning per-branch threads (a small allowance covers
-    // pools deepened by genuine concurrency after warm-up).
-    let grow_cap = after_warmup + SERVERS * 4 * (POOL_CAP - 1);
-    assert!(
-        now <= grow_cap,
-        "threads grew from {after_warmup} to {now}, cap {grow_cap}"
-    );
-
-    // Wire accounting is exact: every envelope is one request frame
-    // plus one response frame, nothing else rode the sockets.
+/// Wire accounting is exact at fleet scale: every envelope is one
+/// request frame plus one response frame, nothing else rode the
+/// sockets, and every session kept the one-envelope-per-server
+/// discipline. Transport stats are reset between stress runs, so
+/// `messages` covers the last run only; session stats accumulate
+/// across all `runs`.
+fn assert_accounting(transport: &dyn Transport, orphans: u64, sessions: &[Session], runs: u64) {
     let envelopes = (SESSIONS * (1 + ROUNDS) * SERVERS) as u64;
     assert_eq!(transport.stats().messages, 2 * envelopes);
-    assert_eq!(
-        transport.orphan_responses(),
-        0,
-        "no response went unmatched under pipelining"
-    );
-
-    // Every session kept the one-envelope-per-server discipline.
-    for session in &sessions {
+    assert_eq!(orphans, 0, "no response went unmatched under pipelining");
+    for session in sessions {
         let stats = session.stats();
-        assert_eq!(stats.batches, ((1 + ROUNDS) * SERVERS) as u64);
+        assert_eq!(stats.batches, runs * ((1 + ROUNDS) * SERVERS) as u64);
     }
 }
 
 #[test]
+fn worker_threads_bounded_under_concurrent_fanout() {
+    let transport = TcpTransport::new(42);
+    let shared: Arc<dyn Transport> = Arc::new(transport.clone());
+    // This test pins the thread census and wire accounting, not
+    // latency: a generous call deadline keeps a loaded CI host (the
+    // whole fan-out shares its cores with sibling test binaries) from
+    // timing out a branch and failing the run for the wrong reason.
+    shared.set_timeout_us(60_000_000);
+    let (servers, sessions) = build_fleet(&shared);
+
+    // Thread population: the reactor pool plus the dispatch pool,
+    // full stop. Registering 128 served endpoints and dialing
+    // 8 × 128 client connections must not have grown it — there is no
+    // per-server or per-connection term left in the budget.
+    run_stress(&servers, &sessions);
+    let ceiling = transport.reactor_threads() + DISPATCH_POOL;
+    let now = transport.worker_threads();
+    assert_eq!(
+        now, ceiling,
+        "tcp worker threads must equal reactor pool ({}) + dispatch pool ({DISPATCH_POOL}), got {now}",
+        transport.reactor_threads()
+    );
+
+    // And stable: another full stress round reuses the same threads.
+    transport.reset_stats();
+    run_stress(&servers, &sessions);
+    assert_eq!(
+        transport.worker_threads(),
+        ceiling,
+        "steady-state scattering must not spawn further workers"
+    );
+
+    assert_accounting(shared.as_ref(), transport.orphan_responses(), &sessions, 2);
+}
+
+#[test]
 fn quiclite_worker_threads_bounded_under_concurrent_fanout() {
-    // The same stress on the datagram backend, whose thread story is
-    // strictly better: ONE shared client socket (receiver + RTO timer)
-    // multiplexes every destination, and each served endpoint runs one
-    // receiver plus its dispatch pool — no per-connection worker pairs
-    // at all, so the ceiling is a small constant per server instead of
-    // TCP's `1 + SERVE_POOL + 4 * POOL_CAP`.
+    // The same stress on the datagram backend, whose thread constant
+    // is strictly below TCP's: one serve-side poller multiplexes all
+    // 128 serve sockets, SERVE_POOL workers dispatch for the whole
+    // fleet, and the client side is one shared receiver plus the RTO
+    // timer. TCP's floor is reactor_threads() + DISPATCH_POOL ≥ 1 + 8,
+    // so the datagram ceiling stays under it on any host.
     let transport = QuicLiteTransport::new(42);
     let shared: Arc<dyn Transport> = Arc::new(transport.clone());
+    // Same generous deadline as the tcp test: census, not latency.
+    shared.set_timeout_us(60_000_000);
+    let (servers, sessions) = build_fleet(&shared);
 
-    let servers: Vec<EndpointId> = (0..SERVERS)
-        .map(|i| {
-            let id = shared.register(&format!("stub-{i}"), None);
-            shared.set_service(id, stub_service(i));
-            id
-        })
-        .collect();
-
-    let sessions: Vec<Session> = (0..SESSIONS)
-        .map(|i| {
-            let endpoint = shared.register(&format!("session-{i}"), None);
-            Session::new(shared.clone(), endpoint, Principal::anonymous())
-        })
-        .collect();
-
-    // Warm-up: every session scatters once (cold connects pay their
-    // handshake round here).
-    for session in &sessions {
-        for result in session.batch_parallel(
-            servers
-                .iter()
-                .map(|s| (*s, vec![Request::Hello]))
-                .collect::<Vec<_>>(),
-        ) {
-            result.expect("warm-up scatter succeeds");
-        }
-    }
-    let after_warmup = transport.worker_threads();
-
-    std::thread::scope(|scope| {
-        for session in &sessions {
-            let servers = &servers;
-            scope.spawn(move || {
-                for round in 0..ROUNDS {
-                    let calls: Vec<(EndpointId, Vec<Request>)> = servers
-                        .iter()
-                        .map(|s| (*s, vec![Request::Hello, Request::Hello]))
-                        .collect();
-                    for (i, result) in session.batch_parallel(calls).into_iter().enumerate() {
-                        let responses: Result<Vec<Response>, ClientError> = result;
-                        let responses = responses
-                            .unwrap_or_else(|e| panic!("round {round} branch {i} failed: {e}"));
-                        assert_eq!(responses.len(), 2, "positional batch answers");
-                        assert!(matches!(responses[0], Response::Hello(_)));
-                    }
-                }
-            });
-        }
-    });
-
-    // Per served endpoint: 1 receiver + the dispatch pool. Plus the
-    // shared client receiver and the RTO timer. Nothing scales with
-    // fan-out width, session count or call volume.
-    let ceiling = SERVERS * (1 + UDP_SERVE_POOL) + 2;
+    run_stress(&servers, &sessions);
+    let ceiling = 1 + UDP_SERVE_POOL + 2;
     let now = transport.worker_threads();
     assert!(
         now <= ceiling,
         "worker threads {now} exceed the QuicLite ceiling {ceiling}"
     );
+    assert!(
+        ceiling < 1 + DISPATCH_POOL,
+        "datagram thread ceiling must stay strictly below the tcp floor"
+    );
+
+    transport.reset_stats();
+    run_stress(&servers, &sessions);
     assert_eq!(
-        now, after_warmup,
+        transport.worker_threads(),
+        now,
         "steady-state scattering must not spawn further workers"
     );
 
-    // Wire accounting stays exact under concurrency and multiplexing:
-    // one request + one response frame per envelope, nothing else.
-    let envelopes = (SESSIONS * (1 + ROUNDS) * SERVERS) as u64;
-    assert_eq!(transport.stats().messages, 2 * envelopes);
-    assert_eq!(
-        transport.orphan_responses(),
-        0,
-        "no response went unmatched under pipelining"
-    );
-    for session in &sessions {
-        let stats = session.stats();
-        assert_eq!(stats.batches, ((1 + ROUNDS) * SERVERS) as u64);
-    }
+    assert_accounting(shared.as_ref(), transport.orphan_responses(), &sessions, 2);
 }

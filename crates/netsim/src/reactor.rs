@@ -104,18 +104,27 @@ impl Waker {
     }
 
     pub fn wake(&self) {
-        if !self.armed.swap(true, Ordering::AcqRel) {
-            let _ = self.tx.send(&[1]);
+        if !self.armed.swap(true, Ordering::AcqRel) && self.tx.send(&[1]).is_err() {
+            // The send failed, so no datagram is in flight; staying
+            // armed would suppress every later wake. Disarm so the
+            // next wake retries the send.
+            self.armed.store(false, Ordering::Release);
         }
     }
 
     /// Consumes pending wake datagrams; the poller calls this once per
-    /// wakeup. Re-arming before draining means a `wake` racing this
-    /// costs at most one spurious extra wakeup, never a lost one.
+    /// wakeup, before it rescans its work queues. Order matters:
+    /// consuming *before* disarming means a `wake` racing this either
+    /// lands while still armed (send skipped — safe, because the
+    /// poller's rescan follows the disarm and will observe that
+    /// wake's work) or lands after the disarm (datagram left behind —
+    /// one spurious poll wakeup). Disarming first would let the recv
+    /// loop eat a racing wake's datagram while `armed` stayed true,
+    /// suppressing every subsequent wake.
     pub fn drain(&self) {
-        self.armed.store(false, Ordering::Release);
         let mut buf = [0u8; 8];
         while self.rx.recv(&mut buf).is_ok() {}
+        self.armed.store(false, Ordering::Release);
     }
 }
 

@@ -1302,14 +1302,29 @@ fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
                     client_death(c, io::ErrorKind::UnexpectedEof, "connection force-closed");
                 }
                 if !c.dead && c.conn.broken.load(Ordering::SeqCst) {
-                    // Externally marked stale (timeout pruning): keep
-                    // serving in-flight siblings, close once drained.
-                    let drained = c.conn.demux.in_flight() == 0
-                        && c.conn.out.lock().expect("conn out queue").frames.is_empty();
-                    if drained {
-                        c.conn.out.lock().expect("conn out queue").closed = true;
-                        let _ = c.stream.shutdown(Shutdown::Both);
-                        c.dead = true;
+                    if c.connecting {
+                        // Broken before the handshake resolved: writes
+                        // are gated on a connect that may never finish,
+                        // so waiting for the queue to drain would leak
+                        // the entry (and its fd) forever. Nothing ever
+                        // hit the wire, so failing the queued frames
+                        // cannot orphan a response.
+                        client_death(
+                            c,
+                            io::ErrorKind::ConnectionAborted,
+                            "connection abandoned mid-handshake",
+                        );
+                    } else {
+                        // Externally marked stale (timeout pruning):
+                        // keep serving in-flight siblings, close once
+                        // drained.
+                        let drained = c.conn.demux.in_flight() == 0
+                            && c.conn.out.lock().expect("conn out queue").frames.is_empty();
+                        if drained {
+                            c.conn.out.lock().expect("conn out queue").closed = true;
+                            let _ = c.stream.shutdown(Shutdown::Both);
+                            c.dead = true;
+                        }
                     }
                 }
                 !c.dead

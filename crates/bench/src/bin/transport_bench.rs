@@ -313,6 +313,8 @@ fn fanout_sweep(json: bool) {
         "warm p95 us".into(),
         "msgs/round".into(),
         "threads".into(),
+        "depth hw".into(),
+        "shed".into(),
     ]);
     for backend in [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite] {
         for width in SWEEP_WIDTHS {
@@ -362,6 +364,17 @@ fn fanout_sweep(json: bool) {
             let msgs_per_round = transport.stats().messages as f64 / SWEEP_REPS as f64;
             let warm_mean = mean(&lat_us);
             let warm_p95 = percentile(&mut lat_us, 95.0);
+            // Admission-control observability: the deepest any server's
+            // dispatch queue got over the measured rounds, and how many
+            // requests the transport shed (always 0 here — the stubs
+            // install no overload policy, so the columns baseline the
+            // uncontended case).
+            let depth_hw = servers
+                .iter()
+                .map(|s| transport.dispatch_depth(*s))
+                .max()
+                .unwrap_or(0);
+            let shed = transport.shed_requests();
             row(&[
                 transport.kind().into(),
                 format!("{width}"),
@@ -369,13 +382,16 @@ fn fanout_sweep(json: bool) {
                 format!("{warm_p95:.0}"),
                 format!("{msgs_per_round:.0}"),
                 format!("{threads}"),
+                format!("{depth_hw}"),
+                format!("{shed}"),
             ]);
             if json {
                 println!(
                     "{{\"bench\":\"fanout_sweep\",\"backend\":\"{}\",\"width\":{width},\
                      \"reps\":{SWEEP_REPS},\"warm_mean_us\":{warm_mean:.1},\
                      \"warm_p95_us\":{warm_p95:.1},\"msgs_per_round\":{msgs_per_round:.0},\
-                     \"threads\":{threads}}}",
+                     \"threads\":{threads},\"dispatch_depth_hw\":{depth_hw},\
+                     \"shed_requests\":{shed}}}",
                     transport.kind(),
                 );
             }
@@ -392,7 +408,10 @@ fn fanout_sweep(json: bool) {
          charges max-of-branches by construction. threads is the peak\n\
          worker population and must be FLAT across widths: tcp runs its\n\
          reactor pool + dispatch pool, quiclite its small constant, sim\n\
-         dispatches inline (0)."
+         dispatches inline (0). depth hw is the dispatch-queue high-water\n\
+         across the stub servers and shed the transport's Busy-shed count\n\
+         — no overload policy is installed here, so shed must be 0 and\n\
+         depth hw small (see the loadgen harness for the contended case)."
     );
 }
 

@@ -134,6 +134,30 @@
 //! downed replica is transparently absorbed, and that a narrow query
 //! consults fewer shards than the fleet holds.
 //!
+//! # Overload: admission control and the load harness
+//!
+//! Real-socket servers bound their dispatch queues
+//! (`Transport::set_overload_policy`): when a map server's admitted
+//! depth hits the policy cap — or one principal holds more than its
+//! fairness share of the queue — the overflow request is answered
+//! *immediately* with a retryable `Response::Busy { retry_after_us }`
+//! instead of queueing behind seconds of work (`docs/wire-protocol.md`
+//! §10). The [`Session`] absorbs `Busy` transparently: it re-submits
+//! the identical envelope after a capped exponential backoff seeded by
+//! the server's hint (deterministically jittered, so colliding clients
+//! desynchronize), counts the shed/retry traffic in [`SessionStats`],
+//! and only after the retry budget is exhausted surfaces
+//! [`ClientError::Overloaded`] — which scatter-gather folds into
+//! [`ClientError::PartialFailure`] like any other per-server failure.
+//!
+//! The `loadgen` crate is the city-scale proof: an open-loop harness
+//! driving a thousand-plus concurrent sessions (Poisson arrivals,
+//! Zipf-skewed venue locality from `openflame_worldgen::workload`,
+//! mixed search/route/localize/tile traffic) against real TCP and
+//! QuicLite deployments, recording per-op-class latency quantiles
+//! (p50/p99/p999), throughput, thread census and shed/retry counts —
+//! the numbers CI publishes as `BENCH_load.json`.
+//!
 //! [`Deployment`] stands up a complete world — DNS hierarchy, resolver,
 //! outdoor provider, one map server per venue — in one call on either
 //! backend, and [`scenario`] runs the §2 grocery end-to-end scenario
@@ -185,7 +209,7 @@ pub use provider::{
 pub use scenario::{
     run_grocery_scenario, run_grocery_scenario_on, GroceryScenarioReport, ProviderKind,
 };
-pub use session::{Session, SessionStats};
+pub use session::{Session, SessionStats, BUSY_BACKOFF_CAP_US, BUSY_RETRY_BUDGET};
 
 /// Errors surfaced by the OpenFLAME client.
 ///
@@ -211,6 +235,14 @@ pub enum ClientError {
     Protocol(String),
     /// The requested object could not be found.
     NotFound(String),
+    /// The server shed the request under load (`Response::Busy`, wire
+    /// protocol §10) and the session's retry budget is exhausted. The
+    /// hint is the server's *last* suggested wait — callers that retry
+    /// later should wait at least this long.
+    Overloaded {
+        /// Microseconds the server suggested waiting before retrying.
+        retry_after_us: u64,
+    },
     /// A batched call partially failed: `succeeded` items completed,
     /// the listed items did not. The successes are *not* lost — callers
     /// that can proceed with partial results inspect the batch
@@ -239,6 +271,12 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::NotFound(msg) => write!(f, "not found: {msg}"),
+            ClientError::Overloaded { retry_after_us } => {
+                write!(
+                    f,
+                    "server overloaded: retry budget exhausted (retry after {retry_after_us} us)"
+                )
+            }
             ClientError::PartialFailure {
                 succeeded,
                 failures,

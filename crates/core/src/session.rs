@@ -17,6 +17,15 @@
 //! - **Discovery caching**: discovery results are cached per query
 //!   cell, so a client localizing every few seconds does not re-resolve
 //!   the same cell through DNS each time.
+//! - **Busy absorption**: a server that sheds the envelope under load
+//!   answers `Response::Busy { retry_after_us }` (wire protocol §10)
+//!   instead of an answer. The session re-submits the identical
+//!   envelope after a capped exponential backoff seeded by the server's
+//!   hint — deterministically jittered per `(client, server, attempt)`,
+//!   so colliding clients desynchronize without shared state — and
+//!   counts the shed/retry traffic in [`SessionStats`]. Only when
+//!   [`BUSY_RETRY_BUDGET`] re-submissions have all been shed does the
+//!   call surface [`ClientError::Overloaded`].
 //!
 //! Both caches are **bounded** ([`DEFAULT_CACHE_CAP`], adjustable via
 //! [`Session::set_cache_cap`]): a long-lived session touring many
@@ -60,6 +69,39 @@ pub const DEFAULT_TTL_US: u64 = 300 * 1_000_000;
 /// live entries closest to expiry.
 pub const DEFAULT_CACHE_CAP: usize = 256;
 
+/// How many times one envelope is re-submitted after a `Busy` shed
+/// before the call surfaces [`ClientError::Overloaded`].
+pub const BUSY_RETRY_BUDGET: u32 = 4;
+
+/// Upper bound on a single busy-backoff wait, microseconds: the
+/// exponential doubling stops here so a pathological server hint
+/// cannot park a client for seconds.
+pub const BUSY_BACKOFF_CAP_US: u64 = 50_000;
+
+/// The wait before busy re-submission `attempt` (0-based): the server's
+/// hint doubled per attempt, capped at [`BUSY_BACKOFF_CAP_US`], plus a
+/// deterministic jitter (≤ a quarter of the base) hashed from
+/// `(from, to, attempt)` — a pure function, so seeded runs replay
+/// identically, yet distinct clients hammering one server spread out.
+pub(crate) fn busy_backoff_us(hint_us: u64, attempt: u32, from: EndpointId, to: EndpointId) -> u64 {
+    let base = hint_us
+        .max(100)
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(BUSY_BACKOFF_CAP_US);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in from
+        .0
+        .to_le_bytes()
+        .iter()
+        .chain(to.0.to_le_bytes().iter())
+        .chain(attempt.to_le_bytes().iter())
+    {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base + h % (base / 4 + 1)
+}
+
 /// Counters for session-layer behaviour.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SessionStats {
@@ -86,6 +128,13 @@ pub struct SessionStats {
     pub hello_cache_len: u64,
     /// Live (unexpired) discovery-cache entries at snapshot time.
     pub discovery_cache_len: u64,
+    /// `Busy` sheds received from servers (wire protocol §10), counting
+    /// every attempt — a call shed 3 times then served adds 3.
+    pub busy_rejections: u64,
+    /// Envelopes re-submitted after a backoff because the previous
+    /// attempt was shed. Always ≤ `busy_rejections`; the difference is
+    /// calls whose retry budget ran out.
+    pub busy_retries: u64,
 }
 
 struct Cached<T> {
@@ -129,6 +178,18 @@ fn evict_to_cap<K: Eq + std::hash::Hash + Clone, V>(
         }
     }
     removed
+}
+
+/// One envelope's decoded fate: answered (well or badly), or shed under
+/// load and worth re-submitting.
+enum BatchReply {
+    /// The server shed the envelope; retry after the hinted wait.
+    Busy {
+        /// Microseconds the server suggested waiting.
+        retry_after_us: u64,
+    },
+    /// The envelope was answered (or failed unrecoverably).
+    Done(Result<Vec<Response>, ClientError>),
 }
 
 /// Discovery cache key: (query cell raw id, expand-neighbors flag).
@@ -254,8 +315,16 @@ impl Session {
         to_bytes(&env).to_vec()
     }
 
-    fn decode_batch(bytes: &[u8], expected: usize) -> Result<Vec<Response>, ClientError> {
-        match from_bytes::<Response>(bytes).map_err(|e| ClientError::Protocol(e.to_string()))? {
+    fn decode_reply(bytes: &[u8], expected: usize) -> BatchReply {
+        let response = match from_bytes::<Response>(bytes) {
+            Ok(response) => response,
+            Err(e) => return BatchReply::Done(Err(ClientError::Protocol(e.to_string()))),
+        };
+        BatchReply::Done(match response {
+            // The envelope was shed under load: retryable, handled by
+            // the caller's backoff loop, never surfaced as a decode
+            // error.
+            Response::Busy { retry_after_us } => return BatchReply::Busy { retry_after_us },
             Response::Batch(responses) if responses.len() == expected => Ok(responses),
             Response::Batch(responses) => Err(ClientError::Protocol(format!(
                 "batch answered {} of {expected} items",
@@ -271,13 +340,57 @@ impl Session {
             other => Err(ClientError::Protocol(format!(
                 "expected Batch, got {other:?}"
             ))),
+        })
+    }
+
+    /// Claims one in-flight envelope, transparently re-submitting it
+    /// (after [`busy_backoff_us`]) every time the server sheds it with
+    /// `Busy` — up to [`BUSY_RETRY_BUDGET`] re-submissions, after which
+    /// the call surfaces [`ClientError::Overloaded`]. The backoff both
+    /// advances the transport clock (simulated time) and sleeps the
+    /// thread (wall-clock backends); each attempt's wire latency is
+    /// charged to the session.
+    fn finish_call(
+        &self,
+        to: EndpointId,
+        payload: Vec<u8>,
+        expected: usize,
+        mut handle: CallHandle,
+    ) -> Result<Vec<Response>, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let transfer = handle
+                .wait()
+                .map_err(|e| ClientError::Network(e.to_string()))?;
+            self.stats.lock().wire_us += transfer.latency_us;
+            match Self::decode_reply(&transfer.payload, expected) {
+                BatchReply::Done(result) => {
+                    let responses = result?;
+                    self.absorb_hellos(to, &responses);
+                    return Ok(responses);
+                }
+                BatchReply::Busy { retry_after_us } => {
+                    self.stats.lock().busy_rejections += 1;
+                    if attempt >= BUSY_RETRY_BUDGET {
+                        return Err(ClientError::Overloaded { retry_after_us });
+                    }
+                    let wait = busy_backoff_us(retry_after_us, attempt, self.endpoint, to);
+                    self.transport.advance_us(wait);
+                    std::thread::sleep(std::time::Duration::from_micros(wait));
+                    self.stats.lock().busy_retries += 1;
+                    attempt += 1;
+                    handle = self.transport.submit(self.endpoint, to, payload.clone());
+                }
+            }
         }
     }
 
     /// Sends one batched envelope to one server and returns the
     /// positional responses. Per-item failures come back as
     /// `Response::Error` items; the call errs only when the envelope
-    /// itself fails.
+    /// itself fails. `Busy` sheds are absorbed by the session's retry
+    /// loop (module docs) — they surface only as
+    /// [`ClientError::Overloaded`] after the budget runs out.
     pub fn batch(
         &self,
         to: EndpointId,
@@ -290,14 +403,8 @@ impl Session {
             stats.batched_requests += expected as u64;
         }
         let payload = self.encode(Request::Batch(requests));
-        let transfer = self
-            .transport
-            .call(self.endpoint, to, payload)
-            .map_err(|e| ClientError::Network(e.to_string()))?;
-        self.stats.lock().wire_us += transfer.latency_us;
-        let responses = Self::decode_batch(&transfer.payload, expected)?;
-        self.absorb_hellos(to, &responses);
-        Ok(responses)
+        let handle = self.transport.submit(self.endpoint, to, payload.clone());
+        self.finish_call(to, payload, expected, handle)
     }
 
     /// Sends one batched envelope to each server *concurrently* (the
@@ -577,7 +684,10 @@ impl Session {
 /// pipelining reorders *waiting*, not traffic.
 pub struct ScatterRound<'a> {
     session: &'a Session,
-    pending: Vec<(EndpointId, usize, CallHandle)>,
+    /// `(server, expected item count, encoded envelope, in-flight
+    /// handle)` — the encoded bytes are kept so a `Busy` shed can
+    /// re-submit the identical envelope without re-encoding.
+    pending: Vec<(EndpointId, usize, Vec<u8>, CallHandle)>,
 }
 
 impl ScatterRound<'_> {
@@ -595,8 +705,8 @@ impl ScatterRound<'_> {
         let handle = self
             .session
             .transport
-            .submit(self.session.endpoint, to, payload);
-        self.pending.push((to, expected, handle));
+            .submit(self.session.endpoint, to, payload.clone());
+        self.pending.push((to, expected, payload, handle));
         self.pending.len() - 1
     }
 
@@ -613,17 +723,15 @@ impl ScatterRound<'_> {
     /// Claims every submitted envelope's responses, positionally. Per-
     /// item failures come back as `Response::Error` items inside the
     /// `Ok` lists; a branch errs only when its envelope itself fails.
+    /// Branches shed with `Busy` are re-submitted by the session's
+    /// backoff loop — while one branch backs off, the others are
+    /// already complete or still in flight, so the round still costs
+    /// its slowest branch.
     pub fn collect(self) -> Vec<Result<Vec<Response>, ClientError>> {
         self.pending
             .into_iter()
-            .map(|(to, expected, handle)| {
-                let transfer = handle
-                    .wait()
-                    .map_err(|e| ClientError::Network(e.to_string()))?;
-                self.session.stats.lock().wire_us += transfer.latency_us;
-                let responses = Session::decode_batch(&transfer.payload, expected)?;
-                self.session.absorb_hellos(to, &responses);
-                Ok(responses)
+            .map(|(to, expected, payload, handle)| {
+                self.session.finish_call(to, payload, expected, handle)
             })
             .collect()
     }
@@ -854,6 +962,126 @@ mod tests {
             session.cached_discovery(8, true).is_some(),
             "other cells must be untouched"
         );
+    }
+
+    /// A sim service that sheds the first `busy_first` envelopes with
+    /// `Busy { retry_after_us: 500 }`, then answers each batch
+    /// positionally.
+    fn flaky_busy_server(
+        transport: &Arc<dyn openflame_netsim::Transport>,
+        busy_first: u64,
+    ) -> EndpointId {
+        let server = transport.register("busy-server", None);
+        let calls = Arc::new(AtomicU64::new(0));
+        transport.set_service(
+            server,
+            Arc::new(move |_from: EndpointId, payload: &[u8]| {
+                if calls.fetch_add(1, Ordering::SeqCst) < busy_first {
+                    return to_bytes(&Response::Busy {
+                        retry_after_us: 500,
+                    })
+                    .to_vec();
+                }
+                let env: Envelope = from_bytes(payload).unwrap();
+                let Request::Batch(items) = env.request else {
+                    panic!("session always sends batches");
+                };
+                let answers: Vec<Response> = items
+                    .iter()
+                    .map(|_| Response::PatchApplied { version: 1 })
+                    .collect();
+                to_bytes(&Response::Batch(answers)).to_vec()
+            }),
+        );
+        server
+    }
+
+    #[test]
+    fn busy_sheds_are_retried_transparently() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let client = transport.register("client", None);
+        let server = flaky_busy_server(&transport, 2);
+        let session = Session::new(transport, client, Principal::anonymous());
+        let responses = session.batch(server, vec![Request::Hello]).unwrap();
+        assert_eq!(responses.len(), 1);
+        let stats = session.stats();
+        assert_eq!(stats.busy_rejections, 2);
+        assert_eq!(stats.busy_retries, 2);
+        assert_eq!(
+            stats.batches, 1,
+            "retries are wire attempts, not new logical batches"
+        );
+    }
+
+    #[test]
+    fn busy_budget_exhaustion_surfaces_overloaded() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let client = transport.register("client", None);
+        let server = flaky_busy_server(&transport, u64::MAX);
+        let session = Session::new(transport, client, Principal::anonymous());
+        let err = session.batch(server, vec![Request::Hello]).unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Overloaded {
+                retry_after_us: 500
+            }
+        );
+        let stats = session.stats();
+        assert_eq!(stats.busy_rejections, u64::from(BUSY_RETRY_BUDGET) + 1);
+        assert_eq!(stats.busy_retries, u64::from(BUSY_RETRY_BUDGET));
+    }
+
+    #[test]
+    fn scatter_round_retries_busy_branches_and_folds_exhaustion() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let client = transport.register("client", None);
+        let healthy = flaky_busy_server(&transport, 0);
+        let recovering = flaky_busy_server(&transport, 1);
+        let wedged = flaky_busy_server(&transport, u64::MAX);
+        let session = Session::new(transport, client, Principal::anonymous());
+        let results = session.batch_parallel(vec![
+            (healthy, vec![Request::Hello]),
+            (recovering, vec![Request::Hello]),
+            (wedged, vec![Request::Hello]),
+        ]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok(), "one shed then served: absorbed");
+        assert_eq!(
+            results[2],
+            Err(ClientError::Overloaded {
+                retry_after_us: 500
+            })
+        );
+        // Exhaustion folds into PartialFailure like any branch failure.
+        let Err(ClientError::PartialFailure {
+            succeeded,
+            failures,
+        }) = Session::gather_all(results)
+        else {
+            panic!("expected partial failure");
+        };
+        assert_eq!(succeeded, 2);
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(failures[0].1, ClientError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn busy_backoff_is_deterministic_capped_and_growing() {
+        let a = busy_backoff_us(2_000, 0, EndpointId(1), EndpointId(2));
+        assert_eq!(a, busy_backoff_us(2_000, 0, EndpointId(1), EndpointId(2)));
+        assert!(
+            busy_backoff_us(2_000, 3, EndpointId(1), EndpointId(2)) > a,
+            "later attempts wait longer"
+        );
+        // A hostile hint cannot park the client past the cap + jitter.
+        for attempt in 0..40 {
+            assert!(
+                busy_backoff_us(u64::MAX, attempt, EndpointId(1), EndpointId(2))
+                    <= BUSY_BACKOFF_CAP_US + BUSY_BACKOFF_CAP_US / 4
+            );
+        }
+        // Distinct clients hammering one server desynchronize.
+        assert_ne!(a, busy_backoff_us(2_000, 0, EndpointId(9), EndpointId(2)));
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! City-scale load harness CLI.
+//!
+//! ```text
+//! loadgen [--backend tcp,quiclite] [--sessions 1000] [--rate 2000]
+//!         [--duration-ms 2000] [--stores 4] [--endpoints 32]
+//!         [--collectors 4] [--seed 7] [--max-depth N] [--json]
+//! ```
+//!
+//! Runs one open-loop trace per named backend and prints either a
+//! human table or (with `--json`) one `BENCH_load.json`-schema object
+//! per line. Exits non-zero if any run violates the harness sanity
+//! contract (unaccounted ops, zero quantiles with traffic served), so
+//! CI fails loudly instead of archiving a hollow artifact.
+
+use openflame_loadgen::{run, LoadConfig, LoadReport};
+use openflame_netsim::BackendKind;
+
+fn parse_backend(name: &str) -> BackendKind {
+    match name {
+        "tcp" => BackendKind::Tcp,
+        "quiclite" => BackendKind::QuicLite,
+        other => {
+            eprintln!("unknown backend {other:?} (expected tcp or quiclite)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_human(report: &LoadReport) {
+    println!(
+        "== {} | {} sessions on {} endpoints | offered {:.0}/s for {} ms ==",
+        report.backend,
+        report.sessions,
+        report.client_endpoints,
+        report.offered_rate_per_sec,
+        report.duration_us / 1_000
+    );
+    println!(
+        "   submitted {} served {} shed {} errors {} | {:.0} ops/s | depth hw {} | {} transport threads / {} process threads",
+        report.ops_submitted,
+        report.ops_served,
+        report.ops_shed,
+        report.ops_errors,
+        report.throughput_per_sec,
+        report.max_dispatch_depth,
+        report.transport_worker_threads,
+        report.process_threads
+    );
+    println!(
+        "   {:<10} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "op", "served", "shed", "errs", "p50_us", "p99_us", "p999_us", "mean_us"
+    );
+    for op in &report.per_op {
+        println!(
+            "   {:<10} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            op.name, op.served, op.shed, op.errors, op.p50_us, op.p99_us, op.p999_us, op.mean_us
+        );
+    }
+}
+
+/// The contract CI's artifact rests on: every op accounted for, and
+/// real quantiles wherever traffic was served.
+fn check(report: &LoadReport) -> Result<(), String> {
+    if report.ops_served + report.ops_shed + report.ops_errors != report.ops_submitted {
+        return Err(format!(
+            "{}: {} submitted but {}+{}+{} accounted",
+            report.backend,
+            report.ops_submitted,
+            report.ops_served,
+            report.ops_shed,
+            report.ops_errors
+        ));
+    }
+    if report.ops_served == 0 {
+        return Err(format!("{}: nothing served", report.backend));
+    }
+    for op in &report.per_op {
+        if op.served > 0 && (op.p50_us == 0 || op.p50_us > op.p99_us || op.p99_us > op.p999_us) {
+            return Err(format!(
+                "{}: {} quantiles broken (p50 {} p99 {} p999 {})",
+                report.backend, op.name, op.p50_us, op.p99_us, op.p999_us
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backends = vec![BackendKind::Tcp, BackendKind::QuicLite];
+    let mut config = LoadConfig::default();
+    let mut json = false;
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", args[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backends = value(&mut i).split(',').map(parse_backend).collect();
+            }
+            "--sessions" => config.sessions = value(&mut i).parse().expect("--sessions N"),
+            "--rate" => config.rate_per_sec = value(&mut i).parse().expect("--rate N"),
+            "--duration-ms" => {
+                config.duration_us = value(&mut i).parse::<u64>().expect("--duration-ms N") * 1_000;
+            }
+            "--stores" => config.stores = value(&mut i).parse().expect("--stores N"),
+            "--endpoints" => {
+                config.client_endpoints = value(&mut i).parse().expect("--endpoints N");
+            }
+            "--collectors" => config.collectors = value(&mut i).parse().expect("--collectors N"),
+            "--seed" => config.seed = value(&mut i).parse().expect("--seed N"),
+            "--max-depth" => config.max_depth = Some(value(&mut i).parse().expect("--max-depth N")),
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut failed = false;
+    for backend in backends {
+        let report = run(&LoadConfig {
+            backend,
+            ..config.clone()
+        });
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print_human(&report);
+        }
+        if let Err(problem) = check(&report) {
+            eprintln!("SANITY FAILED: {problem}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,492 @@
+//! The open-loop driver: deployment setup, wall-clock pacing,
+//! completion collection, report assembly (crate docs).
+
+use crate::histogram::LogHistogram;
+use openflame_codec::{from_bytes, to_bytes};
+use openflame_core::{Deployment, DeploymentConfig};
+use openflame_geo::Mercator;
+use openflame_localize::LocationCue;
+use openflame_mapserver::protocol::{Envelope, Request, Response};
+use openflame_mapserver::{MapServer, Principal};
+use openflame_netsim::{BackendKind, CallHandle, EndpointId};
+use openflame_worldgen::{generate_trace, OpKind, OpMix, World, WorldConfig};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load-harness knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Which real-socket backend to drive.
+    pub backend: BackendKind,
+    /// Logical sessions (distinct principals pacing independently).
+    pub sessions: usize,
+    /// Client transport endpoints the sessions ride on (connection
+    /// pools are per endpoint; sessions share them like mobile clients
+    /// behind carrier NATs share flows).
+    pub client_endpoints: usize,
+    /// Offered aggregate arrival rate, operations per second.
+    pub rate_per_sec: f64,
+    /// Trace duration, microseconds.
+    pub duration_us: u64,
+    /// Venues in the generated city.
+    pub stores: usize,
+    /// Collector threads claiming completions.
+    pub collectors: usize,
+    /// Trace and deployment RNG seed.
+    pub seed: u64,
+    /// When set, tightens every server's admission policy to this
+    /// queue depth (default policies stay installed otherwise) — used
+    /// to demonstrate shedding at smoke scale.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::Tcp,
+            sessions: 1_000,
+            client_endpoints: 32,
+            rate_per_sec: 2_000.0,
+            duration_us: 2_000_000,
+            stores: 4,
+            collectors: 4,
+            seed: 7,
+            max_depth: None,
+        }
+    }
+}
+
+/// Latency and outcome counters for one op class.
+#[derive(Debug, Clone)]
+pub struct OpClassReport {
+    /// Stable op-class name (JSON key).
+    pub name: &'static str,
+    /// Operations served (answered with a real response).
+    pub served: u64,
+    /// Operations shed with `Response::Busy`.
+    pub shed: u64,
+    /// Operations that failed (wire error or `Response::Error`).
+    pub errors: u64,
+    /// Median served latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile served latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile served latency, microseconds.
+    pub p999_us: u64,
+    /// Mean served latency, microseconds.
+    pub mean_us: u64,
+    /// Worst served latency, microseconds.
+    pub max_us: u64,
+}
+
+/// One backend's complete load-run result (crate docs; serialized by
+/// [`LoadReport::to_json`] as the `BENCH_load.json` schema).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Backend name (`tcp`, `quiclite`).
+    pub backend: String,
+    /// Logical sessions driven.
+    pub sessions: usize,
+    /// Client transport endpoints used.
+    pub client_endpoints: usize,
+    /// Offered arrival rate, ops/second.
+    pub offered_rate_per_sec: f64,
+    /// Configured trace duration, microseconds.
+    pub duration_us: u64,
+    /// Operations submitted (trace arrivals).
+    pub ops_submitted: u64,
+    /// Operations served.
+    pub ops_served: u64,
+    /// Operations shed with `Busy`.
+    pub ops_shed: u64,
+    /// Operations that errored.
+    pub ops_errors: u64,
+    /// Served throughput over the measured wall time, ops/second.
+    pub throughput_per_sec: f64,
+    /// Wall time from first scheduled arrival to last claimed
+    /// completion, microseconds.
+    pub wall_us: u64,
+    /// The transport's own shed counter (must equal `ops_shed` when the
+    /// harness is the only traffic).
+    pub transport_shed_requests: u64,
+    /// Highest dispatch-queue depth any server endpoint reached.
+    pub max_dispatch_depth: usize,
+    /// Transport worker threads (the O(cores) claim under test).
+    pub transport_worker_threads: usize,
+    /// OS threads in the whole process at the end of the run.
+    pub process_threads: usize,
+    /// Per-op-class latency and outcome breakdown, in
+    /// [`OpKind::ALL`] order.
+    pub per_op: Vec<OpClassReport>,
+}
+
+/// One in-flight operation handed from the submitter to a collector.
+struct InFlight {
+    op: OpKind,
+    /// Generator lag: actual submit instant minus scheduled arrival,
+    /// microseconds (charged to the op's latency — open-loop
+    /// accounting).
+    lag_us: u64,
+    handle: CallHandle,
+}
+
+/// A collector's local tallies for one op class, merged after join.
+#[derive(Default)]
+struct OpTally {
+    histogram: Option<LogHistogram>,
+    shed: u64,
+    errors: u64,
+}
+
+fn op_index(op: OpKind) -> usize {
+    OpKind::ALL
+        .iter()
+        .position(|k| *k == op)
+        .expect("ALL lists every op kind")
+}
+
+/// Runs one load trace against one backend and reports (crate docs).
+pub fn run(config: &LoadConfig) -> LoadReport {
+    assert!(config.sessions > 0 && config.client_endpoints > 0 && config.collectors > 0);
+    let transport = config.backend.build(config.seed);
+    let world = World::generate(WorldConfig {
+        stores: config.stores,
+        ..WorldConfig::default()
+    });
+    let deployment = Deployment::build_on(
+        transport.clone(),
+        world,
+        DeploymentConfig {
+            backend: config.backend,
+            net_seed: config.seed,
+            ..DeploymentConfig::default()
+        },
+    );
+    let server_endpoints: Vec<EndpointId> = deployment
+        .venue_servers
+        .iter()
+        .map(|s| s.endpoint())
+        .chain([deployment.outdoor_server.endpoint()])
+        .collect();
+    if let Some(max_depth) = config.max_depth {
+        for &endpoint in &server_endpoints {
+            transport
+                .set_overload_policy(endpoint, Some(MapServer::overload_policy(max_depth, 2_000)));
+        }
+    }
+    let clients: Vec<EndpointId> = (0..config.client_endpoints)
+        .map(|i| transport.register(&format!("load-client-{i}"), None))
+        .collect();
+
+    // Pre-generate and pre-encode the whole trace: the pacing loop
+    // below must not spend arrival gaps on codec work.
+    let trace = generate_trace(
+        &deployment.world,
+        config.sessions,
+        config.rate_per_sec,
+        config.duration_us,
+        &OpMix::default(),
+        config.seed,
+    );
+    let outdoor = deployment.outdoor_server.endpoint();
+    let encoded: Vec<(u64, EndpointId, EndpointId, OpKind, Vec<u8>)> = trace
+        .iter()
+        .map(|event| {
+            let venue = &deployment.world.venues[event.venue];
+            let product = &deployment.world.products[event.product];
+            let (to, request) = match event.op {
+                OpKind::Search => (
+                    deployment.venue_servers[event.venue].endpoint(),
+                    Request::Search {
+                        query: product.name.clone(),
+                        center: None,
+                        radius_m: f64::INFINITY,
+                        k: 3,
+                    },
+                ),
+                OpKind::Route => (
+                    deployment.venue_servers[product.venue].endpoint(),
+                    Request::Route {
+                        from: deployment.world.venues[product.venue].entrance_local.0,
+                        to: product.shelf.0,
+                    },
+                ),
+                OpKind::Localize => (
+                    outdoor,
+                    Request::Localize {
+                        cues: vec![LocationCue::Gnss {
+                            fix: venue.hint,
+                            accuracy_m: 10.0,
+                        }],
+                    },
+                ),
+                OpKind::Tile => {
+                    let (x, y) = Mercator::tile_for(venue.hint, 15);
+                    (outdoor, Request::GetTile { z: 15, x, y })
+                }
+            };
+            let payload = to_bytes(&Envelope {
+                principal: Principal::user(format!("s{}@load.test", event.session)),
+                request,
+            })
+            .to_vec();
+            (
+                event.at_us,
+                clients[event.session % clients.len()],
+                to,
+                event.op,
+                payload,
+            )
+        })
+        .collect();
+    let ops_submitted = encoded.len() as u64;
+
+    // Collector pool: claim completions, classify, tally locally.
+    let (tx, rx) = mpsc::channel::<InFlight>();
+    let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+    let collectors: Vec<thread::JoinHandle<Vec<OpTally>>> = (0..config.collectors)
+        .map(|_| {
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut tallies: Vec<OpTally> =
+                    (0..OpKind::ALL.len()).map(|_| OpTally::default()).collect();
+                loop {
+                    let in_flight = match rx.lock().expect("collector queue").recv() {
+                        Ok(in_flight) => in_flight,
+                        Err(_) => return tallies,
+                    };
+                    let tally = &mut tallies[op_index(in_flight.op)];
+                    match in_flight.handle.wait() {
+                        Err(_) => tally.errors += 1,
+                        Ok(transfer) => match from_bytes::<Response>(&transfer.payload) {
+                            Ok(Response::Busy { .. }) => tally.shed += 1,
+                            Ok(Response::Error { .. }) | Err(_) => tally.errors += 1,
+                            Ok(_) => tally
+                                .histogram
+                                .get_or_insert_with(LogHistogram::new)
+                                .record(in_flight.lag_us + transfer.latency_us),
+                        },
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Open-loop submitter: pace the trace on the wall clock; never
+    // wait for responses.
+    let t0 = Instant::now();
+    for (at_us, from, to, op, payload) in encoded {
+        let scheduled = Duration::from_micros(at_us);
+        loop {
+            let now = t0.elapsed();
+            if now >= scheduled {
+                break;
+            }
+            thread::sleep((scheduled - now).min(Duration::from_millis(1)));
+        }
+        let lag_us = (t0.elapsed() - scheduled).as_micros() as u64;
+        let handle = transport.submit(from, to, payload);
+        let _ = tx.send(InFlight { op, lag_us, handle });
+    }
+    drop(tx);
+    let mut merged: Vec<OpTally> = (0..OpKind::ALL.len()).map(|_| OpTally::default()).collect();
+    for collector in collectors {
+        for (into, from) in merged.iter_mut().zip(collector.join().expect("collector")) {
+            if let Some(histogram) = from.histogram {
+                into.histogram
+                    .get_or_insert_with(LogHistogram::new)
+                    .merge(&histogram);
+            }
+            into.shed += from.shed;
+            into.errors += from.errors;
+        }
+    }
+    let wall_us = t0.elapsed().as_micros() as u64;
+
+    let per_op: Vec<OpClassReport> = OpKind::ALL
+        .iter()
+        .zip(&merged)
+        .map(|(kind, tally)| {
+            let empty = LogHistogram::new();
+            let histogram = tally.histogram.as_ref().unwrap_or(&empty);
+            OpClassReport {
+                name: kind.name(),
+                served: histogram.count(),
+                shed: tally.shed,
+                errors: tally.errors,
+                p50_us: histogram.quantile_us(0.5),
+                p99_us: histogram.quantile_us(0.99),
+                p999_us: histogram.quantile_us(0.999),
+                mean_us: histogram.mean_us(),
+                max_us: histogram.max_us(),
+            }
+        })
+        .collect();
+    let ops_served: u64 = per_op.iter().map(|op| op.served).sum();
+    let ops_shed: u64 = per_op.iter().map(|op| op.shed).sum();
+    let ops_errors: u64 = per_op.iter().map(|op| op.errors).sum();
+    LoadReport {
+        backend: transport.kind().to_string(),
+        sessions: config.sessions,
+        client_endpoints: config.client_endpoints,
+        offered_rate_per_sec: config.rate_per_sec,
+        duration_us: config.duration_us,
+        ops_submitted,
+        ops_served,
+        ops_shed,
+        ops_errors,
+        throughput_per_sec: ops_served as f64 / (wall_us.max(1) as f64 / 1_000_000.0),
+        wall_us,
+        transport_shed_requests: transport.shed_requests(),
+        max_dispatch_depth: server_endpoints
+            .iter()
+            .map(|&e| transport.dispatch_depth(e))
+            .max()
+            .unwrap_or(0),
+        transport_worker_threads: transport.worker_threads(),
+        process_threads: process_threads(),
+        per_op,
+    }
+}
+
+/// OS threads in this process, from `/proc/self/status` (0 where the
+/// procfs layout is unavailable).
+pub fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("Threads:")
+                    .and_then(|rest| rest.trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+impl LoadReport {
+    /// Serializes the report as one stable-schema JSON object (the
+    /// `BENCH_load.json` contract: every key here is load-bearing for
+    /// CI's sanity greps — rename nothing casually).
+    pub fn to_json(&self) -> String {
+        let mut ops = String::new();
+        for (i, op) in self.per_op.iter().enumerate() {
+            if i > 0 {
+                ops.push(',');
+            }
+            ops.push_str(&format!(
+                "\"{}\":{{\"served\":{},\"shed\":{},\"errors\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"mean_us\":{},\"max_us\":{}}}",
+                op.name, op.served, op.shed, op.errors, op.p50_us, op.p99_us, op.p999_us,
+                op.mean_us, op.max_us
+            ));
+        }
+        format!(
+            "{{\"bench\":\"load\",\"backend\":\"{}\",\"sessions\":{},\"client_endpoints\":{},\"offered_rate_per_sec\":{:.1},\"duration_us\":{},\"ops_submitted\":{},\"ops_served\":{},\"ops_shed\":{},\"ops_errors\":{},\"throughput_per_sec\":{:.1},\"wall_us\":{},\"transport_shed_requests\":{},\"max_dispatch_depth\":{},\"transport_worker_threads\":{},\"process_threads\":{},\"ops\":{{{}}}}}",
+            self.backend,
+            self.sessions,
+            self.client_endpoints,
+            self.offered_rate_per_sec,
+            self.duration_us,
+            self.ops_submitted,
+            self.ops_served,
+            self.ops_shed,
+            self.ops_errors,
+            self.throughput_per_sec,
+            self.wall_us,
+            self.transport_shed_requests,
+            self.max_dispatch_depth,
+            self.transport_worker_threads,
+            self.process_threads,
+            ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config(backend: BackendKind) -> LoadConfig {
+        LoadConfig {
+            backend,
+            sessions: 1_000,
+            client_endpoints: 8,
+            rate_per_sec: 600.0,
+            duration_us: 500_000,
+            stores: 2,
+            collectors: 2,
+            seed: 7,
+            max_depth: None,
+        }
+    }
+
+    fn assert_sane(report: &LoadReport, backend: &str) {
+        assert_eq!(report.backend, backend);
+        assert_eq!(report.sessions, 1_000);
+        assert!(report.ops_submitted > 100, "trace too short");
+        assert_eq!(
+            report.ops_served + report.ops_shed + report.ops_errors,
+            report.ops_submitted,
+            "every submitted op must be accounted for"
+        );
+        assert_eq!(report.ops_errors, 0, "healthy run must not error");
+        assert!(report.throughput_per_sec > 0.0);
+        // Latency histograms carry real quantiles for every op class
+        // that ran.
+        for op in &report.per_op {
+            if op.served > 0 {
+                assert!(op.p50_us > 0 && op.p50_us <= op.p99_us && op.p99_us <= op.p999_us);
+            }
+        }
+        // The dispatch gauge observed traffic even without shedding.
+        assert!(report.max_dispatch_depth >= 1);
+        // The O(cores) claim: a thousand sessions, bounded threads.
+        assert!(
+            report.transport_worker_threads > 0
+                && report.transport_worker_threads < report.sessions / 10
+        );
+        let json = report.to_json();
+        for key in [
+            "\"bench\":\"load\"",
+            "\"sessions\":1000",
+            "\"p50_us\"",
+            "\"p99_us\"",
+            "\"p999_us\"",
+            "\"ops_shed\"",
+            "\"transport_shed_requests\"",
+        ] {
+            assert!(json.contains(key), "JSON schema lost key {key}: {json}");
+        }
+    }
+
+    #[test]
+    fn tcp_smoke_run_reports_sane_quantiles_and_schema() {
+        let report = run(&smoke_config(BackendKind::Tcp));
+        assert_sane(&report, "tcp");
+    }
+
+    #[test]
+    fn quiclite_smoke_run_reports_sane_quantiles_and_schema() {
+        let report = run(&smoke_config(BackendKind::QuicLite));
+        assert_sane(&report, "quiclite");
+    }
+
+    #[test]
+    fn tightened_admission_sheds_and_accounts_for_every_op() {
+        let config = LoadConfig {
+            max_depth: Some(1),
+            rate_per_sec: 1_500.0,
+            ..smoke_config(BackendKind::Tcp)
+        };
+        let report = run(&config);
+        assert_eq!(
+            report.ops_served + report.ops_shed + report.ops_errors,
+            report.ops_submitted
+        );
+        assert!(
+            report.ops_shed > 0,
+            "a depth-1 queue at 1500 ops/s must shed"
+        );
+        assert_eq!(report.transport_shed_requests, report.ops_shed);
+    }
+}

@@ -1,0 +1,40 @@
+//! `loadgen`: the city-scale open-loop load harness.
+//!
+//! Stands up a complete federated deployment (DNS hierarchy, outdoor
+//! provider, one map server per venue) on a **real-socket** backend
+//! (TCP or QuicLite), then replays a pre-generated open-loop trace
+//! ([`openflame_worldgen::workload::generate_trace`]) against it:
+//! Poisson arrivals at a fixed offered rate, Zipf-skewed venue
+//! locality, a mixed search/route/localize/tile op class per arrival,
+//! and a distinct principal per logical session (a thousand-plus of
+//! them), so the servers' per-principal admission fairness is
+//! exercised by the workload itself.
+//!
+//! # Open-loop discipline
+//!
+//! The submitter thread paces arrivals on the wall clock and submits
+//! through the transport's **non-blocking** path
+//! ([`openflame_netsim::Transport::submit`]), so a slow server cannot
+//! throttle the generator — queueing shows up in the measured latency
+//! instead of silently vanishing (the coordinated-omission trap).
+//! Each op's recorded latency is `(actual submit − scheduled arrival)
+//! + wire latency`: generator lag is charged to the measurement, never
+//! hidden. A small collector pool claims completions and classifies
+//! them — served, shed (`Response::Busy`, wire protocol §10), or
+//! error — into per-op-class [`LogHistogram`]s.
+//!
+//! # What the report proves
+//!
+//! [`LoadReport`] (serialized by [`LoadReport::to_json`], the
+//! schema-stable `BENCH_load.json` CI artifact) records per-op-class
+//! p50/p99/p999/mean latency, throughput, shed and error counts, the
+//! transport's shed counter and dispatch-depth high-water, and the
+//! thread census — the evidence that a thousand concurrent sessions
+//! ride on O(cores) transport threads while overload degrades into
+//! fast retryable `Busy` rather than unbounded queueing.
+
+pub mod harness;
+pub mod histogram;
+
+pub use harness::{run, LoadConfig, LoadReport, OpClassReport};
+pub use histogram::LogHistogram;

@@ -257,6 +257,52 @@ pub enum Response {
     /// [`Response::Error`] entries, so one denied item never sinks the
     /// rest of the batch.
     Batch(Vec<Response>),
+    /// The server shed this envelope under admission control instead of
+    /// queueing it: the request was **not** executed (shedding happens
+    /// before dispatch), so retrying is always safe — including for
+    /// non-idempotent requests. Sent as a whole-envelope answer, never
+    /// inside a batch (`docs/wire-protocol.md` §10).
+    Busy {
+        /// Server's backoff hint: how long the caller SHOULD wait
+        /// before retrying, microseconds. Callers add jitter.
+        retry_after_us: u64,
+    },
+}
+
+/// Stable admission-control key of the principal carried by an encoded
+/// [`Envelope`], computed **without decoding the request body**. The
+/// envelope encodes the principal first precisely so overload
+/// classification stays O(identity bytes) on the serve hot path.
+///
+/// Anonymous principals (and payloads too malformed to carry one) map
+/// to `0`; identified principals hash user and app with FNV-1a. The
+/// per-principal fairness cap in the transports' overload policy keys
+/// shed decisions off this value.
+pub fn principal_key(payload: &[u8]) -> u64 {
+    let mut r = Reader::new(payload);
+    let Ok(principal) = Principal::decode(&mut r) else {
+        return 0;
+    };
+    if principal.user.is_none() && principal.app.is_none() {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for part in [&principal.user, &principal.app] {
+        match part {
+            Some(s) => absorb(s.as_bytes()),
+            None => absorb(&[0xFF]),
+        }
+        absorb(&[0x1F]);
+    }
+    // Reserve 0 for anonymous: a pathological hash collision must not
+    // make an identified caller share the anonymous bucket.
+    h.max(1)
 }
 
 // ---------------------------------------------------------------
@@ -703,6 +749,10 @@ impl Wire for Response {
                     resp.encode(w);
                 }
             }
+            Response::Busy { retry_after_us } => {
+                w.put_u8(12);
+                w.put_varint(*retry_after_us);
+            }
         }
     }
 
@@ -785,6 +835,9 @@ fn decode_response(r: &mut Reader<'_>, inside_batch: bool) -> Result<Response, C
                 }
                 Ok(Response::Batch(responses))
             }
+            12 => Ok(Response::Busy {
+                retry_after_us: r.read_varint()?,
+            }),
             tag => Err(CodecError::InvalidTag {
                 context: "Response",
                 tag: tag as u64,
@@ -966,6 +1019,10 @@ mod tests {
                 },
             ]),
             Response::Batch(Vec::new()),
+            Response::Busy {
+                retry_after_us: 2_000,
+            },
+            Response::Busy { retry_after_us: 0 },
         ];
         for resp in cases {
             let back = from_bytes::<Response>(&to_bytes(&resp)).unwrap();
@@ -983,6 +1040,42 @@ mod tests {
             panic!()
         };
         assert!(costs[0][0].is_infinite());
+    }
+
+    #[test]
+    fn principal_key_reads_only_the_envelope_prefix() {
+        let env = |principal: Principal, request: Request| {
+            to_bytes(&Envelope { principal, request }).to_vec()
+        };
+        // Anonymous callers share bucket 0.
+        assert_eq!(
+            principal_key(&env(Principal::anonymous(), Request::Hello)),
+            0
+        );
+        // Identified callers get stable, distinct, non-zero keys that
+        // depend only on the principal, not on the request body.
+        let alice_hello = principal_key(&env(Principal::user("alice@x"), Request::Hello));
+        let alice_route = principal_key(&env(
+            Principal::user("alice@x"),
+            Request::Route { from: 1, to: 2 },
+        ));
+        let bob = principal_key(&env(Principal::user("bob@x"), Request::Hello));
+        assert_ne!(alice_hello, 0);
+        assert_eq!(alice_hello, alice_route);
+        assert_ne!(alice_hello, bob);
+        // user vs app identity must not collide by concatenation.
+        let as_user = principal_key(&env(Principal::user("svc"), Request::Hello));
+        let as_app = principal_key(&env(
+            Principal {
+                user: None,
+                app: Some("svc".into()),
+            },
+            Request::Hello,
+        ));
+        assert_ne!(as_user, as_app);
+        // Garbage degrades to the anonymous bucket, never panics.
+        assert_eq!(principal_key(&[0xFF, 0xFE, 0x07]), 0);
+        assert_eq!(principal_key(&[]), 0);
     }
 
     #[test]

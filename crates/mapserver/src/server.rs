@@ -14,7 +14,7 @@
 
 use crate::acl::{AccessPolicy, Principal, ServiceKind, ALL_SERVICES};
 use crate::protocol::{
-    Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
+    principal_key, Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
     WireSearchResult,
 };
 use crate::ServerError;
@@ -24,7 +24,8 @@ use openflame_geocode::{reverse_geocode, Geocoder};
 use openflame_localize::{Estimate, LocationCue, RadioMap, TagRegistry};
 use openflame_mapdata::{MapDocument, MapPatch, NodeId};
 use openflame_netsim::{
-    EndpointId, QuicLiteTransport, SimNet, SimTransport, TcpTransport, Transport, WireService,
+    EndpointId, OverloadPolicy, QuicLiteTransport, SimNet, SimTransport, TcpTransport, Transport,
+    WireService,
 };
 use openflame_routing::dijkstra::dijkstra_many;
 use openflame_routing::{bidirectional, ContractionHierarchy, Profile, RoadGraph};
@@ -34,6 +35,15 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default admission-queue depth installed on every wire endpoint: deep
+/// enough that a healthy server never sheds, shallow enough that a
+/// saturated one answers [`Response::Busy`] in microseconds instead of
+/// queueing seconds of work (wire protocol §10).
+pub const DEFAULT_MAX_DISPATCH_DEPTH: usize = 256;
+
+/// Default retry hint carried in shed [`Response::Busy`] replies.
+pub const DEFAULT_RETRY_AFTER_US: u64 = 2_000;
 
 /// Configuration for spawning a map server.
 pub struct MapServerConfig {
@@ -194,7 +204,33 @@ impl MapServer {
             stats: StatCounters::default(),
         });
         transport.set_service(endpoint, server.wire_service());
+        transport.set_overload_policy(endpoint, Some(Self::default_overload_policy()));
         server
+    }
+
+    /// The admission-control policy installed on every wire endpoint
+    /// this server binds: requests are classified by the envelope's
+    /// principal (so one flooding tenant is shed before quiet ones) and
+    /// shed requests are answered with an encoded [`Response::Busy`]
+    /// carrying `retry_after_us` (wire protocol §10). Pass a custom
+    /// `max_depth` to tighten or loosen the queue bound; transports
+    /// without admission support (the simulator) ignore the policy.
+    pub fn overload_policy(max_depth: usize, retry_after_us: u64) -> OverloadPolicy {
+        OverloadPolicy {
+            max_depth,
+            retry_after_us,
+            classify: Arc::new(principal_key),
+            busy_reply: Arc::new(|retry_after_us| {
+                to_bytes(&Response::Busy { retry_after_us }).to_vec()
+            }),
+        }
+    }
+
+    /// [`MapServer::overload_policy`] at the default depth and retry
+    /// hint — what [`MapServer::spawn_on`], [`MapServer::serve_tcp`]
+    /// and [`MapServer::serve_udp`] install.
+    pub fn default_overload_policy() -> OverloadPolicy {
+        Self::overload_policy(DEFAULT_MAX_DISPATCH_DEPTH, DEFAULT_RETRY_AFTER_US)
     }
 
     /// The server's RPC dispatch loop as a transport-bindable service:
@@ -223,6 +259,7 @@ impl MapServer {
     pub fn serve_tcp(self: &Arc<Self>, tcp: &TcpTransport) -> EndpointId {
         let endpoint = tcp.register(&format!("mapsrv:{}", self.id), Some(self.location_hint));
         tcp.set_service(endpoint, self.wire_service());
+        tcp.set_overload_policy(endpoint, Some(Self::default_overload_policy()));
         endpoint
     }
 
@@ -235,6 +272,7 @@ impl MapServer {
     pub fn serve_udp(self: &Arc<Self>, quic: &QuicLiteTransport) -> EndpointId {
         let endpoint = quic.register(&format!("mapsrv:{}", self.id), Some(self.location_hint));
         quic.set_service(endpoint, self.wire_service());
+        quic.set_overload_policy(endpoint, Some(Self::default_overload_policy()));
         endpoint
     }
 
@@ -1128,6 +1166,76 @@ mod tests {
             venue_server.tile(&Principal::anonymous(), TileCoord { z: 15, x, y }),
             Err(ServerError::NotOffered(_))
         ));
+    }
+
+    #[test]
+    fn overload_policy_classifies_principals_and_encodes_busy() {
+        let policy = MapServer::overload_policy(8, 777);
+        let env = |principal: Principal| {
+            to_bytes(&Envelope {
+                principal,
+                request: Request::Hello,
+            })
+            .to_vec()
+        };
+        let anon = (policy.classify)(&env(Principal::anonymous()));
+        let alice = (policy.classify)(&env(Principal::user("alice@example.com")));
+        let bob = (policy.classify)(&env(Principal::user("bob@example.com")));
+        assert_eq!(anon, 0, "anonymous traffic shares the zero key");
+        assert_ne!(alice, 0);
+        assert_ne!(alice, bob, "distinct principals get distinct keys");
+        let busy: Response = from_bytes(&(policy.busy_reply)(777)).unwrap();
+        assert!(matches!(
+            busy,
+            Response::Busy {
+                retry_after_us: 777
+            }
+        ));
+    }
+
+    #[test]
+    fn overloaded_tcp_endpoint_answers_wire_busy() {
+        let net = SimNet::new(1);
+        let (server, world) = venue_server(&net);
+        let tcp = TcpTransport::new(5);
+        let tcp_endpoint = server.serve_tcp(&tcp);
+        // Tighten the default policy so a small flood saturates it.
+        tcp.set_overload_policy(tcp_endpoint, Some(MapServer::overload_policy(1, 777)));
+        let client = tcp.register("flood", None);
+        let venue = &world.venues[0];
+        let shelves: Vec<u64> = venue.stocked.iter().map(|s| s.1 .0).collect();
+        let heavy = to_bytes(&Envelope {
+            principal: Principal::anonymous(),
+            request: Request::Batch(
+                (0..48)
+                    .map(|_| Request::RouteMatrix {
+                        entries: shelves.clone(),
+                        exits: shelves.clone(),
+                    })
+                    .collect(),
+            ),
+        })
+        .to_vec();
+        let mut set = openflame_netsim::CompletionSet::new();
+        for _ in 0..16 {
+            set.push(tcp.submit(client, tcp_endpoint, heavy.clone()));
+        }
+        let mut served = 0usize;
+        let mut busy = 0usize;
+        for result in set.wait_all() {
+            let transfer = result.expect("overload answers, not errors");
+            match from_bytes::<Response>(&transfer.payload).unwrap() {
+                Response::Busy { retry_after_us } => {
+                    assert_eq!(retry_after_us, 777);
+                    busy += 1;
+                }
+                Response::Batch(_) => served += 1,
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert!(served >= 1, "admitted requests still complete");
+        assert!(busy >= 1, "overflow is answered with wire Busy");
+        assert_eq!(tcp.shed_requests(), busy as u64);
     }
 
     #[test]

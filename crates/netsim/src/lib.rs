@@ -29,8 +29,8 @@ pub mod udp;
 pub use stats::{EndpointLatency, EndpointStats, NetStats};
 pub use tcp::TcpTransport;
 pub use transport::{
-    BackendKind, CallHandle, CompletionSet, PendingCall, SimTransport, Transfer, Transport,
-    WireService,
+    BackendKind, BusyReplyFn, CallHandle, ClassifyFn, CompletionSet, OverloadPolicy, PendingCall,
+    SimTransport, Transfer, Transport, WireService,
 };
 pub use udp::{QuicLiteTransport, QuicStats};
 

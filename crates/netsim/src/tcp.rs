@@ -32,6 +32,15 @@
 //!   connection's read interest (readiness-deregistration
 //!   backpressure) until responses drain — bounded buffering without
 //!   a blocked reader thread.
+//! - **Admission control**: a served endpoint with an
+//!   [`OverloadPolicy`] installed counts requests queued-or-executing
+//!   in dispatch across all its connections and answers excess
+//!   arrivals with the policy's busy payload instead of dispatching
+//!   them — bounded by `max_depth` endpoint-wide and by
+//!   [`OverloadPolicy::principal_cap`] per principal, so one hot
+//!   principal is shed first and cannot starve the endpoint. Shed
+//!   replies bypass the dispatch pool entirely; the shed request is
+//!   never executed, which is what makes client retries safe.
 //! - **Multiplexed connections**: one pooled connection carries many
 //!   in-flight requests at once; out-of-order completion is matched
 //!   by correlation id. A scatter over 64 servers reuses the same 64
@@ -82,7 +91,9 @@
 
 use crate::reactor::{connect_nonblocking, poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
-use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
+use crate::transport::{
+    CallHandle, DispatchGauge, OverloadPolicy, PendingCall, Transfer, Transport, WireService,
+};
 use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{write_frame, FrameDecoder, FRAME_HEADER_LEN};
 use openflame_geo::LatLng;
@@ -386,6 +397,8 @@ enum Cmd {
         down: Arc<AtomicBool>,
         service: Arc<dyn WireService>,
         dispatch: mpsc::Sender<ServeJob>,
+        gauge: Arc<DispatchGauge>,
+        shed: Arc<AtomicU64>,
     },
     /// Adopt an accepted server-side connection.
     Served {
@@ -395,6 +408,8 @@ enum Cmd {
         service: Arc<dyn WireService>,
         dispatch: mpsc::Sender<ServeJob>,
         shared: Arc<SrvShared>,
+        gauge: Arc<DispatchGauge>,
+        shed: Arc<AtomicU64>,
     },
 }
 
@@ -450,6 +465,10 @@ struct Endpoint {
     latency: EndpointLatency,
     /// Pooled pipelined connections *to* this endpoint.
     conns: Vec<Arc<ClientConn>>,
+    /// Admission book for the endpoint's serve path (policy, live
+    /// dispatch depth, per-principal split); shared with every served
+    /// connection and with the dispatch workers.
+    gauge: Arc<DispatchGauge>,
 }
 
 struct Inner {
@@ -472,6 +491,8 @@ struct Inner {
     threads: Arc<AtomicUsize>,
     /// Responses discarded because no in-flight request matched.
     orphans: Arc<AtomicU64>,
+    /// Requests shed by admission control, transport-wide.
+    shed: Arc<AtomicU64>,
     /// Set when the last transport handle drops; reactors exit on
     /// their next wakeup, releasing listeners, sockets and services.
     shutdown: Arc<AtomicBool>,
@@ -527,6 +548,7 @@ impl TcpTransport {
                 dispatch: Mutex::new(None),
                 threads: Arc::new(AtomicUsize::new(0)),
                 orphans: Arc::new(AtomicU64::new(0)),
+                shed: Arc::new(AtomicU64::new(0)),
                 shutdown: Arc::new(AtomicBool::new(false)),
             }),
         }
@@ -971,6 +993,7 @@ impl Transport for TcpTransport {
                 stats: EndpointStats::default(),
                 latency: EndpointLatency::default(),
                 conns: Vec::new(),
+                gauge: Arc::new(DispatchGauge::new()),
             },
         );
         id
@@ -982,13 +1005,13 @@ impl Transport for TcpTransport {
             .set_nonblocking(true)
             .expect("non-blocking listener");
         let addr = listener.local_addr().expect("listener has an address");
-        let down = {
+        let (down, gauge) = {
             let mut endpoints = self.inner.endpoints.lock();
             let ep = endpoints
                 .get_mut(&id)
                 .expect("set_service on an unregistered endpoint");
             ep.addr = Some(addr);
-            ep.down.clone()
+            (ep.down.clone(), ep.gauge.clone())
         };
         let dispatch = self.dispatch_sender();
         let pool = self.reactor_pool();
@@ -998,6 +1021,8 @@ impl Transport for TcpTransport {
             down,
             service,
             dispatch,
+            gauge,
+            shed: self.inner.shed.clone(),
         });
     }
 
@@ -1034,9 +1059,11 @@ impl Transport for TcpTransport {
 
     fn reset_stats(&self) {
         *self.inner.stats.lock() = NetStats::default();
+        self.inner.shed.store(0, Ordering::SeqCst);
         for ep in self.inner.endpoints.lock().values_mut() {
             ep.stats = EndpointStats::default();
             ep.latency = EndpointLatency::default();
+            ep.gauge.reset_high_water();
         }
     }
 
@@ -1080,6 +1107,25 @@ impl Transport for TcpTransport {
     fn worker_threads(&self) -> usize {
         TcpTransport::worker_threads(self)
     }
+
+    fn set_overload_policy(&self, id: EndpointId, policy: Option<OverloadPolicy>) {
+        if let Some(ep) = self.inner.endpoints.lock().get(&id) {
+            ep.gauge.set_policy(policy);
+        }
+    }
+
+    fn dispatch_depth(&self, id: EndpointId) -> usize {
+        self.inner
+            .endpoints
+            .lock()
+            .get(&id)
+            .map(|e| e.gauge.high_water())
+            .unwrap_or(0)
+    }
+
+    fn shed_requests(&self) -> u64 {
+        self.inner.shed.load(Ordering::SeqCst)
+    }
 }
 
 /// Whether an I/O failure means the connection itself died (as a
@@ -1106,6 +1152,13 @@ struct ServeJob {
     payload: Vec<u8>,
     service: Arc<dyn WireService>,
     shared: Arc<SrvShared>,
+    /// The endpoint's admission book and this request's principal key
+    /// (present when an overload policy classified it). The worker
+    /// releases the slot right after execution — on every path,
+    /// including service panics and dead connections — so shed +
+    /// disconnect can never leak slots and wedge the endpoint.
+    gauge: Arc<DispatchGauge>,
+    admit_key: Option<u64>,
 }
 
 /// One computed response on its way back to its connection's reactor.
@@ -1160,6 +1213,11 @@ fn spawn_dispatch_pool(threads: &Arc<AtomicUsize>) -> mpsc::Sender<ServeJob> {
                         job.service.handle(EndpointId(job.from), &job.payload)
                     }))
                     .ok();
+                    // Release the admission slot before anything can
+                    // skip the result (dead connection, panic): the
+                    // endpoint-wide depth must drain even when the
+                    // requester is gone.
+                    job.gauge.release(job.admit_key);
                     if !job.shared.dead.load(Ordering::SeqCst) {
                         job.shared
                             .done
@@ -1200,6 +1258,8 @@ struct ListenerEntry {
     down: Arc<AtomicBool>,
     service: Arc<dyn WireService>,
     dispatch: mpsc::Sender<ServeJob>,
+    gauge: Arc<DispatchGauge>,
+    shed: Arc<AtomicU64>,
 }
 
 /// A response frame part-way through its write.
@@ -1216,6 +1276,8 @@ struct ServedEntry {
     service: Arc<dyn WireService>,
     dispatch: mpsc::Sender<ServeJob>,
     shared: Arc<SrvShared>,
+    gauge: Arc<DispatchGauge>,
+    shed: Arc<AtomicU64>,
     decoder: FrameDecoder,
     /// Requests dispatched but not yet fully answered on the wire —
     /// the [`SERVE_PIPELINE`] gate's counter.
@@ -1263,12 +1325,16 @@ fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
                     down,
                     service,
                     dispatch,
+                    gauge,
+                    shed,
                 } => Entry::Listener(ListenerEntry {
                     listener,
                     me,
                     down,
                     service,
                     dispatch,
+                    gauge,
+                    shed,
                 }),
                 Cmd::Served {
                     stream,
@@ -1277,6 +1343,8 @@ fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
                     service,
                     dispatch,
                     shared,
+                    gauge,
+                    shed,
                 } => Entry::Served(ServedEntry {
                     stream,
                     me,
@@ -1284,6 +1352,8 @@ fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
                     service,
                     dispatch,
                     shared,
+                    gauge,
+                    shed,
                     decoder: FrameDecoder::new(),
                     in_dispatch: 0,
                     cur: None,
@@ -1549,6 +1619,8 @@ fn handle_listener(l: &mut ListenerEntry, pool: &Arc<ReactorPool>) {
                     service: l.service.clone(),
                     dispatch: l.dispatch.clone(),
                     shared,
+                    gauge: l.gauge.clone(),
+                    shed: l.shed.clone(),
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -1621,12 +1693,37 @@ fn pump_served_decode(s: &mut ServedEntry) -> Result<(), ()> {
                     // process.
                     return Err(());
                 }
+                let admit_key = match s.gauge.admit(&frame.payload) {
+                    Ok(key) => key,
+                    Err(busy) => {
+                        // Shed: answer with the policy's busy payload
+                        // straight through the response queue — the
+                        // dispatch pool never sees the request, the
+                        // reader is never stalled, and the reply
+                        // drains like any other completion (its write
+                        // releases the in_dispatch slot it takes
+                        // here).
+                        s.shed.fetch_add(1, Ordering::Relaxed);
+                        s.shared
+                            .done
+                            .lock()
+                            .expect("served done queue")
+                            .push_back(SrvDone {
+                                corr: frame.correlation,
+                                response: Some(busy),
+                            });
+                        s.in_dispatch += 1;
+                        continue;
+                    }
+                };
                 let job = ServeJob {
                     from: frame.sender,
                     corr: frame.correlation,
                     payload: frame.payload,
                     service: s.service.clone(),
                     shared: s.shared.clone(),
+                    gauge: s.gauge.clone(),
+                    admit_key,
                 };
                 if s.dispatch.send(job).is_err() {
                     // Pool gone: the transport is unwinding.
@@ -2157,6 +2254,214 @@ mod tests {
             t0.elapsed() < Duration::from_millis(900),
             "teardown of 16 served endpoints took {:?}",
             t0.elapsed()
+        );
+    }
+
+    /// Policy for the overload tests: byte 0 of the payload is the
+    /// principal key; shed replies are `[0xBB]` + retry hint.
+    fn test_policy(max_depth: usize) -> OverloadPolicy {
+        OverloadPolicy {
+            max_depth,
+            retry_after_us: 1_500,
+            classify: Arc::new(|payload: &[u8]| u64::from(payload.first().copied().unwrap_or(0))),
+            busy_reply: Arc::new(|retry_after_us: u64| vec![0xBB, retry_after_us as u8]),
+        }
+    }
+
+    fn is_busy(payload: &[u8]) -> bool {
+        payload.first() == Some(&0xBB)
+    }
+
+    #[test]
+    fn saturated_endpoint_sheds_busy_within_bound_instead_of_stalling() {
+        // Far more in-flight than the dispatch queue admits, against a
+        // slow service: the overflow MUST come back as fast busy
+        // replies, not wedge behind the reader gate until timeout.
+        let transport = TcpTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(100));
+                payload.to_vec()
+            }),
+        );
+        transport.set_overload_policy(server, Some(test_policy(4)));
+        let client = transport.register("client", None);
+        let t0 = Instant::now();
+        let mut set = CompletionSet::new();
+        for i in 0..48u8 {
+            // Spread principals so the per-principal cap is not what
+            // triggers first; total depth is.
+            set.push(transport.submit(client, server, vec![i, 1]));
+        }
+        let results = set.wait_all();
+        let elapsed = t0.elapsed();
+        let mut served = 0usize;
+        let mut shed = 0usize;
+        for result in results {
+            let transfer = result.expect("saturation must answer, not error");
+            if is_busy(&transfer.payload) {
+                shed += 1;
+            } else {
+                served += 1;
+            }
+        }
+        assert!(served >= 1, "some requests must still be served");
+        assert!(shed >= 1, "overflow must be shed as busy replies");
+        assert_eq!(transport.shed_requests(), shed as u64);
+        // 48 requests at 100 ms each on 8 workers would be ~600 ms if
+        // everything queued; shedding keeps the tail bounded by the
+        // admitted depth, not the offered load.
+        assert!(
+            elapsed < Duration::from_millis(450),
+            "saturation wedged the pipeline: {elapsed:?}"
+        );
+        assert!(
+            transport.dispatch_depth(server) <= 4,
+            "admitted depth exceeded the policy cap"
+        );
+    }
+
+    #[test]
+    fn hot_principal_is_shed_before_quiet_one() {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(80));
+                payload.to_vec()
+            }),
+        );
+        // max_depth 8 → per-principal cap 4: principal 1 can hold at
+        // most half the queue.
+        transport.set_overload_policy(server, Some(test_policy(8)));
+        let hot = transport.register("hot", None);
+        let quiet = transport.register("quiet", None);
+        // The hot principal floods well past its cap...
+        let mut hot_set = CompletionSet::new();
+        for i in 0..24u8 {
+            hot_set.push(transport.submit(hot, server, vec![1, i]));
+        }
+        // ...then a quiet principal shows up while the flood is in
+        // flight: the fairness cap left it room, so it must be served.
+        thread::sleep(Duration::from_millis(10));
+        let quiet_transfer = transport
+            .call(quiet, server, vec![2, 0])
+            .expect("quiet principal must get through");
+        assert!(
+            !is_busy(&quiet_transfer.payload),
+            "quiet principal was shed while the hot one held the queue"
+        );
+        let mut hot_shed = 0usize;
+        for result in hot_set.wait_all() {
+            if is_busy(&result.unwrap().payload) {
+                hot_shed += 1;
+            }
+        }
+        assert!(
+            hot_shed >= 1,
+            "the flooding principal must be shed at its fairness cap"
+        );
+    }
+
+    #[test]
+    fn shed_plus_disconnect_releases_every_admission_slot() {
+        // Regression for the leaked-slot wedge: a client floods a tiny
+        // admission queue, then vanishes mid-burst without reading
+        // replies. Every admitted slot must drain (workers release
+        // unconditionally) so a later well-behaved caller is served,
+        // not shed forever.
+        let transport = TcpTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(50));
+                payload.to_vec()
+            }),
+        );
+        transport.set_overload_policy(server, Some(test_policy(2)));
+        let addr = transport.listen_addr(server).unwrap();
+        {
+            // Raw flood from outside the transport, then a hard cut
+            // with replies unread.
+            let mut raw = TcpStream::connect(addr).unwrap();
+            for corr in 0..16u64 {
+                write_frame(&mut raw, 77, corr, &[1, corr as u8]).unwrap();
+            }
+            // Give the server a moment to admit/shed the burst, then
+            // vanish without reading a single reply.
+            thread::sleep(Duration::from_millis(30));
+            let _ = raw.shutdown(Shutdown::Both);
+            drop(raw);
+        }
+        // Wait out the admitted requests' service time.
+        thread::sleep(Duration::from_millis(400));
+        let live_depth = transport
+            .inner
+            .endpoints
+            .lock()
+            .get(&server)
+            .unwrap()
+            .gauge
+            .current_depth();
+        assert_eq!(
+            live_depth, 0,
+            "admission slots leaked after the flooder disconnected"
+        );
+        let client = transport.register("client", None);
+        let transfer = transport
+            .call(client, server, vec![9, 9])
+            .expect("endpoint must still answer after the flooder died");
+        assert!(
+            !is_busy(&transfer.payload),
+            "leaked admission slots left the endpoint shedding forever"
+        );
+    }
+
+    #[test]
+    fn dispatch_depth_high_water_and_shed_reset_with_stats() {
+        let transport = TcpTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(40));
+                payload.to_vec()
+            }),
+        );
+        transport.set_overload_policy(server, Some(test_policy(2)));
+        let client = transport.register("client", None);
+        let mut set = CompletionSet::new();
+        for i in 0..12u8 {
+            set.push(transport.submit(client, server, vec![i, 0]));
+        }
+        for result in set.wait_all() {
+            result.unwrap();
+        }
+        assert!(transport.dispatch_depth(server) >= 1);
+        assert!(transport.shed_requests() >= 1);
+        transport.reset_stats();
+        assert_eq!(transport.dispatch_depth(server), 0);
+        assert_eq!(transport.shed_requests(), 0);
+    }
+
+    #[test]
+    fn endpoint_without_policy_never_sheds() {
+        let (transport, client, server) = echo_transport();
+        let mut set = CompletionSet::new();
+        for i in 0..64u8 {
+            set.push(transport.submit(client, server, vec![i]));
+        }
+        for result in set.wait_all() {
+            result.unwrap();
+        }
+        assert_eq!(transport.shed_requests(), 0);
+        assert!(
+            transport.dispatch_depth(server) >= 1,
+            "depth high-water is observed even without a policy"
         );
     }
 

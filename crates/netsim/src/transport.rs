@@ -53,6 +53,9 @@
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::{EndpointId, NetError, SimNet};
 use openflame_geo::LatLng;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The payload and per-call wire measurements of one completed call.
@@ -100,6 +103,170 @@ where
 {
     fn handle(&self, from: EndpointId, payload: &[u8]) -> Vec<u8> {
         self(from, payload)
+    }
+}
+
+/// Server-side admission control for one served endpoint.
+///
+/// When installed (via [`Transport::set_overload_policy`]), the serve
+/// path counts requests that are queued-or-executing in dispatch for
+/// the endpoint — across every connection — and **sheds** a request
+/// instead of dispatching it when admitting it would push the endpoint
+/// past [`OverloadPolicy::max_depth`], or would push one principal past
+/// its fairness share (half of `max_depth`, so a hot principal is shed
+/// first and can never starve the endpoint for everyone else). A shed
+/// request is answered immediately with the payload produced by
+/// [`OverloadPolicy::busy_reply`] (the mapserver stack encodes
+/// `Response::Busy { retry_after_us }`), which drains through the
+/// ordinary response path — the reader is never stalled behind a full
+/// dispatch queue, and the request is **not** executed, so clients may
+/// retry it safely (`docs/wire-protocol.md` §10).
+///
+/// The policy is transport-agnostic: `classify` maps a raw request
+/// payload to a principal key (the mapserver uses the envelope's
+/// principal prefix), so the netsim crate needs no knowledge of the
+/// RPC protocol above it. The simulator never sheds (its dispatch is
+/// inline and unbounded by construction) and ignores installed
+/// policies.
+#[derive(Clone)]
+pub struct OverloadPolicy {
+    /// Maximum requests queued-or-executing in dispatch for the
+    /// endpoint before further arrivals are shed.
+    pub max_depth: usize,
+    /// Backoff hint carried in shed replies, microseconds.
+    pub retry_after_us: u64,
+    /// Maps a request payload to its principal's admission key.
+    pub classify: ClassifyFn,
+    /// Builds the shed reply payload from `retry_after_us`.
+    pub busy_reply: BusyReplyFn,
+}
+
+/// Maps a raw request payload to its principal's admission key
+/// ([`OverloadPolicy::classify`]).
+pub type ClassifyFn = Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>;
+
+/// Builds a shed reply payload from the policy's `retry_after_us`
+/// ([`OverloadPolicy::busy_reply`]).
+pub type BusyReplyFn = Arc<dyn Fn(u64) -> Vec<u8> + Send + Sync>;
+
+impl OverloadPolicy {
+    /// The per-principal admission cap: half the endpoint's depth
+    /// (at least 1), so one hot principal can occupy at most half the
+    /// queue and a quiet principal always finds room.
+    pub fn principal_cap(&self) -> usize {
+        (self.max_depth / 2).max(1)
+    }
+}
+
+impl std::fmt::Debug for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverloadPolicy")
+            .field("max_depth", &self.max_depth)
+            .field("retry_after_us", &self.retry_after_us)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One served endpoint's admission book, shared between the serve path
+/// (admit/shed decisions), the dispatch workers (release on
+/// completion) and the [`Transport`] observability surface
+/// (`dispatch_depth`). Used by both real-socket backends; the
+/// simulator dispatches inline and has none.
+///
+/// `depth` counts requests admitted to dispatch and not yet executed;
+/// `by_principal` splits that count by the policy's `classify` key so
+/// fairness shedding can cap one hot principal at
+/// [`OverloadPolicy::principal_cap`]. Workers release slots
+/// unconditionally after executing a request — even when the request's
+/// connection has since died or its service panicked — so a
+/// disconnected flooder can never leave leaked slots wedging the
+/// endpoint shut.
+pub(crate) struct DispatchGauge {
+    policy: Mutex<Option<Arc<OverloadPolicy>>>,
+    depth: AtomicUsize,
+    depth_hw: AtomicUsize,
+    by_principal: Mutex<HashMap<u64, usize>>,
+}
+
+impl DispatchGauge {
+    pub(crate) fn new() -> Self {
+        Self {
+            policy: Mutex::new(None),
+            depth: AtomicUsize::new(0),
+            depth_hw: AtomicUsize::new(0),
+            by_principal: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn set_policy(&self, policy: Option<OverloadPolicy>) {
+        *self.policy.lock() = policy.map(Arc::new);
+    }
+
+    pub(crate) fn policy(&self) -> Option<Arc<OverloadPolicy>> {
+        self.policy.lock().clone()
+    }
+
+    /// Admits one request, charging the depth gauge (and, when a
+    /// policy is installed, the per-principal book after classifying
+    /// `payload`). Returns the principal key to hand back on release.
+    /// `Err(busy_payload)` means shed — the endpoint is at the
+    /// policy's `max_depth`, or this principal is at its fairness cap
+    /// while others still have room — and carries the ready-to-send
+    /// busy reply. Without a policy nothing is ever shed; the gauge
+    /// just observes depth.
+    pub(crate) fn admit(&self, payload: &[u8]) -> Result<Option<u64>, Vec<u8>> {
+        let key = match self.policy() {
+            Some(policy) => {
+                let key = (policy.classify)(payload);
+                let mut by_principal = self.by_principal.lock();
+                let shed = self.depth.load(Ordering::SeqCst) >= policy.max_depth
+                    || by_principal.get(&key).copied().unwrap_or(0) >= policy.principal_cap();
+                if shed {
+                    return Err((policy.busy_reply)(policy.retry_after_us));
+                }
+                *by_principal.entry(key).or_insert(0) += 1;
+                Some(key)
+            }
+            None => None,
+        };
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.depth_hw.fetch_max(depth, Ordering::SeqCst);
+        Ok(key)
+    }
+
+    /// Releases an admitted request's slot (called by the dispatch
+    /// worker right after execution, on every path including service
+    /// panics — never tied to the connection still being alive).
+    pub(crate) fn release(&self, key: Option<u64>) {
+        if let Some(key) = key {
+            let mut by_principal = self.by_principal.lock();
+            if let Some(slot) = by_principal.get_mut(&key) {
+                *slot -= 1;
+                if *slot == 0 {
+                    by_principal.remove(&key);
+                }
+            }
+        }
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests currently admitted (queued or executing). Test hook
+    /// for the leaked-slot regression tests.
+    #[cfg(test)]
+    pub(crate) fn current_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of [`DispatchGauge::current_depth`] since the
+    /// last reset.
+    pub(crate) fn high_water(&self) -> usize {
+        self.depth_hw.load(Ordering::SeqCst)
+    }
+
+    /// Clears the high-water mark (not the live depth — in-flight
+    /// requests still hold their slots).
+    pub(crate) fn reset_high_water(&self) {
+        self.depth_hw.store(0, Ordering::SeqCst);
     }
 }
 
@@ -300,6 +467,26 @@ pub trait Transport: Send + Sync {
     /// the thread budget alongside latency; the pipelining stress test
     /// asserts its ceiling.
     fn worker_threads(&self) -> usize {
+        0
+    }
+
+    /// Installs (or with `None`, removes) the admission-control policy
+    /// for a served endpoint. Backends without a bounded dispatch
+    /// queue — the simulator — ignore this and never shed.
+    fn set_overload_policy(&self, _id: EndpointId, _policy: Option<OverloadPolicy>) {}
+
+    /// High-water mark of the endpoint's dispatch depth (requests
+    /// queued-or-executing in the serve path) since the last
+    /// [`Transport::reset_stats`]. `0` on backends with inline
+    /// dispatch (the simulator).
+    fn dispatch_depth(&self, _id: EndpointId) -> usize {
+        0
+    }
+
+    /// Total requests shed by admission control across the transport
+    /// since the last [`Transport::reset_stats`]. `0` on backends that
+    /// never shed (the simulator).
+    fn shed_requests(&self) -> u64 {
         0
     }
 }

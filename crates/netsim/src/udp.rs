@@ -70,7 +70,9 @@
 
 use crate::reactor::{poll_fds, PollFd, Waker, POLLIN};
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
-use crate::transport::{CallHandle, PendingCall, Transfer, Transport, WireService};
+use crate::transport::{
+    CallHandle, DispatchGauge, OverloadPolicy, PendingCall, Transfer, Transport, WireService,
+};
 use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
 use openflame_codec::packet::{decode_packet, encode_packet, Packet, PacketType, PAYLOAD_MTU};
@@ -400,6 +402,8 @@ struct Wire {
     packets_received: AtomicU64,
     retransmits: AtomicU64,
     orphans: Arc<AtomicU64>,
+    /// Requests shed by admission control, transport-wide.
+    shed: AtomicU64,
     /// Live worker threads: the serve poller + dispatch workers, the
     /// client receiver, the RTO timer.
     threads: Arc<AtomicUsize>,
@@ -638,6 +642,10 @@ struct Endpoint {
     down: Arc<AtomicBool>,
     stats: EndpointStats,
     latency: EndpointLatency,
+    /// Admission book for the endpoint's serve path (policy, live
+    /// dispatch depth, per-principal split); shared with the serve
+    /// poller and the dispatch workers.
+    gauge: Arc<DispatchGauge>,
 }
 
 /// What a closed connection leaves behind for 0-RTT resumption: the
@@ -734,6 +742,7 @@ impl QuicLiteTransport {
                     packets_received: AtomicU64::new(0),
                     retransmits: AtomicU64::new(0),
                     orphans: Arc::new(AtomicU64::new(0)),
+                    shed: AtomicU64::new(0),
                     threads: Arc::new(AtomicUsize::new(0)),
                     conns: StdMutex::new(Vec::new()),
                     rto_started: AtomicBool::new(false),
@@ -1225,6 +1234,7 @@ impl Transport for QuicLiteTransport {
                 down: Arc::new(AtomicBool::new(false)),
                 stats: EndpointStats::default(),
                 latency: EndpointLatency::default(),
+                gauge: Arc::new(DispatchGauge::new()),
             },
         );
         id
@@ -1237,13 +1247,13 @@ impl Transport for QuicLiteTransport {
             .set_nonblocking(true)
             .expect("non-blocking serve socket");
         let addr = socket.local_addr().expect("socket has an address");
-        let down = {
+        let (down, gauge) = {
             let mut endpoints = self.inner.endpoints.lock();
             let ep = endpoints
                 .get_mut(&id)
                 .expect("set_service on an unregistered endpoint");
             ep.addr = Some(addr);
-            ep.down.clone()
+            (ep.down.clone(), ep.gauge.clone())
         };
         let dispatch = self.dispatch_sender();
         let serve = self.serve_shared();
@@ -1253,6 +1263,7 @@ impl Transport for QuicLiteTransport {
             down,
             service,
             dispatch,
+            gauge,
             conns: HashMap::new(),
             last_seen: HashMap::new(),
         });
@@ -1291,9 +1302,11 @@ impl Transport for QuicLiteTransport {
 
     fn reset_stats(&self) {
         *self.inner.wire.stats.lock() = NetStats::default();
+        self.inner.wire.shed.store(0, Ordering::SeqCst);
         for ep in self.inner.endpoints.lock().values_mut() {
             ep.stats = EndpointStats::default();
             ep.latency = EndpointLatency::default();
+            ep.gauge.reset_high_water();
         }
     }
 
@@ -1333,6 +1346,25 @@ impl Transport for QuicLiteTransport {
     fn worker_threads(&self) -> usize {
         QuicLiteTransport::worker_threads(self)
     }
+
+    fn set_overload_policy(&self, id: EndpointId, policy: Option<OverloadPolicy>) {
+        if let Some(ep) = self.inner.endpoints.lock().get(&id) {
+            ep.gauge.set_policy(policy);
+        }
+    }
+
+    fn dispatch_depth(&self, id: EndpointId) -> usize {
+        self.inner
+            .endpoints
+            .lock()
+            .get(&id)
+            .map(|e| e.gauge.high_water())
+            .unwrap_or(0)
+    }
+
+    fn shed_requests(&self) -> u64 {
+        self.inner.wire.shed.load(Ordering::SeqCst)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1352,6 +1384,13 @@ struct ServeJob {
     service: Arc<dyn WireService>,
     /// The connection to answer on (reliable, fragmented).
     conn: Arc<ConnState>,
+    /// The endpoint's admission book and this request's principal key
+    /// (present when an overload policy classified it). The worker
+    /// releases the slot right after execution — on every path,
+    /// including service panics — so a vanished requester can never
+    /// leak slots and wedge the endpoint.
+    gauge: Arc<DispatchGauge>,
+    admit_key: Option<u64>,
 }
 
 /// Spawns the transport-wide dispatch pool: [`SERVE_POOL`] workers
@@ -1387,6 +1426,10 @@ fn spawn_dispatch_pool(wire: &Arc<Wire>) -> mpsc::Sender<ServeJob> {
                     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         job.service.handle(EndpointId(job.from), &job.payload)
                     }));
+                    // Release the admission slot before the panic
+                    // check: the endpoint-wide depth must drain on
+                    // every execution path.
+                    job.gauge.release(job.admit_key);
                     let Ok(response) = response else { continue };
                     let mut frame = Vec::with_capacity(response.len() + FRAME_HEADER_LEN);
                     if write_frame(&mut frame, job.me, job.corr, &response).is_ok() {
@@ -1430,6 +1473,7 @@ struct ServeSock {
     down: Arc<AtomicBool>,
     service: Arc<dyn WireService>,
     dispatch: mpsc::Sender<ServeJob>,
+    gauge: Arc<DispatchGauge>,
     conns: HashMap<u64, Arc<ConnState>>,
     last_seen: HashMap<u64, Instant>,
 }
@@ -1546,6 +1590,22 @@ fn pump_serve_socket(wire: &Arc<Wire>, s: &mut ServeSock, buf: &mut [u8]) {
                         continue; // a crashed process answers nothing
                     }
                     if let Ok(frame) = read_frame(&mut &frame_bytes[..]) {
+                        let admit_key = match s.gauge.admit(&frame.payload) {
+                            Ok(key) => key,
+                            Err(busy) => {
+                                // Shed: the poller answers with the
+                                // policy's busy payload directly — the
+                                // dispatch pool never sees the request
+                                // and the reply rides the ordinary
+                                // reliable-send path.
+                                wire.shed.fetch_add(1, Ordering::Relaxed);
+                                let mut reply = Vec::with_capacity(busy.len() + FRAME_HEADER_LEN);
+                                if write_frame(&mut reply, s.me, frame.correlation, &busy).is_ok() {
+                                    wire.send_frame(conn, reply);
+                                }
+                                continue;
+                            }
+                        };
                         let job = ServeJob {
                             from: frame.sender,
                             corr: frame.correlation,
@@ -1553,6 +1613,8 @@ fn pump_serve_socket(wire: &Arc<Wire>, s: &mut ServeSock, buf: &mut [u8]) {
                             me: s.me,
                             service: s.service.clone(),
                             conn: conn.clone(),
+                            gauge: s.gauge.clone(),
+                            admit_key,
                         };
                         // Send failure means the transport is
                         // unwinding; nothing left to answer.
@@ -1873,6 +1935,183 @@ mod tests {
             );
             thread::sleep(Duration::from_millis(10));
         }
+    }
+
+    /// Policy for the overload tests: byte 0 of the payload is the
+    /// principal key; shed replies are `[0xBB]` + retry hint.
+    fn test_policy(max_depth: usize) -> OverloadPolicy {
+        OverloadPolicy {
+            max_depth,
+            retry_after_us: 1_500,
+            classify: Arc::new(|payload: &[u8]| u64::from(payload.first().copied().unwrap_or(0))),
+            busy_reply: Arc::new(|retry_after_us: u64| vec![0xBB, retry_after_us as u8]),
+        }
+    }
+
+    fn is_busy(payload: &[u8]) -> bool {
+        payload.first() == Some(&0xBB)
+    }
+
+    #[test]
+    fn saturated_endpoint_sheds_busy_within_bound_instead_of_stalling() {
+        let transport = QuicLiteTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(100));
+                payload.to_vec()
+            }),
+        );
+        transport.set_overload_policy(server, Some(test_policy(4)));
+        let client = transport.register("client", None);
+        let t0 = Instant::now();
+        let mut set = CompletionSet::new();
+        for i in 0..48u8 {
+            set.push(transport.submit(client, server, vec![i, 1]));
+        }
+        let results = set.wait_all();
+        let elapsed = t0.elapsed();
+        let mut served = 0usize;
+        let mut shed = 0usize;
+        for result in results {
+            let transfer = result.expect("saturation must answer, not error");
+            if is_busy(&transfer.payload) {
+                shed += 1;
+            } else {
+                served += 1;
+            }
+        }
+        assert!(served >= 1, "some requests must still be served");
+        assert!(shed >= 1, "overflow must be shed as busy replies");
+        assert_eq!(transport.shed_requests(), shed as u64);
+        // 48 requests at 100 ms on 4 workers would be ~1.2 s fully
+        // queued; shedding bounds the tail by the admitted depth.
+        assert!(
+            elapsed < Duration::from_millis(700),
+            "saturation wedged the dispatch queue: {elapsed:?}"
+        );
+        assert!(
+            transport.dispatch_depth(server) <= 4,
+            "admitted depth exceeded the policy cap"
+        );
+    }
+
+    #[test]
+    fn hot_principal_is_shed_before_quiet_one() {
+        let transport = QuicLiteTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(80));
+                payload.to_vec()
+            }),
+        );
+        // max_depth 8 → per-principal cap 4.
+        transport.set_overload_policy(server, Some(test_policy(8)));
+        let hot = transport.register("hot", None);
+        let quiet = transport.register("quiet", None);
+        let mut hot_set = CompletionSet::new();
+        for i in 0..24u8 {
+            hot_set.push(transport.submit(hot, server, vec![1, i]));
+        }
+        thread::sleep(Duration::from_millis(10));
+        let quiet_transfer = transport
+            .call(quiet, server, vec![2, 0])
+            .expect("quiet principal must get through");
+        assert!(
+            !is_busy(&quiet_transfer.payload),
+            "quiet principal was shed while the hot one held the queue"
+        );
+        let mut hot_shed = 0usize;
+        for result in hot_set.wait_all() {
+            if is_busy(&result.unwrap().payload) {
+                hot_shed += 1;
+            }
+        }
+        assert!(
+            hot_shed >= 1,
+            "the flooding principal must be shed at its fairness cap"
+        );
+    }
+
+    #[test]
+    fn shed_plus_vanished_requester_releases_every_admission_slot() {
+        // Regression for the leaked-slot wedge: flood a tiny admission
+        // queue with a service that panics on half the requests (the
+        // datagram analogue of a requester that will never read its
+        // answer), then verify the gauge drains to zero and a
+        // well-behaved caller is served, not shed forever.
+        let transport = QuicLiteTransport::new(7);
+        let server = transport.register("flaky", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(30));
+                assert_ne!(payload.get(1), Some(&1), "injected service bug");
+                payload.to_vec()
+            }),
+        );
+        transport.set_overload_policy(server, Some(test_policy(2)));
+        let client = transport.register("client", None);
+        transport.set_timeout_us(300_000);
+        let mut set = CompletionSet::new();
+        for i in 0..16u8 {
+            // Odd requests panic the service (answered with silence).
+            set.push(transport.submit(client, server, vec![i, i % 2]));
+        }
+        // Some complete, some time out (panicked ones): either way the
+        // workers must have released every admitted slot.
+        let _ = set.wait_all();
+        thread::sleep(Duration::from_millis(200));
+        let live_depth = transport
+            .inner
+            .endpoints
+            .lock()
+            .get(&server)
+            .unwrap()
+            .gauge
+            .current_depth();
+        assert_eq!(
+            live_depth, 0,
+            "admission slots leaked across panics/timeouts"
+        );
+        transport.set_timeout_us(2_000_000);
+        let transfer = transport
+            .call(client, server, vec![9, 0])
+            .expect("endpoint must still answer after the flood");
+        assert!(
+            !is_busy(&transfer.payload),
+            "leaked admission slots left the endpoint shedding forever"
+        );
+    }
+
+    #[test]
+    fn dispatch_depth_high_water_and_shed_reset_with_stats() {
+        let transport = QuicLiteTransport::new(7);
+        let server = transport.register("slow", None);
+        transport.set_service(
+            server,
+            Arc::new(|_from: EndpointId, payload: &[u8]| {
+                thread::sleep(Duration::from_millis(40));
+                payload.to_vec()
+            }),
+        );
+        transport.set_overload_policy(server, Some(test_policy(2)));
+        let client = transport.register("client", None);
+        let mut set = CompletionSet::new();
+        for i in 0..12u8 {
+            set.push(transport.submit(client, server, vec![i, 0]));
+        }
+        for result in set.wait_all() {
+            result.unwrap();
+        }
+        assert!(transport.dispatch_depth(server) >= 1);
+        assert!(transport.shed_requests() >= 1);
+        transport.reset_stats();
+        assert_eq!(transport.dispatch_depth(server), 0);
+        assert_eq!(transport.shed_requests(), 0);
     }
 
     #[test]

@@ -19,14 +19,19 @@
 //!    *recovered* by retransmission; only total loss fails — the
 //!    dedicated recovery test pins that.)
 
+use openflame_codec::{from_bytes, to_bytes};
 use openflame_core::{
     run_grocery_scenario_on, CentralizedProvider, ClientError, Deployment, DeploymentConfig,
-    LocalizeQuery, ProviderKind, RouteQuery, SearchQuery, SpatialProvider, TileQuery,
+    LocalizeQuery, ProviderKind, RouteQuery, SearchQuery, Session, SpatialProvider, TileQuery,
 };
 use openflame_localize::LocationCue;
-use openflame_netsim::BackendKind;
+use openflame_mapserver::protocol::{Envelope, Request, Response};
+use openflame_mapserver::Principal;
+use openflame_netsim::{BackendKind, EndpointId, WireService};
 use openflame_worldgen::{World, WorldConfig};
 use std::error::Error;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const BACKENDS: [BackendKind; 3] = [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite];
 
@@ -256,6 +261,98 @@ fn quiclite_deployment_recovers_injected_loss_by_retransmission() {
         "loss really was injected"
     );
     dep.transport.set_drop_probability(0.0);
+}
+
+/// A service that sheds its first `busy_first` envelopes with
+/// `Response::Busy { retry_after_us: 500 }` and then answers every
+/// batch item with a `Hello`-shaped reply. This is the cross-backend
+/// probe for the overload protocol (wire-protocol.md §10): the
+/// simulator installs no admission policy and never sheds on its own,
+/// so Busy parity is driven through the service layer, where all three
+/// backends must carry it identically.
+fn busy_then_serve(busy_first: u64) -> Arc<dyn WireService> {
+    let calls = Arc::new(AtomicU64::new(0));
+    Arc::new(move |_from: EndpointId, payload: &[u8]| {
+        if calls.fetch_add(1, Ordering::SeqCst) < busy_first {
+            return to_bytes(&Response::Busy {
+                retry_after_us: 500,
+            })
+            .to_vec();
+        }
+        let env: Envelope = from_bytes(payload).expect("well-formed envelope");
+        let Request::Batch(items) = env.request else {
+            panic!("sessions always batch");
+        };
+        let answers: Vec<Response> = items
+            .iter()
+            .map(|_| Response::PatchApplied { version: 1 })
+            .collect();
+        to_bytes(&Response::Batch(answers)).to_vec()
+    })
+}
+
+#[test]
+fn busy_sheds_behave_identically_on_every_backend() {
+    for backend in BACKENDS {
+        let transport = backend.build(21);
+        let client = transport.register("busy-parity-client", None);
+        let recovering = transport.register("recovering", None);
+        transport.set_service(recovering, busy_then_serve(2));
+        let wedged = transport.register("wedged", None);
+        transport.set_service(wedged, busy_then_serve(u64::MAX));
+        let session = Session::new(transport.clone(), client, Principal::anonymous());
+
+        // Two sheds then success: absorbed by the session's retry loop,
+        // invisible to the caller except through the stats.
+        let responses = session.batch(recovering, vec![Request::Hello]).unwrap();
+        assert_eq!(responses.len(), 1, "{backend:?}");
+        let absorbed = session.stats();
+        assert_eq!(absorbed.busy_rejections, 2, "{backend:?}");
+        assert_eq!(absorbed.busy_retries, 2, "{backend:?}");
+        assert_eq!(
+            absorbed.batches, 1,
+            "{backend:?}: retries are wire attempts, not new logical batches"
+        );
+
+        // A wedged server exhausts the retry budget and surfaces
+        // Overloaded with the server's hint — same error, same stat
+        // deltas, on every backend.
+        let err = session.batch(wedged, vec![Request::Hello]).unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Overloaded {
+                retry_after_us: 500
+            },
+            "{backend:?}"
+        );
+        let exhausted = session.stats();
+        assert_eq!(
+            exhausted.busy_rejections - absorbed.busy_rejections,
+            u64::from(openflame_core::BUSY_RETRY_BUDGET) + 1,
+            "{backend:?}"
+        );
+        assert_eq!(
+            exhausted.busy_retries - absorbed.busy_retries,
+            u64::from(openflame_core::BUSY_RETRY_BUDGET),
+            "{backend:?}"
+        );
+
+        // In a scatter round the exhausted branch fails alone: the
+        // healthy sibling's result is delivered, the wedged branch
+        // carries Overloaded.
+        let results = session.batch_parallel(vec![
+            (recovering, vec![Request::Hello]),
+            (wedged, vec![Request::Hello]),
+        ]);
+        assert!(results[0].is_ok(), "{backend:?}");
+        assert_eq!(
+            results[1],
+            Err(ClientError::Overloaded {
+                retry_after_us: 500
+            }),
+            "{backend:?}"
+        );
+    }
 }
 
 /// Warm up a venue route, kill the venue server, route again: the

@@ -29,7 +29,9 @@ pub mod workload;
 
 pub use city::build_outdoor;
 pub use venue::{build_grocery, build_mall_unit, Venue, VenueKind};
-pub use workload::{WalkSample, WalkTrace, ZipfSampler};
+pub use workload::{
+    generate_trace, OpKind, OpMix, PoissonArrivals, TraceEvent, WalkSample, WalkTrace, ZipfSampler,
+};
 
 use openflame_geo::{Affine2, LatLng, LocalFrame, Point2};
 use openflame_mapdata::{MapDocument, NodeId};

@@ -1,4 +1,4 @@
-//! E10 — §5.1: DNS federation spreads discovery load across zone
+//! E10 — paper §5.1: DNS federation spreads discovery load across zone
 //! servers instead of concentrating it on one provider endpoint.
 //!
 //! `cargo run --release -p openflame-bench --bin e10_dnsload`
@@ -96,7 +96,7 @@ fn main() {
         ]);
     }
     println!(
-        "\npaper claim (§5.1): repurposing the federated DNS inherits its\n\
+        "\npaper claim (paper §5.1): repurposing the federated DNS inherits its\n\
          \"large-scale deployments and infrastructure\". Expected shape: the\n\
          per-shard maximum drops as shards are added, because each shard\n\
          is authoritative for a disjoint set of cell zones. The parent\n\

@@ -90,7 +90,7 @@ fn main() {
         ]);
     }
     println!(
-        "\nablation rationale (§5.1 cites S2/H3): cube-face cells keep nearly\n\
+        "\nablation rationale (paper §5.1 cites S2/H3): cube-face cells keep nearly\n\
          constant ground size and aspect at every latitude, so a venue costs\n\
          the same number of DNS records in Singapore and in Tromsø; geohash\n\
          rectangles flatten toward the poles, inflating record counts and\n\

@@ -1,6 +1,6 @@
 //! E12 — ablations of two client-side design choices:
-//! (a) neighbor-cell expansion during discovery (fuzzy boundaries, §3);
-//! (b) the query-level/covering-level naming contract (§5.1).
+//! (a) neighbor-cell expansion during discovery (fuzzy boundaries, paper §3);
+//! (b) the query-level/covering-level naming contract (paper §5.1).
 //!
 //! `cargo run --release -p openflame-bench --bin e12_ablation`
 
@@ -93,6 +93,6 @@ fn main() {
          single-cell lookup misses, for ~5 lookups instead of 1; (b) queries\n\
          at or finer than the covering level succeed (wildcards match\n\
          descendants), queries coarser than the covering level fail — the\n\
-         naming contract the §5.1 design must respect."
+         naming contract the paper §5.1 design must respect."
     );
 }

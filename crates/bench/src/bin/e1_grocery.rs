@@ -1,4 +1,4 @@
-//! E1 — Figures 1 & 2 + §2: only the federation completes the grocery
+//! E1 — Figures 1 & 2 + paper §2: only the federation completes the grocery
 //! errand (find product, navigate to the shelf, localize indoors).
 //!
 //! `cargo run --release -p openflame-bench --bin e1_grocery`

@@ -1,4 +1,4 @@
-//! E2 — §5.1: DNS discovery is fast because of ubiquitous caching.
+//! E2 — paper §5.1: DNS discovery is fast because of ubiquitous caching.
 //!
 //! 2,000 discovery queries with Zipf-distributed locality over venue
 //! locations, comparing a caching resolver against the same resolver

@@ -1,4 +1,4 @@
-//! E3 — §3/§5.1: fuzzy map boundaries tolerate coarse coverings; the
+//! E3 — paper §3/paper §5.1: fuzzy map boundaries tolerate coarse coverings; the
 //! covering level trades DNS records against discovery false positives.
 //!
 //! `cargo run --release -p openflame-bench --bin e3_covering`

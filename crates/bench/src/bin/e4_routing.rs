@@ -1,4 +1,4 @@
-//! E4 — §4.1 + §5.2: (a) contraction hierarchies make centralized
+//! E4 — paper §4.1 + paper §5.2: (a) contraction hierarchies make centralized
 //! routing queries fast; (b) federated stitched routes match the
 //! centralized optimum.
 //!
@@ -168,12 +168,12 @@ fn stitching_quality() {
         format!("{:.0}", mean(&fed_msgs)),
     ]);
     println!(
-        "\npaper claim (§5.2): the client stitches per-server paths \"such that\n\
+        "\npaper claim (paper §5.2): the client stitches per-server paths \"such that\n\
          the final path optimizes a metric of interest\". Expected shape:\n\
          ratio ≈ 1.0. Ratios slightly below 1 are honest: the stitched cost\n\
          cannot include the doorway seam between the outdoor portal node\n\
          and the venue entrance (their relative placement is exactly the\n\
-         alignment information a federated client does not have, §3);\n\
+         alignment information a federated client does not have, paper §3);\n\
          the centralized optimum pays that seam explicitly."
     );
 }

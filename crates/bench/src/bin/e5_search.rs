@@ -1,4 +1,4 @@
-//! E5 — §5.2: scatter/gather search with client-side rank fusion works
+//! E5 — paper §5.2: scatter/gather search with client-side rank fusion works
 //! on federated maps: recall matches a centralized index, latency grows
 //! gently with fan-out.
 //!
@@ -100,7 +100,7 @@ fn main() {
         ]);
     }
     println!(
-        "\npaper claim (§5.2): the client asks each discovered server and ranks\n\
+        "\npaper claim (paper §5.2): the client asks each discovered server and ranks\n\
          the merged results. Expected shape: federated recall@1 tracks the\n\
          centralized index (duplicate product names across stores are legal\n\
          alternates); latency and message count grow with the number of\n\

@@ -1,4 +1,4 @@
-//! E6 — §2/§5.2: indoor localization requires the venue's map server;
+//! E6 — paper §2/paper §5.2: indoor localization requires the venue's map server;
 //! client-side fusion with dead reckoning picks the best of both.
 //!
 //! Walks outdoor→indoor traces and scores, per technology:
@@ -140,7 +140,7 @@ fn main() {
         let _ = mean(&errs);
     }
     println!(
-        "\npaper claim (§2): GPS availability \"is limited to outdoor\n\
+        "\npaper claim (paper §2): GPS availability \"is limited to outdoor\n\
          locations\"; the venue's own localization service covers indoors.\n\
          Expected shape: GNSS indoor availability 0%; beacon indoor\n\
          availability ~100% with meter-level error improving with density;\n\

@@ -1,4 +1,4 @@
-//! E7 — §5.2 (MapCruncher, paper ref. 8): cross-frame tile stitching from manual
+//! E7 — paper §5.2 (MapCruncher, paper ref. 8): cross-frame tile stitching from manual
 //! correspondences, plus tile-render throughput.
 //!
 //! `cargo run --release -p openflame-bench --bin e7_tiles`
@@ -101,11 +101,11 @@ fn main() {
         ]);
     }
     println!(
-        "\npaper claim (§5.2): stitching maps in different coordinate systems\n\
+        "\npaper claim (paper §5.2): stitching maps in different coordinate systems\n\
          \"can be done using manual correspondences between maps (e.g.,\n\
          MapCruncher)\". Expected shape: RMSE drops steeply from 2→4\n\
          correspondences and flattens near the survey noise floor (~0.3 m);\n\
          pre-rendered (cached) tiles are orders of magnitude cheaper than\n\
-         fresh renders (§4.1)."
+         fresh renders (paper §4.1)."
     );
 }

@@ -1,4 +1,4 @@
-//! E8 — §5.3: federation enables fine-grained access control that a
+//! E8 — paper §5.3: federation enables fine-grained access control that a
 //! centralized provider cannot express; enforcing it is cheap.
 //!
 //! `cargo run --release -p openflame-bench --bin e8_security`
@@ -177,7 +177,7 @@ fn main() {
     row(&["checks".into(), "allowed".into(), "ns/check".into()]);
     row(&[format!("{n}"), format!("{allowed}"), format!("{ns:.0}")]);
     println!(
-        "\npaper claim (§5.3): federated providers \"can control access to\n\
+        "\npaper claim (paper §5.3): federated providers \"can control access to\n\
          their data and services in fine-grained ways\". Expected shape:\n\
          the federation exposes only the public venues' inventory to an\n\
          anonymous harvester (0 private items), the centralized provider\n\

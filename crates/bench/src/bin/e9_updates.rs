@@ -1,4 +1,4 @@
-//! E9 — §1/§3: federation scales map management — venues update their
+//! E9 — paper §1/paper §3: federation scales map management — venues update their
 //! own maps independently; a centralized pipeline serializes ingestion
 //! over the global map.
 //!
@@ -111,7 +111,7 @@ fn main() {
         println!();
     }
     println!(
-        "paper claim (§1): \"surveying this space will likely be impractical\n\
+        "paper claim (paper §1): \"surveying this space will likely be impractical\n\
          for any single centralized organization\" — operationally, each\n\
          centralized edit pays for the global map (index rebuild over the\n\
          whole city), while a venue edit pays only for the venue. Expected\n\

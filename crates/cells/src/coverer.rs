@@ -1,6 +1,6 @@
 //! Approximating geographic regions by sets of cells.
 //!
-//! A map server's zone (§3) is registered in the discovery layer as a
+//! A map server's zone (paper §3) is registered in the discovery layer as a
 //! covering: a small set of cells whose union contains the zone. The
 //! coverer here mirrors the structure of S2's `RegionCoverer`: start from
 //! the face cells, recursively refine cells that straddle the region

@@ -1,6 +1,6 @@
 //! Hierarchical spatial cell index for OpenFLAME discovery.
 //!
-//! The paper's discovery layer (§5.1) repurposes the DNS as a spatial
+//! The paper's discovery layer (paper §5.1) repurposes the DNS as a spatial
 //! database by converting locations into hierarchical names via a spatial
 //! indexing system such as S2 or H3. This crate implements an S2-style
 //! index from scratch:

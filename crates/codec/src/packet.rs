@@ -34,7 +34,7 @@
 //!
 //! All integers are little-endian. The full datagram binding
 //! (handshake, acknowledgement, retransmission and resumption rules) is
-//! specified in `docs/wire-protocol.md` §6.
+//! specified in `docs/wire-protocol.md` spec §6.
 
 use std::io;
 

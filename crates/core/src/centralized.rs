@@ -1,12 +1,12 @@
 //! The Figure-1 centralized baseline.
 //!
 //! "Today's spatial naming systems are digital maps like Google and
-//! Apple maps ... supported by centralized infrastructures" (§1). The
+//! Apple maps ... supported by centralized infrastructures" (paper §1). The
 //! baseline serves the same client-facing services from a single
 //! monolithic map. Two flavors matter for the evaluation:
 //!
 //! - [`CentralizedProvider::public_only`] — outdoor public data only.
-//!   This is the *realistic* centralized provider: §2 argues exactly
+//!   This is the *realistic* centralized provider: paper §2 argues exactly
 //!   that store inventory and indoor maps "would not be part of the map
 //!   database".
 //! - [`CentralizedProvider::omniscient`] — every venue merged into the
@@ -330,7 +330,7 @@ impl SpatialProvider for CentralizedProvider {
     fn localize(&self, query: LocalizeQuery) -> Result<LocalizeOutcome, ClientError> {
         let scope = StatScope::begin(self.session.transport().as_ref());
         // Send only the cues the server's advertisement accepts — for a
-        // centralized outdoor map that is GNSS and nothing else (§2:
+        // centralized outdoor map that is GNSS and nothing else (paper §2:
         // coverage stops at the door). No accepted cues, no wire call.
         let techs = self
             .session
@@ -425,7 +425,10 @@ mod tests {
                 5,
             )
             .unwrap();
-        assert!(hits.is_empty(), "§2: centralized maps lack store inventory");
+        assert!(
+            hits.is_empty(),
+            "paper §2: centralized maps lack store inventory"
+        );
         // But it knows outdoor POIs.
         let poi = public
             .server

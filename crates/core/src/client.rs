@@ -1,4 +1,4 @@
-//! The OpenFLAME client: federated location-based services (§5.2).
+//! The OpenFLAME client: federated location-based services (paper §5.2).
 //!
 //! "In OpenFLAME, the client device first has to discover relevant map
 //! servers and request the required services from these map servers,
@@ -76,7 +76,7 @@ pub struct RouteLeg {
     pub anchored: bool,
 }
 
-/// An end-to-end route stitched from per-server legs (§5.2).
+/// An end-to-end route stitched from per-server legs (paper §5.2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FederatedRoute {
     /// Legs in travel order.
@@ -133,7 +133,7 @@ impl OpenFlameClientBuilder {
         Self::default()
     }
 
-    /// The identity attached to requests (§5.3 ACLs).
+    /// The identity attached to requests (paper §5.3 ACLs).
     pub fn principal(mut self, principal: Principal) -> Self {
         self.principal = principal;
         self
@@ -380,7 +380,7 @@ impl OpenFlameClient {
 
     /// Retries failed fleet branches on sibling replicas. **Idempotent
     /// requests only** — the caller vouches for the request kind
-    /// (`docs/wire-protocol.md` §7, §9). Each failed branch's endpoint
+    /// (`docs/wire-protocol.md` spec §7, spec §9). Each failed branch's endpoint
     /// is dead-listed and its discovery-cache cell invalidated, so the
     /// dead replica is not re-consulted from cache; the branch then
     /// retries on the first untried live sibling, round after round,
@@ -433,7 +433,7 @@ impl OpenFlameClient {
     }
 
     // ----------------------------------------------------------------
-    // Federated services (§5.2).
+    // Federated services (paper §5.2).
     // ----------------------------------------------------------------
 
     /// Federated location-based search: scatter one batched envelope to
@@ -552,7 +552,7 @@ impl OpenFlameClient {
                 Slot::Cold(i) => second[i].take().expect("claimed once"),
             })
             .collect();
-        // Replica failover: search is idempotent (wire-protocol §7), so
+        // Replica failover: search is idempotent (wire-protocol spec §7), so
         // a failed fleet branch may retry on a sibling replica. The
         // failed endpoint is dead-listed and its discovery cell
         // invalidated; provenance follows the answering replica.
@@ -572,7 +572,7 @@ impl OpenFlameClient {
                     answered += 1;
                     results
                 }
-                // A §5.3 denial is an answer — skip it, the show goes
+                // A paper §5.3 denial is an answer — skip it, the show goes
                 // on with the rest of the federation.
                 Ok(Some(Response::Error { .. })) => {
                     answered += 1;
@@ -630,7 +630,7 @@ impl OpenFlameClient {
                 failures,
             });
         }
-        // Client-side rank fusion (§5.2: "the client would then rank
+        // Client-side rank fusion (paper §5.2: "the client would then rank
         // results from multiple map servers"). RRF merges the
         // heterogeneous per-server rankings; a client-side relevance
         // check against the query then dominates, so an exact match from
@@ -659,7 +659,7 @@ impl OpenFlameClient {
 
     /// Federated forward geocode: coarse lookup on the world provider,
     /// then refinement by servers discovered at the coarse location
-    /// (§5.2), one batched envelope per refining server.
+    /// (paper §5.2), one batched envelope per refining server.
     pub fn federated_geocode(
         &self,
         address: &str,
@@ -752,7 +752,7 @@ impl OpenFlameClient {
 
     /// Federated reverse geocode: ask every discovered *anchored*
     /// server to name the position, best score wins. Unaligned venue
-    /// maps cannot interpret a geographic position (§3) and are
+    /// maps cannot interpret a geographic position (paper §3) and are
     /// skipped without a wire call.
     pub fn federated_reverse_geocode(
         &self,
@@ -801,7 +801,7 @@ impl OpenFlameClient {
                     }
                 }
                 // A server answering "nothing nearby" or denying the
-                // service (§5.3) has spoken; only wire failures count
+                // service (paper §5.3) has spoken; only wire failures count
                 // toward total-blackout detection.
                 Ok(_) => answered += 1,
                 Err(e) => failures.push((idx, e)),
@@ -820,7 +820,7 @@ impl OpenFlameClient {
 
     /// Routes from a street position to a search result, stitching an
     /// outdoor leg and (if the target is in a venue) an indoor leg at
-    /// the portal the §5.2 dynamic program selects. The per-portal
+    /// the portal the paper §5.2 dynamic program selects. The per-portal
     /// probes are coalesced into batched envelopes: one nearest-node
     /// batch, one concurrent matrix round, one concurrent leg round.
     pub fn federated_route(
@@ -955,7 +955,7 @@ impl OpenFlameClient {
             .next()
             .expect("one item sent"),
         )?;
-        // The §5.2 stitching DP selects the portal.
+        // The paper §5.2 stitching DP selects the portal.
         let plan = stitch_legs(&[
             LegMatrix::new(outdoor_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
             LegMatrix::new(venue_matrix).map_err(|e| ClientError::Protocol(e.to_string()))?,
@@ -1010,7 +1010,7 @@ impl OpenFlameClient {
     /// Federated localization: send each discovered server the cues its
     /// advertisement accepts — one batched envelope per server, in one
     /// concurrent round — gather estimates, best (smallest error) first
-    /// (§5.2).
+    /// (paper §5.2).
     pub fn federated_localize(
         &self,
         coarse: LatLng,
@@ -1070,7 +1070,7 @@ impl OpenFlameClient {
         // positionally first) carry estimates.
         results.truncate(targets.len());
         // Replica failover: localization is idempotent (wire-protocol
-        // §7) — a failed fleet branch retries on a sibling replica,
+        // spec §7) — a failed fleet branch retries on a sibling replica,
         // which accepts the same cues (services are advertised
         // group-wide).
         self.failover_fleet(&mut targets, &mut results, |server| {
@@ -1090,7 +1090,7 @@ impl OpenFlameClient {
                         out.push((target.server.clone(), e));
                     }
                 }
-                // No fix and §5.3 denials are answers; only wire
+                // No fix and paper §5.3 denials are answers; only wire
                 // failures count toward total-blackout detection.
                 Ok(_) => answered += 1,
                 Err(e) => {
@@ -1114,7 +1114,7 @@ impl OpenFlameClient {
 
     /// Federated tiles: fetch the tile covering `center` at zoom `z`
     /// from every discovered server — one batched envelope each, in one
-    /// concurrent round — and compose them (§5.2).
+    /// concurrent round — and compose them (paper §5.2).
     pub fn federated_tile(&self, center: LatLng, z: u8) -> Result<Tile, ClientError> {
         Ok(self.tile_impl(center, z)?.0)
     }

@@ -310,7 +310,7 @@ impl Deployment {
 
     /// Registers a venue fleet: one `FLEETSRV` record per covering
     /// cell, carrying the full replica-set + shard-map advertisement
-    /// (`docs/wire-protocol.md` §9). Fleet venues do **not** get
+    /// (`docs/wire-protocol.md` spec §9). Fleet venues do **not** get
     /// per-replica `MAPSRV` records — the client's shard-aware scatter
     /// is the only path to them, which keeps wire cost a function of
     /// shards consulted rather than fleet size.

@@ -1,4 +1,4 @@
-//! Map-server discovery through the DNS (§5.1).
+//! Map-server discovery through the DNS (paper §5.1).
 //!
 //! "The discovery query would involve the coarse location of the device
 //! obtained from ubiquitous sources like the GPS. The discovery system
@@ -7,17 +7,17 @@
 //!
 //! The client converts its coarse location to the canonical query cell,
 //! resolves that cell's `MAPSRV` records through a caching resolver, and
-//! — because map boundaries are fuzzy (§3) — optionally repeats the
+//! — because map boundaries are fuzzy (paper §3) — optionally repeats the
 //! lookup for the cell's edge neighbors, deduplicating the result.
 
 use crate::fleet::{DiscoveryView, FleetShardView, FleetView};
 use crate::ClientError;
 use openflame_cells::CellId;
+use openflame_diag::{ranks, OrderedMutex};
 use openflame_dns::{DnsError, DomainName, RecordData, RecordType, Resolver};
 use openflame_geo::LatLng;
 use openflame_mapserver::naming::{cell_to_name, QUERY_LEVEL};
 use openflame_netsim::EndpointId;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A discovered map server.
@@ -56,7 +56,7 @@ pub struct DiscoveryStats {
 /// The discovery layer: location → map servers.
 pub struct DiscoveryClient {
     resolver: Arc<Resolver>,
-    stats: Mutex<DiscoveryStats>,
+    stats: OrderedMutex<DiscoveryStats>,
 }
 
 impl DiscoveryClient {
@@ -64,7 +64,7 @@ impl DiscoveryClient {
     pub fn new(resolver: Arc<Resolver>) -> Self {
         Self {
             resolver,
-            stats: Mutex::new(DiscoveryStats::default()),
+            stats: OrderedMutex::new(ranks::DISCOVERY_STATS, DiscoveryStats::default()),
         }
     }
 

@@ -16,7 +16,7 @@
 //!   ([`Transport::endpoint_latency`]).
 //! - **Failover**: when a consulted replica fails at the wire, the
 //!   client retries the branch on a sibling replica — for *idempotent*
-//!   requests only (`docs/wire-protocol.md` §7) — and marks the dead
+//!   requests only (`docs/wire-protocol.md` spec §7) — and marks the dead
 //!   endpoint so it is not re-consulted until its dead-list entry ages
 //!   out. Only a fully-down shard surfaces
 //!   [`ClientError::PartialFailure`](crate::ClientError::PartialFailure),
@@ -32,10 +32,10 @@
 
 use crate::discovery::DiscoveredServer;
 use openflame_cells::{CellId, Region};
+use openflame_diag::{ranks, OrderedMutex};
 use openflame_geo::LatLng;
 use openflame_netsim::{EndpointId, Transport};
 use openflame_worldgen::World;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// How long a replica that failed at the wire stays off the candidate
@@ -112,10 +112,17 @@ impl DiscoveryView {
 /// Latency knowledge itself lives in the transport
 /// ([`Transport::endpoint_latency`]); this struct only remembers who
 /// recently failed.
-#[derive(Default)]
 pub struct FleetSelector {
     /// endpoint → transport-clock instant at which it may be retried.
-    dead: Mutex<HashMap<EndpointId, u64>>,
+    dead: OrderedMutex<HashMap<EndpointId, u64>>,
+}
+
+impl Default for FleetSelector {
+    fn default() -> Self {
+        Self {
+            dead: OrderedMutex::new(ranks::FLEET_DEAD, HashMap::new()),
+        }
+    }
 }
 
 impl FleetSelector {

@@ -5,7 +5,7 @@
 //! the paper contrasts, and — the point of the exercise — puts them
 //! behind **one** service abstraction:
 //!
-//! - [`SpatialProvider`] is the client-facing API of §4: `geocode`,
+//! - [`SpatialProvider`] is the client-facing API of paper §4: `geocode`,
 //!   `reverse_geocode`, `search`, `route`, `localize` and `tile`, each
 //!   taking a typed query and returning a typed outcome that carries
 //!   provenance (which server answered) and per-call wire statistics.
@@ -16,7 +16,7 @@
 //!   by discovering map servers through DNS ([`DiscoveryClient`]),
 //!   scattering requests across them and stitching results on the
 //!   client (rank-fused search, portal-stitched routing, plausibility
-//!   localization, tile composition — §5.2).
+//!   localization, tile composition — paper §5.2).
 //! - **Figure 1 — centralized**: [`CentralizedProvider`] implements the
 //!   same trait from a single monolithic map, in two flavors:
 //!   `public_only` (outdoor data only — the realistic Google-Maps
@@ -123,7 +123,7 @@
 //!   ([`Transport::endpoint_latency`](openflame_netsim::Transport::endpoint_latency)),
 //!   deterministic on a fresh book so every backend picks alike. A
 //!   replica that fails at the wire is retried on a sibling — for
-//!   idempotent requests only (`docs/wire-protocol.md` §7) — and
+//!   idempotent requests only (`docs/wire-protocol.md` spec §7) — and
 //!   dead-listed; the session's per-cell discovery cache is invalidated
 //!   so the dead replica is not re-consulted from cache. Only a fully
 //!   down **shard** surfaces [`ClientError::PartialFailure`], sources
@@ -142,7 +142,7 @@
 //! fairness share of the queue — the overflow request is answered
 //! *immediately* with a retryable `Response::Busy { retry_after_us }`
 //! instead of queueing behind seconds of work (`docs/wire-protocol.md`
-//! §10). The [`Session`] absorbs `Busy` transparently: it re-submits
+//! spec §10). The [`Session`] absorbs `Busy` transparently: it re-submits
 //! the identical envelope after a capped exponential backoff seeded by
 //! the server's hint (deterministically jittered, so colliding clients
 //! desynchronize), counts the shed/retry traffic in [`SessionStats`],
@@ -160,7 +160,7 @@
 //!
 //! [`Deployment`] stands up a complete world — DNS hierarchy, resolver,
 //! outdoor provider, one map server per venue — in one call on either
-//! backend, and [`scenario`] runs the §2 grocery end-to-end scenario
+//! backend, and [`scenario`] runs the paper §2 grocery end-to-end scenario
 //! over any `&dyn SpatialProvider`.
 //!
 //! # Quick example
@@ -236,7 +236,7 @@ pub enum ClientError {
     /// The requested object could not be found.
     NotFound(String),
     /// The server shed the request under load (`Response::Busy`, wire
-    /// protocol §10) and the session's retry budget is exhausted. The
+    /// protocol spec §10) and the session's retry budget is exhausted. The
     /// hint is the server's *last* suggested wait — callers that retry
     /// later should wait at least this long.
     Overloaded {

@@ -1,4 +1,4 @@
-//! The unified location-based-service abstraction (§4).
+//! The unified location-based-service abstraction (paper §4).
 //!
 //! The paper's core claim is that a federation of map servers can
 //! serve the *same* services as a centralized map. [`SpatialProvider`]
@@ -214,7 +214,7 @@ pub struct TileOutcome {
     pub stats: CallStats,
 }
 
-/// The §4 location-based services, implemented by both the federated
+/// The paper §4 location-based services, implemented by both the federated
 /// client and the centralized baseline (see module docs).
 pub trait SpatialProvider {
     /// A short human-readable identifier for reports.

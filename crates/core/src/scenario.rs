@@ -1,4 +1,4 @@
-//! The §2 grocery-navigation scenario, end to end.
+//! The paper §2 grocery-navigation scenario, end to end.
 //!
 //! "A user wishes to search for a product of interest, e.g., a
 //! particular flavor of seaweed, near their location. The application
@@ -168,7 +168,7 @@ fn localization_cues(
     out
 }
 
-/// The provider-agnostic §2 flow (see module docs).
+/// The provider-agnostic paper §2 flow (see module docs).
 fn run_with_provider(
     provider: &dyn SpatialProvider,
     transport: &dyn Transport,
@@ -193,7 +193,7 @@ fn run_with_provider(
     let top_hit = match search {
         Ok(outcome) => outcome.hits.into_iter().next(),
         // A provider with no data for the query still runs the rest of
-        // the errand (the §2 status quo).
+        // the errand (the paper §2 status quo).
         Err(ClientError::NothingDiscovered(_)) | Err(ClientError::NotFound(_)) => None,
         Err(e) => return Err(e),
     };
@@ -228,7 +228,7 @@ fn run_with_provider(
             Err(_) => (None, false),
         }
     } else {
-        // Fall back to routing to the storefront (the §2 status quo:
+        // Fall back to routing to the storefront (the paper §2 status quo:
         // guidance stops at the door).
         let storefront = provider
             .search(SearchQuery {
@@ -342,7 +342,10 @@ mod tests {
     fn centralized_public_fails_indoors() {
         let report =
             run_grocery_scenario(&world(), ProviderKind::CentralizedPublic, 3, 11).unwrap();
-        assert!(!report.found_product, "§2: no inventory in the public map");
+        assert!(
+            !report.found_product,
+            "paper §2: no inventory in the public map"
+        );
         assert!(!report.route_reaches_shelf);
         assert_eq!(report.indoor_median_err_m, None);
         assert_eq!(report.indoor_availability, 0.0);
@@ -359,7 +362,7 @@ mod tests {
             report.route_reaches_shelf,
             "and the merged graph routes to it"
         );
-        // But localization still dies at the door (§2's sharpest point).
+        // But localization still dies at the door (paper §2's sharpest point).
         assert_eq!(report.indoor_median_err_m, None);
     }
 

@@ -18,7 +18,7 @@
 //!   cell, so a client localizing every few seconds does not re-resolve
 //!   the same cell through DNS each time.
 //! - **Busy absorption**: a server that sheds the envelope under load
-//!   answers `Response::Busy { retry_after_us }` (wire protocol §10)
+//!   answers `Response::Busy { retry_after_us }` (wire protocol spec §10)
 //!   instead of an answer. The session re-submits the identical
 //!   envelope after a capped exponential backoff seeded by the server's
 //!   hint — deterministically jittered per `(client, server, attempt)`,
@@ -50,11 +50,11 @@
 use crate::fleet::DiscoveryView;
 use crate::ClientError;
 use openflame_codec::{from_bytes, to_bytes};
+use openflame_diag::{ranks, OrderedMutex};
 use openflame_mapdata::NodeId;
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response, WireRoute};
 use openflame_mapserver::Principal;
 use openflame_netsim::{CallHandle, EndpointId, Transport};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -128,7 +128,7 @@ pub struct SessionStats {
     pub hello_cache_len: u64,
     /// Live (unexpired) discovery-cache entries at snapshot time.
     pub discovery_cache_len: u64,
-    /// `Busy` sheds received from servers (wire protocol §10), counting
+    /// `Busy` sheds received from servers (wire protocol spec §10), counting
     /// every attempt — a call shed 3 times then served adds 3.
     pub busy_rejections: u64,
     /// Envelopes re-submitted after a backoff because the previous
@@ -201,15 +201,15 @@ type DiscoveryCache = HashMap<DiscoveryKey, Cached<DiscoveryView>>;
 pub struct Session {
     transport: Arc<dyn Transport>,
     endpoint: EndpointId,
-    principal: Mutex<Principal>,
+    principal: OrderedMutex<Principal>,
     ttl_us: AtomicU64,
     cache_cap: AtomicUsize,
     /// Monotonic insertion counter shared by both caches (the eviction
     /// tie-break in [`evict_to_cap`]).
     cache_seq: AtomicU64,
-    hellos: Mutex<HashMap<EndpointId, Cached<HelloInfo>>>,
-    discoveries: Mutex<DiscoveryCache>,
-    stats: Mutex<SessionStats>,
+    hellos: OrderedMutex<HashMap<EndpointId, Cached<HelloInfo>>>,
+    discoveries: OrderedMutex<DiscoveryCache>,
+    stats: OrderedMutex<SessionStats>,
 }
 
 impl Session {
@@ -218,13 +218,13 @@ impl Session {
         Self {
             transport,
             endpoint,
-            principal: Mutex::new(principal),
+            principal: OrderedMutex::new(ranks::SESSION_PRINCIPAL, principal),
             ttl_us: AtomicU64::new(DEFAULT_TTL_US),
             cache_cap: AtomicUsize::new(DEFAULT_CACHE_CAP),
             cache_seq: AtomicU64::new(0),
-            hellos: Mutex::new(HashMap::new()),
-            discoveries: Mutex::new(HashMap::new()),
-            stats: Mutex::new(SessionStats::default()),
+            hellos: OrderedMutex::new(ranks::SESSION_HELLOS, HashMap::new()),
+            discoveries: OrderedMutex::new(ranks::SESSION_DISCOVERIES, HashMap::new()),
+            stats: OrderedMutex::new(ranks::SESSION_STATS, SessionStats::default()),
         }
     }
 

@@ -1,7 +1,7 @@
 //! A DNS substrate: zones, authoritative servers and a caching
 //! iterative resolver over the simulated network.
 //!
-//! The paper's key discovery insight (§5.1) is that the *already
+//! The paper's key discovery insight (paper §5.1) is that the *already
 //! federated* DNS can serve as the spatial database: spatial cells become
 //! hierarchical names, map-server registrations become resource records,
 //! and discovery becomes a domain lookup that benefits from DNS's

@@ -14,10 +14,10 @@ pub enum RecordType {
     /// Free-form text.
     Txt,
     /// Map-server advertisement: the OpenFLAME-specific record carrying
-    /// a map server's endpoint and service catalogue (§5.1).
+    /// a map server's endpoint and service catalogue (paper §5.1).
     MapSrv,
     /// Fleet advertisement: a serving group's replica set and content
-    /// shard map for one cell (see docs/wire-protocol.md §9). Where a
+    /// shard map for one cell (see docs/wire-protocol.md spec §9). Where a
     /// `MapSrv` record names one server, a `FleetSrv` record names the
     /// whole replicated + sharded fleet serving the same content.
     FleetSrv,

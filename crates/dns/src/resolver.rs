@@ -2,7 +2,7 @@
 //!
 //! This is the component the paper leans on when it argues DNS-based
 //! discovery inherits "ubiquitous caching mechanisms, large-scale
-//! deployments, and infrastructure" (§5.1). The resolver walks referrals
+//! deployments, and infrastructure" (paper §5.1). The resolver walks referrals
 //! from the root exactly like a real recursive resolver, and serves
 //! repeat queries from a TTL-respecting LRU cache with negative caching:
 //! NXDOMAIN, authoritative ServFail and lame-delegation outcomes are all
@@ -15,8 +15,8 @@ use crate::name::DomainName;
 use crate::record::{QueryMsg, Rcode, Record, RecordType, ResponseMsg};
 use crate::DnsError;
 use openflame_codec::{from_bytes, to_bytes};
+use openflame_diag::{ranks, OrderedMutex};
 use openflame_netsim::{EndpointId, SimNet, SimTransport, Transport};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -159,8 +159,8 @@ pub struct Resolver {
     endpoint: EndpointId,
     root_hints: Vec<EndpointId>,
     config: ResolverConfig,
-    cache: Mutex<CacheState>,
-    stats: Mutex<ResolverStats>,
+    cache: OrderedMutex<CacheState>,
+    stats: OrderedMutex<ResolverStats>,
 }
 
 impl Resolver {
@@ -204,11 +204,14 @@ impl Resolver {
             endpoint,
             root_hints,
             config,
-            cache: Mutex::new(CacheState {
-                entries: HashMap::new(),
-                use_counter: 0,
-            }),
-            stats: Mutex::new(ResolverStats::default()),
+            cache: OrderedMutex::new(
+                ranks::RESOLVER_CACHE,
+                CacheState {
+                    entries: HashMap::new(),
+                    use_counter: 0,
+                },
+            ),
+            stats: OrderedMutex::new(ranks::RESOLVER_STATS, ResolverStats::default()),
         }
     }
 

@@ -3,8 +3,8 @@
 use crate::record::{QueryMsg, Rcode, ResponseMsg};
 use crate::zone::Zone;
 use openflame_codec::{from_bytes, to_bytes};
+use openflame_diag::{ranks, OrderedRwLock};
 use openflame_netsim::{EndpointId, SimNet, SimTransport, Transport, WireService};
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// An authoritative server hosting one or more zones.
@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// handled by a worker pool) scales across parallel readers instead of
 /// serializing on a mutex.
 pub struct AuthServer {
-    zones: Arc<RwLock<Vec<Zone>>>,
+    zones: Arc<OrderedRwLock<Vec<Zone>>>,
     endpoint: EndpointId,
     name: String,
 }
@@ -41,7 +41,7 @@ impl AuthServer {
         let name = name.into();
         let endpoint = transport.register(&format!("dns:{name}"), None);
         let server = Arc::new(Self {
-            zones: Arc::new(RwLock::new(zones)),
+            zones: Arc::new(OrderedRwLock::new(ranks::DNS_ZONES, zones)),
             endpoint,
             name,
         });
@@ -82,7 +82,7 @@ impl AuthServer {
 }
 
 struct ZoneHandler {
-    zones: Arc<RwLock<Vec<Zone>>>,
+    zones: Arc<OrderedRwLock<Vec<Zone>>>,
 }
 
 impl WireService for ZoneHandler {

@@ -1,7 +1,7 @@
 //! Local east-north-up tangent frames.
 //!
 //! Indoor maps in OpenFLAME are authored in a metric local frame whose
-//! relationship to the geographic frame may be unknown or imprecise (§3 of
+//! relationship to the geographic frame may be unknown or imprecise (paper §3 of
 //! the paper). [`LocalFrame`] provides the exact conversion used for
 //! ground truth and for servers that *are* well aligned; deliberately
 //! misaligned frames are produced by composing a [`crate::Affine2`]

@@ -7,7 +7,7 @@
 //!   distance, bearings, destination points).
 //! - [`Point2`] planar points and vector operations.
 //! - [`LocalFrame`] east-north-up tangent planes that let indoor maps live
-//!   in metric local coordinates (§3 of the paper: indoor maps are rarely
+//!   in metric local coordinates (paper §3 of the paper: indoor maps are rarely
 //!   aligned with the geographic frame).
 //! - [`Mercator`] Web-Mercator projection used by the tile pyramid.
 //! - [`Polyline`] and [`Polygon`] with the usual computational-geometry
@@ -15,7 +15,7 @@
 //!   area, simplification).
 //! - [`Affine2`] planar transforms plus least-squares fitting from point
 //!   correspondences, the MapCruncher-style mechanism the paper proposes
-//!   (§5.2) for stitching maps whose coordinate frames disagree.
+//!   (paper §5.2) for stitching maps whose coordinate frames disagree.
 //!
 //! All angles at API boundaries are degrees unless a name says otherwise;
 //! all distances are meters.

@@ -3,7 +3,7 @@
 //!
 //! This is the workspace's implementation of the MapCruncher-style
 //! alignment the paper proposes for stitching maps in different
-//! coordinate frames (§5.2): given a handful of manually matched points
+//! coordinate frames (paper §5.2): given a handful of manually matched points
 //! between two frames, fit the transform that best aligns them.
 
 use crate::linalg::least_squares;
@@ -122,7 +122,7 @@ impl Affine2 {
     ///
     /// This is the right model when both frames are metric but one is
     /// rotated/offset — the common case for indoor maps surveyed in their
-    /// own local frame (§3).
+    /// own local frame (paper §3).
     pub fn fit_similarity(pairs: &[(Point2, Point2)]) -> Result<Affine2, GeoError> {
         if pairs.len() < 2 {
             return Err(GeoError::InsufficientPoints {

@@ -3,7 +3,7 @@
 //!
 //! The paper defines forward geocode ("converting a text-based address
 //! to a location on the map") and reverse geocode ("converts a
-//! geographic location to a map node") as base services (§4), and calls
+//! geographic location to a map node") as base services (paper §4), and calls
 //! out snapping raw GPS coordinates to roads — map matching — as a
 //! service built on reverse geocode (refs. 19, 21). This crate provides
 //! all three against a single [`MapDocument`](openflame_mapdata::MapDocument);

@@ -31,7 +31,7 @@ pub struct SnapHit {
 
 /// Finds the nearest *named* node within `radius_m` of `pos`.
 ///
-/// This is the "what is here?" query behind click interactions (§4).
+/// This is the "what is here?" query behind click interactions (paper §4).
 pub fn reverse_geocode(map: &MapDocument, pos: Point2, radius_m: f64) -> Option<ReverseHit> {
     map.nodes_within(pos, radius_m)
         .into_iter()
@@ -49,7 +49,7 @@ pub fn reverse_geocode(map: &MapDocument, pos: Point2, radius_m: f64) -> Option<
 /// returns true) within `radius_m`.
 ///
 /// This is the primitive behind "snapping raw GPS coordinates to roads
-/// on the map while navigating" (§4).
+/// on the map while navigating" (paper §4).
 pub fn snap_to_way(
     map: &MapDocument,
     pos: Point2,

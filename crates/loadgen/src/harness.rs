@@ -244,7 +244,10 @@ pub fn run(config: &LoadConfig) -> LoadReport {
 
     // Collector pool: claim completions, classify, tally locally.
     let (tx, rx) = mpsc::channel::<InFlight>();
-    let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+    let rx = std::sync::Arc::new(openflame_diag::OrderedMutex::new(
+        openflame_diag::ranks::LOADGEN_COLLECTOR_QUEUE,
+        rx,
+    ));
     let collectors: Vec<thread::JoinHandle<Vec<OpTally>>> = (0..config.collectors)
         .map(|_| {
             let rx = rx.clone();
@@ -252,7 +255,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                 let mut tallies: Vec<OpTally> =
                     (0..OpKind::ALL.len()).map(|_| OpTally::default()).collect();
                 loop {
-                    let in_flight = match rx.lock().expect("collector queue").recv() {
+                    let in_flight = match rx.lock().recv() {
                         Ok(in_flight) => in_flight,
                         Err(_) => return tallies,
                     };

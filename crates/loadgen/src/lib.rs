@@ -20,7 +20,7 @@
 //! Each op's recorded latency is `(actual submit − scheduled arrival)
 //! + wire latency`: generator lag is charged to the measurement, never
 //! hidden. A small collector pool claims completions and classifies
-//! them — served, shed (`Response::Busy`, wire protocol §10), or
+//! them — served, shed (`Response::Busy`, wire protocol spec §10), or
 //! error — into per-op-class [`LogHistogram`]s.
 //!
 //! # What the report proves

@@ -3,7 +3,7 @@
 use openflame_geo::{LatLng, Point2};
 
 /// A sensor observation a client can send to a map server for
-/// localization (§5.2: "images, beacon signals, fiduciary tag scans").
+/// localization (paper §5.2: "images, beacon signals, fiduciary tag scans").
 #[derive(Debug, Clone, PartialEq)]
 pub enum LocationCue {
     /// A GNSS fix in geographic coordinates with reported accuracy.
@@ -37,7 +37,7 @@ impl LocationCue {
 }
 
 /// A localization estimate returned by a map server, expressed in the
-/// *server's own map frame* (§3: frames may be unaligned).
+/// *server's own map frame* (paper §3: frames may be unaligned).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Estimate {
     /// Position in the server's map frame.

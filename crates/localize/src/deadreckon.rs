@@ -7,7 +7,7 @@ use rand::Rng;
 /// Simulates inertial odometry: true motion deltas are observed with
 /// per-step noise and a slowly accumulating heading bias, producing the
 /// characteristic unbounded drift that makes pure dead reckoning
-/// unusable alone — and fusion necessary (§5.2: the client compares
+/// unusable alone — and fusion necessary (paper §5.2: the client compares
 /// server results "with its own IMU sensors").
 #[derive(Debug, Clone)]
 pub struct DeadReckoner {

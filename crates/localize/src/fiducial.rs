@@ -9,7 +9,7 @@ use std::collections::HashMap;
 ///
 /// Scanning a tag localizes the device to the tag's surveyed position
 /// with sub-meter error — the highest-precision, lowest-availability
-/// cue in the §5.2 taxonomy.
+/// cue in the paper §5.2 taxonomy.
 #[derive(Debug, Clone, Default)]
 pub struct TagRegistry {
     tags: HashMap<u64, Point2>,

@@ -1,7 +1,7 @@
 //! Client-side fusion: a particle filter over odometry plus server
 //! estimates, and plausibility selection among candidate results.
 //!
-//! §5.2: "The client then selects the best one by comparing these
+//! paper §5.2: "The client then selects the best one by comparing these
 //! results with its own IMU sensors or local SLAM algorithm. The most
 //! plausible result is returned to the application."
 

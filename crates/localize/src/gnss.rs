@@ -9,7 +9,7 @@ use rand_distr_normal::sample_normal;
 ///
 /// Produces fixes with configurable horizontal error outdoors and *no*
 /// fixes indoors — the availability gap that motivates venue-provided
-/// localization in the paper (§2: "the availability of these
+/// localization in the paper (paper §2: "the availability of these
 /// technologies is limited to outdoor locations for GPS").
 #[derive(Debug, Clone, Copy)]
 pub struct GnssModel {

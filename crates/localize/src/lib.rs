@@ -1,8 +1,8 @@
 //! Localization substrate.
 //!
 //! Localization is "the service that informs a device of its location
-//! and orientation with respect to a map" (§4). In the federated design
-//! (§5.2) the *client* collects location cues — GNSS fixes, beacon
+//! and orientation with respect to a map" (paper §4). In the federated design
+//! (paper §5.2) the *client* collects location cues — GNSS fixes, beacon
 //! signal strengths, fiducial tag scans — and sends them to discovered
 //! map servers; each server localizes the device *within its own map*
 //! and the client selects the most plausible result by comparing

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 /// How a document's local metric frame relates to geographic space.
 ///
-/// This encodes the heterogeneity challenge from §3 of the paper: a
+/// This encodes the heterogeneity challenge from paper §3 of the paper: a
 /// well-surveyed outdoor map knows its anchor exactly, while an indoor
 /// map surveyed with consumer tools only knows *roughly* where it is
 /// (e.g. from the street address), and its rotation/scale relative to

@@ -1,5 +1,5 @@
 //! The OpenStreetMap-style map data model used by every OpenFLAME map
-//! server (§3 of the paper).
+//! server (paper §3 of the paper).
 //!
 //! A *map* is a set of three element kinds:
 //!
@@ -12,7 +12,7 @@
 //! [`GeoReference`] describing how (or whether) that frame is anchored to
 //! geographic coordinates. This directly models the paper's map
 //! heterogeneity: outdoor maps are precisely anchored, indoor maps are
-//! surveyed in a private local frame that may be unaligned (§3).
+//! surveyed in a private local frame that may be unaligned (paper §3).
 //!
 //! The crate also provides:
 //!

@@ -1,6 +1,6 @@
 //! Incremental map updates.
 //!
-//! Federated map management (§1: "scalability of map management") means
+//! Federated map management (paper §1: "scalability of map management") means
 //! each provider edits its own map independently. A [`MapPatch`] is the
 //! unit of such an edit: a batch of element upserts and removals tagged
 //! with the version it produces. Experiment E9 measures update

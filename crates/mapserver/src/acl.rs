@@ -1,4 +1,4 @@
-//! Fine-grained access control (§5.3).
+//! Fine-grained access control (paper §5.3).
 //!
 //! The paper distinguishes three levels of control federation enables
 //! that a centralized map cannot:
@@ -119,7 +119,7 @@ impl Rule {
     }
 }
 
-/// A per-service rule table with a default chain (§5.3 service-level
+/// A per-service rule table with a default chain (paper §5.3 service-level
 /// control: different services can have entirely different policies).
 #[derive(Debug, Clone, Default)]
 pub struct AccessPolicy {
@@ -202,7 +202,7 @@ mod tests {
 
     #[test]
     fn user_domain_rule() {
-        // The university example from §5.3.
+        // The university example from paper §5.3.
         let policy = AccessPolicy::locked().with(
             ServiceKind::Search,
             vec![Rule::AllowUserDomain("@cmu.edu".into()), Rule::DenyAll],

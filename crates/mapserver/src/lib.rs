@@ -1,4 +1,4 @@
-//! The OpenFLAME map server (§3 of the paper).
+//! The OpenFLAME map server (paper §3 of the paper).
 //!
 //! "A map server is a system that stores the map of a region and
 //! provides services such as search and routing on the map. The
@@ -16,7 +16,7 @@
 //! - tile rendering for anchored maps (`openflame-tiles`).
 //!
 //! Requests arrive over the simulated network as wire-encoded
-//! [`Envelope`]s; every request passes the §5.3 [`AccessPolicy`] before
+//! [`Envelope`]s; every request passes the paper §5.3 [`AccessPolicy`] before
 //! dispatch. [`naming`] defines the cell→domain-name scheme and
 //! [`registry`] registers the server's zone covering in the DNS.
 

@@ -1,4 +1,4 @@
-//! The spatial naming scheme: cells ↔ domain names (§5.1).
+//! The spatial naming scheme: cells ↔ domain names (paper §5.1).
 //!
 //! "We can leverage spatial indexing systems (e.g., S2, H3) to convert
 //! locations to hierarchical domain names. A polygonal region, or a

@@ -1,6 +1,6 @@
 //! The client ↔ map-server wire protocol.
 //!
-//! Every federated interaction in §5.2 maps to one request kind. The
+//! Every federated interaction in paper §5.2 maps to one request kind. The
 //! `Hello` exchange is how servers advertise their services,
 //! localization technologies and portal nodes, which the paper calls
 //! out explicitly ("the location cue sent to the map server depends on
@@ -16,7 +16,7 @@ use openflame_mapdata::{ElementId, MapPatch};
 /// A request wrapped with the caller's identity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
-    /// Caller identity for ACL evaluation (§5.3).
+    /// Caller identity for ACL evaluation (paper §5.3).
     pub principal: Principal,
     /// The request body.
     pub request: Request,
@@ -59,7 +59,7 @@ pub enum Request {
         /// Destination map node.
         to: u64,
     },
-    /// Portal cost matrix for stitched routing (§5.2).
+    /// Portal cost matrix for stitched routing (paper §5.2).
     RouteMatrix {
         /// Entry portal nodes.
         entries: Vec<u64>,
@@ -261,7 +261,7 @@ pub enum Response {
     /// queueing it: the request was **not** executed (shedding happens
     /// before dispatch), so retrying is always safe — including for
     /// non-idempotent requests. Sent as a whole-envelope answer, never
-    /// inside a batch (`docs/wire-protocol.md` §10).
+    /// inside a batch (`docs/wire-protocol.md` spec §10).
     Busy {
         /// Server's backoff hint: how long the caller SHOULD wait
         /// before retrying, microseconds. Callers add jitter.

@@ -1,4 +1,4 @@
-//! DNS registration of map servers (§5.1).
+//! DNS registration of map servers (paper §5.1).
 //!
 //! A map server approximates its zone by a cell covering and publishes
 //! one `MAPSRV` record per covering cell (plus a wildcard so queries at
@@ -9,7 +9,7 @@ use crate::server::MapServer;
 use openflame_cells::{Region, RegionCoverer};
 use openflame_dns::{AuthServer, Record, RecordData, RecordType};
 
-/// Default TTL for MAPSRV records (map servers move rarely — §5.1:
+/// Default TTL for MAPSRV records (map servers move rarely — paper §5.1:
 /// "the address of the map servers are not expected to change
 /// frequently so the system would benefit from a ubiquitous caching
 /// mechanism").

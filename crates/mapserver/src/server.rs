@@ -19,6 +19,7 @@ use crate::protocol::{
 };
 use crate::ServerError;
 use openflame_codec::{from_bytes, to_bytes};
+use openflame_diag::{ranks, OrderedRwLock};
 use openflame_geo::{LatLng, Point2};
 use openflame_geocode::{reverse_geocode, Geocoder};
 use openflame_localize::{Estimate, LocationCue, RadioMap, TagRegistry};
@@ -31,7 +32,6 @@ use openflame_routing::dijkstra::dijkstra_many;
 use openflame_routing::{bidirectional, ContractionHierarchy, Profile, RoadGraph};
 use openflame_search::SearchIndex;
 use openflame_tiles::{Tile, TileCoord, TileRenderer};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,7 +39,7 @@ use std::sync::Arc;
 /// Default admission-queue depth installed on every wire endpoint: deep
 /// enough that a healthy server never sheds, shallow enough that a
 /// saturated one answers [`Response::Busy`] in microseconds instead of
-/// queueing seconds of work (wire protocol §10).
+/// queueing seconds of work (wire protocol spec §10).
 pub const DEFAULT_MAX_DISPATCH_DEPTH: usize = 256;
 
 /// Default retry hint carried in shed [`Response::Busy`] replies.
@@ -55,7 +55,7 @@ pub struct MapServerConfig {
     pub beacons: Vec<openflame_localize::Beacon>,
     /// Fiducial tags installed in the mapped space.
     pub tags: TagRegistry,
-    /// Access policy (§5.3).
+    /// Access policy (paper §5.3).
     pub policy: AccessPolicy,
     /// Portal nodes advertised for route stitching, each with a coarse
     /// geographic hint of where the portal meets the outside world.
@@ -64,7 +64,7 @@ pub struct MapServerConfig {
     pub location_hint: LatLng,
     /// Zone radius used for discovery registration, meters.
     pub radius_m: f64,
-    /// Whether to precompute a contraction hierarchy (§4.1).
+    /// Whether to precompute a contraction hierarchy (paper §4.1).
     pub build_ch: bool,
 }
 
@@ -166,7 +166,7 @@ impl Engines {
 pub struct MapServer {
     id: String,
     endpoint: EndpointId,
-    engines: RwLock<Engines>,
+    engines: OrderedRwLock<Engines>,
     tags: TagRegistry,
     beacons: Vec<openflame_localize::Beacon>,
     policy: AccessPolicy,
@@ -193,7 +193,7 @@ impl MapServer {
         let server = Arc::new(Self {
             id: config.id,
             endpoint,
-            engines: RwLock::new(engines),
+            engines: OrderedRwLock::new(ranks::MAPSERVER_ENGINES, engines),
             tags: config.tags,
             beacons: config.beacons,
             policy: config.policy,
@@ -212,7 +212,7 @@ impl MapServer {
     /// this server binds: requests are classified by the envelope's
     /// principal (so one flooding tenant is shed before quiet ones) and
     /// shed requests are answered with an encoded [`Response::Busy`]
-    /// carrying `retry_after_us` (wire protocol §10). Pass a custom
+    /// carrying `retry_after_us` (wire protocol spec §10). Pass a custom
     /// `max_depth` to tighten or loosen the queue bound; transports
     /// without admission support (the simulator) ignore the policy.
     pub fn overload_policy(max_depth: usize, retry_after_us: u64) -> OverloadPolicy {
@@ -314,7 +314,7 @@ impl MapServer {
         }
     }
 
-    /// Capability advertisement (§5.2: technology advertisement drives
+    /// Capability advertisement (paper §5.2: technology advertisement drives
     /// which cues clients send).
     pub fn hello(&self) -> HelloInfo {
         let engines = self.engines.read();

@@ -34,7 +34,7 @@ pub use transport::{
 };
 pub use udp::{QuicLiteTransport, QuicStats};
 
-use parking_lot::Mutex;
+use openflame_diag::{ranks, OrderedMutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -186,7 +186,7 @@ struct NetInner {
 /// ```
 #[derive(Clone)]
 pub struct SimNet {
-    inner: Arc<Mutex<NetInner>>,
+    inner: Arc<OrderedMutex<NetInner>>,
 }
 
 impl SimNet {
@@ -199,16 +199,19 @@ impl SimNet {
     /// Creates a network with a custom latency model.
     pub fn with_latency(seed: u64, latency: LatencyModel) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(NetInner {
-                clock_us: 0,
-                rng: StdRng::seed_from_u64(seed),
-                endpoints: HashMap::new(),
-                next_id: 1,
-                latency,
-                drop_probability: 0.0,
-                timeout_us: 2_000_000,
-                stats: NetStats::default(),
-            })),
+            inner: Arc::new(OrderedMutex::new(
+                ranks::SIM_NET,
+                NetInner {
+                    clock_us: 0,
+                    rng: StdRng::seed_from_u64(seed),
+                    endpoints: HashMap::new(),
+                    next_id: 1,
+                    latency,
+                    drop_probability: 0.0,
+                    timeout_us: 2_000_000,
+                    stats: NetStats::default(),
+                },
+            )),
         }
     }
 

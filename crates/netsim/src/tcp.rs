@@ -96,8 +96,8 @@ use crate::transport::{
 };
 use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{write_frame, FrameDecoder, FRAME_HEADER_LEN};
+use openflame_diag::{ranks, OrderedCondvar, OrderedMutex};
 use openflame_geo::LatLng;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
@@ -106,7 +106,7 @@ use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -163,11 +163,11 @@ struct CellDone {
 /// One in-flight request's completion slot, filled exactly once by a
 /// reactor (or by the timeout path abandoning it).
 ///
-/// Uses `std::sync` primitives: the waiter needs a `Condvar`, which the
-/// crate's vendored `parking_lot` facade does not provide.
+/// Uses the crate-wide ranked wrappers (`openflame-diag`): the cell is
+/// the innermost lock a reactor touches while routing a response.
 struct CompletionCell {
-    state: StdMutex<Option<CellDone>>,
-    cond: Condvar,
+    state: OrderedMutex<Option<CellDone>>,
+    cond: OrderedCondvar,
     /// Set by the reactor the moment it starts putting the request
     /// frame on the socket. Failed calls whose frame was written still
     /// charge their request bytes — the bytes were really spent on the
@@ -178,8 +178,8 @@ struct CompletionCell {
 impl CompletionCell {
     fn new() -> Self {
         Self {
-            state: StdMutex::new(None),
-            cond: Condvar::new(),
+            state: OrderedMutex::new(ranks::TCP_COMPLETION, None),
+            cond: OrderedCondvar::new(),
             sent: AtomicBool::new(false),
         }
     }
@@ -189,7 +189,7 @@ impl CompletionCell {
     }
 
     fn fill(&self, result: io::Result<Vec<u8>>, sole_in_flight: bool) {
-        let mut state = self.state.lock().expect("completion lock");
+        let mut state = self.state.lock();
         if state.is_none() {
             *state = Some(CellDone {
                 result,
@@ -202,7 +202,7 @@ impl CompletionCell {
     /// Blocks until filled or `deadline`; `None` means the deadline
     /// passed first.
     fn wait_until(&self, deadline: Instant) -> Option<CellDone> {
-        let mut state = self.state.lock().expect("completion lock");
+        let mut state = self.state.lock();
         loop {
             if state.is_some() {
                 return state.take();
@@ -211,10 +211,7 @@ impl CompletionCell {
             if now >= deadline {
                 return None;
             }
-            let (next, _) = self
-                .cond
-                .wait_timeout(state, deadline - now)
-                .expect("completion lock");
+            let (next, _) = self.cond.wait_timeout(state, deadline - now);
             state = next;
         }
     }
@@ -223,7 +220,7 @@ impl CompletionCell {
 /// A connection's demultiplexer: correlation id → completion cell.
 /// Shared between the submitting side and the connection's reactor.
 struct Demux {
-    pending: StdMutex<HashMap<u64, Arc<CompletionCell>>>,
+    pending: OrderedMutex<HashMap<u64, Arc<CompletionCell>>>,
     /// Responses successfully delivered on this connection, ever. The
     /// retry policy compares snapshots of this: a delivery after a
     /// request was submitted proves the server was alive and
@@ -238,7 +235,7 @@ struct Demux {
 impl Demux {
     fn new(orphans: Arc<AtomicU64>) -> Self {
         Self {
-            pending: StdMutex::new(HashMap::new()),
+            pending: OrderedMutex::new(ranks::TCP_DEMUX, HashMap::new()),
             delivered: AtomicU64::new(0),
             orphans,
         }
@@ -250,10 +247,7 @@ impl Demux {
 
     fn register(&self, corr: u64) -> Arc<CompletionCell> {
         let cell = Arc::new(CompletionCell::new());
-        self.pending
-            .lock()
-            .expect("demux lock")
-            .insert(corr, cell.clone());
+        self.pending.lock().insert(corr, cell.clone());
         cell
     }
 
@@ -263,7 +257,7 @@ impl Demux {
     /// and counted, never delivered to a different call.
     fn complete(&self, corr: u64, result: io::Result<Vec<u8>>) {
         let (cell, sole) = {
-            let mut pending = self.pending.lock().expect("demux lock");
+            let mut pending = self.pending.lock();
             let cell = pending.remove(&corr);
             (cell, pending.is_empty())
         };
@@ -284,13 +278,7 @@ impl Demux {
     /// learns whether it was alone in flight — the retry policy's
     /// safety condition.
     fn fail_all(&self, kind: io::ErrorKind, msg: &str) {
-        let cells: Vec<_> = self
-            .pending
-            .lock()
-            .expect("demux lock")
-            .drain()
-            .map(|(_, cell)| cell)
-            .collect();
+        let cells: Vec<_> = self.pending.lock().drain().map(|(_, cell)| cell).collect();
         let sole = cells.len() == 1;
         for cell in cells {
             cell.fill(Err(io::Error::new(kind, msg.to_string())), sole);
@@ -301,7 +289,7 @@ impl Demux {
     /// reactor calls this immediately before the first write), so
     /// failure paths know whether the request bytes were spent.
     fn mark_sent(&self, corr: u64) {
-        if let Some(cell) = self.pending.lock().expect("demux lock").get(&corr) {
+        if let Some(cell) = self.pending.lock().get(&corr) {
             cell.sent.store(true, Ordering::SeqCst);
         }
     }
@@ -310,15 +298,11 @@ impl Demux {
     /// response becomes an orphan. Returns whether the slot was still
     /// pending.
     fn forget(&self, corr: u64) -> bool {
-        self.pending
-            .lock()
-            .expect("demux lock")
-            .remove(&corr)
-            .is_some()
+        self.pending.lock().remove(&corr).is_some()
     }
 
     fn in_flight(&self) -> usize {
-        self.pending.lock().expect("demux lock").len()
+        self.pending.lock().len()
     }
 }
 
@@ -356,7 +340,7 @@ struct ClientConn {
     /// failing whatever is in flight (a crashed server does not drain
     /// gracefully).
     kill: AtomicBool,
-    out: StdMutex<OutQueue>,
+    out: OrderedMutex<OutQueue>,
     /// The reactor that owns the socket — woken on every enqueue.
     reactor: Arc<ReactorShared>,
 }
@@ -367,7 +351,7 @@ impl ClientConn {
     /// anything — the frame never touched the socket).
     fn enqueue(&self, frame: OutFrame) -> Result<(), ()> {
         {
-            let mut out = self.out.lock().expect("conn out queue");
+            let mut out = self.out.lock();
             if out.closed {
                 return Err(());
             }
@@ -416,18 +400,18 @@ enum Cmd {
 /// The cross-thread face of one reactor: a command queue plus the
 /// waker that pops its `poll`.
 struct ReactorShared {
-    cmds: StdMutex<Vec<Cmd>>,
+    cmds: OrderedMutex<Vec<Cmd>>,
     waker: Waker,
 }
 
 impl ReactorShared {
     fn push(&self, cmd: Cmd) {
-        self.cmds.lock().expect("reactor command queue").push(cmd);
+        self.cmds.lock().push(cmd);
         self.waker.wake();
     }
 
     fn take_cmds(&self) -> Vec<Cmd> {
-        std::mem::take(&mut *self.cmds.lock().expect("reactor command queue"))
+        std::mem::take(&mut *self.cmds.lock())
     }
 }
 
@@ -478,15 +462,15 @@ struct Inner {
     timeout_us: AtomicU64,
     /// Drop probability as IEEE-754 bits (atomics hold no f64).
     drop_bits: AtomicU64,
-    rng: Mutex<StdRng>,
-    stats: Mutex<NetStats>,
-    endpoints: Mutex<HashMap<EndpointId, Endpoint>>,
+    rng: OrderedMutex<StdRng>,
+    stats: OrderedMutex<NetStats>,
+    endpoints: OrderedMutex<HashMap<EndpointId, Endpoint>>,
     /// Configured reactor pool size (threads spawn lazily on first
     /// dial or `set_service`).
     reactor_count: usize,
-    reactors: Mutex<Option<Arc<ReactorPool>>>,
+    reactors: OrderedMutex<Option<Arc<ReactorPool>>>,
     /// Master sender of the transport-wide dispatch pool.
-    dispatch: Mutex<Option<mpsc::Sender<ServeJob>>>,
+    dispatch: OrderedMutex<Option<mpsc::Sender<ServeJob>>>,
     /// Live worker threads: reactors plus dispatch workers.
     threads: Arc<AtomicUsize>,
     /// Responses discarded because no in-flight request matched.
@@ -540,12 +524,12 @@ impl TcpTransport {
                 next_corr: AtomicU64::new(1),
                 timeout_us: AtomicU64::new(2_000_000),
                 drop_bits: AtomicU64::new(0f64.to_bits()),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
-                stats: Mutex::new(NetStats::default()),
-                endpoints: Mutex::new(HashMap::new()),
+                rng: OrderedMutex::new(ranks::TCP_RNG, StdRng::seed_from_u64(seed)),
+                stats: OrderedMutex::new(ranks::TCP_STATS, NetStats::default()),
+                endpoints: OrderedMutex::new(ranks::TCP_ENDPOINTS, HashMap::new()),
                 reactor_count: reactors.clamp(1, MAX_REACTORS),
-                reactors: Mutex::new(None),
-                dispatch: Mutex::new(None),
+                reactors: OrderedMutex::new(ranks::TCP_REACTORS, None),
+                dispatch: OrderedMutex::new(ranks::TCP_DISPATCH_POOL, None),
                 threads: Arc::new(AtomicUsize::new(0)),
                 orphans: Arc::new(AtomicU64::new(0)),
                 shed: Arc::new(AtomicU64::new(0)),
@@ -608,7 +592,7 @@ impl TcpTransport {
         let handles: Vec<Arc<ReactorShared>> = (0..self.inner.reactor_count)
             .map(|_| {
                 Arc::new(ReactorShared {
-                    cmds: StdMutex::new(Vec::new()),
+                    cmds: OrderedMutex::new(ranks::TCP_REACTOR_CMDS, Vec::new()),
                     waker: Waker::new().expect("create reactor waker"),
                 })
             })
@@ -667,7 +651,7 @@ impl TcpTransport {
             demux: Arc::new(Demux::new(self.inner.orphans.clone())),
             broken: Arc::new(AtomicBool::new(false)),
             kill: AtomicBool::new(false),
-            out: StdMutex::new(OutQueue::default()),
+            out: OrderedMutex::new(ranks::TCP_CONN_OUT, OutQueue::default()),
             reactor: target.clone(),
         });
         match connect_nonblocking(&addr) {
@@ -683,7 +667,7 @@ impl TcpTransport {
                 // the connection is born dead; submit's closed-queue
                 // check routes around it.
                 conn.broken.store(true, Ordering::SeqCst);
-                conn.out.lock().expect("conn out queue").closed = true;
+                conn.out.lock().closed = true;
                 conn.demux.fail_all(e.kind(), &format!("dial {addr}: {e}"));
             }
         }
@@ -1174,7 +1158,7 @@ struct SrvDone {
 /// completion-order results here and wake the owning reactor, which
 /// writes them out in that order.
 struct SrvShared {
-    done: StdMutex<VecDeque<SrvDone>>,
+    done: OrderedMutex<VecDeque<SrvDone>>,
     /// Set when the connection is torn down: late results are dropped
     /// instead of queued for a writer that no longer exists.
     dead: AtomicBool,
@@ -1190,7 +1174,7 @@ struct SrvShared {
 /// clone are gone.
 fn spawn_dispatch_pool(threads: &Arc<AtomicUsize>) -> mpsc::Sender<ServeJob> {
     let (job_tx, job_rx) = mpsc::channel::<ServeJob>();
-    let job_rx = Arc::new(StdMutex::new(job_rx));
+    let job_rx = Arc::new(OrderedMutex::new(ranks::TCP_DISPATCH_QUEUE, job_rx));
     for worker in 0..DISPATCH_POOL {
         let guard = ThreadGuard::enter(threads);
         let job_rx = job_rx.clone();
@@ -1203,7 +1187,7 @@ fn spawn_dispatch_pool(threads: &Arc<AtomicUsize>) -> mpsc::Sender<ServeJob> {
                     // recv: job *pickup* is serialized, execution is
                     // not.
                     let job = {
-                        let rx = job_rx.lock().expect("dispatch queue");
+                        let rx = job_rx.lock();
                         rx.recv()
                     };
                     let Ok(job) = job else { break };
@@ -1219,14 +1203,10 @@ fn spawn_dispatch_pool(threads: &Arc<AtomicUsize>) -> mpsc::Sender<ServeJob> {
                     // requester is gone.
                     job.gauge.release(job.admit_key);
                     if !job.shared.dead.load(Ordering::SeqCst) {
-                        job.shared
-                            .done
-                            .lock()
-                            .expect("served done queue")
-                            .push_back(SrvDone {
-                                corr: job.corr,
-                                response,
-                            });
+                        job.shared.done.lock().push_back(SrvDone {
+                            corr: job.corr,
+                            response,
+                        });
                         job.shared.reactor.waker.wake();
                     }
                 }
@@ -1388,10 +1368,10 @@ fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
                         // Externally marked stale (timeout pruning):
                         // keep serving in-flight siblings, close once
                         // drained.
-                        let drained = c.conn.demux.in_flight() == 0
-                            && c.conn.out.lock().expect("conn out queue").frames.is_empty();
+                        let drained =
+                            c.conn.demux.in_flight() == 0 && c.conn.out.lock().frames.is_empty();
                         if drained {
-                            c.conn.out.lock().expect("conn out queue").closed = true;
+                            c.conn.out.lock().closed = true;
                             let _ = c.stream.shutdown(Shutdown::Both);
                             c.dead = true;
                         }
@@ -1404,7 +1384,7 @@ fn run_reactor(idx: usize, pool: Arc<ReactorPool>, shutdown: Arc<AtomicBool>) {
                     && !s.read_open
                     && s.in_dispatch == 0
                     && s.cur.is_none()
-                    && s.shared.done.lock().expect("served done queue").is_empty()
+                    && s.shared.done.lock().is_empty()
                 {
                     // Peer hung up and every pipelined response has
                     // been delivered: done.
@@ -1464,7 +1444,7 @@ fn interest(entry: &Entry) -> Option<PollFd> {
                 events |= POLLOUT;
             } else {
                 events |= POLLIN;
-                if !c.conn.out.lock().expect("conn out queue").frames.is_empty() {
+                if !c.conn.out.lock().frames.is_empty() {
                     events |= POLLOUT;
                 }
             }
@@ -1481,7 +1461,7 @@ fn interest(entry: &Entry) -> Option<PollFd> {
                 // readability.
                 events |= POLLIN;
             }
-            if s.cur.is_some() || !s.shared.done.lock().expect("served done queue").is_empty() {
+            if s.cur.is_some() || !s.shared.done.lock().is_empty() {
                 events |= POLLOUT;
             }
             if events == 0 {
@@ -1497,7 +1477,7 @@ fn interest(entry: &Entry) -> Option<PollFd> {
 fn client_death(c: &mut ClientEntry, kind: io::ErrorKind, msg: &str) {
     c.conn.broken.store(true, Ordering::SeqCst);
     {
-        let mut out = c.conn.out.lock().expect("conn out queue");
+        let mut out = c.conn.out.lock();
         out.closed = true;
         out.frames.clear();
     }
@@ -1542,7 +1522,7 @@ fn handle_client(c: &mut ClientEntry, ready: PollFd) {
 /// Drains the connection's write queue into the socket until it would
 /// block or empties.
 fn pump_client_write(c: &mut ClientEntry) -> io::Result<()> {
-    let mut out = c.conn.out.lock().expect("conn out queue");
+    let mut out = c.conn.out.lock();
     while let Some(frame) = out.frames.front_mut() {
         if frame.off == 0 {
             // The frame is going onto the socket now: even if the
@@ -1608,7 +1588,7 @@ fn handle_listener(l: &mut ListenerEntry, pool: &Arc<ReactorPool>) {
                 }
                 let target = pool.pick();
                 let shared = Arc::new(SrvShared {
-                    done: StdMutex::new(VecDeque::new()),
+                    done: OrderedMutex::new(ranks::TCP_SERVE_DONE, VecDeque::new()),
                     dead: AtomicBool::new(false),
                     reactor: target.clone(),
                 });
@@ -1704,14 +1684,10 @@ fn pump_served_decode(s: &mut ServedEntry) -> Result<(), ()> {
                         // releases the in_dispatch slot it takes
                         // here).
                         s.shed.fetch_add(1, Ordering::Relaxed);
-                        s.shared
-                            .done
-                            .lock()
-                            .expect("served done queue")
-                            .push_back(SrvDone {
-                                corr: frame.correlation,
-                                response: Some(busy),
-                            });
+                        s.shared.done.lock().push_back(SrvDone {
+                            corr: frame.correlation,
+                            response: Some(busy),
+                        });
                         s.in_dispatch += 1;
                         continue;
                     }
@@ -1746,7 +1722,7 @@ fn pump_served_decode(s: &mut ServedEntry) -> Result<(), ()> {
 fn pump_served_write(s: &mut ServedEntry) -> Result<(), ()> {
     loop {
         if s.cur.is_none() {
-            let done = s.shared.done.lock().expect("served done queue").pop_front();
+            let done = s.shared.done.lock().pop_front();
             match done {
                 Some(SrvDone {
                     corr,

@@ -52,8 +52,8 @@
 
 use crate::stats::{EndpointLatency, EndpointStats, NetStats};
 use crate::{EndpointId, NetError, SimNet};
+use openflame_diag::{ranks, OrderedMutex};
 use openflame_geo::LatLng;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -120,7 +120,7 @@ where
 /// `Response::Busy { retry_after_us }`), which drains through the
 /// ordinary response path — the reader is never stalled behind a full
 /// dispatch queue, and the request is **not** executed, so clients may
-/// retry it safely (`docs/wire-protocol.md` §10).
+/// retry it safely (`docs/wire-protocol.md` spec §10).
 ///
 /// The policy is transport-agnostic: `classify` maps a raw request
 /// payload to a principal key (the mapserver uses the envelope's
@@ -182,19 +182,19 @@ impl std::fmt::Debug for OverloadPolicy {
 /// disconnected flooder can never leave leaked slots wedging the
 /// endpoint shut.
 pub(crate) struct DispatchGauge {
-    policy: Mutex<Option<Arc<OverloadPolicy>>>,
+    policy: OrderedMutex<Option<Arc<OverloadPolicy>>>,
     depth: AtomicUsize,
     depth_hw: AtomicUsize,
-    by_principal: Mutex<HashMap<u64, usize>>,
+    by_principal: OrderedMutex<HashMap<u64, usize>>,
 }
 
 impl DispatchGauge {
     pub(crate) fn new() -> Self {
         Self {
-            policy: Mutex::new(None),
+            policy: OrderedMutex::new(ranks::DISPATCH_GAUGE_POLICY, None),
             depth: AtomicUsize::new(0),
             depth_hw: AtomicUsize::new(0),
-            by_principal: Mutex::new(HashMap::new()),
+            by_principal: OrderedMutex::new(ranks::DISPATCH_GAUGE_PRINCIPALS, HashMap::new()),
         }
     }
 

@@ -76,7 +76,7 @@ use crate::transport::{
 use crate::{EndpointId, NetError, ThreadGuard};
 use openflame_codec::framing::{read_frame, write_frame, FRAME_HEADER_LEN};
 use openflame_codec::packet::{decode_packet, encode_packet, Packet, PacketType, PAYLOAD_MTU};
-use parking_lot::Mutex;
+use openflame_diag::{ranks, OrderedCondvar, OrderedMutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -84,7 +84,7 @@ use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
+use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -137,20 +137,20 @@ pub struct QuicStats {
 /// client receiver thread when the correlated response frame
 /// reassembles.
 struct CompletionCell {
-    state: StdMutex<Option<Vec<u8>>>,
-    cond: Condvar,
+    state: OrderedMutex<Option<Vec<u8>>>,
+    cond: OrderedCondvar,
 }
 
 impl CompletionCell {
     fn new() -> Self {
         Self {
-            state: StdMutex::new(None),
-            cond: Condvar::new(),
+            state: OrderedMutex::new(ranks::QUIC_COMPLETION, None),
+            cond: OrderedCondvar::new(),
         }
     }
 
     fn fill(&self, payload: Vec<u8>) {
-        let mut state = self.state.lock().expect("completion lock");
+        let mut state = self.state.lock();
         if state.is_none() {
             *state = Some(payload);
             self.cond.notify_all();
@@ -160,7 +160,7 @@ impl CompletionCell {
     /// Blocks until filled or `deadline`; `None` means the deadline
     /// passed first.
     fn wait_until(&self, deadline: Instant) -> Option<Vec<u8>> {
-        let mut state = self.state.lock().expect("completion lock");
+        let mut state = self.state.lock();
         loop {
             if state.is_some() {
                 return state.take();
@@ -169,10 +169,7 @@ impl CompletionCell {
             if now >= deadline {
                 return None;
             }
-            let (next, _) = self
-                .cond
-                .wait_timeout(state, deadline - now)
-                .expect("completion lock");
+            let (next, _) = self.cond.wait_timeout(state, deadline - now);
             state = next;
         }
     }
@@ -183,24 +180,21 @@ impl CompletionCell {
 /// retransmission below the caller's deadline, and anything past the
 /// deadline is simply abandoned by the waiter.
 struct Demux {
-    pending: StdMutex<HashMap<u64, Arc<CompletionCell>>>,
+    pending: OrderedMutex<HashMap<u64, Arc<CompletionCell>>>,
     orphans: Arc<AtomicU64>,
 }
 
 impl Demux {
     fn new(orphans: Arc<AtomicU64>) -> Self {
         Self {
-            pending: StdMutex::new(HashMap::new()),
+            pending: OrderedMutex::new(ranks::QUIC_DEMUX, HashMap::new()),
             orphans,
         }
     }
 
     fn register(&self, corr: u64) -> Arc<CompletionCell> {
         let cell = Arc::new(CompletionCell::new());
-        self.pending
-            .lock()
-            .expect("demux lock")
-            .insert(corr, cell.clone());
+        self.pending.lock().insert(corr, cell.clone());
         cell
     }
 
@@ -208,7 +202,7 @@ impl Demux {
     /// correlation ids (late responses after a timeout, duplicates that
     /// slipped past packet dedup) are discarded and counted.
     fn complete(&self, corr: u64, payload: Vec<u8>) {
-        match self.pending.lock().expect("demux lock").remove(&corr) {
+        match self.pending.lock().remove(&corr) {
             Some(cell) => cell.fill(payload),
             None => {
                 self.orphans.fetch_add(1, Ordering::Relaxed);
@@ -219,7 +213,7 @@ impl Demux {
     /// Abandons a request (timed-out waiter); a late response becomes
     /// an orphan.
     fn forget(&self, corr: u64) {
-        self.pending.lock().expect("demux lock").remove(&corr);
+        self.pending.lock().remove(&corr);
     }
 }
 
@@ -265,7 +259,7 @@ struct ConnState {
     /// Where to send: the server address (client side) or the last
     /// address the client was seen at (server side; updated per packet,
     /// a miniature of QUIC's connection migration).
-    peer: StdMutex<SocketAddr>,
+    peer: OrderedMutex<SocketAddr>,
     /// Handshake completed (always true for resumed and server-side
     /// conns). Guarded by `queued`'s lock on the establishing path so
     /// no frame is stranded between the check and the flush.
@@ -284,11 +278,11 @@ struct ConnState {
     /// would resume into the void forever.
     got_traffic: AtomicBool,
     next_packet_no: AtomicU64,
-    unacked: StdMutex<HashMap<u64, Unacked>>,
+    unacked: OrderedMutex<HashMap<u64, Unacked>>,
     /// Frames submitted before the handshake completed, flushed on
     /// `InitAck`.
-    queued: StdMutex<Vec<Vec<u8>>>,
-    recv: StdMutex<RecvState>,
+    queued: OrderedMutex<Vec<Vec<u8>>>,
+    recv: OrderedMutex<RecvState>,
     /// Client-side conns route reassembled responses here; server-side
     /// conns route requests to the endpoint's dispatch pool instead.
     demux: Option<Arc<Demux>>,
@@ -307,18 +301,21 @@ impl ConnState {
         Arc::new(Self {
             conn_id,
             socket,
-            peer: StdMutex::new(peer),
+            peer: OrderedMutex::new(ranks::QUIC_PEER, peer),
             established: AtomicBool::new(established),
             broken: AtomicBool::new(false),
             resumed,
             got_traffic: AtomicBool::new(false),
             next_packet_no: AtomicU64::new(first_packet_no),
-            unacked: StdMutex::new(HashMap::new()),
-            queued: StdMutex::new(Vec::new()),
-            recv: StdMutex::new(RecvState {
-                seen: HashMap::new(),
-                partial: HashMap::new(),
-            }),
+            unacked: OrderedMutex::new(ranks::QUIC_UNACKED, HashMap::new()),
+            queued: OrderedMutex::new(ranks::QUIC_QUEUED, Vec::new()),
+            recv: OrderedMutex::new(
+                ranks::QUIC_RECV,
+                RecvState {
+                    seen: HashMap::new(),
+                    partial: HashMap::new(),
+                },
+            ),
             demux,
         })
     }
@@ -336,9 +333,9 @@ impl ConnState {
     /// completed frame bytes when this packet was the last missing
     /// fragment. `retention` is the sender's give-up horizon: a dedup
     /// entry younger than it may still see a retransmission and MUST
-    /// be kept (wire-protocol §6.2), older ones are prunable.
+    /// be kept (wire-protocol spec §6.2), older ones are prunable.
     fn accept_data(&self, pkt: Packet, retention: Duration) -> Option<Vec<u8>> {
-        let mut recv = self.recv.lock().expect("recv lock");
+        let mut recv = self.recv.lock();
         let now = Instant::now();
         if recv.seen.insert(pkt.packet_no, now).is_some() {
             return None; // retransmitted duplicate
@@ -396,8 +393,8 @@ struct Wire {
     timeout_us: AtomicU64,
     /// Drop probability as IEEE-754 bits (atomics hold no f64).
     drop_bits: AtomicU64,
-    rng: Mutex<StdRng>,
-    stats: Mutex<NetStats>,
+    rng: OrderedMutex<StdRng>,
+    stats: OrderedMutex<NetStats>,
     packets_sent: AtomicU64,
     packets_received: AtomicU64,
     retransmits: AtomicU64,
@@ -408,7 +405,7 @@ struct Wire {
     /// client receiver, the RTO timer.
     threads: Arc<AtomicUsize>,
     /// Every live connection end, for the RTO timer's retransmit scan.
-    conns: StdMutex<Vec<Weak<ConnState>>>,
+    conns: OrderedMutex<Vec<Weak<ConnState>>>,
     /// Whether the lazy RTO timer thread has been spawned (it first
     /// exists when the first packet awaits an ack).
     rto_started: AtomicBool,
@@ -416,8 +413,8 @@ struct Wire {
     /// an unacked buffer: the parked RTO timer's wake signal. The
     /// timer parks on the condvar whenever nothing is unacknowledged,
     /// so an idle transport burns no RTO wakeups at all.
-    rto_gen: StdMutex<u64>,
-    rto_cv: Condvar,
+    rto_gen: OrderedMutex<u64>,
+    rto_cv: OrderedCondvar,
     /// Set when the last transport handle drops; every worker exits
     /// within one [`RECV_POLL`] / poll tick.
     shutdown: AtomicBool,
@@ -453,7 +450,7 @@ impl Wire {
         let base = conn
             .next_packet_no
             .fetch_add(count as u64, Ordering::SeqCst);
-        let peer = *conn.peer.lock().expect("peer lock");
+        let peer = *conn.peer.lock();
         for (i, chunk) in chunks.into_iter().enumerate() {
             let datagram = encode_packet(
                 PacketType::Data,
@@ -464,7 +461,7 @@ impl Wire {
                 chunk,
             );
             let now = Instant::now();
-            conn.unacked.lock().expect("unacked lock").insert(
+            conn.unacked.lock().insert(
                 base + i as u64,
                 Unacked {
                     datagram: datagram.clone(),
@@ -485,7 +482,7 @@ impl Wire {
             self.send_frame(conn, frame);
             return true;
         }
-        let mut queued = conn.queued.lock().expect("queued lock");
+        let mut queued = conn.queued.lock();
         // Re-check under the lock: establishment flips the flag while
         // holding it, so a frame is either flushed by the establishing
         // thread or sent here — never stranded.
@@ -504,7 +501,7 @@ impl Wire {
     /// discipline).
     fn establish(self: &Arc<Self>, conn: &ConnState) {
         let frames: Vec<Vec<u8>> = {
-            let mut queued = conn.queued.lock().expect("queued lock");
+            let mut queued = conn.queued.lock();
             conn.established.store(true, Ordering::SeqCst);
             queued.drain(..).collect()
         };
@@ -537,14 +534,14 @@ impl Wire {
         let rto = rto(self.timeout_us.load(Ordering::Relaxed));
         let give_up = self.give_up_horizon();
         let conns: Vec<Arc<ConnState>> = {
-            let mut registry = self.conns.lock().expect("conn registry");
+            let mut registry = self.conns.lock();
             registry.retain(|w| w.strong_count() > 0);
             registry.iter().filter_map(Weak::upgrade).collect()
         };
         for conn in conns {
             let mut due: Vec<(SocketAddr, Vec<u8>)> = Vec::new();
             {
-                let mut unacked = conn.unacked.lock().expect("unacked lock");
+                let mut unacked = conn.unacked.lock();
                 let before = unacked.len();
                 unacked.retain(|_, u| u.first_sent.elapsed() < give_up);
                 if unacked.len() < before {
@@ -566,22 +563,17 @@ impl Wire {
     }
 
     fn register_conn(&self, conn: &Arc<ConnState>) {
-        self.conns
-            .lock()
-            .expect("conn registry")
-            .push(Arc::downgrade(conn));
+        self.conns.lock().push(Arc::downgrade(conn));
     }
 
     /// Whether any live connection end currently has a packet awaiting
     /// its ack — the RTO timer's keep-running condition.
     fn any_unacked(&self) -> bool {
         let conns: Vec<Arc<ConnState>> = {
-            let registry = self.conns.lock().expect("conn registry");
+            let registry = self.conns.lock();
             registry.iter().filter_map(Weak::upgrade).collect()
         };
-        conns
-            .iter()
-            .any(|c| !c.unacked.lock().expect("unacked lock").is_empty())
+        conns.iter().any(|c| !c.unacked.lock().is_empty())
     }
 
     /// Signals that a packet just entered an unacked buffer: spawns the
@@ -600,7 +592,7 @@ impl Wire {
                         if wire.shutdown.load(Ordering::SeqCst) {
                             return;
                         }
-                        let gen_before = *wire.rto_gen.lock().expect("rto gen");
+                        let gen_before = *wire.rto_gen.lock();
                         if wire.any_unacked() {
                             thread::sleep(RTO_TICK);
                             wire.retransmit_due();
@@ -611,19 +603,17 @@ impl Wire {
                         // shutdown. The timed wait only bounds the
                         // shutdown latency — an idle transport takes a
                         // few waits per second, not a busy RTO loop.
-                        let mut gen = wire.rto_gen.lock().expect("rto gen");
+                        let mut gen = wire.rto_gen.lock();
                         while *gen == gen_before && !wire.shutdown.load(Ordering::SeqCst) {
-                            let (next, _) = wire
-                                .rto_cv
-                                .wait_timeout(gen, Duration::from_millis(250))
-                                .expect("rto gen");
+                            let (next, _) =
+                                wire.rto_cv.wait_timeout(gen, Duration::from_millis(250));
                             gen = next;
                         }
                     }
                 })
                 .expect("spawn RTO timer");
         }
-        let mut gen = self.rto_gen.lock().expect("rto gen");
+        let mut gen = self.rto_gen.lock();
         *gen = gen.wrapping_add(1);
         self.rto_cv.notify_all();
     }
@@ -663,7 +653,7 @@ struct ClientSide {
     /// Destination endpoint → live connection.
     conns: HashMap<EndpointId, Arc<ConnState>>,
     /// Conn id → connection, the receiver thread's routing table.
-    by_conn_id: Arc<StdMutex<HashMap<u64, Arc<ConnState>>>>,
+    by_conn_id: Arc<OrderedMutex<HashMap<u64, Arc<ConnState>>>>,
 }
 
 struct Inner {
@@ -675,15 +665,15 @@ struct Inner {
     /// collide.
     conn_nonce: u64,
     next_conn: AtomicU64,
-    endpoints: Mutex<HashMap<EndpointId, Endpoint>>,
+    endpoints: OrderedMutex<HashMap<EndpointId, Endpoint>>,
     /// 0-RTT resumption cache: destination endpoint → ticket.
-    resume: Mutex<HashMap<EndpointId, ResumeTicket>>,
-    client: Mutex<Option<ClientSide>>,
+    resume: OrderedMutex<HashMap<EndpointId, ResumeTicket>>,
+    client: OrderedMutex<Option<ClientSide>>,
     /// The shared serve poller's registration queue + waker (spawned
     /// lazily with the first served endpoint).
-    serve: Mutex<Option<Arc<ServeShared>>>,
+    serve: OrderedMutex<Option<Arc<ServeShared>>>,
     /// Master sender of the transport-wide dispatch pool.
-    dispatch: Mutex<Option<mpsc::Sender<ServeJob>>>,
+    dispatch: OrderedMutex<Option<mpsc::Sender<ServeJob>>>,
     wire: Arc<Wire>,
 }
 
@@ -698,7 +688,7 @@ impl Drop for Inner {
         }
         // Unpark the RTO timer if it is idle so it observes the flag.
         {
-            let mut gen = self.wire.rto_gen.lock().expect("rto gen");
+            let mut gen = self.wire.rto_gen.lock();
             *gen = gen.wrapping_add(1);
             self.wire.rto_cv.notify_all();
         }
@@ -728,26 +718,26 @@ impl QuicLiteTransport {
                 next_corr: AtomicU64::new(1),
                 conn_nonce,
                 next_conn: AtomicU64::new(1),
-                endpoints: Mutex::new(HashMap::new()),
-                resume: Mutex::new(HashMap::new()),
-                client: Mutex::new(None),
-                serve: Mutex::new(None),
-                dispatch: Mutex::new(None),
+                endpoints: OrderedMutex::new(ranks::QUIC_ENDPOINTS, HashMap::new()),
+                resume: OrderedMutex::new(ranks::QUIC_RESUME, HashMap::new()),
+                client: OrderedMutex::new(ranks::QUIC_CLIENT, None),
+                serve: OrderedMutex::new(ranks::QUIC_SERVE_POOL, None),
+                dispatch: OrderedMutex::new(ranks::QUIC_DISPATCH_POOL, None),
                 wire: Arc::new(Wire {
                     timeout_us: AtomicU64::new(2_000_000),
                     drop_bits: AtomicU64::new(0f64.to_bits()),
-                    rng: Mutex::new(rng),
-                    stats: Mutex::new(NetStats::default()),
+                    rng: OrderedMutex::new(ranks::QUIC_RNG, rng),
+                    stats: OrderedMutex::new(ranks::QUIC_STATS, NetStats::default()),
                     packets_sent: AtomicU64::new(0),
                     packets_received: AtomicU64::new(0),
                     retransmits: AtomicU64::new(0),
                     orphans: Arc::new(AtomicU64::new(0)),
                     shed: AtomicU64::new(0),
                     threads: Arc::new(AtomicUsize::new(0)),
-                    conns: StdMutex::new(Vec::new()),
+                    conns: OrderedMutex::new(ranks::QUIC_CONN_REGISTRY, Vec::new()),
                     rto_started: AtomicBool::new(false),
-                    rto_gen: StdMutex::new(0),
-                    rto_cv: Condvar::new(),
+                    rto_gen: OrderedMutex::new(ranks::QUIC_RTO_GEN, 0),
+                    rto_cv: OrderedCondvar::new(),
                     shutdown: AtomicBool::new(false),
                 }),
             }),
@@ -805,11 +795,7 @@ impl QuicLiteTransport {
             return;
         };
         if let Some(conn) = client.conns.remove(&to) {
-            client
-                .by_conn_id
-                .lock()
-                .expect("conn routing lock")
-                .remove(&conn.conn_id);
+            client.by_conn_id.lock().remove(&conn.conn_id);
             // Only a conn id the server demonstrably knows is cached;
             // an unestablished handshake or a resumption the server
             // never answered would poison every future reconnect.
@@ -850,7 +836,7 @@ impl QuicLiteTransport {
             return shared.clone();
         }
         let shared = Arc::new(ServeShared {
-            cmds: StdMutex::new(Vec::new()),
+            cmds: OrderedMutex::new(ranks::QUIC_SERVE_CMDS, Vec::new()),
             waker: Waker::new().expect("create serve poller waker"),
         });
         let wire = self.inner.wire.clone();
@@ -892,8 +878,8 @@ impl QuicLiteTransport {
         socket
             .set_read_timeout(Some(RECV_POLL))
             .expect("set client read timeout");
-        let by_conn_id: Arc<StdMutex<HashMap<u64, Arc<ConnState>>>> =
-            Arc::new(StdMutex::new(HashMap::new()));
+        let by_conn_id: Arc<OrderedMutex<HashMap<u64, Arc<ConnState>>>> =
+            Arc::new(OrderedMutex::new(ranks::QUIC_BY_CONN_ID, HashMap::new()));
         let wire = self.inner.wire.clone();
         let recv_socket = socket.clone();
         let routes = by_conn_id.clone();
@@ -912,28 +898,18 @@ impl QuicLiteTransport {
                         continue; // corrupt datagram: sender retransmits
                     };
                     wire.packets_received.fetch_add(1, Ordering::Relaxed);
-                    let conn = routes
-                        .lock()
-                        .expect("conn routing lock")
-                        .get(&pkt.conn_id)
-                        .cloned();
+                    let conn = routes.lock().get(&pkt.conn_id).cloned();
                     let Some(conn) = conn else { continue };
                     // Any traffic at all proves the server speaks this
                     // conn id — the evidence the resumption cache needs.
                     conn.got_traffic.store(true, Ordering::SeqCst);
                     match pkt.ptype {
                         PacketType::InitAck => {
-                            conn.unacked
-                                .lock()
-                                .expect("unacked lock")
-                                .remove(&pkt.packet_no);
+                            conn.unacked.lock().remove(&pkt.packet_no);
                             wire.establish(&conn);
                         }
                         PacketType::Ack => {
-                            conn.unacked
-                                .lock()
-                                .expect("unacked lock")
-                                .remove(&pkt.packet_no);
+                            conn.unacked.lock().remove(&pkt.packet_no);
                         }
                         PacketType::Data => {
                             wire.send_ack(&recv_socket, src, pkt.conn_id, pkt.packet_no);
@@ -975,11 +951,7 @@ impl QuicLiteTransport {
             // queueing more frames into the void — the datagram
             // analogue of the TCP pool pruning stalled connections.
             let dead = client.conns.remove(&to).expect("checked above");
-            client
-                .by_conn_id
-                .lock()
-                .expect("conn routing lock")
-                .remove(&dead.conn_id);
+            client.by_conn_id.lock().remove(&dead.conn_id);
             if dead.resumable() {
                 self.inner.resume.lock().insert(
                     to,
@@ -1031,7 +1003,7 @@ impl QuicLiteTransport {
                 let no = conn.next_packet_no.fetch_add(1, Ordering::SeqCst);
                 let datagram = encode_packet(PacketType::Init, conn_id, no, 0, 1, &[]);
                 let now = Instant::now();
-                conn.unacked.lock().expect("unacked lock").insert(
+                conn.unacked.lock().insert(
                     no,
                     Unacked {
                         datagram: datagram.clone(),
@@ -1044,11 +1016,7 @@ impl QuicLiteTransport {
             }
         };
         wire.register_conn(&conn);
-        client
-            .by_conn_id
-            .lock()
-            .expect("conn routing lock")
-            .insert(conn.conn_id, conn.clone());
+        client.by_conn_id.lock().insert(conn.conn_id, conn.clone());
         client.conns.insert(to, conn.clone());
         if let Some(datagram) = init {
             wire.transmit(&conn.socket, addr, &datagram);
@@ -1402,7 +1370,7 @@ struct ServeJob {
 /// poller's clone are gone.
 fn spawn_dispatch_pool(wire: &Arc<Wire>) -> mpsc::Sender<ServeJob> {
     let (job_tx, job_rx) = mpsc::channel::<ServeJob>();
-    let job_rx = Arc::new(StdMutex::new(job_rx));
+    let job_rx = Arc::new(OrderedMutex::new(ranks::QUIC_DISPATCH_QUEUE, job_rx));
     for worker in 0..SERVE_POOL {
         let guard = ThreadGuard::enter(&wire.threads);
         let job_rx = job_rx.clone();
@@ -1415,7 +1383,7 @@ fn spawn_dispatch_pool(wire: &Arc<Wire>) -> mpsc::Sender<ServeJob> {
                     // Hold the shared receiver only for the blocking
                     // recv: pickup is serialized, execution is not.
                     let job = {
-                        let rx = job_rx.lock().expect("dispatch queue");
+                        let rx = job_rx.lock();
                         rx.recv()
                     };
                     let Ok(job) = job else { break };
@@ -1445,18 +1413,18 @@ fn spawn_dispatch_pool(wire: &Arc<Wire>) -> mpsc::Sender<ServeJob> {
 /// The cross-thread face of the serve poller: newly served endpoints
 /// queue their socket state here and pop the poller's `poll`.
 struct ServeShared {
-    cmds: StdMutex<Vec<ServeSock>>,
+    cmds: OrderedMutex<Vec<ServeSock>>,
     waker: Waker,
 }
 
 impl ServeShared {
     fn push(&self, sock: ServeSock) {
-        self.cmds.lock().expect("serve registrations").push(sock);
+        self.cmds.lock().push(sock);
         self.waker.wake();
     }
 
     fn take(&self) -> Vec<ServeSock> {
-        std::mem::take(&mut *self.cmds.lock().expect("serve registrations"))
+        std::mem::take(&mut *self.cmds.lock())
     }
 }
 
@@ -1571,7 +1539,7 @@ fn pump_serve_socket(wire: &Arc<Wire>, s: &mut ServeSock, buf: &mut [u8]) {
                     wire.register_conn(&conn);
                     conn
                 });
-                *conn.peer.lock().expect("peer lock") = src;
+                *conn.peer.lock() = src;
                 let ack = encode_packet(PacketType::InitAck, pkt.conn_id, pkt.packet_no, 0, 1, &[]);
                 wire.transmit(&s.socket, src, &ack);
             }
@@ -1583,7 +1551,7 @@ fn pump_serve_socket(wire: &Arc<Wire>, s: &mut ServeSock, buf: &mut [u8]) {
                 let Some(conn) = s.conns.get(&pkt.conn_id) else {
                     continue;
                 };
-                *conn.peer.lock().expect("peer lock") = src;
+                *conn.peer.lock() = src;
                 wire.send_ack(&s.socket, src, pkt.conn_id, pkt.packet_no);
                 if let Some(frame_bytes) = conn.accept_data(pkt, wire.give_up_horizon()) {
                     if s.down.load(Ordering::Relaxed) {
@@ -1624,10 +1592,7 @@ fn pump_serve_socket(wire: &Arc<Wire>, s: &mut ServeSock, buf: &mut [u8]) {
             }
             PacketType::Ack => {
                 if let Some(conn) = s.conns.get(&pkt.conn_id) {
-                    conn.unacked
-                        .lock()
-                        .expect("unacked lock")
-                        .remove(&pkt.packet_no);
+                    conn.unacked.lock().remove(&pkt.packet_no);
                 }
             }
             PacketType::InitAck => {} // server side never dials

@@ -1,4 +1,4 @@
-//! The §5.3 security model in action: user-, service- and
+//! The paper §5.3 security model in action: user-, service- and
 //! application-level access control on a campus map server.
 //!
 //! Run with: `cargo run --release --example campus_privacy`
@@ -42,7 +42,7 @@ fn main() {
     let venue = dep.world.venues[0].clone();
     let product = dep.world.products[1].clone();
     println!(
-        "campus venue: {} (policy: locked down per §5.3)\n",
+        "campus venue: {} (policy: locked down per paper §5.3)\n",
         venue.name
     );
 
@@ -117,5 +117,5 @@ fn main() {
     let denied = dep.venue_servers[0].stats().denied;
     println!("requests denied by the campus server during this demo: {denied}");
     println!("\nA centralized provider could not express any of this: its data is");
-    println!("either fully public or absent (§5.3).");
+    println!("either fully public or absent (paper §5.3).");
 }

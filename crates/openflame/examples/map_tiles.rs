@@ -1,4 +1,4 @@
-//! Tile rendering and cross-frame stitching (§4 tile service + §5.2
+//! Tile rendering and cross-frame stitching (paper §4 tile service + paper §5.2
 //! MapCruncher-style alignment): renders the city, then overlays a
 //! store's unaligned indoor map using a transform fitted from manual
 //! correspondences, and writes PPM images.

@@ -60,7 +60,7 @@ fn main() {
         dep.cell_dns.record_count()
     );
 
-    // 3. Discovery: coarse location → map servers (a DNS lookup, §5.1;
+    // 3. Discovery: coarse location → map servers (a DNS lookup, paper §5.1;
     //    session-cached per cell after the first hit).
     let here = dep.world.venues[0].hint;
     let servers = dep.client.discover(here).unwrap();
@@ -73,7 +73,7 @@ fn main() {
     // `CentralizedProvider` and this code does not change.
     let provider: &dyn SpatialProvider = &dep.client;
 
-    // 4. Search (§5.2): one batched envelope per discovered server,
+    // 4. Search (paper §5.2): one batched envelope per discovered server,
     //    gathered concurrently, rank-fused on the client.
     let product = dep.world.products[0].clone();
     let search = provider
@@ -99,7 +99,7 @@ fn main() {
         search.stats.servers_consulted
     );
 
-    // 5. Routing (§5.2): outdoor leg + indoor leg stitched at the store
+    // 5. Routing (paper §5.2): outdoor leg + indoor leg stitched at the store
     //    entrance the dynamic program picks.
     let start = here.destination(225.0, 100.0);
     let route = provider
@@ -123,7 +123,7 @@ fn main() {
         );
     }
 
-    // 6. Localization (§5.2): cues go only to servers advertising the
+    // 6. Localization (paper §5.2): cues go only to servers advertising the
     //    matching technology; estimates come back with provenance and,
     //    where the server is anchored, a geographic position.
     let localize = provider

@@ -11,7 +11,7 @@
 //! answering in completion order, the session's scatter rounds and
 //! bounded caches) is documented in [`core`]'s architecture section —
 //! including a backend-selection matrix — and specified normatively in
-//! `docs/wire-protocol.md` (§6 is the datagram binding).
+//! `docs/wire-protocol.md` (spec §6 is the datagram binding).
 
 pub use openflame_cells as cells;
 pub use openflame_codec as codec;

@@ -23,7 +23,7 @@ fn discovery_to_search_to_route_pipeline() {
     let venue_hint = dep.world.venues[product.venue].hint;
     let user = venue_hint.destination(200.0, 90.0);
 
-    // Discover, search, route — the §2 flow.
+    // Discover, search, route — the paper §2 flow.
     let hit = dep.client.federated_search(&product.name, user, 5).unwrap()[0].clone();
     assert_eq!(hit.result.label, product.name);
     let route = dep.client.federated_route(user, &hit).unwrap();
@@ -385,7 +385,7 @@ fn deterministic_end_to_end() {
 
 #[test]
 fn localization_denied_while_tiles_allowed() {
-    // The §5.3 service-level example, end to end through the client.
+    // The paper §5.3 service-level example, end to end through the client.
     let policy = AccessPolicy::open().with(ServiceKind::Localize, vec![Rule::DenyAll]);
     let dep = Deployment::build(
         small_world(),

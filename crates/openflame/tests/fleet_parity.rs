@@ -16,7 +16,7 @@
 //!    independent of the replication factor.
 //! 3. **Transparent failover** — a downed replica is absorbed: the
 //!    scatter retries the branch on a sibling replica (search is
-//!    idempotent, `docs/wire-protocol.md` §7), the caller sees a clean
+//!    idempotent, `docs/wire-protocol.md` spec §7), the caller sees a clean
 //!    success, and provenance names the replica that actually
 //!    answered.
 //! 4. **Honest shard outage** — when *every* replica of a shard is

@@ -266,7 +266,7 @@ fn quiclite_deployment_recovers_injected_loss_by_retransmission() {
 /// A service that sheds its first `busy_first` envelopes with
 /// `Response::Busy { retry_after_us: 500 }` and then answers every
 /// batch item with a `Hello`-shaped reply. This is the cross-backend
-/// probe for the overload protocol (wire-protocol.md §10): the
+/// probe for the overload protocol (wire-protocol.md spec §10): the
 /// simulator installs no admission policy and never sheds on its own,
 /// so Busy parity is driven through the service layer, where all three
 /// backends must carry it identically.

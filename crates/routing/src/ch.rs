@@ -1,6 +1,6 @@
 //! Contraction hierarchies: preprocessing-based fast shortest paths.
 //!
-//! The centralized map model (§4.1) preprocesses the routing graph with
+//! The centralized map model (paper §4.1) preprocesses the routing graph with
 //! contraction hierarchies "which makes routing queries faster to
 //! compute" (citing Geisberger et al., ref. 11). This module implements
 //! the algorithm from scratch:

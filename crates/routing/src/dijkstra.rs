@@ -73,7 +73,7 @@ pub fn dijkstra(graph: &RoadGraph, from: NodeId, to: NodeId) -> Result<Route, Ro
 /// One-to-many Dijkstra: costs from `from` to every node in `targets`.
 ///
 /// Returns `f64::INFINITY` for unreachable targets. Used by map servers
-/// to produce portal cost matrices for stitching (§5.2).
+/// to produce portal cost matrices for stitching (paper §5.2).
 pub fn dijkstra_many(graph: &RoadGraph, from: NodeId, targets: &[NodeId]) -> Vec<f64> {
     let Some(src) = graph.index_of(from) else {
         return vec![f64::INFINITY; targets.len()];

@@ -1,12 +1,12 @@
 //! Routing substrate: road graphs, shortest-path engines and federated
 //! route stitching.
 //!
-//! The paper names routing as a base location-based service (§4) and
+//! The paper names routing as a base location-based service (paper §4) and
 //! describes both the centralized pattern — preprocess the global map
-//! with contraction hierarchies for fast queries (§4.1, citing
+//! with contraction hierarchies for fast queries (paper §4.1, citing
 //! Geisberger et al.) — and the federated pattern, where each map server
 //! routes within its own region and the client stitches per-region legs
-//! at portal nodes (§5.2). This crate implements all of it:
+//! at portal nodes (paper §5.2). This crate implements all of it:
 //!
 //! - [`RoadGraph`] — a directed, weighted graph extracted from a
 //!   [`MapDocument`](openflame_mapdata::MapDocument) under a travel

@@ -1,6 +1,6 @@
 //! Stitching per-region route legs into an end-to-end plan.
 //!
-//! In the federated model (§5.2) "each map server would calculate the
+//! In the federated model (paper §5.2) "each map server would calculate the
 //! route that is relevant for the region that they cover. The client
 //! would collect paths from all relevant map servers, and stitch them
 //! together such that the final path optimizes a metric of interest."

@@ -1,10 +1,10 @@
 //! Client-side fusion of ranked result lists from many map servers.
 //!
 //! "The client would then rank results from multiple map servers and
-//! present them to the application" (§5.2). Servers are heterogeneous —
+//! present them to the application" (paper §5.2). Servers are heterogeneous —
 //! their scores are not comparable — so fusion uses reciprocal-rank
 //! fusion (RRF), which only relies on per-list ranks, plus label-based
-//! deduplication for areas covered by overlapping maps (§3).
+//! deduplication for areas covered by overlapping maps (paper §3).
 
 use crate::index::SearchResult;
 

@@ -3,10 +3,10 @@
 //! "Searching for map nodes using their metadata or features as keywords
 //! in or around a region is called location-based search. This service
 //! serves requests of the form 'restaurants around me', 'parking spot
-//! near the theater'" (§4). Map providers index node features and
+//! near the theater'" (paper §4). Map providers index node features and
 //! metadata against location; this crate does the same for one map
 //! document, and supplies the client-side rank fusion the federated
-//! architecture needs when results come from many servers (§5.2).
+//! architecture needs when results come from many servers (paper §5.2).
 //!
 //! - [`SearchIndex`] — TF-IDF inverted index over element tags with
 //!   spatial filtering and distance-decayed ranking,

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 /// Renders a geo-anchored map document into slippy tiles.
 ///
-/// Rendering follows the centralized pipeline of §4.1 — tiles can be
+/// Rendering follows the centralized pipeline of paper §4.1 — tiles can be
 /// pre-rendered for a zoom range or rendered on demand into a cache —
 /// but each *federated* server only holds its own map, so its tiles are
 /// mostly background outside its region; the client composes tiles from
@@ -18,7 +18,7 @@ use std::sync::Arc;
 pub struct TileRenderer {
     /// Projected world coordinates (unit square) per node, plus tags.
     features: Vec<Feature>,
-    cache: parking_lot::Mutex<HashMap<TileCoord, Arc<Tile>>>,
+    cache: openflame_diag::OrderedMutex<HashMap<TileCoord, Arc<Tile>>>,
     render_count: std::sync::atomic::AtomicU64,
 }
 
@@ -71,7 +71,10 @@ impl TileRenderer {
         });
         Some(Self {
             features,
-            cache: parking_lot::Mutex::new(HashMap::new()),
+            cache: openflame_diag::OrderedMutex::new(
+                openflame_diag::ranks::TILE_CACHE,
+                HashMap::new(),
+            ),
             render_count: std::sync::atomic::AtomicU64::new(0),
         })
     }
@@ -97,7 +100,7 @@ impl TileRenderer {
     }
 
     /// Pre-renders every tile covering `nw`–`se` for zooms
-    /// `z_min..=z_max`, returning how many tiles were produced (§4.1:
+    /// `z_min..=z_max`, returning how many tiles were produced (paper §4.1:
     /// "the tile rendering service might pre-render tiles ... even
     /// before they are requested").
     pub fn prerender(&self, nw: LatLng, se: LatLng, z_min: u8, z_max: u8) -> usize {

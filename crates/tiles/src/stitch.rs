@@ -10,7 +10,7 @@ use openflame_mapdata::MapDocument;
 /// later tiles paint over earlier ones wherever they are not
 /// background. This is the client-side "download these representations
 /// from multiple discovered map servers and stitch them together"
-/// step of §5.2.
+/// step of paper §5.2.
 ///
 /// # Panics
 ///
@@ -41,7 +41,7 @@ pub fn compose(layers: &[&Tile]) -> Tile {
 /// Renders an *unaligned* venue map onto a geo tile, given the fitted
 /// similarity/affine transform from the venue's local frame to the ENU
 /// frame at `anchor` (obtained from manual correspondences via
-/// [`Affine2::fit_similarity`] — the MapCruncher mechanism of §5.2).
+/// [`Affine2::fit_similarity`] — the MapCruncher mechanism of paper §5.2).
 pub fn render_unaligned_overlay(
     map: &MapDocument,
     local_to_enu: &Affine2,

@@ -10,7 +10,7 @@ use rand::Rng;
 /// grid centered on the configured city center, with named streets,
 /// addressed buildings, and POIs.
 ///
-/// The map plays the "large world-map provider" role from §5.2 (the
+/// The map plays the "large world-map provider" role from paper §5.2 (the
 /// OpenStreetMap/Google of the simulation): public, outdoor, coarse.
 pub fn build_outdoor<R: Rng>(config: &WorldConfig, rng: &mut R) -> MapDocument {
     let mut map = MapDocument::new(

@@ -3,14 +3,14 @@
 //! Every experiment in EXPERIMENTS.md needs ground truth — true
 //! positions, true inventories, true frame alignments — which real map
 //! extracts cannot provide. This crate generates cities with the exact
-//! structure the paper's example application needs (§2):
+//! structure the paper's example application needs (paper §2):
 //!
 //! - an **outdoor map**: a street grid with named roads, addressed
 //!   buildings and POIs, precisely geo-anchored (the "Google Maps"
 //!   role),
 //! - **venues**: grocery stores, malls and campus buildings, each with a
 //!   private indoor map in its own *deliberately misaligned* local frame
-//!   (§3 heterogeneity), stocked with products on shelves, instrumented
+//!   (paper §3 heterogeneity), stocked with products on shelves, instrumented
 //!   with radio beacons and fiducial tags, and connected to the street
 //!   network at entrance portals,
 //! - **ground truth**: the true similarity transform of every venue

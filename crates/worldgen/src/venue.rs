@@ -11,7 +11,7 @@ use rand::Rng;
 /// The kind of a federated venue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VenueKind {
-    /// A grocery store with aisles and stocked shelves (§2).
+    /// A grocery store with aisles and stocked shelves (paper §2).
     Grocery,
     /// A unit inside a mall.
     MallUnit,
@@ -28,7 +28,7 @@ pub struct Venue {
     /// Venue kind.
     pub kind: VenueKind,
     /// The indoor map, in the venue's own local frame
-    /// ([`GeoReference::Unaligned`] — §3 heterogeneity).
+    /// ([`GeoReference::Unaligned`] — paper §3 heterogeneity).
     pub map: MapDocument,
     /// Ground truth: venue frame → city ENU frame. *Not* known to the
     /// venue's map server; experiments use it to score accuracy.
@@ -41,7 +41,7 @@ pub struct Venue {
     /// Entrance node inside the venue map.
     pub entrance_local: NodeId,
     /// Matching entrance node in the outdoor map (the portal pair for
-    /// route stitching, §5.2).
+    /// route stitching, paper §5.2).
     pub entrance_outdoor: NodeId,
     /// Radio beacons installed in the venue (venue frame).
     pub beacons: Vec<Beacon>,

@@ -236,7 +236,7 @@ pub struct OpMix {
 
 impl Default for OpMix {
     /// A city-plausible mix: search-dominated, localization frequent
-    /// (§2: position fixes every few seconds), routing and tiles
+    /// (paper §2: position fixes every few seconds), routing and tiles
     /// occasional.
     fn default() -> Self {
         Self {

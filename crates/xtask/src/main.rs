@@ -1,0 +1,40 @@
+//! Workspace conformance lint driver: `cargo run -p xtask -- lint`.
+//!
+//! Exits non-zero (and prints one `file:line: [rule] message` per
+//! finding) when any rule fails; see `docs/conformance.md` for the rule
+//! catalogue.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let (findings, scanned) = xtask::run_lint(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("conformance lint: {scanned} files scanned, 0 findings");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "conformance lint: {scanned} files scanned, {} finding(s)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

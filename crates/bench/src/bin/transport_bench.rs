@@ -44,16 +44,26 @@
 //! shape is consulted < shards and msgs/round independent of the
 //! replication factor.
 //!
-//! Flags: `--sweep` runs only the fan-out and slow-request sweeps
-//! (fast, CI-friendly); `--fleet` runs only the fleet sweep; `--json`
-//! additionally emits one JSON line per sweep point so the bench
-//! trajectory can be recorded across commits.
+//! **Planner sweep** (`--planner`) deploys a wide worldgen fan-out and
+//! measures identical warm queries with the coverage planner on vs off
+//! (`docs/wire-protocol.md` spec §13): candidate sources considered,
+//! sources actually consulted, sources pruned on proof, and the wire
+//! cost of each arm. The sweep self-checks recall parity — both arms
+//! must return byte-identical results while the planner arm consults
+//! strictly fewer servers on the provably prunable kinds — and feeds
+//! the `BENCH_planner.json` CI artifact.
 //!
-//! `cargo run --release -p openflame-bench --bin transport_bench [-- --sweep|--fleet] [-- --json]`
+//! Flags: `--sweep` runs only the fan-out and slow-request sweeps
+//! (fast, CI-friendly); `--fleet` runs only the fleet sweep;
+//! `--planner` runs only the planner sweep; `--json` additionally
+//! emits one JSON line per sweep point so the bench trajectory can be
+//! recorded across commits.
+//!
+//! `cargo run --release -p openflame-bench --bin transport_bench [-- --sweep|--fleet|--planner] [-- --json]`
 
 use openflame_bench::{header, mean, percentile, row};
 use openflame_codec::{from_bytes, to_bytes};
-use openflame_core::{Deployment, DeploymentConfig, OpenFlameClient, Session};
+use openflame_core::{Deployment, DeploymentConfig, OpenFlameClient, QueryKind, Session};
 use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response};
 use openflame_mapserver::Principal;
 use openflame_netsim::{BackendKind, CompletionSet, EndpointId, WireService};
@@ -75,6 +85,10 @@ fn main() {
     let sweep_only = args.iter().any(|a| a == "--sweep");
     if args.iter().any(|a| a == "--fleet") {
         fleet_sweep(json);
+        return;
+    }
+    if args.iter().any(|a| a == "--planner") {
+        planner_sweep(json);
         return;
     }
     if !sweep_only {
@@ -270,6 +284,203 @@ fn fleet_sweep(json: bool) {
     );
 }
 
+const PLANNER_STORES: [usize; 2] = [4, 8];
+const PLANNER_REPS: usize = 8;
+
+/// Runs one warm query `reps` times, returning the last result plus
+/// mean transport messages and mean latency (transport-clock us).
+fn measure<R>(dep: &Deployment, reps: usize, f: impl Fn() -> R) -> (R, f64, f64) {
+    let mut msgs = Vec::with_capacity(reps);
+    let mut lat_us = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        dep.transport.reset_stats();
+        let t0 = dep.transport.now_us();
+        out = Some(f());
+        lat_us.push((dep.transport.now_us() - t0) as f64);
+        msgs.push(dep.transport.stats().messages as f64);
+    }
+    (out.expect("reps > 0"), mean(&msgs), mean(&lat_us))
+}
+
+fn planner_sweep(json: bool) {
+    header(
+        "PLANNER SWEEP",
+        "coverage-based pruning (wire-protocol spec §13): identical warm queries, planner on vs off",
+    );
+    row(&[
+        "backend".into(),
+        "stores".into(),
+        "kind".into(),
+        "considered".into(),
+        "consulted on".into(),
+        "consulted off".into(),
+        "pruned".into(),
+        "msgs on".into(),
+        "msgs off".into(),
+        "on mean us".into(),
+        "off mean us".into(),
+    ]);
+    for backend in [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite] {
+        for stores in PLANNER_STORES {
+            let world = World::generate(WorldConfig {
+                stores,
+                products_per_store: 12,
+                ..WorldConfig::default()
+            });
+            let dep = Deployment::build(
+                world,
+                DeploymentConfig {
+                    backend,
+                    ..DeploymentConfig::default()
+                },
+            );
+            let off = OpenFlameClient::builder()
+                .principal(Principal::anonymous())
+                .world_provider(dep.outdoor_server.endpoint())
+                .coverage_planner(false)
+                .build_on(dep.transport.clone(), dep.resolver.clone());
+            let center = dep.world.config.center;
+            let product = dep.world.products[0].clone();
+            let near = dep.world.venues[product.venue].hint;
+            // Warm both arms: the search's two-phase handshake seeds
+            // discovery, the hello cache and the coverage summaries of
+            // every discovered server.
+            let warm_on = dep
+                .client
+                .federated_search(&product.name, center, 3)
+                .expect("warm-up search");
+            let warm_off = off
+                .federated_search(&product.name, center, 3)
+                .expect("warm-up search");
+            assert_eq!(warm_on, warm_off, "planner must not change warm-up recall");
+            // Also warm the product-venue cell in both arms (the
+            // shared resolver would otherwise bill the whole DNS walk
+            // to whichever arm is measured first).
+            dep.client
+                .federated_search(&product.name, near, 3)
+                .expect("warm-up search");
+            off.federated_search(&product.name, near, 3)
+                .expect("warm-up search");
+            for kind in [
+                QueryKind::Tile,
+                QueryKind::ReverseGeocode,
+                QueryKind::Search,
+            ] {
+                let (label, loc, radius_m, parity, msgs_on, msgs_off, lat_on, lat_off) = match kind
+                {
+                    QueryKind::Tile => {
+                        let (a, m_on, l_on) = measure(&dep, PLANNER_REPS, || {
+                            dep.client.federated_tile(center, 16).expect("tile")
+                        });
+                        let (b, m_off, l_off) = measure(&dep, PLANNER_REPS, || {
+                            off.federated_tile(center, 16).expect("tile")
+                        });
+                        ("tiles", center, 200.0, a == b, m_on, m_off, l_on, l_off)
+                    }
+                    QueryKind::ReverseGeocode => {
+                        let (a, m_on, l_on) = measure(&dep, PLANNER_REPS, || {
+                            dep.client
+                                .federated_reverse_geocode(center, 150.0)
+                                .expect("rgeocode")
+                        });
+                        let (b, m_off, l_off) = measure(&dep, PLANNER_REPS, || {
+                            off.federated_reverse_geocode(center, 150.0)
+                                .expect("rgeocode")
+                        });
+                        ("rgeocode", center, 150.0, a == b, m_on, m_off, l_on, l_off)
+                    }
+                    _ => {
+                        let (a, m_on, l_on) = measure(&dep, PLANNER_REPS, || {
+                            dep.client
+                                .federated_search(&product.name, near, 5)
+                                .expect("search")
+                        });
+                        let (b, m_off, l_off) = measure(&dep, PLANNER_REPS, || {
+                            off.federated_search(&product.name, near, 5)
+                                .expect("search")
+                        });
+                        ("search", near, 2_000.0, a == b, m_on, m_off, l_on, l_off)
+                    }
+                };
+                // Self-check 1: recall parity — pruning never changes
+                // what a query returns (spec §13.3).
+                assert!(parity, "recall parity violated for {label} on {backend:?}");
+                let plan_on = dep.client.plan_query(kind, loc, radius_m).expect("plan");
+                let plan_off = off.plan_query(kind, loc, radius_m).expect("plan");
+                assert_eq!(plan_off.pruned_count(), 0, "planner off never prunes");
+                assert_eq!(
+                    plan_on.considered(),
+                    plan_off.considered(),
+                    "both arms consider the same candidates"
+                );
+                // Self-check 2: on the provably prunable kinds the
+                // wide fan-out consults strictly fewer servers —
+                // unaligned venues advertise zero tiles and zero
+                // rgeocode documents (spec §13.1) — and for tiles the
+                // saving is whole wire calls, not just plan rows
+                // (rgeocode skips unanchored servers without a wire
+                // call in both arms).
+                if matches!(kind, QueryKind::Tile | QueryKind::ReverseGeocode) {
+                    assert!(
+                        plan_on.consulted() < plan_off.consulted(),
+                        "{label} on {backend:?}: expected strictly fewer sources, \
+                         got {} vs {}",
+                        plan_on.consulted(),
+                        plan_off.consulted()
+                    );
+                }
+                if kind == QueryKind::Tile {
+                    assert!(
+                        msgs_on < msgs_off,
+                        "tiles on {backend:?}: planner savings must be wire-real, \
+                         got {msgs_on} vs {msgs_off} messages"
+                    );
+                }
+                row(&[
+                    dep.transport.kind().into(),
+                    format!("{}", stores + 1),
+                    label.into(),
+                    format!("{}", plan_on.considered()),
+                    format!("{}", plan_on.consulted()),
+                    format!("{}", plan_off.consulted()),
+                    format!("{}", plan_on.pruned_count()),
+                    format!("{msgs_on:.0}"),
+                    format!("{msgs_off:.0}"),
+                    format!("{lat_on:.0}"),
+                    format!("{lat_off:.0}"),
+                ]);
+                if json {
+                    println!(
+                        "{{\"bench\":\"planner_sweep\",\"backend\":\"{}\",\"stores\":{stores},\
+                         \"kind\":\"{label}\",\"servers_considered\":{},\
+                         \"servers_consulted\":{},\"servers_pruned\":{},\
+                         \"consulted_off\":{},\"msgs_on\":{msgs_on:.1},\"msgs_off\":{msgs_off:.1},\
+                         \"warm_mean_us_on\":{lat_on:.1},\"warm_mean_us_off\":{lat_off:.1}}}",
+                        dep.transport.kind(),
+                        plan_on.considered(),
+                        plan_on.consulted(),
+                        plan_on.pruned_count(),
+                        plan_off.consulted(),
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "\nexpected shape: considered is identical in both arms (the planner\n\
+         only ever removes, never adds). On tiles and rgeocode every\n\
+         unaligned venue is pruned on proof (zero advertised documents,\n\
+         spec §13.1), so consulted on < consulted off by exactly the venue\n\
+         count, and for tiles msgs on < msgs off by two messages per\n\
+         pruned venue — the whole point of the planner. search prunes\n\
+         only on a provably disjoint extent, which a query near the\n\
+         product's own venue rarely triggers: expect pruned ~0 there,\n\
+         with byte-identical results everywhere (the recall-parity\n\
+         self-check would abort the sweep otherwise).\n"
+    );
+}
+
 /// A leg-matrix-shaped stub server: answers `RouteMatrix` items with a
 /// 1×1 cost matrix and anything else with a `Hello`, so a `Session`
 /// can drive a scatter round without standing up a whole world.
@@ -294,6 +505,7 @@ fn matrix_stub(id: usize) -> Arc<dyn WireService> {
                     anchor: None,
                     portals: Vec::new(),
                     version: 1,
+                    coverage: None,
                 }),
             })
             .collect();
@@ -312,6 +524,8 @@ fn fanout_sweep(json: bool) {
         "warm mean us".into(),
         "warm p95 us".into(),
         "msgs/round".into(),
+        "consulted".into(),
+        "pruned".into(),
         "threads".into(),
         "depth hw".into(),
         "shed".into(),
@@ -375,12 +589,21 @@ fn fanout_sweep(json: bool) {
                 .max()
                 .unwrap_or(0);
             let shed = transport.shed_requests();
+            // Planner accounting for the artifact schema: the stubs
+            // advertise no coverage summaries, so every branch has
+            // unknown coverage and MUST be consulted (spec §13.3) —
+            // the sweep scatters to all `width` servers and prunes
+            // none. The planner sweep (`--planner`) is where the
+            // pruned column moves.
+            let (consulted, pruned) = (width, 0usize);
             row(&[
                 transport.kind().into(),
                 format!("{width}"),
                 format!("{warm_mean:.0}"),
                 format!("{warm_p95:.0}"),
                 format!("{msgs_per_round:.0}"),
+                format!("{consulted}"),
+                format!("{pruned}"),
                 format!("{threads}"),
                 format!("{depth_hw}"),
                 format!("{shed}"),
@@ -390,6 +613,7 @@ fn fanout_sweep(json: bool) {
                     "{{\"bench\":\"fanout_sweep\",\"backend\":\"{}\",\"width\":{width},\
                      \"reps\":{SWEEP_REPS},\"warm_mean_us\":{warm_mean:.1},\
                      \"warm_p95_us\":{warm_p95:.1},\"msgs_per_round\":{msgs_per_round:.0},\
+                     \"servers_consulted\":{consulted},\"servers_pruned\":{pruned},\
                      \"threads\":{threads},\"dispatch_depth_hw\":{depth_hw},\
                      \"shed_requests\":{shed}}}",
                     transport.kind(),
@@ -405,8 +629,12 @@ fn fanout_sweep(json: bool) {
          64-wide scatter pays queueing, not thread churn. quiclite rides\n\
          one multiplexed datagram socket and typically undercuts tcp at\n\
          wide fan-outs (no per-connection pools at all). The simulator\n\
-         charges max-of-branches by construction. threads is the peak\n\
-         worker population and must be FLAT across widths: tcp runs its\n\
+         charges max-of-branches by construction. consulted == width and\n\
+         pruned == 0 here by design: the stubs advertise no coverage, so\n\
+         the planner may not skip any of them (spec §13.3) — the\n\
+         --planner sweep shows the pruned column doing work. threads is\n\
+         the peak worker population and must be FLAT across widths: tcp\n\
+         runs its\n\
          reactor pool + dispatch pool, quiclite its small constant, sim\n\
          dispatches inline (0). depth hw is the dispatch-queue high-water\n\
          across the stub servers and shed the transport's Busy-shed count\n\

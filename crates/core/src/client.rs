@@ -28,7 +28,8 @@
 //! [`OpenFlameClientBuilder::build_on`].
 
 use crate::discovery::{DiscoveredServer, DiscoveryClient};
-use crate::fleet::{DiscoveryView, FleetSelector, FleetShardView};
+use crate::fleet::{DiscoveryView, FleetSelector};
+use crate::plan::{HelloDiscipline, PlanExecutor, QueryKind, QueryPlanner, ScatterPlan};
 use crate::provider::{
     GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery, ProviderEstimate,
     ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery, SearchOutcome,
@@ -113,6 +114,7 @@ pub struct OpenFlameClientBuilder {
     expand_neighbors: bool,
     session_ttl_us: Option<u64>,
     world_provider: Option<EndpointId>,
+    coverage_planner: bool,
 }
 
 impl Default for OpenFlameClientBuilder {
@@ -122,6 +124,7 @@ impl Default for OpenFlameClientBuilder {
             expand_neighbors: true,
             session_ttl_us: None,
             world_provider: None,
+            coverage_planner: true,
         }
     }
 }
@@ -161,6 +164,17 @@ impl OpenFlameClientBuilder {
         self
     }
 
+    /// Whether the cost-based query planner prunes provably
+    /// non-contributing sources from scatter plans using cached
+    /// coverage summaries (wire-protocol spec §13). On by default;
+    /// pruning is sound, so results are identical either way — the
+    /// recall-parity tests pin exactly that. Off is for those tests,
+    /// ablations and benches.
+    pub fn coverage_planner(mut self, enabled: bool) -> Self {
+        self.coverage_planner = enabled;
+        self
+    }
+
     /// Registers the client on the simulated network and builds it
     /// ([`OpenFlameClientBuilder::build_on`] with a [`SimTransport`]).
     pub fn build(self, net: &SimNet, resolver: Arc<Resolver>) -> OpenFlameClient {
@@ -185,6 +199,7 @@ impl OpenFlameClientBuilder {
             discovery: DiscoveryClient::new(resolver),
             session,
             fleet: FleetSelector::new(),
+            planner: QueryPlanner::new(self.coverage_planner),
             expand_neighbors: self.expand_neighbors,
             world_provider: self.world_provider,
         }
@@ -197,24 +212,9 @@ pub struct OpenFlameClient {
     discovery: DiscoveryClient,
     session: Session,
     fleet: FleetSelector,
+    planner: QueryPlanner,
     expand_neighbors: bool,
     world_provider: Option<EndpointId>,
-}
-
-/// One branch of a fleet-aware scatter plan: the concrete server to
-/// consult, plus — when the branch serves a fleet shard — the failover
-/// context.
-struct PlannedTarget {
-    server: DiscoveredServer,
-    fleet: Option<FleetBranch>,
-}
-
-/// Fleet context of a planned branch: the shard it consults (sibling
-/// replicas live in `shard.replicas`) and the discovery-cache cell to
-/// invalidate on failover.
-struct FleetBranch {
-    shard: FleetShardView,
-    cell_raw: u64,
 }
 
 /// The footprint radius used to prune shards for localization: coarse
@@ -280,6 +280,16 @@ impl OpenFlameClient {
         self.session.hello(to)
     }
 
+    /// The cost-based query planner (wire-protocol spec §13).
+    pub fn planner(&self) -> &QueryPlanner {
+        &self.planner
+    }
+
+    /// The plan executor over this client's session and fleet state.
+    fn executor(&self) -> PlanExecutor<'_> {
+        PlanExecutor::new(&self.session, &self.fleet)
+    }
+
     /// Discovers map servers around a coarse location, consulting the
     /// session's per-cell cache before the DNS. Fleets are flattened:
     /// each shard contributes the replica the selector picks, so
@@ -288,7 +298,8 @@ impl OpenFlameClient {
     /// instead.
     pub fn discover(&self, location: LatLng) -> Result<Vec<DiscoveredServer>, ClientError> {
         Ok(self
-            .plan_targets(location, None)?
+            .plan_query_at(None, location, None)?
+            .targets
             .into_iter()
             .map(|t| t.server)
             .collect())
@@ -314,122 +325,56 @@ impl OpenFlameClient {
         Ok((cell.raw(), view))
     }
 
-    /// Builds the scatter plan for a location: every plain server, plus
-    /// one selected replica per fleet shard. With a `footprint` cap,
-    /// shards whose advertised extent cannot intersect it are skipped
-    /// entirely — the shard-aware scatter that makes wire cost scale
-    /// with shards *consulted*, not fleet size.
-    fn plan_targets(
+    /// Builds the scatter plan for one query: discovery (session-cached
+    /// per cell) feeds the [`QueryPlanner`], which keeps every plain
+    /// server plus one selected replica per fleet shard intersecting
+    /// the footprint, minus the sources whose cached coverage
+    /// summaries prove they cannot contribute to `kind`
+    /// (wire-protocol spec §13).
+    fn plan_query_at(
         &self,
+        kind: Option<QueryKind>,
         location: LatLng,
         footprint: Option<(LatLng, f64)>,
-    ) -> Result<Vec<PlannedTarget>, ClientError> {
+    ) -> Result<ScatterPlan, ClientError> {
         let (cell_raw, view) = self.discover_view_at(location)?;
-        let transport = self.session.transport().clone();
-        let mut out: Vec<PlannedTarget> = view
-            .servers
-            .into_iter()
-            .map(|server| PlannedTarget {
-                server,
-                fleet: None,
-            })
-            .collect();
-        for fleet in view.fleets {
-            for shard in fleet.shards {
-                if shard.replicas.is_empty() {
-                    continue;
-                }
-                if let Some((center, radius_m)) = footprint {
-                    if !shard.intersects(center, radius_m) {
-                        continue;
-                    }
-                }
-                // Every replica dead-listed: consult the first anyway —
-                // the dead-list is a hint, and the wire (not the cache)
-                // should decide whether the shard is truly down.
-                let server = self
-                    .fleet
-                    .choose(transport.as_ref(), &shard)
-                    .unwrap_or(&shard.replicas[0])
-                    .clone();
-                out.push(PlannedTarget {
-                    server,
-                    fleet: Some(FleetBranch { shard, cell_raw }),
-                });
-            }
-        }
-        Ok(out)
+        Ok(self
+            .planner
+            .plan(&self.session, &self.fleet, cell_raw, view, kind, footprint))
+    }
+
+    /// The planner's scatter plan for a `kind` query at `location`
+    /// with footprint radius `radius_m`: consulted targets, pruned
+    /// sources with their proofs, and the demotion cost signal. Costs
+    /// no wire traffic beyond (cached) discovery — coverage is read
+    /// from the session cache only, so benches and tests use it to
+    /// account for planner wire savings.
+    pub fn plan_query(
+        &self,
+        kind: QueryKind,
+        location: LatLng,
+        radius_m: f64,
+    ) -> Result<ScatterPlan, ClientError> {
+        self.plan_query_at(Some(kind), location, Some((location, radius_m)))
     }
 
     /// The servers a spatial query at `location` with footprint radius
-    /// `radius_m` would consult: every plain provider plus the selected
-    /// replica of each shard whose extent intersects the footprint.
-    /// Costs no wire traffic beyond (cached) discovery — benches and
-    /// tests use it to account for fleet wire cost.
+    /// `radius_m` would consult before coverage pruning: every plain
+    /// provider plus the selected replica of each shard whose extent
+    /// intersects the footprint. Costs no wire traffic beyond (cached)
+    /// discovery. Kind-agnostic and therefore planner-agnostic — the
+    /// coverage-aware equivalent is [`OpenFlameClient::plan_query`].
     pub fn plan_scatter(
         &self,
         location: LatLng,
         radius_m: f64,
     ) -> Result<Vec<DiscoveredServer>, ClientError> {
         Ok(self
-            .plan_targets(location, Some((location, radius_m)))?
+            .plan_query_at(None, location, Some((location, radius_m)))?
+            .targets
             .into_iter()
             .map(|t| t.server)
             .collect())
-    }
-
-    /// Retries failed fleet branches on sibling replicas. **Idempotent
-    /// requests only** — the caller vouches for the request kind
-    /// (`docs/wire-protocol.md` spec §7, spec §9). Each failed branch's endpoint
-    /// is dead-listed and its discovery-cache cell invalidated, so the
-    /// dead replica is not re-consulted from cache; the branch then
-    /// retries on the first untried live sibling, round after round,
-    /// until it succeeds or its replicas are exhausted. Plain
-    /// (non-fleet) branches are left untouched. On success the branch's
-    /// plan entry is updated to the answering replica, keeping
-    /// provenance honest.
-    fn failover_fleet(
-        &self,
-        targets: &mut [PlannedTarget],
-        gathered: &mut [Result<Vec<Response>, ClientError>],
-        request_for: impl Fn(&DiscoveredServer) -> Vec<Request>,
-    ) {
-        let transport = self.session.transport().clone();
-        let mut tried: Vec<Vec<EndpointId>> =
-            targets.iter().map(|t| vec![t.server.endpoint]).collect();
-        loop {
-            let mut retry = self.session.scatter();
-            let mut retrying: Vec<(usize, DiscoveredServer)> = Vec::new();
-            for (idx, outcome) in gathered.iter().enumerate() {
-                if outcome.is_ok() {
-                    continue;
-                }
-                let Some(branch) = &targets[idx].fleet else {
-                    continue;
-                };
-                let failed = *tried[idx].last().expect("seeded with the first pick");
-                self.fleet.mark_dead(transport.as_ref(), failed);
-                self.session.invalidate_cell(branch.cell_raw);
-                let Some(sibling) =
-                    self.fleet
-                        .sibling(transport.as_ref(), &branch.shard, &tried[idx])
-                else {
-                    continue;
-                };
-                let sibling = sibling.clone();
-                retry.submit(sibling.endpoint, request_for(&sibling));
-                retrying.push((idx, sibling));
-            }
-            if retrying.is_empty() {
-                return;
-            }
-            let results = retry.collect();
-            for ((idx, sibling), result) in retrying.into_iter().zip(results) {
-                tried[idx].push(sibling.endpoint);
-                targets[idx].server = sibling;
-                gathered[idx] = result;
-            }
-        }
     }
 
     // ----------------------------------------------------------------
@@ -469,98 +414,55 @@ impl OpenFlameClient {
         radius_m: f64,
         k: usize,
     ) -> Result<Vec<FederatedSearchHit>, ClientError> {
-        // Shard-aware plan: plain servers plus one selected replica per
-        // fleet shard whose extent intersects the query cap.
-        let mut targets = self.plan_targets(location, Some((location, radius_m)))?;
-        if targets.is_empty() {
-            return Err(ClientError::NothingDiscovered(format!(
-                "no servers near {location}"
-            )));
+        // Planner-built scatter: plain servers plus one selected
+        // replica per fleet shard whose extent intersects the query
+        // cap, minus sources whose coverage summaries prove they
+        // cannot contribute (spec §13.3 — absent summaries are always
+        // consulted, so a cold federation is searched in full).
+        let mut plan = self.plan_query_at(
+            Some(QueryKind::Search),
+            location,
+            Some((location, radius_m)),
+        )?;
+        if plan.targets.is_empty() {
+            if plan.pruned.is_empty() {
+                return Err(ClientError::NothingDiscovered(format!(
+                    "no servers near {location}"
+                )));
+            }
+            // Every discovered source proved empty for this query: the
+            // honest answer is "nothing here", same as consulting them
+            // all would have returned.
+            return Ok(Vec::new());
         }
         // One batched envelope per server, pipelined with the
-        // capability handshake: servers whose Hello is cached get their
-        // search envelope immediately (anchored servers get a
-        // frame-local center so they can distance-rank; unaligned venue
-        // maps are small, so their whole extent is relevant — center
-        // unknown in their frame). Unknown servers get a Hello envelope
-        // in the *same* round, and their search follows once the anchor
-        // is known — so a few cold servers no longer stall the whole
-        // warm federation behind a handshake barrier. Steady state is
-        // one round of exactly one envelope per server, as ever.
+        // capability handshake (TwoPhase discipline): servers whose
+        // Hello is cached get their search envelope immediately
+        // (anchored servers get a frame-local center so they can
+        // distance-rank; unaligned venue maps are small, so their
+        // whole extent is relevant — center unknown in their frame).
+        // Unknown servers get a Hello envelope in the *same* round,
+        // and their search follows once the anchor is known — so a few
+        // cold servers no longer stall the whole warm federation
+        // behind a handshake barrier. Steady state is one round of
+        // exactly one envelope per server, as ever. Search is
+        // idempotent (wire-protocol spec §7), so failed fleet branches
+        // fail over to sibling replicas inside the executor.
         let search_request = |center| Request::Search {
             query: query.to_string(),
             center,
             radius_m,
             k: k as u32,
         };
-        let center_for = |hello: Option<openflame_mapserver::protocol::HelloInfo>| {
-            hello
-                .and_then(|h| h.anchor)
-                .map(|anchor| LocalFrame::new(anchor).to_local(location))
-        };
-        enum Slot {
-            /// Search submitted in the first round, at this index.
-            Warm(usize),
-            /// Hello submitted in the first round; the search rides the
-            /// follow-up round, at this index.
-            Cold(usize),
-        }
-        let mut round = self.session.scatter();
-        let slots: Vec<Slot> = targets
-            .iter()
-            .map(
-                |target| match self.session.cached_hello(target.server.endpoint) {
-                    Some(hello) => Slot::Warm(round.submit(
-                        target.server.endpoint,
-                        vec![search_request(center_for(Some(hello)))],
-                    )),
-                    None => {
-                        self.session.note_hello_misses(1);
-                        Slot::Cold(round.submit(target.server.endpoint, vec![Request::Hello]))
-                    }
-                },
-            )
-            .collect();
-        let first = round.collect();
-        // Follow-up searches for the servers that needed the
-        // handshake (their Hello answers were absorbed into the cache
-        // on collect). A failed or denying Hello does not exempt a
-        // server from being searched — the search still goes out
-        // (center unknown) and its outcome is what the caller sees,
-        // exactly as the pre-pipelining two-round flow behaved.
-        let mut follow = self.session.scatter();
-        let slots: Vec<Slot> = targets
-            .iter()
-            .zip(slots)
-            .map(|(target, slot)| match slot {
-                Slot::Warm(i) => Slot::Warm(i),
-                Slot::Cold(_) => {
-                    let center = center_for(self.session.cached_hello(target.server.endpoint));
-                    Slot::Cold(follow.submit(target.server.endpoint, vec![search_request(center)]))
-                }
-            })
-            .collect();
-        let second = follow.collect();
-        let mut first: Vec<Option<Result<Vec<Response>, ClientError>>> =
-            first.into_iter().map(Some).collect();
-        let mut second: Vec<Option<Result<Vec<Response>, ClientError>>> =
-            second.into_iter().map(Some).collect();
-        let mut gathered: Vec<Result<Vec<Response>, ClientError>> = slots
-            .into_iter()
-            .map(|slot| match slot {
-                Slot::Warm(i) => first[i].take().expect("claimed once"),
-                Slot::Cold(i) => second[i].take().expect("claimed once"),
-            })
-            .collect();
-        // Replica failover: search is idempotent (wire-protocol spec §7), so
-        // a failed fleet branch may retry on a sibling replica. The
-        // failed endpoint is dead-listed and its discovery cell
-        // invalidated; provenance follows the answering replica.
-        self.failover_fleet(&mut targets, &mut gathered, |server| {
-            vec![search_request(center_for(
-                self.session.cached_hello(server.endpoint),
-            ))]
-        });
+        let gathered = self
+            .executor()
+            .run(&mut plan, HelloDiscipline::TwoPhase, |_, hello| {
+                let center = hello
+                    .and_then(|h| h.anchor)
+                    .map(|anchor| LocalFrame::new(anchor).to_local(location));
+                Some(vec![search_request(center)])
+            });
+        let targets = &plan.targets;
         let mut lists: Vec<Vec<SearchResult>> = Vec::new();
         let mut provenance: Vec<Vec<FederatedSearchHit>> = Vec::new();
         let mut answered = 0usize;
@@ -709,27 +611,24 @@ impl OpenFlameClient {
             hit: coarse_hit,
         }];
         // Step 2: fine geocode on the servers discovered there — one
-        // batched envelope each, in one concurrent round.
-        let refiners: Vec<DiscoveredServer> = self
-            .discover(coarse_geo)?
-            .into_iter()
-            .filter(|s| s.endpoint != world_provider)
-            .collect();
-        let refiner_endpoints: Vec<EndpointId> = refiners.iter().map(|s| s.endpoint).collect();
-        self.session.ensure_hellos(&refiner_endpoints);
-        let calls: Vec<(EndpointId, Vec<Request>)> = refiners
-            .iter()
-            .map(|server| {
-                (
-                    server.endpoint,
-                    vec![Request::Geocode {
-                        query: address.to_string(),
-                        k: k as u32,
-                    }],
-                )
-            })
-            .collect();
-        for (server, outcome) in refiners.iter().zip(self.session.batch_parallel(calls)) {
+        // batched envelope each, in one concurrent round, with the
+        // handshakes for uncached refiners riding in the same round
+        // (the frames are needed right below to geo-anchor the hits).
+        // The planner prunes refiners whose summaries advertise an
+        // empty geocoder; an address is not a spatial footprint, so no
+        // extent pruning applies.
+        let mut plan = self.plan_query_at(Some(QueryKind::Geocode), coarse_geo, None)?;
+        plan.targets.retain(|t| t.server.endpoint != world_provider);
+        let outcomes = self
+            .executor()
+            .run(&mut plan, HelloDiscipline::Prefetch, |_, _| {
+                Some(vec![Request::Geocode {
+                    query: address.to_string(),
+                    k: k as u32,
+                }])
+            });
+        for (target, outcome) in plan.targets.iter().zip(outcomes) {
+            let server = &target.server;
             if let Ok(Some(Response::Geocode { hits })) = outcome.map(|mut r| r.pop()) {
                 let frame = self
                     .session
@@ -759,43 +658,46 @@ impl OpenFlameClient {
         location: LatLng,
         radius_m: f64,
     ) -> Result<Option<GeocodeHit>, ClientError> {
-        let servers = self.discover(location)?;
-        let endpoints: Vec<EndpointId> = servers.iter().map(|s| s.endpoint).collect();
+        // The planner prunes sources advertising no reverse-geocode
+        // capability (unaligned venues advertise a zero count) or an
+        // extent provably disjoint from the query cap; the anchored
+        // filter below then drops whatever unanchored sources remain
+        // unproven — they cannot interpret a geographic position
+        // (paper §3) and are skipped without a wire call.
+        let mut plan = self.plan_query_at(
+            Some(QueryKind::ReverseGeocode),
+            location,
+            Some((location, radius_m)),
+        )?;
+        let endpoints: Vec<EndpointId> = plan.targets.iter().map(|t| t.server.endpoint).collect();
         self.session.ensure_hellos(&endpoints);
-        let anchored: Vec<(DiscoveredServer, LocalFrame)> = servers
-            .into_iter()
-            .filter_map(|s| {
-                let anchor = self.session.cached_hello(s.endpoint)?.anchor?;
-                Some((s, LocalFrame::new(anchor)))
-            })
-            .collect();
-        let calls: Vec<(EndpointId, Vec<Request>)> = anchored
-            .iter()
-            .map(|(server, frame)| {
-                (
-                    server.endpoint,
-                    vec![Request::ReverseGeocode {
-                        pos: frame.to_local(location),
-                        radius_m,
-                    }],
-                )
-            })
-            .collect();
+        let outcomes = self
+            .executor()
+            .run(&mut plan, HelloDiscipline::Direct, |_, hello| {
+                let anchor = hello.and_then(|h| h.anchor)?;
+                Some(vec![Request::ReverseGeocode {
+                    pos: LocalFrame::new(anchor).to_local(location),
+                    radius_m,
+                }])
+            });
         let mut best: Option<GeocodeHit> = None;
         let mut answered = 0usize;
         let mut failures: Vec<(usize, ClientError)> = Vec::new();
-        for (idx, ((server, frame), outcome)) in anchored
-            .iter()
-            .zip(self.session.batch_parallel(calls))
-            .enumerate()
-        {
+        for (idx, (target, outcome)) in plan.targets.iter().zip(outcomes).enumerate() {
+            let server = &target.server;
+            let frame = self
+                .session
+                .cached_hello(server.endpoint)
+                .and_then(|h| h.anchor)
+                .map(LocalFrame::new);
             match outcome.map(|mut r| r.pop()) {
                 Ok(Some(Response::ReverseGeocode { hit: Some(hit) })) => {
                     answered += 1;
+                    let geo = frame.as_ref().map(|f| f.from_local(hit.pos));
                     if best.as_ref().is_none_or(|b| hit.score > b.hit.score) {
                         best = Some(GeocodeHit {
                             server_id: server.server_id.clone(),
-                            geo: Some(frame.from_local(hit.pos)),
+                            geo,
                             hit,
                         });
                     }
@@ -867,10 +769,14 @@ impl OpenFlameClient {
                 target.server_id
             )));
         }
-        // Find the outdoor provider covering the start.
-        let candidates: Vec<DiscoveredServer> = self
-            .discover(from)?
+        // Find the outdoor provider covering the start. The planner's
+        // candidate plan prunes sources that provably cannot route
+        // (an advertised node count of zero).
+        let candidate_plan = self.plan_query_at(Some(QueryKind::Route), from, None)?;
+        let candidates: Vec<DiscoveredServer> = candidate_plan
+            .targets
             .into_iter()
+            .map(|t| t.server)
             .filter(|s| s.endpoint != target.endpoint)
             .collect();
         let candidate_endpoints: Vec<EndpointId> = candidates.iter().map(|s| s.endpoint).collect();
@@ -1034,55 +940,43 @@ impl OpenFlameClient {
         cues: &[LocationCue],
         prefetch_hellos: bool,
     ) -> Result<Vec<(DiscoveredServer, WireEstimate)>, ClientError> {
-        // Shard-aware plan: the coarse fix bounds where the client can
-        // stand, so shards outside the localize footprint are skipped.
-        let planned = self.plan_targets(coarse, Some((coarse, LOCALIZE_FOOTPRINT_M)))?;
+        // Planner-built scatter: the coarse fix bounds where the
+        // client can stand, so shards outside the localize footprint
+        // are skipped, and sources whose summaries prove no
+        // localization coverage (no advertised techs, disjoint extent)
+        // are pruned (spec §13.3).
+        let mut plan = self.plan_query_at(
+            Some(QueryKind::Localize),
+            coarse,
+            Some((coarse, LOCALIZE_FOOTPRINT_M)),
+        )?;
         let cues_for = |server: &DiscoveredServer| -> Vec<LocationCue> {
             cues.iter()
                 .filter(|c| server.accepts_cue(c.technology()))
                 .cloned()
                 .collect()
         };
-        let mut targets: Vec<PlannedTarget> = Vec::new();
-        let mut round = self.session.scatter();
-        for target in planned {
-            let matching = cues_for(&target.server);
-            if matching.is_empty() {
-                continue;
-            }
-            round.submit(
-                target.server.endpoint,
-                vec![Request::Localize { cues: matching }],
-            );
-            targets.push(target);
-        }
-        if prefetch_hellos {
-            for target in &targets {
-                if !self.session.has_hello(target.server.endpoint) {
-                    self.session.note_hello_misses(1);
-                    round.submit(target.server.endpoint, vec![Request::Hello]);
-                }
-            }
-        }
-        let mut results = round.collect();
-        // Hello branches were absorbed into the session cache on
-        // collect; only the localize branches (submitted first, so
-        // positionally first) carry estimates.
-        results.truncate(targets.len());
-        // Replica failover: localization is idempotent (wire-protocol
-        // spec §7) — a failed fleet branch retries on a sibling replica,
-        // which accepts the same cues (services are advertised
-        // group-wide).
-        self.failover_fleet(&mut targets, &mut results, |server| {
-            vec![Request::Localize {
-                cues: cues_for(server),
-            }]
+        // One batched envelope per server accepting any of the offered
+        // cues (the builder drops the rest from the plan without wire
+        // traffic); with `prefetch_hellos` the handshakes for uncached
+        // servers ride in the same round. Localization is idempotent
+        // (wire-protocol spec §7) — a failed fleet branch retries on a
+        // sibling replica inside the executor, which accepts the same
+        // cues (services are advertised group-wide).
+        let discipline = if prefetch_hellos {
+            HelloDiscipline::Prefetch
+        } else {
+            HelloDiscipline::Direct
+        };
+        let results = self.executor().run(&mut plan, discipline, |server, _| {
+            let matching = cues_for(server);
+            (!matching.is_empty()).then(|| vec![Request::Localize { cues: matching }])
         });
         let mut out: Vec<(DiscoveredServer, WireEstimate)> = Vec::new();
         let mut answered = 0usize;
         let mut failures: Vec<(usize, ClientError)> = Vec::new();
         let mut fleet_failed = false;
-        for (idx, (target, outcome)) in targets.iter().zip(results).enumerate() {
+        for (idx, (target, outcome)) in plan.targets.iter().zip(results).enumerate() {
             match outcome.map(|mut r| r.pop()) {
                 Ok(Some(Response::Localize { estimates })) => {
                     answered += 1;
@@ -1124,13 +1018,18 @@ impl OpenFlameClient {
     fn tile_impl(&self, center: LatLng, z: u8) -> Result<(Tile, usize), ClientError> {
         let (x, y) = openflame_geo::Mercator::tile_for(center, z);
         let coord = TileCoord { z, x, y };
-        let servers = self.discover(center)?;
-        let calls: Vec<(EndpointId, Vec<Request>)> = servers
-            .iter()
-            .map(|s| (s.endpoint, vec![Request::GetTile { z, x, y }]))
-            .collect();
+        // The planner prunes sources that provably serve no tiles —
+        // unaligned venues advertise a zero tile count and refuse
+        // `GetTile` outright, so skipping them saves a whole wire call
+        // per venue per tile without changing the composition.
+        let mut plan = self.plan_query_at(Some(QueryKind::Tile), center, None)?;
+        let outcomes = self
+            .executor()
+            .run(&mut plan, HelloDiscipline::Direct, |_, _| {
+                Some(vec![Request::GetTile { z, x, y }])
+            });
         let mut layers: Vec<Tile> = Vec::new();
-        for outcome in self.session.batch_parallel(calls) {
+        for outcome in outcomes {
             // Unaligned venues and denied servers simply don't
             // contribute a layer.
             if let Ok(Some(Response::Tile { rgb, .. })) = outcome.map(|mut r| r.pop()) {

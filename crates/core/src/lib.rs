@@ -24,17 +24,32 @@
 //!   `omniscient` (all data merged — the unrealizable upper bound used
 //!   to score federated route quality).
 //!
-//! # Architecture: trait → session → transport
+//! # Architecture: trait → planner → session → transport
 //!
-//! Underneath the provider trait sits the [`Session`] wire layer: every
+//! Underneath the provider trait sits the cost-based query planner
+//! ([`plan`] module, wire-protocol spec §13): every federated query
+//! path builds a [`ScatterPlan`] from the discovery view plus cached
+//! per-server [`CoverageSummary`](openflame_mapserver::CoverageSummary)
+//! advertisements (seeded from the extended `Hello` exchange, refined
+//! by empty-answer demotion), and one [`plan::PlanExecutor`] runs the
+//! plan through the session with the fleet failover machinery. Pruning
+//! is **sound**: a source is skipped only when its summary *proves* it
+//! cannot contribute — absent or stale summaries always consult
+//! (spec §13.3) — so planner-on and planner-off runs return identical
+//! results while warm wide-fan-out queries consult strictly fewer
+//! servers. The recall-parity integration test pins exactly that on
+//! all three backends.
+//!
+//! Underneath the planner sits the [`Session`] wire layer: every
 //! provider's traffic goes out as batched envelopes
 //! (`Request::Batch`), one per server per scatter round, and the
-//! session caches `Hello` capability advertisements per server and
-//! discovery results per cell, so repeated scatter-gather rounds skip
-//! the handshakes they have already done. Both caches are bounded
-//! (expired-first eviction past a capacity cap), so a long-lived
-//! session touring many cells holds steady-state memory. Scatter
-//! rounds are built on the session's pipelined
+//! session caches `Hello` capability advertisements per server,
+//! coverage summaries per server and discovery results per cell, so
+//! repeated scatter-gather rounds skip the handshakes they have
+//! already done. All three caches are bounded (expired-first eviction
+//! past a capacity cap), so a long-lived session touring many cells
+//! holds steady-state memory. Scatter rounds are built on the
+//! session's pipelined
 //! [`session::ScatterRound`]: envelopes are *submitted* as soon as
 //! their inputs are known and *collected* when the caller needs the
 //! answers, so multi-round operations (cold search handshakes, route
@@ -190,6 +205,7 @@ pub mod client;
 pub mod deployment;
 pub mod discovery;
 pub mod fleet;
+pub mod plan;
 pub mod provider;
 pub mod scenario;
 pub mod session;
@@ -201,6 +217,10 @@ pub use client::{
 pub use deployment::{Deployment, DeploymentConfig, FleetMember};
 pub use discovery::{DiscoveredServer, DiscoveryClient, DiscoveryStats};
 pub use fleet::{DiscoveryView, FleetSelector, FleetShardView, FleetView};
+pub use plan::{
+    FleetBranch, HelloDiscipline, PlanExecutor, PlannedTarget, PruneReason, PrunedSource,
+    QueryKind, QueryPlanner, ScatterPlan,
+};
 pub use provider::{
     CallStats, GeocodeHit, GeocodeOutcome, GeocodeQuery, LocalizeOutcome, LocalizeQuery,
     ProviderEstimate, ReverseGeocodeOutcome, ReverseGeocodeQuery, RouteOutcome, RouteQuery,

@@ -14,6 +14,9 @@
 //! - **Hello caching**: `Hello` capability advertisements are cached
 //!   per endpoint with a TTL on the transport clock, so repeated
 //!   scatter-gather rounds stop re-asking servers who they are.
+//!   Coverage summaries riding in hellos (spec §13) are absorbed into
+//!   a sibling per-endpoint cache consulted by the query planner, with
+//!   the same TTL/capacity/invalidation discipline.
 //! - **Discovery caching**: discovery results are cached per query
 //!   cell, so a client localizing every few seconds does not re-resolve
 //!   the same cell through DNS each time.
@@ -52,7 +55,9 @@ use crate::ClientError;
 use openflame_codec::{from_bytes, to_bytes};
 use openflame_diag::{ranks, OrderedMutex};
 use openflame_mapdata::NodeId;
-use openflame_mapserver::protocol::{Envelope, HelloInfo, Request, Response, WireRoute};
+use openflame_mapserver::protocol::{
+    CoverageSummary, Envelope, HelloInfo, Request, Response, WireRoute,
+};
 use openflame_mapserver::Principal;
 use openflame_netsim::{CallHandle, EndpointId, Transport};
 use std::collections::HashMap;
@@ -128,6 +133,13 @@ pub struct SessionStats {
     pub hello_cache_len: u64,
     /// Live (unexpired) discovery-cache entries at snapshot time.
     pub discovery_cache_len: u64,
+    /// Live (unexpired) coverage-summary entries at snapshot time
+    /// (same live-only convention as the other cache lenses).
+    pub coverage_cache_len: u64,
+    /// Entries removed from the coverage cache to hold the capacity
+    /// bound (counted separately from `cache_evictions` so planner
+    /// cache pressure is observable on its own).
+    pub coverage_evictions: u64,
     /// `Busy` sheds received from servers (wire protocol spec §10), counting
     /// every attempt — a call shed 3 times then served adds 3.
     pub busy_rejections: u64,
@@ -196,6 +208,24 @@ enum BatchReply {
 type DiscoveryKey = (u64, bool);
 type DiscoveryCache = HashMap<DiscoveryKey, Cached<DiscoveryView>>;
 
+/// Client-side coverage knowledge about one server: the summary it
+/// advertised in its `Hello` (if it speaks the coverage format), plus
+/// the session's own refinement from past answers.
+///
+/// The refinement is a per-kind *consecutive empty answer* streak. It
+/// is a heuristic cost signal — planners use it to order servers, and
+/// it MUST NOT prune by itself (spec §13.3): an empty answer to one
+/// query proves nothing about the next one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverageState {
+    /// The server's advertised summary; `None` for pre-coverage peers
+    /// ("unknown coverage, never prune").
+    pub summary: Option<CoverageSummary>,
+    /// Consecutive empty answers per content kind, reset by any
+    /// non-empty answer of that kind.
+    pub empty_streaks: HashMap<String, u32>,
+}
+
 /// A client-side wire session: batched calls with capability and
 /// discovery caches (see module docs).
 pub struct Session {
@@ -208,6 +238,7 @@ pub struct Session {
     /// tie-break in [`evict_to_cap`]).
     cache_seq: AtomicU64,
     hellos: OrderedMutex<HashMap<EndpointId, Cached<HelloInfo>>>,
+    coverage: OrderedMutex<HashMap<EndpointId, Cached<CoverageState>>>,
     discoveries: OrderedMutex<DiscoveryCache>,
     stats: OrderedMutex<SessionStats>,
 }
@@ -223,6 +254,7 @@ impl Session {
             cache_cap: AtomicUsize::new(DEFAULT_CACHE_CAP),
             cache_seq: AtomicU64::new(0),
             hellos: OrderedMutex::new(ranks::SESSION_HELLOS, HashMap::new()),
+            coverage: OrderedMutex::new(ranks::SESSION_COVERAGE, HashMap::new()),
             discoveries: OrderedMutex::new(ranks::SESSION_DISCOVERIES, HashMap::new()),
             stats: OrderedMutex::new(ranks::SESSION_STATS, SessionStats::default()),
         }
@@ -294,13 +326,31 @@ impl Session {
             .values()
             .filter(|cached| cached.expires_us > now)
             .count() as u64;
+        stats.coverage_cache_len = self
+            .coverage
+            .lock()
+            .values()
+            .filter(|cached| cached.expires_us > now)
+            .count() as u64;
         stats
     }
 
     /// Drops all cached state.
     pub fn invalidate(&self) {
         self.hellos.lock().clear();
+        self.coverage.lock().clear();
         self.discoveries.lock().clear();
+    }
+
+    /// Drops every cached fact about one endpoint: its capability
+    /// advertisement and its coverage state. Called when a replica is
+    /// dead-listed on failover — [`Session::invalidate_cell`] alone
+    /// drops the discovery entry, but the dead endpoint's hello (and
+    /// coverage summary) would otherwise survive in their own caches
+    /// and be re-served for up to a TTL after the replica died.
+    pub fn purge_endpoint(&self, endpoint: EndpointId) {
+        self.hellos.lock().remove(&endpoint);
+        self.coverage.lock().remove(&endpoint);
     }
 
     // ----------------------------------------------------------------
@@ -488,10 +538,12 @@ impl Session {
     // Hello cache.
     // ----------------------------------------------------------------
 
-    /// Opportunistically caches any `Hello` answers riding in a batch.
+    /// Opportunistically caches any `Hello` answers riding in a batch,
+    /// seeding the coverage cache from the advertised summary.
     fn absorb_hellos(&self, from: EndpointId, responses: &[Response]) {
         for response in responses {
             if let Response::Hello(info) = response {
+                self.store_coverage(from, info.coverage.clone());
                 self.store_hello(from, info.clone());
             }
         }
@@ -597,6 +649,99 @@ impl Session {
         let calls = missing.iter().map(|s| (*s, vec![Request::Hello])).collect();
         // Results are absorbed into the cache by batch_parallel.
         let _ = self.batch_parallel(calls);
+    }
+
+    // ----------------------------------------------------------------
+    // Coverage cache (query-planner pruning state).
+    // ----------------------------------------------------------------
+
+    /// Stores a server's advertised coverage summary, preserving the
+    /// session's own empty-answer refinement across re-advertisements.
+    /// A fresh hello *without* coverage still refreshes the entry (the
+    /// advertisement is authoritative: the server no longer commits to
+    /// a summary, so the cached one is dropped).
+    pub fn store_coverage(&self, from: EndpointId, summary: Option<CoverageSummary>) {
+        let now = self.transport.now_us();
+        let evicted = {
+            let mut coverage = self.coverage.lock();
+            let streaks = coverage
+                .get(&from)
+                .map(|cached| cached.value.empty_streaks.clone())
+                .unwrap_or_default();
+            coverage.insert(
+                from,
+                Cached {
+                    value: CoverageState {
+                        summary,
+                        empty_streaks: streaks,
+                    },
+                    expires_us: now.saturating_add(self.ttl_us()),
+                    seq: self.cache_seq.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+            evict_to_cap(&mut coverage, self.cache_cap(), now)
+        };
+        if evicted > 0 {
+            self.stats.lock().coverage_evictions += evicted;
+        }
+    }
+
+    /// The fresh coverage state for `server`, if any. Expired state is
+    /// dropped, not returned: a planner MUST NOT prune on a stale
+    /// summary (spec §13.3), so staleness and absence look identical.
+    pub fn cached_coverage(&self, server: EndpointId) -> Option<CoverageState> {
+        let now = self.transport.now_us();
+        let mut coverage = self.coverage.lock();
+        match coverage.get(&server) {
+            Some(cached) if cached.expires_us > now => Some(cached.value.clone()),
+            Some(_) => {
+                coverage.remove(&server);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Refines the coverage state from an observed answer: an empty
+    /// answer for `kind` extends the server's consecutive-empty streak,
+    /// a non-empty one resets it. Creates the entry when missing, so
+    /// pre-coverage servers accumulate the cost signal too. The entry's
+    /// expiry is untouched on update — refinement is knowledge *about*
+    /// the advertisement, not a re-advertisement.
+    pub fn note_answer(&self, server: EndpointId, kind: &str, empty: bool) {
+        let now = self.transport.now_us();
+        let evicted = {
+            let mut coverage = self.coverage.lock();
+            match coverage.get_mut(&server) {
+                Some(cached) if cached.expires_us > now => {
+                    let streak = cached
+                        .value
+                        .empty_streaks
+                        .entry(kind.to_string())
+                        .or_insert(0);
+                    *streak = if empty { streak.saturating_add(1) } else { 0 };
+                    0
+                }
+                _ => {
+                    let mut state = CoverageState::default();
+                    state
+                        .empty_streaks
+                        .insert(kind.to_string(), u32::from(empty));
+                    coverage.insert(
+                        server,
+                        Cached {
+                            value: state,
+                            expires_us: now.saturating_add(self.ttl_us()),
+                            seq: self.cache_seq.fetch_add(1, Ordering::Relaxed),
+                        },
+                    );
+                    evict_to_cap(&mut coverage, self.cache_cap(), now)
+                }
+            }
+        };
+        if evicted > 0 {
+            self.stats.lock().coverage_evictions += evicted;
+        }
     }
 
     // ----------------------------------------------------------------
@@ -863,6 +1008,7 @@ mod tests {
             anchor: None,
             portals: Vec::new(),
             version: 1,
+            coverage: None,
         }
     }
 
@@ -961,6 +1107,86 @@ mod tests {
         assert!(
             session.cached_discovery(8, true).is_some(),
             "other cells must be untouched"
+        );
+    }
+
+    fn stub_coverage(n: u64) -> CoverageSummary {
+        CoverageSummary {
+            kinds: vec![("search".into(), n)],
+            extent: None,
+        }
+    }
+
+    #[test]
+    fn coverage_cache_is_bounded_live_counted_and_separately_metered() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport.clone(), endpoint, Principal::anonymous());
+        session.set_cache_cap(8);
+        for n in 0..100u64 {
+            transport.advance_us(1_000);
+            session.store_coverage(EndpointId(1_000 + n), Some(stub_coverage(n)));
+        }
+        let stats = session.stats();
+        assert_eq!(stats.coverage_cache_len, 8);
+        assert_eq!(stats.coverage_evictions, 100 - 8);
+        assert_eq!(
+            stats.cache_evictions, 0,
+            "coverage pressure must not leak into the hello/discovery counter"
+        );
+        assert!(session.cached_coverage(EndpointId(1_099)).is_some());
+        assert!(session.cached_coverage(EndpointId(1_000)).is_none());
+        // Live-only lens: aged-out entries are dead weight, not
+        // knowledge.
+        session.set_ttl_us(1_000);
+        session.store_coverage(EndpointId(5), Some(stub_coverage(5)));
+        transport.advance_us(2_000);
+        assert!(session.cached_coverage(EndpointId(5)).is_none());
+        assert!(session.stats().coverage_cache_len < 9);
+    }
+
+    #[test]
+    fn note_answer_tracks_consecutive_empty_streaks() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport, endpoint, Principal::anonymous());
+        let server = EndpointId(9);
+        // Works even for servers that never advertised coverage.
+        session.note_answer(server, "search", true);
+        session.note_answer(server, "search", true);
+        let state = session.cached_coverage(server).unwrap();
+        assert_eq!(state.summary, None);
+        assert_eq!(state.empty_streaks.get("search"), Some(&2));
+        // A non-empty answer resets the streak; other kinds untouched.
+        session.note_answer(server, "geocode", true);
+        session.note_answer(server, "search", false);
+        let state = session.cached_coverage(server).unwrap();
+        assert_eq!(state.empty_streaks.get("search"), Some(&0));
+        assert_eq!(state.empty_streaks.get("geocode"), Some(&1));
+        // A fresh advertisement keeps the refinement.
+        session.store_coverage(server, Some(stub_coverage(3)));
+        let state = session.cached_coverage(server).unwrap();
+        assert_eq!(state.summary, Some(stub_coverage(3)));
+        assert_eq!(state.empty_streaks.get("geocode"), Some(&1));
+    }
+
+    #[test]
+    fn purge_endpoint_drops_hello_and_coverage_state() {
+        let transport = SimTransport::shared(&SimNet::new(1));
+        let endpoint = transport.register("client", None);
+        let session = Session::new(transport, endpoint, Principal::anonymous());
+        let dead = EndpointId(70);
+        let alive = EndpointId(71);
+        session.store_hello(dead, stub_hello(70));
+        session.store_hello(alive, stub_hello(71));
+        session.store_coverage(dead, Some(stub_coverage(1)));
+        session.store_coverage(alive, Some(stub_coverage(2)));
+        session.purge_endpoint(dead);
+        assert!(session.cached_hello(dead).is_none());
+        assert!(session.cached_coverage(dead).is_none());
+        assert!(
+            session.cached_hello(alive).is_some() && session.cached_coverage(alive).is_some(),
+            "other endpoints must be untouched"
         );
     }
 

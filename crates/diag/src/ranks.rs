@@ -42,6 +42,10 @@ pub const SESSION_PRINCIPAL: Rank = Rank::new(20, "core.session.principal");
 pub const SESSION_DISCOVERIES: Rank = Rank::new(22, "core.session.discoveries");
 /// Session hello (capability) cache.
 pub const SESSION_HELLOS: Rank = Rank::new(24, "core.session.hellos");
+/// Session coverage-summary cache (query-planner pruning state; may be
+/// refreshed while absorbing hellos, so it ranks inside the hello
+/// cache).
+pub const SESSION_COVERAGE: Rank = Rank::new(25, "core.session.coverage");
 /// Session statistics.
 pub const SESSION_STATS: Rank = Rank::new(26, "core.session.stats");
 /// Discovery statistics.

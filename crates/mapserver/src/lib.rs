@@ -27,7 +27,7 @@ pub mod registry;
 pub mod server;
 
 pub use acl::{AccessPolicy, Principal, Rule, ServiceKind};
-pub use protocol::{Envelope, Request, Response};
+pub use protocol::{CoverageExtent, CoverageSummary, Envelope, Request, Response};
 pub use server::{MapServer, MapServerConfig, ServerStats};
 
 /// Errors produced by map-server operations.

@@ -122,6 +122,49 @@ pub struct HelloInfo {
     pub portals: Vec<(u64, openflame_geo::LatLng)>,
     /// Current map data version.
     pub version: u64,
+    /// Optional coverage summary for client-side query planning
+    /// (spec §13). `None` for pre-coverage peers: clients MUST treat
+    /// absent coverage as "unknown — never prune".
+    pub coverage: Option<CoverageSummary>,
+}
+
+/// The geographic extent a server commits its content to (spec §13.1):
+/// a cap plus a coarse cell covering of that cap. A server advertising
+/// an extent promises every answerable element lies inside it, so a
+/// client may skip the server for query footprints that provably
+/// cannot intersect it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageExtent {
+    /// Covering cells of the extent cap (raw cell ids, mixed levels).
+    pub cells: Vec<u64>,
+    /// Cap center.
+    pub center: openflame_geo::LatLng,
+    /// Cap radius, meters.
+    pub radius_m: f64,
+}
+
+/// Per-server coverage summary carried in [`HelloInfo`] (spec §13):
+/// which content kinds the server holds (with a coarse document-count
+/// sketch) and, optionally, the geographic extent its content is
+/// bounded by. Query planners prune a server only on what a summary
+/// *proves* — a kind it does not hold, a kind with zero documents, or
+/// a footprint disjoint from the advertised extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageSummary {
+    /// `(content kind, coarse document count)` pairs. Kind names are
+    /// the planner vocabulary: `"search"`, `"geocode"`, `"rgeocode"`,
+    /// `"route"`, `"localize"`, `"tiles"`.
+    pub kinds: Vec<(String, u64)>,
+    /// Advertised geographic extent, if the server commits to one.
+    pub extent: Option<CoverageExtent>,
+}
+
+impl CoverageSummary {
+    /// The advertised document count for `kind`: `None` when the kind
+    /// is not advertised at all.
+    pub fn kind_count(&self, kind: &str) -> Option<u64> {
+        self.kinds.iter().find(|(k, _)| k == kind).map(|(_, n)| *n)
+    }
 }
 
 /// A geocode hit on the wire.
@@ -551,12 +594,20 @@ impl Wire for HelloInfo {
         self.services.encode(w);
         self.localization_techs.encode(w);
         self.anchored.encode(w);
-        match self.anchor {
-            Some(a) => {
-                w.put_u8(1);
-                put_latlng(w, a);
-            }
-            None => w.put_u8(0),
+        // The anchor presence byte doubles as the Hello format tag
+        // (spec §13.2): 0/1 are the original anchor-absent/present
+        // encodings, 2/3 their coverage-carrying twins. A Hello with
+        // no coverage encodes byte-identically to the original format,
+        // so pre-coverage peers interoperate in both directions.
+        let fmt = match (self.anchor.is_some(), self.coverage.is_some()) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (true, true) => 3,
+        };
+        w.put_u8(fmt);
+        if let Some(a) = self.anchor {
+            put_latlng(w, a);
         }
         w.put_varint(self.portals.len() as u64);
         for (node, hint) in &self.portals {
@@ -564,6 +615,14 @@ impl Wire for HelloInfo {
             put_latlng(w, *hint);
         }
         w.put_varint(self.version);
+        if let Some(cov) = &self.coverage {
+            // Length-prefixed so the summary stays self-delimiting
+            // inside pipelined batches, where responses are streamed
+            // back-to-back without per-item framing.
+            let mut cw = Writer::new();
+            cov.encode(&mut cw);
+            w.put_bytes(&cw.finish());
+        }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let server_id = r.read_string()?;
@@ -571,9 +630,11 @@ impl Wire for HelloInfo {
         let services = Vec::decode(r)?;
         let localization_techs = Vec::decode(r)?;
         let anchored = bool::decode(r)?;
-        let anchor = match r.read_u8()? {
-            0 => None,
-            1 => Some(read_latlng(r)?),
+        let (has_anchor, has_coverage) = match r.read_u8()? {
+            0 => (false, false),
+            1 => (true, false),
+            2 => (false, true),
+            3 => (true, true),
             tag => {
                 return Err(CodecError::InvalidTag {
                     context: "Hello anchor",
@@ -581,11 +642,26 @@ impl Wire for HelloInfo {
                 })
             }
         };
+        let anchor = if has_anchor {
+            Some(read_latlng(r)?)
+        } else {
+            None
+        };
         let n = r.read_length()?;
         let mut portals = Vec::with_capacity(n.min(32));
         for _ in 0..n {
             portals.push((r.read_varint()?, read_latlng(r)?));
         }
+        let version = r.read_varint()?;
+        let coverage = if has_coverage {
+            let blob = r.read_bytes()?;
+            let mut cr = Reader::new(&blob);
+            // Trailing blob bytes are ignored: future versions may
+            // append summary fields without a new format tag.
+            Some(CoverageSummary::decode(&mut cr)?)
+        } else {
+            None
+        };
         Ok(HelloInfo {
             server_id,
             map_name,
@@ -594,8 +670,66 @@ impl Wire for HelloInfo {
             anchored,
             anchor,
             portals,
-            version: r.read_varint()?,
+            version,
+            coverage,
         })
+    }
+}
+
+impl Wire for CoverageSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.kinds.len() as u64);
+        for (kind, count) in &self.kinds {
+            w.put_str(kind);
+            w.put_varint(*count);
+        }
+        match &self.extent {
+            None => w.put_u8(0),
+            Some(e) => {
+                w.put_u8(1);
+                self.encode_extent(w, e);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_length()?;
+        let mut kinds = Vec::with_capacity(n.min(16));
+        for _ in 0..n {
+            kinds.push((r.read_string()?, r.read_varint()?));
+        }
+        let extent = match r.read_u8()? {
+            0 => None,
+            1 => {
+                let m = r.read_length()?;
+                let mut cells = Vec::with_capacity(m.min(64));
+                for _ in 0..m {
+                    cells.push(r.read_varint()?);
+                }
+                Some(CoverageExtent {
+                    cells,
+                    center: read_latlng(r)?,
+                    radius_m: r.read_f64()?,
+                })
+            }
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    context: "CoverageSummary extent",
+                    tag: tag as u64,
+                })
+            }
+        };
+        Ok(CoverageSummary { kinds, extent })
+    }
+}
+
+impl CoverageSummary {
+    fn encode_extent(&self, w: &mut Writer, e: &CoverageExtent) {
+        w.put_varint(e.cells.len() as u64);
+        for c in &e.cells {
+            w.put_varint(*c);
+        }
+        put_latlng(w, e.center);
+        w.put_f64(e.radius_m);
     }
 }
 
@@ -967,6 +1101,25 @@ mod tests {
                 anchor: None,
                 portals: vec![(17, openflame_geo::LatLng::new(40.0, -80.0).unwrap())],
                 version: 4,
+                coverage: None,
+            }),
+            Response::Hello(HelloInfo {
+                server_id: "grocer-2".into(),
+                map_name: "FreshMart #2".into(),
+                services: vec!["search".into()],
+                localization_techs: vec![],
+                anchored: true,
+                anchor: Some(openflame_geo::LatLng::new(40.4, -79.9).unwrap()),
+                portals: vec![],
+                version: 7,
+                coverage: Some(CoverageSummary {
+                    kinds: vec![("search".into(), 120), ("route".into(), 0)],
+                    extent: Some(CoverageExtent {
+                        cells: vec![0x89c25a3000000000, 0x89c25a5000000000],
+                        center: openflame_geo::LatLng::new(40.4, -79.9).unwrap(),
+                        radius_m: 150.0,
+                    }),
+                }),
             }),
             Response::Geocode {
                 hits: vec![WireGeocodeHit {
@@ -1028,6 +1181,74 @@ mod tests {
             let back = from_bytes::<Response>(&to_bytes(&resp)).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    /// Hand-rolls the pre-coverage Hello encoding (anchor byte 0/1, no
+    /// trailing blob) and checks the current decoder reads it as
+    /// `coverage: None` — the "unknown coverage, never prune" case.
+    #[test]
+    fn legacy_hello_decodes_with_unknown_coverage() {
+        use openflame_codec::Writer;
+        for anchor in [None, Some(LatLng::new(40.44, -79.95).unwrap())] {
+            let mut w = Writer::new();
+            w.put_str("legacy-1");
+            w.put_str("Old Mall");
+            vec!["search".to_string()].encode(&mut w);
+            vec!["tag".to_string()].encode(&mut w);
+            anchor.is_some().encode(&mut w);
+            match anchor {
+                Some(a) => {
+                    w.put_u8(1);
+                    openflame_mapdata::wire::put_latlng(&mut w, a);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_varint(1); // portals
+            w.put_varint(42);
+            openflame_mapdata::wire::put_latlng(&mut w, LatLng::new(40.0, -80.0).unwrap());
+            w.put_varint(9); // version
+            let bytes = w.finish();
+            let back = from_bytes::<HelloInfo>(&bytes).unwrap();
+            assert_eq!(back.server_id, "legacy-1");
+            assert_eq!(back.anchor, anchor);
+            assert_eq!(back.version, 9);
+            assert_eq!(back.coverage, None);
+            // And the current encoder emits those exact bytes for a
+            // coverage-free Hello: old decoders keep working too.
+            let reencoded = to_bytes(&back);
+            assert_eq!(&reencoded[..], &bytes[..]);
+        }
+    }
+
+    /// A coverage-carrying Hello survives a round trip even when it is
+    /// not the last response in a pipelined batch — the summary blob
+    /// must be self-delimiting.
+    #[test]
+    fn coverage_hello_is_self_delimiting_inside_batches() {
+        let hello = HelloInfo {
+            server_id: "cov-1".into(),
+            map_name: "Covered".into(),
+            services: vec!["search".into()],
+            localization_techs: vec![],
+            anchored: false,
+            anchor: None,
+            portals: vec![],
+            version: 3,
+            coverage: Some(CoverageSummary {
+                kinds: vec![("search".into(), 17)],
+                extent: Some(CoverageExtent {
+                    cells: vec![1, 2, 3],
+                    center: LatLng::new(40.44, -79.95).unwrap(),
+                    radius_m: 80.0,
+                }),
+            }),
+        };
+        let batch = Response::Batch(vec![
+            Response::Hello(hello.clone()),
+            Response::PatchApplied { version: 5 },
+        ]);
+        let back = from_bytes::<Response>(&to_bytes(&batch)).unwrap();
+        assert_eq!(back, batch);
     }
 
     #[test]

@@ -14,10 +14,11 @@
 
 use crate::acl::{AccessPolicy, Principal, ServiceKind, ALL_SERVICES};
 use crate::protocol::{
-    principal_key, Envelope, HelloInfo, Request, Response, WireEstimate, WireGeocodeHit, WireRoute,
-    WireSearchResult,
+    principal_key, CoverageExtent, CoverageSummary, Envelope, HelloInfo, Request, Response,
+    WireEstimate, WireGeocodeHit, WireRoute, WireSearchResult,
 };
 use crate::ServerError;
+use openflame_cells::{Region, RegionCoverer};
 use openflame_codec::{from_bytes, to_bytes};
 use openflame_diag::{ranks, OrderedRwLock};
 use openflame_geo::{LatLng, Point2};
@@ -343,6 +344,7 @@ impl MapServer {
             openflame_mapdata::GeoReference::Anchored { origin } => Some(origin),
             openflame_mapdata::GeoReference::Unaligned { .. } => None,
         };
+        let coverage = Some(self.coverage_summary(&engines, &techs, anchored));
         HelloInfo {
             server_id: self.id.clone(),
             map_name: engines.map.meta().name.clone(),
@@ -352,7 +354,54 @@ impl MapServer {
             anchor,
             portals: self.portals.iter().map(|(n, hint)| (n.0, *hint)).collect(),
             version: engines.map.meta().version,
+            coverage,
         }
+    }
+
+    /// The coverage summary advertised in [`MapServer::hello`] (spec
+    /// §13): per-kind document counts from the live engines, and the
+    /// registration cap as the committed extent. The extent MUST bound
+    /// every answerable element — here it is the same cap the server
+    /// registers in DNS, which deployments derive from the venue's
+    /// ground-truth zone, so the commitment holds by construction.
+    fn coverage_summary(
+        &self,
+        engines: &Engines,
+        techs: &[String],
+        anchored: bool,
+    ) -> CoverageSummary {
+        let kinds = vec![
+            ("search".to_string(), engines.search.len() as u64),
+            ("geocode".to_string(), engines.geocoder.len() as u64),
+            (
+                "rgeocode".to_string(),
+                if anchored {
+                    engines.geocoder.len() as u64
+                } else {
+                    0
+                },
+            ),
+            ("route".to_string(), engines.graph.node_count() as u64),
+            ("localize".to_string(), techs.len() as u64),
+            ("tiles".to_string(), u64::from(anchored)),
+        ];
+        let extent = (self.radius_m > 0.0).then(|| {
+            let region = Region::Cap {
+                center: self.location_hint,
+                radius_m: self.radius_m,
+            };
+            let cells = RegionCoverer::new(4, crate::naming::QUERY_LEVEL, 16)
+                .covering(&region)
+                .into_iter()
+                .map(|c| c.raw())
+                .collect();
+            CoverageExtent {
+                cells,
+                center: self.location_hint,
+                radius_m: self.radius_m,
+            }
+        });
+        CoverageSummary { kinds, extent }
     }
 
     /// Forward geocode (ACL-checked).

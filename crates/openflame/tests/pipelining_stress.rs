@@ -47,6 +47,7 @@ fn stub_service(id: usize) -> Arc<dyn openflame_netsim::WireService> {
                     anchor: None,
                     portals: Vec::new(),
                     version: 1,
+                    coverage: None,
                 })
             })
             .collect();

@@ -1,0 +1,244 @@
+//! Recall parity for the cost-based query planner
+//! (`docs/wire-protocol.md` spec §13): coverage-based pruning changes
+//! what goes on the wire, never what a query returns.
+//!
+//! Three claims are enforced here:
+//!
+//! 1. **Recall parity on every backend** — a planner-on and a
+//!    planner-off client produce byte-identical results for search,
+//!    geocode, reverse geocode, localize and tiles, cold and warm, on
+//!    the simulator, TCP, and QuicLite.
+//! 2. **The pruning is real** — on the warm path the planner consults
+//!    strictly fewer sources (unaligned venues advertise zero tiles
+//!    and zero reverse-geocode documents, spec §13.1) and the saving
+//!    shows up in transport message counts, not just plan accounting.
+//! 3. **Dead replicas leave no cached state behind** — fleet failover
+//!    purges the dead endpoint's capability *and* coverage cache
+//!    entries, so a replaced replica is never re-served (or re-pruned)
+//!    from stale per-endpoint state.
+
+use openflame_core::{Deployment, DeploymentConfig, OpenFlameClient, QueryKind};
+use openflame_localize::LocationCue;
+use openflame_mapserver::Principal;
+use openflame_netsim::BackendKind;
+use openflame_worldgen::{World, WorldConfig};
+
+const BACKENDS: [BackendKind; 3] = [BackendKind::Sim, BackendKind::Tcp, BackendKind::QuicLite];
+
+/// Wide enough fan-out that pruning has something to prune.
+fn fanout_world() -> World {
+    World::generate(WorldConfig {
+        stores: 4,
+        products_per_store: 8,
+        ..WorldConfig::default()
+    })
+}
+
+/// An outdoor address that exists in the public world map.
+fn some_address(world: &World) -> String {
+    world
+        .outdoor
+        .nodes()
+        .find_map(|n| {
+            n.tags
+                .has("addr:housenumber")
+                .then(|| n.tags.get("name").unwrap().to_string())
+        })
+        .expect("world has addresses")
+}
+
+/// A second client on the deployment's transport with coverage-based
+/// pruning disabled — the planner-off control arm.
+fn planner_off_client(dep: &Deployment) -> OpenFlameClient {
+    OpenFlameClient::builder()
+        .principal(Principal::anonymous())
+        .world_provider(dep.outdoor_server.endpoint())
+        .coverage_planner(false)
+        .build_on(dep.transport.clone(), dep.resolver.clone())
+}
+
+#[test]
+fn planner_recall_parity_on_every_backend() {
+    let world = fanout_world();
+    let address = some_address(&world);
+    for backend in BACKENDS {
+        let dep = Deployment::build(
+            world.clone(),
+            DeploymentConfig {
+                backend,
+                ..DeploymentConfig::default()
+            },
+        );
+        let on = &dep.client;
+        let off = planner_off_client(&dep);
+        let center = dep.world.config.center;
+        let world_ep = dep.outdoor_server.endpoint();
+
+        // Two passes: the first compares the cold paths (no summaries
+        // cached yet — the planner must not even reorder), the second
+        // the warm paths, where pruning actually fires.
+        for pass in ["cold", "warm"] {
+            for product in dep.world.products.iter().take(3) {
+                let near = dep.world.venues[product.venue].hint;
+                assert_eq!(
+                    on.federated_search(&product.name, near, 5).unwrap(),
+                    off.federated_search(&product.name, near, 5).unwrap(),
+                    "{backend:?}/{pass}: search recall must not depend on the planner"
+                );
+                let cues = [LocationCue::Gnss {
+                    fix: near,
+                    accuracy_m: 4.0,
+                }];
+                assert_eq!(
+                    on.federated_localize(near, &cues).unwrap(),
+                    off.federated_localize(near, &cues).unwrap(),
+                    "{backend:?}/{pass}: localize estimates must not depend on the planner"
+                );
+            }
+            assert_eq!(
+                on.federated_geocode(&address, world_ep, 3).unwrap(),
+                off.federated_geocode(&address, world_ep, 3).unwrap(),
+                "{backend:?}/{pass}: geocode refinement must not depend on the planner"
+            );
+            assert_eq!(
+                on.federated_reverse_geocode(center, 150.0).unwrap(),
+                off.federated_reverse_geocode(center, 150.0).unwrap(),
+                "{backend:?}/{pass}: reverse geocode must not depend on the planner"
+            );
+            assert_eq!(
+                on.federated_tile(center, 16).unwrap(),
+                off.federated_tile(center, 16).unwrap(),
+                "{backend:?}/{pass}: tile composition must not depend on the planner"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_planner_consults_strictly_fewer_sources() {
+    let dep = Deployment::build(fanout_world(), DeploymentConfig::default());
+    let off = planner_off_client(&dep);
+    let center = dep.world.config.center;
+
+    // Warm both arms with a search: its two-phase discipline
+    // handshakes every discovered server, seeding the coverage cache
+    // (tiles go out `Direct` and never handshake on their own).
+    let product = dep.world.products[0].clone();
+    dep.client
+        .federated_search(&product.name, center, 3)
+        .unwrap();
+    off.federated_search(&product.name, center, 3).unwrap();
+    let on_tile = dep.client.federated_tile(center, 16).unwrap();
+    let off_tile = off.federated_tile(center, 16).unwrap();
+    assert_eq!(on_tile, off_tile, "warm-up already agrees");
+
+    // Plan accounting: the warm planner proves the unaligned venues
+    // out of the tile scatter (they advertise zero tiles, spec §13.1);
+    // the off arm considers the same candidates and prunes none.
+    let on_plan = dep
+        .client
+        .plan_query(QueryKind::Tile, center, 200.0)
+        .unwrap();
+    let off_plan = off.plan_query(QueryKind::Tile, center, 200.0).unwrap();
+    assert_eq!(
+        on_plan.considered(),
+        off_plan.considered(),
+        "both arms consider the same candidate set"
+    );
+    assert_eq!(off_plan.pruned_count(), 0, "planner off never prunes");
+    assert!(
+        on_plan.pruned_count() > 0,
+        "a warm fan-out over unaligned venues must prune"
+    );
+    assert!(
+        on_plan.consulted() < off_plan.consulted(),
+        "pruning must consult strictly fewer sources: {} vs {}",
+        on_plan.consulted(),
+        off_plan.consulted()
+    );
+
+    // And the saving is wire-real: a warm tile query costs strictly
+    // fewer transport messages with the planner on — same composition.
+    dep.transport.reset_stats();
+    let on_tile = dep.client.federated_tile(center, 16).unwrap();
+    let on_msgs = dep.transport.stats().messages;
+    dep.transport.reset_stats();
+    let off_tile = off.federated_tile(center, 16).unwrap();
+    let off_msgs = dep.transport.stats().messages;
+    assert_eq!(on_tile, off_tile);
+    assert!(
+        on_msgs < off_msgs,
+        "planner savings must show on the wire: {on_msgs} vs {off_msgs} messages"
+    );
+}
+
+#[test]
+fn dead_replica_cached_state_is_purged_on_failover() {
+    // Fleet mode: every venue is two replicas of one content shard.
+    let dep = Deployment::build(
+        fanout_world(),
+        DeploymentConfig {
+            replicas: 2,
+            ..DeploymentConfig::default()
+        },
+    );
+    let product = dep.world.products[0].clone();
+    let near = dep.world.venues[product.venue].hint;
+
+    // Warm search: the chosen replica's Hello (and with it the
+    // coverage summary) is cached per endpoint.
+    let hits = dep.client.federated_search(&product.name, near, 3).unwrap();
+    assert!(hits.iter().any(|h| h.result.label == product.name));
+    let victim = dep
+        .fleet_servers
+        .iter()
+        .find(|m| {
+            m.venue == product.venue
+                && dep
+                    .client
+                    .session()
+                    .cached_coverage(m.server.endpoint())
+                    .is_some()
+        })
+        .expect("the consulted replica cached its coverage")
+        .server
+        .clone();
+    assert!(dep.client.session().has_hello(victim.endpoint()));
+
+    // The replica dies mid-deployment; the next search fails over to
+    // its shard sibling and must still find the product.
+    dep.transport.set_down(victim.endpoint(), true);
+    let hits = dep.client.federated_search(&product.name, near, 3).unwrap();
+    assert!(
+        hits.iter().any(|h| h.result.label == product.name),
+        "failover to the shard sibling preserves recall"
+    );
+
+    // The regression pin: dead-listing must purge the dead endpoint's
+    // per-endpoint cached state — capability AND coverage — so a
+    // replacement server on a recycled endpoint is never served (or
+    // pruned) from the dead server's advertisement.
+    assert!(
+        !dep.client.session().has_hello(victim.endpoint()),
+        "dead replica's capability cache entry must be purged"
+    );
+    assert!(
+        dep.client
+            .session()
+            .cached_coverage(victim.endpoint())
+            .is_none(),
+        "dead replica's coverage cache entry must be purged"
+    );
+
+    // And the planner never routes at it again while dead-listed.
+    let plan = dep
+        .client
+        .plan_query(QueryKind::Search, near, 2_000.0)
+        .unwrap();
+    assert!(
+        plan.targets
+            .iter()
+            .all(|t| t.server.endpoint != victim.endpoint()),
+        "dead replica must not be re-planned"
+    );
+}

@@ -753,7 +753,10 @@ pub const BENCH_REQUIRED: &[(&str, &[&str])] = &[
             "\\\"bench\\\":\\\"fleet_sweep\\\"",
             "\\\"bench\\\":\\\"fanout_sweep\\\"",
             "\\\"bench\\\":\\\"slow_request\\\"",
+            "\\\"bench\\\":\\\"planner_sweep\\\"",
             "\\\"backend\\\":",
+            "\\\"servers_consulted\\\":",
+            "\\\"servers_pruned\\\":",
         ],
     ),
 ];
